@@ -1,0 +1,1 @@
+bench/workloads.ml: Cm_cloudsim Cm_contracts Cm_http Cm_json Cm_monitor Cm_ocl Cm_rbac Cm_uml List Printf String

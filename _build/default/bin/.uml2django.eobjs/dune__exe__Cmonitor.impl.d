@@ -1,0 +1,1 @@
+bin/cmonitor.ml: Arg Cloudmon Cm_monitor Cmd Cmdliner Fmt List Logs Logs_fmt Printf Term

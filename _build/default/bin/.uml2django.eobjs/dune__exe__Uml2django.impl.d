@@ -1,0 +1,1 @@
+bin/uml2django.ml: Arg Cloudmon Cmd Cmdliner List Printf String Term

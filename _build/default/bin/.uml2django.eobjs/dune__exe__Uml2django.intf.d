@@ -1,0 +1,1 @@
+bin/uml2django.mli:

@@ -1,0 +1,183 @@
+(* Cloud-monitor driver: runs the simulated private cloud with the
+   generated monitor in front of it and executes validation workloads.
+
+   Subcommands:
+   - `cmonitor validate`   : the paper's mutation experiment (§VI-D)
+   - `cmonitor lifecycle`  : the standard workload on a correct cloud,
+                             with the monitoring report
+   - `cmonitor contracts`  : print the generated contracts (Listing 1)
+   - `cmonitor table1`     : print the security-requirements table *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let validate paper_only =
+  let mutants =
+    if paper_only then Cloudmon.Mutation.Mutant.paper_mutants
+    else Cloudmon.Mutation.Mutant.all
+  in
+  match Cloudmon.validate_cloud ~mutants () with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    1
+  | Ok results ->
+    print_string (Cloudmon.Mutation.Campaign.kill_matrix results);
+    if Cloudmon.Mutation.Campaign.all_killed results then begin
+      print_endline "";
+      print_endline "all mutants killed; baseline clean";
+      0
+    end
+    else 1
+
+let lifecycle verbose mode_name =
+  setup_logs verbose;
+  let mode =
+    match mode_name with
+    | "enforce" -> Cloudmon.Monitor.Enforce
+    | _ -> Cloudmon.Monitor.Oracle
+  in
+  match Cloudmon.Mutation.Scenario.setup ~mode () with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    1
+  | Ok ctx ->
+    Cloudmon.Mutation.Scenario.standard ctx;
+    let outcomes = Cloudmon.Monitor.outcomes ctx.Cloudmon.Mutation.Scenario.monitor in
+    List.iter (fun o -> Fmt.pr "%a@." Cloudmon.Outcome.pp o) outcomes;
+    print_endline "";
+    print_string
+      (Cloudmon.Report.render
+         (Cloudmon.Report.summarize outcomes)
+         ~coverage:
+           (Cloudmon.Monitor.coverage ctx.Cloudmon.Mutation.Scenario.monitor));
+    0
+
+let contracts () =
+  match
+    Cloudmon.Contracts.Generate.all ~security:Cloudmon.cinder_security
+      Cloudmon.Uml.Cinder_model.behavior
+  with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok cs ->
+    List.iter (fun c -> Fmt.pr "%a@.@." Cloudmon.Contracts.Contract.pp c) cs;
+    0
+
+let testgen () =
+  let machine = Cloudmon.Uml.Cinder_model.behavior in
+  let table = Cloudmon.Rbac.Security_table.cinder in
+  let assignment = Cloudmon.Rbac.Security_table.cinder_assignment in
+  let cases = Cloudmon.Testgen.Plan.all machine ~table ~assignment in
+  Printf.printf "generated %d cases from the Cinder models\n\n"
+    (List.length cases);
+  let report =
+    Cloudmon.Testgen.Execute.run ~table ~machine
+      (Cloudmon.Testgen.Cinder_driver.driver ())
+      cases
+  in
+  print_string (Cloudmon.Testgen.Execute.render report);
+  if report.Cloudmon.Testgen.Execute.bugs = 0 then 0 else 1
+
+let explore seed steps =
+  match
+    Cloudmon.Mutation.Explorer.run
+      ~config:{ Cloudmon.Mutation.Explorer.seed; steps } ()
+  with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    1
+  | Ok result ->
+    print_string (Cloudmon.Mutation.Explorer.render result);
+    if result.Cloudmon.Mutation.Explorer.violations = [] then 0 else 1
+
+let audit () =
+  match Cloudmon.Mutation.Scenario.setup () with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    1
+  | Ok ctx ->
+    print_string
+      (Cm_monitor.Audit.render
+         (Cm_monitor.Audit.surface ctx.Cloudmon.Mutation.Scenario.monitor));
+    if Cm_monitor.Audit.gaps ctx.Cloudmon.Mutation.Scenario.monitor = []
+    then 0
+    else 1
+
+let table1 () =
+  print_string
+    (Cloudmon.Rbac.Security_table.render ~resources:[ "volume" ]
+       Cloudmon.Rbac.Security_table.cinder
+       Cloudmon.Rbac.Security_table.cinder_assignment);
+  0
+
+let paper_flag =
+  let doc = "Only the three mutants of the paper." in
+  Arg.(value & flag & info [ "paper-only" ] ~doc)
+
+let mode_arg =
+  let doc = "Monitor mode: oracle (default) or enforce." in
+  Arg.(value & opt string "oracle" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for the random walk." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let steps_arg =
+  let doc = "Number of random steps." in
+  Arg.(value & opt int 300 & info [ "steps" ] ~docv:"N" ~doc)
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"attack-surface audit: is every URI x method safeguarded?")
+    Term.(const audit $ const ())
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"random-walk conformance exploration of the simulated cloud")
+    Term.(const explore $ seed_arg $ steps_arg)
+
+let testgen_cmd =
+  Cmd.v
+    (Cmd.info "testgen"
+       ~doc:"generate a test campaign from the models and run it")
+    Term.(const testgen $ const ())
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"run the mutation experiment (§VI-D)")
+    Term.(const validate $ paper_flag)
+
+let verbose_flag =
+  let doc = "Stream every monitored exchange to stderr (Logs reporter)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let lifecycle_cmd =
+  Cmd.v
+    (Cmd.info "lifecycle" ~doc:"run the standard workload on a correct cloud")
+    Term.(const lifecycle $ verbose_flag $ mode_arg)
+
+let contracts_cmd =
+  Cmd.v
+    (Cmd.info "contracts" ~doc:"print the generated contracts (Listing 1)")
+    Term.(const contracts $ const ())
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"print the security-requirements table (Table I)")
+    Term.(const table1 $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "cmonitor" ~version:Cloudmon.version
+       ~doc:"model-generated cloud monitor over a simulated OpenStack")
+    [ validate_cmd; lifecycle_cmd; contracts_cmd; table1_cmd; testgen_cmd;
+      explore_cmd; audit_cmd
+    ]
+
+let () = exit (Cmd.eval' main)

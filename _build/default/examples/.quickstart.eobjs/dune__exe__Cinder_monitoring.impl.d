@@ -1,0 +1,1 @@
+examples/cinder_monitoring.ml: Cloudmon Fmt List

@@ -1,0 +1,1 @@
+examples/cinder_monitoring.mli:

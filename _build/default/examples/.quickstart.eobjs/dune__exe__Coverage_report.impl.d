@@ -1,0 +1,1 @@
+examples/coverage_report.ml: Cloudmon Fmt List

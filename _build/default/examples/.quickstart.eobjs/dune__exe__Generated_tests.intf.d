@@ -1,0 +1,1 @@
+examples/generated_tests.mli:

@@ -1,0 +1,1 @@
+examples/multi_service.ml: Cloudmon Fmt List

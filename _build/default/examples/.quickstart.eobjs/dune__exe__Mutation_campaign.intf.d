@@ -1,0 +1,1 @@
+examples/mutation_campaign.mli:

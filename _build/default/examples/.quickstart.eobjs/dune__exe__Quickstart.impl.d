@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cloudmon Fmt List String

@@ -1,0 +1,1 @@
+examples/release_check.mli:

@@ -1,0 +1,77 @@
+(* Quickstart: build a monitor from the paper's Cinder models, run one
+   monitored request against the simulated cloud, and print the verdict.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module C = Cloudmon
+
+let () =
+  (* 1. A private cloud (the simulated OpenStack), seeded with the
+     paper's project and users. *)
+  let cloud = C.Cloudsim.create () in
+  C.Cloudsim.seed cloud C.Cloudsim.my_project;
+  C.Identity.add_user (C.Cloudsim.identity cloud) ~password:"svc"
+    (C.Rbac.Subject.make "svc" [ "proj_administrator" ]);
+  let token user pw =
+    match C.Cloudsim.login cloud ~user ~password:pw ~project_id:"myProject" with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let service_token = token "svc" "svc" in
+
+  (* 2. The monitor, generated from the models and Table I. *)
+  let monitor =
+    match
+      C.monitor_of_models ~service_token ~security:C.cinder_security
+        C.Uml.Cinder_model.resources C.Uml.Cinder_model.behavior
+        (C.Cloudsim.handle cloud)
+    with
+    | Ok m -> m
+    | Error msgs ->
+      List.iter prerr_endline msgs;
+      exit 1
+  in
+
+  (* 3. One monitored request: alice (admin) creates a volume. *)
+  let request =
+    C.Http.Request.make C.Http.Meth.POST "/v3/myProject/volumes"
+      ~body:
+        (C.Json.obj
+           [ ( "volume",
+               C.Json.obj
+                 [ ("name", C.Json.string "quickstart-volume");
+                   ("size", C.Json.int 10)
+                 ] )
+           ])
+    |> C.Http.Request.with_auth_token (token "alice" "alice-pw")
+  in
+  print_endline ("request:  " ^ C.Http.Request.to_curl request);
+  let outcome = C.Monitor.handle monitor request in
+  Fmt.pr "response: %a@." C.Http.Response.pp outcome.C.Outcome.response;
+  Fmt.pr "verdict:  %a@." C.Outcome.pp_conformance outcome.C.Outcome.conformance;
+  Fmt.pr "covered security requirements: %s@."
+    (String.concat ", " outcome.C.Outcome.covered_requirements);
+
+  (* 4. And one the specification forbids: carol (plain user) deletes. *)
+  let volume_id =
+    match outcome.C.Outcome.cloud_response with
+    | Some resp ->
+      (match resp.C.Http.Response.body with
+       | Some body ->
+         (match C.Json.member "volume" body with
+          | Some v ->
+            (match C.Json.member "id" v with
+             | Some (C.Json.String id) -> id
+             | _ -> "vol-1")
+          | None -> "vol-1")
+       | None -> "vol-1")
+    | None -> "vol-1"
+  in
+  let forbidden =
+    C.Http.Request.make C.Http.Meth.DELETE ("/v3/myProject/volumes/" ^ volume_id)
+    |> C.Http.Request.with_auth_token (token "carol" "carol-pw")
+  in
+  let outcome2 = C.Monitor.handle monitor forbidden in
+  Fmt.pr "@.forbidden delete by carol -> %a (%a)@."
+    C.Http.Status.pp outcome2.C.Outcome.response.C.Http.Response.status
+    C.Outcome.pp_conformance outcome2.C.Outcome.conformance

@@ -1,0 +1,79 @@
+(* Release regression checking (§VIII: "check whether functional and
+   security requirements have been preserved in new releases").
+
+   A "new release" of the Cinder design models is compared against the
+   shipped one: the release accidentally opens DELETE to the member role
+   and drops the in-use guard.  The checker reports both, flagged as
+   security-relevant, before any cloud is deployed.
+
+   Run with: dune exec examples/release_check.exe *)
+
+module C = Cloudmon
+module BM = C.Uml.Behavior_model
+module ST = C.Rbac.Security_table
+
+let () =
+  let sample = C.Uml.Analysis.cinder_sample () in
+  let table = ST.cinder in
+  let assignment = ST.cinder_assignment in
+
+  print_endline "== release 1 vs release 1 (sanity) ==";
+  (match
+     C.Contracts.Evolution.compare
+       ~old_version:(C.Uml.Cinder_model.behavior, table, assignment)
+       ~new_version:(C.Uml.Cinder_model.behavior, table, assignment)
+       ~sample
+   with
+   | Ok report -> print_string (C.Contracts.Evolution.render report)
+   | Error msg -> prerr_endline msg);
+
+  print_endline "";
+  print_endline "== release 1 vs a careless release 2 ==";
+  (* release 2: DELETE opened to members, in-use guard dropped, and a
+     brand-new PATCH capability nobody reviewed *)
+  let release2_table =
+    List.map
+      (fun (e : ST.entry) ->
+        if e.meth = C.Http.Meth.DELETE then
+          { e with ST.roles = [ "admin"; "member" ] }
+        else e)
+      table
+    @ [ ST.entry ~resource:"volume" ~req:"1.5" C.Http.Meth.PATCH [ "admin" ] ]
+  in
+  let release2_behavior =
+    { C.Uml.Cinder_model.behavior with
+      BM.transitions =
+        List.map
+          (fun (tr : BM.transition) ->
+            if tr.trigger.meth = C.Http.Meth.DELETE then
+              { tr with
+                guard =
+                  Some (C.Ocl.Ocl_parser.parse_exn "volume.id->size() = 1")
+              }
+            else tr)
+          C.Uml.Cinder_model.behavior.BM.transitions
+        @ [ BM.transition
+              ~source:C.Uml.Cinder_model.s_not_full
+              ~target:C.Uml.Cinder_model.s_not_full
+              ~effect:
+                (C.Ocl.Ocl_parser.parse_exn
+                   "project.volumes->size() = pre(project.volumes->size())")
+              ~requirements:[ "1.5" ] C.Http.Meth.PATCH "volume"
+          ]
+    }
+  in
+  match
+    C.Contracts.Evolution.compare
+      ~old_version:(C.Uml.Cinder_model.behavior, table, assignment)
+      ~new_version:(release2_behavior, release2_table, assignment)
+      ~sample
+  with
+  | Error msg -> prerr_endline msg
+  | Ok report ->
+    print_string (C.Contracts.Evolution.render report);
+    print_endline "";
+    Printf.printf
+      "release gate: %d security-relevant change(s) need review before \
+       deploying\n"
+      (List.length report.C.Contracts.Evolution.security_relevant);
+    if report.C.Contracts.Evolution.security_relevant = [] then exit 1

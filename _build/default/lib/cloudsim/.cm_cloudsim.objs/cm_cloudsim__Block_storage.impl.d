@@ -1,0 +1,1 @@
+lib/cloudsim/block_storage.ml: Cm_http Cm_json Cm_rbac Faults Guarded Identity List Listing Option Store

@@ -1,0 +1,1 @@
+lib/cloudsim/block_storage.mli: Cm_http Guarded Store

@@ -1,0 +1,1 @@
+lib/cloudsim/cloud.ml: Block_storage Cm_http Cm_rbac Compute Guarded Identity Image_service List Store

@@ -1,0 +1,1 @@
+lib/cloudsim/cloud.mli: Cm_http Cm_rbac Faults Identity Store

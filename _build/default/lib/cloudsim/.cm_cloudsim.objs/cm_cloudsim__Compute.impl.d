@@ -1,0 +1,1 @@
+lib/cloudsim/compute.ml: Cm_http Cm_json Guarded List Option Store

@@ -1,0 +1,1 @@
+lib/cloudsim/compute.mli: Cm_http Guarded Store

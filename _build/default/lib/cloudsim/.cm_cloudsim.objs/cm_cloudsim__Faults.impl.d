@@ -1,0 +1,1 @@
+lib/cloudsim/faults.ml: Cm_http Cm_rbac List Printf

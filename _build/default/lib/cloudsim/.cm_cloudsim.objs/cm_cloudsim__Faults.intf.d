@@ -1,0 +1,1 @@
+lib/cloudsim/faults.mli: Cm_http Cm_rbac

@@ -1,0 +1,1 @@
+lib/cloudsim/guarded.ml: Cm_http Cm_rbac Faults Identity Printf

@@ -1,0 +1,1 @@
+lib/cloudsim/guarded.mli: Cm_http Cm_rbac Faults Identity

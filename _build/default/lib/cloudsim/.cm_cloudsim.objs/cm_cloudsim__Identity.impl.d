@@ -1,0 +1,1 @@
+lib/cloudsim/identity.ml: Cm_http Cm_json Cm_rbac Hashtbl List Option Printf

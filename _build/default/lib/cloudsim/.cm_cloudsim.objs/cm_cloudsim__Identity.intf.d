@@ -1,0 +1,1 @@
+lib/cloudsim/identity.mli: Cm_http Cm_rbac

@@ -1,0 +1,1 @@
+lib/cloudsim/image_service.ml: Cm_http Cm_json Faults Guarded List Listing Option Printf Store

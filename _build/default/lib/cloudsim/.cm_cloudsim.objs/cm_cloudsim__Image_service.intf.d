@@ -1,0 +1,1 @@
+lib/cloudsim/image_service.mli: Cm_http Guarded Store

@@ -1,0 +1,1 @@
+lib/cloudsim/listing.ml: Cm_http List

@@ -1,0 +1,1 @@
+lib/cloudsim/listing.mli: Cm_http

@@ -1,0 +1,1 @@
+lib/cloudsim/store.ml: Cm_json Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cloudsim/store.mli: Cm_json Hashtbl

@@ -1,0 +1,360 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Status = Cm_http.Status
+
+type t = { store : Store.t; ctx : Guarded.ctx }
+
+let create ~store ~ctx = { store; ctx }
+
+let ( let* ) r f = match r with Ok v -> f v | Error resp -> resp
+
+let with_project t bindings f =
+  let project_id =
+    Option.value ~default:"" (List.assoc_opt "project_id" bindings)
+  in
+  match Store.find_project t.store project_id with
+  | None -> Response.error Status.not_found "project not found"
+  | Some project -> f project
+
+let with_volume project bindings f =
+  let volume_id =
+    Option.value ~default:"" (List.assoc_opt "volume_id" bindings)
+  in
+  match Store.find_volume project volume_id with
+  | None -> Response.error Status.not_found "volume not found"
+  | Some volume -> f volume
+
+let faulty_status t ~action ~default =
+  match Faults.success_status_for (Guarded.faults t.ctx) action with
+  | Some status -> status
+  | None -> default
+
+(* ---- handlers ---- *)
+
+let list_projects t : Cm_http.Router.handler =
+ fun _req _bindings ->
+  let body =
+    Json.obj
+      [ ( "projects",
+          Json.list (List.map Store.project_json (Store.projects t.store)) )
+      ]
+  in
+  Response.ok body
+
+let show_project t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* info =
+        Guarded.authorize t.ctx ~action:"project:get"
+          ~project_id:project.Store.project_id req
+      in
+      ignore info;
+      Response.ok (Json.obj [ ("project", Store.project_json project) ]))
+
+let list_volumes t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volumes:get"
+          ~project_id:project.Store.project_id req
+      in
+      let filtered =
+        Listing.filter_param req "status"
+          (fun (v : Store.volume) -> v.status)
+          (Store.volumes project)
+      in
+      match
+        Listing.paginate req filtered
+          ~id_of:(fun (v : Store.volume) -> v.volume_id)
+      with
+      | Error msg -> Response.error Status.bad_request msg
+      | Ok page ->
+        let body =
+          Json.obj [ ("volumes", Json.list (List.map Store.volume_json page)) ]
+        in
+        Response.make ~body
+          (faulty_status t ~action:"volumes:get" ~default:Status.ok))
+
+let create_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:create"
+          ~project_id:project.Store.project_id req
+      in
+      let name, size_gb =
+        match req.Request.body with
+        | Some body ->
+          let get field = Cm_json.Pointer.get [ Key "volume"; Key field ] body in
+          ( (match get "name" with
+             | Some (Json.String n) -> n
+             | Some _ | None -> "volume"),
+            match get "size" with Some (Json.Int n) -> n | Some _ | None -> 1 )
+        | None -> ("volume", 1)
+      in
+      if size_gb <= 0 then
+        Response.error Status.bad_request "volume size must be positive"
+      else begin
+        let faults = Guarded.faults t.ctx in
+        let over_quota =
+          Store.volume_count project >= project.Store.quota_volumes
+          || Store.used_gigabytes project + size_gb
+             > project.Store.quota_gigabytes
+        in
+        if over_quota && not (Faults.ignores_quota faults) then
+          Response.error Status.request_entity_too_large
+            "VolumeLimitExceeded: quota exceeded for volumes"
+        else if Faults.phantom_create faults then
+          (* The mutant acknowledges creation without storing anything. *)
+          Response.make
+            ~body:
+              (Json.obj
+                 [ ( "volume",
+                     Json.obj
+                       [ ("id", Json.string "phantom");
+                         ("name", Json.string name);
+                         ("status", Json.string "creating");
+                         ("size", Json.int size_gb)
+                       ] )
+                 ])
+            (faulty_status t ~action:"volume:create" ~default:Status.created)
+        else begin
+          let volume = Store.add_volume t.store project ~name ~size_gb in
+          Response.make
+            ~body:(Json.obj [ ("volume", Store.volume_json volume) ])
+            (faulty_status t ~action:"volume:create" ~default:Status.created)
+        end
+      end)
+
+let show_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:get"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          Response.make
+            ~body:(Json.obj [ ("volume", Store.volume_json volume) ])
+            (faulty_status t ~action:"volume:get" ~default:Status.ok)))
+
+let update_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:update"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          if volume.Store.status = "in-use" then
+            Response.error Status.bad_request
+              "volume is in-use and cannot be updated"
+          else begin
+            (match req.Request.body with
+             | Some body ->
+               (match Cm_json.Pointer.get [ Key "volume"; Key "name" ] body with
+                | Some (Json.String n) -> volume.Store.volume_name <- n
+                | Some _ | None -> ());
+               (match Cm_json.Pointer.get [ Key "volume"; Key "size" ] body with
+                | Some (Json.Int n) when n > 0 -> volume.Store.size_gb <- n
+                | Some _ | None -> ())
+             | None -> ());
+            Response.make
+              ~body:(Json.obj [ ("volume", Store.volume_json volume) ])
+              (faulty_status t ~action:"volume:update" ~default:Status.ok)
+          end))
+
+let delete_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:delete"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          let faults = Guarded.faults t.ctx in
+          if
+            volume.Store.status = "in-use"
+            && not (Faults.allows_delete_in_use faults)
+          then
+            Response.error Status.bad_request
+              "volume is attached and cannot be deleted"
+          else if Faults.zombie_delete faults then
+            (* The mutant acknowledges deletion but keeps the volume. *)
+            Response.make
+              (faulty_status t ~action:"volume:delete" ~default:Status.no_content)
+          else begin
+            ignore (Store.remove_volume project volume.Store.volume_id);
+            Response.make
+              (faulty_status t ~action:"volume:delete" ~default:Status.no_content)
+          end))
+
+let volume_action t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      with_volume project bindings (fun volume ->
+          match req.Request.body with
+          | Some (Json.Obj [ ("os-attach", attach) ]) ->
+            let* _info =
+              Guarded.authorize t.ctx ~action:"volume:attach"
+                ~project_id:project.Store.project_id req
+            in
+            if volume.Store.status = "in-use" then
+              Response.error Status.bad_request "volume already attached"
+            else begin
+              let server_id =
+                match Cm_json.Pointer.get [ Key "instance_uuid" ] attach with
+                | Some (Json.String s) -> s
+                | Some _ | None -> "unknown"
+              in
+              volume.Store.status <- "in-use";
+              volume.Store.attached_to <- Some server_id;
+              Response.make Status.accepted
+            end
+          | Some (Json.Obj [ ("os-detach", _) ]) ->
+            let* _info =
+              Guarded.authorize t.ctx ~action:"volume:detach"
+                ~project_id:project.Store.project_id req
+            in
+            if volume.Store.status <> "in-use" then
+              Response.error Status.bad_request "volume is not attached"
+            else begin
+              volume.Store.status <- "available";
+              volume.Store.attached_to <- None;
+              Response.make Status.accepted
+            end
+          | Some _ | None ->
+            Response.error Status.bad_request "unknown volume action"))
+
+(* ---- snapshots (nested under a volume) ---- *)
+
+let with_snapshot volume bindings f =
+  let snapshot_id =
+    Option.value ~default:"" (List.assoc_opt "snapshot_id" bindings)
+  in
+  match Store.find_snapshot volume snapshot_id with
+  | None -> Response.error Status.not_found "snapshot not found"
+  | Some snapshot -> f snapshot
+
+let list_snapshots t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"snapshots:get"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          Response.ok
+            (Json.obj
+               [ ( "snapshots",
+                   Json.list
+                     (List.map Store.snapshot_json (Store.snapshots volume)) )
+               ])))
+
+let create_snapshot t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"snapshot:create"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          (* snapshotting needs a quiesced volume *)
+          if volume.Store.status = "in-use" then
+            Response.error Status.bad_request
+              "volume is in-use and cannot be snapshotted"
+          else begin
+            let name =
+              match req.Request.body with
+              | Some body ->
+                (match
+                   Cm_json.Pointer.get [ Key "snapshot"; Key "name" ] body
+                 with
+                 | Some (Json.String n) -> n
+                 | Some _ | None -> "snapshot")
+              | None -> "snapshot"
+            in
+            let snapshot = Store.add_snapshot t.store volume ~name in
+            Response.make
+              ~body:(Json.obj [ ("snapshot", Store.snapshot_json snapshot) ])
+              (faulty_status t ~action:"snapshot:create"
+                 ~default:Status.created)
+          end))
+
+let show_snapshot t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"snapshot:get"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          with_snapshot volume bindings (fun snapshot ->
+              Response.ok
+                (Json.obj [ ("snapshot", Store.snapshot_json snapshot) ]))))
+
+let delete_snapshot t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"snapshot:delete"
+          ~project_id:project.Store.project_id req
+      in
+      with_volume project bindings (fun volume ->
+          with_snapshot volume bindings (fun snapshot ->
+              ignore
+                (Store.remove_snapshot volume snapshot.Store.snapshot_id);
+              Response.make
+                (faulty_status t ~action:"snapshot:delete"
+                   ~default:Status.no_content))))
+
+let show_quota t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"quota_sets:get"
+          ~project_id:project.Store.project_id req
+      in
+      Response.ok (Json.obj [ ("quota_set", Store.quota_set_json project) ]))
+
+let list_usergroups t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"usergroups:get"
+          ~project_id:project.Store.project_id req
+      in
+      let assignment =
+        Identity.assignment_for t.ctx.Guarded.identity
+          ~project_id:project.Store.project_id
+      in
+      let groups =
+        Cm_rbac.Role_assignment.to_list assignment
+        |> List.map (fun (group, role) ->
+               Json.obj
+                 [ ("name", Json.string group); ("role", Json.string role) ])
+      in
+      Response.ok (Json.obj [ ("usergroups", Json.list groups) ]))
+
+let routes t =
+  let open Cm_http.Meth in
+  [ ("/v3", GET, list_projects t);
+    ("/v3/{project_id}", GET, show_project t);
+    ("/v3/{project_id}/volumes", GET, list_volumes t);
+    ("/v3/{project_id}/volumes", POST, create_volume t);
+    ("/v3/{project_id}/volumes/{volume_id}", GET, show_volume t);
+    ("/v3/{project_id}/volumes/{volume_id}", PUT, update_volume t);
+    ("/v3/{project_id}/volumes/{volume_id}", DELETE, delete_volume t);
+    ("/v3/{project_id}/volumes/{volume_id}/action", POST, volume_action t);
+    ("/v3/{project_id}/volumes/{volume_id}/snapshots", GET, list_snapshots t);
+    ("/v3/{project_id}/volumes/{volume_id}/snapshots", POST, create_snapshot t);
+    ( "/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}",
+      GET,
+      show_snapshot t );
+    ( "/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}",
+      DELETE,
+      delete_snapshot t );
+    ("/v3/{project_id}/quota_sets", GET, show_quota t);
+    ("/v3/{project_id}/usergroups", GET, list_usergroups t)
+  ]

@@ -1,0 +1,24 @@
+(** The Cinder-like block-storage service.
+
+    Volumes are detachable block storage devices that act like hard
+    disks; projects hold a quota limiting how many volumes (and how many
+    gigabytes) can be created.  The HTTP surface mirrors the Cinder v3
+    API shapes the paper works against:
+
+    - [GET    /v3/{project_id}/volumes] — list ([{"volumes": [...]}])
+    - [POST   /v3/{project_id}/volumes] — create; 413 over quota
+    - [GET    /v3/{project_id}/volumes/{volume_id}] — show
+    - [PUT    /v3/{project_id}/volumes/{volume_id}] — update; 400 if in-use
+    - [DELETE /v3/{project_id}/volumes/{volume_id}] — delete; 400 if in-use
+    - [POST   /v3/{project_id}/volumes/{volume_id}/action] — os-attach /
+      os-detach
+    - [GET    /v3/{project_id}/quota_sets] — the project's quota
+    - [GET    /v3/{project_id}/usergroups] — groups with roles in the
+      project
+    - [GET    /v3/{project_id}] — project detail
+    - [GET    /v3] — list projects *)
+
+type t
+
+val create : store:Store.t -> ctx:Guarded.ctx -> t
+val routes : t -> (string * Cm_http.Meth.t * Cm_http.Router.handler) list

@@ -1,0 +1,99 @@
+module Policy = Cm_rbac.Policy
+
+type t = {
+  store : Store.t;
+  identity : Identity.t;
+  ctx : Guarded.ctx;
+  router : Cm_http.Router.t;
+}
+
+let default_policy =
+  let admin_or_member = Policy.Or (Policy.Role "admin", Policy.Role "member") in
+  let any_project_role =
+    Policy.Or (admin_or_member, Policy.Role "user")
+  in
+  Policy.of_list
+    [ ("volumes:get", any_project_role);
+      ("volume:get", any_project_role);
+      ("volume:create", admin_or_member);
+      ("volume:update", admin_or_member);
+      ("volume:delete", Policy.Role "admin");
+      ("volume:attach", admin_or_member);
+      ("volume:detach", admin_or_member);
+      ("snapshots:get", any_project_role);
+      ("snapshot:get", any_project_role);
+      ("snapshot:create", admin_or_member);
+      ("snapshot:delete", Policy.Role "admin");
+      ("images:get", any_project_role);
+      ("image:get", any_project_role);
+      ("image:create", admin_or_member);
+      ("image:update", admin_or_member);
+      ("image:delete", Policy.Role "admin");
+      ("quota_sets:get", any_project_role);
+      ("usergroups:get", any_project_role);
+      ("project:get", any_project_role);
+      ("servers:get", any_project_role);
+      ("server:get", any_project_role);
+      ("server:create", admin_or_member);
+      ("server:delete", Policy.Role "admin")
+    ]
+
+let create ?(policy = default_policy) () =
+  let store = Store.create () in
+  let identity = Identity.create () in
+  let ctx = Guarded.make ~identity ~policy in
+  let block_storage = Block_storage.create ~store ~ctx in
+  let compute = Compute.create ~store ~ctx in
+  let image_service = Image_service.create ~store ~ctx in
+  let router =
+    Cm_http.Router.of_routes
+      (Identity.routes identity @ Block_storage.routes block_storage
+      @ Compute.routes compute
+      @ Image_service.routes image_service)
+  in
+  { store; identity; ctx; router }
+
+let handle t req = Cm_http.Router.dispatch t.router req
+let store t = t.store
+let identity t = t.identity
+let set_faults t faults = Guarded.set_faults t.ctx faults
+let faults t = Guarded.faults t.ctx
+
+type seed = {
+  seed_project_id : string;
+  seed_project_name : string;
+  seed_quota_volumes : int;
+  seed_quota_gigabytes : int;
+  seed_quota_images : int;
+  seed_assignment : Cm_rbac.Role_assignment.t;
+  seed_users : (Cm_rbac.Subject.t * string) list;
+}
+
+let seed t s =
+  ignore
+    (Store.add_project t.store ~id:s.seed_project_id ~name:s.seed_project_name
+       ~quota_volumes:s.seed_quota_volumes
+       ~quota_gigabytes:s.seed_quota_gigabytes
+       ~quota_images:s.seed_quota_images ());
+  Identity.set_assignment t.identity ~project_id:s.seed_project_id
+    s.seed_assignment;
+  List.iter
+    (fun (subject, password) -> Identity.add_user t.identity ~password subject)
+    s.seed_users
+
+let my_project =
+  { seed_project_id = "myProject";
+    seed_project_name = "myProject";
+    seed_quota_volumes = 3;
+    seed_quota_gigabytes = 100;
+    seed_quota_images = 2;
+    seed_assignment = Cm_rbac.Security_table.cinder_assignment;
+    seed_users =
+      [ (Cm_rbac.Subject.make "alice" [ "proj_administrator" ], "alice-pw");
+        (Cm_rbac.Subject.make "bob" [ "service_architect" ], "bob-pw");
+        (Cm_rbac.Subject.make "carol" [ "business_analyst" ], "carol-pw")
+      ]
+  }
+
+let login t ~user ~password ~project_id =
+  Identity.issue_token t.identity ~user ~password ~project_id

@@ -1,0 +1,54 @@
+(** The assembled private cloud.
+
+    Wires the identity, block-storage and compute services behind one
+    request dispatcher — the simulated counterpart of the OpenStack
+    deployment of §VI-D (controller + compute nodes).  The monitor talks
+    to a cloud only through {!handle}, exactly as it would talk to a
+    real endpoint through HTTP. *)
+
+type t
+
+val create : ?policy:Cm_rbac.Policy.t -> unit -> t
+(** [policy] defaults to {!default_policy}. *)
+
+val handle : t -> Cm_http.Request.t -> Cm_http.Response.t
+(** Dispatch one request (the cloud's HTTP entry point). *)
+
+val store : t -> Store.t
+val identity : t -> Identity.t
+
+val set_faults : t -> Faults.set -> unit
+(** Activate a mutant (empty set restores the correct implementation). *)
+
+val faults : t -> Faults.set
+
+val default_policy : Cm_rbac.Policy.t
+(** The policy derived from the paper's Table I plus the auxiliary
+    actions every project member may perform (reading quotas, groups and
+    project info; servers; attach/detach for admin and member). *)
+
+(** {1 Seeding (the cloud administrator's setup, §VI-D)} *)
+
+type seed = {
+  seed_project_id : string;
+  seed_project_name : string;
+  seed_quota_volumes : int;
+  seed_quota_gigabytes : int;
+  seed_quota_images : int;
+  seed_assignment : Cm_rbac.Role_assignment.t;
+  seed_users : (Cm_rbac.Subject.t * string) list;  (** subject, password *)
+}
+
+val seed : t -> seed -> unit
+
+val my_project : seed
+(** The paper's validation setup: project [myProject] with three users —
+    alice in proj_administrator (admin role), bob in service_architect
+    (member), carol in business_analyst (user) — and a quota of 3
+    volumes / 100 GiB. *)
+
+val login :
+  t -> user:string -> password:string -> project_id:string ->
+  (string, string) result
+(** Convenience wrapper over the Keystone auth endpoint; returns the
+    token value. *)

@@ -1,0 +1,150 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Status = Cm_http.Status
+
+type t = { store : Store.t; ctx : Guarded.ctx }
+
+let create ~store ~ctx = { store; ctx }
+
+let ( let* ) r f = match r with Ok v -> f v | Error resp -> resp
+
+let with_project t bindings f =
+  let project_id =
+    Option.value ~default:"" (List.assoc_opt "project_id" bindings)
+  in
+  match Store.find_project t.store project_id with
+  | None -> Response.error Status.not_found "project not found"
+  | Some project -> f project
+
+let with_server project bindings f =
+  let server_id =
+    Option.value ~default:"" (List.assoc_opt "server_id" bindings)
+  in
+  match Store.find_server project server_id with
+  | None -> Response.error Status.not_found "server not found"
+  | Some server -> f server
+
+let body_volume_id req =
+  match req.Request.body with
+  | Some body ->
+    (match Cm_json.Pointer.get [ Key "volume_id" ] body with
+     | Some (Json.String id) -> Some id
+     | Some _ | None -> None)
+  | None -> None
+
+let list_servers t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"servers:get"
+          ~project_id:project.Store.project_id req
+      in
+      Response.ok
+        (Json.obj
+           [ ( "servers",
+               Json.list (List.map Store.server_json (Store.servers project)) )
+           ]))
+
+let create_server t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"server:create"
+          ~project_id:project.Store.project_id req
+      in
+      let name =
+        match req.Request.body with
+        | Some body ->
+          (match Cm_json.Pointer.get [ Key "server"; Key "name" ] body with
+           | Some (Json.String n) -> n
+           | Some _ | None -> "server")
+        | None -> "server"
+      in
+      let server = Store.add_server t.store project ~name in
+      Response.created (Json.obj [ ("server", Store.server_json server) ]))
+
+let show_server t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"server:get"
+          ~project_id:project.Store.project_id req
+      in
+      with_server project bindings (fun server ->
+          Response.ok (Json.obj [ ("server", Store.server_json server) ])))
+
+let delete_server t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"server:delete"
+          ~project_id:project.Store.project_id req
+      in
+      with_server project bindings (fun server ->
+          (* Deleting a server releases its volumes. *)
+          List.iter
+            (fun (v : Store.volume) ->
+              match v.attached_to with
+              | Some sid when sid = server.Store.server_id ->
+                v.status <- "available";
+                v.attached_to <- None
+              | Some _ | None -> ())
+            (Store.volumes project);
+          ignore (Store.remove_server project server.Store.server_id);
+          Response.no_content))
+
+let attach_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:attach"
+          ~project_id:project.Store.project_id req
+      in
+      with_server project bindings (fun server ->
+          match body_volume_id req with
+          | None -> Response.error Status.bad_request "missing volume_id"
+          | Some volume_id ->
+            (match Store.find_volume project volume_id with
+             | None -> Response.error Status.not_found "volume not found"
+             | Some volume ->
+               if volume.Store.status = "in-use" then
+                 Response.error Status.conflict "volume already attached"
+               else begin
+                 volume.Store.status <- "in-use";
+                 volume.Store.attached_to <- Some server.Store.server_id;
+                 Response.make Status.accepted
+               end)))
+
+let detach_volume t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"volume:detach"
+          ~project_id:project.Store.project_id req
+      in
+      with_server project bindings (fun server ->
+          match body_volume_id req with
+          | None -> Response.error Status.bad_request "missing volume_id"
+          | Some volume_id ->
+            (match Store.find_volume project volume_id with
+             | None -> Response.error Status.not_found "volume not found"
+             | Some volume ->
+               (match volume.Store.attached_to with
+                | Some sid when sid = server.Store.server_id ->
+                  volume.Store.status <- "available";
+                  volume.Store.attached_to <- None;
+                  Response.make Status.accepted
+                | Some _ | None ->
+                  Response.error Status.conflict
+                    "volume is not attached to this server"))))
+
+let routes t =
+  let open Cm_http.Meth in
+  [ ("/v3/{project_id}/servers", GET, list_servers t);
+    ("/v3/{project_id}/servers", POST, create_server t);
+    ("/v3/{project_id}/servers/{server_id}", GET, show_server t);
+    ("/v3/{project_id}/servers/{server_id}", DELETE, delete_server t);
+    ("/v3/{project_id}/servers/{server_id}/attach", POST, attach_volume t);
+    ("/v3/{project_id}/servers/{server_id}/detach", POST, detach_volume t)
+  ]

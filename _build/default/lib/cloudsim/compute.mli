@@ -1,0 +1,21 @@
+(** The Nova-lite compute service.
+
+    Just enough of a compute API to exercise the volume lifecycle end to
+    end: servers can be created and deleted, and volumes attach to
+    servers (which is what makes a volume [in-use] and hence
+    undeletable).
+
+    - [GET    /v3/{project_id}/servers]
+    - [POST   /v3/{project_id}/servers]
+    - [GET    /v3/{project_id}/servers/{server_id}]
+    - [DELETE /v3/{project_id}/servers/{server_id}] — detaches all of
+      the server's volumes first
+    - [POST   /v3/{project_id}/servers/{server_id}/attach] with
+      [{"volume_id": ...}]
+    - [POST   /v3/{project_id}/servers/{server_id}/detach] with
+      [{"volume_id": ...}] *)
+
+type t
+
+val create : store:Store.t -> ctx:Guarded.ctx -> t
+val routes : t -> (string * Cm_http.Meth.t * Cm_http.Router.handler) list

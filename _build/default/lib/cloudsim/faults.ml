@@ -1,0 +1,56 @@
+type t =
+  | Policy_override of string * Cm_rbac.Policy.rule
+  | Skip_policy_check of string
+  | Policy_deny of string
+  | Ignore_quota
+  | Allow_delete_in_use
+  | Wrong_success_status of string * Cm_http.Status.t
+  | Phantom_create
+  | Zombie_delete
+
+let to_string = function
+  | Policy_override (action, rule) ->
+    Printf.sprintf "policy-override(%s := %s)" action
+      (Cm_rbac.Policy.rule_to_string rule)
+  | Skip_policy_check action -> Printf.sprintf "skip-policy-check(%s)" action
+  | Policy_deny action -> Printf.sprintf "policy-deny(%s)" action
+  | Ignore_quota -> "ignore-quota"
+  | Allow_delete_in_use -> "allow-delete-in-use"
+  | Wrong_success_status (action, status) ->
+    Printf.sprintf "wrong-success-status(%s -> %d)" action status
+  | Phantom_create -> "phantom-create"
+  | Zombie_delete -> "zombie-delete"
+
+let equal a b = a = b
+
+type set = t list
+
+let none = []
+let of_list faults = faults
+let to_list set = set
+
+let overridden_rule set action =
+  List.find_map
+    (function
+      | Policy_override (a, rule) when a = action -> Some rule
+      | _ -> None)
+    set
+
+let skips_policy set action =
+  List.exists (function Skip_policy_check a -> a = action | _ -> false) set
+
+let denies set action =
+  List.exists (function Policy_deny a -> a = action | _ -> false) set
+
+let ignores_quota set = List.mem Ignore_quota set
+let allows_delete_in_use set = List.mem Allow_delete_in_use set
+
+let success_status_for set action =
+  List.find_map
+    (function
+      | Wrong_success_status (a, status) when a = action -> Some status
+      | _ -> None)
+    set
+
+let phantom_create set = List.mem Phantom_create set
+let zombie_delete set = List.mem Zombie_delete set

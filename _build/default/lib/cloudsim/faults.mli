@@ -1,0 +1,42 @@
+(** Fault injection into the simulated cloud.
+
+    The paper's validation "systematically introduced [three] mutants
+    (errors) in the cloud implementation to detect wrong authorization
+    on resources" (§VI-D).  A fault is a deviation of the cloud's
+    behaviour from its specification; the mutation library activates
+    them one at a time and checks that the monitor kills each. *)
+
+type t =
+  | Policy_override of string * Cm_rbac.Policy.rule
+      (** enforce a different rule for the action — e.g. DELETE opened
+          up to [role:member] (privilege escalation) *)
+  | Skip_policy_check of string
+      (** the developer forgot the authorization check on one action *)
+  | Policy_deny of string
+      (** the opposite error: authorised users are rejected *)
+  | Ignore_quota  (** volumes can be created beyond the project quota *)
+  | Allow_delete_in_use  (** attached volumes can be deleted *)
+  | Wrong_success_status of string * Cm_http.Status.t
+      (** the action answers with an unexpected status code on success *)
+  | Phantom_create
+      (** POST answers 201 but does not actually create the volume *)
+  | Zombie_delete
+      (** DELETE answers 204 but does not actually delete the volume *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+type set
+
+val none : set
+val of_list : t list -> set
+val to_list : set -> t list
+
+val overridden_rule : set -> string -> Cm_rbac.Policy.rule option
+val skips_policy : set -> string -> bool
+val denies : set -> string -> bool
+val ignores_quota : set -> bool
+val allows_delete_in_use : set -> bool
+val success_status_for : set -> string -> Cm_http.Status.t option
+val phantom_create : set -> bool
+val zombie_delete : set -> bool

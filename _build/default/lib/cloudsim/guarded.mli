@@ -1,0 +1,26 @@
+(** Authentication and policy enforcement shared by the simulated
+    services (the Keystone middleware every OpenStack service mounts).
+
+    Order of checks, matching OpenStack semantics: missing/invalid token
+    -> 401; token scoped to a different project -> 403; policy denies
+    the action for the subject's roles/groups -> 403.  Fault injection
+    can skip, deny or override the policy decision. *)
+
+type ctx = {
+  identity : Identity.t;
+  policy : Cm_rbac.Policy.t;
+  faults : Faults.set ref;
+}
+
+val make : identity:Identity.t -> policy:Cm_rbac.Policy.t -> ctx
+(** Starts with no faults. *)
+
+val set_faults : ctx -> Faults.set -> unit
+val faults : ctx -> Faults.set
+
+val authorize :
+  ctx ->
+  action:string ->
+  project_id:string ->
+  Cm_http.Request.t ->
+  (Identity.token_info, Cm_http.Response.t) result

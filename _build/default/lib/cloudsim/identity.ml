@@ -1,0 +1,108 @@
+module Json = Cm_json.Json
+module Subject = Cm_rbac.Subject
+module Role_assignment = Cm_rbac.Role_assignment
+
+type user_record = { subject : Subject.t; password : string }
+type token_info = { subject : Subject.t; project_id : string }
+
+type t = {
+  users : (string, user_record) Hashtbl.t;
+  assignments : (string, Role_assignment.t) Hashtbl.t;
+  tokens : (string, token_info) Hashtbl.t;
+  mutable next_token : int;
+}
+
+let create () =
+  { users = Hashtbl.create 16;
+    assignments = Hashtbl.create 4;
+    tokens = Hashtbl.create 16;
+    next_token = 1
+  }
+
+let add_user t ?(password = "secret") subject =
+  Hashtbl.replace t.users subject.Subject.user_name { subject; password }
+
+let set_assignment t ~project_id assignment =
+  Hashtbl.replace t.assignments project_id assignment
+
+let assignment_for t ~project_id =
+  Option.value ~default:Role_assignment.empty
+    (Hashtbl.find_opt t.assignments project_id)
+
+let issue_token t ~user ~password ~project_id =
+  match Hashtbl.find_opt t.users user with
+  | None -> Error "no such user"
+  | Some record ->
+    if record.password <> password then Error "invalid credentials"
+    else begin
+      let value = Printf.sprintf "tok-%d-%s" t.next_token user in
+      t.next_token <- t.next_token + 1;
+      Hashtbl.replace t.tokens value { subject = record.subject; project_id };
+      Ok value
+    end
+
+let validate t ~token = Hashtbl.find_opt t.tokens token
+let revoke t ~token = Hashtbl.remove t.tokens token
+
+let roles_of_token t info =
+  Role_assignment.roles_of info.subject (assignment_for t ~project_id:info.project_id)
+
+let token_json t token_value info =
+  Json.obj
+    [ ( "token",
+        Json.obj
+          [ ("value", Json.string token_value);
+            ("user", Json.string info.subject.Subject.user_name);
+            ("project_id", Json.string info.project_id);
+            ( "groups",
+              Json.list (List.map Json.string info.subject.Subject.groups) );
+            ( "roles",
+              Json.list (List.map Json.string (roles_of_token t info)) )
+          ] )
+    ]
+
+let auth_handler t : Cm_http.Router.handler =
+ fun req _bindings ->
+  let missing field =
+    Cm_http.Response.error Cm_http.Status.bad_request
+      (Printf.sprintf "missing %s in auth request" field)
+  in
+  match req.Cm_http.Request.body with
+  | None -> missing "body"
+  | Some body ->
+    let get field = Cm_json.Pointer.get [ Key "auth"; Key field ] body in
+    (match get "user", get "password", get "project_id" with
+     | Some (Json.String user), Some (Json.String password),
+       Some (Json.String project_id) ->
+       (match issue_token t ~user ~password ~project_id with
+        | Ok token_value ->
+          (match validate t ~token:token_value with
+           | Some info ->
+             Cm_http.Response.created (token_json t token_value info)
+           | None ->
+             Cm_http.Response.error Cm_http.Status.internal_server_error
+               "token vanished")
+        | Error msg ->
+          Cm_http.Response.error Cm_http.Status.unauthorized msg)
+     | None, _, _ -> missing "auth.user"
+     | _, None, _ -> missing "auth.password"
+     | _, _, None -> missing "auth.project_id"
+     | _ ->
+       Cm_http.Response.error Cm_http.Status.bad_request
+         "auth fields must be strings")
+
+let introspect_handler t : Cm_http.Router.handler =
+ fun req _bindings ->
+  match Cm_http.Headers.get "X-Subject-Token" req.Cm_http.Request.headers with
+  | None ->
+    Cm_http.Response.error Cm_http.Status.bad_request "missing X-Subject-Token"
+  | Some token_value ->
+    (match validate t ~token:token_value with
+     | Some info -> Cm_http.Response.ok (token_json t token_value info)
+     | None ->
+       Cm_http.Response.error Cm_http.Status.not_found "token not found")
+
+let routes t =
+  [ ("/identity/v3/auth/tokens", Cm_http.Meth.POST, auth_handler t);
+    ("/identity/v3/auth/tokens", Cm_http.Meth.GET, introspect_handler t)
+  ]

@@ -1,0 +1,46 @@
+(** The Keystone-like identity service.
+
+    Keystone validates user credentials and authorization requests for
+    every other OpenStack service.  The simulator keeps users (with
+    passwords and usergroup memberships), per-project role assignments,
+    and issued tokens.  Tokens are opaque strings carried in the
+    [X-Auth-Token] header. *)
+
+type t
+
+type token_info = {
+  subject : Cm_rbac.Subject.t;
+  project_id : string;
+}
+
+val create : unit -> t
+
+(** {1 Administration (the cloud administrator's console)} *)
+
+val add_user : t -> ?password:string -> Cm_rbac.Subject.t -> unit
+(** Default password is ["secret"]. *)
+
+val set_assignment : t -> project_id:string -> Cm_rbac.Role_assignment.t -> unit
+val assignment_for : t -> project_id:string -> Cm_rbac.Role_assignment.t
+
+(** {1 Token lifecycle} *)
+
+val issue_token :
+  t -> user:string -> password:string -> project_id:string ->
+  (string, string) result
+
+val validate : t -> token:string -> token_info option
+val revoke : t -> token:string -> unit
+
+val roles_of_token : t -> token_info -> string list
+(** Roles the token's subject holds in the token's project. *)
+
+(** {1 HTTP surface}
+
+    [POST /identity/v3/auth/tokens] with
+    [{"auth": {"user": ..., "password": ..., "project_id": ...}}]
+    answers 201 with [{"token": {"value": ..., "roles": [...]}}];
+    [GET /identity/v3/auth/tokens] with the token in [X-Subject-Token]
+    introspects it. *)
+
+val routes : t -> (string * Cm_http.Meth.t * Cm_http.Router.handler) list

@@ -1,0 +1,180 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Status = Cm_http.Status
+
+type t = { store : Store.t; ctx : Guarded.ctx }
+
+let create ~store ~ctx = { store; ctx }
+
+let ( let* ) r f = match r with Ok v -> f v | Error resp -> resp
+
+let with_project t bindings f =
+  let project_id =
+    Option.value ~default:"" (List.assoc_opt "project_id" bindings)
+  in
+  match Store.find_project t.store project_id with
+  | None -> Response.error Status.not_found "project not found"
+  | Some project -> f project
+
+let with_image project bindings f =
+  let image_id =
+    Option.value ~default:"" (List.assoc_opt "image_id" bindings)
+  in
+  match Store.find_image project image_id with
+  | None -> Response.error Status.not_found "image not found"
+  | Some image -> f image
+
+let legal_status_move current requested =
+  match current, requested with
+  | "queued", "active" -> true
+  | "active", "deactivated" -> true
+  | "deactivated", "active" -> true
+  | same, requested when same = requested -> true
+  | _, _ -> false
+
+let faulty_status t ~action ~default =
+  match Faults.success_status_for (Guarded.faults t.ctx) action with
+  | Some status -> status
+  | None -> default
+
+let list_images t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"images:get"
+          ~project_id:project.Store.project_id req
+      in
+      let filtered =
+        Store.images project
+        |> Listing.filter_param req "status"
+             (fun (i : Store.image) -> i.image_status)
+        |> Listing.filter_param req "visibility"
+             (fun (i : Store.image) -> i.visibility)
+      in
+      match
+        Listing.paginate req filtered
+          ~id_of:(fun (i : Store.image) -> i.image_id)
+      with
+      | Error msg -> Response.error Status.bad_request msg
+      | Ok page ->
+        Response.make
+          ~body:
+            (Json.obj [ ("images", Json.list (List.map Store.image_json page)) ])
+          (faulty_status t ~action:"images:get" ~default:Status.ok))
+
+let create_image t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"image:create"
+          ~project_id:project.Store.project_id req
+      in
+      let name, size_mb =
+        match req.Request.body with
+        | Some body ->
+          let get field = Cm_json.Pointer.get [ Key "image"; Key field ] body in
+          ( (match get "name" with
+             | Some (Json.String n) -> n
+             | Some _ | None -> "image"),
+            match get "size" with Some (Json.Int n) -> n | Some _ | None -> 512
+          )
+        | None -> ("image", 512)
+      in
+      if size_mb <= 0 then
+        Response.error Status.bad_request "image size must be positive"
+      else begin
+        let faults = Guarded.faults t.ctx in
+        if
+          Store.image_count project >= project.Store.quota_images
+          && not (Faults.ignores_quota faults)
+        then
+          Response.error Status.request_entity_too_large
+            "ImageLimitExceeded: quota exceeded for images"
+        else begin
+          let image = Store.add_image t.store project ~name ~size_mb in
+          Response.make
+            ~body:(Json.obj [ ("image", Store.image_json image) ])
+            (faulty_status t ~action:"image:create" ~default:Status.created)
+        end
+      end)
+
+let show_image t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"image:get"
+          ~project_id:project.Store.project_id req
+      in
+      with_image project bindings (fun image ->
+          Response.make
+            ~body:(Json.obj [ ("image", Store.image_json image) ])
+            (faulty_status t ~action:"image:get" ~default:Status.ok)))
+
+let update_image t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"image:update"
+          ~project_id:project.Store.project_id req
+      in
+      with_image project bindings (fun image ->
+          let get field =
+            Option.bind req.Request.body
+              (Cm_json.Pointer.get [ Key "image"; Key field ])
+          in
+          let status_request =
+            match get "status" with
+            | Some (Json.String s) -> Some s
+            | Some _ | None -> None
+          in
+          match status_request with
+          | Some requested
+            when not (legal_status_move image.Store.image_status requested) ->
+            Response.error Status.bad_request
+              (Printf.sprintf "illegal status move %s -> %s"
+                 image.Store.image_status requested)
+          | _ ->
+            (match status_request with
+             | Some requested -> image.Store.image_status <- requested
+             | None -> ());
+            (match get "name" with
+             | Some (Json.String n) -> image.Store.image_name <- n
+             | Some _ | None -> ());
+            (match get "visibility" with
+             | Some (Json.String v) when v = "private" || v = "public" ->
+               image.Store.visibility <- v
+             | Some _ | None -> ());
+            Response.make
+              ~body:(Json.obj [ ("image", Store.image_json image) ])
+              (faulty_status t ~action:"image:update" ~default:Status.ok)))
+
+let delete_image t : Cm_http.Router.handler =
+ fun req bindings ->
+  with_project t bindings (fun project ->
+      let* _info =
+        Guarded.authorize t.ctx ~action:"image:delete"
+          ~project_id:project.Store.project_id req
+      in
+      with_image project bindings (fun image ->
+          let faults = Guarded.faults t.ctx in
+          if
+            image.Store.image_status = "active"
+            && not (Faults.allows_delete_in_use faults)
+          then
+            Response.error Status.bad_request
+              "image is active and cannot be deleted (deactivate first)"
+          else begin
+            ignore (Store.remove_image project image.Store.image_id);
+            Response.make
+              (faulty_status t ~action:"image:delete" ~default:Status.no_content)
+          end))
+
+let routes t =
+  let open Cm_http.Meth in
+  [ ("/v3/{project_id}/images", GET, list_images t);
+    ("/v3/{project_id}/images", POST, create_image t);
+    ("/v3/{project_id}/images/{image_id}", GET, show_image t);
+    ("/v3/{project_id}/images/{image_id}", PUT, update_image t);
+    ("/v3/{project_id}/images/{image_id}", DELETE, delete_image t)
+  ]

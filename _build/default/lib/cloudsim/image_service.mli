@@ -1,0 +1,26 @@
+(** The Glance-like image service.
+
+    A second fully-modelled service beside Cinder, demonstrating that
+    the model-to-monitor pipeline is not volume-specific.  Images have a
+    lifecycle of their own: they are created [queued], must be activated
+    before use, and an [active] image cannot be deleted (deactivate
+    first) — the behavioural guard analogous to a volume being in-use.
+    Projects carry an image quota.
+
+    - [GET    /v3/{project_id}/images] — list ([{"images": [...]}])
+    - [POST   /v3/{project_id}/images] — create (status [queued]);
+      413 over the image quota
+    - [GET    /v3/{project_id}/images/{image_id}] — show
+    - [PUT    /v3/{project_id}/images/{image_id}] — update name,
+      visibility, or status (legal status moves: queued→active,
+      active→deactivated, deactivated→active; anything else is 400)
+    - [DELETE /v3/{project_id}/images/{image_id}] — delete; 400 while
+      [active] *)
+
+type t
+
+val create : store:Store.t -> ctx:Guarded.ctx -> t
+val routes : t -> (string * Cm_http.Meth.t * Cm_http.Router.handler) list
+
+val legal_status_move : string -> string -> bool
+(** [legal_status_move current requested]. *)

@@ -1,0 +1,31 @@
+module Request = Cm_http.Request
+
+let paginate req items ~id_of =
+  let after_marker items =
+    match Request.query_param "marker" req with
+    | None -> Ok items
+    | Some marker ->
+      let rec drop = function
+        | [] -> []
+        | item :: rest -> if id_of item = marker then rest else drop rest
+      in
+      (match List.find_opt (fun item -> id_of item = marker) items with
+       | Some _ -> Ok (drop items)
+       | None -> Error "marker not found")
+  in
+  let limited items =
+    match Request.query_param "limit" req with
+    | None -> Ok items
+    | Some text ->
+      (match int_of_string_opt text with
+       | Some n when n >= 0 -> Ok (List.filteri (fun i _ -> i < n) items)
+       | Some _ | None -> Error "limit must be a non-negative integer")
+  in
+  match after_marker items with
+  | Error _ as err -> err
+  | Ok items -> limited items
+
+let filter_param req name field items =
+  match Request.query_param name req with
+  | Some wanted -> List.filter (fun item -> field item = wanted) items
+  | None -> items

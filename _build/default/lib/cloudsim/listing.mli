@@ -1,0 +1,17 @@
+(** Listing pagination and filtering, shared by the services.
+
+    OpenStack listings accept [?limit=N], [?marker=<id>] (resume
+    strictly after that id) and per-service field filters. *)
+
+val paginate :
+  Cm_http.Request.t ->
+  'a list ->
+  id_of:('a -> string) ->
+  ('a list, string) result
+(** Apply marker, then limit.  Errors ("marker not found", negative or
+    non-integer limit) should surface as 400s. *)
+
+val filter_param :
+  Cm_http.Request.t -> string -> ('a -> string) -> 'a list -> 'a list
+(** [filter_param req name field items] keeps items whose [field] equals
+    the query parameter [name], when present. *)

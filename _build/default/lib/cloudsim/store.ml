@@ -1,0 +1,228 @@
+module Json = Cm_json.Json
+
+type snapshot = {
+  snapshot_id : string;
+  snapshot_name : string;
+  mutable snapshot_status : string;
+}
+
+type volume = {
+  volume_id : string;
+  mutable volume_name : string;
+  mutable status : string;
+  mutable size_gb : int;
+  mutable attached_to : string option;
+  snapshots : (string, snapshot) Hashtbl.t;
+}
+
+type server = {
+  server_id : string;
+  server_name : string;
+  mutable server_status : string;
+}
+
+type image = {
+  image_id : string;
+  mutable image_name : string;
+  mutable image_status : string;
+  mutable visibility : string;
+  image_size_mb : int;
+}
+
+type project = {
+  project_id : string;
+  project_name : string;
+  mutable quota_volumes : int;
+  mutable quota_gigabytes : int;
+  mutable quota_images : int;
+  volumes : (string, volume) Hashtbl.t;
+  servers : (string, server) Hashtbl.t;
+  images : (string, image) Hashtbl.t;
+}
+
+type t = {
+  project_table : (string, project) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () = { project_table = Hashtbl.create 16; next_id = 1 }
+
+let fresh_id t ~prefix =
+  let id = Printf.sprintf "%s-%d" prefix t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let add_project t ~id ~name ~quota_volumes ~quota_gigabytes
+    ?(quota_images = 2) () =
+  let project =
+    { project_id = id;
+      project_name = name;
+      quota_volumes;
+      quota_gigabytes;
+      quota_images;
+      volumes = Hashtbl.create 16;
+      servers = Hashtbl.create 16;
+      images = Hashtbl.create 16
+    }
+  in
+  Hashtbl.replace t.project_table id project;
+  project
+
+let find_project t id = Hashtbl.find_opt t.project_table id
+
+let projects t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.project_table []
+  |> List.sort (fun a b -> String.compare a.project_id b.project_id)
+
+let add_volume t project ~name ~size_gb =
+  let volume =
+    { volume_id = fresh_id t ~prefix:"vol";
+      volume_name = name;
+      status = "available";
+      size_gb;
+      attached_to = None;
+      snapshots = Hashtbl.create 4
+    }
+  in
+  Hashtbl.replace project.volumes volume.volume_id volume;
+  volume
+
+let find_volume project id = Hashtbl.find_opt project.volumes id
+
+let volumes project =
+  Hashtbl.fold (fun _ v acc -> v :: acc) project.volumes []
+  |> List.sort (fun a b -> String.compare a.volume_id b.volume_id)
+
+let remove_volume project id =
+  if Hashtbl.mem project.volumes id then begin
+    Hashtbl.remove project.volumes id;
+    true
+  end
+  else false
+
+let volume_count project = Hashtbl.length project.volumes
+
+let used_gigabytes project =
+  Hashtbl.fold (fun _ v acc -> acc + v.size_gb) project.volumes 0
+
+let add_snapshot t volume ~name =
+  let snapshot =
+    { snapshot_id = fresh_id t ~prefix:"snap";
+      snapshot_name = name;
+      snapshot_status = "available"
+    }
+  in
+  Hashtbl.replace volume.snapshots snapshot.snapshot_id snapshot;
+  snapshot
+
+let find_snapshot volume id = Hashtbl.find_opt volume.snapshots id
+
+let snapshots volume =
+  Hashtbl.fold (fun _ s acc -> s :: acc) volume.snapshots []
+  |> List.sort (fun a b -> String.compare a.snapshot_id b.snapshot_id)
+
+let remove_snapshot volume id =
+  if Hashtbl.mem volume.snapshots id then begin
+    Hashtbl.remove volume.snapshots id;
+    true
+  end
+  else false
+
+let add_server t project ~name =
+  let server =
+    { server_id = fresh_id t ~prefix:"srv";
+      server_name = name;
+      server_status = "ACTIVE"
+    }
+  in
+  Hashtbl.replace project.servers server.server_id server;
+  server
+
+let find_server project id = Hashtbl.find_opt project.servers id
+
+let servers project =
+  Hashtbl.fold (fun _ s acc -> s :: acc) project.servers []
+  |> List.sort (fun a b -> String.compare a.server_id b.server_id)
+
+let remove_server project id =
+  if Hashtbl.mem project.servers id then begin
+    Hashtbl.remove project.servers id;
+    true
+  end
+  else false
+
+let add_image t project ~name ~size_mb =
+  let image =
+    { image_id = fresh_id t ~prefix:"img";
+      image_name = name;
+      image_status = "queued";
+      visibility = "private";
+      image_size_mb = size_mb
+    }
+  in
+  Hashtbl.replace project.images image.image_id image;
+  image
+
+let find_image project id = Hashtbl.find_opt project.images id
+
+let images project =
+  Hashtbl.fold (fun _ i acc -> i :: acc) project.images []
+  |> List.sort (fun a b -> String.compare a.image_id b.image_id)
+
+let remove_image project id =
+  if Hashtbl.mem project.images id then begin
+    Hashtbl.remove project.images id;
+    true
+  end
+  else false
+
+let image_count project = Hashtbl.length project.images
+
+let volume_json v =
+  Json.obj
+    [ ("id", Json.string v.volume_id);
+      ("name", Json.string v.volume_name);
+      ("status", Json.string v.status);
+      ("size", Json.int v.size_gb);
+      ( "attachments",
+        Json.list
+          (match v.attached_to with
+           | Some server_id ->
+             [ Json.obj [ ("server_id", Json.string server_id) ] ]
+           | None -> []) )
+    ]
+
+let snapshot_json s =
+  Json.obj
+    [ ("id", Json.string s.snapshot_id);
+      ("name", Json.string s.snapshot_name);
+      ("status", Json.string s.snapshot_status)
+    ]
+
+let server_json s =
+  Json.obj
+    [ ("id", Json.string s.server_id);
+      ("name", Json.string s.server_name);
+      ("status", Json.string s.server_status)
+    ]
+
+let project_json p =
+  Json.obj
+    [ ("id", Json.string p.project_id); ("name", Json.string p.project_name) ]
+
+let image_json i =
+  Json.obj
+    [ ("id", Json.string i.image_id);
+      ("name", Json.string i.image_name);
+      ("status", Json.string i.image_status);
+      ("visibility", Json.string i.visibility);
+      ("size", Json.int i.image_size_mb)
+    ]
+
+let quota_set_json p =
+  Json.obj
+    [ ("id", Json.string p.project_id);
+      ("volumes", Json.int p.quota_volumes);
+      ("gigabytes", Json.int p.quota_gigabytes);
+      ("images", Json.int p.quota_images)
+    ]

@@ -1,0 +1,95 @@
+(** In-memory state of the simulated cloud: projects, volumes, servers,
+    quotas.
+
+    The store is deliberately simple and mutable — it stands in for
+    OpenStack's databases.  Determinism matters more than realism here:
+    identifiers are sequential ([vol-1], [srv-1], …) so that tests and
+    benches are reproducible. *)
+
+type snapshot = {
+  snapshot_id : string;
+  snapshot_name : string;
+  mutable snapshot_status : string;  (** "creating", "available" *)
+}
+
+type volume = {
+  volume_id : string;
+  mutable volume_name : string;
+  mutable status : string;  (** "available", "in-use", "error", … *)
+  mutable size_gb : int;
+  mutable attached_to : string option;  (** server id when in-use *)
+  snapshots : (string, snapshot) Hashtbl.t;
+}
+
+type server = {
+  server_id : string;
+  server_name : string;
+  mutable server_status : string;
+}
+
+type image = {
+  image_id : string;
+  mutable image_name : string;
+  mutable image_status : string;  (** "queued", "active", "deactivated" *)
+  mutable visibility : string;  (** "private" or "public" *)
+  image_size_mb : int;
+}
+
+type project = {
+  project_id : string;
+  project_name : string;
+  mutable quota_volumes : int;
+  mutable quota_gigabytes : int;
+  mutable quota_images : int;
+  volumes : (string, volume) Hashtbl.t;
+  servers : (string, server) Hashtbl.t;
+  images : (string, image) Hashtbl.t;
+}
+
+type t
+
+val create : unit -> t
+val fresh_id : t -> prefix:string -> string
+
+(** [add_project] creates and registers a project; [quota_images]
+    defaults to 2. *)
+val add_project :
+  t -> id:string -> name:string -> quota_volumes:int -> quota_gigabytes:int ->
+  ?quota_images:int -> unit -> project
+
+val find_project : t -> string -> project option
+val projects : t -> project list
+
+val add_volume : t -> project -> name:string -> size_gb:int -> volume
+val find_volume : project -> string -> volume option
+val volumes : project -> volume list
+(** Sorted by id for deterministic listings. *)
+
+val remove_volume : project -> string -> bool
+val volume_count : project -> int
+val used_gigabytes : project -> int
+
+val add_server : t -> project -> name:string -> server
+val find_server : project -> string -> server option
+val servers : project -> server list
+val remove_server : project -> string -> bool
+
+val add_snapshot : t -> volume -> name:string -> snapshot
+val find_snapshot : volume -> string -> snapshot option
+val snapshots : volume -> snapshot list
+val remove_snapshot : volume -> string -> bool
+
+val add_image : t -> project -> name:string -> size_mb:int -> image
+val find_image : project -> string -> image option
+val images : project -> image list
+val remove_image : project -> string -> bool
+val image_count : project -> int
+
+(** {1 JSON representations (API body shapes)} *)
+
+val volume_json : volume -> Cm_json.Json.t
+val snapshot_json : snapshot -> Cm_json.Json.t
+val server_json : server -> Cm_json.Json.t
+val image_json : image -> Cm_json.Json.t
+val project_json : project -> Cm_json.Json.t
+val quota_set_json : project -> Cm_json.Json.t

@@ -1,0 +1,1 @@
+lib/codegen/api_docs.ml: Buffer Cm_contracts Cm_http Cm_ocl Cm_rbac Cm_uml Fmt List Printf Result String

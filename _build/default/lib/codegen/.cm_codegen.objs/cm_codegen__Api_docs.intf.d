@@ -1,0 +1,1 @@
+lib/codegen/api_docs.mli: Cm_contracts Cm_uml

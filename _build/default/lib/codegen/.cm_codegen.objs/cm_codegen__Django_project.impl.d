@@ -1,0 +1,1 @@
+lib/codegen/django_project.ml: Api_docs Cm_contracts Cm_rbac Cm_uml Filename Fmt List Models_py Result String Sys Unix Urls_py Views_py

@@ -1,0 +1,1 @@
+lib/codegen/django_project.mli: Cm_contracts Cm_uml

@@ -1,0 +1,1 @@
+lib/codegen/models_py.ml: Buffer Cm_uml Int List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/models_py.mli: Cm_uml

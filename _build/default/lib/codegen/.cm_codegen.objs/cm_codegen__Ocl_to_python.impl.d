@@ -1,0 +1,1 @@
+lib/codegen/ocl_to_python.ml: Cm_ocl List Printf String

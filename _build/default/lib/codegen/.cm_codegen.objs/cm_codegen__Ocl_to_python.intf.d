@@ -1,0 +1,1 @@
+lib/codegen/ocl_to_python.mli: Cm_ocl

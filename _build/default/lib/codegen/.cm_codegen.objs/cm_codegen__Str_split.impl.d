@@ -1,0 +1,1 @@
+lib/codegen/str_split.ml: Buffer List String

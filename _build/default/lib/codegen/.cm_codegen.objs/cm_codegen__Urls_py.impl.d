@@ -1,0 +1,1 @@
+lib/codegen/urls_py.ml: Buffer Cm_http Cm_uml List Printf String

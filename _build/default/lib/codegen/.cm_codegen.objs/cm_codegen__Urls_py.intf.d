@@ -1,0 +1,1 @@
+lib/codegen/urls_py.mli: Cm_http Cm_uml

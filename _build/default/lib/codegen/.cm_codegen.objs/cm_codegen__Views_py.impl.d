@@ -1,0 +1,1 @@
+lib/codegen/views_py.ml: Buffer Cm_contracts Cm_http Cm_ocl Cm_uml List Ocl_to_python Printf Result Str_split String Urls_py

@@ -1,0 +1,1 @@
+lib/codegen/views_py.mli: Cm_contracts Cm_uml

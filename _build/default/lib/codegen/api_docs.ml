@@ -1,0 +1,130 @@
+module RM = Cm_uml.Resource_model
+module BM = Cm_uml.Behavior_model
+module Paths = Cm_uml.Paths
+
+let ( let* ) r f = Result.bind r f
+
+let generate ~title ?security resources behavior =
+  let* entries =
+    match Paths.derive resources with
+    | Ok entries -> Ok entries
+    | Error msg -> Error msg
+  in
+  let* contracts =
+    match Cm_contracts.Generate.all ?security behavior with
+    | Ok cs -> Ok cs
+    | Error msg -> Error msg
+  in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# %s" title;
+  line "";
+  line "Generated from the design models — do not edit by hand; the same";
+  line "models drive the runtime monitor, so this document states exactly";
+  line "what is enforced.";
+  line "";
+  (* --- resources --- *)
+  line "## Resources";
+  line "";
+  line "```mermaid";
+  Buffer.add_string buf (Cm_uml.Mermaid.class_diagram resources);
+  line "```";
+  line "";
+  line "| Resource | Kind | URI | Attributes |";
+  line "|---|---|---|---|";
+  List.iter
+    (fun (entry : Paths.entry) ->
+      match RM.find_resource entry.resource resources with
+      | None -> ()
+      | Some def ->
+        let attrs =
+          def.RM.attributes
+          |> List.map (fun (a : RM.attribute) ->
+                 Printf.sprintf "`%s`: %s" a.attr_name
+                   (RM.attr_type_to_string a.attr_type))
+          |> String.concat ", "
+        in
+        line "| %s | %s | `%s` | %s |" entry.resource
+          (if entry.is_item then "resource" else "collection")
+          (Cm_http.Uri_template.to_string entry.template)
+          (if attrs = "" then "—" else attrs))
+    entries;
+  line "";
+  (* --- protocol --- *)
+  line "## Protocol (`%s` over `%s`)" behavior.BM.machine_name behavior.BM.context;
+  line "";
+  line "```mermaid";
+  Buffer.add_string buf (Cm_uml.Mermaid.state_diagram behavior);
+  line "```";
+  line "";
+  line "States and invariants (initial state: `%s`):" behavior.BM.initial;
+  line "";
+  List.iter
+    (fun (s : BM.state) ->
+      line "- `%s`" s.state_name;
+      line "  - invariant: `%s`" (Cm_ocl.Pretty.to_string s.invariant))
+    behavior.BM.states;
+  line "";
+  line "| # | Trigger | From | To | Guard | Effect | SecReq |";
+  line "|---|---|---|---|---|---|---|";
+  List.iteri
+    (fun i (tr : BM.transition) ->
+      let opt = function
+        | Some e -> "`" ^ Cm_ocl.Pretty.to_string e ^ "`"
+        | None -> "—"
+      in
+      line "| %d | %s | `%s` | `%s` | %s | %s | %s |" (i + 1)
+        (Fmt.str "%a" BM.pp_trigger tr.trigger)
+        tr.source tr.target (opt tr.guard) (opt tr.effect)
+        (if tr.requirements = [] then "—" else String.concat ", " tr.requirements))
+    behavior.BM.transitions;
+  line "";
+  (* --- security --- *)
+  (match security with
+   | None -> ()
+   | Some { Cm_contracts.Generate.table; assignment } ->
+     line "## Security requirements";
+     line "";
+     line "| SecReq | Request | Resource | Roles | Usergroups |";
+     line "|---|---|---|---|---|";
+     List.iter
+       (fun (e : Cm_rbac.Security_table.entry) ->
+         let groups =
+           e.roles
+           |> List.concat_map (fun role ->
+                  Cm_rbac.Role_assignment.groups_of_role role assignment)
+           |> List.sort_uniq String.compare
+         in
+         line "| %s | %s | %s | %s | %s |" e.req_id
+           (Cm_http.Meth.to_string e.meth)
+           e.resource
+           (String.concat ", " e.roles)
+           (String.concat ", " groups))
+       table;
+     line "");
+  (* --- contracts --- *)
+  line "## Method contracts";
+  line "";
+  List.iter
+    (fun (c : Cm_contracts.Contract.t) ->
+      line "### %s" (Fmt.str "%a" BM.pp_trigger c.trigger);
+      line "";
+      if c.requirements <> [] then begin
+        line "Covers security requirements: %s."
+          (String.concat ", " c.requirements);
+        line ""
+      end;
+      line "Precondition:";
+      line "";
+      line "```ocl";
+      line "%s" (Cm_ocl.Pretty.to_string_multiline c.pre);
+      line "```";
+      line "";
+      line "Postcondition:";
+      line "";
+      line "```ocl";
+      line "%s" (Cm_ocl.Pretty.to_string_multiline c.post);
+      line "```";
+      line "")
+    contracts;
+  Ok (Buffer.contents buf)

@@ -1,0 +1,18 @@
+(** API specification document generation.
+
+    "The models serve as the specification document" (§III, purpose 3).
+    This generator renders the resource model, the protocol, Table I and
+    the generated contracts as one Markdown document — the artifact a
+    cloud developer reads, and the human-auditable face of exactly what
+    the monitor enforces. *)
+
+val generate :
+  title:string ->
+  ?security:Cm_contracts.Generate.security ->
+  Cm_uml.Resource_model.t ->
+  Cm_uml.Behavior_model.t ->
+  (string, string) result
+(** Sections: resource catalogue (attributes + URI templates), protocol
+    states with invariants, transition table, security-requirements
+    table, and one contract block per method with pre/postconditions in
+    OCL.  Deterministic output. *)

@@ -1,0 +1,29 @@
+(** Assembly of the complete generated Django project.
+
+    "In the final result, we obtain the necessary Django project files"
+    (§VI): [manage.py], [settings.py], and the app's [models.py],
+    [urls.py] and [views.py].  The paper's CLI is mirrored by
+    [bin/uml2django]. *)
+
+type file = {
+  path : string;  (** project-relative, e.g. "cmonitor/views.py" *)
+  content : string;
+}
+
+val generate :
+  project_name:string ->
+  ?cloud_base:string ->
+  ?security:Cm_contracts.Generate.security ->
+  Cm_uml.Resource_model.t ->
+  Cm_uml.Behavior_model.t ->
+  (file list, string) result
+(** [cloud_base] defaults to ["http://130.232.85.9"] (the paper's
+    OpenStack VM).  Besides the Django files the project carries
+    [API.md] (the {!Api_docs} specification) and — when a security table
+    is supplied — the [policy.json] the {e cloud} should enforce, derived
+    from the same table as the monitor's contracts so the two cannot
+    drift apart. *)
+
+val write_to_dir : dir:string -> file list -> unit
+(** Materialize the files under [dir], creating directories as
+    needed. *)

@@ -1,0 +1,14 @@
+(** Generation of Django [models.py] from the resource model.
+
+    "We look for the resources in the class diagram to implement
+    database tables in models.py.  For each resource we create a table
+    in the database, and analyze its associations to define their
+    relationships with their keys.  This creates a local copy of the
+    resource structures as required by our monitor" (§VI).
+
+    Collection resource definitions produce no table (they have no
+    attributes); a normal resource contained — possibly through a
+    collection — in another normal resource gets a [ForeignKey] whose
+    [related_name] is the association's role. *)
+
+val generate : Cm_uml.Resource_model.t -> string

@@ -1,0 +1,115 @@
+module Ast = Cm_ocl.Ast
+
+(* Flatten a navigation chain to an identifier: project.volumes ->
+   "project_volumes".  Non-chain sources fall back to a parenthesised
+   translation (rare in practice: models navigate from variables). *)
+let rec flatten = function
+  | Ast.Var name -> Some name
+  | Ast.Nav (source, prop) ->
+    (match flatten source with
+     | Some base -> Some (base ^ "__" ^ prop)
+     | None -> None)
+  | _ -> None
+
+let binop_py = function
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+  | Ast.Xor -> "!="
+  | Ast.Implies -> "" (* rewritten before use *)
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "//"
+
+let rec go ~pre expr =
+  let prefix name = if pre then "pre_" ^ name else name in
+  match expr with
+  | Ast.Bool_lit true -> "True"
+  | Ast.Bool_lit false -> "False"
+  | Ast.Int_lit n -> string_of_int n
+  | Ast.String_lit s -> "'" ^ s ^ "'"
+  | Ast.Null_lit -> "None"
+  | Ast.Var name -> prefix name
+  | Ast.Nav (_, _) as nav ->
+    (match flatten nav with
+     | Some name -> prefix name
+     | None -> "(" ^ go ~pre nav ^ ")")
+  | Ast.At_pre inner -> go ~pre:true inner
+  | Ast.Coll (source, Ast.Size) -> "len(" ^ go ~pre source ^ ")"
+  | Ast.Coll (source, Ast.Is_empty) -> "len(" ^ go ~pre source ^ ") == 0"
+  | Ast.Coll (source, Ast.Not_empty) -> "len(" ^ go ~pre source ^ ") > 0"
+  | Ast.Coll (source, Ast.Sum) -> "sum(" ^ go ~pre source ^ ")"
+  | Ast.Coll (source, Ast.First) -> go ~pre source ^ "[0]"
+  | Ast.Coll (source, Ast.Last) -> go ~pre source ^ "[-1]"
+  | Ast.Coll (source, Ast.As_set) -> "set(" ^ go ~pre source ^ ")"
+  | Ast.Member (source, true, arg) ->
+    "(" ^ go ~pre arg ^ " in " ^ go ~pre source ^ ")"
+  | Ast.Member (source, false, arg) ->
+    "(" ^ go ~pre arg ^ " not in " ^ go ~pre source ^ ")"
+  | Ast.Count (source, arg) ->
+    Printf.sprintf "%s.count(%s)" (go ~pre source) (go ~pre arg)
+  | Ast.Iter (source, Ast.For_all, var, body) ->
+    Printf.sprintf "all(%s for %s in %s)" (go ~pre body) var (go ~pre source)
+  | Ast.Iter (source, Ast.Exists, var, body) ->
+    Printf.sprintf "any(%s for %s in %s)" (go ~pre body) var (go ~pre source)
+  | Ast.Iter (source, Ast.Select, var, body) ->
+    Printf.sprintf "[%s for %s in %s if %s]" var var (go ~pre source)
+      (go ~pre body)
+  | Ast.Iter (source, Ast.Reject, var, body) ->
+    Printf.sprintf "[%s for %s in %s if not (%s)]" var var (go ~pre source)
+      (go ~pre body)
+  | Ast.Iter (source, Ast.Collect, var, body) ->
+    Printf.sprintf "[%s for %s in %s]" (go ~pre body) var (go ~pre source)
+  | Ast.Iter (source, Ast.One, var, body) ->
+    Printf.sprintf "sum(1 for %s in %s if %s) == 1" var (go ~pre source)
+      (go ~pre body)
+  | Ast.Iter (source, Ast.Any, var, body) ->
+    Printf.sprintf "next(%s for %s in %s if %s)" var var (go ~pre source)
+      (go ~pre body)
+  | Ast.Iter (source, Ast.Is_unique, var, body) ->
+    Printf.sprintf "(len(set(%s for %s in %s)) == len(%s))" (go ~pre body)
+      var (go ~pre source) (go ~pre source)
+  | Ast.Unop (Ast.Not, inner) -> "not (" ^ go ~pre inner ^ ")"
+  | Ast.Unop (Ast.Neg, inner) -> "-(" ^ go ~pre inner ^ ")"
+  | Ast.Binop (Ast.Implies, a, b) ->
+    Printf.sprintf "(not (%s) or (%s))" (go ~pre a) (go ~pre b)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (go ~pre a) (binop_py op) (go ~pre b)
+
+let translate expr = go ~pre:false expr
+
+let variables expr =
+  let acc = ref [] in
+  let add name = if not (List.mem name !acc) then acc := name :: !acc in
+  let rec walk ~pre bound = function
+    | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.String_lit _ | Ast.Null_lit -> ()
+    | Ast.Var name ->
+      if not (List.mem name bound) then
+        add (if pre then "pre_" ^ name else name)
+    | Ast.Nav (_, _) as nav ->
+      (match flatten nav with
+       | Some name -> add (if pre then "pre_" ^ name else name)
+       | None ->
+         (match nav with
+          | Ast.Nav (source, _) -> walk ~pre bound source
+          | _ -> ()))
+    | Ast.At_pre inner -> walk ~pre:true bound inner
+    | Ast.Coll (source, _) | Ast.Unop (_, source) -> walk ~pre bound source
+    | Ast.Member (source, _, arg) | Ast.Count (source, arg) ->
+      walk ~pre bound source;
+      walk ~pre bound arg
+    | Ast.Iter (source, _, var, body) ->
+      walk ~pre bound source;
+      walk ~pre (var :: bound) body
+    | Ast.Binop (_, a, b) ->
+      walk ~pre bound a;
+      walk ~pre bound b
+  in
+  walk ~pre:false [] expr;
+  List.sort String.compare !acc

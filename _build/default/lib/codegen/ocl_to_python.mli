@@ -1,0 +1,18 @@
+(** Translating OCL contracts into Python boolean expressions.
+
+    The generated [views.py] (Listing 2) tests contracts with flattened
+    local variables: a navigation chain [project.volumes] becomes the
+    local [project__volumes] (double underscore, so that flattened names
+    never collide with URL parameters such as [project_id]), [->size()] becomes [len(...)], and a
+    pre-state term [pre(e)] becomes [pre_<flattened e>].  The variables
+    referenced by a translated expression are reported so the code
+    generator can emit the corresponding observation/snapshot
+    assignments. *)
+
+val translate : Cm_ocl.Ast.expr -> string
+(** The Python expression text. *)
+
+val variables : Cm_ocl.Ast.expr -> string list
+(** Flattened variable names the translation references (sorted,
+    distinct), e.g. [["pre_project__volumes"; "project__volumes";
+    "user__groups"]]. *)

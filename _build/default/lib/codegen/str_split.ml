@@ -1,0 +1,19 @@
+(* Split a flattened navigation name on "__" to recover the OCL chain. *)
+let on_double_underscore s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let len = String.length s in
+  let i = ref 0 in
+  while !i < len do
+    if !i + 1 < len && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts

@@ -1,0 +1,15 @@
+(** Generation of Django [urls.py] from the derived URI table.
+
+    "urls.py contains the relative URLs of each resource and ways to
+    access their respective views.  This information is fully defined in
+    the class diagram" (§VI, Listing 3). *)
+
+val view_name : Cm_uml.Paths.entry -> string
+(** The view function a path entry dispatches to: the resource name for
+    item URIs, the lowercased collection name for collection URIs. *)
+
+val regex_of_template : Cm_http.Uri_template.t -> string
+(** Django URL regex: parameters become named groups
+    [(?P<name>[^/]+)]. *)
+
+val generate : project_name:string -> Cm_uml.Resource_model.t -> string

@@ -1,0 +1,19 @@
+(** Generation of Django [views.py] with embedded contracts.
+
+    Population happens in the four steps of §VI: (1) permitted-method
+    dispatchers per resource URI; (2) functional contracts extracted
+    from the behavioral model; (3) authorization information conjoined
+    from the security table; (4) security-requirement identifiers
+    embedded as variables for traceability.  The method bodies carry
+    TODO markers where the developer completes the implementation — the
+    approach is deliberately semi-automatic (§VI-B). *)
+
+val generate :
+  project_name:string ->
+  cloud_base:string ->
+  ?security:Cm_contracts.Generate.security ->
+  Cm_uml.Resource_model.t ->
+  Cm_uml.Behavior_model.t ->
+  (string, string) result
+(** [cloud_base] is the private cloud's endpoint, e.g.
+    ["http://130.232.85.9"] (the VM address in the paper's Listing 2). *)

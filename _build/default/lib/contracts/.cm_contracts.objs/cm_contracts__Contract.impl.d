@@ -1,0 +1,1 @@
+lib/contracts/contract.ml: Cm_ocl Cm_uml Fmt List

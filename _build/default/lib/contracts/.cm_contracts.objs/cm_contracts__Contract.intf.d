@@ -1,0 +1,1 @@
+lib/contracts/contract.mli: Cm_ocl Cm_uml Format

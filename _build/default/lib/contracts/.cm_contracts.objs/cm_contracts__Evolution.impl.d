@@ -1,0 +1,1 @@
+lib/contracts/evolution.ml: Buffer Cm_ocl Cm_rbac Cm_uml Contract Fmt Generate List Printf String

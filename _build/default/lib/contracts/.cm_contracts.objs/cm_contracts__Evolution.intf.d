@@ -1,0 +1,1 @@
+lib/contracts/evolution.mli: Cm_ocl Cm_rbac Cm_uml Format

@@ -1,0 +1,1 @@
+lib/contracts/generate.ml: Cm_ocl Cm_rbac Cm_uml Contract Fmt List String

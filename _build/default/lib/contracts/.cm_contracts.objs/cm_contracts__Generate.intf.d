@@ -1,0 +1,1 @@
+lib/contracts/generate.mli: Cm_ocl Cm_rbac Cm_uml Contract

@@ -1,0 +1,1 @@
+lib/contracts/runtime.ml: Cm_ocl Contract List Snapshot String

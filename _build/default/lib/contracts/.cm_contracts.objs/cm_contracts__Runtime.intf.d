@@ -1,0 +1,1 @@
+lib/contracts/runtime.mli: Cm_ocl Contract

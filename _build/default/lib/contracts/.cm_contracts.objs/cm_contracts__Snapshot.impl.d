@@ -1,0 +1,1 @@
+lib/contracts/snapshot.ml: Cm_json Cm_ocl List Printf String

@@ -1,0 +1,1 @@
+lib/contracts/snapshot.mli: Cm_ocl

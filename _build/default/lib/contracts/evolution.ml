@@ -1,0 +1,203 @@
+module BM = Cm_uml.Behavior_model
+module Eval = Cm_ocl.Eval
+module Value = Cm_ocl.Value
+
+type auth_change = {
+  roles_gained : string list;
+  roles_lost : string list;
+}
+
+type behaviour_change = {
+  weakened_on : int;
+  strengthened_on : int;
+  sample_size : int;
+}
+
+type change =
+  | Trigger_added of BM.trigger
+  | Trigger_removed of BM.trigger
+  | Authorization_changed of BM.trigger * auth_change
+  | Precondition_changed of BM.trigger * behaviour_change
+  | Postcondition_changed of BM.trigger * behaviour_change
+
+let is_security_relevant = function
+  | Trigger_added _ | Trigger_removed _ | Authorization_changed (_, _) ->
+    true
+  | Precondition_changed (_, { weakened_on; _ }) -> weakened_on > 0
+  | Postcondition_changed (_, _) -> false
+
+let pp_change ppf = function
+  | Trigger_added trigger ->
+    Fmt.pf ppf "trigger added: %a" BM.pp_trigger trigger
+  | Trigger_removed trigger ->
+    Fmt.pf ppf "trigger removed: %a" BM.pp_trigger trigger
+  | Authorization_changed (trigger, { roles_gained; roles_lost }) ->
+    Fmt.pf ppf "authorization of %a changed:%s%s" BM.pp_trigger trigger
+      (if roles_gained = [] then ""
+       else
+         Printf.sprintf " roles gained {%s} (privilege escalation risk)"
+           (String.concat ", " roles_gained))
+      (if roles_lost = [] then ""
+       else
+         Printf.sprintf " roles lost {%s} (legitimate access removed)"
+           (String.concat ", " roles_lost))
+  | Precondition_changed (trigger, { weakened_on; strengthened_on; sample_size })
+    ->
+    Fmt.pf ppf
+      "precondition of %a changed: weakened on %d and strengthened on %d of \
+       %d sampled states"
+      BM.pp_trigger trigger weakened_on strengthened_on sample_size
+  | Postcondition_changed (trigger, { weakened_on; strengthened_on; sample_size })
+    ->
+    Fmt.pf ppf
+      "postcondition of %a changed: weakened on %d and strengthened on %d of \
+       %d sampled state pairs"
+      BM.pp_trigger trigger weakened_on strengthened_on sample_size
+
+type report = {
+  changes : change list;
+  security_relevant : change list;
+}
+
+let roles_for table (trigger : BM.trigger) =
+  match
+    Cm_rbac.Security_table.find ~resource:trigger.resource ~meth:trigger.meth
+      table
+  with
+  | Some entry -> List.sort_uniq String.compare entry.Cm_rbac.Security_table.roles
+  | None -> []
+
+let tri env expr = Eval.check env expr
+
+(* Compare two boolean expressions over the sample: in how many states
+   does the new one accept what the old rejected (weakened) and
+   vice-versa?  Unknown verdicts are skipped (insufficient
+   observation). *)
+let drift ~old_expr ~new_expr sample =
+  let weakened = ref 0 and strengthened = ref 0 and counted = ref 0 in
+  List.iter
+    (fun env ->
+      match tri env old_expr, tri env new_expr with
+      | Value.True, Value.False ->
+        incr counted;
+        incr strengthened
+      | Value.False, Value.True ->
+        incr counted;
+        incr weakened
+      | Value.True, Value.True | Value.False, Value.False -> incr counted
+      | Value.Unknown, _ | _, Value.Unknown -> ())
+    sample;
+  { weakened_on = !weakened; strengthened_on = !strengthened;
+    sample_size = !counted
+  }
+
+(* Postconditions mention the pre-state, so evaluate over sampled
+   (pre, post) pairs: each sample state as pre against each as post
+   would be quadratic; pair consecutive states instead, which covers
+   both same-state and changed-state transitions. *)
+let post_drift ~old_expr ~new_expr sample =
+  let pairs =
+    let rec loop = function
+      | a :: (b :: _ as rest) -> (a, b) :: (a, a) :: loop rest
+      | [ last ] -> [ (last, last) ]
+      | [] -> []
+    in
+    loop sample
+  in
+  let weakened = ref 0 and strengthened = ref 0 and counted = ref 0 in
+  List.iter
+    (fun (pre_env, post_env) ->
+      let env = Eval.with_pre ~pre:pre_env post_env in
+      match tri env old_expr, tri env new_expr with
+      | Value.True, Value.False ->
+        incr counted;
+        incr strengthened
+      | Value.False, Value.True ->
+        incr counted;
+        incr weakened
+      | Value.True, Value.True | Value.False, Value.False -> incr counted
+      | Value.Unknown, _ | _, Value.Unknown -> ())
+    pairs;
+  { weakened_on = !weakened; strengthened_on = !strengthened;
+    sample_size = !counted
+  }
+
+let compare ~old_version ~new_version ~sample =
+  let old_machine, old_table, old_assignment = old_version in
+  let new_machine, new_table, new_assignment = new_version in
+  let generate machine table assignment =
+    Generate.all ~security:{ Generate.table; assignment } machine
+  in
+  match
+    ( generate old_machine old_table old_assignment,
+      generate new_machine new_table new_assignment )
+  with
+  | Error msg, _ -> Error ("old version: " ^ msg)
+  | _, Error msg -> Error ("new version: " ^ msg)
+  | Ok old_contracts, Ok new_contracts ->
+    let find contracts trigger =
+      List.find_opt
+        (fun (c : Contract.t) -> BM.trigger_equal c.trigger trigger)
+        contracts
+    in
+    let changes = ref [] in
+    let add change = changes := change :: !changes in
+    (* removed triggers *)
+    List.iter
+      (fun (c : Contract.t) ->
+        if find new_contracts c.trigger = None then
+          add (Trigger_removed c.trigger))
+      old_contracts;
+    (* added + changed triggers *)
+    List.iter
+      (fun (new_c : Contract.t) ->
+        match find old_contracts new_c.trigger with
+        | None -> add (Trigger_added new_c.trigger)
+        | Some old_c ->
+          (* authorization, from the tables *)
+          let old_roles = roles_for old_table new_c.trigger in
+          let new_roles = roles_for new_table new_c.trigger in
+          let gained = List.filter (fun r -> not (List.mem r old_roles)) new_roles in
+          let lost = List.filter (fun r -> not (List.mem r new_roles)) old_roles in
+          if gained <> [] || lost <> [] then
+            add
+              (Authorization_changed
+                 (new_c.trigger, { roles_gained = gained; roles_lost = lost }));
+          (* behavioural precondition *)
+          let pre_change =
+            drift ~old_expr:old_c.Contract.functional_pre
+              ~new_expr:new_c.Contract.functional_pre sample
+          in
+          if pre_change.weakened_on > 0 || pre_change.strengthened_on > 0 then
+            add (Precondition_changed (new_c.trigger, pre_change));
+          (* postcondition *)
+          let post_change =
+            post_drift ~old_expr:old_c.Contract.post
+              ~new_expr:new_c.Contract.post sample
+          in
+          if post_change.weakened_on > 0 || post_change.strengthened_on > 0
+          then add (Postcondition_changed (new_c.trigger, post_change)))
+      new_contracts;
+    let changes = List.rev !changes in
+    Ok
+      { changes;
+        security_relevant = List.filter is_security_relevant changes
+      }
+
+let render report =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if report.changes = [] then
+    line "no semantic drift between the two releases"
+  else begin
+    line "release comparison: %d change(s), %d security-relevant"
+      (List.length report.changes)
+      (List.length report.security_relevant);
+    List.iter
+      (fun change ->
+        line "  %s %s"
+          (if is_security_relevant change then "[SECURITY]" else "[ok]      ")
+          (Fmt.str "%a" pp_change change))
+      report.changes
+  end;
+  Buffer.contents buf

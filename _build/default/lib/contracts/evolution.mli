@@ -1,0 +1,62 @@
+(** Release-to-release regression checking.
+
+    "Since open source cloud frameworks usually undergo frequent changes,
+    the automated nature of our approach allows the developers to
+    relatively easily check whether functional and security requirements
+    have been preserved in new releases" (§VIII).  This module compares
+    the contracts generated from two versions of the design models and
+    reports semantic drift:
+
+    - triggers added or removed;
+    - {b authorization changes} per trigger: roles gained (potential
+      privilege escalation — the release lets more subjects in) and
+      roles lost (potential denial of service to legitimate users);
+    - {b behavioural changes} per trigger, detected by evaluating both
+      versions' functional preconditions over a sample of observable
+      states: states where the new precondition accepts what the old
+      rejected (weakening) or rejects what the old accepted
+      (strengthening);
+    - postcondition drift over sampled state pairs.
+
+    Detection is sound on the sample only, like {!Cm_uml.Analysis}. *)
+
+type auth_change = {
+  roles_gained : string list;
+  roles_lost : string list;
+}
+
+type behaviour_change = {
+  weakened_on : int;  (** #sampled states newly accepted *)
+  strengthened_on : int;  (** #sampled states newly rejected *)
+  sample_size : int;
+}
+
+type change =
+  | Trigger_added of Cm_uml.Behavior_model.trigger
+  | Trigger_removed of Cm_uml.Behavior_model.trigger
+  | Authorization_changed of Cm_uml.Behavior_model.trigger * auth_change
+  | Precondition_changed of Cm_uml.Behavior_model.trigger * behaviour_change
+  | Postcondition_changed of Cm_uml.Behavior_model.trigger * behaviour_change
+
+val is_security_relevant : change -> bool
+(** Additions, removals, any authorization change, and precondition
+    weakening (new accepts what old rejected) — the changes a security
+    review must sign off. *)
+
+val pp_change : Format.formatter -> change -> unit
+
+type report = {
+  changes : change list;
+  security_relevant : change list;
+}
+
+val compare :
+  old_version:
+    Cm_uml.Behavior_model.t * Cm_rbac.Security_table.t * Cm_rbac.Role_assignment.t ->
+  new_version:
+    Cm_uml.Behavior_model.t * Cm_rbac.Security_table.t * Cm_rbac.Role_assignment.t ->
+  sample:Cm_ocl.Eval.env list ->
+  (report, string) result
+(** [Error] when contract generation fails for either version. *)
+
+val render : report -> string

@@ -1,0 +1,29 @@
+(** Contract generation from the behavioral model and security table.
+
+    This is the translation of §V: for every trigger of the state
+    machine, the transitions it fires are combined into one pre- and one
+    postcondition.  When a security table is supplied, its authorization
+    guard (over the project's role assignment) is conjoined into every
+    branch precondition — step 3 of the views.py population (§VI). *)
+
+type security = {
+  table : Cm_rbac.Security_table.t;
+  assignment : Cm_rbac.Role_assignment.t;
+}
+
+val contract_for :
+  ?security:security ->
+  Cm_uml.Behavior_model.t ->
+  Cm_uml.Behavior_model.trigger ->
+  (Contract.t, string) result
+(** [Error] when the trigger fires no transition. *)
+
+val all :
+  ?security:security -> Cm_uml.Behavior_model.t -> (Contract.t list, string) result
+(** One contract per distinct trigger, in trigger order.  Also checks
+    each generated contract against the model's signature when one can
+    be derived. *)
+
+val typecheck :
+  Cm_uml.Resource_model.t -> Contract.t -> Cm_ocl.Typecheck.error list
+(** Both pre and post must be boolean over the derived signature. *)

@@ -1,0 +1,50 @@
+type strategy = Lean | Full
+
+type prepared = {
+  contract : Contract.t;
+  strategy : strategy;
+  compiled : Snapshot.compiled;
+}
+
+let prepare ?(strategy = Lean) contract =
+  { contract; strategy; compiled = Snapshot.compile contract.Contract.post }
+
+let contract p = p.contract
+let strategy p = p.strategy
+
+let verdict_of_tribool tb hint =
+  match tb with
+  | Cm_ocl.Value.True -> Cm_ocl.Eval.Holds
+  | Cm_ocl.Value.False -> Cm_ocl.Eval.Violated
+  | Cm_ocl.Value.Unknown -> Cm_ocl.Eval.Undefined_verdict hint
+
+let check_pre p env = Cm_ocl.Eval.verdict env p.contract.Contract.pre
+
+let covered_requirements p env =
+  Contract.active_branches p.contract env
+  |> List.concat_map (fun b -> b.Contract.branch_requirements)
+  |> List.sort_uniq String.compare
+
+type snapshot =
+  | Lean_values of Snapshot.taken
+  | Full_env of Cm_ocl.Eval.env
+
+let take_snapshot p env =
+  match p.strategy with
+  | Lean -> Lean_values (Snapshot.take p.compiled env)
+  | Full -> Full_env env
+
+let snapshot_bytes = function
+  | Lean_values taken -> Snapshot.size_bytes taken
+  | Full_env env -> Snapshot.full_size_bytes env
+
+let check_post p snapshot env =
+  match snapshot with
+  | Lean_values taken ->
+    verdict_of_tribool
+      (Snapshot.check_post_lean p.compiled taken env)
+      "postcondition undefined"
+  | Full_env pre ->
+    verdict_of_tribool
+      (Snapshot.check_post_full p.contract.Contract.post ~pre env)
+      "postcondition undefined"

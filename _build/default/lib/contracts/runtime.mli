@@ -1,0 +1,31 @@
+(** Contract checking at run time.
+
+    The monitor uses this module per request: check the precondition in
+    the observed pre-state, take a snapshot, let the cloud act, then
+    check the postcondition in the observed post-state against the
+    snapshot. *)
+
+type strategy =
+  | Lean  (** snapshot only the values under [pre(...)] — the paper's *)
+  | Full  (** retain the whole pre-state environment *)
+
+type prepared
+(** A contract with its snapshot plan compiled (do this once, not per
+    request). *)
+
+val prepare : ?strategy:strategy -> Contract.t -> prepared
+val contract : prepared -> Contract.t
+val strategy : prepared -> strategy
+
+val check_pre : prepared -> Cm_ocl.Eval.env -> Cm_ocl.Eval.verdict
+
+val covered_requirements : prepared -> Cm_ocl.Eval.env -> string list
+(** SecReq ids of the branches active in the pre-state. *)
+
+type snapshot
+
+val take_snapshot : prepared -> Cm_ocl.Eval.env -> snapshot
+val snapshot_bytes : snapshot -> int
+
+val check_post :
+  prepared -> snapshot -> Cm_ocl.Eval.env -> Cm_ocl.Eval.verdict

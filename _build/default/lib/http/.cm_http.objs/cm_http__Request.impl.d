@@ -1,0 +1,1 @@
+lib/http/request.ml: Buffer Cm_json Fmt Headers List Meth Printf String

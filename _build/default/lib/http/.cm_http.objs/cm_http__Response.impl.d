@@ -1,0 +1,1 @@
+lib/http/response.ml: Cm_json Fmt Headers Status

@@ -1,0 +1,1 @@
+lib/http/router.ml: Headers Int List Meth Printexc Printf Request Response Status String Uri_template

@@ -1,0 +1,1 @@
+lib/http/uri_template.ml: Fmt List Printf String

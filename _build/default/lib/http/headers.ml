@@ -1,0 +1,34 @@
+type t = (string * string) list
+
+let normalize = String.lowercase_ascii
+let empty = []
+let of_list headers = headers
+let to_list headers = headers
+
+let get name headers =
+  let name = normalize name in
+  List.assoc_opt name (List.map (fun (k, v) -> (normalize k, v)) headers)
+
+let add name value headers = headers @ [ (name, value) ]
+
+let remove name headers =
+  let name = normalize name in
+  List.filter (fun (k, _) -> normalize k <> name) headers
+
+let replace name value headers = add name value (remove name headers)
+let mem name headers = get name headers <> None
+
+let equal a b =
+  let canon headers =
+    List.sort compare (List.map (fun (k, v) -> (normalize k, v)) headers)
+  in
+  canon a = canon b
+
+let pp ppf headers =
+  let pp_header ppf (k, v) = Fmt.pf ppf "%s: %s" k v in
+  Fmt.(list ~sep:(any "@.") pp_header) ppf headers
+
+let token_header = "X-Auth-Token"
+let auth_token headers = get token_header headers
+let with_auth_token token headers = replace token_header token headers
+let content_type_json headers = replace "Content-Type" "application/json" headers

@@ -1,0 +1,30 @@
+(** HTTP header collections (case-insensitive names, order preserved). *)
+
+type t
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_list : t -> (string * string) list
+
+val get : string -> t -> string option
+(** First value for a (case-insensitive) name. *)
+
+val add : string -> string -> t -> t
+(** Append a header (keeps existing values for the same name). *)
+
+val replace : string -> string -> t -> t
+(** Drop existing values for the name and append the new one. *)
+
+val remove : string -> t -> t
+val mem : string -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Well-known headers used by the cloud}
+
+    OpenStack authenticates with [X-Auth-Token]; the simulator and the
+    monitor use the same convention. *)
+
+val auth_token : t -> string option
+val with_auth_token : string -> t -> t
+val content_type_json : t -> t

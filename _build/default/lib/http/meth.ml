@@ -1,0 +1,35 @@
+type t = GET | PUT | POST | DELETE | HEAD | PATCH | OPTIONS
+
+let to_string = function
+  | GET -> "GET"
+  | PUT -> "PUT"
+  | POST -> "POST"
+  | DELETE -> "DELETE"
+  | HEAD -> "HEAD"
+  | PATCH -> "PATCH"
+  | OPTIONS -> "OPTIONS"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "GET" -> Some GET
+  | "PUT" -> Some PUT
+  | "POST" -> Some POST
+  | "DELETE" -> Some DELETE
+  | "HEAD" -> Some HEAD
+  | "PATCH" -> Some PATCH
+  | "OPTIONS" -> Some OPTIONS
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Meth.of_string_exn: %S" s)
+
+let equal a b = a = b
+let compare = Stdlib.compare
+let pp ppf m = Fmt.string ppf (to_string m)
+let all = [ GET; PUT; POST; DELETE; HEAD; PATCH; OPTIONS ]
+let is_safe = function GET | HEAD | OPTIONS -> true | PUT | POST | DELETE | PATCH -> false
+let is_idempotent = function
+  | GET | HEAD | OPTIONS | PUT | DELETE -> true
+  | POST | PATCH -> false

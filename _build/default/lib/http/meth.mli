@@ -1,0 +1,22 @@
+(** HTTP request methods.
+
+    REST APIs expose the uniform interface through these verbs; the
+    behavioral model labels every transition with one of them. *)
+
+type t = GET | PUT | POST | DELETE | HEAD | PATCH | OPTIONS
+
+val to_string : t -> string
+val of_string : string -> t option
+val of_string_exn : string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every method, in a fixed order (used to enumerate 405 responses). *)
+
+val is_safe : t -> bool
+(** [GET], [HEAD] and [OPTIONS] must not modify resources (RFC 7231). *)
+
+val is_idempotent : t -> bool
+(** Safe methods plus [PUT] and [DELETE]. *)

@@ -1,0 +1,39 @@
+type t = {
+  status : Status.t;
+  headers : Headers.t;
+  body : Cm_json.Json.t option;
+}
+
+let make ?(headers = Headers.empty) ?body status = { status; headers; body }
+let ok body = make ~body Status.ok
+let created body = make ~body Status.created
+let no_content = make Status.no_content
+
+let error status message =
+  let body =
+    Cm_json.Json.obj
+      [ ( "error",
+          Cm_json.Json.obj
+            [ ("code", Cm_json.Json.int status);
+              ("title", Cm_json.Json.string (Status.reason_phrase status));
+              ("message", Cm_json.Json.string message)
+            ] )
+      ]
+  in
+  make ~headers:(Headers.content_type_json Headers.empty) ~body status
+
+let error_message resp =
+  match resp.body with
+  | None -> None
+  | Some body ->
+    (match Cm_json.Pointer.get [ Key "error"; Key "message" ] body with
+     | Some (Cm_json.Json.String msg) -> Some msg
+     | Some _ | None -> None)
+
+let is_success resp = Status.is_success resp.status
+
+let pp ppf resp =
+  Fmt.pf ppf "%a" Status.pp resp.status;
+  match resp.body with
+  | Some body -> Fmt.pf ppf " %a" Cm_json.Json.pp body
+  | None -> ()

@@ -1,0 +1,21 @@
+(** HTTP responses. *)
+
+type t = {
+  status : Status.t;
+  headers : Headers.t;
+  body : Cm_json.Json.t option;
+}
+
+val make : ?headers:Headers.t -> ?body:Cm_json.Json.t -> Status.t -> t
+val ok : Cm_json.Json.t -> t
+val created : Cm_json.Json.t -> t
+val no_content : t
+val error : Status.t -> string -> t
+(** Error response with an OpenStack-style body:
+    [{"error": {"code": ..., "title": ..., "message": ...}}]. *)
+
+val error_message : t -> string option
+(** Extract the message of an {!error}-shaped body. *)
+
+val is_success : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type segment = Literal of string | Param of string
+type t = segment list
+
+let split_path path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let parse_segment seg =
+  let len = String.length seg in
+  if len >= 2 && seg.[0] = '{' && seg.[len - 1] = '}' then begin
+    let name = String.sub seg 1 (len - 2) in
+    if name = "" then Error "empty placeholder name"
+    else if String.contains name '{' || String.contains name '}' then
+      Error (Printf.sprintf "nested braces in %S" seg)
+    else Ok (Param name)
+  end
+  else if String.contains seg '{' || String.contains seg '}' then
+    Error (Printf.sprintf "unbalanced braces in segment %S" seg)
+  else Ok (Literal seg)
+
+let parse text =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | seg :: rest ->
+      (match parse_segment seg with
+       | Ok parsed -> build (parsed :: acc) rest
+       | Error _ as err -> err)
+  in
+  build [] (split_path text)
+
+let parse_exn text =
+  match parse text with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Uri_template.parse_exn: %s" msg)
+
+let segments t = t
+
+let to_string t =
+  "/"
+  ^ String.concat "/"
+      (List.map
+         (function Literal s -> s | Param name -> "{" ^ name ^ "}")
+         t)
+
+let param_names t =
+  List.filter_map (function Param name -> Some name | Literal _ -> None) t
+
+let matches t path =
+  let rec walk acc template concrete =
+    match template, concrete with
+    | [], [] -> Some (List.rev acc)
+    | Literal lit :: t', seg :: c' when lit = seg -> walk acc t' c'
+    | Param name :: t', seg :: c' -> walk ((name, seg) :: acc) t' c'
+    | _, _ -> None
+  in
+  walk [] t (split_path path)
+
+let expand t bindings =
+  let rec build acc = function
+    | [] -> Ok ("/" ^ String.concat "/" (List.rev acc))
+    | Literal s :: rest -> build (s :: acc) rest
+    | Param name :: rest ->
+      (match List.assoc_opt name bindings with
+       | Some value -> build (value :: acc) rest
+       | None -> Error (Printf.sprintf "missing binding for {%s}" name))
+  in
+  build [] t
+
+let expand_exn t bindings =
+  match expand t bindings with
+  | Ok path -> path
+  | Error msg -> invalid_arg (Printf.sprintf "Uri_template.expand_exn: %s" msg)
+
+let specificity t =
+  List.length (List.filter (function Literal _ -> true | Param _ -> false) t)
+
+let equal a b = a = b
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,44 @@
+(** URI templates.
+
+    REST resources are addressed by parameterised paths such as
+    ["/v3/{project_id}/volumes/{volume_id}"].  A template matches a
+    concrete path by binding each [{name}] placeholder to the
+    corresponding segment.  Templates are the bridge between the resource
+    model (associations compose paths, §IV-A of the paper) and the
+    router. *)
+
+type t
+
+type segment =
+  | Literal of string
+  | Param of string
+
+val parse : string -> (t, string) result
+(** Parse a template.  Each path segment is either a literal or exactly
+    one [{name}] placeholder; empty names, nested or unbalanced braces are
+    errors. *)
+
+val parse_exn : string -> t
+val segments : t -> segment list
+val to_string : t -> string
+
+val param_names : t -> string list
+(** Placeholder names in order of appearance. *)
+
+val matches : t -> string -> (string * string) list option
+(** [matches t path] is [Some bindings] when [path] has the same number
+    of segments and all literals agree; placeholders bind to the concrete
+    segments.  Trailing slashes are ignored on both sides. *)
+
+val expand : t -> (string * string) list -> (string, string) result
+(** Substitute placeholders; [Error] names the first missing binding. *)
+
+val expand_exn : t -> (string * string) list -> string
+
+val specificity : t -> int
+(** Number of literal segments — routers prefer more specific templates
+    so that ["/v3/p/volumes/detail"] wins over
+    ["/v3/p/volumes/{volume_id}"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/json/decode.ml: Json List Printf String

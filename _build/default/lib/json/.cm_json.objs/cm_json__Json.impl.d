@@ -1,0 +1,1 @@
+lib/json/json.ml: Bool Float Fmt Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/json/parser.ml: Buffer Char Fmt Json List Printf String

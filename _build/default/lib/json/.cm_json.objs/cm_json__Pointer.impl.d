@@ -1,0 +1,1 @@
+lib/json/pointer.ml: Json List Printf String

@@ -1,0 +1,1 @@
+lib/json/printer.ml: Buffer Char Float Json List Printf String

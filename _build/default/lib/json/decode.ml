@@ -1,0 +1,117 @@
+type 'a t = Json.t -> ('a, string) result
+
+let run decode json = decode json
+
+let run_exn decode json =
+  match decode json with
+  | Ok value -> value
+  | Error msg -> failwith ("Decode.run_exn: " ^ msg)
+
+let type_name = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Int _ -> "int"
+  | Json.Float _ -> "float"
+  | Json.String _ -> "string"
+  | Json.List _ -> "list"
+  | Json.Obj _ -> "object"
+
+let wrong_type expected json =
+  Error (Printf.sprintf "expected %s, found %s" expected (type_name json))
+
+let json j = Ok j
+
+let null = function
+  | Json.Null -> Ok ()
+  | other -> wrong_type "null" other
+
+let bool = function
+  | Json.Bool b -> Ok b
+  | other -> wrong_type "bool" other
+
+let int = function
+  | Json.Int n -> Ok n
+  | other -> wrong_type "int" other
+
+let float = function
+  | Json.Float f -> Ok f
+  | Json.Int n -> Ok (float_of_int n)
+  | other -> wrong_type "float" other
+
+let string = function
+  | Json.String s -> Ok s
+  | other -> wrong_type "string" other
+
+let list decode = function
+  | Json.List items ->
+    let rec loop i acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        (match decode item with
+         | Ok value -> loop (i + 1) (value :: acc) rest
+         | Error msg -> Error (Printf.sprintf "[%d]: %s" i msg))
+    in
+    loop 0 [] items
+  | other -> wrong_type "list" other
+
+let field key decode json =
+  match Json.member key json with
+  | Some value ->
+    (match decode value with
+     | Ok _ as ok -> ok
+     | Error msg -> Error (Printf.sprintf "%S: %s" key msg))
+  | None ->
+    (match json with
+     | Json.Obj _ -> Error (Printf.sprintf "missing field %S" key)
+     | other -> wrong_type "object" other)
+
+let field_opt key decode json =
+  match Json.member key json with
+  | Some value ->
+    (match decode value with
+     | Ok v -> Ok (Some v)
+     | Error msg -> Error (Printf.sprintf "%S: %s" key msg))
+  | None ->
+    (match json with
+     | Json.Obj _ -> Ok None
+     | other -> wrong_type "object" other)
+
+let rec at path decode =
+  match path with
+  | [] -> decode
+  | key :: rest -> field key (at rest decode)
+
+let keys = function
+  | Json.Obj members -> Ok (List.map fst members)
+  | other -> wrong_type "object" other
+
+let map f decode json =
+  match decode json with Ok v -> Ok (f v) | Error _ as err -> err
+
+let bind f decode json =
+  match decode json with Ok v -> f v json | Error _ as err -> err
+
+let both a b json =
+  match a json with
+  | Error _ as err -> err
+  | Ok va ->
+    (match b json with Ok vb -> Ok (va, vb) | Error msg -> Error msg)
+
+let succeed value _ = Ok value
+let fail msg _ = Error msg
+
+let one_of decoders json =
+  let rec loop errors = function
+    | [] ->
+      Error
+        (Printf.sprintf "no alternative matched: %s"
+           (String.concat "; " (List.rev errors)))
+    | decode :: rest ->
+      (match decode json with
+       | Ok _ as ok -> ok
+       | Error msg -> loop (msg :: errors) rest)
+  in
+  loop [] decoders
+
+let default value decode json =
+  match decode json with Ok _ as ok -> ok | Error _ -> Ok value

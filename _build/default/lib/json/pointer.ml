@@ -1,0 +1,77 @@
+type step = Key of string | Index of int
+type path = step list
+
+let is_all_digits s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let parse text =
+  if text = "" then Ok []
+  else begin
+    let components = String.split_on_char '.' text in
+    let step_of_component c =
+      if c = "" then Error "empty path component"
+      else if is_all_digits c then Ok (Index (int_of_string c))
+      else Ok (Key c)
+    in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest ->
+        (match step_of_component c with
+         | Ok step -> build (step :: acc) rest
+         | Error _ as err -> err)
+    in
+    build [] components
+  end
+
+let parse_exn text =
+  match parse text with
+  | Ok path -> path
+  | Error msg -> invalid_arg (Printf.sprintf "Pointer.parse_exn: %s" msg)
+
+let to_string path =
+  String.concat "."
+    (List.map (function Key k -> k | Index i -> string_of_int i) path)
+
+let rec get path json =
+  match path with
+  | [] -> Some json
+  | Key k :: rest ->
+    (match Json.member k json with
+     | Some value -> get rest value
+     | None -> None)
+  | Index i :: rest ->
+    (match Json.index i json with
+     | Some value -> get rest value
+     | None -> None)
+
+let rec set path value json =
+  match path with
+  | [] -> Some value
+  | Key k :: rest ->
+    (match json with
+     | Json.Obj members when List.mem_assoc k members ->
+       let replace (key, old) =
+         if key = k then
+           match set rest value old with
+           | Some updated -> Some (key, updated)
+           | None -> None
+         else Some (key, old)
+       in
+       let updated = List.map replace members in
+       if List.exists (fun m -> m = None) updated then None
+       else Some (Json.Obj (List.filter_map (fun m -> m) updated))
+     | _ -> None)
+  | Index i :: rest ->
+    (match json with
+     | Json.List items when i >= 0 && i < List.length items ->
+       let updated =
+         List.mapi
+           (fun j item ->
+             if j = i then set rest value item else Some item)
+           items
+       in
+       if List.exists (fun m -> m = None) updated then None
+       else Some (Json.List (List.filter_map (fun m -> m) updated))
+     | _ -> None)
+
+let exists path json = get path json <> None

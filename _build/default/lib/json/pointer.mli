@@ -1,0 +1,32 @@
+(** Path-based access into JSON documents.
+
+    Contract evaluation needs to read deep values out of cloud responses
+    (e.g. the volume status inside [{"volume": {"status": "in-use"}}]).
+    A {!path} is a sequence of object keys and list indices. *)
+
+type step =
+  | Key of string  (** descend into an object member *)
+  | Index of int  (** descend into a list element *)
+
+type path = step list
+
+val parse : string -> (path, string) result
+(** Parse a dotted path such as ["volume.status"] or
+    ["volumes.0.id"]: components that are all digits become {!Index}
+    steps, everything else a {!Key}.  The empty string is the empty path
+    (the document root). *)
+
+val parse_exn : string -> path
+(** Like {!parse} but raises [Invalid_argument]. *)
+
+val to_string : path -> string
+
+val get : path -> Json.t -> Json.t option
+(** Follow the path; [None] if any step does not match. *)
+
+val set : path -> Json.t -> Json.t -> Json.t option
+(** [set path value doc] replaces the value at [path] in [doc].  [None]
+    when the path does not exist (no implicit creation — mutating a cloud
+    record must target an existing field). *)
+
+val exists : path -> Json.t -> bool

@@ -1,0 +1,1 @@
+lib/monitor/audit.ml: Buffer Cm_contracts Cm_http Cm_uml List Monitor Printf String

@@ -1,0 +1,1 @@
+lib/monitor/audit.mli: Cm_http Monitor

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Cm_contracts Cm_http Cm_json Cm_ocl Cm_uml Fmt Hashtbl Int List Logs Observer Option Outcome Printf String

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Cm_contracts Cm_http Cm_uml Logs Observer Outcome

@@ -1,0 +1,1 @@
+lib/monitor/observer.ml: Cm_http Cm_json Cm_ocl Cm_uml Int List Option String

@@ -1,0 +1,1 @@
+lib/monitor/outcome.ml: Cm_http Cm_ocl Fmt List String

@@ -1,0 +1,1 @@
+lib/monitor/outcome.mli: Cm_http Cm_ocl Format

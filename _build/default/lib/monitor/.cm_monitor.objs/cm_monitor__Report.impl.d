@@ -1,0 +1,1 @@
+lib/monitor/report.ml: Buffer Cm_json Fmt Hashtbl List Option Outcome Printf String

@@ -1,0 +1,1 @@
+lib/monitor/report.mli: Cm_json Format Outcome

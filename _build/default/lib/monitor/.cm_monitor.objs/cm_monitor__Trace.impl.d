@@ -1,0 +1,1 @@
+lib/monitor/trace.ml: Buffer Cm_http Cm_json Cm_ocl Fmt Hashtbl Int List Option Outcome Printf Result String

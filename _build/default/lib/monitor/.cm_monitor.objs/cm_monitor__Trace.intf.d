@@ -1,0 +1,1 @@
+lib/monitor/trace.mli: Cm_json Outcome

@@ -1,0 +1,92 @@
+module Meth = Cm_http.Meth
+module BM = Cm_uml.Behavior_model
+module Contract = Cm_contracts.Contract
+
+type status =
+  | Contracted of string list
+  | Behaviour_only
+  | Blocked
+  | Unmonitored_method
+
+type cell = {
+  uri : string;
+  meth : Meth.t;
+  status : status;
+}
+
+let status_to_string = function
+  | Contracted [] -> "contracted"
+  | Contracted reqs -> "contracted (SecReq " ^ String.concat ", " reqs ^ ")"
+  | Behaviour_only -> "BEHAVIOUR ONLY: no authorization row"
+  | Blocked -> "blocked (no contract; 405 in Enforce mode)"
+  | Unmonitored_method -> "outside the modelled verb set"
+
+let primary_verbs = [ Meth.GET; Meth.POST; Meth.PUT; Meth.DELETE ]
+
+let surface monitor =
+  let config = Monitor.configuration monitor in
+  (* verbs beyond the primary four only appear if the model uses them *)
+  let extra_verbs =
+    BM.triggers config.Monitor.behavior
+    |> List.map (fun (t : BM.trigger) -> t.meth)
+    |> List.filter (fun m -> not (List.mem m primary_verbs))
+    |> List.sort_uniq Meth.compare
+  in
+  let verbs = primary_verbs @ extra_verbs in
+  Monitor.uri_table monitor
+  |> List.concat_map (fun (entry : Cm_uml.Paths.entry) ->
+         List.map
+           (fun meth ->
+             let trigger = Monitor.trigger_for monitor entry meth in
+             let status =
+               match Monitor.contract_for_trigger monitor trigger with
+               | Some contract ->
+                 (match contract.Contract.auth_guard with
+                  | Some _ -> Contracted contract.Contract.requirements
+                  | None ->
+                    if config.Monitor.security = None then
+                      (* no table supplied at all: behavioural monitoring
+                         only, by construction *)
+                      Behaviour_only
+                    else Behaviour_only)
+               | None ->
+                 if List.mem meth primary_verbs then Blocked
+                 else Unmonitored_method
+             in
+             { uri = Cm_http.Uri_template.to_string entry.template;
+               meth;
+               status
+             })
+           verbs)
+  |> List.sort (fun a b ->
+         match String.compare a.uri b.uri with
+         | 0 -> Meth.compare a.meth b.meth
+         | c -> c)
+
+let gaps monitor =
+  List.filter (fun cell -> cell.status = Behaviour_only) (surface monitor)
+
+let render cells =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-52s %-8s %s" "URI" "method" "status";
+  line "%s" (String.make 100 '-');
+  List.iter
+    (fun cell ->
+      line "%-52s %-8s %s" cell.uri (Meth.to_string cell.meth)
+        (status_to_string cell.status))
+    cells;
+  let contracted =
+    List.length
+      (List.filter
+         (fun c -> match c.status with Contracted _ -> true | _ -> false)
+         cells)
+  in
+  let gaps =
+    List.length (List.filter (fun c -> c.status = Behaviour_only) cells)
+  in
+  let blocked = List.length (List.filter (fun c -> c.status = Blocked) cells) in
+  line "";
+  line "surface: %d cells; %d contracted, %d blocked, %d authorization gaps"
+    (List.length cells) contracted blocked gaps;
+  Buffer.contents buf

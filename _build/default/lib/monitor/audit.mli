@@ -1,0 +1,42 @@
+(** Attack-surface audit: is every URI safeguarded?
+
+    "The REST architectural style exposes each piece of information with
+    a URI, which results in a large number of URIs … the security
+    experts should ensure that each URI providing access to their system
+    is safeguarded" (§I).  This audit enumerates the full derived URI ×
+    method surface of a monitor and classifies each cell:
+
+    - [Contracted]: a contract (behaviour {e and} authorization) governs
+      the exchange;
+    - [Behaviour_only]: a contract exists but no security-table entry —
+      the generator fails closed at run time, but the table has a gap
+      worth reviewing;
+    - [Blocked]: no contract — the monitor answers 405 in Enforce mode
+      (safe) but in Oracle mode the cloud's own behaviour is the only
+      defence;
+    - [Unmonitored_method]: methods outside the modelled set
+      (HEAD/PATCH/OPTIONS) — always reported so the reviewer sees the
+      entire surface. *)
+
+type status =
+  | Contracted of string list  (** SecReq ids covering the cell *)
+  | Behaviour_only
+  | Blocked
+  | Unmonitored_method
+
+type cell = {
+  uri : string;
+  meth : Cm_http.Meth.t;
+  status : status;
+}
+
+val surface : Monitor.t -> cell list
+(** Every (derived URI, method) pair for the four primary verbs plus any
+    further verb the model mentions, in URI order. *)
+
+val gaps : Monitor.t -> cell list
+(** Only the [Behaviour_only] cells — contracts without an authorization
+    row. *)
+
+val render : cell list -> string
+val status_to_string : status -> string

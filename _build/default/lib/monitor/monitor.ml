@@ -1,0 +1,509 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Status = Cm_http.Status
+module Meth = Cm_http.Meth
+module Behavior_model = Cm_uml.Behavior_model
+module Resource_model = Cm_uml.Resource_model
+module Contract = Cm_contracts.Contract
+module Runtime = Cm_contracts.Runtime
+module Generate = Cm_contracts.Generate
+
+let log_src =
+  Logs.Src.create "cloudmon.monitor" ~doc:"cloud monitor exchange verdicts"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Enforce | Oracle
+
+type config = {
+  mode : mode;
+  strategy : Runtime.strategy;
+  service_token : string;
+  resources : Resource_model.t;
+  behavior : Behavior_model.t;
+  security : Generate.security option;
+  stability_check : bool;
+}
+
+let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
+    ?(stability_check = false) ~service_token ?security resources behavior =
+  { mode; strategy; service_token; resources; behavior; security;
+    stability_check
+  }
+
+type t = {
+  config : config;
+  backend : Observer.backend;
+  entries : Cm_uml.Paths.entry list;
+  prepared : (Behavior_model.trigger * Runtime.prepared) list;
+  mutable log : Outcome.t list;  (* newest first *)
+}
+
+let contracts t = List.map (fun (_, p) -> Runtime.contract p) t.prepared
+let uri_table t = t.entries
+let configuration t = t.config
+let outcomes t = List.rev t.log
+let reset_log t = t.log <- []
+
+let coverage t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (_, p) ->
+      List.iter
+        (fun req_id ->
+          if not (Hashtbl.mem table req_id) then Hashtbl.add table req_id 0)
+        (Runtime.contract p).Contract.requirements)
+    t.prepared;
+  List.iter
+    (fun (outcome : Outcome.t) ->
+      List.iter
+        (fun req_id ->
+          Hashtbl.replace table req_id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table req_id)))
+        outcome.covered_requirements)
+    t.log;
+  Hashtbl.fold (fun req_id count acc -> (req_id, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let create config backend =
+  let issues = Cm_uml.Validate.all config.resources [ config.behavior ] in
+  if issues <> [] then
+    Error (List.map (Fmt.str "%a" Cm_uml.Validate.pp_issue) issues)
+  else
+    match Cm_uml.Paths.derive config.resources with
+    | Error msg -> Error [ msg ]
+    | Ok entries ->
+      (match Generate.all ?security:config.security config.behavior with
+       | Error msg -> Error [ msg ]
+       | Ok contract_list ->
+         let type_errors =
+           List.concat_map
+             (fun c ->
+               List.map
+                 (Fmt.str "contract %a: %a" Behavior_model.pp_trigger
+                    c.Contract.trigger Cm_ocl.Typecheck.pp_error)
+                 (Generate.typecheck config.resources c))
+             contract_list
+         in
+         if type_errors <> [] then Error type_errors
+         else
+           Ok
+             { config;
+               backend;
+               entries;
+               prepared =
+                 List.map
+                   (fun c ->
+                     ( c.Contract.trigger,
+                       Runtime.prepare ~strategy:config.strategy c ))
+                   contract_list;
+               log = []
+             })
+
+(* ---- request classification ---- *)
+
+type classified = {
+  entry : Cm_uml.Paths.entry;
+  bindings : (string * string) list;
+  trigger : Behavior_model.trigger;
+  item : (string * string) option;  (* addressed item: (resource, id) *)
+  request_project : string option;
+}
+
+(* The resource definition contained in a collection (POST on the
+   collection creates one of these). *)
+let contained_item resources collection_name =
+  match Resource_model.outgoing collection_name resources with
+  | child :: _ -> Some child.Resource_model.target
+  | [] -> None
+
+let trigger_for t (entry : Cm_uml.Paths.entry) meth =
+  let resource =
+    if entry.is_item then
+      match meth with
+      | Meth.POST ->
+        (* POST creates into a collection; on an item URI it matches no
+           model trigger (the ":item" suffix can never equal a resource
+           definition name), so it is blocked/judged uncontracted. *)
+        entry.resource ^ ":item"
+      | Meth.GET | Meth.PUT | Meth.DELETE | Meth.HEAD | Meth.PATCH
+      | Meth.OPTIONS -> entry.resource
+    else
+      match meth with
+      | Meth.POST ->
+        Option.value
+          (contained_item t.config.resources entry.resource)
+          ~default:entry.resource
+      | Meth.GET | Meth.PUT | Meth.DELETE | Meth.HEAD | Meth.PATCH
+      | Meth.OPTIONS -> entry.resource
+  in
+  { Behavior_model.meth; resource }
+
+let classify t (req : Request.t) =
+  let candidates =
+    List.filter_map
+      (fun (entry : Cm_uml.Paths.entry) ->
+        match Cm_http.Uri_template.matches entry.template req.Request.path with
+        | Some bindings -> Some (entry, bindings)
+        | None -> None)
+      t.entries
+  in
+  match
+    List.stable_sort
+      (fun ((a : Cm_uml.Paths.entry), _) (b, _) ->
+        Int.compare
+          (Cm_http.Uri_template.specificity b.template)
+          (Cm_http.Uri_template.specificity a.template))
+      candidates
+  with
+  | [] -> None
+  | (entry, bindings) :: _ ->
+    let id_param = Cm_uml.Paths.id_param entry.resource in
+    Some
+      { entry;
+        bindings;
+        trigger = trigger_for t entry req.Request.meth;
+        item =
+          (if entry.is_item then
+             Option.map
+               (fun id -> (entry.resource, id))
+               (List.assoc_opt id_param bindings)
+           else None);
+        request_project = List.assoc_opt "project_id" bindings
+      }
+
+let prepared_for t trigger =
+  List.find_opt (fun (tr, _) -> Behavior_model.trigger_equal tr trigger) t.prepared
+  |> Option.map snd
+
+let contract_for_trigger t trigger =
+  Option.map Runtime.contract (prepared_for t trigger)
+
+(* ---- observation ---- *)
+
+let observe_env t classified =
+  let project_id =
+    Option.value ~default:"" classified.request_project
+  in
+  let observer =
+    Observer.create ~backend:t.backend ~token:t.config.service_token
+      ~model:t.config.resources ~project_id
+  in
+  fun ~user_token ->
+    Observer.env ?item:classified.item ~bindings:classified.bindings
+      ?user_token observer
+
+(* ---- verdict helpers ---- *)
+
+let expected_success_codes = function
+  | Meth.GET | Meth.HEAD | Meth.OPTIONS -> [ 200 ]
+  | Meth.PUT | Meth.PATCH -> [ 200; 202 ]
+  | Meth.POST -> [ 200; 201; 202 ]
+  | Meth.DELETE -> [ 202; 204 ]
+
+let is_auth_failure (resp : Response.t) =
+  resp.Response.status = Status.unauthorized
+  || resp.Response.status = Status.forbidden
+
+let monitor_body conformance detail =
+  Json.obj
+    [ ( "monitor",
+        Json.obj
+          [ ("verdict", Json.string (Outcome.conformance_to_string conformance));
+            ("detail", Json.string detail)
+          ] )
+    ]
+
+let blocked_response conformance detail =
+  Response.make
+    ~headers:(Cm_http.Headers.content_type_json Cm_http.Headers.empty)
+    ~body:(monitor_body conformance detail)
+    Status.forbidden
+
+let record t outcome =
+  (if Outcome.is_violation outcome.Outcome.conformance then
+     Log.warn (fun m -> m "%a" Outcome.pp outcome)
+   else Log.debug (fun m -> m "%a" Outcome.pp outcome));
+  t.log <- outcome :: t.log;
+  outcome
+
+let tri_of_verdict = function
+  | Cm_ocl.Eval.Holds -> `True
+  | Cm_ocl.Eval.Violated -> `False
+  | Cm_ocl.Eval.Undefined_verdict hint -> `Unknown hint
+
+(* A post-state violation is only trustworthy if the observation is
+   stable: re-observe and compare.  Unequal observations mean another
+   client is mutating the state concurrently — the verdict cannot be
+   attributed to this exchange. *)
+let envs_equal a b =
+  let canon env =
+    List.sort compare
+      (List.map
+         (fun (k, v) -> (k, Cm_json.Printer.to_string (Cm_json.Json.sort_keys v)))
+         (Cm_ocl.Eval.bindings env))
+  in
+  canon a = canon b
+
+let stable_post_verdict t ~make_env ~user_token post_env post_verdict =
+  match post_verdict with
+  | Cm_ocl.Eval.Violated when t.config.stability_check ->
+    let second_env = make_env ~user_token in
+    if envs_equal post_env second_env then post_verdict
+    else
+      Cm_ocl.Eval.Undefined_verdict
+        "state changed between observations: concurrent interference \
+         suspected"
+  | verdict -> verdict
+
+(* ---- the main flows ---- *)
+
+let forward t req = t.backend req
+
+let not_monitored t req =
+  let response = forward t req in
+  { Outcome.request = req;
+    response;
+    cloud_response = Some response;
+    conformance = Outcome.Not_monitored;
+    pre_verdict = None;
+    post_verdict = None;
+    covered_requirements = [];
+    contract_requirements = [];
+    snapshot_bytes = 0;
+    detail = "no model entry for this URI"
+  }
+
+let no_contract t classified req =
+  match t.config.mode with
+  | Enforce ->
+    let allowed =
+      Behavior_model.methods_on classified.trigger.Behavior_model.resource
+        t.config.behavior
+      |> List.map Meth.to_string |> String.concat ", "
+    in
+    let response =
+      Response.error Status.method_not_allowed
+        (Printf.sprintf "method not permitted by the model (allowed: %s)"
+           allowed)
+    in
+    { Outcome.request = req;
+      response;
+      cloud_response = None;
+      conformance = Outcome.Conform_denied;
+      pre_verdict = None;
+      post_verdict = None;
+      covered_requirements = [];
+      contract_requirements = [];
+      snapshot_bytes = 0;
+      detail = "no contract for trigger"
+    }
+  | Oracle ->
+    let response = forward t req in
+    let conformance =
+      if Response.is_success response then Outcome.Functional_wrongly_accepted
+      else Outcome.Conform_denied
+    in
+    { Outcome.request = req;
+      response;
+      cloud_response = Some response;
+      conformance;
+      pre_verdict = None;
+      post_verdict = None;
+      covered_requirements = [];
+      contract_requirements = [];
+      snapshot_bytes = 0;
+      detail = "method has no contract in the model"
+    }
+
+let outcome_base req response cloud_response conformance detail =
+  { Outcome.request = req;
+    response;
+    cloud_response;
+    conformance;
+    pre_verdict = None;
+    post_verdict = None;
+    covered_requirements = [];
+    contract_requirements = [];
+    snapshot_bytes = 0;
+    detail
+  }
+
+let monitored t classified prepared req =
+  let user_token = Request.auth_token req in
+  let make_env = observe_env t classified in
+  let pre_env = make_env ~user_token in
+  let contract = Runtime.contract prepared in
+  let pre_verdict = Runtime.check_pre prepared pre_env in
+  let covered = Runtime.covered_requirements prepared pre_env in
+  let auth_tri =
+    match contract.Contract.auth_guard with
+    | None -> `True
+    | Some guard ->
+      (match Cm_ocl.Eval.check pre_env guard with
+       | Cm_ocl.Value.True -> `True
+       | Cm_ocl.Value.False -> `False
+       | Cm_ocl.Value.Unknown -> `Unknown "authorization guard undefined")
+  in
+  let functional_tri =
+    match Cm_ocl.Eval.check pre_env contract.Contract.functional_pre with
+    | Cm_ocl.Value.True -> `True
+    | Cm_ocl.Value.False -> `False
+    | Cm_ocl.Value.Unknown -> `Unknown "functional precondition undefined"
+  in
+  match t.config.mode with
+  | Enforce ->
+    (match tri_of_verdict pre_verdict with
+     | `False ->
+       let detail =
+         match auth_tri with
+         | `False -> "precondition violated: authorization"
+         | `True | `Unknown _ -> "precondition violated: behavioural guard"
+       in
+       let response = blocked_response Outcome.Conform_denied detail in
+       { (outcome_base req response None Outcome.Conform_denied detail) with
+         pre_verdict = Some pre_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements
+       }
+     | `Unknown hint ->
+       let detail = "precondition undefined: " ^ hint in
+       let response = blocked_response (Outcome.Undefined hint) detail in
+       { (outcome_base req response None (Outcome.Undefined hint) detail) with
+         pre_verdict = Some pre_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements
+       }
+     | `True ->
+       let snapshot = Runtime.take_snapshot prepared pre_env in
+       let cloud_response = forward t req in
+       let post_env = make_env ~user_token in
+       let post_verdict =
+         stable_post_verdict t ~make_env ~user_token post_env
+           (Runtime.check_post prepared snapshot post_env)
+       in
+       let snapshot_bytes = Runtime.snapshot_bytes snapshot in
+       (match tri_of_verdict post_verdict with
+        | `True ->
+          { (outcome_base req cloud_response (Some cloud_response)
+               Outcome.Conform "")
+            with
+            pre_verdict = Some pre_verdict;
+            post_verdict = Some post_verdict;
+            covered_requirements = covered;
+            contract_requirements = contract.Contract.requirements;
+            snapshot_bytes
+          }
+        | `False ->
+          let detail = "postcondition violated after forwarding" in
+          let response =
+            Response.make
+              ~headers:
+                (Cm_http.Headers.content_type_json Cm_http.Headers.empty)
+              ~body:(monitor_body Outcome.Post_violated detail)
+              Status.internal_server_error
+          in
+          { (outcome_base req response (Some cloud_response)
+               Outcome.Post_violated detail)
+            with
+            pre_verdict = Some pre_verdict;
+            post_verdict = Some post_verdict;
+            covered_requirements = covered;
+            contract_requirements = contract.Contract.requirements;
+            snapshot_bytes
+          }
+        | `Unknown hint ->
+          let detail = "postcondition undefined: " ^ hint in
+          let response =
+            Response.make
+              ~headers:
+                (Cm_http.Headers.content_type_json Cm_http.Headers.empty)
+              ~body:(monitor_body (Outcome.Undefined hint) detail)
+              Status.internal_server_error
+          in
+          { (outcome_base req response (Some cloud_response)
+               (Outcome.Undefined hint) detail)
+            with
+            pre_verdict = Some pre_verdict;
+            post_verdict = Some post_verdict;
+            covered_requirements = covered;
+            contract_requirements = contract.Contract.requirements;
+            snapshot_bytes
+          }))
+  | Oracle ->
+    let snapshot = Runtime.take_snapshot prepared pre_env in
+    let cloud_response = forward t req in
+    let post_env = make_env ~user_token in
+    let snapshot_bytes = Runtime.snapshot_bytes snapshot in
+    let success = Response.is_success cloud_response in
+    let conformance, post_verdict, detail =
+      match auth_tri, functional_tri with
+      | `Unknown hint, _ | _, `Unknown hint ->
+        (Outcome.Undefined hint, None, "precondition undefined")
+      | `False, _ ->
+        if success then
+          ( Outcome.Security_unauthorized_allowed,
+            None,
+            "specification forbids this subject, yet the cloud performed the \
+             request" )
+        else (Outcome.Conform_denied, None, "")
+      | `True, `False ->
+        if success then
+          ( Outcome.Functional_wrongly_accepted,
+            None,
+            "behavioural precondition false, yet the cloud performed the \
+             request" )
+        else (Outcome.Conform_denied, None, "")
+      | `True, `True ->
+        if is_auth_failure cloud_response then
+          ( Outcome.Security_authorized_denied,
+            None,
+            "specification permits this subject, yet the cloud denied" )
+        else if not success then
+          ( Outcome.Functional_wrongly_rejected,
+            None,
+            Printf.sprintf "expected success, got %d"
+              cloud_response.Response.status )
+        else if
+          not
+            (List.mem cloud_response.Response.status
+               (expected_success_codes req.Request.meth))
+        then
+          ( Outcome.Functional_bad_status,
+            None,
+            Printf.sprintf "success status %d not in the expected set"
+              cloud_response.Response.status )
+        else begin
+          let post_verdict =
+            stable_post_verdict t ~make_env ~user_token post_env
+              (Runtime.check_post prepared snapshot post_env)
+          in
+          match tri_of_verdict post_verdict with
+          | `True -> (Outcome.Conform, Some post_verdict, "")
+          | `False ->
+            ( Outcome.Post_violated,
+              Some post_verdict,
+              "postcondition violated" )
+          | `Unknown hint ->
+            (Outcome.Undefined hint, Some post_verdict, "postcondition undefined")
+        end
+    in
+    { (outcome_base req cloud_response (Some cloud_response) conformance detail)
+      with
+      pre_verdict = Some pre_verdict;
+      post_verdict;
+      covered_requirements = covered;
+      contract_requirements = contract.Contract.requirements;
+      snapshot_bytes
+    }
+
+let handle t req =
+  match classify t req with
+  | None -> record t (not_monitored t req)
+  | Some classified ->
+    (match prepared_for t classified.trigger with
+     | None -> record t (no_contract t classified req)
+     | Some prepared -> record t (monitored t classified prepared req))
+
+let handle_response t req = (handle t req).Outcome.response

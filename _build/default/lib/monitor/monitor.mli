@@ -1,0 +1,96 @@
+(** The cloud monitor: a contract-checking proxy over a private cloud.
+
+    Implements the workflow of Fig. 2.  Each incoming request is matched
+    against the URI templates derived from the resource model; the
+    matching trigger's contract is evaluated over the observed pre-state;
+    the request is forwarded (or blocked, depending on {!mode}); the
+    postcondition is evaluated over the observed post-state against the
+    snapshot taken before forwarding; and a conformance verdict is
+    logged.
+
+    Two modes serve the paper's two uses:
+    - {b Enforce} — the proxy of Fig. 2: a request whose precondition
+      fails is {e not} forwarded (403 with a diagnostic body); a
+      postcondition violation turns the response into a 500-class
+      diagnostic.  For developers deploying the monitor in front of the
+      cloud.
+    - {b Oracle} — the automated-testing use (§III-B, user 4): every
+      request is forwarded and the monitor classifies the exchange,
+      which is how authorization mutants are detected. *)
+
+val log_src : Logs.src
+(** The monitor's log source ("cloudmon.monitor"): violations at
+    [Warning], every exchange at [Debug].  Enable a {!Logs} reporter in
+    the host application to stream verdicts. *)
+
+type mode =
+  | Enforce
+  | Oracle
+
+type config = {
+  mode : mode;
+  strategy : Cm_contracts.Runtime.strategy;
+  service_token : string;  (** the monitor's own cloud credentials *)
+  resources : Cm_uml.Resource_model.t;
+  behavior : Cm_uml.Behavior_model.t;
+  security : Cm_contracts.Generate.security option;
+  stability_check : bool;
+      (** Monitoring is not transactional: another client writing between
+          the monitored call and the post-state observation makes a
+          correct cloud look like a postcondition violator.  With the
+          stability check on, a would-be post violation triggers a second
+          observation; if the two observations disagree the verdict is
+          downgraded to [Undefined] ("concurrent interference") instead
+          of a false alarm.  Off by default (two extra observation GETs
+          per violation). *)
+}
+
+val default_config :
+  ?mode:mode ->
+  ?strategy:Cm_contracts.Runtime.strategy ->
+  ?stability_check:bool ->
+  service_token:string ->
+  ?security:Cm_contracts.Generate.security ->
+  Cm_uml.Resource_model.t ->
+  Cm_uml.Behavior_model.t ->
+  config
+(** Defaults: [Oracle] mode, [Lean] snapshots, no stability check. *)
+
+type t
+
+val create : config -> Observer.backend -> (t, string list) result
+(** Validates the models, generates and typechecks the contracts,
+    derives the URI table.  All problems are reported together. *)
+
+val handle : t -> Cm_http.Request.t -> Outcome.t
+(** Monitor one request.  The outcome's [response] is what the caller
+    should see; the full exchange is also appended to {!outcomes}. *)
+
+val handle_response : t -> Cm_http.Request.t -> Cm_http.Response.t
+(** [ (handle t req).response ] — lets a monitor instance itself be used
+    as a backend (monitors compose). *)
+
+val contracts : t -> Cm_contracts.Contract.t list
+
+val uri_table : t -> Cm_uml.Paths.entry list
+(** The derived URI entries the monitor classifies against. *)
+
+val configuration : t -> config
+
+val trigger_for :
+  t -> Cm_uml.Paths.entry -> Cm_http.Meth.t -> Cm_uml.Behavior_model.trigger
+(** The trigger a request on the entry's URI with the method maps to
+    (POST on a collection resolves to the contained item, as in request
+    classification). *)
+
+val contract_for_trigger :
+  t -> Cm_uml.Behavior_model.trigger -> Cm_contracts.Contract.t option
+val outcomes : t -> Outcome.t list
+(** All logged outcomes, oldest first. *)
+
+val coverage : t -> (string * int) list
+(** Requirement id -> number of exchanges that exercised it (the
+    traceability view of §IV-C), including ids never exercised (count
+    0), sorted by id. *)
+
+val reset_log : t -> unit

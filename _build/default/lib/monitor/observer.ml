@@ -1,0 +1,269 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module RM = Cm_uml.Resource_model
+
+type backend = Request.t -> Response.t
+
+type t = {
+  backend : backend;
+  token : string;
+  model : RM.t;
+  project_id : string;
+  entries : Cm_uml.Paths.entry list;
+  context_def : string;  (* the item contained in the root collection *)
+  context_param : string;  (* its id parameter name, e.g. "project_id" *)
+}
+
+let create ~backend ~token ~model ~project_id =
+  let entries =
+    match Cm_uml.Paths.derive model with Ok entries -> entries | Error _ -> []
+  in
+  let context_def =
+    match RM.outgoing model.RM.root model with
+    | child :: _ -> child.RM.target
+    | [] -> "project"
+  in
+  { backend;
+    token;
+    model;
+    project_id;
+    entries;
+    context_def;
+    context_param = Cm_uml.Paths.id_param context_def
+  }
+
+let get t path =
+  let req =
+    Request.make Cm_http.Meth.GET path |> Request.with_auth_token t.token
+  in
+  t.backend req
+
+let successful_body resp =
+  if Response.is_success resp then resp.Response.body else None
+
+(* API bodies wrap the payload in a single-key envelope; the key's
+   spelling varies (volume / quota_set / ...), so unwrap positionally. *)
+let unwrap = function
+  | Some (Json.Obj [ (_, payload) ]) -> Some payload
+  | Some _ | None -> None
+
+let template_for t ~resource ~item =
+  List.find_opt
+    (fun (e : Cm_uml.Paths.entry) -> e.resource = resource && e.is_item = item)
+    t.entries
+  |> Option.map (fun (e : Cm_uml.Paths.entry) -> e.template)
+
+let expand t template bindings =
+  match
+    Cm_http.Uri_template.expand template
+      ((t.context_param, t.project_id) :: bindings)
+  with
+  | Ok path -> Some path
+  | Error _ -> None
+
+let get_unwrapped t ~resource ~item bindings =
+  match template_for t ~resource ~item with
+  | None -> None
+  | Some template ->
+    (match expand t template bindings with
+     | None -> None
+     | Some path -> unwrap (successful_body (get t path)))
+
+(* Sub-collections of a bound item: graft each reachable listing into the
+   item document as a member named by the role — this is what makes
+   [volume.snapshots->size()] evaluable. *)
+let graft_sub_collections t request_bindings (def_name : string) doc =
+  match doc with
+  | Json.Obj members ->
+    let extra =
+      List.filter_map
+        (fun (assoc : RM.association) ->
+          if assoc.source <> def_name then None
+          else
+            match RM.find_resource assoc.target t.model with
+            | None -> None
+            | Some target_def ->
+              let listing_resource =
+                match target_def.kind with
+                | RM.Collection ->
+                  (* role points at a collection definition *)
+                  Some target_def.def_name
+                | RM.Normal
+                  when Cm_uml.Multiplicity.is_collection assoc.multiplicity ->
+                  Some target_def.def_name
+                | RM.Normal -> None
+              in
+              (match listing_resource with
+               | None -> None
+               | Some resource ->
+                 (match
+                    get_unwrapped t ~resource ~item:false request_bindings
+                  with
+                  | Some (Json.List _ as items) -> Some (assoc.role, items)
+                  | Some _ | None -> None)))
+        t.model.RM.associations
+    in
+    Json.Obj (members @ extra)
+  | other -> other
+
+(* Items addressable with the available URI parameters: for each item
+   entry whose every parameter is known, GET and bind it. The context
+   resource is excluded (it gets richer treatment below). *)
+let ancestor_bindings t request_bindings =
+  let available = (t.context_param, t.project_id) :: request_bindings in
+  List.filter_map
+    (fun (entry : Cm_uml.Paths.entry) ->
+      if (not entry.is_item) || entry.resource = t.context_def then None
+      else begin
+        let params = Cm_http.Uri_template.param_names entry.template in
+        (* single-param items (the context's singleton children) are
+           already bound by the context walk; ancestors proper need at
+           least one id from the request *)
+        let all_known =
+          List.length params >= 2
+          && List.for_all (fun p -> List.mem_assoc p available) params
+        in
+        if not all_known then None
+        else
+          match
+            get_unwrapped t ~resource:entry.resource ~item:true
+              request_bindings
+          with
+          | Some doc ->
+            Some
+              ( String.lowercase_ascii entry.resource,
+                graft_sub_collections t request_bindings entry.resource doc )
+          | None -> None
+      end)
+    t.entries
+
+let observe ?item ?(bindings = []) t =
+  (* 1. the context resource's own document *)
+  let context_members =
+    match get_unwrapped t ~resource:t.context_def ~item:true [] with
+    | Some (Json.Obj members) -> members
+    | Some _ | None -> []
+  in
+  (* 2. children of the context: collections become members under their
+     role; singleton normals become top-level bindings *)
+  let children = RM.outgoing t.context_def t.model in
+  let member_bindings, toplevel_bindings =
+    List.fold_left
+      (fun (members, toplevels) (assoc : RM.association) ->
+        match RM.find_resource assoc.target t.model with
+        | None -> (members, toplevels)
+        | Some target_def ->
+          let is_sub_collection =
+            target_def.kind = RM.Collection
+            || RM.Collection <> target_def.kind
+               && Cm_uml.Multiplicity.is_collection assoc.multiplicity
+          in
+          if is_sub_collection then begin
+            (* the addressable listing: the collection entry named either
+               by the collection def or by the many-target def *)
+            let listing =
+              match target_def.kind with
+              | RM.Collection ->
+                get_unwrapped t ~resource:target_def.def_name ~item:false []
+              | RM.Normal ->
+                get_unwrapped t ~resource:target_def.def_name ~item:false []
+            in
+            match listing with
+            | Some (Json.List _ as items) ->
+              ((assoc.role, items) :: members, toplevels)
+            | Some _ | None -> (members, toplevels)
+          end
+          else begin
+            match get_unwrapped t ~resource:target_def.def_name ~item:true [] with
+            | Some doc ->
+              ( members,
+                (String.lowercase_ascii target_def.def_name, doc) :: toplevels
+              )
+            | None -> (members, toplevels)
+          end)
+      ([], []) children
+  in
+  let context_binding =
+    ( String.lowercase_ascii t.context_def,
+      Json.Obj (context_members @ List.rev member_bindings) )
+  in
+  (* 3. every item reachable with the request's URI parameters —
+     including the addressed item itself and all its ancestors — each
+     enriched with its own sub-collection listings *)
+  let nested = ancestor_bindings t bindings in
+  (* 4. an explicitly requested item (used by drivers that know an id
+     without having a full request path) *)
+  let item_binding =
+    match item with
+    | None -> []
+    | Some (resource, id) when not (List.mem_assoc (String.lowercase_ascii resource) nested)
+      ->
+      let id_param = Cm_uml.Paths.id_param resource in
+      let request_bindings = (id_param, id) :: bindings in
+      (match get_unwrapped t ~resource ~item:true request_bindings with
+       | Some doc ->
+         [ ( String.lowercase_ascii resource,
+             graft_sub_collections t request_bindings resource doc )
+         ]
+       | None -> [])
+    | Some _ -> []
+  in
+  (context_binding :: List.rev toplevel_bindings) @ nested @ item_binding
+
+let privilege = function "admin" -> 0 | "member" -> 1 | "user" -> 2 | _ -> 3
+
+let subject_binding backend ~token =
+  let req =
+    Request.make Cm_http.Meth.GET "/identity/v3/auth/tokens"
+    |> fun r ->
+    { r with
+      Request.headers =
+        Cm_http.Headers.replace "X-Subject-Token" token r.Request.headers
+    }
+  in
+  match successful_body (backend req) with
+  | None -> None
+  | Some body ->
+    let get_str field =
+      match Cm_json.Pointer.get [ Key "token"; Key field ] body with
+      | Some (Json.String s) -> Some s
+      | Some _ | None -> None
+    in
+    let get_list field =
+      match Cm_json.Pointer.get [ Key "token"; Key field ] body with
+      | Some (Json.List items) -> items
+      | Some _ | None -> []
+    in
+    let roles =
+      List.filter_map
+        (function Json.String s -> Some s | _ -> None)
+        (get_list "roles")
+    in
+    let primary =
+      match
+        List.sort (fun a b -> Int.compare (privilege a) (privilege b)) roles
+      with
+      | strongest :: _ -> strongest
+      | [] -> ""
+    in
+    Some
+      (Json.obj
+         [ ("name", Json.string (Option.value ~default:"" (get_str "user")));
+           ("groups", Json.List (get_list "groups"));
+           ("roles", Json.List (get_list "roles"));
+           ("role", Json.string primary);
+           ("id", Json.obj [ ("groups", Json.string primary) ])
+         ])
+
+let env ?item ?bindings ?user_token t =
+  let observed = observe ?item ?bindings t in
+  let user_binding =
+    match user_token with
+    | None -> []
+    | Some token ->
+      (match subject_binding t.backend ~token with
+       | Some user -> [ ("user", user) ]
+       | None -> [])
+  in
+  Cm_ocl.Eval.env_of_bindings (observed @ user_binding)

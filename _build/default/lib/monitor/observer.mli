@@ -1,0 +1,71 @@
+(** Deriving the OCL environment from observable cloud state.
+
+    The models define state invariants "as boolean expressions over the
+    {e addressable} resources" (§IV-B): every value a contract mentions
+    must be obtainable through GET requests.  The observer issues those
+    GETs through the same backend the monitored request will travel —
+    the monitor never peeks inside the cloud.
+
+    Observation is {e model-driven}: the resource model says which URIs
+    exist and how they compose, so the same observer works for any
+    service (Cinder volumes, Glance-like images, …):
+
+    - the context resource (the item contained in the root collection,
+      e.g. [project]) is GET and its members become the [project]
+      binding;
+    - every collection reachable from it (role [volumes], [images], …)
+      is GET and its listing becomes a member of the context binding
+      under the role name — a failed listing simply leaves the member
+      absent (size 0);
+    - every singleton child (e.g. [quota_sets]) is GET and bound as a
+      top-level variable under its definition name;
+    - the specific item addressed by the monitored request, when given,
+      is GET and bound under its definition name (e.g. [volume]).
+
+    Response bodies are unwrapped from their single-key envelope
+    ([{"volume": {...}}], [{"volumes": [...]}]) regardless of the key's
+    exact spelling.
+
+    Observation uses a service account (the monitor's own credentials),
+    mirroring how OpenStack services authenticate to each other. *)
+
+type backend = Cm_http.Request.t -> Cm_http.Response.t
+
+type t
+
+val create :
+  backend:backend ->
+  token:string ->
+  model:Cm_uml.Resource_model.t ->
+  project_id:string ->
+  t
+
+val observe :
+  ?item:string * string ->
+  ?bindings:(string * string) list ->
+  t ->
+  (string * Cm_json.Json.t) list
+(** [?item:(resource_def_name, id)] additionally binds that one item.
+    [?bindings] are the URI parameters of the monitored request: they
+    let the observer reach {e nested} resources (an item whose URI needs
+    its ancestors' ids, e.g.
+    [/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}]) —
+    every ancestor item on the request's path is bound under its
+    definition name, and each bound item additionally carries the
+    listings of its own sub-collections as members under the role name.
+    The context binding is produced even when the context GET fails
+    (with only the members that could be observed). *)
+
+val subject_binding : backend -> token:string -> Cm_json.Json.t option
+(** Introspect a {e user's} token into the ["user"] binding
+    ([{"name"; "groups"; "roles"; "role"; "id": {"groups": role}}]).
+    [None] when the token is invalid. *)
+
+val env :
+  ?item:string * string ->
+  ?bindings:(string * string) list ->
+  ?user_token:string ->
+  t ->
+  Cm_ocl.Eval.env
+(** Full pre-/post-state environment: {!observe} plus the ["user"]
+    binding when [user_token] is given and valid. *)

@@ -1,0 +1,35 @@
+(** Structured monitoring traces.
+
+    "The invocation results can be logged for further fault localization"
+    (§III-B).  Outcomes serialize to JSON (one object per exchange, JSONL
+    for a whole campaign) and deserialize back, so a trace taken against
+    one cloud build can be analysed offline or diffed against another
+    build's trace.  {!localize} turns a trace into a fault-localization
+    report: violations grouped by trigger and security requirement, with
+    the verdicts that exposed them. *)
+
+val outcome_to_json : Outcome.t -> Cm_json.Json.t
+val outcome_of_json : Cm_json.Json.t -> (Outcome.t, string) result
+(** Inverse of {!outcome_to_json} up to the fields a trace preserves:
+    request (method/path/query), response status and body, cloud status,
+    conformance, verdict strings, requirements, snapshot size, detail.
+    Headers (which carry tokens) are deliberately {e not} serialized. *)
+
+val to_jsonl : Outcome.t list -> string
+val of_jsonl : string -> (Outcome.t list, string) result
+
+(** {1 Fault localization} *)
+
+type suspect = {
+  trigger : string;  (** "DELETE /v3/{...}/volumes/{id}" style key *)
+  verdicts : (string * int) list;  (** violating verdict -> count *)
+  requirements : string list;  (** SecReq ids implicated *)
+  example_detail : string;
+}
+
+val localize : Outcome.t list -> suspect list
+(** Violating exchanges grouped by (method, path shape); most-violating
+    first.  Path shapes replace concrete ids with ["{id}"] so repeated
+    probes of different volumes aggregate. *)
+
+val render_localization : suspect list -> string

@@ -1,0 +1,1 @@
+lib/mutation/campaign.ml: Buffer Cm_cloudsim Cm_json Cm_monitor List Mutant Option Printf Scenario String

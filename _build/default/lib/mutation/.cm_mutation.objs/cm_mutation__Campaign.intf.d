@@ -1,0 +1,1 @@
+lib/mutation/campaign.mli: Cm_json Cm_monitor Mutant Stdlib

@@ -1,0 +1,1 @@
+lib/mutation/explorer.ml: Buffer Cm_cloudsim Cm_http Cm_json Cm_monitor Hashtbl List Option Printf Random Scenario String

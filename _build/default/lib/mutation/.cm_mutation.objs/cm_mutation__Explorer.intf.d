@@ -1,0 +1,1 @@
+lib/mutation/explorer.mli: Cm_cloudsim Cm_monitor Stdlib

@@ -1,0 +1,1 @@
+lib/mutation/mutant.ml: Cm_cloudsim Cm_rbac Fmt List

@@ -1,0 +1,1 @@
+lib/mutation/mutant.mli: Cm_cloudsim Format

@@ -1,0 +1,1 @@
+lib/mutation/scenario.ml: Cm_cloudsim Cm_contracts Cm_http Cm_json Cm_monitor Cm_rbac Cm_uml List Option Printf

@@ -1,0 +1,1 @@
+lib/mutation/scenario.mli: Cm_cloudsim Cm_contracts Cm_http Cm_json Cm_monitor

@@ -1,0 +1,96 @@
+type result = {
+  mutant : Mutant.t option;
+  killed : bool;
+  exchanges : int;
+  violations : Cm_monitor.Outcome.t list;
+  first_violation : string option;
+}
+
+let run_one mutant =
+  let faults =
+    match mutant with
+    | Some m -> m.Mutant.faults
+    | None -> Cm_cloudsim.Faults.none
+  in
+  match Scenario.setup ~faults () with
+  | Error msgs -> Error msgs
+  | Ok ctx ->
+    Scenario.standard ctx;
+    let outcomes = Cm_monitor.Monitor.outcomes ctx.Scenario.monitor in
+    let violations = Cm_monitor.Report.violations outcomes in
+    Ok
+      { mutant;
+        killed = violations <> [];
+        exchanges = List.length outcomes;
+        violations;
+        first_violation =
+          (match violations with
+           | first :: _ ->
+             Some
+               (Cm_monitor.Outcome.conformance_to_string
+                  first.Cm_monitor.Outcome.conformance)
+           | [] -> None)
+      }
+
+let run mutants =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest ->
+      (match run_one m with
+       | Ok result -> loop (result :: acc) rest
+       | Error _ as err -> err)
+  in
+  loop [] (None :: List.map (fun m -> Some m) mutants)
+
+let kill_matrix results =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-36s %-8s %-10s %s" "mutant" "killed" "exchanges" "first killing verdict";
+  line "%s" (String.make 100 '-');
+  List.iter
+    (fun r ->
+      let name =
+        match r.mutant with
+        | None -> "(baseline: no fault)"
+        | Some m ->
+          m.Mutant.name ^ (if m.Mutant.from_paper then " [paper]" else "")
+      in
+      let killed_cell =
+        match r.mutant with
+        | None -> if r.killed then "DIRTY" else "clean"
+        | Some _ -> if r.killed then "yes" else "NO"
+      in
+      line "%-36s %-8s %-10d %s" name killed_cell r.exchanges
+        (Option.value ~default:"-" r.first_violation))
+    results;
+  Buffer.contents buf
+
+let all_killed results =
+  List.for_all
+    (fun r ->
+      match r.mutant with None -> not r.killed | Some _ -> r.killed)
+    results
+
+let to_json results =
+  let module Json = Cm_json.Json in
+  Json.obj
+    [ ( "runs",
+        Json.list
+          (List.map
+             (fun r ->
+               Json.obj
+                 [ ( "mutant",
+                     match r.mutant with
+                     | None -> Json.null
+                     | Some m -> Json.string m.Mutant.name );
+                   ("killed", Json.bool r.killed);
+                   ("exchanges", Json.int r.exchanges);
+                   ("violations", Json.int (List.length r.violations));
+                   ( "first_violation",
+                     match r.first_violation with
+                     | Some v -> Json.string v
+                     | None -> Json.null )
+                 ])
+             results) );
+      ("all_killed", Json.bool (all_killed results))
+    ]

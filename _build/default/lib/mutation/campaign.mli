@@ -1,0 +1,31 @@
+(** Mutation campaigns: run the standard workload against each mutant
+    and record whether the monitor killed it.
+
+    "During validation, we were able to kill all three mutants (errors)
+    systematically introduced in the cloud implementation" (§VI-D) —
+    [run] with {!Mutant.paper_mutants} reproduces exactly that; the
+    extended catalog widens the experiment. *)
+
+type result = {
+  mutant : Mutant.t option;  (** [None] for the fault-free baseline *)
+  killed : bool;  (** at least one violation verdict was raised *)
+  exchanges : int;
+  violations : Cm_monitor.Outcome.t list;
+  first_violation : string option;  (** verdict name of the first kill *)
+}
+
+val run_one : Mutant.t option -> (result, string list) Stdlib.result
+(** Fresh cloud + monitor, standard workload, collect. *)
+
+val run : Mutant.t list -> (result list, string list) Stdlib.result
+(** Baseline first (it must be violation-free), then each mutant. *)
+
+val to_json : result list -> Cm_json.Json.t
+(** Machine-readable kill matrix for CI gates. *)
+
+val kill_matrix : result list -> string
+(** Printable matrix: mutant, killed?, exchanges, first killing
+    verdict. *)
+
+val all_killed : result list -> bool
+(** Every mutant killed {e and} the baseline clean. *)

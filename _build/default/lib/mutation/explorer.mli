@@ -1,0 +1,37 @@
+(** Randomized conformance exploration.
+
+    The hand-written scenario and the model-generated campaign follow
+    planned paths; the explorer instead performs a seeded random walk —
+    random user, random action, random (sometimes nonsensical) target —
+    through the monitor, exercising request interleavings neither
+    planner produces.  On a correct cloud no violation may ever appear,
+    whatever the seed (property-tested); on a mutated cloud the walk
+    discovers violations probabilistically.
+
+    The walk is deterministic in its seed (reproducible failures). *)
+
+type config = {
+  seed : int;
+  steps : int;
+}
+
+val default_config : config
+(** seed 42, 200 steps. *)
+
+type result = {
+  exchanges : int;
+  violations : Cm_monitor.Outcome.t list;
+  verdict_counts : (string * int) list;  (** conformance -> count *)
+  actions_tried : (string * int) list;  (** action label -> count *)
+}
+
+val run :
+  ?config:config ->
+  ?faults:Cm_cloudsim.Faults.set ->
+  unit ->
+  (result, string list) Stdlib.result
+(** Fresh seeded cloud + Oracle monitor over the Cinder models; the walk
+    mixes volume CRUD (valid and invalid targets, all three users),
+    attach/detach actions and over-quota attempts. *)
+
+val render : result -> string

@@ -1,0 +1,31 @@
+(** The mutant catalog.
+
+    A mutant is a named, deliberately-injected implementation error —
+    "mutants (errors) systematically introduced in the cloud
+    implementation to detect wrong authorization on resources" (§VI-D).
+    The paper injects three authorization mutants; the extended catalog
+    adds behavioural mutants (quota, lifecycle, status codes) that
+    exercise the functional half of the contracts. *)
+
+type t = {
+  name : string;
+  description : string;
+  faults : Cm_cloudsim.Faults.set;
+  from_paper : bool;
+}
+
+val paper_mutants : t list
+(** The three authorization mutants of §VI-D:
+    - M1: DELETE on volume opened up to the member role (privilege
+      escalation);
+    - M2: the authorization check on PUT is missing entirely;
+    - M3: authorized users are denied GET on volume. *)
+
+val extended_mutants : t list
+(** Behavioural mutants beyond the paper's three. *)
+
+val all : t list
+(** [paper_mutants @ extended_mutants]. *)
+
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+module Cloud = Cm_cloudsim.Cloud
+module Monitor = Cm_monitor.Monitor
+module Request = Cm_http.Request
+module Json = Cm_json.Json
+
+type ctx = {
+  cloud : Cloud.t;
+  monitor : Monitor.t;
+  tokens : (string * string) list;
+}
+
+let project = "myProject"
+
+let service_subject =
+  Cm_rbac.Subject.make "cmonitor-svc" [ "proj_administrator" ]
+
+let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
+    ?(faults = Cm_cloudsim.Faults.none) () =
+  let cloud = Cloud.create () in
+  Cloud.seed cloud Cloud.my_project;
+  Cm_cloudsim.Identity.add_user (Cloud.identity cloud) ~password:"svc-pw"
+    service_subject;
+  let login user password =
+    match Cloud.login cloud ~user ~password ~project_id:project with
+    | Ok token -> token
+    | Error msg -> failwith (Printf.sprintf "login %s failed: %s" user msg)
+  in
+  let service_token = login "cmonitor-svc" "svc-pw" in
+  let tokens =
+    [ ("alice", login "alice" "alice-pw");
+      ("bob", login "bob" "bob-pw");
+      ("carol", login "carol" "carol-pw")
+    ]
+  in
+  Cloud.set_faults cloud faults;
+  let security =
+    { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+      assignment = Cm_rbac.Security_table.cinder_assignment
+    }
+  in
+  let config =
+    Monitor.default_config ~mode ~strategy ~service_token ~security
+      Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+  in
+  match Monitor.create config (Cloud.handle cloud) with
+  | Ok monitor -> Ok { cloud; monitor; tokens }
+  | Error msgs -> Error msgs
+
+let token_of ctx user =
+  match List.assoc_opt user ctx.tokens with
+  | Some token -> token
+  | None -> failwith ("no token for user " ^ user)
+
+let request ctx ~user meth path ?body () =
+  let req =
+    Request.make ?body meth path |> Request.with_auth_token (token_of ctx user)
+  in
+  Monitor.handle ctx.monitor req
+
+let created_volume_id (outcome : Cm_monitor.Outcome.t) =
+  match outcome.cloud_response with
+  | Some resp ->
+    (match resp.Cm_http.Response.body with
+     | Some body ->
+       (match Cm_json.Pointer.get [ Key "volume"; Key "id" ] body with
+        | Some (Json.String id) -> Some id
+        | Some _ | None -> None)
+     | None -> None)
+  | None -> None
+
+let volume_body name size =
+  Json.obj
+    [ ("volume", Json.obj [ ("name", Json.string name); ("size", Json.int size) ])
+    ]
+
+let volumes_path = "/v3/" ^ project ^ "/volumes"
+let volume_path id = volumes_path ^ "/" ^ id
+
+let standard ctx =
+  let post_volume user name =
+    request ctx ~user Cm_http.Meth.POST volumes_path
+      ~body:(volume_body name 10) ()
+  in
+  (* 1. admin creates the first volume *)
+  let v1 =
+    Option.value ~default:"missing-v1"
+      (created_volume_id (post_volume "alice" "data1"))
+  in
+  (* 2. member lists; 3. user reads the volume *)
+  ignore (request ctx ~user:"bob" Cm_http.Meth.GET volumes_path ());
+  ignore (request ctx ~user:"carol" Cm_http.Meth.GET (volume_path v1) ());
+  (* 4. plain user may not create *)
+  ignore (post_volume "carol" "forbidden");
+  (* 5. member may not delete (kills M1 when wrongly allowed) *)
+  ignore (request ctx ~user:"bob" Cm_http.Meth.DELETE (volume_path v1) ());
+  (* 6. plain user may not update (kills M2 when the check is missing) *)
+  ignore
+    (request ctx ~user:"carol" Cm_http.Meth.PUT (volume_path v1)
+       ~body:
+         (Json.obj [ ("volume", Json.obj [ ("name", Json.string "hacked") ]) ])
+       ());
+  (* 7. user may read (kills M3 when wrongly denied) *)
+  ignore (request ctx ~user:"carol" Cm_http.Meth.GET (volume_path v1) ());
+  (* 8. member renames the volume *)
+  ignore
+    (request ctx ~user:"bob" Cm_http.Meth.PUT (volume_path v1)
+       ~body:
+         (Json.obj [ ("volume", Json.obj [ ("name", Json.string "data1b") ]) ])
+       ());
+  (* 9. fill the quota (3 volumes) *)
+  ignore (post_volume "alice" "data2");
+  let v3 =
+    Option.value ~default:"missing-v3"
+      (created_volume_id (post_volume "alice" "data3"))
+  in
+  (* 10. one more exceeds the quota (kills M4 when ignored) *)
+  ignore (post_volume "alice" "over-quota");
+  (* 11. delete one volume again (kills M6 wrong status / M8 zombie) *)
+  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v3) ());
+  (* 12. attach v1 (volume action — not a modelled URI, forwarded) *)
+  ignore
+    (request ctx ~user:"alice" Cm_http.Meth.POST
+       (volume_path v1 ^ "/action")
+       ~body:
+         (Json.obj
+            [ ( "os-attach",
+                Json.obj [ ("instance_uuid", Json.string "srv-test") ] )
+            ])
+       ());
+  (* 13. deleting an attached volume must fail (kills M5 when allowed) *)
+  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v1) ());
+  (* 14. detach and delete for real *)
+  ignore
+    (request ctx ~user:"alice" Cm_http.Meth.POST
+       (volume_path v1 ^ "/action")
+       ~body:(Json.obj [ ("os-detach", Json.obj []) ])
+       ());
+  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v1) ());
+  (* 15. final listing by every role *)
+  ignore (request ctx ~user:"alice" Cm_http.Meth.GET volumes_path ());
+  ignore (request ctx ~user:"carol" Cm_http.Meth.GET volumes_path ())

@@ -1,0 +1,43 @@
+(** The validation workload.
+
+    A fixed, deterministic sequence of requests by the three users of
+    the paper's setup (admin alice, member bob, plain-user carol)
+    covering every security requirement of Table I and every behavioural
+    edge of the Cinder state machine: creation to quota, denied
+    escalations, updates, attachment, and deletion.  Run against a
+    correct cloud it produces no violations; run against a mutant it
+    produces the violation that kills it. *)
+
+type ctx = {
+  cloud : Cm_cloudsim.Cloud.t;
+  monitor : Cm_monitor.Monitor.t;
+  tokens : (string * string) list;  (** user name -> token *)
+}
+
+val setup :
+  ?mode:Cm_monitor.Monitor.mode ->
+  ?strategy:Cm_contracts.Runtime.strategy ->
+  ?faults:Cm_cloudsim.Faults.set ->
+  unit ->
+  (ctx, string list) result
+(** Fresh simulated cloud seeded with the paper's [myProject] (three
+    users, quota of 3 volumes), a service account for the monitor, the
+    given faults activated, and a monitor over the Cinder models in the
+    given mode (default [Oracle]). *)
+
+val request :
+  ctx ->
+  user:string ->
+  Cm_http.Meth.t ->
+  string ->
+  ?body:Cm_json.Json.t ->
+  unit ->
+  Cm_monitor.Outcome.t
+(** One request through the monitor, authenticated as the user. *)
+
+val created_volume_id : Cm_monitor.Outcome.t -> string option
+(** Extract the new volume's id from a creation outcome. *)
+
+val standard : ctx -> unit
+(** Run the standard 16-step workload; outcomes accumulate in the
+    monitor's log. *)

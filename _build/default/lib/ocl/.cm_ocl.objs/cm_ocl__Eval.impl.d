@@ -1,0 +1,1 @@
+lib/ocl/eval.ml: Ast Cm_json Fmt List String Value

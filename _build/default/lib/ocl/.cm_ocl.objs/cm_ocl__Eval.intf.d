@@ -1,0 +1,1 @@
+lib/ocl/eval.mli: Ast Cm_json Format Value

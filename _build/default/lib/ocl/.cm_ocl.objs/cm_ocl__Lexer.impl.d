@@ -1,0 +1,1 @@
+lib/ocl/lexer.ml: Buffer Fmt List Printf String

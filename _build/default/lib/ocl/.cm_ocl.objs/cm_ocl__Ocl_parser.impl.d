@@ -1,0 +1,1 @@
+lib/ocl/ocl_parser.ml: Ast Fmt Lexer Printf

@@ -1,0 +1,1 @@
+lib/ocl/pretty.ml: Ast Buffer Fmt List String

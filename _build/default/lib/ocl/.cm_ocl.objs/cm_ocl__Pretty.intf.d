@@ -1,0 +1,1 @@
+lib/ocl/pretty.mli: Ast Format

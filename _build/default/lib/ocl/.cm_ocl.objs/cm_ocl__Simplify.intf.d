@@ -1,0 +1,1 @@
+lib/ocl/simplify.mli: Ast

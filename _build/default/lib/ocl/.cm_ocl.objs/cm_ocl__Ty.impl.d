@@ -1,0 +1,1 @@
+lib/ocl/ty.ml: Fmt List

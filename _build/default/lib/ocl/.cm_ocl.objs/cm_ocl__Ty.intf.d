@@ -1,0 +1,1 @@
+lib/ocl/ty.mli: Format

@@ -1,0 +1,1 @@
+lib/ocl/typecheck.ml: Ast Fmt List Pretty Printf Ty

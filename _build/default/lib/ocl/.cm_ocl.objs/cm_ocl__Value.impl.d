@@ -1,0 +1,1 @@
+lib/ocl/value.ml: Cm_json Float Fmt Int List String

@@ -1,0 +1,1 @@
+lib/ocl/value.mli: Cm_json Format

@@ -1,0 +1,104 @@
+type unop = Not | Neg
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Implies
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+
+type coll_op = Size | Is_empty | Not_empty | Sum | First | Last | As_set
+type iter_kind = For_all | Exists | Select | Reject | Collect | One | Any | Is_unique
+
+type expr =
+  | Bool_lit of bool
+  | Int_lit of int
+  | String_lit of string
+  | Null_lit
+  | Var of string
+  | Nav of expr * string
+  | At_pre of expr
+  | Coll of expr * coll_op
+  | Member of expr * bool * expr
+  | Count of expr * expr
+  | Iter of expr * iter_kind * string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+let equal (a : expr) (b : expr) = a = b
+
+let free_vars expr =
+  let rec walk bound acc = function
+    | Bool_lit _ | Int_lit _ | String_lit _ | Null_lit -> acc
+    | Var name -> if List.mem name bound then acc else name :: acc
+    | Nav (e, _) | At_pre e | Coll (e, _) | Unop (_, e) -> walk bound acc e
+    | Member (e, _, x) | Count (e, x) -> walk bound (walk bound acc e) x
+    | Iter (e, _, var, body) -> walk (var :: bound) (walk bound acc e) body
+    | Binop (_, a, b) -> walk bound (walk bound acc a) b
+  in
+  List.sort_uniq String.compare (walk [] [] expr)
+
+let rec has_pre = function
+  | Bool_lit _ | Int_lit _ | String_lit _ | Null_lit | Var _ -> false
+  | At_pre _ -> true
+  | Nav (e, _) | Coll (e, _) | Unop (_, e) -> has_pre e
+  | Member (e, _, x) | Count (e, x) -> has_pre e || has_pre x
+  | Iter (e, _, _, body) -> has_pre e || has_pre body
+  | Binop (_, a, b) -> has_pre a || has_pre b
+
+let pre_subexprs expr =
+  let rec walk acc = function
+    | Bool_lit _ | Int_lit _ | String_lit _ | Null_lit | Var _ -> acc
+    | At_pre e -> if List.mem e acc then acc else acc @ [ e ]
+    | Nav (e, _) | Coll (e, _) | Unop (_, e) -> walk acc e
+    | Member (e, _, x) | Count (e, x) -> walk (walk acc e) x
+    | Iter (e, _, _, body) -> walk (walk acc e) body
+    | Binop (_, a, b) -> walk (walk acc a) b
+  in
+  walk [] expr
+
+let rec size = function
+  | Bool_lit _ | Int_lit _ | String_lit _ | Null_lit | Var _ -> 1
+  | Nav (e, _) | At_pre e | Coll (e, _) | Unop (_, e) -> 1 + size e
+  | Member (e, _, x) | Count (e, x) -> 1 + size e + size x
+  | Iter (e, _, _, body) -> 1 + size e + size body
+  | Binop (_, a, b) -> 1 + size a + size b
+
+let conj = function
+  | [] -> Bool_lit true
+  | first :: rest -> List.fold_left (fun acc e -> Binop (And, acc, e)) first rest
+
+let disj = function
+  | [] -> Bool_lit false
+  | first :: rest -> List.fold_left (fun acc e -> Binop (Or, acc, e)) first rest
+
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let ( ==> ) a b = Binop (Implies, a, b)
+
+let nav root props =
+  List.fold_left (fun acc prop -> Nav (acc, prop)) (Var root) props
+
+let rec map_vars subst = function
+  | (Bool_lit _ | Int_lit _ | String_lit _ | Null_lit) as lit -> lit
+  | Var name -> subst name
+  | Nav (e, prop) -> Nav (map_vars subst e, prop)
+  | At_pre e -> At_pre (map_vars subst e)
+  | Coll (e, op) -> Coll (map_vars subst e, op)
+  | Member (e, incl, x) -> Member (map_vars subst e, incl, map_vars subst x)
+  | Count (e, x) -> Count (map_vars subst e, map_vars subst x)
+  | Iter (e, kind, var, body) ->
+    (* The binder shadows the context variable inside the body. *)
+    let inner name = if name = var then Var name else subst name in
+    Iter (map_vars subst e, kind, var, map_vars inner body)
+  | Unop (op, e) -> Unop (op, map_vars subst e)
+  | Binop (op, a, b) -> Binop (op, map_vars subst a, map_vars subst b)

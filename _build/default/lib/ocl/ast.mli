@@ -1,0 +1,108 @@
+(** Abstract syntax of the OCL subset.
+
+    The paper specifies state invariants, guards and effects in OCL over
+    the {e addressable resources} of the REST API, e.g.
+
+    {v project.id->size() = 1 and project.volumes->size() = 0 v}
+
+    This subset covers everything appearing in the paper's models plus the
+    collection operations needed to express realistic policies: navigation
+    chains, the arrow operations ([size], [isEmpty], [notEmpty], [sum],
+    [includes], [excludes], [forAll], [exists], [select], [reject],
+    [collect]), boolean connectives including [implies] (the paper also
+    writes [=>] and [==>]), comparisons, integer arithmetic, and the
+    pre-state operator written either [pre(e)] (as in Listing 1) or the
+    standard [e@pre]. *)
+
+type unop =
+  | Not
+  | Neg
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Implies
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+
+(** Collection operations taking no argument ([e->size()], ...). *)
+type coll_op =
+  | Size
+  | Is_empty
+  | Not_empty
+  | Sum
+  | First
+  | Last
+  | As_set  (** distinct elements, first-occurrence order *)
+
+(** Iterator kinds ([e->forAll(v | body)], ...). *)
+type iter_kind =
+  | For_all
+  | Exists
+  | Select
+  | Reject
+  | Collect
+  | One
+  | Any  (** first element satisfying the body; undefined when none *)
+  | Is_unique  (** body values pairwise distinct *)
+
+type expr =
+  | Bool_lit of bool
+  | Int_lit of int
+  | String_lit of string
+  | Null_lit
+  | Var of string  (** context variable, e.g. [project], [user] *)
+  | Nav of expr * string  (** property navigation [e.prop] *)
+  | At_pre of expr  (** pre-state value: [pre(e)] or [e@pre] *)
+  | Coll of expr * coll_op  (** [e->size()] and friends *)
+  | Member of expr * bool * expr
+      (** [e->includes(x)] ([true]) / [e->excludes(x)] ([false]) *)
+  | Count of expr * expr  (** [e->count(x)]: occurrences of [x] in [e] *)
+  | Iter of expr * iter_kind * string * expr
+      (** [e->forAll(v | body)] and friends *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+val equal : expr -> expr -> bool
+
+val free_vars : expr -> string list
+(** Context variables used, sorted, without duplicates; iterator-bound
+    variables are not free in their body. *)
+
+val has_pre : expr -> bool
+(** Does the expression mention the pre-state anywhere? *)
+
+val pre_subexprs : expr -> expr list
+(** The expressions appearing under a pre-state operator (the values a
+    monitor must snapshot before forwarding a call), without duplicates,
+    outermost first. *)
+
+val size : expr -> int
+(** Node count — used by the generation-scaling benches. *)
+
+val conj : expr list -> expr
+(** Conjunction of a list; [Bool_lit true] for the empty list. *)
+
+val disj : expr list -> expr
+(** Disjunction of a list; [Bool_lit false] for the empty list. *)
+
+(** Convenience constructors used by model builders. *)
+
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val ( ==> ) : expr -> expr -> expr
+val nav : string -> string list -> expr
+(** [nav "project" ["volumes"]] is [project.volumes]. *)
+
+val map_vars : (string -> expr) -> expr -> expr
+(** Substitute free context variables (capture-avoiding w.r.t. iterator
+    binders). *)

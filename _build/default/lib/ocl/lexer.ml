@@ -1,0 +1,166 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | TRUE
+  | FALSE
+  | NULL
+  | AND
+  | OR
+  | XOR
+  | NOT
+  | IMPLIES
+  | PRE
+  | AT_PRE
+  | ARROW
+  | DOT
+  | LPAREN
+  | RPAREN
+  | BAR
+  | COMMA
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "OCL lex error at offset %d: %s" position message
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT n -> Fmt.pf ppf "integer %d" n
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | TRUE -> Fmt.string ppf "true"
+  | FALSE -> Fmt.string ppf "false"
+  | NULL -> Fmt.string ppf "null"
+  | AND -> Fmt.string ppf "and"
+  | OR -> Fmt.string ppf "or"
+  | XOR -> Fmt.string ppf "xor"
+  | NOT -> Fmt.string ppf "not"
+  | IMPLIES -> Fmt.string ppf "implies"
+  | PRE -> Fmt.string ppf "pre"
+  | AT_PRE -> Fmt.string ppf "@pre"
+  | ARROW -> Fmt.string ppf "'->'"
+  | DOT -> Fmt.string ppf "'.'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | BAR -> Fmt.string ppf "'|'"
+  | COMMA -> Fmt.string ppf "','"
+  | EQ -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'<>'"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Lex_error of error
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_token = function
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "null" -> Some NULL
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "xor" -> Some XOR
+  | "not" -> Some NOT
+  | "implies" -> Some IMPLIES
+  | "pre" -> Some PRE
+  | _ -> None
+
+let tokenize input =
+  let len = String.length input in
+  let fail position message = raise (Lex_error { position; message }) in
+  let rec loop pos acc =
+    if pos >= len then List.rev ((EOF, pos) :: acc)
+    else
+      let c = input.[pos] in
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> loop (pos + 1) acc
+      | '(' -> loop (pos + 1) ((LPAREN, pos) :: acc)
+      | ')' -> loop (pos + 1) ((RPAREN, pos) :: acc)
+      | '|' -> loop (pos + 1) ((BAR, pos) :: acc)
+      | ',' -> loop (pos + 1) ((COMMA, pos) :: acc)
+      | '.' -> loop (pos + 1) ((DOT, pos) :: acc)
+      | '+' -> loop (pos + 1) ((PLUS, pos) :: acc)
+      | '*' -> loop (pos + 1) ((STAR, pos) :: acc)
+      | '/' -> loop (pos + 1) ((SLASH, pos) :: acc)
+      | '@' ->
+        if pos + 3 < len && String.sub input (pos + 1) 3 = "pre" then
+          loop (pos + 4) ((AT_PRE, pos) :: acc)
+        else if pos + 4 = len && String.sub input (pos + 1) 3 = "pre" then
+          loop (pos + 4) ((AT_PRE, pos) :: acc)
+        else fail pos "expected @pre"
+      | '-' ->
+        if pos + 1 < len && input.[pos + 1] = '>' then
+          loop (pos + 2) ((ARROW, pos) :: acc)
+        else loop (pos + 1) ((MINUS, pos) :: acc)
+      | '=' ->
+        (* '=', '=>' and '==>' (the paper uses both arrow spellings). *)
+        if pos + 2 < len && input.[pos + 1] = '=' && input.[pos + 2] = '>' then
+          loop (pos + 3) ((IMPLIES, pos) :: acc)
+        else if pos + 1 < len && input.[pos + 1] = '>' then
+          loop (pos + 2) ((IMPLIES, pos) :: acc)
+        else loop (pos + 1) ((EQ, pos) :: acc)
+      | '<' ->
+        if pos + 1 < len && input.[pos + 1] = '>' then
+          loop (pos + 2) ((NEQ, pos) :: acc)
+        else if pos + 1 < len && input.[pos + 1] = '=' then
+          loop (pos + 2) ((LE, pos) :: acc)
+        else loop (pos + 1) ((LT, pos) :: acc)
+      | '>' ->
+        if pos + 1 < len && input.[pos + 1] = '=' then
+          loop (pos + 2) ((GE, pos) :: acc)
+        else loop (pos + 1) ((GT, pos) :: acc)
+      | '\'' | '"' ->
+        let quote = c in
+        let buf = Buffer.create 16 in
+        let rec scan i =
+          if i >= len then fail pos "unterminated string literal"
+          else if input.[i] = quote then i + 1
+          else begin
+            Buffer.add_char buf input.[i];
+            scan (i + 1)
+          end
+        in
+        let next = scan (pos + 1) in
+        loop next ((STRING (Buffer.contents buf), pos) :: acc)
+      | c when is_digit c ->
+        let rec scan i = if i < len && is_digit input.[i] then scan (i + 1) else i in
+        let next = scan pos in
+        let text = String.sub input pos (next - pos) in
+        loop next ((INT (int_of_string text), pos) :: acc)
+      | c when is_ident_start c ->
+        let rec scan i =
+          if i < len && is_ident_char input.[i] then scan (i + 1) else i
+        in
+        let next = scan pos in
+        let text = String.sub input pos (next - pos) in
+        let token =
+          match keyword_token text with Some kw -> kw | None -> IDENT text
+        in
+        loop next ((token, pos) :: acc)
+      | c -> fail pos (Printf.sprintf "unexpected character %C" c)
+  in
+  match loop 0 [] with
+  | tokens -> Ok tokens
+  | exception Lex_error err -> Error err

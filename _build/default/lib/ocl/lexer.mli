@@ -1,0 +1,41 @@
+(** Lexer for the OCL subset. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string  (** both ['...'] (the paper's style) and ["..."] *)
+  | TRUE
+  | FALSE
+  | NULL
+  | AND
+  | OR
+  | XOR
+  | NOT
+  | IMPLIES  (** [implies], [=>] or [==>] *)
+  | PRE  (** the [pre] keyword of [pre(e)] *)
+  | AT_PRE  (** the [@pre] suffix *)
+  | ARROW  (** [->] *)
+  | DOT
+  | LPAREN
+  | RPAREN
+  | BAR
+  | COMMA
+  | EQ
+  | NEQ  (** [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> ((token * int) list, error) result
+(** Tokens paired with their start offsets, ending with [EOF]. *)

@@ -1,0 +1,279 @@
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "OCL parse error at offset %d: %s" position message
+
+exception Parse_error of error
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st =
+  match st.tokens with
+  | (token, pos) :: _ -> (token, pos)
+  | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let fail pos message = raise (Parse_error { position = pos; message })
+
+let expect st expected description =
+  let token, pos = peek st in
+  if token = expected then advance st
+  else
+    fail pos (Fmt.str "expected %s, found %a" description Lexer.pp_token token)
+
+let coll_op_of_name = function
+  | "size" -> Some Ast.Size
+  | "isEmpty" -> Some Ast.Is_empty
+  | "notEmpty" -> Some Ast.Not_empty
+  | "sum" -> Some Ast.Sum
+  | "first" -> Some Ast.First
+  | "last" -> Some Ast.Last
+  | "asSet" -> Some Ast.As_set
+  | _ -> None
+
+let iter_kind_of_name = function
+  | "forAll" -> Some Ast.For_all
+  | "exists" -> Some Ast.Exists
+  | "select" -> Some Ast.Select
+  | "reject" -> Some Ast.Reject
+  | "collect" -> Some Ast.Collect
+  | "one" -> Some Ast.One
+  | "any" -> Some Ast.Any
+  | "isUnique" -> Some Ast.Is_unique
+  | _ -> None
+
+(* The [pre] keyword doubles as an ordinary property / variable name when
+   it is not immediately applied: [pre(e)] is the pre-state operator but
+   [x.pre] navigates a property called "pre". *)
+let ident_like st =
+  let token, pos = peek st in
+  match token with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | Lexer.PRE ->
+    advance st;
+    "pre"
+  | other -> fail pos (Fmt.str "expected identifier, found %a" Lexer.pp_token other)
+
+let rec parse_implies st =
+  let left = parse_xor st in
+  match peek st with
+  | Lexer.IMPLIES, _ ->
+    advance st;
+    let right = parse_implies st in
+    Ast.Binop (Ast.Implies, left, right)
+  | _ -> left
+
+and parse_xor st =
+  let rec loop left =
+    match peek st with
+    | Lexer.XOR, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Xor, left, parse_or st))
+    | _ -> left
+  in
+  loop (parse_or st)
+
+and parse_or st =
+  let rec loop left =
+    match peek st with
+    | Lexer.OR, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Or, left, parse_and st))
+    | _ -> left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    match peek st with
+    | Lexer.AND, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.And, left, parse_equality st))
+    | _ -> left
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop left =
+    match peek st with
+    | Lexer.EQ, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Eq, left, parse_relational st))
+    | Lexer.NEQ, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Neq, left, parse_relational st))
+    | _ -> left
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let left = parse_additive st in
+  let op =
+    match peek st with
+    | Lexer.LT, _ -> Some Ast.Lt
+    | Lexer.LE, _ -> Some Ast.Le
+    | Lexer.GT, _ -> Some Ast.Gt
+    | Lexer.GE, _ -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Ast.Binop (op, left, parse_additive st)
+  | None -> left
+
+and parse_additive st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_multiplicative st))
+    | Lexer.MINUS, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Lexer.SLASH, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.NOT, _ ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | Lexer.MINUS, _ ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop expr =
+    match peek st with
+    | Lexer.DOT, _ ->
+      advance st;
+      let prop = ident_like st in
+      loop (Ast.Nav (expr, prop))
+    | Lexer.AT_PRE, _ ->
+      advance st;
+      loop (Ast.At_pre expr)
+    | Lexer.ARROW, pos ->
+      advance st;
+      loop (parse_arrow_call st pos expr)
+    | _ -> expr
+  in
+  loop (parse_primary st)
+
+and parse_arrow_call st pos source =
+  let name = ident_like st in
+  expect st Lexer.LPAREN "'('";
+  match coll_op_of_name name with
+  | Some op ->
+    expect st Lexer.RPAREN "')'";
+    Ast.Coll (source, op)
+  | None ->
+    (match name with
+     | "includes" | "excludes" ->
+       let arg = parse_implies st in
+       expect st Lexer.RPAREN "')'";
+       Ast.Member (source, name = "includes", arg)
+     | "count" ->
+       let arg = parse_implies st in
+       expect st Lexer.RPAREN "')'";
+       Ast.Count (source, arg)
+     | _ ->
+       (match iter_kind_of_name name with
+        | Some kind ->
+          let first = parse_implies st in
+          (match peek st with
+           | Lexer.BAR, bar_pos ->
+             advance st;
+             let binder =
+               match first with
+               | Ast.Var v -> v
+               | _ -> fail bar_pos "iterator binder must be a plain name"
+             in
+             let body = parse_implies st in
+             expect st Lexer.RPAREN "')'";
+             Ast.Iter (source, kind, binder, body)
+           | _ ->
+             expect st Lexer.RPAREN "')'";
+             (* Implicit iterator: the body refers to the element as
+                [self]. *)
+             Ast.Iter (source, kind, "self", first))
+        | None -> fail pos (Printf.sprintf "unknown collection operation %S" name)))
+
+and parse_primary st =
+  let token, pos = peek st in
+  match token with
+  | Lexer.TRUE ->
+    advance st;
+    Ast.Bool_lit true
+  | Lexer.FALSE ->
+    advance st;
+    Ast.Bool_lit false
+  | Lexer.NULL ->
+    advance st;
+    Ast.Null_lit
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int_lit n
+  | Lexer.STRING s ->
+    advance st;
+    Ast.String_lit s
+  | Lexer.PRE ->
+    advance st;
+    (match peek st with
+     | Lexer.LPAREN, _ ->
+       advance st;
+       let inner = parse_implies st in
+       expect st Lexer.RPAREN "')'";
+       Ast.At_pre inner
+     | _ -> Ast.Var "pre")
+  | Lexer.IDENT name ->
+    advance st;
+    Ast.Var name
+  | Lexer.LPAREN ->
+    advance st;
+    let inner = parse_implies st in
+    expect st Lexer.RPAREN "')'";
+    inner
+  | other -> fail pos (Fmt.str "unexpected %a" Lexer.pp_token other)
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error { Lexer.position; message } -> Error { position; message }
+  | Ok tokens ->
+    let st = { tokens } in
+    (match
+       let expr = parse_implies st in
+       (match peek st with
+        | Lexer.EOF, _ -> ()
+        | other, pos ->
+          fail pos (Fmt.str "trailing %a after expression" Lexer.pp_token other));
+       expr
+     with
+     | expr -> Ok expr
+     | exception Parse_error err -> Error err)
+
+let parse_exn input =
+  match parse input with
+  | Ok expr -> expr
+  | Error err -> failwith (Fmt.str "%a" pp_error err)

@@ -1,0 +1,14 @@
+(** Parser for the OCL subset.
+
+    Operator precedence follows OCL 2.x, tightest first: navigation
+    ([.], [->], [@pre]); unary [not]/[-]; [*] [/]; [+] [-]; relational;
+    equality; [and]; [or]; [xor]; [implies] (right-associative).
+
+    Iterator calls accept an explicit binder ([e->forAll(v | body)]) or an
+    implicit one ([e->exists(body)], bound to [self]). *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val parse : string -> (Ast.expr, error) result
+val parse_exn : string -> Ast.expr

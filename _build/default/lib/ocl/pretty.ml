@@ -1,0 +1,173 @@
+(* Precedence levels, loosest = 0 (implies) to tightest. Parentheses are
+   emitted when a child's level is looser than its context requires. *)
+let level = function
+  | Ast.Binop (Ast.Implies, _, _) -> 0
+  | Ast.Binop (Ast.Xor, _, _) -> 1
+  | Ast.Binop (Ast.Or, _, _) -> 2
+  | Ast.Binop (Ast.And, _, _) -> 3
+  | Ast.Binop ((Ast.Eq | Ast.Neq), _, _) -> 4
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 5
+  | Ast.Binop ((Ast.Add | Ast.Sub), _, _) -> 6
+  | Ast.Binop ((Ast.Mul | Ast.Div), _, _) -> 7
+  | Ast.Unop (_, _) -> 8
+  | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.String_lit _ | Ast.Null_lit
+  | Ast.Var _ | Ast.Nav _ | Ast.At_pre _ | Ast.Coll _ | Ast.Member _
+  | Ast.Count _ | Ast.Iter _ -> 9
+
+let binop_text = function
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+  | Ast.Xor -> "xor"
+  | Ast.Implies -> "implies"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+
+let coll_op_text = function
+  | Ast.Size -> "size"
+  | Ast.Is_empty -> "isEmpty"
+  | Ast.Not_empty -> "notEmpty"
+  | Ast.Sum -> "sum"
+  | Ast.First -> "first"
+  | Ast.Last -> "last"
+  | Ast.As_set -> "asSet"
+
+let iter_kind_text = function
+  | Ast.For_all -> "forAll"
+  | Ast.Exists -> "exists"
+  | Ast.Select -> "select"
+  | Ast.Reject -> "reject"
+  | Ast.Collect -> "collect"
+  | Ast.One -> "one"
+  | Ast.Any -> "any"
+  | Ast.Is_unique -> "isUnique"
+
+let to_string expr =
+  let buf = Buffer.create 64 in
+  (* [ctx] is the minimum level a child may have without parentheses. *)
+  let rec emit ctx e =
+    let lvl = level e in
+    let needs_parens = lvl < ctx in
+    if needs_parens then Buffer.add_char buf '(';
+    (match e with
+     | Ast.Bool_lit b -> Buffer.add_string buf (string_of_bool b)
+     | Ast.Int_lit n -> Buffer.add_string buf (string_of_int n)
+     | Ast.String_lit s ->
+       Buffer.add_char buf '\'';
+       Buffer.add_string buf s;
+       Buffer.add_char buf '\''
+     | Ast.Null_lit -> Buffer.add_string buf "null"
+     | Ast.Var name -> Buffer.add_string buf name
+     | Ast.Nav (source, prop) ->
+       emit 9 source;
+       Buffer.add_char buf '.';
+       Buffer.add_string buf prop
+     | Ast.At_pre inner ->
+       Buffer.add_string buf "pre(";
+       emit 0 inner;
+       Buffer.add_char buf ')'
+     | Ast.Coll (source, op) ->
+       emit 9 source;
+       Buffer.add_string buf "->";
+       Buffer.add_string buf (coll_op_text op);
+       Buffer.add_string buf "()"
+     | Ast.Member (source, includes, arg) ->
+       emit 9 source;
+       Buffer.add_string buf "->";
+       Buffer.add_string buf (if includes then "includes" else "excludes");
+       Buffer.add_char buf '(';
+       emit 0 arg;
+       Buffer.add_char buf ')'
+     | Ast.Count (source, arg) ->
+       emit 9 source;
+       Buffer.add_string buf "->count(";
+       emit 0 arg;
+       Buffer.add_char buf ')'
+     | Ast.Iter (source, kind, var, body) ->
+       emit 9 source;
+       Buffer.add_string buf "->";
+       Buffer.add_string buf (iter_kind_text kind);
+       Buffer.add_char buf '(';
+       Buffer.add_string buf var;
+       Buffer.add_string buf " | ";
+       emit 0 body;
+       Buffer.add_char buf ')'
+     | Ast.Unop (Ast.Not, inner) ->
+       Buffer.add_string buf "not ";
+       emit 8 inner
+     | Ast.Unop (Ast.Neg, inner) ->
+       Buffer.add_char buf '-';
+       emit 8 inner
+     | Ast.Binop (op, left, right) ->
+       (* [implies] is right-associative; the other binary operators
+          associate left. *)
+       let left_ctx, right_ctx =
+         match op with
+         | Ast.Implies -> (lvl + 1, lvl)
+         | _ -> (lvl, lvl + 1)
+       in
+       emit left_ctx left;
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (binop_text op);
+       Buffer.add_char buf ' ';
+       emit right_ctx right);
+    if needs_parens then Buffer.add_char buf ')'
+  in
+  emit 0 expr;
+  Buffer.contents buf
+
+let pp ppf expr = Fmt.string ppf (to_string expr)
+
+let to_string_multiline ?(width = 72) expr =
+  (* Top-level ors become one clause per paragraph; top-level ands within
+     a clause break when the line would overflow. *)
+  let rec or_clauses = function
+    | Ast.Binop (Ast.Or, a, b) -> or_clauses a @ or_clauses b
+    | e -> [ e ]
+  in
+  let rec and_clauses = function
+    | Ast.Binop (Ast.And, a, b) -> and_clauses a @ and_clauses b
+    | e -> [ e ]
+  in
+  (* A conjunct that binds looser than [and] needs parentheses once the
+     conjunction is re-assembled textually. *)
+  let atom_text atom =
+    let text = to_string atom in
+    match atom with
+    | Ast.Binop ((Ast.Or | Ast.Xor | Ast.Implies), _, _) -> "(" ^ text ^ ")"
+    | _ -> text
+  in
+  let render_clause clause =
+    let atoms = and_clauses clause in
+    let lines = Buffer.create 64 in
+    let current = Buffer.create 64 in
+    List.iteri
+      (fun i atom ->
+        let text = atom_text atom in
+        let piece = if i = 0 then text else " and " ^ text in
+        if Buffer.length current > 0
+           && Buffer.length current + String.length piece > width
+        then begin
+          Buffer.add_string lines (Buffer.contents current);
+          Buffer.add_string lines "\n     ";
+          Buffer.clear current;
+          Buffer.add_string current (if i = 0 then text else "and " ^ text)
+        end
+        else Buffer.add_string current piece)
+      atoms;
+    Buffer.add_string lines (Buffer.contents current);
+    Buffer.contents lines
+  in
+  match or_clauses expr with
+  | [ only ] -> render_clause only
+  | clauses ->
+    clauses
+    |> List.map (fun clause -> "(" ^ render_clause clause ^ ")")
+    |> String.concat "\n or\n"

@@ -1,0 +1,12 @@
+(** Pretty-printing OCL back to concrete syntax.
+
+    Output is re-parseable: [parse (to_string e)] yields an expression
+    equal to [e] (a property-tested invariant).  String literals use the
+    paper's single quotes; [pre(e)] is used for the pre-state operator. *)
+
+val to_string : Ast.expr -> string
+val pp : Format.formatter -> Ast.expr -> unit
+
+val to_string_multiline : ?width:int -> Ast.expr -> string
+(** Break top-level disjuncts/conjuncts over lines (the layout of the
+    paper's Listing 1). *)

@@ -1,0 +1,167 @@
+let rec disjuncts = function
+  | Ast.Binop (Ast.Or, a, b) -> disjuncts a @ disjuncts b
+  | e -> [ e ]
+
+let rec conjuncts = function
+  | Ast.Binop (Ast.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let dedup exprs =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | e :: rest ->
+      if List.exists (Ast.equal e) seen then loop seen rest
+      else loop (e :: seen) rest
+  in
+  loop [] exprs
+
+let negate_comparison = function
+  | Ast.Binop (Ast.Eq, a, b) -> Some (Ast.Binop (Ast.Neq, a, b))
+  | Ast.Binop (Ast.Neq, a, b) -> Some (Ast.Binop (Ast.Eq, a, b))
+  | Ast.Binop (Ast.Lt, a, b) -> Some (Ast.Binop (Ast.Ge, a, b))
+  | Ast.Binop (Ast.Le, a, b) -> Some (Ast.Binop (Ast.Gt, a, b))
+  | Ast.Binop (Ast.Gt, a, b) -> Some (Ast.Binop (Ast.Le, a, b))
+  | Ast.Binop (Ast.Ge, a, b) -> Some (Ast.Binop (Ast.Lt, a, b))
+  | Ast.Coll (e, Ast.Is_empty) -> Some (Ast.Coll (e, Ast.Not_empty))
+  | Ast.Coll (e, Ast.Not_empty) -> Some (Ast.Coll (e, Ast.Is_empty))
+  | Ast.Member (e, incl, x) -> Some (Ast.Member (e, not incl, x))
+  | _ -> None
+
+let rec step expr =
+  match expr with
+  | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.String_lit _ | Ast.Null_lit
+  | Ast.Var _ -> expr
+  | Ast.Nav (e, prop) -> Ast.Nav (step e, prop)
+  | Ast.At_pre e -> Ast.At_pre (step e)
+  | Ast.Coll (e, op) -> Ast.Coll (step e, op)
+  | Ast.Member (e, incl, x) -> Ast.Member (step e, incl, step x)
+  | Ast.Count (e, x) -> Ast.Count (step e, step x)
+  | Ast.Iter (e, kind, var, body) -> Ast.Iter (step e, kind, var, step body)
+  | Ast.Unop (Ast.Not, inner) ->
+    (match step inner with
+     | Ast.Bool_lit b -> Ast.Bool_lit (not b)
+     | Ast.Unop (Ast.Not, e) -> e
+     | simplified ->
+       (match negate_comparison simplified with
+        | Some negated -> negated
+        | None -> Ast.Unop (Ast.Not, simplified)))
+  | Ast.Unop (Ast.Neg, inner) ->
+    (match step inner with
+     | Ast.Int_lit n -> Ast.Int_lit (-n)
+     | Ast.Unop (Ast.Neg, e) -> e
+     | simplified -> Ast.Unop (Ast.Neg, simplified))
+  | Ast.Binop (Ast.And, _, _) ->
+    let parts =
+      conjuncts expr |> List.map step
+      |> List.concat_map conjuncts
+      |> List.filter (fun e -> e <> Ast.Bool_lit true)
+      |> dedup
+    in
+    if List.exists (fun e -> e = Ast.Bool_lit false) parts then
+      Ast.Bool_lit false
+    else Ast.conj parts
+  | Ast.Binop (Ast.Or, _, _) ->
+    let parts =
+      disjuncts expr |> List.map step
+      |> List.concat_map disjuncts
+      |> List.filter (fun e -> e <> Ast.Bool_lit false)
+      |> dedup
+    in
+    if List.exists (fun e -> e = Ast.Bool_lit true) parts then Ast.Bool_lit true
+    else Ast.disj parts
+  | Ast.Binop (Ast.Implies, a, b) ->
+    (match step a, step b with
+     | Ast.Bool_lit true, b' -> b'
+     | Ast.Bool_lit false, _ -> Ast.Bool_lit true
+     | _, Ast.Bool_lit true -> Ast.Bool_lit true
+     | a', b' when Ast.equal a' b' -> Ast.Bool_lit true
+     | a', b' -> Ast.Binop (Ast.Implies, a', b'))
+  | Ast.Binop (Ast.Xor, a, b) ->
+    (match step a, step b with
+     | Ast.Bool_lit x, Ast.Bool_lit y -> Ast.Bool_lit (x <> y)
+     | Ast.Bool_lit false, b' -> b'
+     | a', Ast.Bool_lit false -> a'
+     | a', b' -> Ast.Binop (Ast.Xor, a', b'))
+  | Ast.Binop (Ast.Eq, a, b) ->
+    let a' = step a and b' = step b in
+    (match a', b' with
+     | Ast.Bool_lit x, Ast.Bool_lit y -> Ast.Bool_lit (x = y)
+     | Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x = y)
+     | Ast.String_lit x, Ast.String_lit y -> Ast.Bool_lit (x = y)
+     | _ -> Ast.Binop (Ast.Eq, a', b'))
+  | Ast.Binop (Ast.Neq, a, b) ->
+    let a' = step a and b' = step b in
+    (match a', b' with
+     | Ast.Bool_lit x, Ast.Bool_lit y -> Ast.Bool_lit (x <> y)
+     | Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x <> y)
+     | Ast.String_lit x, Ast.String_lit y -> Ast.Bool_lit (x <> y)
+     | _ -> Ast.Binop (Ast.Neq, a', b'))
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+    let a' = step a and b' = step b in
+    (match a', b' with
+     | Ast.Int_lit x, Ast.Int_lit y ->
+       let holds =
+         match op with
+         | Ast.Lt -> x < y
+         | Ast.Le -> x <= y
+         | Ast.Gt -> x > y
+         | Ast.Ge -> x >= y
+         | _ -> false
+       in
+       Ast.Bool_lit holds
+     | _ -> Ast.Binop (op, a', b'))
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op, a, b) ->
+    let a' = step a and b' = step b in
+    (match a', b', op with
+     | Ast.Int_lit x, Ast.Int_lit y, Ast.Add -> Ast.Int_lit (x + y)
+     | Ast.Int_lit x, Ast.Int_lit y, Ast.Sub -> Ast.Int_lit (x - y)
+     | Ast.Int_lit x, Ast.Int_lit y, Ast.Mul -> Ast.Int_lit (x * y)
+     | Ast.Int_lit x, Ast.Int_lit y, Ast.Div when y <> 0 -> Ast.Int_lit (x / y)
+     | _ -> Ast.Binop (op, a', b'))
+
+let simplify expr =
+  let rec fixpoint current fuel =
+    if fuel = 0 then current
+    else
+      let next = step current in
+      if Ast.equal next current then current else fixpoint next (fuel - 1)
+  in
+  fixpoint expr 32
+
+let rec nnf expr =
+  match expr with
+  | Ast.Unop (Ast.Not, inner) -> nnf_neg inner
+  | Ast.Binop (Ast.Implies, a, b) ->
+    Ast.Binop (Ast.Or, nnf_neg a, nnf b)
+  | Ast.Binop (Ast.Xor, a, b) ->
+    Ast.Binop
+      ( Ast.Or,
+        Ast.Binop (Ast.And, nnf a, nnf_neg b),
+        Ast.Binop (Ast.And, nnf_neg a, nnf b) )
+  | Ast.Binop ((Ast.And | Ast.Or) as op, a, b) -> Ast.Binop (op, nnf a, nnf b)
+  | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.String_lit _ | Ast.Null_lit
+  | Ast.Var _ | Ast.Nav _ | Ast.At_pre _ | Ast.Coll _ | Ast.Member _
+  | Ast.Count _ | Ast.Iter _ | Ast.Unop (Ast.Neg, _)
+  | Ast.Binop
+      ( ( Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Add
+        | Ast.Sub | Ast.Mul | Ast.Div ),
+        _,
+        _ ) -> expr
+
+and nnf_neg expr =
+  match expr with
+  | Ast.Bool_lit b -> Ast.Bool_lit (not b)
+  | Ast.Unop (Ast.Not, inner) -> nnf inner
+  | Ast.Binop (Ast.And, a, b) -> Ast.Binop (Ast.Or, nnf_neg a, nnf_neg b)
+  | Ast.Binop (Ast.Or, a, b) -> Ast.Binop (Ast.And, nnf_neg a, nnf_neg b)
+  | Ast.Binop (Ast.Implies, a, b) -> Ast.Binop (Ast.And, nnf a, nnf_neg b)
+  | Ast.Binop (Ast.Xor, a, b) ->
+    (* not (a xor b) = a = b as booleans *)
+    Ast.Binop
+      ( Ast.Or,
+        Ast.Binop (Ast.And, nnf a, nnf b),
+        Ast.Binop (Ast.And, nnf_neg a, nnf_neg b) )
+  | other ->
+    (match negate_comparison other with
+     | Some negated -> negated
+     | None -> Ast.Unop (Ast.Not, nnf other))

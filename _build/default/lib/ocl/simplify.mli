@@ -1,0 +1,24 @@
+(** Boolean simplification of OCL expressions.
+
+    Generated contracts accumulate trivial conjuncts ([true and e],
+    duplicated atoms, …).  The simplifier normalises them for display and
+    for the generated code; it preserves the classical semantics and —
+    because it only rewrites around boolean connectives with
+    definedness-preserving laws — the three-valued verdicts of {!Eval}
+    as well (a property-tested claim). *)
+
+val simplify : Ast.expr -> Ast.expr
+(** Fixed-point of the rewrite rules: identity/absorbing elements of
+    [and]/[or], double negation, [not] over comparisons, duplicate
+    conjunct/disjunct removal, [implies] with literal sides. *)
+
+val nnf : Ast.expr -> Ast.expr
+(** Negation normal form: push [not] inwards, rewrite [implies]/[xor]
+    away.  Classically equivalent; may turn Unknown into a defined value
+    only in the same direction as [simplify]. *)
+
+val disjuncts : Ast.expr -> Ast.expr list
+(** Top-level [or] clauses, flattened. *)
+
+val conjuncts : Ast.expr -> Ast.expr list
+(** Top-level [and] clauses, flattened. *)

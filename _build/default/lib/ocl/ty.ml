@@ -1,0 +1,63 @@
+type t =
+  | Bool
+  | Int
+  | Real
+  | String
+  | Collection of t
+  | Object of (string * t) list
+  | Any
+
+type signature = (string * t) list
+
+let rec equal a b =
+  match a, b with
+  | Bool, Bool | Int, Int | Real, Real | String, String | Any, Any -> true
+  | Collection x, Collection y -> equal x y
+  | Object xs, Object ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, t1) (k2, t2) -> k1 = k2 && equal t1 t2)
+         (List.sort compare xs) (List.sort compare ys)
+  | _ -> false
+
+let is_numeric = function Int | Real | Any -> true | _ -> false
+
+let rec compatible a b =
+  match a, b with
+  | Any, _ | _, Any -> true
+  | (Int | Real), (Int | Real) -> true
+  | Bool, Bool | String, String -> true
+  | Collection x, Collection y -> compatible x y
+  | Object xs, Object ys ->
+    List.for_all
+      (fun (k, tx) ->
+        match List.assoc_opt k ys with
+        | Some ty -> compatible tx ty
+        | None -> true)
+      xs
+  | _ -> false
+
+let element = function Collection t -> t | t -> t
+
+let property name = function
+  | Object props -> List.assoc_opt name props
+  | Collection (Object props) ->
+    (match List.assoc_opt name props with
+     | Some t -> Some (Collection t)
+     | None -> None)
+  | Any -> Some Any
+  | Collection Any -> Some (Collection Any)
+  | Bool | Int | Real | String | Collection _ -> None
+
+let rec pp ppf = function
+  | Bool -> Fmt.string ppf "Boolean"
+  | Int -> Fmt.string ppf "Integer"
+  | Real -> Fmt.string ppf "Real"
+  | String -> Fmt.string ppf "String"
+  | Collection t -> Fmt.pf ppf "Collection(%a)" pp t
+  | Object props ->
+    let pp_prop ppf (k, t) = Fmt.pf ppf "%s: %a" k pp t in
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_prop) props
+  | Any -> Fmt.string ppf "OclAny"
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,39 @@
+(** Types for the OCL subset.
+
+    A {!t} describes the shape of the observable state a contract ranges
+    over.  Signatures are derived from the resource model (each resource
+    definition's attributes and associations become an object type), so
+    typechecking a guard catches misspelt properties at generation time —
+    before the monitor ever runs. *)
+
+type t =
+  | Bool
+  | Int
+  | Real
+  | String
+  | Collection of t
+  | Object of (string * t) list  (** property name -> type *)
+  | Any  (** unknown/unconstrained — also the type after an error *)
+
+type signature = (string * t) list
+(** Context variable -> type. *)
+
+val equal : t -> t -> bool
+
+val compatible : t -> t -> bool
+(** Can values of the two types be compared with [=]?  [Any] is
+    compatible with everything; [Int] and [Real] are compatible;
+    collections are compatible when elements are; objects are compatible
+    when common properties are. *)
+
+val is_numeric : t -> bool
+val element : t -> t
+(** Element type under collection coercion: [Collection t -> t],
+    scalar [t -> t] (a scalar is a one-element collection in OCL). *)
+
+val property : string -> t -> t option
+(** Type of a property navigation, applying the collect shorthand for
+    collections; [None] when the property is unknown. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,126 @@
+type error = { expr : Ast.expr; message : string }
+
+let pp_error ppf { expr; message } =
+  Fmt.pf ppf "%s in `%a'" message Pretty.pp expr
+
+let infer signature expr =
+  let errors = ref [] in
+  let report e message =
+    errors := { expr = e; message } :: !errors;
+    Ty.Any
+  in
+  let rec go env e =
+    match e with
+    | Ast.Bool_lit _ -> Ty.Bool
+    | Ast.Int_lit _ -> Ty.Int
+    | Ast.String_lit _ -> Ty.String
+    | Ast.Null_lit -> Ty.Any
+    | Ast.Var name ->
+      (match List.assoc_opt name env with
+       | Some t -> t
+       | None -> report e (Printf.sprintf "unknown variable %S" name))
+    | Ast.Nav (source, prop) ->
+      let source_ty = go env source in
+      (match Ty.property prop source_ty with
+       | Some t -> t
+       | None ->
+         report e
+           (Fmt.str "no property %S on %a" prop Ty.pp source_ty))
+    | Ast.At_pre inner -> go env inner
+    | Ast.Coll (source, op) ->
+      let source_ty = go env source in
+      let elem = Ty.element source_ty in
+      (match op with
+       | Ast.Size -> Ty.Int
+       | Ast.Is_empty | Ast.Not_empty -> Ty.Bool
+       | Ast.Sum ->
+         if Ty.is_numeric elem then elem
+         else
+           report e
+             (Fmt.str "sum over non-numeric elements of type %a" Ty.pp elem)
+       | Ast.First | Ast.Last -> elem
+       | Ast.As_set -> Ty.Collection elem)
+    | Ast.Count (source, arg) ->
+      let elem = Ty.element (go env source) in
+      let arg_ty = go env arg in
+      if Ty.compatible elem arg_ty then Ty.Int
+      else
+        report e
+          (Fmt.str "count argument of type %a over elements %a" Ty.pp arg_ty
+             Ty.pp elem)
+    | Ast.Member (source, _, arg) ->
+      let elem = Ty.element (go env source) in
+      let arg_ty = go env arg in
+      if Ty.compatible elem arg_ty then Ty.Bool
+      else
+        report e
+          (Fmt.str "includes/excludes argument of type %a over elements %a"
+             Ty.pp arg_ty Ty.pp elem)
+    | Ast.Iter (source, kind, var, body) ->
+      let source_ty = go env source in
+      let elem = Ty.element source_ty in
+      let body_ty = go ((var, elem) :: env) body in
+      (match kind with
+       | Ast.For_all | Ast.Exists | Ast.One ->
+         if Ty.compatible body_ty Ty.Bool then Ty.Bool
+         else
+           report e (Fmt.str "iterator body has type %a, expected Boolean"
+                       Ty.pp body_ty)
+       | Ast.Select | Ast.Reject ->
+         if Ty.compatible body_ty Ty.Bool then Ty.Collection elem
+         else
+           report e (Fmt.str "select/reject body has type %a, expected Boolean"
+                       Ty.pp body_ty)
+       | Ast.Collect -> Ty.Collection body_ty
+       | Ast.Any ->
+         if Ty.compatible body_ty Ty.Bool then elem
+         else
+           report e (Fmt.str "any body has type %a, expected Boolean"
+                       Ty.pp body_ty)
+       | Ast.Is_unique -> Ty.Bool)
+    | Ast.Unop (Ast.Not, inner) ->
+      let inner_ty = go env inner in
+      if Ty.compatible inner_ty Ty.Bool then Ty.Bool
+      else report e (Fmt.str "not applied to %a" Ty.pp inner_ty)
+    | Ast.Unop (Ast.Neg, inner) ->
+      let inner_ty = go env inner in
+      if Ty.is_numeric inner_ty then inner_ty
+      else report e (Fmt.str "unary minus applied to %a" Ty.pp inner_ty)
+    | Ast.Binop ((Ast.And | Ast.Or | Ast.Xor | Ast.Implies), a, b) ->
+      let ta = go env a and tb = go env b in
+      if not (Ty.compatible ta Ty.Bool) then
+        ignore (report a (Fmt.str "boolean operator over %a" Ty.pp ta));
+      if not (Ty.compatible tb Ty.Bool) then
+        ignore (report b (Fmt.str "boolean operator over %a" Ty.pp tb));
+      Ty.Bool
+    | Ast.Binop ((Ast.Eq | Ast.Neq), a, b) ->
+      let ta = go env a and tb = go env b in
+      if Ty.compatible ta tb then Ty.Bool
+      else
+        report e (Fmt.str "comparing incompatible types %a and %a" Ty.pp ta
+                    Ty.pp tb)
+    | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+      let ta = go env a and tb = go env b in
+      let orderable t = Ty.is_numeric t || Ty.equal t Ty.String in
+      if orderable ta && orderable tb && Ty.compatible ta tb then Ty.Bool
+      else
+        report e (Fmt.str "ordering incompatible types %a and %a" Ty.pp ta
+                    Ty.pp tb)
+    | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) ->
+      let ta = go env a and tb = go env b in
+      if Ty.is_numeric ta && Ty.is_numeric tb then
+        if Ty.equal ta Ty.Real || Ty.equal tb Ty.Real then Ty.Real else Ty.Int
+      else
+        report e (Fmt.str "arithmetic over %a and %a" Ty.pp ta Ty.pp tb)
+  in
+  let t = go signature expr in
+  (t, List.rev !errors)
+
+let check_boolean signature expr =
+  let t, errors = infer signature expr in
+  if Ty.compatible t Ty.Bool then errors
+  else
+    errors
+    @ [ { expr; message = Fmt.str "expression has type %a, expected Boolean" Ty.pp t } ]
+
+let well_typed signature expr = check_boolean signature expr = []

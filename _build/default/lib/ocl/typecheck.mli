@@ -1,0 +1,22 @@
+(** Static checking of OCL expressions against a signature.
+
+    Contracts are validated at generation time so that a misspelt
+    property or an ill-typed comparison in a model is a build error of
+    the monitor, not a silent [Unknown] verdict at run time. *)
+
+type error = {
+  expr : Ast.expr;  (** the offending subexpression *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val infer : Ty.signature -> Ast.expr -> Ty.t * error list
+(** Infer the type; errors are collected (the traversal continues with
+    [Ty.Any] after each error so all problems are reported at once). *)
+
+val check_boolean : Ty.signature -> Ast.expr -> error list
+(** All errors of {!infer} plus one if the top-level type cannot be
+    [Boolean] — the shape required of invariants, guards and effects. *)
+
+val well_typed : Ty.signature -> Ast.expr -> bool

@@ -1,0 +1,1 @@
+lib/rbac/policy.ml: Buffer Cm_http Cm_json Fmt List Printf Security_table String

@@ -1,0 +1,1 @@
+lib/rbac/policy.mli: Cm_http Cm_json Format Security_table

@@ -1,0 +1,1 @@
+lib/rbac/role_assignment.ml: Cm_json Fmt Int List String Subject

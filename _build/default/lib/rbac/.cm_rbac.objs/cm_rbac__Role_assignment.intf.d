@@ -1,0 +1,1 @@
+lib/rbac/role_assignment.mli: Cm_json Format Subject

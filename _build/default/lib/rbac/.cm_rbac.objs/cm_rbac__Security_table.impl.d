@@ -1,0 +1,1 @@
+lib/rbac/security_table.ml: Buffer Cm_http Cm_ocl Fmt List Printf Role_assignment String

@@ -1,0 +1,1 @@
+lib/rbac/security_table.mli: Cm_http Cm_ocl Format Role_assignment Subject

@@ -1,0 +1,1 @@
+lib/rbac/subject.ml: Cm_json Fmt List String

@@ -1,0 +1,1 @@
+lib/rbac/subject.mli: Cm_json Format

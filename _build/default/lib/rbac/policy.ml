@@ -1,0 +1,188 @@
+type rule =
+  | Role of string
+  | Group of string
+  | Any
+  | Nobody
+  | Or of rule * rule
+  | And of rule * rule
+
+type t = (string * rule) list
+
+let empty = []
+let add action rule t = t @ [ (action, rule) ]
+let of_list pairs = pairs
+let to_list t = t
+let find action t = List.assoc_opt action t
+
+let action_of ~resource ~meth =
+  let verb =
+    match meth with
+    | Cm_http.Meth.GET -> "get"
+    | Cm_http.Meth.POST -> "create"
+    | Cm_http.Meth.PUT -> "update"
+    | Cm_http.Meth.DELETE -> "delete"
+    | other -> String.lowercase_ascii (Cm_http.Meth.to_string other)
+  in
+  String.lowercase_ascii resource ^ ":" ^ verb
+
+let rec satisfies rule ~roles ~groups =
+  match rule with
+  | Role name -> List.mem name roles
+  | Group name -> List.mem name groups
+  | Any -> true
+  | Nobody -> false
+  | Or (a, b) -> satisfies a ~roles ~groups || satisfies b ~roles ~groups
+  | And (a, b) -> satisfies a ~roles ~groups && satisfies b ~roles ~groups
+
+let authorize t ~action ~roles ~groups =
+  match find action t with
+  | Some rule -> satisfies rule ~roles ~groups
+  | None -> false
+
+let of_table table =
+  List.map
+    (fun (e : Security_table.entry) ->
+      let rule =
+        match e.roles with
+        | [] -> Nobody
+        | first :: rest ->
+          List.fold_left (fun acc role -> Or (acc, Role role)) (Role first) rest
+      in
+      (action_of ~resource:e.resource ~meth:e.meth, rule))
+    table
+
+let rec rule_to_string = function
+  | Role name -> "role:" ^ name
+  | Group name -> "group:" ^ name
+  | Any -> "@"
+  | Nobody -> "!"
+  | Or (a, b) -> rule_to_string a ^ " or " ^ rule_to_string b
+  | And (a, b) -> and_operand a ^ " and " ^ and_operand b
+
+(* "and" binds tighter than "or", so an Or under an And needs parens. *)
+and and_operand = function
+  | Or (_, _) as r -> "(" ^ rule_to_string r ^ ")"
+  | r -> rule_to_string r
+
+(* Textual rule parser: atoms are "role:x", "group:y", "@", "!", with
+   "and" binding tighter than "or" and parentheses for grouping. *)
+let rule_of_string text =
+  (* Tokenizer: split on spaces but keep parens as tokens. *)
+  let lex input =
+    let out = ref [] in
+    let buf = Buffer.create 16 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+    in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' | '\t' | '\n' -> flush ()
+        | '(' | ')' ->
+          flush ();
+          out := String.make 1 c :: !out
+        | c -> Buffer.add_char buf c)
+      input;
+    flush ();
+    List.rev !out
+  in
+  let tokens = ref (lex text) in
+  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let advance () = match !tokens with _ :: rest -> tokens := rest | [] -> () in
+  let exception Bad of string in
+  let atom_of_token t =
+    if t = "@" then Any
+    else if t = "!" then Nobody
+    else
+      match String.index_opt t ':' with
+      | Some i ->
+        let kind = String.sub t 0 i in
+        let name = String.sub t (i + 1) (String.length t - i - 1) in
+        (match kind with
+         | "role" -> Role name
+         | "group" -> Group name
+         | _ -> raise (Bad (Printf.sprintf "unknown atom kind %S" kind)))
+      | None -> raise (Bad (Printf.sprintf "unknown token %S" t))
+  in
+  let rec parse_or () =
+    let left = parse_and () in
+    match peek () with
+    | Some "or" ->
+      advance ();
+      Or (left, parse_or ())
+    | _ -> left
+  and parse_and () =
+    let left = parse_atom () in
+    match peek () with
+    | Some "and" ->
+      advance ();
+      And (left, parse_and ())
+    | _ -> left
+  and parse_atom () =
+    match peek () with
+    | Some "(" ->
+      advance ();
+      let inner = parse_or () in
+      (match peek () with
+       | Some ")" ->
+         advance ();
+         inner
+       | _ -> raise (Bad "missing closing parenthesis"))
+    | Some t ->
+      advance ();
+      atom_of_token t
+    | None -> raise (Bad "unexpected end of rule")
+  in
+  if String.trim text = "" then Ok Any
+  else
+    match
+      let rule = parse_or () in
+      (match peek () with
+       | Some t -> raise (Bad (Printf.sprintf "trailing token %S" t))
+       | None -> ());
+      rule
+    with
+    | rule -> Ok rule
+    | exception Bad msg -> Error msg
+
+let to_json t =
+  Cm_json.Json.obj
+    (List.map (fun (action, rule) ->
+         (action, Cm_json.Json.string (rule_to_string rule)))
+       t)
+
+let of_json json =
+  match json with
+  | Cm_json.Json.Obj members ->
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | (action, Cm_json.Json.String rule_text) :: rest ->
+        (match rule_of_string rule_text with
+         | Ok rule -> build ((action, rule) :: acc) rest
+         | Error msg -> Error (Printf.sprintf "%s: %s" action msg))
+      | (action, _) :: _ ->
+        Error (Printf.sprintf "%s: rule must be a string" action)
+    in
+    build [] members
+  | _ -> Error "policy must be a JSON object"
+
+let to_file_text t = Cm_json.Printer.to_string_pretty (to_json t) ^ "\n"
+
+let of_file_text text =
+  match Cm_json.Parser.parse text with
+  | Error err -> Error (Fmt.str "%a" Cm_json.Parser.pp_error err)
+  | Ok json -> of_json json
+
+let equal a b =
+  let canon t =
+    List.sort compare (List.map (fun (k, r) -> (k, rule_to_string r)) t)
+  in
+  canon a = canon b
+
+let pp ppf t =
+  List.iter
+    (fun (action, rule) -> Fmt.pf ppf "%s: %s@." action (rule_to_string rule))
+    t

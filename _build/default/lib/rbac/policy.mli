@@ -1,0 +1,56 @@
+(** OpenStack-style [policy.json].
+
+    OpenStack services define their permitted requests in a
+    [policy.json] file mapping actions ("volume:delete") to rule
+    expressions ("role:admin or role:member").  The simulated cloud
+    enforces such a policy, and the generator can derive one from the
+    security table — so the specification (table), the monitor contracts
+    and the cloud's enforcement all share a single source. *)
+
+type rule =
+  | Role of string  (** "role:<name>" *)
+  | Group of string  (** "group:<name>" *)
+  | Any  (** "" — everyone *)
+  | Nobody  (** "!" *)
+  | Or of rule * rule
+  | And of rule * rule
+
+type t
+(** A policy: action name -> rule.  Missing actions are denied. *)
+
+val empty : t
+val add : string -> rule -> t -> t
+val of_list : (string * rule) list -> t
+val to_list : t -> (string * rule) list
+val find : string -> t -> rule option
+
+val action_of : resource:string -> meth:Cm_http.Meth.t -> string
+(** OpenStack action naming: GET -> [<resource>:get], POST ->
+    [<resource>:create], PUT -> [<resource>:update], DELETE ->
+    [<resource>:delete], others by lowercase verb. *)
+
+val satisfies : rule -> roles:string list -> groups:string list -> bool
+
+val authorize :
+  t -> action:string -> roles:string list -> groups:string list -> bool
+(** Fail-closed: unknown actions are denied. *)
+
+val of_table : Security_table.t -> t
+(** Derive from the security table ([Or] over role atoms). *)
+
+(** {1 Rule text syntax} *)
+
+val rule_to_string : rule -> string
+val rule_of_string : string -> (rule, string) result
+(** Parses the textual sub-language: ["role:x"], ["group:y"], ["@"]/[""]
+    (any), ["!"] (nobody), [or], [and], parentheses. *)
+
+(** {1 JSON file format} *)
+
+val to_json : t -> Cm_json.Json.t
+val of_json : Cm_json.Json.t -> (t, string) result
+val to_file_text : t -> string
+val of_file_text : string -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/testgen/case.ml: Cm_uml Fmt List

@@ -1,0 +1,1 @@
+lib/testgen/case.mli: Cm_uml Format

@@ -1,0 +1,1 @@
+lib/testgen/cinder_driver.ml: Cm_cloudsim Cm_contracts Cm_http Cm_json Cm_monitor Cm_rbac Cm_uml Execute List Option String

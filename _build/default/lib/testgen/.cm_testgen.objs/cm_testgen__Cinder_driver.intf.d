@@ -1,0 +1,1 @@
+lib/testgen/cinder_driver.mli: Cm_cloudsim Execute

@@ -1,0 +1,1 @@
+lib/testgen/execute.ml: Buffer Case Cm_http Cm_monitor Cm_ocl Cm_rbac Cm_uml Fmt Int List Plan Printf

@@ -1,0 +1,1 @@
+lib/testgen/generic_driver.mli: Cm_cloudsim Cm_contracts Cm_json Cm_uml Execute

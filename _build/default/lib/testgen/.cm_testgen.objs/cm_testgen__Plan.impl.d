@@ -1,0 +1,1 @@
+lib/testgen/plan.ml: Case Cm_rbac Cm_uml Fmt Hashtbl Int List Printf Queue String

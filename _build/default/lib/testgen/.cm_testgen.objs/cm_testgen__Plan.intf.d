@@ -1,0 +1,1 @@
+lib/testgen/plan.mli: Case Cm_rbac Cm_uml

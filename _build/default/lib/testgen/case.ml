@@ -1,0 +1,23 @@
+type expectation = Allowed | Denied_authorization | Denied_behaviour
+
+type t = {
+  case_id : string;
+  description : string;
+  setup : Cm_uml.Behavior_model.transition list;
+  target : Cm_uml.Behavior_model.transition;
+  role : string;
+  expectation : expectation;
+  requirements : string list;
+}
+
+let expectation_to_string = function
+  | Allowed -> "allowed"
+  | Denied_authorization -> "denied-authorization"
+  | Denied_behaviour -> "denied-behaviour"
+
+let pp ppf case =
+  Fmt.pf ppf "%s: %a as %s, expect %s (%d setup steps)" case.case_id
+    Cm_uml.Behavior_model.pp_trigger case.target.Cm_uml.Behavior_model.trigger
+    case.role
+    (expectation_to_string case.expectation)
+    (List.length case.setup)

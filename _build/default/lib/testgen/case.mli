@@ -1,0 +1,31 @@
+(** Abstract test cases derived from the design models.
+
+    A case drives the system along a {e setup path} of transitions from
+    the initial state to the source state of the {e target} transition,
+    then fires the target's trigger as a subject holding a given role
+    and checks the expectation.  Cases are abstract: turning a
+    transition into a concrete HTTP request is the job of a
+    {!Execute.driver}. *)
+
+type expectation =
+  | Allowed  (** the exchange must conform *)
+  | Denied_authorization
+      (** the role may not perform the trigger; the cloud must deny *)
+  | Denied_behaviour
+      (** the trigger is not enabled in the driven state (no transition
+          fires); the cloud must refuse the request *)
+
+type t = {
+  case_id : string;
+  description : string;
+  setup : Cm_uml.Behavior_model.transition list;
+      (** transitions to execute (as an authorized subject) to reach the
+          target's source state; empty when it is the initial state *)
+  target : Cm_uml.Behavior_model.transition;
+  role : string;  (** role of the subject firing the target trigger *)
+  expectation : expectation;
+  requirements : string list;  (** SecReq ids the case exercises *)
+}
+
+val pp : Format.formatter -> t -> unit
+val expectation_to_string : expectation -> string

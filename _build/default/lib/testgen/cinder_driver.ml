@@ -1,0 +1,117 @@
+module BM = Cm_uml.Behavior_model
+module Cloud = Cm_cloudsim.Cloud
+module Request = Cm_http.Request
+module Json = Cm_json.Json
+
+let quota = 3
+let project = "myProject"
+
+let security =
+  { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
+let role_user = function
+  | "admin" -> Some "alice"
+  | "member" -> Some "bob"
+  | "user" -> Some "carol"
+  | _ -> None
+
+let volume_body =
+  Json.obj
+    [ ( "volume",
+        Json.obj [ ("name", Json.string "generated"); ("size", Json.int 10) ]
+      )
+    ]
+
+let driver ?(faults = Cm_cloudsim.Faults.none) () () =
+  let cloud = Cloud.create () in
+  Cloud.seed cloud Cloud.my_project;
+  Cm_cloudsim.Identity.add_user (Cloud.identity cloud) ~password:"svc"
+    (Cm_rbac.Subject.make "svc" [ "proj_administrator" ]);
+  let login user pw =
+    match Cloud.login cloud ~user ~password:pw ~project_id:project with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let service_token = login "svc" "svc" in
+  let tokens =
+    [ ("alice", login "alice" "alice-pw");
+      ("bob", login "bob" "bob-pw");
+      ("carol", login "carol" "carol-pw")
+    ]
+  in
+  Cloud.set_faults cloud faults;
+  let monitor =
+    match
+      Cm_monitor.Monitor.create
+        (Cm_monitor.Monitor.default_config ~service_token ~security
+           Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior)
+        (Cloud.handle cloud)
+    with
+    | Ok m -> m
+    | Error msgs -> failwith (String.concat "; " msgs)
+  in
+  let token_for_role role =
+    Option.bind (role_user role) (fun user -> List.assoc_opt user tokens)
+  in
+  (* The first existing volume, read through the cloud as the service
+     account (an observable query, not a peek into internals). *)
+  let first_volume_id () =
+    let listing =
+      Cloud.handle cloud
+        (Request.make Cm_http.Meth.GET ("/v3/" ^ project ^ "/volumes")
+        |> Request.with_auth_token service_token)
+    in
+    match listing.Cm_http.Response.body with
+    | Some body ->
+      (match Cm_json.Pointer.get [ Key "volumes"; Index 0; Key "id" ] body with
+       | Some (Json.String id) -> Some id
+       | Some _ | None -> None)
+    | None -> None
+  in
+  let base = "/v3/" ^ project ^ "/volumes" in
+  let request_for (tr : BM.transition) ~role =
+    match token_for_role role with
+    | None -> None
+    | Some token ->
+      let make ?body meth path =
+        Some (Request.make ?body meth path |> Request.with_auth_token token)
+      in
+      (match tr.trigger.BM.meth, String.lowercase_ascii tr.trigger.BM.resource with
+       | Cm_http.Meth.POST, "volume" ->
+         make ~body:volume_body Cm_http.Meth.POST base
+       | Cm_http.Meth.GET, "volumes" -> make Cm_http.Meth.GET base
+       | (Cm_http.Meth.GET | Cm_http.Meth.PUT | Cm_http.Meth.DELETE), "volume"
+         ->
+         (match first_volume_id () with
+          | Some id ->
+            let path = base ^ "/" ^ id in
+            (match tr.trigger.BM.meth with
+             | Cm_http.Meth.PUT ->
+               make
+                 ~body:
+                   (Json.obj
+                      [ ( "volume",
+                          Json.obj [ ("name", Json.string "renamed") ] )
+                      ])
+                 Cm_http.Meth.PUT path
+             | meth -> make meth path)
+          | None -> None)
+       | _, _ -> None)
+  in
+  let observe () =
+    let observer =
+      Cm_monitor.Observer.create ~backend:(Cloud.handle cloud)
+        ~token:service_token ~model:Cm_uml.Cinder_model.resources
+        ~project_id:project
+    in
+    let item =
+      Option.map (fun id -> ("volume", id)) (first_volume_id ())
+    in
+    Cm_monitor.Observer.env ?item observer
+  in
+  { Execute.request_for;
+    observe;
+    handle = Cm_monitor.Monitor.handle monitor
+  }

@@ -1,0 +1,19 @@
+(** Concrete test driver for the Cinder models over the simulated cloud.
+
+    Each session is a fresh simulated cloud seeded with the paper's
+    [myProject] (admin alice, member bob, plain-user carol, monitor
+    service account) and an Oracle-mode monitor generated from the
+    Cinder models and Table I.  Transition concretization:
+
+    - [POST(volume)] posts a 10 GiB volume to the collection URI;
+    - [GET/PUT/DELETE(volume)] address the lexicographically first
+      existing volume ([None] when the project has none);
+    - [GET(Volumes)] lists the collection.
+
+    [faults] are activated on the cloud before the monitor observes
+    anything — the knob the mutation experiments turn. *)
+
+val driver : ?faults:Cm_cloudsim.Faults.set -> unit -> Execute.driver
+
+val quota : int
+(** The fixture's volume quota (3, as in the paper's setup). *)

@@ -1,0 +1,196 @@
+module BM = Cm_uml.Behavior_model
+module Outcome = Cm_monitor.Outcome
+
+type session = {
+  request_for : BM.transition -> role:string -> Cm_http.Request.t option;
+  observe : unit -> Cm_ocl.Eval.env;
+  handle : Cm_http.Request.t -> Outcome.t;
+}
+
+type driver = unit -> session
+
+type status =
+  | Pass
+  | Cloud_bug of string
+  | Unexpected of string
+  | Setup_failed of string
+  | Setup_unreachable of string
+
+type result = { case : Case.t; status : status }
+
+type report = {
+  results : result list;
+  passed : int;
+  bugs : int;
+  unexpected : int;
+  skipped : int;
+}
+
+let status_to_string = function
+  | Pass -> "pass"
+  | Cloud_bug detail -> "CLOUD BUG: " ^ detail
+  | Unexpected detail -> "unexpected: " ^ detail
+  | Setup_failed detail -> "setup failed: " ^ detail
+  | Setup_unreachable detail -> "skipped (unreachable): " ^ detail
+
+exception Stop of status
+
+(* The unique state whose invariant holds in the observed environment
+   (the analysis module checks exclusivity; first match wins here). *)
+let current_state ~(machine : BM.t) env =
+  List.find_opt
+    (fun (s : BM.state) ->
+      Cm_ocl.Eval.check env s.BM.invariant = Cm_ocl.Value.True)
+    machine.states
+
+let fire ~setup_role session (tr : BM.transition) =
+  let role =
+    match setup_role tr.BM.trigger with
+    | Some role -> role
+    | None ->
+      raise
+        (Stop
+           (Setup_failed
+              (Fmt.str "no role may perform setup step %a" BM.pp_trigger
+                 tr.trigger)))
+  in
+  match session.request_for tr ~role with
+  | None ->
+    raise
+      (Stop
+         (Setup_failed
+            (Fmt.str "no concrete request for setup step %a" BM.pp_trigger
+               tr.trigger)))
+  | Some request ->
+    let outcome = session.handle request in
+    if outcome.Outcome.conformance <> Outcome.Conform then
+      raise
+        (Stop
+           (Setup_failed
+              (Fmt.str "setup step %a -> %s" BM.pp_trigger tr.trigger
+                 (Outcome.conformance_to_string outcome.Outcome.conformance))))
+
+(* Adaptive setup: abstract paths under- or over-shoot on counting
+   machines (one abstract POST edge may need several concrete POSTs to
+   actually reach a full-quota state), so instead of replaying
+   [case.setup] verbatim we repeatedly observe the concrete state,
+   re-plan a shortest abstract path from it, and fire its first step —
+   bounded to catch models whose guards the fixture can never satisfy. *)
+let drive_to ~setup_role ~(machine : BM.t) session target_state =
+  let max_steps = (4 * List.length machine.transitions) + 8 in
+  let rec loop steps =
+    if steps > max_steps then
+      raise
+        (Stop
+           (Setup_unreachable
+              (Printf.sprintf "gave up driving to %s after %d steps"
+                 target_state max_steps)))
+    else begin
+      let env = session.observe () in
+      match current_state ~machine env with
+      | None ->
+        raise
+          (Stop (Setup_failed "no state invariant holds in the observed state"))
+      | Some state when state.BM.state_name = target_state -> ()
+      | Some state ->
+        (match
+           Plan.shortest_path_from machine ~from:state.BM.state_name
+             ~to_state:target_state
+         with
+         | Some (next :: _) ->
+           fire ~setup_role session next;
+           loop (steps + 1)
+         | Some [] -> ()
+         | None ->
+           raise
+             (Stop
+                (Setup_unreachable
+                   (Printf.sprintf "no abstract path from %s to %s"
+                      state.BM.state_name target_state))))
+    end
+  in
+  loop 0
+
+let judge (case : Case.t) (outcome : Outcome.t) =
+  let conformance = outcome.Outcome.conformance in
+  if Outcome.is_violation conformance then
+    Cloud_bug (Outcome.conformance_to_string conformance)
+  else
+    match case.expectation, conformance with
+    | Case.Allowed, Outcome.Conform -> Pass
+    | Case.Denied_authorization, Outcome.Conform_denied -> Pass
+    | Case.Denied_behaviour, Outcome.Conform_denied -> Pass
+    | Case.Allowed, other ->
+      Unexpected
+        ("expected conform, monitor said "
+        ^ Outcome.conformance_to_string other)
+    | (Case.Denied_authorization | Case.Denied_behaviour), other ->
+      Unexpected
+        ("expected denial, monitor said "
+        ^ Outcome.conformance_to_string other)
+
+let run_case ~setup_role ~machine driver (case : Case.t) =
+  let status =
+    try
+      let session = driver () in
+      drive_to ~setup_role ~machine session case.target.BM.source;
+      match session.request_for case.target ~role:case.role with
+      | None ->
+        (* No concrete request exists in this state (e.g. no volume to
+           address): the case is vacuous here, not a failure. *)
+        Setup_unreachable "no concrete request for the target transition"
+      | Some request -> judge case (session.handle request)
+    with Stop status -> status
+  in
+  { case; status }
+
+let strength = function "admin" -> 0 | "member" -> 1 | "user" -> 2 | _ -> 3
+
+let run ~table ~machine driver cases =
+  let setup_role (trigger : BM.trigger) =
+    match
+      Cm_rbac.Security_table.find ~resource:trigger.BM.resource
+        ~meth:trigger.BM.meth table
+    with
+    | Some entry ->
+      (match
+         List.sort
+           (fun a b -> Int.compare (strength a) (strength b))
+           entry.Cm_rbac.Security_table.roles
+       with
+       | strongest :: _ -> Some strongest
+       | [] -> None)
+    | None -> None
+  in
+  let results = List.map (run_case ~setup_role ~machine driver) cases in
+  let count pred = List.length (List.filter pred results) in
+  { results;
+    passed = count (fun r -> r.status = Pass);
+    bugs = count (fun r -> match r.status with Cloud_bug _ -> true | _ -> false);
+    unexpected =
+      count (fun r ->
+          match r.status with
+          | Unexpected _ | Setup_failed _ -> true
+          | _ -> false);
+    skipped =
+      count (fun r ->
+          match r.status with Setup_unreachable _ -> true | _ -> false)
+  }
+
+let render report =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "generated test campaign: %d cases" (List.length report.results);
+  line "  passed     : %d" report.passed;
+  line "  cloud bugs : %d" report.bugs;
+  line "  unexpected : %d" report.unexpected;
+  line "  skipped    : %d" report.skipped;
+  List.iter
+    (fun r ->
+      match r.status with
+      | Pass -> ()
+      | status ->
+        line "  %-6s %-55s %s" r.case.Case.case_id r.case.Case.description
+          (status_to_string status))
+    report.results;
+  Buffer.contents buf

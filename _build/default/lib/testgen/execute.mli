@@ -1,0 +1,67 @@
+(** Executing generated test cases against a monitored cloud.
+
+    The monitor is the oracle (§III-B, user 4): a case's verdict comes
+    from the monitor's conformance classification of the final exchange.
+    Each case runs in a fresh session (clean cloud state) so cases are
+    independent and order-insensitive. *)
+
+type session = {
+  request_for :
+    Cm_uml.Behavior_model.transition -> role:string -> Cm_http.Request.t option;
+      (** concretize a transition into a request to fire {e now}, as a
+          subject holding the role; [None] when no concrete request
+          exists (e.g. no volume left to delete) *)
+  observe : unit -> Cm_ocl.Eval.env;
+      (** current observable state (to confirm the setup reached the
+          intended source state) *)
+  handle : Cm_http.Request.t -> Cm_monitor.Outcome.t;  (** via the monitor *)
+}
+
+type driver = unit -> session
+(** A fresh, independent session per case. *)
+
+type status =
+  | Pass
+  | Cloud_bug of string
+      (** the monitor raised a violation verdict — the implementation
+          disagrees with the specification *)
+  | Unexpected of string
+      (** no violation, but the expectation was not met (usually a
+          test-harness or model issue, not a cloud bug) *)
+  | Setup_failed of string
+  | Setup_unreachable of string
+      (** the setup path ran but the source-state invariant does not
+          hold (a guard needed a configuration the fixture cannot
+          produce); the case is skipped *)
+
+type result = {
+  case : Case.t;
+  status : status;
+}
+
+type report = {
+  results : result list;
+  passed : int;
+  bugs : int;
+  unexpected : int;
+  skipped : int;
+}
+
+val run_case :
+  setup_role:(Cm_uml.Behavior_model.trigger -> string option) ->
+  machine:Cm_uml.Behavior_model.t ->
+  driver ->
+  Case.t ->
+  result
+
+val run :
+  table:Cm_rbac.Security_table.t ->
+  machine:Cm_uml.Behavior_model.t ->
+  driver ->
+  Case.t list ->
+  report
+(** Setup steps use the strongest role the table allows for their
+    trigger. *)
+
+val render : report -> string
+val status_to_string : status -> string

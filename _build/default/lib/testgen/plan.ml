@@ -1,0 +1,168 @@
+module BM = Cm_uml.Behavior_model
+module ST = Cm_rbac.Security_table
+
+let shortest_path_from (machine : BM.t) ~from ~to_state =
+  if to_state = from then Some []
+  else begin
+    (* BFS over states; remember the incoming transition per state. *)
+    let parent : (string, BM.transition) Hashtbl.t = Hashtbl.create 16 in
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited from ();
+    let queue = Queue.create () in
+    Queue.push from queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let state = Queue.pop queue in
+      List.iter
+        (fun (tr : BM.transition) ->
+          if tr.source = state && not (Hashtbl.mem visited tr.target) then begin
+            Hashtbl.replace visited tr.target ();
+            Hashtbl.replace parent tr.target tr;
+            if tr.target = to_state then found := true
+            else Queue.push tr.target queue
+          end)
+        machine.transitions
+    done;
+    if not !found then None
+    else begin
+      let rec backtrack state acc =
+        if state = from then acc
+        else
+          match Hashtbl.find_opt parent state with
+          | Some tr -> backtrack tr.BM.source (tr :: acc)
+          | None -> acc
+      in
+      Some (backtrack to_state [])
+    end
+  end
+
+let shortest_path (machine : BM.t) ~to_state =
+  shortest_path_from machine ~from:machine.initial ~to_state
+
+let unreachable (machine : BM.t) =
+  List.filter_map
+    (fun (s : BM.state) ->
+      match shortest_path machine ~to_state:s.state_name with
+      | Some _ -> None
+      | None -> Some s.state_name)
+    machine.states
+
+(* Roles ordered strongest-first, as far as this toolchain knows. *)
+let strength = function "admin" -> 0 | "member" -> 1 | "user" -> 2 | _ -> 3
+
+let allowed_roles table (trigger : BM.trigger) =
+  match ST.find ~resource:trigger.resource ~meth:trigger.meth table with
+  | Some entry ->
+    List.sort (fun a b -> Int.compare (strength a) (strength b)) entry.ST.roles
+  | None -> []
+
+let all_roles assignment =
+  Cm_rbac.Role_assignment.to_list assignment
+  |> List.map snd
+  |> List.sort_uniq String.compare
+
+let positive_cases (machine : BM.t) ~table ~assignment =
+  ignore assignment;
+  let counter = ref 0 in
+  List.concat_map
+    (fun (tr : BM.transition) ->
+      match shortest_path machine ~to_state:tr.source with
+      | None -> []
+      | Some setup ->
+        List.map
+          (fun role ->
+            incr counter;
+            { Case.case_id = Printf.sprintf "P%02d" !counter;
+              description =
+                Fmt.str "%a from %s as %s" BM.pp_trigger tr.trigger tr.source
+                  role;
+              setup;
+              target = tr;
+              role;
+              expectation = Case.Allowed;
+              requirements = tr.requirements
+            })
+          (allowed_roles table tr.trigger))
+    machine.transitions
+
+let negative_cases (machine : BM.t) ~table ~assignment =
+  let counter = ref 0 in
+  List.concat_map
+    (fun trigger ->
+      let allowed = allowed_roles table trigger in
+      let forbidden =
+        List.filter (fun r -> not (List.mem r allowed)) (all_roles assignment)
+      in
+      (* fire from the first transition of the trigger whose source is
+         reachable *)
+      let candidate =
+        List.find_map
+          (fun (tr : BM.transition) ->
+            match shortest_path machine ~to_state:tr.source with
+            | Some setup -> Some (tr, setup)
+            | None -> None)
+          (BM.transitions_for trigger machine)
+      in
+      match candidate with
+      | None -> []
+      | Some (tr, setup) ->
+        List.map
+          (fun role ->
+            incr counter;
+            { Case.case_id = Printf.sprintf "N%02d" !counter;
+              description =
+                Fmt.str "%a as %s must be denied" BM.pp_trigger trigger role;
+              setup;
+              target = tr;
+              role;
+              expectation = Case.Denied_authorization;
+              requirements = tr.requirements
+            })
+          forbidden)
+    (BM.triggers machine)
+
+let boundary_cases (machine : BM.t) ~table ~assignment =
+  ignore assignment;
+  let counter = ref 0 in
+  List.concat_map
+    (fun trigger ->
+      match allowed_roles table trigger with
+      | [] -> []
+      | role :: _ ->
+        List.filter_map
+          (fun (s : BM.state) ->
+            let enabled_here =
+              List.exists
+                (fun (tr : BM.transition) ->
+                  tr.source = s.state_name
+                  && BM.trigger_equal tr.trigger trigger)
+                machine.transitions
+            in
+            if enabled_here then None
+            else
+              match shortest_path machine ~to_state:s.state_name with
+              | None -> None
+              | Some setup ->
+                incr counter;
+                let placeholder =
+                  BM.transition ~source:s.state_name ~target:s.state_name
+                    trigger.BM.meth trigger.BM.resource
+                in
+                Some
+                  { Case.case_id = Printf.sprintf "B%02d" !counter;
+                    description =
+                      Fmt.str "%a in %s (not enabled) must be refused"
+                        BM.pp_trigger trigger s.state_name;
+                    setup;
+                    target = placeholder;
+                    role;
+                    expectation = Case.Denied_behaviour;
+                    requirements = []
+                  })
+          machine.states)
+    (BM.triggers machine)
+
+let all machine ~table ~assignment =
+  positive_cases machine ~table ~assignment
+  @ negative_cases machine ~table ~assignment
+  @ boundary_cases machine ~table ~assignment

@@ -1,0 +1,69 @@
+(** Test-case generation from the models (model-based testing, §III).
+
+    Two complementary coverage goals:
+
+    - {b transition coverage} ({!positive_cases}): one case per
+      (transition, allowed role) pair — the trigger is fired by a
+      subject the security table permits, after a shortest setup path
+      reaches the transition's source state; expectation {!Case.Allowed}.
+    - {b authorization coverage} ({!negative_cases}): one case per
+      (trigger, role) pair the table {e forbids} — the trigger is fired
+      from some state that enables it; expectation
+      {!Case.Denied_authorization}.  This is the probe matrix that kills
+      wrong-authorization mutants.
+
+    Setup paths are shortest paths in the state graph; transitions on
+    the path are executed by the strongest role the table allows for
+    their trigger.  A transition whose source state is unreachable in
+    the graph yields no case (reported by {!unreachable}). *)
+
+val shortest_path :
+  Cm_uml.Behavior_model.t ->
+  to_state:string ->
+  Cm_uml.Behavior_model.transition list option
+(** BFS from the initial state; [Some []] when [to_state] is initial. *)
+
+val shortest_path_from :
+  Cm_uml.Behavior_model.t ->
+  from:string ->
+  to_state:string ->
+  Cm_uml.Behavior_model.transition list option
+(** BFS from an arbitrary state — the executor re-plans from whatever
+    state the cloud is actually observed in (abstract paths under- or
+    over-shoot on counting machines: reaching a full-quota state takes
+    as many POSTs as the quota, not as many as the abstract path has
+    edges). *)
+
+val positive_cases :
+  Cm_uml.Behavior_model.t ->
+  table:Cm_rbac.Security_table.t ->
+  assignment:Cm_rbac.Role_assignment.t ->
+  Case.t list
+
+val negative_cases :
+  Cm_uml.Behavior_model.t ->
+  table:Cm_rbac.Security_table.t ->
+  assignment:Cm_rbac.Role_assignment.t ->
+  Case.t list
+
+val boundary_cases :
+  Cm_uml.Behavior_model.t ->
+  table:Cm_rbac.Security_table.t ->
+  assignment:Cm_rbac.Role_assignment.t ->
+  Case.t list
+(** Behavioural-negative coverage: for each (trigger, reachable state)
+    pair where the state has {e no} outgoing transition for the trigger,
+    drive to the state and fire the trigger with an allowed role — the
+    cloud must refuse (e.g. POST at full quota).  The target transition
+    recorded in the case is a placeholder self-loop on the state. *)
+
+val all :
+  Cm_uml.Behavior_model.t ->
+  table:Cm_rbac.Security_table.t ->
+  assignment:Cm_rbac.Role_assignment.t ->
+  Case.t list
+(** [positive_cases @ negative_cases @ boundary_cases]. *)
+
+val unreachable : Cm_uml.Behavior_model.t -> string list
+(** States with no path from the initial state (no cases target their
+    outgoing transitions). *)

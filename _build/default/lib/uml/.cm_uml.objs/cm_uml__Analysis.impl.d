@@ -1,0 +1,1 @@
+lib/uml/analysis.ml: Behavior_model Cm_json Cm_ocl Cm_rbac Fmt List Printf String

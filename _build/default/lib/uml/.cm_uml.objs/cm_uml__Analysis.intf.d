@@ -1,0 +1,1 @@
+lib/uml/analysis.mli: Behavior_model Cm_ocl Format

@@ -1,0 +1,1 @@
+lib/uml/behavior_model.ml: Cm_http Cm_ocl Fmt List

@@ -1,0 +1,1 @@
+lib/uml/behavior_model.mli: Cm_http Cm_ocl Format

@@ -1,0 +1,1 @@
+lib/uml/cinder_model.ml: Behavior_model Cm_http Cm_ocl Multiplicity Resource_model

@@ -1,0 +1,1 @@
+lib/uml/cinder_model.mli: Behavior_model Cm_ocl Resource_model

@@ -1,0 +1,1 @@
+lib/uml/mermaid.ml: Behavior_model Buffer Cm_ocl Fmt List Multiplicity Printf Resource_model String

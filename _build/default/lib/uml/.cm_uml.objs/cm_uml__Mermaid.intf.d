@@ -1,0 +1,1 @@
+lib/uml/mermaid.mli: Behavior_model Resource_model

@@ -1,0 +1,1 @@
+lib/uml/multiplicity.ml: Fmt Printf String

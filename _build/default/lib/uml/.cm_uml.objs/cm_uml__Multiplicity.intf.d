@@ -1,0 +1,1 @@
+lib/uml/multiplicity.mli: Format

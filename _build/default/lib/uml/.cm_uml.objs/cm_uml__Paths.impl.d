@@ -1,0 +1,1 @@
+lib/uml/paths.ml: Cm_http List Multiplicity Option Printf Resource_model Result String

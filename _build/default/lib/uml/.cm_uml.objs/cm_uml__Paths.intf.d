@@ -1,0 +1,1 @@
+lib/uml/paths.mli: Cm_http Resource_model

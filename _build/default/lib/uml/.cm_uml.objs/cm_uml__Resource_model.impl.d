@@ -1,0 +1,1 @@
+lib/uml/resource_model.ml: Cm_ocl Fmt List Multiplicity String

@@ -1,0 +1,1 @@
+lib/uml/resource_model.mli: Cm_ocl Format Multiplicity

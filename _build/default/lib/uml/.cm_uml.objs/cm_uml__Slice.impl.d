@@ -1,0 +1,1 @@
+lib/uml/slice.ml: Behavior_model Cm_http List Resource_model String

@@ -1,0 +1,1 @@
+lib/uml/slice.mli: Behavior_model Cm_http Resource_model

@@ -1,0 +1,1 @@
+lib/uml/snapshot_model.ml: Behavior_model Cinder_model Cm_http Cm_ocl Cm_rbac Multiplicity Resource_model

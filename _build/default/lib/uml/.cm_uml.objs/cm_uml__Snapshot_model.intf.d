@@ -1,0 +1,1 @@
+lib/uml/snapshot_model.mli: Behavior_model Cm_ocl Cm_rbac Resource_model

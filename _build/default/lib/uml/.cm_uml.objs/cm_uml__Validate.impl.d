@@ -1,0 +1,1 @@
+lib/uml/validate.ml: Behavior_model Cm_ocl Fmt List Paths Printf Resource_model String

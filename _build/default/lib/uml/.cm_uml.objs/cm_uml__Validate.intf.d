@@ -1,0 +1,1 @@
+lib/uml/validate.mli: Behavior_model Format Resource_model

@@ -1,0 +1,1 @@
+lib/uml/xmi.ml: Behavior_model Cm_http Cm_ocl Cm_xml Fmt List Multiplicity Option Printf Resource_model Result String

@@ -1,0 +1,1 @@
+lib/uml/xmi.mli: Behavior_model Resource_model

@@ -1,0 +1,61 @@
+type trigger = { meth : Cm_http.Meth.t; resource : string }
+
+type state = {
+  state_name : string;
+  invariant : Cm_ocl.Ast.expr;
+  state_requirements : string list;
+}
+
+type transition = {
+  source : string;
+  target : string;
+  trigger : trigger;
+  guard : Cm_ocl.Ast.expr option;
+  effect : Cm_ocl.Ast.expr option;
+  requirements : string list;
+}
+
+type t = {
+  machine_name : string;
+  context : string;
+  initial : string;
+  states : state list;
+  transitions : transition list;
+}
+
+let state ?(requirements = []) state_name invariant =
+  { state_name; invariant; state_requirements = requirements }
+
+let transition ?guard ?effect ?(requirements = []) ~source ~target meth resource
+    =
+  { source; target; trigger = { meth; resource }; guard; effect; requirements }
+
+let find_state name machine =
+  List.find_opt (fun s -> s.state_name = name) machine.states
+
+let trigger_equal a b = a.meth = b.meth && a.resource = b.resource
+
+let triggers machine =
+  List.fold_left
+    (fun acc tr ->
+      if List.exists (trigger_equal tr.trigger) acc then acc
+      else acc @ [ tr.trigger ])
+    [] machine.transitions
+
+let transitions_for trigger machine =
+  List.filter (fun tr -> trigger_equal tr.trigger trigger) machine.transitions
+
+let methods_on resource machine =
+  triggers machine
+  |> List.filter (fun t -> t.resource = resource)
+  |> List.map (fun t -> t.meth)
+  |> List.sort_uniq Cm_http.Meth.compare
+
+let pp_trigger ppf { meth; resource } =
+  Fmt.pf ppf "%a(%s)" Cm_http.Meth.pp meth resource
+
+let pp ppf machine =
+  Fmt.pf ppf "state machine %S over %s: %d states, %d transitions"
+    machine.machine_name machine.context
+    (List.length machine.states)
+    (List.length machine.transitions)

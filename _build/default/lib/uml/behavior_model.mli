@@ -1,0 +1,66 @@
+(** The behavioral model: a UML protocol state machine (§IV-B).
+
+    States carry OCL invariants over addressable resources; transitions
+    are triggered by an HTTP method on a resource, optionally guarded,
+    and may declare an effect (a postcondition contribution).  Security
+    requirements from the requirements table are attached as annotations
+    (plain comments in the paper — deliberately {e not} a UML profile)
+    giving requirement traceability during validation. *)
+
+type trigger = {
+  meth : Cm_http.Meth.t;
+  resource : string;  (** resource definition name, e.g. "volume" *)
+}
+
+type state = {
+  state_name : string;
+  invariant : Cm_ocl.Ast.expr;
+  state_requirements : string list;  (** SecReq ids, e.g. ["1.4"] *)
+}
+
+type transition = {
+  source : string;
+  target : string;
+  trigger : trigger;
+  guard : Cm_ocl.Ast.expr option;
+  effect : Cm_ocl.Ast.expr option;
+  requirements : string list;
+}
+
+type t = {
+  machine_name : string;
+  context : string;  (** the resource whose protocol this machine is, e.g. "project" *)
+  initial : string;  (** name of the initial state *)
+  states : state list;
+  transitions : transition list;
+}
+
+val state : ?requirements:string list -> string -> Cm_ocl.Ast.expr -> state
+
+val transition :
+  ?guard:Cm_ocl.Ast.expr ->
+  ?effect:Cm_ocl.Ast.expr ->
+  ?requirements:string list ->
+  source:string ->
+  target:string ->
+  Cm_http.Meth.t ->
+  string ->
+  transition
+(** [transition ~source ~target meth resource]. *)
+
+val find_state : string -> t -> state option
+
+val triggers : t -> trigger list
+(** Distinct triggers, in first-appearance order — one contract is
+    generated per trigger. *)
+
+val transitions_for : trigger -> t -> transition list
+(** All transitions fired by a trigger (the contract combines them). *)
+
+val methods_on : string -> t -> Cm_http.Meth.t list
+(** Methods the machine permits on a resource (drives the generated 405
+    list in views.py). *)
+
+val trigger_equal : trigger -> trigger -> bool
+val pp_trigger : Format.formatter -> trigger -> unit
+val pp : Format.formatter -> t -> unit

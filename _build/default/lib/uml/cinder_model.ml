@@ -1,0 +1,146 @@
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let resources : Resource_model.t =
+  let open Resource_model in
+  { model_name = "CinderResourceModel";
+    base_path = "/v3";
+    root = "Projects";
+    resources =
+      [ collection "Projects";
+        normal "project" [ ("id", A_string); ("name", A_string) ];
+        collection "Volumes";
+        normal "volume"
+          [ ("id", A_string);
+            ("name", A_string);
+            ("status", A_string);
+            ("size", A_int)
+          ];
+        normal "quota_sets"
+          [ ("id", A_string); ("volumes", A_int); ("gigabytes", A_int) ];
+        normal "usergroup" [ ("id", A_string); ("name", A_string); ("role", A_string) ]
+      ];
+    associations =
+      [ assoc ~role:"projects" "Projects" "project";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"volumes" "project"
+          "Volumes";
+        assoc ~role:"volume" "Volumes" "volume";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"quota_sets"
+          "project" "quota_sets";
+        assoc ~role:"usergroups" "project" "usergroup"
+      ]
+  }
+
+let signature = Resource_model.signature resources
+
+let s_no_volume = "project_with_no_volume"
+let s_not_full = "project_with_volume_and_not_full_quota"
+let s_full = "project_with_volume_and_full_quota"
+
+let inv_no_volume = ocl "project.id->size() = 1 and project.volumes->size() = 0"
+
+let inv_not_full =
+  ocl
+    "project.id->size() = 1 and project.volumes->size() >= 1 and \
+     project.volumes->size() < quota_sets.volumes"
+
+let inv_full =
+  ocl
+    "project.id->size() = 1 and project.volumes->size() >= 1 and \
+     project.volumes->size() = quota_sets.volumes"
+
+let behavior : Behavior_model.t =
+  let open Behavior_model in
+  let post = Cm_http.Meth.POST
+  and delete = Cm_http.Meth.DELETE
+  and get = Cm_http.Meth.GET
+  and put = Cm_http.Meth.PUT in
+  { machine_name = "CinderProjectProtocol";
+    context = "project";
+    initial = s_no_volume;
+    states =
+      [ state s_no_volume inv_no_volume;
+        state s_not_full inv_not_full;
+        state s_full inv_full
+      ];
+    transitions =
+      [ (* POST(volume): create — three transitions depending on how the
+           new count compares to the quota. *)
+        transition ~source:s_no_volume ~target:s_not_full
+          ~guard:(ocl "quota_sets.volumes > 1")
+          ~effect:(ocl "project.volumes->size() = 1")
+          ~requirements:[ "1.3" ] post "volume";
+        transition ~source:s_no_volume ~target:s_full
+          ~guard:(ocl "quota_sets.volumes = 1")
+          ~effect:(ocl "project.volumes->size() = 1")
+          ~requirements:[ "1.3" ] post "volume";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "project.volumes->size() + 1 < quota_sets.volumes")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) + 1")
+          ~requirements:[ "1.3" ] post "volume";
+        transition ~source:s_not_full ~target:s_full
+          ~guard:(ocl "project.volumes->size() + 1 = quota_sets.volumes")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) + 1")
+          ~requirements:[ "1.3" ] post "volume";
+        (* DELETE(volume): the paper's Listing 1 — one transition from
+           the full-quota state, two from the not-full state. *)
+        transition ~source:s_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) - 1")
+          ~requirements:[ "1.4" ] delete "volume";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:
+            (ocl
+               "volume.id->size() = 1 and project.volumes->size() > 1 and \
+                volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) - 1")
+          ~requirements:[ "1.4" ] delete "volume";
+        transition ~source:s_not_full ~target:s_no_volume
+          ~guard:
+            (ocl
+               "volume.id->size() = 1 and project.volumes->size() = 1 and \
+                volume.status <> 'in-use'")
+          ~effect:(ocl "project.volumes->size() = 0")
+          ~requirements:[ "1.4" ] delete "volume";
+        (* GET(volume): reading volume details never changes state; the
+           addressed volume must exist (a GET on an unknown id is a 404,
+           not a contract violation). *)
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "volume";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "volume.id->size() = 1")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "volume";
+        (* GET(Volumes): listing the collection, possible in any state. *)
+        transition ~source:s_no_volume ~target:s_no_volume
+          ~effect:(ocl "project.volumes->size() = 0")
+          ~requirements:[ "1.1" ] get "Volumes";
+        transition ~source:s_not_full ~target:s_not_full
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "Volumes";
+        transition ~source:s_full ~target:s_full
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "Volumes";
+        (* PUT(volume): update in place — the count is unchanged and the
+           volume must not be mid-operation. *)
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.2" ] put "volume";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.2" ] put "volume"
+      ]
+  }

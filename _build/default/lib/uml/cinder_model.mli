@@ -1,0 +1,28 @@
+(** The paper's running example: the Cinder block-storage service
+    (Fig. 3).
+
+    The resource model mirrors Fig. 3 (left): collection definitions
+    [Projects] and [Volumes]; normal definitions [project], [volume],
+    [quota_sets] and [usergroup].  The behavioral model mirrors Fig. 3
+    (right): a project is in one of three states —
+    [project_with_no_volume], [project_with_volume_and_not_full_quota],
+    [project_with_volume_and_full_quota] — with POST/DELETE transitions
+    guarded by quota and volume status, plus GET/PUT self-loops.
+
+    Two notational fixes relative to the paper's listings (documented in
+    EXPERIMENTS.md): the quota attribute is [quota_sets.volumes]
+    (OpenStack's quota key; the paper writes [quota_sets.volume]) and
+    collection cardinality is always written [project.volumes->size()]
+    (the paper sometimes drops the [->size()]). *)
+
+val resources : Resource_model.t
+val behavior : Behavior_model.t
+
+val signature : Cm_ocl.Ty.signature
+(** [Resource_model.signature resources]. *)
+
+(** State names, exported for tests and benches. *)
+
+val s_no_volume : string
+val s_not_full : string
+val s_full : string

@@ -1,0 +1,133 @@
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let resources : Resource_model.t =
+  let open Resource_model in
+  { model_name = "GlanceResourceModel";
+    base_path = "/v3";
+    root = "Projects";
+    resources =
+      [ collection "Projects";
+        normal "project" [ ("id", A_string); ("name", A_string) ];
+        collection "Images";
+        normal "image"
+          [ ("id", A_string);
+            ("name", A_string);
+            ("status", A_string);
+            ("visibility", A_string);
+            ("size", A_int)
+          ];
+        normal "quota_sets" [ ("id", A_string); ("images", A_int) ]
+      ];
+    associations =
+      [ assoc ~role:"projects" "Projects" "project";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"images" "project"
+          "Images";
+        assoc ~role:"image" "Images" "image";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"quota_sets"
+          "project" "quota_sets"
+      ]
+  }
+
+let signature = Resource_model.signature resources
+
+let s_no_image = "project_with_no_image"
+let s_not_full = "project_with_image_and_not_full_quota"
+let s_full = "project_with_image_and_full_quota"
+
+let inv_no_image = ocl "project.id->size() = 1 and project.images->size() = 0"
+
+let inv_not_full =
+  ocl
+    "project.id->size() = 1 and project.images->size() >= 1 and \
+     project.images->size() < quota_sets.images"
+
+let inv_full =
+  ocl
+    "project.id->size() = 1 and project.images->size() >= 1 and \
+     project.images->size() = quota_sets.images"
+
+let behavior : Behavior_model.t =
+  let open Behavior_model in
+  let post = Cm_http.Meth.POST
+  and delete = Cm_http.Meth.DELETE
+  and get = Cm_http.Meth.GET
+  and put = Cm_http.Meth.PUT in
+  { machine_name = "GlanceProjectProtocol";
+    context = "project";
+    initial = s_no_image;
+    states =
+      [ state s_no_image inv_no_image;
+        state s_not_full inv_not_full;
+        state s_full inv_full
+      ];
+    transitions =
+      [ transition ~source:s_no_image ~target:s_not_full
+          ~guard:(ocl "quota_sets.images > 1")
+          ~effect:(ocl "project.images->size() = 1")
+          ~requirements:[ "2.3" ] post "image";
+        transition ~source:s_no_image ~target:s_full
+          ~guard:(ocl "quota_sets.images = 1")
+          ~effect:(ocl "project.images->size() = 1")
+          ~requirements:[ "2.3" ] post "image";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "project.images->size() + 1 < quota_sets.images")
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) + 1")
+          ~requirements:[ "2.3" ] post "image";
+        transition ~source:s_not_full ~target:s_full
+          ~guard:(ocl "project.images->size() + 1 = quota_sets.images")
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) + 1")
+          ~requirements:[ "2.3" ] post "image";
+        (* DELETE(image): active images are protected. *)
+        transition ~source:s_full ~target:s_not_full
+          ~guard:(ocl "image.id->size() = 1 and image.status <> 'active'")
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) - 1")
+          ~requirements:[ "2.4" ] delete "image";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:
+            (ocl
+               "image.id->size() = 1 and project.images->size() > 1 and \
+                image.status <> 'active'")
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) - 1")
+          ~requirements:[ "2.4" ] delete "image";
+        transition ~source:s_not_full ~target:s_no_image
+          ~guard:
+            (ocl
+               "image.id->size() = 1 and project.images->size() = 1 and \
+                image.status <> 'active'")
+          ~effect:(ocl "project.images->size() = 0")
+          ~requirements:[ "2.4" ] delete "image";
+        (* GET(image): the addressed image must exist *)
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "image";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "image";
+        (* GET(Images) *)
+        transition ~source:s_no_image ~target:s_no_image
+          ~effect:(ocl "project.images->size() = 0")
+          ~requirements:[ "2.1" ] get "Images";
+        transition ~source:s_not_full ~target:s_not_full
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "Images";
+        transition ~source:s_full ~target:s_full
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "Images";
+        (* PUT(image): rename / visibility / legal status moves; the
+           image count never changes. *)
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.2" ] put "image";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.2" ] put "image"
+      ]
+  }

@@ -1,0 +1,20 @@
+(** A second worked example: the Glance-like image service.
+
+    Demonstrates that the pipeline (models → contracts → monitor →
+    Django code) is not specific to the paper's Cinder case study.  The
+    image protocol mirrors the volume one at the project level (counting
+    against an image quota) but with a different behavioural guard: an
+    {e active} image cannot be deleted, so deletion is guarded by
+    [image.status <> 'active'] where Cinder's was
+    [volume.status <> 'in-use'].
+
+    Security requirements use the 2.x identifier range (see
+    {!Cm_rbac.Security_table.glance}). *)
+
+val resources : Resource_model.t
+val behavior : Behavior_model.t
+val signature : Cm_ocl.Ty.signature
+
+val s_no_image : string
+val s_not_full : string
+val s_full : string

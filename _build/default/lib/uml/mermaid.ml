@@ -1,0 +1,74 @@
+module RM = Resource_model
+module BM = Behavior_model
+
+(* Mermaid identifiers must be alphanumeric; model names already are,
+   but be safe. *)
+let ident name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    name
+
+let class_diagram (model : RM.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "classDiagram";
+  List.iter
+    (fun (r : RM.resource_def) ->
+      line "  class %s {" (ident r.def_name);
+      (match r.kind with
+       | RM.Collection -> line "    <<collection>>"
+       | RM.Normal -> ());
+      List.iter
+        (fun (a : RM.attribute) ->
+          line "    +%s %s" (RM.attr_type_to_string a.attr_type) a.attr_name)
+        r.attributes;
+      line "  }")
+    model.resources;
+  List.iter
+    (fun (a : RM.association) ->
+      line "  %s \"1\" --> \"%s\" %s : %s" (ident a.source)
+        (Multiplicity.to_string a.multiplicity)
+        (ident a.target) a.role)
+    model.associations;
+  Buffer.contents buf
+
+(* Edge labels get unwieldy with full OCL; keep the method and a
+   compressed guard. *)
+let abbreviate text =
+  let compact =
+    String.concat " " (String.split_on_char '\n' text)
+  in
+  if String.length compact <= 48 then compact
+  else String.sub compact 0 45 ^ "..."
+
+let escape_label text =
+  String.concat "#59;" (String.split_on_char ';' text)
+
+let state_diagram (machine : BM.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "stateDiagram-v2";
+  line "  [*] --> %s" (ident machine.initial);
+  List.iter
+    (fun (s : BM.state) ->
+      line "  %s : %s" (ident s.state_name)
+        (escape_label (abbreviate (Cm_ocl.Pretty.to_string s.invariant))))
+    machine.states;
+  List.iter
+    (fun (tr : BM.transition) ->
+      let label =
+        let trigger = Fmt.str "%a" BM.pp_trigger tr.trigger in
+        match tr.guard with
+        | Some guard ->
+          Printf.sprintf "%s [%s]" trigger
+            (abbreviate (Cm_ocl.Pretty.to_string guard))
+        | None -> trigger
+      in
+      line "  %s --> %s : %s" (ident tr.source) (ident tr.target)
+        (escape_label label))
+    machine.transitions;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Rendering the design models as Mermaid diagrams.
+
+    Fig. 3 of the paper shows the resource model as a class diagram and
+    the behavioral model as a state machine.  These renderers reproduce
+    both as Mermaid text (`classDiagram` / `stateDiagram-v2`), which
+    GitHub, GitLab and most Markdown viewers display natively — so the
+    generated API.md carries the actual figures, not just tables. *)
+
+val class_diagram : Resource_model.t -> string
+(** `classDiagram`: one class per resource definition («collection»
+    stereotype for collections), attributes with types, associations
+    labelled with role and multiplicity. *)
+
+val state_diagram : Behavior_model.t -> string
+(** `stateDiagram-v2`: states with invariant notes, the initial marker,
+    one edge per transition labelled [METHOD(resource) [guard]].  Guards
+    are abbreviated to fit on an edge label (full text lives in the
+    contract section of the document). *)

@@ -1,0 +1,53 @@
+type t = { lower : int; upper : int option }
+
+let exactly_one = { lower = 1; upper = Some 1 }
+let optional = { lower = 0; upper = Some 1 }
+let many = { lower = 0; upper = None }
+let at_least_one = { lower = 1; upper = None }
+
+let make lower upper =
+  if lower < 0 then Error "negative lower bound"
+  else
+    match upper with
+    | Some u when u < lower -> Error "upper bound below lower bound"
+    | Some u when u < 0 -> Error "negative upper bound"
+    | _ -> Ok { lower; upper }
+
+let is_collection { upper; _ } =
+  match upper with Some u -> u > 1 | None -> true
+
+let admits { lower; upper } count =
+  count >= lower && (match upper with Some u -> count <= u | None -> true)
+
+let to_string { lower; upper } =
+  match upper with
+  | Some u when u = lower -> string_of_int lower
+  | Some u -> Printf.sprintf "%d..%d" lower u
+  | None -> Printf.sprintf "%d..*" lower
+
+let of_string text =
+  match String.index_opt text '.' with
+  | None ->
+    (match int_of_string_opt (String.trim text) with
+     | Some n -> make n (Some n)
+     | None -> Error (Printf.sprintf "invalid multiplicity %S" text))
+  | Some i ->
+    let lower_text = String.trim (String.sub text 0 i) in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    let upper_text =
+      String.trim
+        (if String.length rest > 0 && rest.[0] = '.' then
+           String.sub rest 1 (String.length rest - 1)
+         else rest)
+    in
+    (match int_of_string_opt lower_text with
+     | None -> Error (Printf.sprintf "invalid lower bound in %S" text)
+     | Some lower ->
+       if upper_text = "*" then make lower None
+       else
+         (match int_of_string_opt upper_text with
+          | Some upper -> make lower (Some upper)
+          | None -> Error (Printf.sprintf "invalid upper bound in %S" text)))
+
+let equal a b = a = b
+let pp ppf m = Fmt.string ppf (to_string m)

@@ -1,0 +1,30 @@
+(** Association multiplicities: UML cardinality ranges such as [0..1] or
+    zero-to-many. *)
+
+type t = {
+  lower : int;
+  upper : int option;  (** [None] means unbounded ([*]) *)
+}
+
+val exactly_one : t
+val optional : t (** 0..1 *)
+
+val many : t (** 0..* *)
+
+val at_least_one : t (** 1..* *)
+
+val make : int -> int option -> (t, string) result
+(** Reject negative bounds and upper < lower. *)
+
+val is_collection : t -> bool
+(** Can the association hold more than one target? *)
+
+val admits : t -> int -> bool
+(** Is a concrete count within the range? *)
+
+val to_string : t -> string
+(** UML notation: ["1"], ["0..1"], ["0..*"], ["2..5"], … *)
+
+val of_string : string -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

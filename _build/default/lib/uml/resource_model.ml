@@ -1,0 +1,144 @@
+type attr_type = A_string | A_int | A_bool | A_real
+type attribute = { attr_name : string; attr_type : attr_type }
+type kind = Collection | Normal
+
+type resource_def = {
+  def_name : string;
+  kind : kind;
+  attributes : attribute list;
+}
+
+type association = {
+  role : string;
+  source : string;
+  target : string;
+  multiplicity : Multiplicity.t;
+}
+
+type t = {
+  model_name : string;
+  base_path : string;
+  root : string;
+  resources : resource_def list;
+  associations : association list;
+}
+
+let collection name = { def_name = name; kind = Collection; attributes = [] }
+
+let normal name attrs =
+  { def_name = name;
+    kind = Normal;
+    attributes =
+      List.map (fun (attr_name, attr_type) -> { attr_name; attr_type }) attrs
+  }
+
+let assoc ?(multiplicity = Multiplicity.many) ~role source target =
+  { role; source; target; multiplicity }
+
+let find_resource name model =
+  List.find_opt (fun r -> r.def_name = name) model.resources
+
+let outgoing name model =
+  List.filter (fun a -> a.source = name) model.associations
+
+let incoming name model =
+  List.filter (fun a -> a.target = name) model.associations
+
+let contained_by name model =
+  match incoming name model with
+  | first :: _ -> Some first
+  | [] -> None
+
+let attr_ty = function
+  | A_string -> Cm_ocl.Ty.String
+  | A_int -> Cm_ocl.Ty.Int
+  | A_bool -> Cm_ocl.Ty.Bool
+  | A_real -> Cm_ocl.Ty.Real
+
+(* Types follow associations to a bounded depth: resource graphs are
+   cyclic (volume -> project -> volumes) but signatures must be finite. *)
+let rec def_type model depth def =
+  match def.kind with
+  | Collection ->
+    let element =
+      match
+        List.find_opt (fun a -> a.source = def.def_name) model.associations
+      with
+      | Some a when depth > 0 ->
+        (match find_resource a.target model with
+         | Some target -> def_type model (depth - 1) target
+         | None -> Cm_ocl.Ty.Any)
+      | Some _ | None -> Cm_ocl.Ty.Any
+    in
+    Cm_ocl.Ty.Collection element
+  | Normal ->
+    let attr_props =
+      List.map (fun a -> (a.attr_name, attr_ty a.attr_type)) def.attributes
+    in
+    let assoc_props =
+      if depth <= 0 then []
+      else
+        List.filter_map
+          (fun a ->
+            if a.source <> def.def_name then None
+            else
+              match find_resource a.target model with
+              | None -> None
+              | Some target ->
+                let target_ty = def_type model (depth - 1) target in
+                let prop_ty =
+                  match target.kind with
+                  | Collection -> target_ty
+                  | Normal ->
+                    if Multiplicity.is_collection a.multiplicity then
+                      Cm_ocl.Ty.Collection target_ty
+                    else target_ty
+                in
+                Some (a.role, prop_ty))
+          model.associations
+    in
+    Cm_ocl.Ty.Object (attr_props @ assoc_props)
+
+let resource_type model name =
+  match find_resource name model with
+  | Some def -> def_type model 3 def
+  | None -> Cm_ocl.Ty.Any
+
+let user_type =
+  Cm_ocl.Ty.Object
+    [ ("id", Cm_ocl.Ty.Object
+               [ ("groups", Cm_ocl.Ty.String) ]);
+      ("name", Cm_ocl.Ty.String);
+      ("groups", Cm_ocl.Ty.Collection Cm_ocl.Ty.String);
+      ("role", Cm_ocl.Ty.String)
+    ]
+
+let signature model =
+  let resource_bindings =
+    List.map
+      (fun def ->
+        (String.lowercase_ascii def.def_name, def_type model 3 def))
+      model.resources
+  in
+  (* [user] is the authorization subject appearing in guards such as
+     [user.id.groups = 'admin'] (Listing 1). *)
+  resource_bindings @ [ ("user", user_type) ]
+
+let attr_type_to_string = function
+  | A_string -> "String"
+  | A_int -> "Integer"
+  | A_bool -> "Boolean"
+  | A_real -> "Real"
+
+let attr_type_of_string = function
+  | "String" | "string" -> Some A_string
+  | "Integer" | "Int" | "int" -> Some A_int
+  | "Boolean" | "Bool" | "bool" -> Some A_bool
+  | "Real" | "Float" | "real" -> Some A_real
+  | _ -> None
+
+let pp ppf model =
+  Fmt.pf ppf "resource model %S (root %s, base %s): %d resources, %d associations"
+    model.model_name model.root model.base_path
+    (List.length model.resources)
+    (List.length model.associations)

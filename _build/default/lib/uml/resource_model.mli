@@ -1,0 +1,87 @@
+(** The resource model: a UML class diagram of REST resources (§IV-A).
+
+    A {e resource definition} plays the role of a class; its instances
+    are resources.  A {e collection} resource definition has no
+    attributes of its own — it only contains other resources (e.g.
+    [Volumes]); a {e normal} resource definition has typed, public
+    attributes (e.g. [volume] with [id], [status], [size]).  Associations
+    carry a role name (used to compose URIs) and a multiplicity. *)
+
+type attr_type =
+  | A_string
+  | A_int
+  | A_bool
+  | A_real
+
+type attribute = {
+  attr_name : string;
+  attr_type : attr_type;
+}
+
+type kind =
+  | Collection
+  | Normal
+
+type resource_def = {
+  def_name : string;
+  kind : kind;
+  attributes : attribute list;  (** empty for [Collection] *)
+}
+
+type association = {
+  role : string;  (** role name; forms the URI segment *)
+  source : string;  (** source resource definition name *)
+  target : string;  (** target resource definition name *)
+  multiplicity : Multiplicity.t;
+}
+
+type t = {
+  model_name : string;
+  base_path : string;  (** URI prefix of the API version root, e.g. "/v3" *)
+  root : string;  (** name of the root resource definition *)
+  resources : resource_def list;
+  associations : association list;
+}
+
+(** {1 Construction helpers} *)
+
+val collection : string -> resource_def
+val normal : string -> (string * attr_type) list -> resource_def
+
+val assoc :
+  ?multiplicity:Multiplicity.t -> role:string -> string -> string -> association
+(** [assoc ~role source target]; multiplicity defaults to 0..*. *)
+
+(** {1 Queries} *)
+
+val find_resource : string -> t -> resource_def option
+val outgoing : string -> t -> association list
+(** Associations whose source is the given resource definition. *)
+
+val incoming : string -> t -> association list
+
+val contained_by : string -> t -> association option
+(** The association through which the resource is reached (first
+    incoming), if any. *)
+
+(** {1 OCL signature}
+
+    Derives the typing context for invariants and guards: each normal
+    resource definition becomes an [Object] type over its attributes
+    plus its outgoing roles ([Collection] or nested object per
+    multiplicity); collections become [Collection(<target type>)].  The
+    signature binds each resource definition name (lowercased) plus a
+    [user] variable with [id] and [groups] — the authorization subject
+    of the paper's guards. *)
+
+val attr_ty : attr_type -> Cm_ocl.Ty.t
+val resource_type : t -> string -> Cm_ocl.Ty.t
+(** Type of one resource definition (follows associations one level deep
+    plus collection roles transitively up to depth 3 to keep the
+    signature finite on cyclic models). *)
+
+val signature : t -> Cm_ocl.Ty.signature
+
+val attr_type_to_string : attr_type -> string
+val attr_type_of_string : string -> attr_type option
+val pp : Format.formatter -> t -> unit

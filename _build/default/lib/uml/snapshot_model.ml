@@ -1,0 +1,90 @@
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let resources : Resource_model.t =
+  let open Resource_model in
+  let base = Cinder_model.resources in
+  { base with
+    model_name = "CinderSnapshotResourceModel";
+    resources =
+      base.resources
+      @ [ collection "Snapshots";
+          normal "snapshot"
+            [ ("id", A_string); ("name", A_string); ("status", A_string) ]
+        ];
+    associations =
+      base.associations
+      @ [ assoc ~multiplicity:Multiplicity.exactly_one ~role:"snapshots"
+            "volume" "Snapshots";
+          assoc ~role:"snapshot" "Snapshots" "snapshot"
+        ]
+  }
+
+let signature = Resource_model.signature resources
+
+let s_no_snapshot = "volume_without_snapshot"
+let s_with_snapshots = "volume_with_snapshots"
+
+let inv_none =
+  ocl "volume.id->size() = 1 and volume.snapshots->size() = 0"
+
+let inv_some =
+  ocl "volume.id->size() = 1 and volume.snapshots->size() >= 1"
+
+let behavior : Behavior_model.t =
+  let open Behavior_model in
+  let post = Cm_http.Meth.POST
+  and delete = Cm_http.Meth.DELETE
+  and get = Cm_http.Meth.GET in
+  { machine_name = "VolumeSnapshotProtocol";
+    context = "volume";
+    initial = s_no_snapshot;
+    states =
+      [ state s_no_snapshot inv_none; state s_with_snapshots inv_some ];
+    transitions =
+      [ (* POST(snapshot): only on a quiesced volume *)
+        transition ~source:s_no_snapshot ~target:s_with_snapshots
+          ~guard:(ocl "volume.status <> 'in-use'")
+          ~effect:(ocl "volume.snapshots->size() = 1")
+          ~requirements:[ "3.2" ] post "snapshot";
+        transition ~source:s_with_snapshots ~target:s_with_snapshots
+          ~guard:(ocl "volume.status <> 'in-use'")
+          ~effect:
+            (ocl "volume.snapshots->size() = pre(volume.snapshots->size()) + 1")
+          ~requirements:[ "3.2" ] post "snapshot";
+        (* DELETE(snapshot) *)
+        transition ~source:s_with_snapshots ~target:s_with_snapshots
+          ~guard:
+            (ocl "snapshot.id->size() = 1 and volume.snapshots->size() > 1")
+          ~effect:
+            (ocl "volume.snapshots->size() = pre(volume.snapshots->size()) - 1")
+          ~requirements:[ "3.3" ] delete "snapshot";
+        transition ~source:s_with_snapshots ~target:s_no_snapshot
+          ~guard:
+            (ocl "snapshot.id->size() = 1 and volume.snapshots->size() = 1")
+          ~effect:(ocl "volume.snapshots->size() = 0")
+          ~requirements:[ "3.3" ] delete "snapshot";
+        (* GET(snapshot) *)
+        transition ~source:s_with_snapshots ~target:s_with_snapshots
+          ~guard:(ocl "snapshot.id->size() = 1")
+          ~effect:
+            (ocl "volume.snapshots->size() = pre(volume.snapshots->size())")
+          ~requirements:[ "3.1" ] get "snapshot";
+        (* GET(Snapshots): listing in both states *)
+        transition ~source:s_no_snapshot ~target:s_no_snapshot
+          ~effect:(ocl "volume.snapshots->size() = 0")
+          ~requirements:[ "3.1" ] get "Snapshots";
+        transition ~source:s_with_snapshots ~target:s_with_snapshots
+          ~effect:
+            (ocl "volume.snapshots->size() = pre(volume.snapshots->size())")
+          ~requirements:[ "3.1" ] get "Snapshots"
+      ]
+  }
+
+let security_table =
+  let open Cm_http.Meth in
+  Cm_rbac.Security_table.
+    [ entry ~resource:"snapshot" ~req:"3.1" GET [ "admin"; "member"; "user" ];
+      entry ~resource:"snapshot" ~req:"3.2" POST [ "admin"; "member" ];
+      entry ~resource:"snapshot" ~req:"3.3" DELETE [ "admin" ];
+      entry ~resource:"Snapshots" ~req:"3.1" GET [ "admin"; "member"; "user" ]
+    ]

@@ -1,0 +1,26 @@
+(** A third worked example: volume snapshots — {e nested} resources.
+
+    Snapshots live two containment levels below the project
+    ([/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}]),
+    exercising the model-driven observer's ancestor binding: contracts
+    range over the {e parent} volume ([volume.status], the grafted
+    [volume.snapshots] listing) and the addressed snapshot.
+
+    The protocol is a two-state machine over the parent volume: it either
+    has no snapshot or some.  Creating a snapshot requires a quiesced
+    (not in-use) volume; security requirements use the 3.x range. *)
+
+val resources : Resource_model.t
+(** The Cinder resource model extended with [Snapshots]/[snapshot] under
+    [volume]. *)
+
+val behavior : Behavior_model.t
+val signature : Cm_ocl.Ty.signature
+
+val s_no_snapshot : string
+val s_with_snapshots : string
+
+val security_table : Cm_rbac.Security_table.t
+(** GET (3.1) for admin, member, user; POST (3.2) for admin, member;
+    DELETE (3.3) for admin — on [snapshot]; plus the listing entry for
+    [Snapshots] under 3.1. *)

@@ -1,0 +1,432 @@
+module Pretty = Cm_ocl.Pretty
+module Xml = Cm_xml.Xml
+module Xml_parse = Cm_xml.Xml_parse
+module Xml_print = Cm_xml.Xml_print
+
+type document = {
+  resource_model : Resource_model.t;
+  behavior_models : Behavior_model.t list;
+}
+
+let el = Xml.element
+let node e = Xml.Element e
+
+(* ---------- writing ---------- *)
+
+let write_attribute (a : Resource_model.attribute) =
+  el "ownedAttribute"
+    ~attrs:
+      [ ("xmi:type", "uml:Property");
+        ("name", a.attr_name);
+        ("type", Resource_model.attr_type_to_string a.attr_type);
+        ("visibility", "public")
+      ]
+
+let write_class (r : Resource_model.resource_def) =
+  el "packagedElement"
+    ~attrs:
+      [ ("xmi:type", "uml:Class");
+        ("xmi:id", "class_" ^ r.def_name);
+        ("name", r.def_name);
+        ( "cm:kind",
+          match r.kind with
+          | Resource_model.Collection -> "collection"
+          | Resource_model.Normal -> "normal" )
+      ]
+    ~children:(List.map (fun a -> node (write_attribute a)) r.attributes)
+
+let write_association (a : Resource_model.association) =
+  el "packagedElement"
+    ~attrs:
+      [ ("xmi:type", "uml:Association");
+        ("xmi:id", Printf.sprintf "assoc_%s_%s" a.source a.role);
+        ("name", a.role)
+      ]
+    ~children:
+      [ node
+          (el "memberEnd"
+             ~attrs:
+               [ ("source", a.source);
+                 ("target", a.target);
+                 ("multiplicity", Multiplicity.to_string a.multiplicity)
+               ])
+      ]
+
+let write_ocl tag expr =
+  el tag
+    ~children:
+      [ node
+          (el "specification"
+             ~attrs:[ ("xmi:type", "uml:OpaqueExpression") ]
+             ~children:
+               [ node
+                   (el "body" ~children:[ Xml.text (Pretty.to_string expr) ])
+               ])
+      ]
+
+let write_comment text =
+  el "ownedComment"
+    ~children:[ node (el "body" ~children:[ Xml.text text ]) ]
+
+let requirement_comments requirements =
+  List.map (fun id -> node (write_comment ("SecReq " ^ id))) requirements
+
+let write_state (s : Behavior_model.state) =
+  el "subvertex"
+    ~attrs:
+      [ ("xmi:type", "uml:State");
+        ("xmi:id", "state_" ^ s.state_name);
+        ("name", s.state_name)
+      ]
+    ~children:
+      (node (write_ocl "ownedRule" s.invariant)
+      :: requirement_comments s.state_requirements)
+
+let write_transition (t : Behavior_model.transition) =
+  let children =
+    [ node
+        (el "trigger"
+           ~attrs:
+             [ ( "name",
+                 Fmt.str "%s(%s)"
+                   (Cm_http.Meth.to_string t.trigger.meth)
+                   t.trigger.resource )
+             ])
+    ]
+    @ (match t.guard with
+       | Some guard -> [ node (write_ocl "guard" guard) ]
+       | None -> [])
+    @ (match t.effect with
+       | Some effect -> [ node (write_ocl "effect" effect) ]
+       | None -> [])
+    @ requirement_comments t.requirements
+  in
+  el "transition"
+    ~attrs:
+      [ ("xmi:type", "uml:Transition");
+        ("source", "state_" ^ t.source);
+        ("target", "state_" ^ t.target)
+      ]
+    ~children
+
+let write_state_machine (m : Behavior_model.t) =
+  let region_children =
+    node
+      (el "subvertex"
+         ~attrs:
+           [ ("xmi:type", "uml:Pseudostate");
+             ("kind", "initial");
+             ("cm:initialTarget", "state_" ^ m.initial)
+           ])
+    :: List.map (fun s -> node (write_state s)) m.states
+    @ List.map (fun t -> node (write_transition t)) m.transitions
+  in
+  el "packagedElement"
+    ~attrs:
+      [ ("xmi:type", "uml:StateMachine");
+        ("xmi:id", "sm_" ^ m.machine_name);
+        ("name", m.machine_name);
+        ("cm:context", m.context)
+      ]
+    ~children:[ node (el "region" ~children:region_children) ]
+
+let write doc =
+  let rm = doc.resource_model in
+  let model =
+    el "uml:Model"
+      ~attrs:
+        [ ("xmi:id", "model_" ^ rm.model_name);
+          ("name", rm.model_name);
+          ("cm:basePath", rm.base_path);
+          ("cm:root", rm.root)
+        ]
+      ~children:
+        (List.map (fun r -> node (write_class r)) rm.resources
+        @ List.map (fun a -> node (write_association a)) rm.associations
+        @ List.map (fun m -> node (write_state_machine m)) doc.behavior_models)
+  in
+  let root =
+    el "xmi:XMI"
+      ~attrs:
+        [ ("xmi:version", "2.1");
+          ("xmlns:xmi", "http://schema.omg.org/spec/XMI/2.1");
+          ("xmlns:uml", "http://www.omg.org/spec/UML/20090901");
+          ("xmlns:cm", "http://cloudmon/xmi/extensions")
+        ]
+      ~children:[ node model ]
+  in
+  Xml_print.to_string_pretty root
+
+(* ---------- reading ---------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let rec collect_results = function
+  | [] -> Ok []
+  | Ok x :: rest ->
+    let* xs = collect_results rest in
+    Ok (x :: xs)
+  | Error e :: _ -> Error e
+
+let read_ocl context element =
+  match Xml.find_child "specification" element with
+  | None -> Error (context ^ ": missing <specification>")
+  | Some spec ->
+    (match Xml.find_child "body" spec with
+     | None -> Error (context ^ ": missing <body>")
+     | Some body ->
+       let text = String.trim (Xml.text_content body) in
+       (match Cm_ocl.Ocl_parser.parse text with
+        | Ok expr -> Ok expr
+        | Error err ->
+          Error (Fmt.str "%s: %a in %S" context Cm_ocl.Ocl_parser.pp_error err text)))
+
+let read_requirements element =
+  Xml.find_children "ownedComment" element
+  |> List.filter_map (fun c ->
+         match Xml.find_child "body" c with
+         | None -> None
+         | Some body ->
+           let text = String.trim (Xml.text_content body) in
+           if String.length text > 7 && String.sub text 0 7 = "SecReq " then
+             Some (String.sub text 7 (String.length text - 7))
+           else None)
+
+let packaged_elements kind model_el =
+  Xml.find_children "packagedElement" model_el
+  |> List.filter (fun e -> Xml.attr "xmi:type" e = Some kind)
+
+let read_class class_el =
+  let* name =
+    match Xml.attr "name" class_el with
+    | Some n -> Ok n
+    | None -> Error "class without a name"
+  in
+  let* kind =
+    match Xml.attr "cm:kind" class_el with
+    | Some "collection" -> Ok Resource_model.Collection
+    | Some "normal" | None -> Ok Resource_model.Normal
+    | Some other -> Error (Printf.sprintf "class %s: unknown kind %S" name other)
+  in
+  let* attributes =
+    Xml.find_children "ownedAttribute" class_el
+    |> List.map (fun attr_el ->
+           let* attr_name =
+             match Xml.attr "name" attr_el with
+             | Some n -> Ok n
+             | None -> Error (Printf.sprintf "attribute of %s without a name" name)
+           in
+           let type_text = Option.value ~default:"String" (Xml.attr "type" attr_el) in
+           match Resource_model.attr_type_of_string type_text with
+           | Some attr_type -> Ok { Resource_model.attr_name; attr_type }
+           | None ->
+             Error
+               (Printf.sprintf "attribute %s.%s: unknown type %S" name attr_name
+                  type_text))
+    |> collect_results
+  in
+  Ok { Resource_model.def_name = name; kind; attributes }
+
+let read_association assoc_el =
+  let* role =
+    match Xml.attr "name" assoc_el with
+    | Some n -> Ok n
+    | None -> Error "association without a name"
+  in
+  match Xml.find_child "memberEnd" assoc_el with
+  | None -> Error (Printf.sprintf "association %s: missing <memberEnd>" role)
+  | Some member ->
+    let* source =
+      match Xml.attr "source" member with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "association %s: missing source" role)
+    in
+    let* target =
+      match Xml.attr "target" member with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "association %s: missing target" role)
+    in
+    let* multiplicity =
+      match Xml.attr "multiplicity" member with
+      | Some text -> Multiplicity.of_string text
+      | None -> Ok Multiplicity.many
+    in
+    Ok { Resource_model.role; source; target; multiplicity }
+
+let strip_state_prefix id =
+  if String.length id > 6 && String.sub id 0 6 = "state_" then
+    String.sub id 6 (String.length id - 6)
+  else id
+
+let parse_trigger text =
+  match String.index_opt text '(' with
+  | Some i when String.length text > 0 && text.[String.length text - 1] = ')' ->
+    let meth_text = String.sub text 0 i in
+    let resource = String.sub text (i + 1) (String.length text - i - 2) in
+    (match Cm_http.Meth.of_string meth_text with
+     | Some meth -> Ok { Behavior_model.meth; resource }
+     | None -> Error (Printf.sprintf "unknown method in trigger %S" text))
+  | _ -> Error (Printf.sprintf "malformed trigger %S" text)
+
+let read_state state_el =
+  let* name =
+    match Xml.attr "name" state_el with
+    | Some n -> Ok n
+    | None -> Error "state without a name"
+  in
+  let* invariant =
+    match Xml.find_child "ownedRule" state_el with
+    | Some rule -> read_ocl ("state " ^ name) rule
+    | None -> Ok (Cm_ocl.Ast.Bool_lit true)
+  in
+  Ok
+    { Behavior_model.state_name = name;
+      invariant;
+      state_requirements = read_requirements state_el
+    }
+
+let read_transition tr_el =
+  let* source =
+    match Xml.attr "source" tr_el with
+    | Some s -> Ok (strip_state_prefix s)
+    | None -> Error "transition without a source"
+  in
+  let* target =
+    match Xml.attr "target" tr_el with
+    | Some t -> Ok (strip_state_prefix t)
+    | None -> Error "transition without a target"
+  in
+  let* trigger =
+    match Xml.find_child "trigger" tr_el with
+    | Some trig ->
+      (match Xml.attr "name" trig with
+       | Some text -> parse_trigger text
+       | None -> Error "trigger without a name")
+    | None -> Error "transition without a trigger"
+  in
+  let context = Fmt.str "transition %s->%s" source target in
+  let* guard =
+    match Xml.find_child "guard" tr_el with
+    | Some g ->
+      let* expr = read_ocl (context ^ " guard") g in
+      Ok (Some expr)
+    | None -> Ok None
+  in
+  let* effect =
+    match Xml.find_child "effect" tr_el with
+    | Some e ->
+      let* expr = read_ocl (context ^ " effect") e in
+      Ok (Some expr)
+    | None -> Ok None
+  in
+  Ok
+    { Behavior_model.source;
+      target;
+      trigger;
+      guard;
+      effect;
+      requirements = read_requirements tr_el
+    }
+
+let read_state_machine sm_el =
+  let* name =
+    match Xml.attr "name" sm_el with
+    | Some n -> Ok n
+    | None -> Error "state machine without a name"
+  in
+  let context = Option.value ~default:"" (Xml.attr "cm:context" sm_el) in
+  match Xml.find_child "region" sm_el with
+  | None -> Error (Printf.sprintf "state machine %s: missing <region>" name)
+  | Some region ->
+    let subvertices = Xml.find_children "subvertex" region in
+    let state_els =
+      List.filter (fun e -> Xml.attr "xmi:type" e = Some "uml:State") subvertices
+    in
+    let* states = collect_results (List.map read_state state_els) in
+    let* initial =
+      match
+        List.find_opt
+          (fun e -> Xml.attr "xmi:type" e = Some "uml:Pseudostate")
+          subvertices
+      with
+      | Some pseudo ->
+        (match Xml.attr "cm:initialTarget" pseudo with
+         | Some target -> Ok (strip_state_prefix target)
+         | None -> Error (Printf.sprintf "state machine %s: initial pseudostate without target" name))
+      | None ->
+        (match states with
+         | first :: _ -> Ok first.Behavior_model.state_name
+         | [] -> Error (Printf.sprintf "state machine %s has no states" name))
+    in
+    let* transitions =
+      collect_results (List.map read_transition (Xml.find_children "transition" region))
+    in
+    Ok
+      { Behavior_model.machine_name = name;
+        context;
+        initial;
+        states;
+        transitions
+      }
+
+let read text =
+  match Xml_parse.parse text with
+  | Error err -> Error (Fmt.str "%a" Xml_parse.pp_error err)
+  | Ok root ->
+    let* model_el =
+      match Xml.find_child "uml:Model" root with
+      | Some m -> Ok m
+      | None ->
+        (* Tolerate a bare <uml:Model> root (some exporters omit the
+           <xmi:XMI> wrapper). *)
+        if root.Xml.name = "uml:Model" then Ok root
+        else Error "no <uml:Model> element found"
+    in
+    let model_name = Option.value ~default:"Model" (Xml.attr "name" model_el) in
+    let base_path = Option.value ~default:"/" (Xml.attr "cm:basePath" model_el) in
+    let* resources =
+      collect_results (List.map read_class (packaged_elements "uml:Class" model_el))
+    in
+    let* associations =
+      collect_results
+        (List.map read_association (packaged_elements "uml:Association" model_el))
+    in
+    let* root_name =
+      match Xml.attr "cm:root" model_el with
+      | Some r -> Ok r
+      | None ->
+        (* Default: the first collection that is no association's target. *)
+        (match
+           List.find_opt
+             (fun (r : Resource_model.resource_def) ->
+               r.kind = Resource_model.Collection
+               && not
+                    (List.exists
+                       (fun (a : Resource_model.association) ->
+                         a.target = r.def_name)
+                       associations))
+             resources
+         with
+         | Some r -> Ok r.def_name
+         | None -> Error "cannot determine root resource definition")
+    in
+    let* behavior_models =
+      collect_results
+        (List.map read_state_machine
+           (packaged_elements "uml:StateMachine" model_el))
+    in
+    Ok
+      { resource_model =
+          { Resource_model.model_name;
+            base_path;
+            root = root_name;
+            resources;
+            associations
+          };
+        behavior_models
+      }
+
+let read_exn text =
+  match read text with
+  | Ok doc -> doc
+  | Error msg -> failwith ("Xmi.read_exn: " ^ msg)

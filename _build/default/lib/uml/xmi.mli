@@ -1,0 +1,27 @@
+(** XMI interchange for the design models.
+
+    The paper's toolchain exports the MagicDraw models as XMI 2.1 and
+    feeds the file to the generator.  This module writes and reads an
+    XMI-style encoding of {!Resource_model} and {!Behavior_model}:
+    classes with [ownedAttribute]s, associations with [memberEnd]s, and
+    state machines with [region]/[subvertex]/[transition] structure;
+    OCL appears as [uml:OpaqueExpression] bodies and security-requirement
+    annotations as [ownedComment]s — the standard-UML-without-profiles
+    choice the paper argues for.
+
+    [read (write doc)] is the identity on well-formed documents
+    (property-tested). *)
+
+type document = {
+  resource_model : Resource_model.t;
+  behavior_models : Behavior_model.t list;
+}
+
+val write : document -> string
+(** Serialize to pretty-printed XMI. *)
+
+val read : string -> (document, string) result
+(** Parse XMI text.  Unknown elements are ignored (MagicDraw emits many
+    vendor extensions); missing required structure is an error. *)
+
+val read_exn : string -> document

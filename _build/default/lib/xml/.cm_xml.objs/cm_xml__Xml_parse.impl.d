@@ -1,0 +1,1 @@
+lib/xml/xml_parse.ml: Buffer Char Fmt List Printf String Xml

@@ -1,0 +1,1 @@
+lib/xml/xml_parse.mli: Format Xml

@@ -1,0 +1,1 @@
+lib/xml/xml_print.ml: Buffer Char List Printf String Xml

@@ -1,0 +1,93 @@
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+
+and element = {
+  name : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+let element ?(attrs = []) ?(children = []) name = { name; attrs; children }
+let text s = Text s
+let comment s = Comment s
+
+let attr key el = List.assoc_opt key el.attrs
+
+let attr_exn key el =
+  match attr key el with
+  | Some value -> value
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Xml.attr_exn: element <%s> has no attribute %S" el.name
+         key)
+
+let children_elements el =
+  List.filter_map
+    (function Element e -> Some e | Text _ | Comment _ -> None)
+    el.children
+
+let find_children name el =
+  List.filter (fun e -> e.name = name) (children_elements el)
+
+let find_child name el =
+  List.find_opt (fun e -> e.name = name) (children_elements el)
+
+let descendants name el =
+  let rec collect acc el =
+    List.fold_left
+      (fun acc child ->
+        let acc = if child.name = name then child :: acc else acc in
+        collect acc child)
+      acc (children_elements el)
+  in
+  List.rev (collect [] el)
+
+let text_content el =
+  let buf = Buffer.create 64 in
+  let rec walk = function
+    | Text s -> Buffer.add_string buf s
+    | Comment _ -> ()
+    | Element e -> List.iter walk e.children
+  in
+  List.iter walk el.children;
+  Buffer.contents buf
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let rec equal a b =
+  a.name = b.name
+  && List.sort compare a.attrs = List.sort compare b.attrs
+  && equal_nodes (significant a.children) (significant b.children)
+
+and significant nodes =
+  List.filter
+    (function
+      | Text s when is_blank s -> false
+      | Comment _ -> false
+      | Text _ | Element _ -> true)
+    nodes
+
+and equal_nodes xs ys =
+  match xs, ys with
+  | [], [] -> true
+  | Element a :: xs', Element b :: ys' -> equal a b && equal_nodes xs' ys'
+  | Text a :: xs', Text b :: ys' -> String.trim a = String.trim b && equal_nodes xs' ys'
+  | _ -> false
+
+let rec pp ppf el =
+  let pp_attr ppf (k, v) = Fmt.pf ppf " %s=%S" k v in
+  match significant el.children with
+  | [] -> Fmt.pf ppf "<%s%a/>" el.name Fmt.(list ~sep:nop pp_attr) el.attrs
+  | children ->
+    Fmt.pf ppf "<%s%a>%a</%s>" el.name
+      Fmt.(list ~sep:nop pp_attr)
+      el.attrs
+      Fmt.(list ~sep:nop pp_node)
+      children el.name
+
+and pp_node ppf = function
+  | Element e -> pp ppf e
+  | Text s -> Fmt.string ppf s
+  | Comment s -> Fmt.pf ppf "<!--%s-->" s

@@ -1,0 +1,51 @@
+(** XML documents.
+
+    A deliberately small XML 1.0 tree: elements with attributes, text and
+    comment nodes.  Namespace prefixes (e.g. [xmi:id]) are kept verbatim in
+    names — XMI consumers match on the prefixed string, which is how the
+    paper's MagicDraw export is structured.  This module replaces the
+    paper's use of Python [lxml]. *)
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+
+and element = {
+  name : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+(** {1 Constructors} *)
+
+val element : ?attrs:(string * string) list -> ?children:node list -> string -> element
+val text : string -> node
+val comment : string -> node
+
+(** {1 Queries} *)
+
+val attr : string -> element -> string option
+val attr_exn : string -> element -> string
+
+val children_elements : element -> element list
+(** Child elements in order, skipping text and comments. *)
+
+val find_children : string -> element -> element list
+(** Child elements with the given name. *)
+
+val find_child : string -> element -> element option
+(** First child element with the given name. *)
+
+val descendants : string -> element -> element list
+(** All descendant elements (document order) with the given name,
+    excluding the element itself. *)
+
+val text_content : element -> string
+(** Concatenated text of all descendant text nodes. *)
+
+val equal : element -> element -> bool
+(** Structural equality: attribute order is ignored, whitespace-only text
+    nodes are ignored (XMI round-trips pretty-print). *)
+
+val pp : Format.formatter -> element -> unit

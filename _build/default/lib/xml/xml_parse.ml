@@ -1,0 +1,317 @@
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "XML parse error at offset %d: %s" position message
+
+exception Parse_error of error
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1]
+  else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let len = String.length prefix in
+  st.pos + len <= String.length st.input
+  && String.sub st.input st.pos len = prefix
+
+let skip st n = st.pos <- st.pos + n
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some _ | None -> ()
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  match peek st with
+  | Some c when is_name_start c ->
+    let start = st.pos in
+    let rec loop () =
+      match peek st with
+      | Some c when is_name_char c ->
+        advance st;
+        loop ()
+      | Some _ | None -> ()
+    in
+    loop ();
+    String.sub st.input start (st.pos - start)
+  | Some c -> fail st (Printf.sprintf "expected name, found %C" c)
+  | None -> fail st "expected name, found end of input"
+
+(* Decode an entity reference starting just after '&'. *)
+let parse_entity st buf =
+  let upto_semicolon () =
+    let start = st.pos in
+    let rec loop () =
+      match peek st with
+      | Some ';' ->
+        let body = String.sub st.input start (st.pos - start) in
+        advance st;
+        body
+      | Some _ ->
+        advance st;
+        loop ()
+      | None -> fail st "unterminated entity reference"
+    in
+    loop ()
+  in
+  let body = upto_semicolon () in
+  let add_codepoint cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  match body with
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "amp" -> Buffer.add_char buf '&'
+  | "quot" -> Buffer.add_char buf '"'
+  | "apos" -> Buffer.add_char buf '\''
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let cp =
+        if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
+          int_of_string_opt ("0x" ^ String.sub body 2 (String.length body - 2))
+        else int_of_string_opt (String.sub body 1 (String.length body - 1))
+      in
+      match cp with
+      | Some cp when cp > 0 && cp <= 0x10FFFF -> add_codepoint cp
+      | Some _ | None -> fail st "invalid character reference"
+    end
+    else fail st (Printf.sprintf "unknown entity &%s;" body)
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st;
+      q
+    | Some c -> fail st (Printf.sprintf "expected quote, found %C" c)
+    | None -> fail st "expected attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote ->
+      advance st;
+      Buffer.contents buf
+    | Some '&' ->
+      advance st;
+      parse_entity st buf;
+      loop ()
+    | Some '<' -> fail st "'<' in attribute value"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_ws st;
+      (match peek st with
+       | Some '=' -> advance st
+       | _ -> fail st "expected '=' after attribute name");
+      skip_ws st;
+      let value = parse_attr_value st in
+      loop ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let skip_comment st =
+  (* called with st at "<!--" *)
+  skip st 4;
+  let start = st.pos in
+  let rec find_end () =
+    if looking_at st "-->" then begin
+      let body = String.sub st.input start (st.pos - start) in
+      skip st 3;
+      body
+    end
+    else if st.pos >= String.length st.input then fail st "unterminated comment"
+    else begin
+      advance st;
+      find_end ()
+    end
+  in
+  find_end ()
+
+let parse_cdata st =
+  (* called with st at "<![CDATA[" *)
+  skip st 9;
+  let start = st.pos in
+  let rec find_end () =
+    if looking_at st "]]>" then begin
+      let body = String.sub st.input start (st.pos - start) in
+      skip st 3;
+      body
+    end
+    else if st.pos >= String.length st.input then fail st "unterminated CDATA"
+    else begin
+      advance st;
+      find_end ()
+    end
+  in
+  find_end ()
+
+let rec parse_element st =
+  (* called with st at '<' of a start tag *)
+  advance st;
+  let name = parse_name st in
+  let attrs = parse_attrs st in
+  skip_ws st;
+  match peek st with
+  | Some '/' ->
+    advance st;
+    (match peek st with
+     | Some '>' ->
+       advance st;
+       { Xml.name; attrs; children = [] }
+     | _ -> fail st "expected '>' after '/'")
+  | Some '>' ->
+    advance st;
+    let children = parse_content st name in
+    { Xml.name; attrs; children }
+  | Some c -> fail st (Printf.sprintf "unexpected %C in tag" c)
+  | None -> fail st "unterminated start tag"
+
+and parse_content st parent_name =
+  let buf = Buffer.create 16 in
+  let flush_text acc =
+    if Buffer.length buf = 0 then acc
+    else begin
+      let body = Buffer.contents buf in
+      Buffer.clear buf;
+      Xml.Text body :: acc
+    end
+  in
+  let rec loop acc =
+    match peek st with
+    | None -> fail st (Printf.sprintf "unterminated element <%s>" parent_name)
+    | Some '<' ->
+      if looking_at st "</" then begin
+        let acc = flush_text acc in
+        skip st 2;
+        let name = parse_name st in
+        if name <> parent_name then
+          fail st
+            (Printf.sprintf "mismatched close tag </%s> for <%s>" name
+               parent_name);
+        skip_ws st;
+        (match peek st with
+         | Some '>' ->
+           advance st;
+           List.rev acc
+         | _ -> fail st "expected '>' in close tag")
+      end
+      else if looking_at st "<!--" then begin
+        let acc = flush_text acc in
+        let body = skip_comment st in
+        loop (Xml.Comment body :: acc)
+      end
+      else if looking_at st "<![CDATA[" then begin
+        Buffer.add_string buf (parse_cdata st);
+        loop acc
+      end
+      else begin
+        let acc = flush_text acc in
+        let child = parse_element st in
+        loop (Xml.Element child :: acc)
+      end
+    | Some '&' ->
+      advance st;
+      parse_entity st buf;
+      loop acc
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop acc
+  in
+  loop []
+
+let skip_prolog st =
+  skip_ws st;
+  if looking_at st "<?xml" then begin
+    let rec find_end () =
+      if looking_at st "?>" then skip st 2
+      else if st.pos >= String.length st.input then
+        fail st "unterminated XML declaration"
+      else begin
+        advance st;
+        find_end ()
+      end
+    in
+    find_end ()
+  end;
+  let rec skip_misc () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      ignore (skip_comment st);
+      skip_misc ()
+    end
+  in
+  skip_misc ()
+
+let parse input =
+  let st = { input; pos = 0 } in
+  match
+    skip_prolog st;
+    (match peek st with
+     | Some '<' when peek2 st <> Some '!' && peek2 st <> Some '?' -> ()
+     | Some _ | None -> fail st "expected root element");
+    let root = parse_element st in
+    skip_ws st;
+    let rec skip_trailing () =
+      if looking_at st "<!--" then begin
+        ignore (skip_comment st);
+        skip_ws st;
+        skip_trailing ()
+      end
+    in
+    skip_trailing ();
+    (match peek st with
+     | Some _ -> fail st "trailing content after root element"
+     | None -> ());
+    root
+  with
+  | root -> Ok root
+  | exception Parse_error err -> Error err
+
+let parse_exn input =
+  match parse input with
+  | Ok root -> root
+  | Error err -> failwith (Fmt.str "%a" pp_error err)

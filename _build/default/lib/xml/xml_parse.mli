@@ -1,0 +1,14 @@
+(** XML parser.
+
+    Parses the subset of XML 1.0 needed for XMI interchange: one root
+    element, attributes (single- or double-quoted), character data, the
+    five predefined entities plus numeric character references, comments,
+    CDATA sections, and a leading [<?xml ...?>] declaration (ignored).
+    DTDs and processing instructions other than the declaration are
+    rejected — an XMI export never contains them. *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val parse : string -> (Xml.element, error) result
+val parse_exn : string -> Xml.element

@@ -1,0 +1,105 @@
+let escape_with extra s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c when List.mem c extra ->
+        Buffer.add_string buf (Printf.sprintf "&#%d;" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text s = escape_with [] s
+let escape_attr s = escape_with [ '"'; '\'' ] s
+
+let declaration_text = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let to_string ?(declaration = true) root =
+  let buf = Buffer.create 256 in
+  if declaration then Buffer.add_string buf declaration_text;
+  let rec emit (el : Xml.element) =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf el.name;
+    add_attrs buf el.attrs;
+    match el.children with
+    | [] -> Buffer.add_string buf "/>"
+    | children ->
+      Buffer.add_char buf '>';
+      List.iter emit_node children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.name;
+      Buffer.add_char buf '>'
+  and emit_node = function
+    | Xml.Element el -> emit el
+    | Xml.Text s -> Buffer.add_string buf (escape_text s)
+    | Xml.Comment s ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->"
+  in
+  emit root;
+  Buffer.contents buf
+
+let text_only children =
+  List.for_all
+    (function Xml.Text _ -> true | Xml.Element _ | Xml.Comment _ -> false)
+    children
+
+let to_string_pretty ?(declaration = true) ?(indent = 2) root =
+  let buf = Buffer.create 256 in
+  if declaration then Buffer.add_string buf declaration_text;
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let rec emit depth (el : Xml.element) =
+    pad depth;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf el.name;
+    add_attrs buf el.attrs;
+    match el.children with
+    | [] -> Buffer.add_string buf "/>\n"
+    | children when text_only children ->
+      Buffer.add_char buf '>';
+      List.iter
+        (function
+          | Xml.Text s -> Buffer.add_string buf (escape_text s)
+          | Xml.Element _ | Xml.Comment _ -> ())
+        children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.name;
+      Buffer.add_string buf ">\n"
+    | children ->
+      Buffer.add_string buf ">\n";
+      List.iter (emit_node (depth + 1)) children;
+      pad depth;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.name;
+      Buffer.add_string buf ">\n"
+  and emit_node depth = function
+    | Xml.Element el -> emit depth el
+    | Xml.Text s ->
+      let trimmed = String.trim s in
+      if trimmed <> "" then begin
+        pad depth;
+        Buffer.add_string buf (escape_text trimmed);
+        Buffer.add_char buf '\n'
+      end
+    | Xml.Comment s ->
+      pad depth;
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->\n"
+  in
+  emit 0 root;
+  Buffer.contents buf

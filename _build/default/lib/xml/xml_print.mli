@@ -1,0 +1,16 @@
+(** XML serialization. *)
+
+val to_string : ?declaration:bool -> Xml.element -> string
+(** Compact serialization.  [declaration] (default [true]) prepends
+    [<?xml version="1.0" encoding="UTF-8"?>]. *)
+
+val to_string_pretty : ?declaration:bool -> ?indent:int -> Xml.element -> string
+(** Indented serialization (default 2 spaces).  Elements whose children
+    are only text stay on one line so that mixed content survives a
+    round-trip. *)
+
+val escape_text : string -> string
+(** Escape [& < >] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and quotes for attribute values. *)

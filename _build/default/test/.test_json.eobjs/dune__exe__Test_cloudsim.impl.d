@@ -1,0 +1,1 @@
+test/test_cloudsim.ml: Alcotest Cm_cloudsim Cm_http Cm_json Cm_rbac List Option Printf Result

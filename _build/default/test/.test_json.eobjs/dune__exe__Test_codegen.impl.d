@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Cm_codegen Cm_contracts Cm_http Cm_ocl Cm_rbac Cm_uml Filename List QCheck2 QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_contracts.ml: Alcotest Astring_contains Cm_contracts Cm_http Cm_json Cm_ocl Cm_rbac Cm_uml Fmt List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_glance.ml: Alcotest Cm_cloudsim Cm_contracts Cm_http Cm_json Cm_monitor Cm_ocl Cm_rbac Cm_uml Fmt List Printf String

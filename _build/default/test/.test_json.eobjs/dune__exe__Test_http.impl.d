@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Astring_contains Cm_http Cm_json List QCheck2 QCheck_alcotest Result String

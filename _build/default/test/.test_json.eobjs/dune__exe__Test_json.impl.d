@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Cm_json List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Astring_contains Cm_json Cm_monitor Cm_mutation List Option Printf String

@@ -1,0 +1,1 @@
+test/test_ocl.ml: Alcotest Cm_json Cm_ocl Fmt List QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_paper_fidelity.ml: Alcotest Astring_contains Cm_contracts Cm_http Cm_ocl Cm_rbac Cm_uml List String

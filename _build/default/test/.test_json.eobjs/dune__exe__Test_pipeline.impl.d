@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Astring_contains Cloudmon Cm_http Cm_json Cm_ocl Cm_uml List Result String

@@ -1,0 +1,1 @@
+test/test_rbac.ml: Alcotest Astring_contains Cm_http Cm_json Cm_ocl Cm_rbac List Option QCheck2 QCheck_alcotest Result String

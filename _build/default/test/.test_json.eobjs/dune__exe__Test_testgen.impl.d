@@ -1,0 +1,1 @@
+test/test_testgen.ml: Alcotest Astring_contains Cm_cloudsim Cm_http Cm_mutation Cm_ocl Cm_rbac Cm_testgen Cm_uml List

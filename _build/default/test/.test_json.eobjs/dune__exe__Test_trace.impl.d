@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Astring_contains Cm_cloudsim Cm_http Cm_monitor Cm_mutation List String

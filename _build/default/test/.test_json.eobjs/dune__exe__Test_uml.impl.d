@@ -1,0 +1,1 @@
+test/test_uml.ml: Alcotest Astring_contains Cm_contracts Cm_http Cm_ocl Cm_rbac Cm_uml Fmt List Option Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Cm_xml List Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,495 @@
+(* Tests for the simulated OpenStack: identity, block storage, compute,
+   policy enforcement, quota, fault injection. *)
+
+module Cloud = Cm_cloudsim.Cloud
+module Identity = Cm_cloudsim.Identity
+module Store = Cm_cloudsim.Store
+module Faults = Cm_cloudsim.Faults
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Meth = Cm_http.Meth
+module Json = Cm_json.Json
+module Subject = Cm_rbac.Subject
+
+let fresh () =
+  let cloud = Cloud.create () in
+  Cloud.seed cloud Cloud.my_project;
+  cloud
+
+let login cloud user pw =
+  match Cloud.login cloud ~user ~password:pw ~project_id:"myProject" with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let req ?token ?body meth path =
+  let r = Request.make ?body meth path in
+  match token with Some t -> Request.with_auth_token t r | None -> r
+
+let volume_body ?(size = 10) name =
+  Json.obj
+    [ ("volume", Json.obj [ ("name", Json.string name); ("size", Json.int size) ]) ]
+
+let create_volume cloud token ?size name =
+  let resp =
+    Cloud.handle cloud
+      (req ~token ~body:(volume_body ?size name) Meth.POST "/v3/myProject/volumes")
+  in
+  match resp.Response.body with
+  | Some body ->
+    (match Cm_json.Pointer.get [ Key "volume"; Key "id" ] body with
+     | Some (Json.String id) -> (resp, id)
+     | _ -> (resp, "?"))
+  | None -> (resp, "?")
+
+let identity_tests =
+  [ Alcotest.test_case "login success and failure" `Quick (fun () ->
+        let cloud = fresh () in
+        ignore (login cloud "alice" "alice-pw");
+        Alcotest.(check bool) "wrong password" true
+          (Result.is_error
+             (Cloud.login cloud ~user:"alice" ~password:"nope"
+                ~project_id:"myProject"));
+        Alcotest.(check bool) "unknown user" true
+          (Result.is_error
+             (Cloud.login cloud ~user:"eve" ~password:"x" ~project_id:"myProject")));
+    Alcotest.test_case "auth endpoint issues tokens" `Quick (fun () ->
+        let cloud = fresh () in
+        let resp =
+          Cloud.handle cloud
+            (req Meth.POST "/identity/v3/auth/tokens"
+               ~body:
+                 (Json.obj
+                    [ ( "auth",
+                        Json.obj
+                          [ ("user", Json.string "bob");
+                            ("password", Json.string "bob-pw");
+                            ("project_id", Json.string "myProject")
+                          ] )
+                    ]))
+        in
+        Alcotest.(check int) "201" 201 resp.Response.status;
+        match resp.Response.body with
+        | Some body ->
+          Alcotest.(check bool) "has roles" true
+            (Cm_json.Pointer.get [ Key "token"; Key "roles" ] body <> None)
+        | None -> Alcotest.fail "no body");
+    Alcotest.test_case "auth endpoint rejects bad credentials" `Quick (fun () ->
+        let cloud = fresh () in
+        let resp =
+          Cloud.handle cloud
+            (req Meth.POST "/identity/v3/auth/tokens"
+               ~body:
+                 (Json.obj
+                    [ ( "auth",
+                        Json.obj
+                          [ ("user", Json.string "bob");
+                            ("password", Json.string "wrong");
+                            ("project_id", Json.string "myProject")
+                          ] )
+                    ]))
+        in
+        Alcotest.(check int) "401" 401 resp.Response.status);
+    Alcotest.test_case "token introspection" `Quick (fun () ->
+        let cloud = fresh () in
+        let token = login cloud "carol" "carol-pw" in
+        let r =
+          { (req Meth.GET "/identity/v3/auth/tokens") with
+            Request.headers =
+              Cm_http.Headers.of_list [ ("X-Subject-Token", token) ]
+          }
+        in
+        let resp = Cloud.handle cloud r in
+        Alcotest.(check int) "200" 200 resp.Response.status;
+        match resp.Response.body with
+        | Some body ->
+          Alcotest.(check (option string)) "user" (Some "carol")
+            (Option.bind
+               (Cm_json.Pointer.get [ Key "token"; Key "user" ] body)
+               Json.to_string)
+        | None -> Alcotest.fail "no body");
+    Alcotest.test_case "revoked token is invalid" `Quick (fun () ->
+        let cloud = fresh () in
+        let token = login cloud "alice" "alice-pw" in
+        Identity.revoke (Cloud.identity cloud) ~token;
+        let resp =
+          Cloud.handle cloud (req ~token Meth.GET "/v3/myProject/volumes")
+        in
+        Alcotest.(check int) "401" 401 resp.Response.status)
+  ]
+
+let volume_tests =
+  [ Alcotest.test_case "CRUD lifecycle" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let resp, id = create_volume cloud alice "data" in
+        Alcotest.(check int) "created" 201 resp.Response.status;
+        (* list *)
+        let listing =
+          Cloud.handle cloud (req ~token:alice Meth.GET "/v3/myProject/volumes")
+        in
+        Alcotest.(check int) "list 200" 200 listing.Response.status;
+        (match listing.Response.body with
+         | Some body ->
+           (match Json.member "volumes" body with
+            | Some (Json.List vols) ->
+              Alcotest.(check int) "one volume" 1 (List.length vols)
+            | _ -> Alcotest.fail "no volumes array")
+         | None -> Alcotest.fail "no body");
+        (* show *)
+        let show =
+          Cloud.handle cloud
+            (req ~token:alice Meth.GET ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "show 200" 200 show.Response.status;
+        (* update *)
+        let update =
+          Cloud.handle cloud
+            (req ~token:alice Meth.PUT
+               ("/v3/myProject/volumes/" ^ id)
+               ~body:
+                 (Json.obj
+                    [ ("volume", Json.obj [ ("name", Json.string "renamed") ]) ]))
+        in
+        Alcotest.(check int) "update 200" 200 update.Response.status;
+        (* delete *)
+        let delete =
+          Cloud.handle cloud
+            (req ~token:alice Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "delete 204" 204 delete.Response.status;
+        let gone =
+          Cloud.handle cloud
+            (req ~token:alice Meth.GET ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "404 after delete" 404 gone.Response.status);
+    Alcotest.test_case "quota enforcement (count)" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        for i = 1 to 3 do
+          let resp, _ = create_volume cloud alice (Printf.sprintf "v%d" i) in
+          Alcotest.(check int) "created" 201 resp.Response.status
+        done;
+        let resp, _ = create_volume cloud alice "v4" in
+        Alcotest.(check int) "413 over quota" 413 resp.Response.status);
+    Alcotest.test_case "quota enforcement (gigabytes)" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let resp, _ = create_volume cloud alice ~size:90 "big" in
+        Alcotest.(check int) "created" 201 resp.Response.status;
+        let resp, _ = create_volume cloud alice ~size:20 "too-big" in
+        Alcotest.(check int) "413" 413 resp.Response.status);
+    Alcotest.test_case "invalid size rejected" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let resp, _ = create_volume cloud alice ~size:(-1) "bad" in
+        Alcotest.(check int) "400" 400 resp.Response.status);
+    Alcotest.test_case "attach blocks delete and update" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let _, id = create_volume cloud alice "data" in
+        let attach =
+          Cloud.handle cloud
+            (req ~token:alice Meth.POST
+               ("/v3/myProject/volumes/" ^ id ^ "/action")
+               ~body:
+                 (Json.obj
+                    [ ( "os-attach",
+                        Json.obj [ ("instance_uuid", Json.string "srv-x") ] )
+                    ]))
+        in
+        Alcotest.(check int) "attach 202" 202 attach.Response.status;
+        let del =
+          Cloud.handle cloud
+            (req ~token:alice Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "delete 400" 400 del.Response.status;
+        let upd =
+          Cloud.handle cloud
+            (req ~token:alice Meth.PUT
+               ("/v3/myProject/volumes/" ^ id)
+               ~body:(Json.obj [ ("volume", Json.obj []) ]))
+        in
+        Alcotest.(check int) "update 400" 400 upd.Response.status;
+        let detach =
+          Cloud.handle cloud
+            (req ~token:alice Meth.POST
+               ("/v3/myProject/volumes/" ^ id ^ "/action")
+               ~body:(Json.obj [ ("os-detach", Json.obj []) ]))
+        in
+        Alcotest.(check int) "detach 202" 202 detach.Response.status;
+        let del2 =
+          Cloud.handle cloud
+            (req ~token:alice Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "delete 204" 204 del2.Response.status);
+    Alcotest.test_case "quota and project endpoints" `Quick (fun () ->
+        let cloud = fresh () in
+        let carol = login cloud "carol" "carol-pw" in
+        let quota =
+          Cloud.handle cloud (req ~token:carol Meth.GET "/v3/myProject/quota_sets")
+        in
+        Alcotest.(check int) "quota 200" 200 quota.Response.status;
+        (match quota.Response.body with
+         | Some body ->
+           Alcotest.(check (option int)) "volumes quota" (Some 3)
+             (Option.bind
+                (Cm_json.Pointer.get [ Key "quota_set"; Key "volumes" ] body)
+                Json.to_int)
+         | None -> Alcotest.fail "no body");
+        let project =
+          Cloud.handle cloud (req ~token:carol Meth.GET "/v3/myProject")
+        in
+        Alcotest.(check int) "project 200" 200 project.Response.status;
+        let groups =
+          Cloud.handle cloud (req ~token:carol Meth.GET "/v3/myProject/usergroups")
+        in
+        Alcotest.(check int) "usergroups 200" 200 groups.Response.status)
+  ]
+
+let listing_tests =
+  [ Alcotest.test_case "limit / marker pagination" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let ids =
+          List.map
+            (fun i -> snd (create_volume cloud alice (Printf.sprintf "v%d" i)))
+            [ 1; 2; 3 ]
+        in
+        let list_with query =
+          let resp =
+            Cloud.handle cloud
+              (req ~token:alice Meth.GET ("/v3/myProject/volumes" ^ query))
+          in
+          match resp.Response.body with
+          | Some body ->
+            (match Json.member "volumes" body with
+             | Some (Json.List vols) ->
+               ( resp.Response.status,
+                 List.filter_map
+                   (fun v ->
+                     Option.bind (Json.member "id" v) Json.to_string)
+                   vols )
+             | _ -> (resp.Response.status, []))
+          | None -> (resp.Response.status, [])
+        in
+        let _, all = list_with "" in
+        Alcotest.(check int) "all three" 3 (List.length all);
+        let _, limited = list_with "?limit=2" in
+        Alcotest.(check int) "limit=2" 2 (List.length limited);
+        let _, after = list_with ("?marker=" ^ List.hd ids) in
+        Alcotest.(check int) "after first" 2 (List.length after);
+        Alcotest.(check bool) "marker excluded" false
+          (List.mem (List.hd ids) after);
+        let _, page = list_with ("?marker=" ^ List.hd ids ^ "&limit=1") in
+        Alcotest.(check int) "marker+limit" 1 (List.length page);
+        let status, _ = list_with "?marker=ghost" in
+        Alcotest.(check int) "unknown marker 400" 400 status;
+        let status, _ = list_with "?limit=-1" in
+        Alcotest.(check int) "bad limit 400" 400 status);
+    Alcotest.test_case "status filter" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let _, v1 = create_volume cloud alice "a" in
+        ignore (create_volume cloud alice "b");
+        ignore
+          (Cloud.handle cloud
+             (req ~token:alice Meth.POST
+                ("/v3/myProject/volumes/" ^ v1 ^ "/action")
+                ~body:
+                  (Json.obj
+                     [ ( "os-attach",
+                         Json.obj [ ("instance_uuid", Json.string "s") ] )
+                     ])));
+        let resp =
+          Cloud.handle cloud
+            (req ~token:alice Meth.GET "/v3/myProject/volumes?status=in-use")
+        in
+        match resp.Response.body with
+        | Some body ->
+          (match Json.member "volumes" body with
+           | Some (Json.List vols) ->
+             Alcotest.(check int) "one in-use" 1 (List.length vols)
+           | _ -> Alcotest.fail "no volumes")
+        | None -> Alcotest.fail "no body")
+  ]
+
+let policy_tests =
+  [ Alcotest.test_case "role-based denials" `Quick (fun () ->
+        let cloud = fresh () in
+        let bob = login cloud "bob" "bob-pw" in
+        let carol = login cloud "carol" "carol-pw" in
+        let alice = login cloud "alice" "alice-pw" in
+        let _, id = create_volume cloud alice "data" in
+        (* carol (user role) cannot create *)
+        let resp, _ = create_volume cloud carol "nope" in
+        Alcotest.(check int) "carol create 403" 403 resp.Response.status;
+        (* bob (member) cannot delete *)
+        let del =
+          Cloud.handle cloud
+            (req ~token:bob Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "bob delete 403" 403 del.Response.status;
+        (* everyone can read *)
+        let show =
+          Cloud.handle cloud
+            (req ~token:carol Meth.GET ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "carol read 200" 200 show.Response.status);
+    Alcotest.test_case "missing token is 401" `Quick (fun () ->
+        let cloud = fresh () in
+        let resp = Cloud.handle cloud (req Meth.GET "/v3/myProject/volumes") in
+        Alcotest.(check int) "401" 401 resp.Response.status);
+    Alcotest.test_case "cross-project token is 403" `Quick (fun () ->
+        let cloud = fresh () in
+        ignore
+          (Store.add_project (Cloud.store cloud) ~id:"other" ~name:"other"
+             ~quota_volumes:1 ~quota_gigabytes:10 ());
+        Identity.set_assignment (Cloud.identity cloud) ~project_id:"other"
+          Cm_rbac.Security_table.cinder_assignment;
+        let alice = login cloud "alice" "alice-pw" in
+        (* alice's token is scoped to myProject *)
+        let resp =
+          Cloud.handle cloud (req ~token:alice Meth.GET "/v3/other/volumes")
+        in
+        Alcotest.(check int) "403" 403 resp.Response.status);
+    Alcotest.test_case "unknown path is 404, wrong method 405" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let resp404 =
+          Cloud.handle cloud (req ~token:alice Meth.GET "/nonsense")
+        in
+        Alcotest.(check int) "404" 404 resp404.Response.status;
+        let resp405 =
+          Cloud.handle cloud (req ~token:alice Meth.DELETE "/v3/myProject/quota_sets")
+        in
+        Alcotest.(check int) "405" 405 resp405.Response.status)
+  ]
+
+let compute_tests =
+  [ Alcotest.test_case "server lifecycle with attachment" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let _, vol = create_volume cloud alice "disk" in
+        let boot =
+          Cloud.handle cloud
+            (req ~token:alice Meth.POST "/v3/myProject/servers"
+               ~body:
+                 (Json.obj
+                    [ ("server", Json.obj [ ("name", Json.string "app") ]) ]))
+        in
+        Alcotest.(check int) "boot 201" 201 boot.Response.status;
+        let srv =
+          match boot.Response.body with
+          | Some body ->
+            (match Cm_json.Pointer.get [ Key "server"; Key "id" ] body with
+             | Some (Json.String id) -> id
+             | _ -> "?")
+          | None -> "?"
+        in
+        let attach =
+          Cloud.handle cloud
+            (req ~token:alice Meth.POST
+               ("/v3/myProject/servers/" ^ srv ^ "/attach")
+               ~body:(Json.obj [ ("volume_id", Json.string vol) ]))
+        in
+        Alcotest.(check int) "attach 202" 202 attach.Response.status;
+        (* double attach conflicts *)
+        let again =
+          Cloud.handle cloud
+            (req ~token:alice Meth.POST
+               ("/v3/myProject/servers/" ^ srv ^ "/attach")
+               ~body:(Json.obj [ ("volume_id", Json.string vol) ]))
+        in
+        Alcotest.(check int) "conflict 409" 409 again.Response.status;
+        (* deleting the server releases the volume *)
+        let teardown =
+          Cloud.handle cloud
+            (req ~token:alice Meth.DELETE ("/v3/myProject/servers/" ^ srv))
+        in
+        Alcotest.(check int) "teardown 204" 204 teardown.Response.status;
+        let project =
+          match Store.find_project (Cloud.store cloud) "myProject" with
+          | Some p -> p
+          | None -> Alcotest.fail "project gone"
+        in
+        (match Store.find_volume project vol with
+         | Some v ->
+           Alcotest.(check string) "available again" "available" v.Store.status
+         | None -> Alcotest.fail "volume gone"))
+  ]
+
+let fault_tests =
+  [ Alcotest.test_case "policy override opens delete to member" `Quick
+      (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let bob = login cloud "bob" "bob-pw" in
+        let _, id = create_volume cloud alice "v" in
+        Cloud.set_faults cloud
+          (Faults.of_list
+             [ Faults.Policy_override
+                 ( "volume:delete",
+                   Cm_rbac.Policy.Or
+                     (Cm_rbac.Policy.Role "admin", Cm_rbac.Policy.Role "member")
+                 )
+             ]);
+        let del =
+          Cloud.handle cloud
+            (req ~token:bob Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "mutant allows member delete" 204
+          del.Response.status);
+    Alcotest.test_case "skip check allows everyone" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let carol = login cloud "carol" "carol-pw" in
+        let _, id = create_volume cloud alice "v" in
+        Cloud.set_faults cloud
+          (Faults.of_list [ Faults.Skip_policy_check "volume:update" ]);
+        let upd =
+          Cloud.handle cloud
+            (req ~token:carol Meth.PUT
+               ("/v3/myProject/volumes/" ^ id)
+               ~body:(Json.obj [ ("volume", Json.obj []) ]))
+        in
+        Alcotest.(check int) "mutant allows carol update" 200 upd.Response.status);
+    Alcotest.test_case "quota ignored" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        Cloud.set_faults cloud (Faults.of_list [ Faults.Ignore_quota ]);
+        for i = 1 to 5 do
+          let resp, _ = create_volume cloud alice (Printf.sprintf "v%d" i) in
+          Alcotest.(check int) "created beyond quota" 201 resp.Response.status
+        done);
+    Alcotest.test_case "zombie delete keeps the volume" `Quick (fun () ->
+        let cloud = fresh () in
+        let alice = login cloud "alice" "alice-pw" in
+        let _, id = create_volume cloud alice "v" in
+        Cloud.set_faults cloud (Faults.of_list [ Faults.Zombie_delete ]);
+        let del =
+          Cloud.handle cloud
+            (req ~token:alice Meth.DELETE ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "claims 204" 204 del.Response.status;
+        let show =
+          Cloud.handle cloud
+            (req ~token:alice Meth.GET ("/v3/myProject/volumes/" ^ id))
+        in
+        Alcotest.(check int) "still there" 200 show.Response.status);
+    Alcotest.test_case "faults can be cleared" `Quick (fun () ->
+        let cloud = fresh () in
+        Cloud.set_faults cloud (Faults.of_list [ Faults.Ignore_quota ]);
+        Cloud.set_faults cloud Faults.none;
+        Alcotest.(check int) "no faults" 0
+          (List.length (Faults.to_list (Cloud.faults cloud))))
+  ]
+
+let () =
+  Alcotest.run "cm_cloudsim"
+    [ ("identity", identity_tests);
+      ("volumes", volume_tests);
+      ("listing", listing_tests);
+      ("policy", policy_tests);
+      ("compute", compute_tests);
+      ("faults", fault_tests)
+    ]

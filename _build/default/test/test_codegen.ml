@@ -1,0 +1,298 @@
+(* Tests for the Django code generation (Listings 2-3): models.py,
+   urls.py, views.py, OCL-to-Python translation, project assembly. *)
+
+module Models_py = Cm_codegen.Models_py
+module Urls_py = Cm_codegen.Urls_py
+module Views_py = Cm_codegen.Views_py
+module Django = Cm_codegen.Django_project
+module O2P = Cm_codegen.Ocl_to_python
+module Cinder = Cm_uml.Cinder_model
+
+let security =
+  { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
+let contains = Astring_contains.contains
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let translate_tests =
+  [ Alcotest.test_case "comparisons and connectives" `Quick (fun () ->
+        Alcotest.(check string) "size eq" "(len(project__volumes) == 0)"
+          (O2P.translate (ocl "project.volumes->size() = 0"));
+        Alcotest.(check string) "neq" "(volume__status != 'in-use')"
+          (O2P.translate (ocl "volume.status <> 'in-use'"));
+        Alcotest.(check string) "implies"
+          "(not ((x == 1)) or ((y == 2)))"
+          (O2P.translate (ocl "x = 1 implies y = 2")));
+    Alcotest.test_case "pre() becomes pre_ variables" `Quick (fun () ->
+        Alcotest.(check string) "pre size"
+          "(len(project__volumes) == (len(pre_project__volumes) - 1))"
+          (O2P.translate
+             (ocl
+                "project.volumes->size() = pre(project.volumes->size()) - 1")));
+    Alcotest.test_case "membership" `Quick (fun () ->
+        Alcotest.(check string) "includes"
+          "('admin' in user__groups)"
+          (O2P.translate (ocl "user.groups->includes('admin')"));
+        Alcotest.(check string) "excludes"
+          "('x' not in user__groups)"
+          (O2P.translate (ocl "user.groups->excludes('x')")));
+    Alcotest.test_case "iterators become comprehensions" `Quick (fun () ->
+        Alcotest.(check string) "forAll"
+          "all((v__status != 'error') for v in project__volumes)"
+          (O2P.translate (ocl "project.volumes->forAll(v | v.status <> 'error')")));
+    Alcotest.test_case "variables collects flattened names" `Quick (fun () ->
+        Alcotest.(check (list string)) "vars"
+          [ "pre_project__volumes"; "project__volumes"; "user__groups" ]
+          (O2P.variables
+             (ocl
+                "project.volumes->size() = pre(project.volumes->size()) and \
+                 user.groups->includes('x')")))
+  ]
+
+let models_tests =
+  [ Alcotest.test_case "tables for normal resources only" `Quick (fun () ->
+        let text = Models_py.generate Cinder.resources in
+        Alcotest.(check bool) "Project" true (contains text "class Project(models.Model):");
+        Alcotest.(check bool) "Volume" true (contains text "class Volume(models.Model):");
+        Alcotest.(check bool) "no Volumes collection table" false
+          (contains text "class Volumes(models.Model):"));
+    Alcotest.test_case "foreign keys skip collections" `Quick (fun () ->
+        let text = Models_py.generate Cinder.resources in
+        Alcotest.(check bool) "volume FK to project" true
+          (contains text
+             "models.ForeignKey(Project, related_name='volumes', \
+              on_delete=models.CASCADE)"));
+    Alcotest.test_case "field types" `Quick (fun () ->
+        let text = Models_py.generate Cinder.resources in
+        Alcotest.(check bool) "size int" true
+          (contains text "size = models.IntegerField(default=0)");
+        Alcotest.(check bool) "id pk" true
+          (contains text "id = models.CharField(max_length=255, primary_key=True)"))
+  ]
+
+let urls_tests =
+  [ Alcotest.test_case "regexes with named groups (Listing 3)" `Quick (fun () ->
+        let text = Urls_py.generate ~project_name:"cmonitor" Cinder.resources in
+        Alcotest.(check bool) "volumes collection" true
+          (contains text
+             "url(r'^v3/(?P<project_id>[^/]+)/volumes/$', \
+              'cmonitor.views.volumes')");
+        Alcotest.(check bool) "volume item" true
+          (contains text
+             "url(r'^v3/(?P<project_id>[^/]+)/volumes/(?P<volume_id>[^/]+)/$', \
+              'cmonitor.views.volume')"));
+    Alcotest.test_case "regex conversion" `Quick (fun () ->
+        Alcotest.(check string) "converted"
+          "^v3/(?P<p>[^/]+)/volumes/$"
+          (Urls_py.regex_of_template
+             (Cm_http.Uri_template.parse_exn "/v3/{p}/volumes")))
+  ]
+
+let views_text =
+  match
+    Views_py.generate ~project_name:"cmonitor"
+      ~cloud_base:"http://130.232.85.9" ~security Cinder.resources
+      Cinder.behavior
+  with
+  | Ok text -> text
+  | Error msg -> failwith msg
+
+let views_tests =
+  [ Alcotest.test_case "dispatcher checks permitted methods (Listing 2)" `Quick
+      (fun () ->
+        Alcotest.(check bool) "volume dispatcher" true
+          (contains views_text "def volume(request, project_id, volume_id):");
+        Alcotest.(check bool) "not allowed" true
+          (contains views_text "return HttpResponseNotAllowed"));
+    Alcotest.test_case "method views embed contracts" `Quick (fun () ->
+        Alcotest.(check bool) "delete view" true
+          (contains views_text "def volume_delete(request, project_id, volume_id):");
+        Alcotest.(check bool) "pre check" true
+          (contains views_text "return HttpResponseForbidden('precondition violated')");
+        Alcotest.(check bool) "post check" true
+          (contains views_text "return HttpResponseServerError('postcondition violated')"));
+    Alcotest.test_case "traceability variables (step 4)" `Quick (fun () ->
+        Alcotest.(check bool) "SEC_REQS for delete" true
+          (contains views_text "SEC_REQS = ['1.4']"));
+    Alcotest.test_case "forwarding code (urllib2, Listing 2)" `Quick (fun () ->
+        Alcotest.(check bool) "urllib2" true
+          (contains views_text "opener = urllib2.build_opener(urllib2.HTTPHandler)");
+        Alcotest.(check bool) "method override" true
+          (contains views_text "RequestWithMethod(url, method='DELETE')");
+        Alcotest.(check bool) "delete code check" true
+          (contains views_text "if response.code in (202, 204):"));
+    Alcotest.test_case "snapshot assignments come after observation" `Quick
+      (fun () ->
+        let obs_index = ref (-1) and snap_index = ref (-1) in
+        String.split_on_char '\n' views_text
+        |> List.iteri (fun i line ->
+               if !obs_index < 0 && contains line "project__volumes = None" then
+                 obs_index := i;
+               if
+                 !snap_index < 0
+                 && contains line "pre_project__volumes = project__volumes"
+               then snap_index := i);
+        Alcotest.(check bool) "both present" true
+          (!obs_index >= 0 && !snap_index >= 0);
+        Alcotest.(check bool) "ordered" true (!obs_index < !snap_index))
+  ]
+
+let project_tests =
+  [ Alcotest.test_case "full project file set" `Quick (fun () ->
+        match
+          Django.generate ~project_name:"cm" ~security Cinder.resources
+            Cinder.behavior
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok files ->
+          let paths = List.map (fun (f : Django.file) -> f.path) files in
+          List.iter
+            (fun expected ->
+              Alcotest.(check bool) expected true (List.mem expected paths))
+            [ "manage.py"; "API.md"; "cm/__init__.py"; "cm/settings.py";
+              "cm/models.py"; "cm/urls.py"; "cm/views.py"; "cm/policy.json"
+            ]);
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        let generate () =
+          match
+            Django.generate ~project_name:"cm" ~security Cinder.resources
+              Cinder.behavior
+          with
+          | Ok files -> files
+          | Error msg -> failwith msg
+        in
+        Alcotest.(check bool) "equal" true (generate () = generate ()));
+    Alcotest.test_case "broken model refuses generation" `Quick (fun () ->
+        let broken =
+          { Cinder.resources with Cm_uml.Resource_model.root = "volume" }
+        in
+        Alcotest.(check bool) "error" true
+          (Result.is_error
+             (Django.generate ~project_name:"cm" broken Cinder.behavior)));
+    Alcotest.test_case "write_to_dir materializes files" `Quick (fun () ->
+        let dir = Filename.temp_file "cmgen" "" in
+        Sys.remove dir;
+        (match
+           Django.generate ~project_name:"cm" ~security Cinder.resources
+             Cinder.behavior
+         with
+         | Ok files ->
+           Django.write_to_dir ~dir files;
+           Alcotest.(check bool) "views.py exists" true
+             (Sys.file_exists (Filename.concat dir "cm/views.py"))
+         | Error msg -> Alcotest.fail msg))
+  ]
+
+let docs_tests =
+  let docs =
+    match
+      Cm_codegen.Api_docs.generate ~title:"Cinder spec" ~security
+        Cinder.resources Cinder.behavior
+    with
+    | Ok text -> text
+    | Error msg -> failwith msg
+  in
+  [ Alcotest.test_case "API.md carries all the sections" `Quick (fun () ->
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains docs needle))
+          [ "# Cinder spec"; "## Resources"; "## Protocol";
+            "## Security requirements"; "## Method contracts";
+            "### DELETE(volume)"; "```ocl";
+            "/v3/{project_id}/volumes/{volume_id}";
+            "project_with_volume_and_full_quota"; "proj_administrator"
+          ]);
+    Alcotest.test_case "API.md is deterministic" `Quick (fun () ->
+        let again =
+          match
+            Cm_codegen.Api_docs.generate ~title:"Cinder spec" ~security
+              Cinder.resources Cinder.behavior
+          with
+          | Ok text -> text
+          | Error msg -> failwith msg
+        in
+        Alcotest.(check bool) "equal" true (docs = again));
+    Alcotest.test_case "generated policy.json parses and matches Table I"
+      `Quick (fun () ->
+        match
+          Cm_codegen.Django_project.generate ~project_name:"cm" ~security
+            Cinder.resources Cinder.behavior
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok files ->
+          let policy_file =
+            List.find
+              (fun (f : Cm_codegen.Django_project.file) ->
+                f.path = "cm/policy.json")
+              files
+          in
+          (match Cm_rbac.Policy.of_file_text policy_file.content with
+           | Error msg -> Alcotest.fail msg
+           | Ok policy ->
+             Alcotest.(check bool) "equals of_table" true
+               (Cm_rbac.Policy.equal policy
+                  (Cm_rbac.Policy.of_table Cm_rbac.Security_table.cinder));
+             (* and a cloud booted from it behaves like the table *)
+             Alcotest.(check bool) "delete admin-only" true
+               (Cm_rbac.Policy.authorize policy ~action:"volume:delete"
+                  ~roles:[ "admin" ] ~groups:[]);
+             Alcotest.(check bool) "member denied" false
+               (Cm_rbac.Policy.authorize policy ~action:"volume:delete"
+                  ~roles:[ "member" ] ~groups:[])))
+  ]
+
+(* property: translated Python expressions are balanced in parentheses
+   (a cheap syntactic sanity check over random contract expressions) *)
+let prop_balanced =
+  let gen =
+    QCheck2.Gen.(
+      sized @@ fix (fun self size ->
+          let atom =
+            oneof
+              [ return (ocl "project.volumes->size() = 0");
+                return (ocl "volume.status <> 'in-use'");
+                return (ocl "user.groups->includes('admin')");
+                return (ocl "pre(project.volumes->size()) = 1")
+              ]
+          in
+          if size <= 0 then atom
+          else
+            oneof
+              [ atom;
+                map2
+                  (fun a b -> Cm_ocl.Ast.Binop (Cm_ocl.Ast.And, a, b))
+                  (self (size / 2)) (self (size / 2));
+                map2
+                  (fun a b -> Cm_ocl.Ast.Binop (Cm_ocl.Ast.Implies, a, b))
+                  (self (size / 2)) (self (size / 2));
+                map (fun e -> Cm_ocl.Ast.Unop (Cm_ocl.Ast.Not, e)) (self (size / 2))
+              ]))
+  in
+  QCheck2.Test.make ~count:300 ~name:"python translation has balanced parens"
+    gen (fun expr ->
+      let text = O2P.translate expr in
+      let depth = ref 0 and ok = ref true in
+      String.iter
+        (fun c ->
+          if c = '(' then incr depth
+          else if c = ')' then begin
+            decr depth;
+            if !depth < 0 then ok := false
+          end)
+        text;
+      !ok && !depth = 0)
+
+let properties = [ QCheck_alcotest.to_alcotest prop_balanced ]
+
+let () =
+  Alcotest.run "cm_codegen"
+    [ ("ocl-to-python", translate_tests);
+      ("models.py", models_tests);
+      ("urls.py", urls_tests);
+      ("views.py", views_tests);
+      ("project", project_tests);
+      ("api-docs", docs_tests);
+      ("properties", properties)
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the HTTP substrate: methods, statuses, headers, requests,
+   URI templates, router. *)
+
+module Meth = Cm_http.Meth
+module Status = Cm_http.Status
+module Headers = Cm_http.Headers
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Uri_template = Cm_http.Uri_template
+module Router = Cm_http.Router
+module Json = Cm_json.Json
+
+let meth_tests =
+  [ Alcotest.test_case "round-trip names" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            Alcotest.(check bool)
+              (Meth.to_string m) true
+              (Meth.of_string (Meth.to_string m) = Some m))
+          Meth.all);
+    Alcotest.test_case "case-insensitive parse" `Quick (fun () ->
+        Alcotest.(check bool) "delete" true (Meth.of_string "delete" = Some Meth.DELETE);
+        Alcotest.(check bool) "unknown" true (Meth.of_string "FROB" = None));
+    Alcotest.test_case "safety and idempotence" `Quick (fun () ->
+        Alcotest.(check bool) "GET safe" true (Meth.is_safe Meth.GET);
+        Alcotest.(check bool) "POST unsafe" false (Meth.is_safe Meth.POST);
+        Alcotest.(check bool) "DELETE idempotent" true (Meth.is_idempotent Meth.DELETE);
+        Alcotest.(check bool) "POST not idempotent" false (Meth.is_idempotent Meth.POST))
+  ]
+
+let status_tests =
+  [ Alcotest.test_case "classes" `Quick (fun () ->
+        Alcotest.(check bool) "200" true (Status.is_success Status.ok);
+        Alcotest.(check bool) "204" true (Status.is_success Status.no_content);
+        Alcotest.(check bool) "403" true (Status.is_client_error Status.forbidden);
+        Alcotest.(check bool) "500" true (Status.is_server_error Status.internal_server_error);
+        Alcotest.(check bool) "403 not success" false (Status.is_success Status.forbidden));
+    Alcotest.test_case "reason phrases" `Quick (fun () ->
+        Alcotest.(check string) "404" "Not Found" (Status.reason_phrase Status.not_found);
+        Alcotest.(check string) "413" "Request Entity Too Large"
+          (Status.reason_phrase Status.request_entity_too_large);
+        Alcotest.(check string) "unknown" "Status 418" (Status.reason_phrase 418))
+  ]
+
+let headers_tests =
+  [ Alcotest.test_case "case-insensitive get" `Quick (fun () ->
+        let h = Headers.of_list [ ("X-Auth-Token", "t1") ] in
+        Alcotest.(check (option string)) "lower" (Some "t1") (Headers.get "x-auth-token" h);
+        Alcotest.(check (option string)) "upper" (Some "t1") (Headers.get "X-AUTH-TOKEN" h));
+    Alcotest.test_case "replace drops duplicates" `Quick (fun () ->
+        let h =
+          Headers.empty |> Headers.add "Accept" "a" |> Headers.add "Accept" "b"
+          |> Headers.replace "Accept" "c"
+        in
+        Alcotest.(check int) "one left" 1 (List.length (Headers.to_list h));
+        Alcotest.(check (option string)) "value" (Some "c") (Headers.get "accept" h));
+    Alcotest.test_case "auth token helpers" `Quick (fun () ->
+        let h = Headers.with_auth_token "tok" Headers.empty in
+        Alcotest.(check (option string)) "token" (Some "tok") (Headers.auth_token h))
+  ]
+
+let request_tests =
+  [ Alcotest.test_case "query string parsed" `Quick (fun () ->
+        let req = Request.make Meth.GET "/v3/p/volumes?limit=10&marker=v1&flag" in
+        Alcotest.(check string) "path" "/v3/p/volumes" req.Request.path;
+        Alcotest.(check (option string)) "limit" (Some "10") (Request.query_param "limit" req);
+        Alcotest.(check (option string)) "flag" (Some "") (Request.query_param "flag" req));
+    Alcotest.test_case "path segments" `Quick (fun () ->
+        let req = Request.make Meth.GET "/v3//p/volumes/" in
+        Alcotest.(check (list string)) "segments" [ "v3"; "p"; "volumes" ]
+          (Request.path_segments req));
+    Alcotest.test_case "to_curl mirrors the paper's usage" `Quick (fun () ->
+        let req =
+          Request.make Meth.DELETE "/cmonitor/volumes/4"
+          |> Request.with_auth_token "tok"
+        in
+        let curl = Request.to_curl req in
+        Alcotest.(check bool) "has -X DELETE" true
+          (Astring_contains.contains curl "-X DELETE");
+        Alcotest.(check bool) "has path" true
+          (Astring_contains.contains curl "/cmonitor/volumes/4"))
+  ]
+
+let response_tests =
+  [ Alcotest.test_case "error body shape" `Quick (fun () ->
+        let resp = Response.error Status.forbidden "no way" in
+        Alcotest.(check (option string)) "message" (Some "no way")
+          (Response.error_message resp);
+        Alcotest.(check bool) "not success" false (Response.is_success resp));
+    Alcotest.test_case "constructors" `Quick (fun () ->
+        Alcotest.(check int) "ok" 200 (Response.ok Json.Null).Response.status;
+        Alcotest.(check int) "created" 201 (Response.created Json.Null).Response.status;
+        Alcotest.(check int) "no_content" 204 Response.no_content.Response.status)
+  ]
+
+let template_tests =
+  [ Alcotest.test_case "parse and to_string" `Quick (fun () ->
+        let t = Uri_template.parse_exn "/v3/{project_id}/volumes/{volume_id}" in
+        Alcotest.(check string) "printed" "/v3/{project_id}/volumes/{volume_id}"
+          (Uri_template.to_string t);
+        Alcotest.(check (list string)) "params" [ "project_id"; "volume_id" ]
+          (Uri_template.param_names t));
+    Alcotest.test_case "bad templates rejected" `Quick (fun () ->
+        Alcotest.(check bool) "empty name" true
+          (Result.is_error (Uri_template.parse "/a/{}"));
+        Alcotest.(check bool) "unbalanced" true
+          (Result.is_error (Uri_template.parse "/a/{x"));
+        Alcotest.(check bool) "nested" true
+          (Result.is_error (Uri_template.parse "/a/{{x}}")));
+    Alcotest.test_case "matching binds parameters" `Quick (fun () ->
+        let t = Uri_template.parse_exn "/v3/{project_id}/volumes/{volume_id}" in
+        (match Uri_template.matches t "/v3/myProject/volumes/vol-7" with
+         | Some bindings ->
+           Alcotest.(check (option string)) "project" (Some "myProject")
+             (List.assoc_opt "project_id" bindings);
+           Alcotest.(check (option string)) "volume" (Some "vol-7")
+             (List.assoc_opt "volume_id" bindings)
+         | None -> Alcotest.fail "no match");
+        Alcotest.(check bool) "wrong literal" true
+          (Uri_template.matches t "/v2/p/volumes/v" = None);
+        Alcotest.(check bool) "wrong arity" true
+          (Uri_template.matches t "/v3/p/volumes" = None);
+        Alcotest.(check bool) "trailing slash ok" true
+          (Uri_template.matches t "/v3/p/volumes/v/" <> None));
+    Alcotest.test_case "expand" `Quick (fun () ->
+        let t = Uri_template.parse_exn "/v3/{p}/volumes" in
+        Alcotest.(check string) "expanded" "/v3/x/volumes"
+          (Uri_template.expand_exn t [ ("p", "x") ]);
+        Alcotest.(check bool) "missing binding" true
+          (Result.is_error (Uri_template.expand t [])));
+    Alcotest.test_case "specificity counts literals" `Quick (fun () ->
+        let a = Uri_template.parse_exn "/v3/{p}/volumes/detail" in
+        let b = Uri_template.parse_exn "/v3/{p}/volumes/{id}" in
+        Alcotest.(check bool) "a > b" true
+          (Uri_template.specificity a > Uri_template.specificity b))
+  ]
+
+let dummy_handler body : Router.handler =
+ fun _req _bindings -> Response.ok (Json.string body)
+
+let router_tests =
+  [ Alcotest.test_case "dispatch to most specific" `Quick (fun () ->
+        let router =
+          Router.of_routes
+            [ ("/v3/{p}/volumes/{id}", Meth.GET, dummy_handler "item");
+              ("/v3/{p}/volumes/detail", Meth.GET, dummy_handler "detail")
+            ]
+        in
+        let get path =
+          (Router.dispatch router (Request.make Meth.GET path)).Response.body
+        in
+        Alcotest.(check bool) "detail wins" true
+          (get "/v3/p/volumes/detail" = Some (Json.string "detail"));
+        Alcotest.(check bool) "item" true
+          (get "/v3/p/volumes/vol-1" = Some (Json.string "item")));
+    Alcotest.test_case "404 and 405" `Quick (fun () ->
+        let router =
+          Router.of_routes [ ("/v3/{p}/volumes", Meth.GET, dummy_handler "l") ]
+        in
+        let resp404 = Router.dispatch router (Request.make Meth.GET "/nope") in
+        Alcotest.(check int) "404" 404 resp404.Response.status;
+        let resp405 =
+          Router.dispatch router (Request.make Meth.DELETE "/v3/p/volumes")
+        in
+        Alcotest.(check int) "405" 405 resp405.Response.status;
+        Alcotest.(check (option string)) "Allow header" (Some "GET")
+          (Headers.get "allow" resp405.Response.headers));
+    Alcotest.test_case "handler exceptions become 500" `Quick (fun () ->
+        let router =
+          Router.of_routes
+            [ ("/boom", Meth.GET, fun _ _ -> failwith "kaboom") ]
+        in
+        let resp = Router.dispatch router (Request.make Meth.GET "/boom") in
+        Alcotest.(check int) "500" 500 resp.Response.status);
+    Alcotest.test_case "allowed_methods" `Quick (fun () ->
+        let router =
+          Router.of_routes
+            [ ("/r", Meth.GET, dummy_handler "a");
+              ("/r", Meth.POST, dummy_handler "b")
+            ]
+        in
+        Alcotest.(check int) "two" 2
+          (List.length (Router.allowed_methods router "/r")))
+  ]
+
+(* property: expand then match recovers the bindings *)
+let gen_bindings =
+  QCheck2.Gen.(
+    list_size (int_range 1 4)
+      (pair
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))))
+
+let prop_expand_match =
+  QCheck2.Test.make ~count:200 ~name:"expand |> matches recovers bindings"
+    gen_bindings (fun bindings ->
+      (* distinct parameter names *)
+      let bindings =
+        let rec dedup seen = function
+          | [] -> []
+          | (k, v) :: rest ->
+            if List.mem k seen then dedup seen rest
+            else (k, v) :: dedup (k :: seen) rest
+        in
+        dedup [] bindings
+      in
+      let template_text =
+        "/api/"
+        ^ String.concat "/" (List.map (fun (k, _) -> "{" ^ k ^ "}") bindings)
+      in
+      let template = Uri_template.parse_exn template_text in
+      match Uri_template.expand template bindings with
+      | Error _ -> false
+      | Ok path ->
+        (match Uri_template.matches template path with
+         | Some recovered ->
+           List.sort compare recovered = List.sort compare bindings
+         | None -> false))
+
+(* property: the router answers every request with a well-formed status,
+   never an exception, whatever the path *)
+let prop_router_total =
+  let router =
+    Router.of_routes
+      [ ("/v3/{p}/volumes", Meth.GET, dummy_handler "l");
+        ("/v3/{p}/volumes", Meth.POST, dummy_handler "c");
+        ("/v3/{p}/volumes/{id}", Meth.GET, dummy_handler "s");
+        ("/v3/{p}/volumes/{id}", Meth.DELETE, dummy_handler "d")
+      ]
+  in
+  let gen_path =
+    QCheck2.Gen.(
+      let* segments =
+        list_size (int_range 0 6)
+          (oneof
+             [ oneofl [ "v3"; "volumes"; "p"; "vol-1"; ""; "." ];
+               string_size ~gen:(char_range 'a' 'z') (int_range 0 5)
+             ])
+      in
+      return ("/" ^ String.concat "/" segments))
+  in
+  QCheck2.Test.make ~count:300 ~name:"router is total over arbitrary paths"
+    QCheck2.Gen.(pair gen_path (oneofl Meth.all))
+    (fun (path, meth) ->
+      let resp = Router.dispatch router (Request.make meth path) in
+      resp.Response.status >= 200 && resp.Response.status <= 599)
+
+let properties =
+  [ QCheck_alcotest.to_alcotest prop_expand_match;
+    QCheck_alcotest.to_alcotest prop_router_total
+  ]
+
+let () =
+  Alcotest.run "cm_http"
+    [ ("meth", meth_tests);
+      ("status", status_tests);
+      ("headers", headers_tests);
+      ("request", request_tests);
+      ("response", response_tests);
+      ("uri_template", template_tests);
+      ("router", router_tests);
+      ("properties", properties)
+    ]

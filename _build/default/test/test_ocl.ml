@@ -1,0 +1,502 @@
+(* Tests for the OCL subset: lexing, parsing, evaluation, typechecking,
+   simplification, pretty-printing. *)
+
+module Ast = Cm_ocl.Ast
+module P = Cm_ocl.Ocl_parser
+module Pretty = Cm_ocl.Pretty
+module Eval = Cm_ocl.Eval
+module Value = Cm_ocl.Value
+module Simplify = Cm_ocl.Simplify
+module Ty = Cm_ocl.Ty
+module Typecheck = Cm_ocl.Typecheck
+module Json = Cm_json.Json
+
+let expr_testable = Alcotest.testable Pretty.pp Ast.equal
+let parse = P.parse_exn
+
+let parse_tests =
+  [ Alcotest.test_case "literals" `Quick (fun () ->
+        Alcotest.check expr_testable "true" (Ast.Bool_lit true) (parse "true");
+        Alcotest.check expr_testable "int" (Ast.Int_lit 42) (parse "42");
+        Alcotest.check expr_testable "single-quoted string"
+          (Ast.String_lit "in-use") (parse "'in-use'");
+        Alcotest.check expr_testable "double-quoted string"
+          (Ast.String_lit "x") (parse "\"x\"");
+        Alcotest.check expr_testable "null" Ast.Null_lit (parse "null"));
+    Alcotest.test_case "navigation chains" `Quick (fun () ->
+        Alcotest.check expr_testable "two levels"
+          (Ast.nav "project" [ "volumes" ])
+          (parse "project.volumes");
+        Alcotest.check expr_testable "three levels"
+          (Ast.nav "user" [ "id"; "groups" ])
+          (parse "user.id.groups"));
+    Alcotest.test_case "collection operations" `Quick (fun () ->
+        Alcotest.check expr_testable "size"
+          (Ast.Coll (Ast.nav "project" [ "volumes" ], Ast.Size))
+          (parse "project.volumes->size()");
+        Alcotest.check expr_testable "isEmpty"
+          (Ast.Coll (Ast.Var "v", Ast.Is_empty))
+          (parse "v->isEmpty()");
+        Alcotest.check expr_testable "includes"
+          (Ast.Member (Ast.nav "user" [ "groups" ], true, Ast.String_lit "admin"))
+          (parse "user.groups->includes('admin')"));
+    Alcotest.test_case "iterators" `Quick (fun () ->
+        Alcotest.check expr_testable "forAll with binder"
+          (Ast.Iter
+             ( Ast.nav "project" [ "volumes" ],
+               Ast.For_all,
+               "v",
+               Ast.Binop (Ast.Neq, Ast.nav "v" [ "status" ], Ast.String_lit "error")
+             ))
+          (parse "project.volumes->forAll(v | v.status <> 'error')");
+        Alcotest.check expr_testable "implicit binder"
+          (Ast.Iter (Ast.Var "xs", Ast.Exists, "self", Ast.Var "ok"))
+          (parse "xs->exists(ok)"));
+    Alcotest.test_case "pre-state operators" `Quick (fun () ->
+        let inner = Ast.Coll (Ast.nav "project" [ "volumes" ], Ast.Size) in
+        Alcotest.check expr_testable "pre()" (Ast.At_pre inner)
+          (parse "pre(project.volumes->size())");
+        Alcotest.check expr_testable "@pre on navigation"
+          (Ast.Coll (Ast.At_pre (Ast.nav "project" [ "volumes" ]), Ast.Size))
+          (parse "project.volumes@pre->size()"));
+    Alcotest.test_case "paper Listing 1 fragment parses" `Quick (fun () ->
+        let text =
+          "project.id->size()=1 and project.volumes->size()>=1 and \
+           project.volumes->size() < quota_sets.volumes and volume.status <> \
+           'in-use' and user.id.groups='admin'"
+        in
+        ignore (parse text));
+    Alcotest.test_case "implies spellings" `Quick (fun () ->
+        let reference = parse "a implies b" in
+        Alcotest.check expr_testable "=>" reference (parse "a => b");
+        Alcotest.check expr_testable "==>" reference (parse "a ==> b"));
+    Alcotest.test_case "precedence" `Quick (fun () ->
+        Alcotest.check expr_testable "and over or"
+          (Ast.Binop
+             ( Ast.Or,
+               Ast.Var "a",
+               Ast.Binop (Ast.And, Ast.Var "b", Ast.Var "c") ))
+          (parse "a or b and c");
+        Alcotest.check expr_testable "comparison over and"
+          (Ast.Binop
+             ( Ast.And,
+               Ast.Binop (Ast.Lt, Ast.Var "x", Ast.Int_lit 1),
+               Ast.Binop (Ast.Gt, Ast.Var "y", Ast.Int_lit 2) ))
+          (parse "x < 1 and y > 2");
+        Alcotest.check expr_testable "arithmetic over comparison"
+          (Ast.Binop
+             ( Ast.Eq,
+               Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int_lit 1),
+               Ast.Var "q" ))
+          (parse "x + 1 = q");
+        Alcotest.check expr_testable "implies right-assoc"
+          (Ast.Binop
+             ( Ast.Implies,
+               Ast.Var "a",
+               Ast.Binop (Ast.Implies, Ast.Var "b", Ast.Var "c") ))
+          (parse "a implies b implies c");
+        Alcotest.check expr_testable "not binds tight"
+          (Ast.Binop (Ast.And, Ast.Unop (Ast.Not, Ast.Var "a"), Ast.Var "b"))
+          (parse "not a and b"));
+    Alcotest.test_case "lexer edges" `Quick (fun () ->
+        (* @pre at the very end of input *)
+        Alcotest.check expr_testable "@pre at end"
+          (Ast.At_pre (Ast.nav "project" [ "volumes" ]))
+          (parse "project.volumes@pre");
+        (* pre as a plain property name *)
+        Alcotest.check expr_testable "x.pre navigates"
+          (Ast.nav "x" [ "pre" ]) (parse "x.pre");
+        (* pre as a bare variable *)
+        Alcotest.check expr_testable "pre alone" (Ast.Var "pre") (parse "pre");
+        (* minus vs arrow disambiguation *)
+        Alcotest.check expr_testable "a - b"
+          (Ast.Binop (Ast.Sub, Ast.Var "a", Ast.Var "b"))
+          (parse "a - b");
+        Alcotest.(check bool) "bad @x" true (Result.is_error (P.parse "a@x"));
+        Alcotest.(check bool) "lone @" true (Result.is_error (P.parse "@")));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        let is_err text = Result.is_error (P.parse text) in
+        Alcotest.(check bool) "empty" true (is_err "");
+        Alcotest.(check bool) "dangling and" true (is_err "a and");
+        Alcotest.(check bool) "unknown arrow op" true (is_err "x->frobnicate()");
+        Alcotest.(check bool) "unbalanced paren" true (is_err "(a or b");
+        Alcotest.(check bool) "trailing junk" true (is_err "a b");
+        Alcotest.(check bool) "binder not a name" true (is_err "xs->forAll(1 | x)"))
+  ]
+
+(* ---- evaluation ---- *)
+
+let project_json volumes =
+  Json.obj
+    [ ("id", Json.string "p1");
+      ("volumes", Json.list volumes)
+    ]
+
+let volume_json status =
+  Json.obj [ ("id", Json.string "v1"); ("status", Json.string status) ]
+
+let env ?(volumes = [ volume_json "available" ]) ?(quota = 3) () =
+  Eval.env_of_bindings
+    [ ("project", project_json volumes);
+      ("quota_sets", Json.obj [ ("volumes", Json.int quota) ]);
+      ("volume", volume_json "available");
+      ( "user",
+        Json.obj
+          [ ("groups", Json.list [ Json.string "proj_administrator" ]) ] )
+    ]
+
+let check_tri name expected env_ text =
+  Alcotest.(check string) name expected
+    (Fmt.str "%a" Value.pp_tribool (Eval.check env_ (parse text)))
+
+let eval_tests =
+  [ Alcotest.test_case "size over collections and scalars" `Quick (fun () ->
+        check_tri "one volume" "true" (env ()) "project.volumes->size() = 1";
+        check_tri "scalar is singleton" "true" (env ()) "project.id->size() = 1";
+        check_tri "missing is empty" "true" (env ())
+          "project.nonexistent->size() = 0");
+    Alcotest.test_case "empty volumes state invariant" `Quick (fun () ->
+        let e = env ~volumes:[] () in
+        check_tri "no volume invariant" "true" e
+          "project.id->size() = 1 and project.volumes->size() = 0");
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        check_tri "lt" "true" (env ()) "project.volumes->size() < quota_sets.volumes";
+        check_tri "status neq" "true" (env ()) "volume.status <> 'in-use'";
+        check_tri "string eq false" "false" (env ()) "volume.status = 'in-use'");
+    Alcotest.test_case "three-valued logic" `Quick (fun () ->
+        check_tri "undefined comparison" "unknown" (env ()) "ghost.x = 1";
+        check_tri "false and undefined = false" "false" (env ())
+          "1 = 2 and ghost.x = 1";
+        check_tri "true or undefined = true" "true" (env ())
+          "1 = 1 or ghost.x = 1";
+        check_tri "undefined implies anything" "unknown" (env ())
+          "ghost.x = 1 implies 1 = 2";
+        check_tri "false implies undefined = true" "true" (env ())
+          "1 = 2 implies ghost.x = 1");
+    Alcotest.test_case "includes / excludes" `Quick (fun () ->
+        check_tri "includes" "true" (env ())
+          "user.groups->includes('proj_administrator')";
+        check_tri "excludes" "true" (env ())
+          "user.groups->excludes('service_architect')";
+        check_tri "not member" "false" (env ())
+          "user.groups->includes('nope')");
+    Alcotest.test_case "iterators" `Quick (fun () ->
+        let e =
+          env ~volumes:[ volume_json "available"; volume_json "in-use" ] ()
+        in
+        check_tri "exists" "true" e
+          "project.volumes->exists(v | v.status = 'in-use')";
+        check_tri "forAll false" "false" e
+          "project.volumes->forAll(v | v.status = 'available')";
+        check_tri "one" "true" e
+          "project.volumes->one(v | v.status = 'in-use')";
+        check_tri "select size" "true" e
+          "project.volumes->select(v | v.status = 'in-use')->size() = 1";
+        check_tri "reject size" "true" e
+          "project.volumes->reject(v | v.status = 'in-use')->size() = 1";
+        check_tri "collect" "true" e
+          "project.volumes->collect(v | v.status)->includes('in-use')");
+    Alcotest.test_case "collection navigation (collect shorthand)" `Quick
+      (fun () ->
+        let e =
+          env ~volumes:[ volume_json "available"; volume_json "in-use" ] ()
+        in
+        check_tri "navigate over list" "true" e
+          "project.volumes.status->includes('in-use')");
+    Alcotest.test_case "count / asSet / any / isUnique" `Quick (fun () ->
+        let e =
+          Eval.env_of_bindings
+            [ ( "xs",
+                Json.list
+                  [ Json.string "a"; Json.string "b"; Json.string "a" ] );
+              ( "vols",
+                Json.list
+                  [ volume_json "available";
+                    volume_json "in-use";
+                    volume_json "available"
+                  ] )
+            ]
+        in
+        check_tri "count" "true" e "xs->count('a') = 2";
+        check_tri "count zero" "true" e "xs->count('z') = 0";
+        check_tri "asSet dedups" "true" e "xs->asSet()->size() = 2";
+        check_tri "any picks a match" "true" e
+          "vols->any(v | v.status = 'in-use').status = 'in-use'";
+        check_tri "any with no match is undefined" "unknown" e
+          "vols->any(v | v.status = 'gone') = null";
+        check_tri "isUnique false on duplicates" "false" e
+          "xs->isUnique(x | x)";
+        (* all volume_json fixtures share id "v1" *)
+        check_tri "isUnique false on duplicate ids" "false" e
+          "vols->isUnique(v | v.id)";
+        check_tri "isUnique true on singleton" "true" e
+          "xs->asSet()->isUnique(x | x)");
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        check_tri "add" "true" (env ()) "1 + 2 * 3 = 7";
+        check_tri "sub" "true" (env ()) "10 - 3 - 2 = 5";
+        check_tri "div" "true" (env ()) "7 / 2 = 3";
+        check_tri "div by zero undefined" "unknown" (env ()) "1 / 0 = 1";
+        check_tri "sum" "true"
+          (Eval.env_of_bindings
+             [ ("xs", Json.list [ Json.int 1; Json.int 2; Json.int 3 ]) ])
+          "xs->sum() = 6");
+    Alcotest.test_case "first / last / notEmpty" `Quick (fun () ->
+        let e =
+          Eval.env_of_bindings
+            [ ("xs", Json.list [ Json.int 5; Json.int 7 ]); ("ys", Json.list []) ]
+        in
+        check_tri "first" "true" e "xs->first() = 5";
+        check_tri "last" "true" e "xs->last() = 7";
+        check_tri "notEmpty" "true" e "xs->notEmpty()";
+        check_tri "empty first undefined" "unknown" e "ys->first() = 1";
+        check_tri "isEmpty" "true" e "ys->isEmpty()");
+    Alcotest.test_case "pre-state evaluation" `Quick (fun () ->
+        let pre_env = env ~volumes:[ volume_json "a"; volume_json "b" ] () in
+        let post_env = Eval.with_pre ~pre:pre_env (env ()) in
+        check_tri "delete decremented" "true" post_env
+          "project.volumes->size() = pre(project.volumes->size()) - 1";
+        check_tri "pre is idempotent" "true" post_env
+          "pre(pre(project.volumes->size())) = 2";
+        check_tri "@pre suffix" "true" post_env
+          "project.volumes@pre->size() = 2");
+    Alcotest.test_case "pre without snapshot is undefined" `Quick (fun () ->
+        check_tri "no pre env" "unknown" (env ())
+          "pre(project.volumes->size()) = 1");
+    Alcotest.test_case "verdict helper" `Quick (fun () ->
+        Alcotest.(check bool) "holds" true
+          (Eval.verdict (env ()) (parse "1 = 1") = Eval.Holds);
+        Alcotest.(check bool) "violated" true
+          (Eval.verdict (env ()) (parse "1 = 2") = Eval.Violated);
+        match Eval.verdict (env ()) (parse "ghost.x = 1") with
+        | Eval.Undefined_verdict _ -> ()
+        | _ -> Alcotest.fail "expected undefined")
+  ]
+
+(* ---- typechecking ---- *)
+
+let signature : Ty.signature =
+  [ ( "project",
+      Ty.Object
+        [ ("id", Ty.String);
+          ("volumes", Ty.Collection (Ty.Object [ ("status", Ty.String) ]))
+        ] );
+    ("quota_sets", Ty.Object [ ("volumes", Ty.Int) ]);
+    ("user", Ty.Object [ ("groups", Ty.Collection Ty.String) ])
+  ]
+
+let typecheck_tests =
+  [ Alcotest.test_case "valid expressions" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.(check bool) text true
+              (Typecheck.well_typed signature (parse text)))
+          [ "project.id->size() = 1";
+            "project.volumes->size() < quota_sets.volumes";
+            "user.groups->includes('admin')";
+            "project.volumes->forAll(v | v.status <> 'in-use')";
+            "pre(project.volumes->size()) + 1 = project.volumes->size()"
+          ]);
+    Alcotest.test_case "errors detected" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.(check bool) text false
+              (Typecheck.well_typed signature (parse text)))
+          [ "unknown_var = 1";
+            "project.nope = 1";
+            "project.id + 1 = 2";
+            "quota_sets.volumes->includes('x')";
+            "project.volumes->forAll(v | v.status)";
+            "1 + 1" (* not boolean at top level *)
+          ]);
+    Alcotest.test_case "all errors reported at once" `Quick (fun () ->
+        let _, errors = Typecheck.infer signature (parse "a = 1 and b = 2") in
+        Alcotest.(check int) "two unknown vars" 2 (List.length errors))
+  ]
+
+(* ---- simplifier ---- *)
+
+let ty_tests =
+  [ Alcotest.test_case "compatibility" `Quick (fun () ->
+        Alcotest.(check bool) "int/real" true (Ty.compatible Ty.Int Ty.Real);
+        Alcotest.(check bool) "any/anything" true
+          (Ty.compatible Ty.Any (Ty.Collection Ty.String));
+        Alcotest.(check bool) "bool/string" false (Ty.compatible Ty.Bool Ty.String);
+        Alcotest.(check bool) "collections by element" true
+          (Ty.compatible (Ty.Collection Ty.Int) (Ty.Collection Ty.Real));
+        Alcotest.(check bool) "collections incompatible" false
+          (Ty.compatible (Ty.Collection Ty.Int) (Ty.Collection Ty.String));
+        Alcotest.(check bool) "objects on common fields" true
+          (Ty.compatible
+             (Ty.Object [ ("a", Ty.Int) ])
+             (Ty.Object [ ("a", Ty.Real); ("b", Ty.String) ]));
+        Alcotest.(check bool) "objects conflicting field" false
+          (Ty.compatible
+             (Ty.Object [ ("a", Ty.Int) ])
+             (Ty.Object [ ("a", Ty.String) ])));
+    Alcotest.test_case "element coercion" `Quick (fun () ->
+        Alcotest.(check bool) "collection" true
+          (Ty.equal (Ty.element (Ty.Collection Ty.Int)) Ty.Int);
+        Alcotest.(check bool) "scalar is its own element" true
+          (Ty.equal (Ty.element Ty.String) Ty.String));
+    Alcotest.test_case "property lookup" `Quick (fun () ->
+        let obj = Ty.Object [ ("status", Ty.String) ] in
+        Alcotest.(check bool) "direct" true
+          (Ty.property "status" obj = Some Ty.String);
+        Alcotest.(check bool) "collect shorthand" true
+          (Ty.property "status" (Ty.Collection obj)
+          = Some (Ty.Collection Ty.String));
+        Alcotest.(check bool) "missing" true (Ty.property "nope" obj = None);
+        Alcotest.(check bool) "any is permissive" true
+          (Ty.property "anything" Ty.Any = Some Ty.Any));
+    Alcotest.test_case "to_string" `Quick (fun () ->
+        Alcotest.(check string) "collection" "Collection(Integer)"
+          (Ty.to_string (Ty.Collection Ty.Int)))
+  ]
+
+let simplify_tests =
+  [ Alcotest.test_case "boolean identities" `Quick (fun () ->
+        let check_simpl name input expected =
+          Alcotest.check expr_testable name (parse expected)
+            (Simplify.simplify (parse input))
+        in
+        check_simpl "true and e" "true and x = 1" "x = 1";
+        check_simpl "e or false" "x = 1 or false" "x = 1";
+        check_simpl "false and e" "false and x = 1" "false";
+        check_simpl "true or e" "true or x = 1" "true";
+        check_simpl "dedup" "x = 1 and x = 1" "x = 1";
+        check_simpl "double negation" "not (not (x = 1))" "x = 1";
+        check_simpl "not over eq" "not (x = 1)" "x <> 1";
+        check_simpl "not over lt" "not (x < 1)" "x >= 1";
+        check_simpl "implies true" "x = 1 implies true" "true";
+        check_simpl "self implication" "x = 1 implies x = 1" "true";
+        check_simpl "constant folding" "1 + 2 = 3" "true");
+    Alcotest.test_case "disjuncts and conjuncts flatten" `Quick (fun () ->
+        Alcotest.(check int) "3 disjuncts" 3
+          (List.length (Simplify.disjuncts (parse "a or (b or c)")));
+        Alcotest.(check int) "3 conjuncts" 3
+          (List.length (Simplify.conjuncts (parse "(a and b) and c"))))
+  ]
+
+(* ---- generators for property tests ---- *)
+
+let gen_var = QCheck2.Gen.oneofl [ "project"; "quota_sets"; "user"; "volume" ]
+
+(* Closed boolean expressions over a small JSON environment. *)
+let gen_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self size ->
+        let atom =
+          oneof
+            [ map (fun b -> Ast.Bool_lit b) bool;
+              (let* v = gen_var in
+               let* prop = oneofl [ "id"; "volumes"; "status"; "x" ] in
+               return
+                 (Ast.Binop
+                    ( Ast.Ge,
+                      Ast.Coll (Ast.Nav (Ast.Var v, prop), Ast.Size),
+                      Ast.Int_lit 0 )));
+              (let* v = gen_var in
+               let* n = int_range 0 3 in
+               return
+                 (Ast.Binop
+                    ( Ast.Eq,
+                      Ast.Coll (Ast.Var v, Ast.Size),
+                      Ast.Int_lit n )))
+            ]
+        in
+        if size <= 0 then atom
+        else
+          oneof
+            [ atom;
+              map2
+                (fun op (a, b) -> Ast.Binop (op, a, b))
+                (oneofl [ Ast.And; Ast.Or; Ast.Implies; Ast.Xor ])
+                (pair (self (size / 2)) (self (size / 2)));
+              map (fun e -> Ast.Unop (Ast.Not, e)) (self (size / 2))
+            ]))
+
+let gen_env =
+  QCheck2.Gen.(
+    let* n = int_range 0 3 in
+    let* quota = int_range 0 3 in
+    return
+      (Eval.env_of_bindings
+         [ ("project", project_json (List.init n (fun _ -> volume_json "s")));
+           ("quota_sets", Json.obj [ ("volumes", Json.int quota) ]);
+           ("volume", volume_json "available");
+           ("user", Json.obj [ ("groups", Json.list []) ])
+         ]))
+
+let prop_pretty_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"pretty |> parse is the identity"
+    gen_expr (fun expr ->
+      match P.parse (Pretty.to_string expr) with
+      | Ok parsed -> Ast.equal parsed expr
+      | Error _ -> false)
+
+let prop_simplify_preserves =
+  QCheck2.Test.make ~count:500 ~name:"simplify preserves defined verdicts"
+    QCheck2.Gen.(pair gen_expr gen_env)
+    (fun (expr, env_) ->
+      let before = Eval.check env_ expr in
+      let after = Eval.check env_ (Simplify.simplify expr) in
+      match before with
+      | Value.Unknown -> true (* simplification may only gain definedness *)
+      | defined -> after = defined)
+
+let prop_nnf_preserves =
+  QCheck2.Test.make ~count:500 ~name:"nnf preserves defined verdicts"
+    QCheck2.Gen.(pair gen_expr gen_env)
+    (fun (expr, env_) ->
+      let before = Eval.check env_ expr in
+      let after = Eval.check env_ (Simplify.nnf expr) in
+      match before with Value.Unknown -> true | defined -> after = defined)
+
+let prop_multiline_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"multiline layout reparses equal"
+    gen_expr (fun expr ->
+      let text =
+        Pretty.to_string_multiline expr
+        |> String.map (fun c -> if c = '\n' then ' ' else c)
+      in
+      match P.parse text with
+      | Ok parsed ->
+        (* Multiline groups disjuncts with parens, so compare by
+           evaluation on a fixed env rather than syntactically. *)
+        Ast.equal (Simplify.simplify parsed) (Simplify.simplify expr)
+        ||
+        let env_ = env () in
+        Eval.check env_ parsed = Eval.check env_ expr
+      | Error _ -> false)
+
+let prop_free_vars_sound =
+  QCheck2.Test.make ~count:300 ~name:"eval only reads free variables"
+    QCheck2.Gen.(pair gen_expr gen_env)
+    (fun (expr, env_) ->
+      (* Evaluating with bindings restricted to the free variables gives
+         the same verdict. *)
+      let free = Ast.free_vars expr in
+      let restricted =
+        Eval.env_of_bindings
+          (List.filter (fun (k, _) -> List.mem k free) (Eval.bindings env_))
+      in
+      Eval.check restricted expr = Eval.check env_ expr)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pretty_roundtrip;
+      prop_simplify_preserves;
+      prop_nnf_preserves;
+      prop_multiline_roundtrip;
+      prop_free_vars_sound
+    ]
+
+let () =
+  Alcotest.run "cm_ocl"
+    [ ("parser", parse_tests);
+      ("eval", eval_tests);
+      ("typecheck", typecheck_tests);
+      ("ty", ty_tests);
+      ("simplify", simplify_tests);
+      ("properties", properties)
+    ]

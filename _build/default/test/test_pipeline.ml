@@ -1,0 +1,129 @@
+(* End-to-end pipeline tests (Fig. 4): XMI text -> models -> contracts ->
+   monitor -> verdicts, and XMI -> Django files; plus the umbrella
+   Cloudmon API. *)
+
+module C = Cloudmon
+module Xmi = Cm_uml.Xmi
+module Cinder = Cm_uml.Cinder_model
+module Meth = Cm_http.Meth
+module Json = Cm_json.Json
+
+let cinder_xmi =
+  Xmi.write
+    { Xmi.resource_model = Cinder.resources;
+      behavior_models = [ Cinder.behavior ]
+    }
+
+let with_cloud f =
+  let cloud = C.Cloudsim.create () in
+  C.Cloudsim.seed cloud C.Cloudsim.my_project;
+  C.Identity.add_user (C.Cloudsim.identity cloud) ~password:"svc"
+    (C.Rbac.Subject.make "svc" [ "proj_administrator" ]);
+  let login user pw =
+    match C.Cloudsim.login cloud ~user ~password:pw ~project_id:"myProject" with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  f cloud login
+
+let pipeline_tests =
+  [ Alcotest.test_case "monitor_of_xmi equals monitor_of_models" `Quick
+      (fun () ->
+        with_cloud (fun cloud login ->
+            let service = login "svc" "svc" in
+            let from_xmi =
+              match
+                C.monitor_of_xmi ~service_token:service
+                  ~security:C.cinder_security cinder_xmi
+                  (C.Cloudsim.handle cloud)
+              with
+              | Ok m -> m
+              | Error msgs -> failwith (String.concat "; " msgs)
+            in
+            let from_models =
+              match
+                C.monitor_of_models ~service_token:service
+                  ~security:C.cinder_security Cinder.resources Cinder.behavior
+                  (C.Cloudsim.handle cloud)
+              with
+              | Ok m -> m
+              | Error msgs -> failwith (String.concat "; " msgs)
+            in
+            (* The two monitors must carry syntactically equal contracts. *)
+            let contracts m =
+              List.map
+                (fun (c : C.Contracts.Contract.t) ->
+                  ( c.trigger,
+                    Cm_ocl.Pretty.to_string c.pre,
+                    Cm_ocl.Pretty.to_string c.post ))
+                (C.Monitor.contracts m)
+            in
+            Alcotest.(check bool) "same contracts" true
+              (contracts from_xmi = contracts from_models)));
+    Alcotest.test_case "XMI-built monitor passes verdicts end to end" `Quick
+      (fun () ->
+        with_cloud (fun cloud login ->
+            let service = login "svc" "svc" in
+            let monitor =
+              match
+                C.monitor_of_xmi ~service_token:service
+                  ~security:C.cinder_security cinder_xmi
+                  (C.Cloudsim.handle cloud)
+              with
+              | Ok m -> m
+              | Error msgs -> failwith (String.concat "; " msgs)
+            in
+            let alice = login "alice" "alice-pw" in
+            let outcome =
+              C.Monitor.handle monitor
+                (C.Http.Request.make Meth.POST "/v3/myProject/volumes"
+                   ~body:
+                     (Json.obj
+                        [ ( "volume",
+                            Json.obj
+                              [ ("name", Json.string "x"); ("size", Json.int 1) ]
+                          )
+                        ])
+                |> C.Http.Request.with_auth_token alice)
+            in
+            Alcotest.(check bool) "conform" true
+              (outcome.C.Outcome.conformance = C.Outcome.Conform)));
+    Alcotest.test_case "django_of_xmi produces the project files" `Quick
+      (fun () ->
+        match
+          C.django_of_xmi ~project_name:"cmon" ~security:C.cinder_security
+            cinder_xmi
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok files ->
+          Alcotest.(check int) "eight files" 8 (List.length files);
+          let views =
+            List.find
+              (fun (f : C.Codegen.Django_project.file) ->
+                f.path = "cmon/views.py")
+              files
+          in
+          Alcotest.(check bool) "contracts embedded" true
+            (Astring_contains.contains views.content "PreCondition"));
+    Alcotest.test_case "empty XMI rejected" `Quick (fun () ->
+        let no_machines =
+          Xmi.write
+            { Xmi.resource_model = Cinder.resources; behavior_models = [] }
+        in
+        Alcotest.(check bool) "monitor" true
+          (Result.is_error
+             (C.monitor_of_xmi ~service_token:"t" no_machines (fun _ ->
+                  C.Http.Response.no_content)));
+        Alcotest.(check bool) "django" true
+          (Result.is_error (C.django_of_xmi ~project_name:"x" no_machines)));
+    Alcotest.test_case "validate_cloud defaults to the paper mutants" `Slow
+      (fun () ->
+        match C.validate_cloud () with
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+        | Ok results ->
+          Alcotest.(check int) "baseline + three" 4 (List.length results);
+          Alcotest.(check bool) "reproduced" true
+            (C.Mutation.Campaign.all_killed results))
+  ]
+
+let () = Alcotest.run "pipeline" [ ("pipeline", pipeline_tests) ]

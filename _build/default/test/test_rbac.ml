@@ -1,0 +1,248 @@
+(* Tests for RBAC: subjects, role assignments, the Table I security
+   table, the policy.json rule language. *)
+
+module Subject = Cm_rbac.Subject
+module RA = Cm_rbac.Role_assignment
+module ST = Cm_rbac.Security_table
+module Policy = Cm_rbac.Policy
+module Meth = Cm_http.Meth
+module Json = Cm_json.Json
+
+let alice = Subject.make "alice" [ "proj_administrator" ]
+let bob = Subject.make "bob" [ "service_architect" ]
+let carol = Subject.make "carol" [ "business_analyst" ]
+let mallory = Subject.make "mallory" [ "contractors" ]
+let assignment = ST.cinder_assignment
+
+let assignment_tests =
+  [ Alcotest.test_case "roles_of resolves through groups" `Quick (fun () ->
+        Alcotest.(check (list string)) "alice" [ "admin" ] (RA.roles_of alice assignment);
+        Alcotest.(check (list string)) "bob" [ "member" ] (RA.roles_of bob assignment);
+        Alcotest.(check (list string)) "carol" [ "user" ] (RA.roles_of carol assignment);
+        Alcotest.(check (list string)) "mallory none" [] (RA.roles_of mallory assignment));
+    Alcotest.test_case "multi-group subject accumulates roles" `Quick (fun () ->
+        let both = Subject.make "b" [ "proj_administrator"; "business_analyst" ] in
+        Alcotest.(check (list string)) "two roles" [ "admin"; "user" ]
+          (RA.roles_of both assignment));
+    Alcotest.test_case "groups_of_role inverts" `Quick (fun () ->
+        Alcotest.(check (list string)) "admin group" [ "proj_administrator" ]
+          (RA.groups_of_role "admin" assignment));
+    Alcotest.test_case "enrich produces the user binding" `Quick (fun () ->
+        let json = RA.enrich alice assignment in
+        Alcotest.(check (option string)) "role"
+          (Some "admin")
+          (Option.bind (Json.member "role" json) Json.to_string);
+        Alcotest.(check (option string)) "paper's user.id.groups path"
+          (Some "admin")
+          (Option.bind
+             (Cm_json.Pointer.get [ Key "id"; Key "groups" ] json)
+             Json.to_string))
+  ]
+
+let table_tests =
+  [ Alcotest.test_case "Table I decisions" `Quick (fun () ->
+        let decide subject meth =
+          ST.allowed ST.cinder assignment ~resource:"volume" ~meth subject
+        in
+        (* GET: everyone in a role *)
+        Alcotest.(check bool) "alice GET" true (decide alice Meth.GET);
+        Alcotest.(check bool) "bob GET" true (decide bob Meth.GET);
+        Alcotest.(check bool) "carol GET" true (decide carol Meth.GET);
+        Alcotest.(check bool) "mallory GET" false (decide mallory Meth.GET);
+        (* PUT/POST: admin and member *)
+        Alcotest.(check bool) "alice PUT" true (decide alice Meth.PUT);
+        Alcotest.(check bool) "bob POST" true (decide bob Meth.POST);
+        Alcotest.(check bool) "carol PUT" false (decide carol Meth.PUT);
+        Alcotest.(check bool) "carol POST" false (decide carol Meth.POST);
+        (* DELETE: admin only *)
+        Alcotest.(check bool) "alice DELETE" true (decide alice Meth.DELETE);
+        Alcotest.(check bool) "bob DELETE" false (decide bob Meth.DELETE);
+        Alcotest.(check bool) "carol DELETE" false (decide carol Meth.DELETE));
+    Alcotest.test_case "fail closed on unknown pairs" `Quick (fun () ->
+        Alcotest.(check bool) "PATCH denied" false
+          (ST.allowed ST.cinder assignment ~resource:"volume" ~meth:Meth.PATCH
+             alice);
+        Alcotest.(check bool) "unknown resource denied" false
+          (ST.allowed ST.cinder assignment ~resource:"snapshots" ~meth:Meth.GET
+             alice));
+    Alcotest.test_case "auth_guard is a group disjunction" `Quick (fun () ->
+        match ST.find ~resource:"volume" ~meth:Meth.PUT ST.cinder with
+        | None -> Alcotest.fail "no PUT entry"
+        | Some entry ->
+          let guard = ST.auth_guard entry assignment in
+          Alcotest.(check string) "guard text"
+            "user.groups->includes('proj_administrator') or \
+             user.groups->includes('service_architect')"
+            (Cm_ocl.Pretty.to_string guard));
+    Alcotest.test_case "requirement ids" `Quick (fun () ->
+        Alcotest.(check (list string)) "ids" [ "1.1"; "1.2"; "1.3"; "1.4" ]
+          (ST.requirement_ids ST.cinder));
+    Alcotest.test_case "rendered Table I matches the paper's rows" `Quick
+      (fun () ->
+        let rendered = ST.render ~resources:[ "volume" ] ST.cinder assignment in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true
+              (Astring_contains.contains rendered needle))
+          [ "1.1";
+            "1.2";
+            "1.3";
+            "1.4";
+            "GET";
+            "PUT";
+            "POST";
+            "DELETE";
+            "proj_administrator";
+            "service_architect";
+            "business_analyst"
+          ];
+        (* DELETE row: admin only, so service_architect must not appear
+           after the 1.4 row *)
+        let delete_index =
+          let rec find i =
+            if i + 3 > String.length rendered then -1
+            else if String.sub rendered i 3 = "1.4" then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let tail =
+          String.sub rendered delete_index (String.length rendered - delete_index)
+        in
+        Alcotest.(check bool) "no architect after 1.4" false
+          (Astring_contains.contains tail "service_architect"))
+  ]
+
+let rule_roundtrip rule =
+  match Policy.rule_of_string (Policy.rule_to_string rule) with
+  | Ok parsed -> Policy.rule_to_string parsed = Policy.rule_to_string rule
+  | Error _ -> false
+
+let policy_tests =
+  [ Alcotest.test_case "rule parsing" `Quick (fun () ->
+        let ok text expected =
+          match Policy.rule_of_string text with
+          | Ok rule ->
+            Alcotest.(check string) text expected (Policy.rule_to_string rule)
+          | Error msg -> Alcotest.failf "%s: %s" text msg
+        in
+        ok "role:admin" "role:admin";
+        ok "role:admin or role:member" "role:admin or role:member";
+        ok "group:x and role:y" "group:x and role:y";
+        ok "(role:a or role:b) and group:g" "(role:a or role:b) and group:g";
+        ok "@" "@";
+        ok "!" "!";
+        ok "" "@";
+        Alcotest.(check bool) "bad atom" true
+          (Result.is_error (Policy.rule_of_string "wizard:gandalf"));
+        Alcotest.(check bool) "unbalanced" true
+          (Result.is_error (Policy.rule_of_string "(role:a")));
+    Alcotest.test_case "satisfies" `Quick (fun () ->
+        let r = Policy.Or (Policy.Role "admin", Policy.Role "member") in
+        Alcotest.(check bool) "admin" true
+          (Policy.satisfies r ~roles:[ "admin" ] ~groups:[]);
+        Alcotest.(check bool) "other" false
+          (Policy.satisfies r ~roles:[ "user" ] ~groups:[]);
+        Alcotest.(check bool) "any" true
+          (Policy.satisfies Policy.Any ~roles:[] ~groups:[]);
+        Alcotest.(check bool) "nobody" false
+          (Policy.satisfies Policy.Nobody ~roles:[ "admin" ] ~groups:[]);
+        Alcotest.(check bool) "and" true
+          (Policy.satisfies
+             (Policy.And (Policy.Role "admin", Policy.Group "g"))
+             ~roles:[ "admin" ] ~groups:[ "g" ]));
+    Alcotest.test_case "authorize fails closed" `Quick (fun () ->
+        let p = Policy.of_list [ ("volume:get", Policy.Any) ] in
+        Alcotest.(check bool) "known" true
+          (Policy.authorize p ~action:"volume:get" ~roles:[] ~groups:[]);
+        Alcotest.(check bool) "unknown" false
+          (Policy.authorize p ~action:"volume:delete" ~roles:[ "admin" ]
+             ~groups:[]));
+    Alcotest.test_case "action naming" `Quick (fun () ->
+        Alcotest.(check string) "get" "volume:get"
+          (Policy.action_of ~resource:"volume" ~meth:Meth.GET);
+        Alcotest.(check string) "create" "volume:create"
+          (Policy.action_of ~resource:"Volume" ~meth:Meth.POST);
+        Alcotest.(check string) "update" "volume:update"
+          (Policy.action_of ~resource:"volume" ~meth:Meth.PUT);
+        Alcotest.(check string) "delete" "volume:delete"
+          (Policy.action_of ~resource:"volume" ~meth:Meth.DELETE));
+    Alcotest.test_case "of_table mirrors Table I" `Quick (fun () ->
+        let p = Policy.of_table ST.cinder in
+        let roles_ok action roles expected =
+          Alcotest.(check bool)
+            (action ^ " " ^ String.concat "," roles)
+            expected
+            (Policy.authorize p ~action ~roles ~groups:[])
+        in
+        roles_ok "volume:delete" [ "admin" ] true;
+        roles_ok "volume:delete" [ "member" ] false;
+        roles_ok "volume:create" [ "member" ] true;
+        roles_ok "volume:get" [ "user" ] true);
+    Alcotest.test_case "json file round-trip" `Quick (fun () ->
+        let p = Policy.of_table ST.cinder in
+        match Policy.of_file_text (Policy.to_file_text p) with
+        | Ok parsed -> Alcotest.(check bool) "equal" true (Policy.equal p parsed)
+        | Error msg -> Alcotest.fail msg)
+  ]
+
+(* property: rule pretty-print round-trips *)
+let gen_rule =
+  QCheck2.Gen.(
+    sized @@ fix (fun self size ->
+        let atom =
+          oneof
+            [ map (fun s -> Policy.Role s)
+                (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
+              map (fun s -> Policy.Group s)
+                (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
+              return Policy.Any;
+              return Policy.Nobody
+            ]
+        in
+        if size <= 0 then atom
+        else
+          oneof
+            [ atom;
+              map2 (fun a b -> Policy.Or (a, b)) (self (size / 2)) (self (size / 2));
+              map2 (fun a b -> Policy.And (a, b)) (self (size / 2)) (self (size / 2))
+            ]))
+
+let prop_rule_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"rule print |> parse round-trips" gen_rule
+    rule_roundtrip
+
+let gen_subject_roles =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 0 3)
+         (oneofl [ "proj_administrator"; "service_architect"; "business_analyst"; "other" ]))
+      (oneofl [ Meth.GET; Meth.PUT; Meth.POST; Meth.DELETE ]))
+
+let prop_table_policy_agree =
+  QCheck2.Test.make ~count:300
+    ~name:"security table and derived policy.json agree" gen_subject_roles
+    (fun (groups, meth) ->
+      let subject = Subject.make "s" groups in
+      let table_says =
+        ST.allowed ST.cinder assignment ~resource:"volume" ~meth subject
+      in
+      let policy_says =
+        Policy.authorize (Policy.of_table ST.cinder)
+          ~action:(Policy.action_of ~resource:"volume" ~meth)
+          ~roles:(RA.roles_of subject assignment)
+          ~groups
+      in
+      table_says = policy_says)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_rule_roundtrip; prop_table_policy_agree ]
+
+let () =
+  Alcotest.run "cm_rbac"
+    [ ("assignment", assignment_tests);
+      ("security-table", table_tests);
+      ("policy", policy_tests);
+      ("properties", properties)
+    ]

@@ -1,0 +1,309 @@
+(* Tests for the nested-resource vertical: snapshots under volumes —
+   store, endpoints, depth-2 observation, and a monitored lifecycle. *)
+
+module Cloud = Cm_cloudsim.Cloud
+module Identity = Cm_cloudsim.Identity
+module Store = Cm_cloudsim.Store
+module Faults = Cm_cloudsim.Faults
+module Monitor = Cm_monitor.Monitor
+module Observer = Cm_monitor.Observer
+module Outcome = Cm_monitor.Outcome
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Meth = Cm_http.Meth
+module Json = Cm_json.Json
+module Snap = Cm_uml.Snapshot_model
+
+let security =
+  { Cm_contracts.Generate.table = Snap.security_table;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
+type fixture = {
+  cloud : Cloud.t;
+  monitor : Monitor.t;
+  alice : string;
+  bob : string;
+  carol : string;
+  service : string;
+}
+
+let fixture () =
+  let cloud = Cloud.create () in
+  Cloud.seed cloud Cloud.my_project;
+  Identity.add_user (Cloud.identity cloud) ~password:"svc"
+    (Cm_rbac.Subject.make "svc" [ "proj_administrator" ]);
+  let login user pw =
+    match Cloud.login cloud ~user ~password:pw ~project_id:"myProject" with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let service = login "svc" "svc" in
+  let config =
+    Monitor.default_config ~service_token:service ~security Snap.resources
+      Snap.behavior
+  in
+  match Monitor.create config (Cloud.handle cloud) with
+  | Ok monitor ->
+    { cloud;
+      monitor;
+      alice = login "alice" "alice-pw";
+      bob = login "bob" "bob-pw";
+      carol = login "carol" "carol-pw";
+      service
+    }
+  | Error msgs -> failwith (String.concat "; " msgs)
+
+let direct fx token ?body meth path =
+  Cloud.handle fx.cloud
+    (Request.make ?body meth path |> Request.with_auth_token token)
+
+let volume_body =
+  Json.obj
+    [ ("volume", Json.obj [ ("name", Json.string "v"); ("size", Json.int 10) ]) ]
+
+let snapshot_body name =
+  Json.obj [ ("snapshot", Json.obj [ ("name", Json.string name) ]) ]
+
+let make_volume fx =
+  let resp = direct fx fx.alice ~body:volume_body Meth.POST "/v3/myProject/volumes" in
+  match resp.Response.body with
+  | Some body ->
+    (match Cm_json.Pointer.get [ Key "volume"; Key "id" ] body with
+     | Some (Json.String id) -> id
+     | _ -> failwith "no volume id")
+  | None -> failwith "no body"
+
+let snap_base vid = "/v3/myProject/volumes/" ^ vid ^ "/snapshots"
+
+let conformance_testable =
+  Alcotest.testable Outcome.pp_conformance (fun a b -> a = b)
+
+let run fx token meth path ?body () =
+  Monitor.handle fx.monitor
+    (Request.make ?body meth path |> Request.with_auth_token token)
+
+let model_tests =
+  [ Alcotest.test_case "snapshot models are well-formed" `Quick (fun () ->
+        let issues = Cm_uml.Validate.all Snap.resources [ Snap.behavior ] in
+        if issues <> [] then
+          Alcotest.failf "issues: %a"
+            Fmt.(list ~sep:(any "; ") Cm_uml.Validate.pp_issue)
+            issues);
+    Alcotest.test_case "nested URI templates derived" `Quick (fun () ->
+        match Cm_uml.Paths.derive Snap.resources with
+        | Error msg -> Alcotest.fail msg
+        | Ok entries ->
+          let has text =
+            List.exists
+              (fun (e : Cm_uml.Paths.entry) ->
+                Cm_http.Uri_template.to_string e.template = text)
+              entries
+          in
+          Alcotest.(check bool) "snapshots collection" true
+            (has "/v3/{project_id}/volumes/{volume_id}/snapshots");
+          Alcotest.(check bool) "snapshot item" true
+            (has
+               "/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}"));
+    Alcotest.test_case "contracts typecheck (incl. nested navigation)" `Quick
+      (fun () ->
+        match Cm_contracts.Generate.all ~security Snap.behavior with
+        | Error msg -> Alcotest.fail msg
+        | Ok contracts ->
+          Alcotest.(check int) "four triggers" 4 (List.length contracts);
+          List.iter
+            (fun c ->
+              Alcotest.(check (list string)) "no type errors" []
+                (List.map
+                   (Fmt.str "%a" Cm_ocl.Typecheck.pp_error)
+                   (Cm_contracts.Generate.typecheck Snap.resources c)))
+            contracts)
+  ]
+
+let endpoint_tests =
+  [ Alcotest.test_case "snapshot CRUD on the cloud" `Quick (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        let created =
+          direct fx fx.alice ~body:(snapshot_body "before-upgrade") Meth.POST
+            (snap_base vid)
+        in
+        Alcotest.(check int) "201" 201 created.Response.status;
+        let listing = direct fx fx.carol Meth.GET (snap_base vid) in
+        Alcotest.(check int) "list 200" 200 listing.Response.status;
+        (match listing.Response.body with
+         | Some body ->
+           (match Json.member "snapshots" body with
+            | Some (Json.List snaps) ->
+              Alcotest.(check int) "one snapshot" 1 (List.length snaps)
+            | _ -> Alcotest.fail "no snapshots array")
+         | None -> Alcotest.fail "no body");
+        let sid =
+          match created.Response.body with
+          | Some body ->
+            (match Cm_json.Pointer.get [ Key "snapshot"; Key "id" ] body with
+             | Some (Json.String id) -> id
+             | _ -> failwith "no id")
+          | None -> failwith "no body"
+        in
+        let show = direct fx fx.bob Meth.GET (snap_base vid ^ "/" ^ sid) in
+        Alcotest.(check int) "show 200" 200 show.Response.status;
+        let del = direct fx fx.alice Meth.DELETE (snap_base vid ^ "/" ^ sid) in
+        Alcotest.(check int) "delete 204" 204 del.Response.status);
+    Alcotest.test_case "snapshotting an in-use volume is refused" `Quick
+      (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (direct fx fx.alice Meth.POST
+             ("/v3/myProject/volumes/" ^ vid ^ "/action")
+             ~body:
+               (Json.obj
+                  [ ( "os-attach",
+                      Json.obj [ ("instance_uuid", Json.string "s") ] )
+                  ]));
+        let resp =
+          direct fx fx.alice ~body:(snapshot_body "x") Meth.POST (snap_base vid)
+        in
+        Alcotest.(check int) "400" 400 resp.Response.status);
+    Alcotest.test_case "snapshot authorization" `Quick (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        let carol_create =
+          direct fx fx.carol ~body:(snapshot_body "x") Meth.POST (snap_base vid)
+        in
+        Alcotest.(check int) "carol create 403" 403 carol_create.Response.status;
+        ignore (direct fx fx.alice ~body:(snapshot_body "x") Meth.POST (snap_base vid));
+        let bob_delete =
+          direct fx fx.bob Meth.DELETE (snap_base vid ^ "/snap-2")
+        in
+        Alcotest.(check int) "bob delete 403" 403 bob_delete.Response.status)
+  ]
+
+let observer_tests =
+  [ Alcotest.test_case "depth-2 observation binds volume and snapshot" `Quick
+      (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (direct fx fx.alice ~body:(snapshot_body "s1") Meth.POST
+             (snap_base vid));
+        let observer =
+          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+            ~model:Snap.resources ~project_id:"myProject"
+        in
+        let request_bindings =
+          [ ("volume_id", vid); ("snapshot_id", "snap-2") ]
+        in
+        let bindings = Observer.observe ~bindings:request_bindings observer in
+        (match List.assoc_opt "volume" bindings with
+         | Some volume ->
+           Alcotest.(check (option string)) "volume id" (Some vid)
+             (Option.bind (Json.member "id" volume) Json.to_string);
+           (match Json.member "snapshots" volume with
+            | Some (Json.List snaps) ->
+              Alcotest.(check int) "grafted listing" 1 (List.length snaps)
+            | _ -> Alcotest.fail "no snapshots member grafted")
+         | None -> Alcotest.fail "no volume binding");
+        (match List.assoc_opt "snapshot" bindings with
+         | Some snapshot ->
+           Alcotest.(check (option string)) "snapshot id" (Some "snap-2")
+             (Option.bind (Json.member "id" snapshot) Json.to_string)
+         | None -> Alcotest.fail "no snapshot binding"));
+    Alcotest.test_case "invariants evaluable over nested bindings" `Quick
+      (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (direct fx fx.alice ~body:(snapshot_body "s1") Meth.POST
+             (snap_base vid));
+        let observer =
+          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+            ~model:Snap.resources ~project_id:"myProject"
+        in
+        let env =
+          Observer.env ~bindings:[ ("volume_id", vid) ] observer
+        in
+        Alcotest.(check bool) "with-snapshot invariant holds" true
+          (Cm_ocl.Eval.check env
+             (Cm_ocl.Ocl_parser.parse_exn
+                "volume.id->size() = 1 and volume.snapshots->size() >= 1")
+          = Cm_ocl.Value.True))
+  ]
+
+let monitored_tests =
+  [ Alcotest.test_case "monitored snapshot lifecycle conforms" `Quick (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        let steps =
+          [ ( "create",
+              fun () ->
+                run fx fx.alice Meth.POST (snap_base vid)
+                  ~body:(snapshot_body "s1") () );
+            ("list", fun () -> run fx fx.carol Meth.GET (snap_base vid) ());
+            ( "show",
+              fun () -> run fx fx.bob Meth.GET (snap_base vid ^ "/snap-2") () );
+            ( "create second",
+              fun () ->
+                run fx fx.alice Meth.POST (snap_base vid)
+                  ~body:(snapshot_body "s2") () );
+            ( "delete",
+              fun () ->
+                run fx fx.alice Meth.DELETE (snap_base vid ^ "/snap-2") () )
+          ]
+        in
+        List.iter
+          (fun (label, step) ->
+            let outcome = step () in
+            Alcotest.check conformance_testable label Outcome.Conform
+              outcome.Outcome.conformance)
+          steps);
+    Alcotest.test_case "snapshot on in-use volume is conform-denied" `Quick
+      (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (direct fx fx.alice Meth.POST
+             ("/v3/myProject/volumes/" ^ vid ^ "/action")
+             ~body:
+               (Json.obj
+                  [ ( "os-attach",
+                      Json.obj [ ("instance_uuid", Json.string "s") ] )
+                  ]));
+        let outcome =
+          run fx fx.alice Meth.POST (snap_base vid) ~body:(snapshot_body "x") ()
+        in
+        Alcotest.check conformance_testable "denied" Outcome.Conform_denied
+          outcome.Outcome.conformance);
+    Alcotest.test_case "snapshot escalation mutant killed" `Quick (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (run fx fx.alice Meth.POST (snap_base vid) ~body:(snapshot_body "x") ());
+        Cloud.set_faults fx.cloud
+          (Faults.of_list [ Faults.Skip_policy_check "snapshot:delete" ]);
+        let outcome = run fx fx.bob Meth.DELETE (snap_base vid ^ "/snap-2") () in
+        Alcotest.check conformance_testable "killed"
+          Outcome.Security_unauthorized_allowed outcome.Outcome.conformance);
+    Alcotest.test_case "SecReq 3.x coverage" `Quick (fun () ->
+        let fx = fixture () in
+        let vid = make_volume fx in
+        ignore
+          (run fx fx.alice Meth.POST (snap_base vid) ~body:(snapshot_body "x") ());
+        ignore (run fx fx.carol Meth.GET (snap_base vid) ());
+        let coverage = Monitor.coverage fx.monitor in
+        Alcotest.(check (option int)) "3.2" (Some 1)
+          (List.assoc_opt "3.2" coverage);
+        Alcotest.(check (option int)) "3.1" (Some 1)
+          (List.assoc_opt "3.1" coverage);
+        Alcotest.(check (option int)) "3.3 uncovered" (Some 0)
+          (List.assoc_opt "3.3" coverage))
+  ]
+
+let () =
+  Alcotest.run "cm_snapshots"
+    [ ("models", model_tests);
+      ("endpoints", endpoint_tests);
+      ("observer", observer_tests);
+      ("monitored", monitored_tests)
+    ]

@@ -1,0 +1,682 @@
+(* Tests for the UML metamodel: multiplicities, resource/behavior models,
+   path derivation, validation, XMI round-trips. *)
+
+module M = Cm_uml.Multiplicity
+module RM = Cm_uml.Resource_model
+module BM = Cm_uml.Behavior_model
+module Paths = Cm_uml.Paths
+module Validate = Cm_uml.Validate
+module Xmi = Cm_uml.Xmi
+module Cinder = Cm_uml.Cinder_model
+module Meth = Cm_http.Meth
+
+let multiplicity_tests =
+  [ Alcotest.test_case "to_string" `Quick (fun () ->
+        Alcotest.(check string) "1" "1" (M.to_string M.exactly_one);
+        Alcotest.(check string) "0..1" "0..1" (M.to_string M.optional);
+        Alcotest.(check string) "0..*" "0..*" (M.to_string M.many);
+        Alcotest.(check string) "1..*" "1..*" (M.to_string M.at_least_one));
+    Alcotest.test_case "of_string round-trips" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            match M.of_string (M.to_string m) with
+            | Ok parsed -> Alcotest.(check bool) (M.to_string m) true (M.equal m parsed)
+            | Error e -> Alcotest.fail e)
+          [ M.exactly_one; M.optional; M.many; M.at_least_one ]);
+    Alcotest.test_case "invalid ranges rejected" `Quick (fun () ->
+        Alcotest.(check bool) "negative" true (Result.is_error (M.make (-1) None));
+        Alcotest.(check bool) "upper<lower" true (Result.is_error (M.make 3 (Some 1)));
+        Alcotest.(check bool) "bad text" true (Result.is_error (M.of_string "x..y")));
+    Alcotest.test_case "admits" `Quick (fun () ->
+        Alcotest.(check bool) "1 admits 1" true (M.admits M.exactly_one 1);
+        Alcotest.(check bool) "1 rejects 2" false (M.admits M.exactly_one 2);
+        Alcotest.(check bool) "many admits 100" true (M.admits M.many 100));
+    Alcotest.test_case "is_collection" `Quick (fun () ->
+        Alcotest.(check bool) "many" true (M.is_collection M.many);
+        Alcotest.(check bool) "one" false (M.is_collection M.exactly_one))
+  ]
+
+let cinder_tests =
+  [ Alcotest.test_case "cinder models are well-formed" `Quick (fun () ->
+        let issues = Validate.all Cinder.resources [ Cinder.behavior ] in
+        if issues <> [] then
+          Alcotest.failf "issues: %a"
+            Fmt.(list ~sep:(any "; ") Validate.pp_issue)
+            issues);
+    Alcotest.test_case "derived URI templates match the paper" `Quick (fun () ->
+        match Paths.derive Cinder.resources with
+        | Error msg -> Alcotest.fail msg
+        | Ok entries ->
+          let find resource item =
+            List.find_opt
+              (fun (e : Paths.entry) -> e.resource = resource && e.is_item = item)
+              entries
+            |> Option.map (fun (e : Paths.entry) ->
+                   Cm_http.Uri_template.to_string e.template)
+          in
+          Alcotest.(check (option string)) "volumes collection"
+            (Some "/v3/{project_id}/volumes")
+            (find "Volumes" false);
+          Alcotest.(check (option string)) "volume item"
+            (Some "/v3/{project_id}/volumes/{volume_id}")
+            (find "volume" true);
+          Alcotest.(check (option string)) "quota singleton"
+            (Some "/v3/{project_id}/quota_sets")
+            (find "quota_sets" true);
+          Alcotest.(check (option string)) "project item"
+            (Some "/v3/{project_id}")
+            (find "project" true);
+          Alcotest.(check (option string)) "projects root" (Some "/v3")
+            (find "Projects" false));
+    Alcotest.test_case "triggers of the behavioral model" `Quick (fun () ->
+        let triggers = BM.triggers Cinder.behavior in
+        Alcotest.(check int) "five distinct triggers" 5 (List.length triggers);
+        Alcotest.(check bool) "DELETE(volume) present" true
+          (List.exists
+             (fun (t : BM.trigger) ->
+               t.meth = Meth.DELETE && t.resource = "volume")
+             triggers));
+    Alcotest.test_case "DELETE fires three transitions (Listing 1)" `Quick
+      (fun () ->
+        let delete = { BM.meth = Meth.DELETE; resource = "volume" } in
+        Alcotest.(check int) "three" 3
+          (List.length (BM.transitions_for delete Cinder.behavior)));
+    Alcotest.test_case "methods_on" `Quick (fun () ->
+        Alcotest.(check int) "volume has 4 methods" 4
+          (List.length (BM.methods_on "volume" Cinder.behavior));
+        Alcotest.(check int) "Volumes has 1" 1
+          (List.length (BM.methods_on "Volumes" Cinder.behavior)));
+    Alcotest.test_case "signature types the guards" `Quick (fun () ->
+        let signature = Cinder.signature in
+        List.iter
+          (fun text ->
+            let expr = Cm_ocl.Ocl_parser.parse_exn text in
+            Alcotest.(check bool) text true
+              (Cm_ocl.Typecheck.well_typed signature expr))
+          [ "project.volumes->size() < quota_sets.volumes";
+            "volume.status <> 'in-use'";
+            "user.groups->includes('proj_administrator')"
+          ])
+  ]
+
+let broken_model_tests =
+  [ Alcotest.test_case "duplicate resource names" `Quick (fun () ->
+        let model =
+          { Cinder.resources with
+            RM.resources =
+              Cinder.resources.RM.resources @ [ RM.collection "Volumes" ]
+          }
+        in
+        Alcotest.(check bool) "flagged" true (Validate.resource_model model <> []));
+    Alcotest.test_case "dangling association" `Quick (fun () ->
+        let model =
+          { Cinder.resources with
+            RM.associations =
+              RM.assoc ~role:"ghost" "project" "Ghost"
+              :: Cinder.resources.RM.associations
+          }
+        in
+        Alcotest.(check bool) "flagged" true (Validate.resource_model model <> []));
+    Alcotest.test_case "root must be a collection" `Quick (fun () ->
+        let model = { Cinder.resources with RM.root = "project" } in
+        Alcotest.(check bool) "flagged" true (Validate.resource_model model <> []));
+    Alcotest.test_case "unknown initial state" `Quick (fun () ->
+        let machine = { Cinder.behavior with BM.initial = "nowhere" } in
+        Alcotest.(check bool) "flagged" true
+          (Validate.behavior_model Cinder.resources machine <> []));
+    Alcotest.test_case "ill-typed guard" `Quick (fun () ->
+        let bad_guard = Cm_ocl.Ocl_parser.parse_exn "volume.nonexistent = 1" in
+        let machine =
+          { Cinder.behavior with
+            BM.transitions =
+              [ BM.transition ~guard:bad_guard ~source:Cinder.s_no_volume
+                  ~target:Cinder.s_no_volume Meth.GET "volume"
+              ]
+          }
+        in
+        Alcotest.(check bool) "flagged" true
+          (Validate.behavior_model Cinder.resources machine <> []));
+    Alcotest.test_case "guard must not use pre()" `Quick (fun () ->
+        let pre_guard =
+          Cm_ocl.Ocl_parser.parse_exn "pre(project.volumes->size()) = 0"
+        in
+        let machine =
+          { Cinder.behavior with
+            BM.transitions =
+              [ BM.transition ~guard:pre_guard ~source:Cinder.s_no_volume
+                  ~target:Cinder.s_no_volume Meth.GET "volume"
+              ]
+          }
+        in
+        Alcotest.(check bool) "flagged" true
+          (List.exists
+             (fun (i : Validate.issue) ->
+               Astring_contains.contains i.problem "pre-state")
+             (Validate.behavior_model Cinder.resources machine)));
+    Alcotest.test_case "unreachable state" `Quick (fun () ->
+        let machine =
+          { Cinder.behavior with
+            BM.states =
+              Cinder.behavior.BM.states
+              @ [ BM.state "orphan" (Cm_ocl.Ast.Bool_lit true) ]
+          }
+        in
+        Alcotest.(check bool) "flagged" true
+          (List.exists
+             (fun (i : Validate.issue) -> i.where = "orphan")
+             (Validate.behavior_model Cinder.resources machine)))
+  ]
+
+let xmi_tests =
+  [ Alcotest.test_case "cinder round-trips through XMI" `Quick (fun () ->
+        let doc =
+          { Xmi.resource_model = Cinder.resources;
+            behavior_models = [ Cinder.behavior ]
+          }
+        in
+        let text = Xmi.write doc in
+        match Xmi.read text with
+        | Error msg -> Alcotest.fail msg
+        | Ok parsed ->
+          Alcotest.(check bool) "resource model equal" true
+            (parsed.Xmi.resource_model = Cinder.resources);
+          (match parsed.Xmi.behavior_models with
+           | [ machine ] ->
+             Alcotest.(check string) "name" Cinder.behavior.BM.machine_name
+               machine.BM.machine_name;
+             Alcotest.(check string) "initial" Cinder.behavior.BM.initial
+               machine.BM.initial;
+             Alcotest.(check int) "states"
+               (List.length Cinder.behavior.BM.states)
+               (List.length machine.BM.states);
+             Alcotest.(check int) "transitions"
+               (List.length Cinder.behavior.BM.transitions)
+               (List.length machine.BM.transitions);
+             Alcotest.(check bool) "transitions exactly equal" true
+               (machine.BM.transitions = Cinder.behavior.BM.transitions);
+             Alcotest.(check bool) "states exactly equal" true
+               (machine.BM.states = Cinder.behavior.BM.states)
+           | _ -> Alcotest.fail "expected one state machine"));
+    Alcotest.test_case "requirement comments survive" `Quick (fun () ->
+        let doc =
+          { Xmi.resource_model = Cinder.resources;
+            behavior_models = [ Cinder.behavior ]
+          }
+        in
+        let parsed = Xmi.read_exn (Xmi.write doc) in
+        let machine = List.hd parsed.Xmi.behavior_models in
+        let delete_reqs =
+          BM.transitions_for
+            { BM.meth = Meth.DELETE; resource = "volume" }
+            machine
+          |> List.concat_map (fun (t : BM.transition) -> t.requirements)
+          |> List.sort_uniq String.compare
+        in
+        Alcotest.(check (list string)) "1.4" [ "1.4" ] delete_reqs);
+    Alcotest.test_case "malformed XMI rejected with context" `Quick (fun () ->
+        Alcotest.(check bool) "not xml" true (Result.is_error (Xmi.read "nope"));
+        Alcotest.(check bool) "no model" true
+          (Result.is_error (Xmi.read "<xmi:XMI/>"));
+        let bad_ocl =
+          {|<uml:Model name="m" cm:basePath="/v1" cm:root="R">
+             <packagedElement xmi:type="uml:Class" name="R" cm:kind="collection"/>
+             <packagedElement xmi:type="uml:StateMachine" name="sm" cm:context="r">
+               <region>
+                 <subvertex xmi:type="uml:State" name="s">
+                   <ownedRule><specification><body>a and</body></specification></ownedRule>
+                 </subvertex>
+               </region>
+             </packagedElement>
+           </uml:Model>|}
+        in
+        (match Xmi.read bad_ocl with
+         | Error msg ->
+           Alcotest.(check bool) "mentions state" true
+             (Astring_contains.contains msg "state s")
+         | Ok _ -> Alcotest.fail "expected OCL error"));
+    Alcotest.test_case "unknown elements tolerated" `Quick (fun () ->
+        let text =
+          {|<xmi:XMI><vendor:junk/><uml:Model name="m" cm:basePath="/v1" cm:root="R">
+              <packagedElement xmi:type="uml:Class" name="R" cm:kind="collection"/>
+              <packagedElement xmi:type="uml:Class" name="item" cm:kind="normal">
+                <ownedAttribute name="id" type="String"/>
+              </packagedElement>
+              <packagedElement xmi:type="uml:Association" name="items">
+                <memberEnd source="R" target="item" multiplicity="0..*"/>
+              </packagedElement>
+              <extension ignored="true"/>
+            </uml:Model></xmi:XMI>|}
+        in
+        match Xmi.read text with
+        | Error msg -> Alcotest.fail msg
+        | Ok doc ->
+          Alcotest.(check int) "resources" 2
+            (List.length doc.Xmi.resource_model.RM.resources));
+    Alcotest.test_case "root inferred when absent" `Quick (fun () ->
+        let text =
+          {|<uml:Model name="m" cm:basePath="/v1">
+              <packagedElement xmi:type="uml:Class" name="Top" cm:kind="collection"/>
+              <packagedElement xmi:type="uml:Class" name="item" cm:kind="normal"/>
+              <packagedElement xmi:type="uml:Association" name="items">
+                <memberEnd source="Top" target="item"/>
+              </packagedElement>
+            </uml:Model>|}
+        in
+        match Xmi.read text with
+        | Error msg -> Alcotest.fail msg
+        | Ok doc ->
+          Alcotest.(check string) "root" "Top" doc.Xmi.resource_model.RM.root)
+  ]
+
+let signature_tests =
+  [ Alcotest.test_case "resource_type follows associations" `Quick (fun () ->
+        match RM.resource_type Cinder.resources "project" with
+        | Cm_ocl.Ty.Object props ->
+          Alcotest.(check bool) "has id" true (List.mem_assoc "id" props);
+          Alcotest.(check bool) "has volumes role" true
+            (List.mem_assoc "volumes" props);
+          Alcotest.(check bool) "has quota_sets role" true
+            (List.mem_assoc "quota_sets" props)
+        | other ->
+          Alcotest.failf "expected object, got %a" Cm_ocl.Ty.pp other);
+    Alcotest.test_case "signature binds user" `Quick (fun () ->
+        Alcotest.(check bool) "user bound" true
+          (List.mem_assoc "user" Cinder.signature));
+    Alcotest.test_case "cyclic models get a finite signature" `Quick (fun () ->
+        (* a -> b -> a cycle *)
+        let model =
+          { RM.model_name = "cyclic";
+            base_path = "/v1";
+            root = "As";
+            resources =
+              [ RM.collection "As";
+                RM.normal "a" [ ("id", RM.A_string) ];
+                RM.normal "b" [ ("id", RM.A_string) ]
+              ];
+            associations =
+              [ RM.assoc ~role:"as" "As" "a";
+                RM.assoc ~multiplicity:M.exactly_one ~role:"b" "a" "b";
+                RM.assoc ~multiplicity:M.exactly_one ~role:"a" "b" "a"
+              ]
+          }
+        in
+        (* must terminate and produce some object type *)
+        match RM.resource_type model "a" with
+        | Cm_ocl.Ty.Object _ -> ()
+        | other -> Alcotest.failf "expected object, got %a" Cm_ocl.Ty.pp other)
+  ]
+
+let analysis_tests =
+  let sample = Cm_uml.Analysis.cinder_sample () in
+  [ Alcotest.test_case "cinder model is semantically clean" `Quick (fun () ->
+        let findings = Cm_uml.Analysis.analyze Cinder.behavior sample in
+        if findings <> [] then
+          Alcotest.failf "findings: %a"
+            Fmt.(list ~sep:(any "; ") Cm_uml.Analysis.pp_finding)
+            findings);
+    Alcotest.test_case "overlapping invariants detected" `Quick (fun () ->
+        (* duplicate a state under a new name: invariants now overlap *)
+        let machine =
+          { Cinder.behavior with
+            BM.states =
+              Cinder.behavior.BM.states
+              @ [ BM.state "copy_of_no_volume"
+                    (Cm_ocl.Ocl_parser.parse_exn
+                       "project.id->size() = 1 and project.volumes->size() = 0")
+                ]
+          }
+        in
+        let findings = Cm_uml.Analysis.exclusivity machine sample in
+        Alcotest.(check bool) "flagged" true
+          (List.exists
+             (fun (f : Cm_uml.Analysis.finding) -> f.check = "exclusivity")
+             findings));
+    Alcotest.test_case "coverage hole detected" `Quick (fun () ->
+        (* drop the full-quota state: n = quota observations are
+           uncovered *)
+        let machine =
+          { Cinder.behavior with
+            BM.states =
+              List.filter
+                (fun (s : BM.state) -> s.state_name <> Cinder.s_full)
+                Cinder.behavior.BM.states;
+            transitions =
+              List.filter
+                (fun (t : BM.transition) ->
+                  t.source <> Cinder.s_full && t.target <> Cinder.s_full)
+                Cinder.behavior.BM.transitions
+          }
+        in
+        let findings = Cm_uml.Analysis.coverage machine sample in
+        Alcotest.(check bool) "flagged" true (findings <> []));
+    Alcotest.test_case "conflicting guards detected" `Quick (fun () ->
+        (* two DELETE transitions from the same state with overlapping
+           guards but different targets *)
+        let machine =
+          { Cinder.behavior with
+            BM.transitions =
+              Cinder.behavior.BM.transitions
+              @ [ BM.transition
+                    ~guard:
+                      (Cm_ocl.Ocl_parser.parse_exn "volume.status <> 'in-use'")
+                    ~source:Cinder.s_not_full ~target:Cinder.s_full
+                    Cm_http.Meth.DELETE "volume"
+                ]
+          }
+        in
+        let findings = Cm_uml.Analysis.guard_determinism machine sample in
+        Alcotest.(check bool) "flagged" true (findings <> []));
+    Alcotest.test_case "vacuous transition detected" `Quick (fun () ->
+        let machine =
+          { Cinder.behavior with
+            BM.transitions =
+              Cinder.behavior.BM.transitions
+              @ [ BM.transition
+                    ~guard:
+                      (Cm_ocl.Ocl_parser.parse_exn
+                         "project.volumes->size() > 1000")
+                    ~source:Cinder.s_not_full ~target:Cinder.s_full
+                    Cm_http.Meth.PUT "volume"
+                ]
+          }
+        in
+        let findings =
+          Cm_uml.Analysis.vacuity machine ~pre_states:sample
+            ~post_states:sample
+        in
+        Alcotest.(check bool) "flagged" true
+          (List.exists
+             (fun (f : Cm_uml.Analysis.finding) -> f.check = "vacuity")
+             findings))
+  ]
+
+let slice_tests =
+  let delete_only =
+    Cm_uml.Slice.behavior
+      (Cm_uml.Slice.By_methods [ Cm_http.Meth.DELETE ])
+      Cinder.behavior
+  in
+  [ Alcotest.test_case "slice keeps only matching transitions" `Quick
+      (fun () ->
+        Alcotest.(check int) "three DELETE transitions" 3
+          (List.length delete_only.BM.transitions);
+        Alcotest.(check bool) "all DELETE" true
+          (List.for_all
+             (fun (t : BM.transition) -> t.trigger.meth = Meth.DELETE)
+             delete_only.BM.transitions));
+    Alcotest.test_case "slice prunes untouched states, keeps initial" `Quick
+      (fun () ->
+        (* DELETE touches s_full and s_not_full and targets s_no_volume;
+           the initial state is s_no_volume: all three stay here.  Slice
+           by a GET-on-collection criterion instead to see pruning. *)
+        let listing_only =
+          Cm_uml.Slice.behavior
+            (Cm_uml.Slice.By_resources [ "Volumes" ])
+            Cinder.behavior
+        in
+        Alcotest.(check int) "three states kept (self-loops everywhere)" 3
+          (List.length listing_only.BM.states);
+        let put_only =
+          Cm_uml.Slice.behavior
+            (Cm_uml.Slice.By_methods [ Meth.PUT ])
+            Cinder.behavior
+        in
+        (* PUT only touches not_full and full; initial is kept too *)
+        Alcotest.(check int) "three (incl. initial)" 3
+          (List.length put_only.BM.states);
+        Alcotest.(check bool) "initial kept" true
+          (BM.find_state put_only.BM.initial put_only <> None));
+    Alcotest.test_case "slice by requirement" `Quick (fun () ->
+        let sliced =
+          Cm_uml.Slice.behavior
+            (Cm_uml.Slice.By_requirements [ "1.4" ])
+            Cinder.behavior
+        in
+        Alcotest.(check int) "delete transitions only" 3
+          (List.length sliced.BM.transitions));
+    Alcotest.test_case "union and intersection" `Quick (fun () ->
+        let union =
+          Cm_uml.Slice.behavior
+            (Cm_uml.Slice.Union
+               [ Cm_uml.Slice.By_requirements [ "1.4" ];
+                 Cm_uml.Slice.By_requirements [ "1.3" ]
+               ])
+            Cinder.behavior
+        in
+        Alcotest.(check int) "POST+DELETE" 7 (List.length union.BM.transitions);
+        let inter =
+          Cm_uml.Slice.behavior
+            (Cm_uml.Slice.Intersection
+               [ Cm_uml.Slice.By_resources [ "volume" ];
+                 Cm_uml.Slice.By_methods [ Meth.GET ]
+               ])
+            Cinder.behavior
+        in
+        Alcotest.(check int) "GET(volume) loops" 2
+          (List.length inter.BM.transitions));
+    Alcotest.test_case "slicing preserves contracts of retained triggers"
+      `Quick (fun () ->
+        let security =
+          { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+            assignment = Cm_rbac.Security_table.cinder_assignment
+          }
+        in
+        let trigger = { BM.meth = Meth.DELETE; resource = "volume" } in
+        let from_full =
+          Cm_contracts.Generate.contract_for ~security Cinder.behavior trigger
+        in
+        let from_slice =
+          Cm_contracts.Generate.contract_for ~security delete_only trigger
+        in
+        match from_full, from_slice with
+        | Ok a, Ok b ->
+          Alcotest.(check bool) "same pre" true
+            (Cm_ocl.Ast.equal a.Cm_contracts.Contract.pre
+               b.Cm_contracts.Contract.pre);
+          Alcotest.(check bool) "same post" true
+            (Cm_ocl.Ast.equal a.Cm_contracts.Contract.post
+               b.Cm_contracts.Contract.post)
+        | _ -> Alcotest.fail "generation failed");
+    Alcotest.test_case "resource-model slice keeps containment path" `Quick
+      (fun () ->
+        let sliced =
+          Cm_uml.Slice.resource_model ~keep:[ "volume" ] Cinder.resources
+        in
+        let names =
+          List.map (fun (r : RM.resource_def) -> r.def_name)
+            sliced.RM.resources
+        in
+        List.iter
+          (fun expected ->
+            Alcotest.(check bool) expected true (List.mem expected names))
+          [ "Projects"; "project"; "Volumes"; "volume" ];
+        Alcotest.(check bool) "quota dropped" false
+          (List.mem "quota_sets" names);
+        (* and it is still a valid model *)
+        Alcotest.(check (list string)) "no issues" []
+          (List.map
+             (Fmt.str "%a" Cm_uml.Validate.pp_issue)
+             (Cm_uml.Validate.resource_model sliced)))
+  ]
+
+let mermaid_tests =
+  [ Alcotest.test_case "class diagram carries all resources and roles" `Quick
+      (fun () ->
+        let text = Cm_uml.Mermaid.class_diagram Cinder.resources in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true
+              (Astring_contains.contains text needle))
+          [ "classDiagram"; "class Projects"; "<<collection>>";
+            "class volume"; "+String status"; ": volumes"; "\"0..*\"" ]);
+    Alcotest.test_case "state diagram carries states and triggers" `Quick
+      (fun () ->
+        let text = Cm_uml.Mermaid.state_diagram Cinder.behavior in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true
+              (Astring_contains.contains text needle))
+          [ "stateDiagram-v2"; "[*] --> project_with_no_volume";
+            "POST(volume)"; "DELETE(volume)";
+            "project_with_volume_and_full_quota" ]);
+    Alcotest.test_case "edge labels stay bounded" `Quick (fun () ->
+        let text = Cm_uml.Mermaid.state_diagram Cinder.behavior in
+        String.split_on_char '\n' text
+        |> List.iter (fun line ->
+               Alcotest.(check bool)
+                 ("line under 200 chars: " ^ line)
+                 true
+                 (String.length line < 200)))
+  ]
+
+(* ---- property tests over randomly generated models ---- *)
+
+let gen_small_model =
+  QCheck2.Gen.(
+    let* n_kinds = int_range 1 4 in
+    let* quota_attr = oneofl [ "limit"; "cap" ] in
+    let kinds = List.init n_kinds (fun i -> Printf.sprintf "res%d" i) in
+    let resources =
+      RM.collection "Roots"
+      :: RM.normal "root" [ ("id", RM.A_string) ]
+      :: RM.normal "settings" [ ("id", RM.A_string); (quota_attr, RM.A_int) ]
+      :: List.concat_map
+           (fun kind ->
+             [ RM.collection ("C_" ^ kind);
+               RM.normal kind
+                 [ ("id", RM.A_string); ("status", RM.A_string) ]
+             ])
+           kinds
+    in
+    let associations =
+      RM.assoc ~role:"roots" "Roots" "root"
+      :: RM.assoc ~multiplicity:M.exactly_one ~role:"settings" "root" "settings"
+      :: List.concat_map
+           (fun kind ->
+             [ RM.assoc ~multiplicity:M.exactly_one ~role:kind "root"
+                 ("C_" ^ kind);
+               RM.assoc ~role:("item_" ^ kind) ("C_" ^ kind) kind
+             ])
+           kinds
+    in
+    let model =
+      { RM.model_name = "random";
+        base_path = "/api";
+        root = "Roots";
+        resources;
+        associations
+      }
+    in
+    (* a small machine over the first kind *)
+    let kind = List.hd kinds in
+    let* depth = int_range 1 3 in
+    let state_name i = Printf.sprintf "s%d" i in
+    let inv i =
+      Cm_ocl.Ocl_parser.parse_exn
+        (Printf.sprintf "root.%s->size() = %d" kind i)
+    in
+    let states =
+      List.init (depth + 1) (fun i -> BM.state (state_name i) (inv i))
+    in
+    let ups =
+      List.init depth (fun i ->
+          BM.transition
+            ~effect:
+              (Cm_ocl.Ocl_parser.parse_exn
+                 (Printf.sprintf "root.%s->size() = %d" kind (i + 1)))
+            ~requirements:[ Printf.sprintf "r.%d" i ]
+            ~source:(state_name i)
+            ~target:(state_name (i + 1))
+            Meth.POST kind)
+    in
+    let downs =
+      List.init depth (fun i ->
+          BM.transition
+            ~guard:
+              (Cm_ocl.Ocl_parser.parse_exn
+                 (Printf.sprintf "%s.status <> 'busy'" kind))
+            ~source:(state_name (i + 1))
+            ~target:(state_name i) Meth.DELETE kind)
+    in
+    return
+      ( model,
+        { BM.machine_name = "randomProtocol";
+          context = "root";
+          initial = state_name 0;
+          states;
+          transitions = ups @ downs
+        } ))
+
+let prop_random_models_validate =
+  QCheck2.Test.make ~count:100 ~name:"generated models are well-formed"
+    gen_small_model (fun (model, machine) ->
+      Validate.all model [ machine ] = [])
+
+let prop_random_models_xmi_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"XMI round-trips random models"
+    gen_small_model (fun (model, machine) ->
+      let doc = { Xmi.resource_model = model; behavior_models = [ machine ] } in
+      match Xmi.read (Xmi.write doc) with
+      | Ok parsed ->
+        parsed.Xmi.resource_model = model
+        && parsed.Xmi.behavior_models = [ machine ]
+      | Error _ -> false)
+
+let prop_random_models_contracts =
+  QCheck2.Test.make ~count:100
+    ~name:"contracts generate and typecheck on random models" gen_small_model
+    (fun (model, machine) ->
+      match Cm_contracts.Generate.all machine with
+      | Error _ -> false
+      | Ok contracts ->
+        List.for_all
+          (fun c -> Cm_contracts.Generate.typecheck model c = [])
+          contracts)
+
+let prop_slice_preserves_contracts =
+  QCheck2.Test.make ~count:100
+    ~name:"slicing preserves contracts of retained triggers" gen_small_model
+    (fun (_, machine) ->
+      let sliced =
+        Cm_uml.Slice.behavior (Cm_uml.Slice.By_methods [ Meth.DELETE ]) machine
+      in
+      let trigger =
+        List.find_map
+          (fun (tr : BM.transition) ->
+            if tr.trigger.meth = Meth.DELETE then Some tr.trigger else None)
+          machine.BM.transitions
+      in
+      match trigger with
+      | None -> true
+      | Some trigger ->
+        (match
+           ( Cm_contracts.Generate.contract_for machine trigger,
+             Cm_contracts.Generate.contract_for sliced trigger )
+         with
+         | Ok a, Ok b ->
+           Cm_ocl.Ast.equal a.Cm_contracts.Contract.pre
+             b.Cm_contracts.Contract.pre
+           && Cm_ocl.Ast.equal a.Cm_contracts.Contract.post
+                b.Cm_contracts.Contract.post
+         | _ -> false))
+
+let model_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_models_validate;
+      prop_random_models_xmi_roundtrip;
+      prop_random_models_contracts;
+      prop_slice_preserves_contracts
+    ]
+
+let () =
+  Alcotest.run "cm_uml"
+    [ ("multiplicity", multiplicity_tests);
+      ("cinder", cinder_tests);
+      ("broken-models", broken_model_tests);
+      ("xmi", xmi_tests);
+      ("signature", signature_tests);
+      ("analysis", analysis_tests);
+      ("slice", slice_tests);
+      ("model-properties", model_properties);
+      ("mermaid", mermaid_tests)
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the XML substrate: parser, printer, queries. *)
+
+module Xml = Cm_xml.Xml
+module Xml_parse = Cm_xml.Xml_parse
+module Xml_print = Cm_xml.Xml_print
+
+let xml_testable = Alcotest.testable Xml.pp Xml.equal
+
+let parse_ok input expected () =
+  match Xml_parse.parse input with
+  | Ok el -> Alcotest.check xml_testable input expected el
+  | Error err ->
+    Alcotest.failf "parse %S failed: %a" input Xml_parse.pp_error err
+
+let parse_err input () =
+  match Xml_parse.parse input with
+  | Ok el -> Alcotest.failf "parse %S unexpectedly gave %a" input Xml.pp el
+  | Error _ -> ()
+
+let el = Xml.element
+let node e = Xml.Element e
+
+let parser_tests =
+  [ Alcotest.test_case "empty element" `Quick (parse_ok "<a/>" (el "a"));
+    Alcotest.test_case "empty element with close tag" `Quick
+      (parse_ok "<a></a>" (el "a"));
+    Alcotest.test_case "attributes single and double quoted" `Quick
+      (parse_ok {|<a x="1" y='two'/>|}
+         (el "a" ~attrs:[ ("x", "1"); ("y", "two") ]));
+    Alcotest.test_case "nested elements and text" `Quick
+      (parse_ok "<a><b>hi</b><c/></a>"
+         (el "a"
+            ~children:
+              [ node (el "b" ~children:[ Xml.text "hi" ]); node (el "c") ]));
+    Alcotest.test_case "namespaced names kept verbatim" `Quick
+      (parse_ok {|<xmi:XMI xmi:version="2.1"/>|}
+         (el "xmi:XMI" ~attrs:[ ("xmi:version", "2.1") ]));
+    Alcotest.test_case "entities decoded" `Quick
+      (parse_ok "<a>x &lt; y &amp;&amp; y &gt; z &#65;&#x42;</a>"
+         (el "a" ~children:[ Xml.text "x < y && y > z AB" ]));
+    Alcotest.test_case "entities in attributes" `Quick
+      (parse_ok {|<a v="a&quot;b&apos;c"/>|} (el "a" ~attrs:[ ("v", "a\"b'c") ]));
+    Alcotest.test_case "CDATA passes through verbatim" `Quick
+      (parse_ok "<a><![CDATA[x < y && z]]></a>"
+         (el "a" ~children:[ Xml.text "x < y && z" ]));
+    Alcotest.test_case "comments kept" `Quick (fun () ->
+        match Xml_parse.parse "<a><!-- note --><b/></a>" with
+        | Ok parsed ->
+          Alcotest.(check int) "children" 2 (List.length parsed.Xml.children)
+        | Error _ -> Alcotest.fail "parse failed");
+    Alcotest.test_case "declaration and leading comment skipped" `Quick
+      (parse_ok "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- hi -->\n<a/>"
+         (el "a"));
+    Alcotest.test_case "errors" `Quick (fun () ->
+        parse_err "" ();
+        parse_err "<a>" ();
+        parse_err "<a></b>" ();
+        parse_err "<a b=/>" ();
+        parse_err "<a 'x'/>" ();
+        parse_err "text only" ();
+        parse_err "<a/><b/>" ();
+        parse_err "<a>&unknown;</a>" ())
+  ]
+
+let query_tests =
+  [ Alcotest.test_case "find_children / find_child" `Quick (fun () ->
+        let doc =
+          Xml_parse.parse_exn
+            "<m><p name='a'/><q/><p name='b'/><p name='c'/></m>"
+        in
+        Alcotest.(check int) "three p" 3 (List.length (Xml.find_children "p" doc));
+        Alcotest.(check (option string))
+          "first p" (Some "a")
+          (Option.bind (Xml.find_child "p" doc) (Xml.attr "name")));
+    Alcotest.test_case "descendants walks the whole tree" `Quick (fun () ->
+        let doc = Xml_parse.parse_exn "<a><b><c/><c/></b><c/></a>" in
+        Alcotest.(check int) "three c" 3 (List.length (Xml.descendants "c" doc)));
+    Alcotest.test_case "text_content concatenates" `Quick (fun () ->
+        let doc = Xml_parse.parse_exn "<a>one<b>two</b>three</a>" in
+        Alcotest.(check string) "text" "onetwothree" (Xml.text_content doc));
+    Alcotest.test_case "attr_exn raises on absent" `Quick (fun () ->
+        let doc = Xml_parse.parse_exn "<a x='1'/>" in
+        Alcotest.(check string) "x" "1" (Xml.attr_exn "x" doc);
+        Alcotest.check_raises "absent"
+          (Invalid_argument
+             "Xml.attr_exn: element <a> has no attribute \"y\"") (fun () ->
+            ignore (Xml.attr_exn "y" doc)))
+  ]
+
+let printer_tests =
+  [ Alcotest.test_case "escaping in output" `Quick (fun () ->
+        let doc =
+          el "a" ~attrs:[ ("v", "x\"y<z") ] ~children:[ Xml.text "1 < 2 & 3" ]
+        in
+        let text = Xml_print.to_string ~declaration:false doc in
+        Alcotest.(check string)
+          "escaped" "<a v=\"x&#34;y&lt;z\">1 &lt; 2 &amp; 3</a>" text);
+    Alcotest.test_case "pretty output reparses equal" `Quick (fun () ->
+        let doc =
+          el "root"
+            ~attrs:[ ("k", "v") ]
+            ~children:
+              [ node (el "child" ~children:[ Xml.text "body" ]);
+                node (el "empty");
+                Xml.comment "a comment"
+              ]
+        in
+        let printed = Xml_print.to_string_pretty doc in
+        Alcotest.check xml_testable "roundtrip" doc (Xml_parse.parse_exn printed))
+  ]
+
+(* ---- property tests: print |> parse round-trips ---- *)
+
+let gen_name =
+  QCheck2.Gen.(
+    map
+      (fun (c, rest) -> String.make 1 c ^ rest)
+      (pair (char_range 'a' 'z')
+         (string_size ~gen:(char_range 'a' 'z') (int_range 0 6))))
+
+let gen_text =
+  QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 1 12))
+
+let gen_xml =
+  QCheck2.Gen.(
+    sized @@ fix (fun self size ->
+        let attrs = list_size (int_range 0 3) (pair gen_name gen_text) in
+        (* attribute names must be distinct *)
+        let attrs =
+          map
+            (fun pairs ->
+              let rec dedup seen = function
+                | [] -> []
+                | (k, v) :: rest ->
+                  if List.mem k seen then dedup seen rest
+                  else (k, v) :: dedup (k :: seen) rest
+              in
+              dedup [] pairs)
+            attrs
+        in
+        (* Adjacent text nodes merge on reparse, so coalesce them. *)
+        let coalesce children =
+          let rec loop = function
+            | Xml.Text a :: Xml.Text b :: rest ->
+              loop (Xml.Text (a ^ b) :: rest)
+            | first :: rest -> first :: loop rest
+            | [] -> []
+          in
+          loop children
+        in
+        if size <= 0 then
+          map2 (fun name attrs -> Xml.element ~attrs name) gen_name attrs
+        else
+          map3
+            (fun name attrs children ->
+              Xml.element ~attrs ~children:(coalesce children) name)
+            gen_name attrs
+            (list_size (int_range 0 3)
+               (oneof
+                  [ map (fun e -> Xml.Element e) (self (size / 2));
+                    map Xml.text gen_text
+                  ]))))
+
+let prop_print_parse =
+  QCheck2.Test.make ~count:200 ~name:"compact print |> parse" gen_xml
+    (fun doc ->
+      match Xml_parse.parse (Xml_print.to_string doc) with
+      | Ok parsed -> Xml.equal doc parsed
+      | Error _ -> false)
+
+let prop_pretty_parse =
+  QCheck2.Test.make ~count:200 ~name:"pretty print |> parse" gen_xml
+    (fun doc ->
+      match Xml_parse.parse (Xml_print.to_string_pretty doc) with
+      | Ok parsed -> Xml.equal doc parsed
+      | Error _ -> false)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_print_parse; prop_pretty_parse ]
+
+let () =
+  Alcotest.run "cm_xml"
+    [ ("parser", parser_tests);
+      ("queries", query_tests);
+      ("printer", printer_tests);
+      ("properties", properties)
+    ]
