@@ -4,19 +4,27 @@
    T1 (Table I), L1 (Listing 1), L2/L3 (Listings 2-3), F2 (workflow),
    F3 (models), F4 (pipeline), E1 (mutation experiment), plus the
    quantitative benches B1 (monitoring overhead), B2 (generation
-   scaling), B3 (OCL evaluation) and A1 (snapshot ablation).
+   scaling), B3 (OCL evaluation), B4 (compiled fast path) and A1
+   (snapshot ablation).
 
    `dune exec bench/main.exe` runs everything;
    `dune exec bench/main.exe -- SECTION...` runs selected sections
    (table1 listing1 listing23 fig2 fig3 fig4 mutants overhead scaling
-   ocl ablation). *)
+   ocl ablation fastpath ...).  Flags: `--quick` shrinks bench quotas,
+   `--json` makes `fastpath` write BENCH_fastpath.json. *)
 
 let banner title = Printf.printf "\n=== %s ===\n%!" title
 
+(* --quick shrinks every bechamel quota (CI smoke runs); --json makes
+   the fastpath section write BENCH_fastpath.json *)
+let quick = ref false
+let json_output = ref false
+
 (* ---------- bechamel helpers ---------- *)
 
-let run_group ~quota_s tests =
+let run_group_rows ~quota_s tests =
   let open Bechamel in
+  let quota_s = if !quick then Float.min quota_s 0.05 else quota_s in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~stabilize:true ()
   in
@@ -54,7 +62,10 @@ let run_group ~quota_s tests =
         else Printf.sprintf "%.1f ns" ns
       in
       Printf.printf "%-46s %14s %8.4f\n" name time_text r2)
-    rows
+    rows;
+  rows
+
+let run_group ~quota_s tests = ignore (run_group_rows ~quota_s tests)
 
 let staged = Bechamel.Staged.stage
 
@@ -409,6 +420,162 @@ let section_ablation () =
   in
   run_group ~quota_s:0.4 tests
 
+let section_fastpath () =
+  banner "B4: compiled contract fast path (staged closures vs AST interpreter)";
+  let module Runtime = Cm_contracts.Runtime in
+  let module Json = Cm_json.Json in
+  let contract_of ~security behavior trigger =
+    match Cm_contracts.Generate.contract_for ~security behavior trigger with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let cinder_contract =
+    contract_of ~security Cm_uml.Cinder_model.behavior
+      { Cm_uml.Behavior_model.meth = Cm_http.Meth.DELETE; resource = "volume" }
+  in
+  let glance_contract =
+    contract_of
+      ~security:
+        { Cm_contracts.Generate.table = Cm_rbac.Security_table.glance;
+          assignment = Cm_rbac.Security_table.cinder_assignment
+        }
+      Cm_uml.Glance_model.behavior
+      { Cm_uml.Behavior_model.meth = Cm_http.Meth.DELETE; resource = "image" }
+  in
+  let listing n =
+    Json.list
+      (List.init n (fun i ->
+           Json.obj
+             [ ("id", Json.string (Printf.sprintf "i-%d" i));
+               ("name", Json.string (Printf.sprintf "item-%d" i));
+               ("status", Json.string "available");
+               ("size", Json.int 8)
+             ]))
+  in
+  let admin =
+    Json.obj
+      [ ("groups", Json.list [ Json.string "proj_administrator" ]) ]
+  in
+  let cinder_env =
+    Cm_ocl.Eval.env_of_bindings
+      [ ( "project",
+          Json.obj [ ("id", Json.string "p"); ("volumes", listing 10) ] );
+        ("quota_sets", Json.obj [ ("volumes", Json.int 20) ]);
+        ("volume", Json.obj [ ("status", Json.string "available") ]);
+        ("user", admin)
+      ]
+  in
+  let glance_env =
+    Cm_ocl.Eval.env_of_bindings
+      [ ( "project",
+          Json.obj [ ("id", Json.string "p"); ("images", listing 10) ] );
+        ("quota_sets", Json.obj [ ("images", Json.int 20) ]);
+        ("image", Json.obj [ ("status", Json.string "queued") ]);
+        ("user", admin)
+      ]
+  in
+  (* a full per-request check cycle — exactly the calls Monitor.handle
+     makes in Oracle mode, minus the observation GETs: one observed
+     state per side, all checks against it *)
+  let check_cycle prepared env () =
+    let pre = Runtime.observe prepared env in
+    ignore (Runtime.check_pre_observed prepared pre);
+    ignore (Runtime.covered_requirements_observed prepared pre);
+    ignore (Runtime.auth_guard_tri prepared pre);
+    ignore (Runtime.functional_pre_tri prepared pre);
+    let s = Runtime.take_snapshot_observed prepared pre in
+    let post = Runtime.observe prepared env in
+    ignore (Runtime.check_post_observed prepared s post)
+  in
+  let micro name contract env =
+    let pi = Runtime.prepare ~engine:Runtime.Interpreted contract in
+    let pc = Runtime.prepare ~engine:Runtime.Compiled contract in
+    [ Bechamel.Test.make
+        ~name:(name ^ "-check-interpreted")
+        (staged (check_cycle pi env));
+      Bechamel.Test.make
+        ~name:(name ^ "-check-compiled")
+        (staged (check_cycle pc env))
+    ]
+  in
+  (* end-to-end through Monitor.handle: observation GETs included, so
+     the contract-check speedup is diluted by the (identical) I/O *)
+  let fxi = Workloads.make_fixture ~engine:Runtime.Interpreted () in
+  let fxc = Workloads.make_fixture ~engine:Runtime.Compiled () in
+  let gxi = Workloads.make_glance_fixture ~engine:Runtime.Interpreted () in
+  let gxc = Workloads.make_glance_fixture ~engine:Runtime.Compiled () in
+  let e2e =
+    [ Bechamel.Test.make ~name:"cinder-handle-interpreted"
+        (staged (fun () ->
+             ignore
+               (Cm_monitor.Monitor.handle fxi.Workloads.monitor_oracle
+                  (Workloads.get_volume_request fxi))));
+      Bechamel.Test.make ~name:"cinder-handle-compiled"
+        (staged (fun () ->
+             ignore
+               (Cm_monitor.Monitor.handle fxc.Workloads.monitor_oracle
+                  (Workloads.get_volume_request fxc))));
+      Bechamel.Test.make ~name:"glance-handle-interpreted"
+        (staged (fun () ->
+             ignore
+               (Cm_monitor.Monitor.handle gxi.Workloads.g_monitor
+                  (Workloads.get_image_request gxi))));
+      Bechamel.Test.make ~name:"glance-handle-compiled"
+        (staged (fun () ->
+             ignore
+               (Cm_monitor.Monitor.handle gxc.Workloads.g_monitor
+                  (Workloads.get_image_request gxc))))
+    ]
+  in
+  let tests =
+    Bechamel.Test.make_grouped ~name:"fastpath"
+      (micro "cinder-delete" cinder_contract cinder_env
+      @ micro "glance-delete" glance_contract glance_env
+      @ e2e)
+  in
+  let rows = run_group_rows ~quota_s:1.0 tests in
+  let ns_of suffix =
+    List.find_map
+      (fun (name, ns, _) ->
+        if String.ends_with ~suffix name then Some ns else None)
+      rows
+  in
+  print_newline ();
+  List.iter
+    (fun (label, interp, compiled) ->
+      match ns_of interp, ns_of compiled with
+      | Some i, Some c when c > 0. ->
+        Printf.printf "%-28s %6.2fx speedup (%.0f ns -> %.0f ns)\n" label
+          (i /. c) i c
+      | _ -> Printf.printf "%-28s n/a\n" label)
+    [ ("cinder contract check", "cinder-delete-check-interpreted",
+       "cinder-delete-check-compiled");
+      ("glance contract check", "glance-delete-check-interpreted",
+       "glance-delete-check-compiled");
+      ("cinder Monitor.handle", "cinder-handle-interpreted",
+       "cinder-handle-compiled");
+      ("glance Monitor.handle", "glance-handle-interpreted",
+       "glance-handle-compiled")
+    ];
+  if !json_output then begin
+    let doc =
+      Json.list
+        (List.map
+           (fun (name, ns, r2) ->
+             Json.obj
+               [ ("benchmark", Json.string name);
+                 ("ns_per_run", Json.float ns);
+                 ("r2", Json.float r2)
+               ])
+           rows)
+    in
+    let oc = open_out "BENCH_fastpath.json" in
+    output_string oc (Cm_json.Printer.to_string_pretty doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_fastpath.json (%d rows)\n" (List.length rows)
+  end
+
 let section_explore () =
   banner "A4: randomized conformance exploration";
   (match Cm_mutation.Explorer.run ~config:{ Cm_mutation.Explorer.seed = 42; steps = 300 } () with
@@ -584,6 +751,7 @@ let sections =
     ("scaling", section_scaling);
     ("ocl", section_ocl);
     ("ablation", section_ablation);
+    ("fastpath", section_fastpath);
     ("testgen", section_testgen);
     ("localize", section_localize);
     ("glance", section_glance);
@@ -593,10 +761,20 @@ let sections =
   ]
 
 let () =
+  let names =
+    List.filter
+      (function
+        | "--quick" ->
+          quick := true;
+          false
+        | "--json" ->
+          json_output := true;
+          false
+        | _ -> true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with [] -> List.map fst sections | names -> names
   in
   List.iter
     (fun name ->

@@ -81,7 +81,7 @@ let security =
     assignment = Cm_rbac.Security_table.cinder_assignment
   }
 
-let make_fixture () =
+let make_fixture ?engine () =
   let module Cloud = Cm_cloudsim.Cloud in
   let cloud = Cloud.create () in
   Cloud.seed cloud Cloud.my_project;
@@ -96,7 +96,7 @@ let make_fixture () =
   let make mode =
     match
       Cm_monitor.Monitor.create
-        (Cm_monitor.Monitor.default_config ~mode ~service_token:service
+        (Cm_monitor.Monitor.default_config ~mode ?engine ~service_token:service
            ~security Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior)
         (Cloud.handle cloud)
     with
@@ -135,3 +135,66 @@ let get_volume_request fx =
   Cm_http.Request.make Cm_http.Meth.GET
     ("/v3/myProject/volumes/" ^ fx.volume_id)
   |> Cm_http.Request.with_auth_token fx.alice
+
+(* The second worked example, for cross-service fastpath numbers. *)
+type glance_fixture = {
+  g_cloud : Cm_cloudsim.Cloud.t;
+  g_monitor : Cm_monitor.Monitor.t;
+  g_alice : string;
+  image_id : string;
+}
+
+let glance_security =
+  { Cm_contracts.Generate.table = Cm_rbac.Security_table.glance;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
+let make_glance_fixture ?engine () =
+  let module Cloud = Cm_cloudsim.Cloud in
+  let cloud = Cloud.create () in
+  Cloud.seed cloud Cloud.my_project;
+  Cm_cloudsim.Identity.add_user (Cloud.identity cloud) ~password:"svc"
+    (Cm_rbac.Subject.make "svc" [ "proj_administrator" ]);
+  let login user pw =
+    match Cloud.login cloud ~user ~password:pw ~project_id:"myProject" with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let service = login "svc" "svc" in
+  let monitor =
+    match
+      Cm_monitor.Monitor.create
+        (Cm_monitor.Monitor.default_config ?engine ~service_token:service
+           ~security:glance_security Cm_uml.Glance_model.resources
+           Cm_uml.Glance_model.behavior)
+        (Cloud.handle cloud)
+    with
+    | Ok m -> m
+    | Error msgs -> failwith (String.concat "; " msgs)
+  in
+  let alice = login "alice" "alice-pw" in
+  let create =
+    Cm_http.Request.make Cm_http.Meth.POST "/v3/myProject/images"
+      ~body:
+        (Json.obj
+           [ ( "image",
+               Json.obj [ ("name", Json.string "bench"); ("size", Json.int 512) ]
+             )
+           ])
+    |> Cm_http.Request.with_auth_token alice
+  in
+  let resp = Cm_cloudsim.Cloud.handle cloud create in
+  let image_id =
+    match resp.Cm_http.Response.body with
+    | Some body ->
+      (match Cm_json.Pointer.get [ Key "image"; Key "id" ] body with
+       | Some (Json.String id) -> id
+       | _ -> failwith "no image id")
+    | None -> failwith "no create body"
+  in
+  { g_cloud = cloud; g_monitor = monitor; g_alice = alice; image_id }
+
+let get_image_request fx =
+  Cm_http.Request.make Cm_http.Meth.GET
+    ("/v3/myProject/images/" ^ fx.image_id)
+  |> Cm_http.Request.with_auth_token fx.g_alice

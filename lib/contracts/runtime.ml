@@ -1,50 +1,183 @@
+module Compile = Cm_ocl.Compile
+module Eval = Cm_ocl.Eval
+module Value = Cm_ocl.Value
+
 type strategy = Lean | Full
+type engine = Interpreted | Compiled
+
+(* Everything staged once per contract at prepare time: one slot plan
+   shared by all of the contract's expressions, and one closure per
+   expression the monitor evaluates on the request path. *)
+type staged = {
+  plan : Compile.plan;
+  pre_c : Compile.t;
+  functional_pre_c : Compile.t;
+  auth_guard_c : Compile.t option;
+  branches_c : (Compile.t * string list) list;
+  post_lean_c : Compile.t;  (* rewritten post: pre(e_k) -> slot vars *)
+  post_full_c : Compile.t;  (* original post, evaluated against a pre frame *)
+  slots_c : (string * int * Compile.t) list;
+      (* snapshot slot: name, its slot index in the plan, compiled e_k *)
+}
 
 type prepared = {
   contract : Contract.t;
   strategy : strategy;
+  engine : engine;
   compiled : Snapshot.compiled;
+  staged : staged;
 }
 
-let prepare ?(strategy = Lean) contract =
-  { contract; strategy; compiled = Snapshot.compile contract.Contract.post }
+let stage_contract (contract : Contract.t) (compiled : Snapshot.compiled) =
+  let plan = Compile.plan () in
+  let pre_c = Compile.compile plan contract.Contract.pre in
+  let functional_pre_c = Compile.compile plan contract.Contract.functional_pre in
+  let auth_guard_c =
+    Option.map (Compile.compile plan) contract.Contract.auth_guard
+  in
+  let branches_c =
+    List.map
+      (fun (b : Contract.branch) ->
+        (Compile.compile plan b.Contract.branch_pre, b.Contract.branch_requirements))
+      contract.Contract.branches
+  in
+  let post_lean_c = Compile.compile plan compiled.Snapshot.rewritten_post in
+  let post_full_c = Compile.compile plan contract.Contract.post in
+  let slots_c =
+    List.map
+      (fun (name, expr) ->
+        (name, Compile.var_slot plan name, Compile.compile plan expr))
+      compiled.Snapshot.slots
+  in
+  { plan;
+    pre_c;
+    functional_pre_c;
+    auth_guard_c;
+    branches_c;
+    post_lean_c;
+    post_full_c;
+    slots_c
+  }
+
+let prepare ?(strategy = Lean) ?(engine = Compiled) contract =
+  let compiled = Snapshot.compile contract.Contract.post in
+  { contract;
+    strategy;
+    engine;
+    compiled;
+    staged = stage_contract contract compiled
+  }
 
 let contract p = p.contract
 let strategy p = p.strategy
+let engine p = p.engine
+
+(* An observed state: the interpreter environment as delivered by the
+   observer, plus its one-time projection onto the contract's frame.
+   Built once per observation; every check against the same state reuses
+   it. *)
+type observed = {
+  env : Eval.env;
+  frame : Compile.frame;
+}
+
+let observe p env = { env; frame = Compile.frame_of_env p.staged.plan env }
+let observed_env obs = obs.env
 
 let verdict_of_tribool tb hint =
   match tb with
-  | Cm_ocl.Value.True -> Cm_ocl.Eval.Holds
-  | Cm_ocl.Value.False -> Cm_ocl.Eval.Violated
-  | Cm_ocl.Value.Unknown -> Cm_ocl.Eval.Undefined_verdict hint
+  | Value.True -> Eval.Holds
+  | Value.False -> Eval.Violated
+  | Value.Unknown -> Eval.Undefined_verdict hint
 
-let check_pre p env = Cm_ocl.Eval.verdict env p.contract.Contract.pre
+let check_pre_observed p obs =
+  match p.engine with
+  | Interpreted -> Eval.verdict obs.env p.contract.Contract.pre
+  | Compiled ->
+    (match Compile.check p.staged.pre_c obs.frame with
+     | Value.True -> Eval.Holds
+     | Value.False -> Eval.Violated
+     | Value.Unknown ->
+       (* Rare path: re-run the interpreter for its fault-localization
+          hint (verdict is necessarily Undefined_verdict — the two
+          evaluators agree on tribools). *)
+       Eval.verdict obs.env p.contract.Contract.pre)
+
+let check_pre p env = check_pre_observed p (observe p env)
+
+let covered_requirements_observed p obs =
+  match p.engine with
+  | Interpreted ->
+    Contract.active_branches p.contract obs.env
+    |> List.concat_map (fun b -> b.Contract.branch_requirements)
+    |> List.sort_uniq String.compare
+  | Compiled ->
+    List.concat_map
+      (fun (branch_c, requirements) ->
+        if Compile.check branch_c obs.frame = Value.True then requirements
+        else [])
+      p.staged.branches_c
+    |> List.sort_uniq String.compare
 
 let covered_requirements p env =
-  Contract.active_branches p.contract env
-  |> List.concat_map (fun b -> b.Contract.branch_requirements)
-  |> List.sort_uniq String.compare
+  covered_requirements_observed p (observe p env)
+
+let auth_guard_tri p obs =
+  match p.contract.Contract.auth_guard, p.staged.auth_guard_c, p.engine with
+  | None, _, _ | _, None, _ -> None
+  | Some guard, _, Interpreted -> Some (Eval.check obs.env guard)
+  | _, Some guard_c, Compiled -> Some (Compile.check guard_c obs.frame)
+
+let functional_pre_tri p obs =
+  match p.engine with
+  | Interpreted -> Eval.check obs.env p.contract.Contract.functional_pre
+  | Compiled -> Compile.check p.staged.functional_pre_c obs.frame
 
 type snapshot =
   | Lean_values of Snapshot.taken
-  | Full_env of Cm_ocl.Eval.env
+  | Full_state of observed
 
-let take_snapshot p env =
-  match p.strategy with
-  | Lean -> Lean_values (Snapshot.take p.compiled env)
-  | Full -> Full_env env
+let take_snapshot_observed p obs =
+  match p.strategy, p.engine with
+  | Lean, Interpreted -> Lean_values (Snapshot.take p.compiled obs.env)
+  | Lean, Compiled ->
+    (* Slot expressions may themselves contain pre() (idempotent), so
+       evaluate them against a frame marked as the pre-state — each slot
+       exactly once. *)
+    let marked = Compile.with_pre ~pre:obs.frame obs.frame in
+    Lean_values
+      (List.map
+         (fun (name, _slot, slot_c) -> (name, Compile.eval slot_c marked))
+         p.staged.slots_c)
+  | Full, _ -> Full_state obs
+
+let take_snapshot p env = take_snapshot_observed p (observe p env)
 
 let snapshot_bytes = function
   | Lean_values taken -> Snapshot.size_bytes taken
-  | Full_env env -> Snapshot.full_size_bytes env
+  | Full_state obs -> Snapshot.full_size_bytes obs.env
+
+let post_hint = "postcondition undefined"
+
+let check_post_observed p snapshot obs =
+  match snapshot, p.engine with
+  | Lean_values taken, Interpreted ->
+    verdict_of_tribool (Snapshot.check_post_lean p.compiled taken obs.env) post_hint
+  | Lean_values taken, Compiled ->
+    List.iter
+      (fun (name, slot, _slot_c) ->
+        match List.assoc_opt name taken with
+        | Some value -> Compile.write_slot obs.frame slot value
+        | None -> Compile.write_slot obs.frame slot Value.Undef)
+      p.staged.slots_c;
+    verdict_of_tribool (Compile.check p.staged.post_lean_c obs.frame) post_hint
+  | Full_state pre, Interpreted ->
+    verdict_of_tribool
+      (Snapshot.check_post_full p.contract.Contract.post ~pre:pre.env obs.env)
+      post_hint
+  | Full_state pre, Compiled ->
+    let frame = Compile.with_pre ~pre:pre.frame obs.frame in
+    verdict_of_tribool (Compile.check p.staged.post_full_c frame) post_hint
 
 let check_post p snapshot env =
-  match snapshot with
-  | Lean_values taken ->
-    verdict_of_tribool
-      (Snapshot.check_post_lean p.compiled taken env)
-      "postcondition undefined"
-  | Full_env pre ->
-    verdict_of_tribool
-      (Snapshot.check_post_full p.contract.Contract.post ~pre env)
-      "postcondition undefined"
+  check_post_observed p snapshot (observe p env)

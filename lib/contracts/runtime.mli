@@ -3,29 +3,67 @@
     The monitor uses this module per request: check the precondition in
     the observed pre-state, take a snapshot, let the cloud act, then
     check the postcondition in the observed post-state against the
-    snapshot. *)
+    snapshot.
+
+    {!prepare} stages everything that does not depend on the request —
+    snapshot plan, and (with the default {!Compiled} engine) one
+    {!Cm_ocl.Compile} closure per contract expression over a shared slot
+    plan — so the per-request work is a frame projection plus direct
+    closure calls. *)
 
 type strategy =
   | Lean  (** snapshot only the values under [pre(...)] — the paper's *)
   | Full  (** retain the whole pre-state environment *)
 
-type prepared
-(** A contract with its snapshot plan compiled (do this once, not per
-    request). *)
+type engine =
+  | Interpreted  (** walk the AST with {!Cm_ocl.Eval} on every check *)
+  | Compiled     (** evaluate staged closures ({!Cm_ocl.Compile}) *)
 
-val prepare : ?strategy:strategy -> Contract.t -> prepared
+type prepared
+(** A contract with its snapshot plan compiled and its expressions
+    staged (do this once, not per request). *)
+
+val prepare : ?strategy:strategy -> ?engine:engine -> Contract.t -> prepared
+(** Defaults: [Lean], [Compiled]. *)
+
 val contract : prepared -> Contract.t
 val strategy : prepared -> strategy
+val engine : prepared -> engine
+
+type observed
+(** One observed cloud state: the observer's environment plus its
+    one-time projection onto the contract's compiled frame.  Build it
+    once per observation and reuse it for every check against that
+    state. *)
+
+val observe : prepared -> Cm_ocl.Eval.env -> observed
+val observed_env : observed -> Cm_ocl.Eval.env
 
 val check_pre : prepared -> Cm_ocl.Eval.env -> Cm_ocl.Eval.verdict
+val check_pre_observed : prepared -> observed -> Cm_ocl.Eval.verdict
 
 val covered_requirements : prepared -> Cm_ocl.Eval.env -> string list
 (** SecReq ids of the branches active in the pre-state. *)
 
+val covered_requirements_observed : prepared -> observed -> string list
+
+val auth_guard_tri : prepared -> observed -> Cm_ocl.Value.tribool option
+(** Truth of the contract's authorization guard in the observed state;
+    [None] when the contract has no guard. *)
+
+val functional_pre_tri : prepared -> observed -> Cm_ocl.Value.tribool
+(** Truth of the functional (non-authorization) precondition. *)
+
 type snapshot
 
 val take_snapshot : prepared -> Cm_ocl.Eval.env -> snapshot
+val take_snapshot_observed : prepared -> observed -> snapshot
+(** Under {!Lean}, every snapshot slot is evaluated exactly once. *)
+
 val snapshot_bytes : snapshot -> int
 
 val check_post :
   prepared -> snapshot -> Cm_ocl.Eval.env -> Cm_ocl.Eval.verdict
+
+val check_post_observed :
+  prepared -> snapshot -> observed -> Cm_ocl.Eval.verdict

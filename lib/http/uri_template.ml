@@ -44,7 +44,7 @@ let to_string t =
 let param_names t =
   List.filter_map (function Param name -> Some name | Literal _ -> None) t
 
-let matches t path =
+let matches_segments t concrete =
   let rec walk acc template concrete =
     match template, concrete with
     | [], [] -> Some (List.rev acc)
@@ -52,7 +52,9 @@ let matches t path =
     | Param name :: t', seg :: c' -> walk ((name, seg) :: acc) t' c'
     | _, _ -> None
   in
-  walk [] t (split_path path)
+  walk [] t concrete
+
+let matches t path = matches_segments t (split_path path)
 
 let expand t bindings =
   let rec build acc = function

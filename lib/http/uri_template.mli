@@ -30,6 +30,14 @@ val matches : t -> string -> (string * string) list option
     of segments and all literals agree; placeholders bind to the concrete
     segments.  Trailing slashes are ignored on both sides. *)
 
+val split_path : string -> string list
+(** Path segmentation as used by {!matches} (empty segments dropped, so
+    trailing slashes are ignored).  Lets a dispatcher split a request
+    path once and try many templates via {!matches_segments}. *)
+
+val matches_segments : t -> string list -> (string * string) list option
+(** {!matches} against a pre-split path. *)
+
 val expand : t -> (string * string) list -> (string, string) result
 (** Substitute placeholders; [Error] names the first missing binding. *)
 

@@ -19,6 +19,7 @@ type mode = Enforce | Oracle
 type config = {
   mode : mode;
   strategy : Runtime.strategy;
+  engine : Runtime.engine;
   service_token : string;
   resources : Resource_model.t;
   behavior : Behavior_model.t;
@@ -27,8 +28,9 @@ type config = {
 }
 
 let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
-    ?(stability_check = false) ~service_token ?security resources behavior =
-  { mode; strategy; service_token; resources; behavior; security;
+    ?(engine = Cm_contracts.Runtime.Compiled) ?(stability_check = false)
+    ~service_token ?security resources behavior =
+  { mode; strategy; engine; service_token; resources; behavior; security;
     stability_check
   }
 
@@ -37,6 +39,13 @@ type t = {
   backend : Observer.backend;
   entries : Cm_uml.Paths.entry list;
   prepared : (Behavior_model.trigger * Runtime.prepared) list;
+  (* Request-path dispatch tables, built once in [create]:
+     - [dispatch] buckets URI entries by segment count, each bucket
+       presorted by specificity (ties keep derivation order), so
+       classification is one bucket scan instead of match-all + sort;
+     - [by_trigger] replaces the linear scan over prepared contracts. *)
+  dispatch : (int, Cm_uml.Paths.entry list) Hashtbl.t;
+  by_trigger : (Behavior_model.trigger, Runtime.prepared) Hashtbl.t;
   mutable log : Outcome.t list;  (* newest first *)
 }
 
@@ -66,6 +75,24 @@ let coverage t =
   Hashtbl.fold (fun req_id count acc -> (req_id, count) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let dispatch_table entries =
+  let table = Hashtbl.create 32 in
+  let sorted =
+    List.stable_sort
+      (fun (a : Cm_uml.Paths.entry) b ->
+        Int.compare
+          (Cm_http.Uri_template.specificity b.template)
+          (Cm_http.Uri_template.specificity a.template))
+      entries
+  in
+  List.iter
+    (fun (entry : Cm_uml.Paths.entry) ->
+      let key = List.length (Cm_http.Uri_template.segments entry.template) in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (entry :: bucket))
+    (List.rev sorted);
+  table
+
 let create config backend =
   let issues = Cm_uml.Validate.all config.resources [ config.behavior ] in
   if issues <> [] then
@@ -87,19 +114,31 @@ let create config backend =
              contract_list
          in
          if type_errors <> [] then Error type_errors
-         else
+         else begin
+           let prepared =
+             List.map
+               (fun c ->
+                 ( c.Contract.trigger,
+                   Runtime.prepare ~strategy:config.strategy
+                     ~engine:config.engine c ))
+               contract_list
+           in
+           let by_trigger = Hashtbl.create (2 * List.length prepared + 1) in
+           List.iter
+             (fun (trigger, p) ->
+               if not (Hashtbl.mem by_trigger trigger) then
+                 Hashtbl.add by_trigger trigger p)
+             prepared;
            Ok
              { config;
                backend;
                entries;
-               prepared =
-                 List.map
-                   (fun c ->
-                     ( c.Contract.trigger,
-                       Runtime.prepare ~strategy:config.strategy c ))
-                   contract_list;
+               prepared;
+               dispatch = dispatch_table entries;
+               by_trigger;
                log = []
-             })
+             }
+         end)
 
 (* ---- request classification ---- *)
 
@@ -140,25 +179,30 @@ let trigger_for t (entry : Cm_uml.Paths.entry) meth =
   in
   { Behavior_model.meth; resource }
 
-let classify t (req : Request.t) =
-  let candidates =
-    List.filter_map
+(* The dispatch table buckets by segment count — a template only ever
+   matches paths with its own segment count, so the winning entry (most
+   specific match, derivation order breaking ties) is the first match in
+   the presorted bucket. *)
+let entry_for_segments t segments =
+  match Hashtbl.find_opt t.dispatch (List.length segments) with
+  | None -> None
+  | Some bucket ->
+    List.find_map
       (fun (entry : Cm_uml.Paths.entry) ->
-        match Cm_http.Uri_template.matches entry.template req.Request.path with
+        match Cm_http.Uri_template.matches_segments entry.template segments with
         | Some bindings -> Some (entry, bindings)
         | None -> None)
-      t.entries
-  in
+      bucket
+
+let entry_for_path t path =
+  Option.map fst (entry_for_segments t (Cm_http.Uri_template.split_path path))
+
+let classify t (req : Request.t) =
   match
-    List.stable_sort
-      (fun ((a : Cm_uml.Paths.entry), _) (b, _) ->
-        Int.compare
-          (Cm_http.Uri_template.specificity b.template)
-          (Cm_http.Uri_template.specificity a.template))
-      candidates
+    entry_for_segments t (Cm_http.Uri_template.split_path req.Request.path)
   with
-  | [] -> None
-  | (entry, bindings) :: _ ->
+  | None -> None
+  | Some (entry, bindings) ->
     let id_param = Cm_uml.Paths.id_param entry.resource in
     Some
       { entry;
@@ -173,9 +217,7 @@ let classify t (req : Request.t) =
         request_project = List.assoc_opt "project_id" bindings
       }
 
-let prepared_for t trigger =
-  List.find_opt (fun (tr, _) -> Behavior_model.trigger_equal tr trigger) t.prepared
-  |> Option.map snd
+let prepared_for t trigger = Hashtbl.find_opt t.by_trigger trigger
 
 let contract_for_trigger t trigger =
   Option.map Runtime.contract (prepared_for t trigger)
@@ -330,27 +372,26 @@ let outcome_base req response cloud_response conformance detail =
     detail
   }
 
+let tri_tag hint = function
+  | Cm_ocl.Value.True -> `True
+  | Cm_ocl.Value.False -> `False
+  | Cm_ocl.Value.Unknown -> `Unknown hint
+
 let monitored t classified prepared req =
   let user_token = Request.auth_token req in
   let make_env = observe_env t classified in
-  let pre_env = make_env ~user_token in
+  let pre_obs = Runtime.observe prepared (make_env ~user_token) in
   let contract = Runtime.contract prepared in
-  let pre_verdict = Runtime.check_pre prepared pre_env in
-  let covered = Runtime.covered_requirements prepared pre_env in
+  let pre_verdict = Runtime.check_pre_observed prepared pre_obs in
+  let covered = Runtime.covered_requirements_observed prepared pre_obs in
   let auth_tri =
-    match contract.Contract.auth_guard with
+    match Runtime.auth_guard_tri prepared pre_obs with
     | None -> `True
-    | Some guard ->
-      (match Cm_ocl.Eval.check pre_env guard with
-       | Cm_ocl.Value.True -> `True
-       | Cm_ocl.Value.False -> `False
-       | Cm_ocl.Value.Unknown -> `Unknown "authorization guard undefined")
+    | Some tri -> tri_tag "authorization guard undefined" tri
   in
   let functional_tri =
-    match Cm_ocl.Eval.check pre_env contract.Contract.functional_pre with
-    | Cm_ocl.Value.True -> `True
-    | Cm_ocl.Value.False -> `False
-    | Cm_ocl.Value.Unknown -> `Unknown "functional precondition undefined"
+    tri_tag "functional precondition undefined"
+      (Runtime.functional_pre_tri prepared pre_obs)
   in
   match t.config.mode with
   | Enforce ->
@@ -376,12 +417,13 @@ let monitored t classified prepared req =
          contract_requirements = contract.Contract.requirements
        }
      | `True ->
-       let snapshot = Runtime.take_snapshot prepared pre_env in
+       let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
        let cloud_response = forward t req in
-       let post_env = make_env ~user_token in
+       let post_obs = Runtime.observe prepared (make_env ~user_token) in
        let post_verdict =
-         stable_post_verdict t ~make_env ~user_token post_env
-           (Runtime.check_post prepared snapshot post_env)
+         stable_post_verdict t ~make_env ~user_token
+           (Runtime.observed_env post_obs)
+           (Runtime.check_post_observed prepared snapshot post_obs)
        in
        let snapshot_bytes = Runtime.snapshot_bytes snapshot in
        (match tri_of_verdict post_verdict with
@@ -432,9 +474,9 @@ let monitored t classified prepared req =
             snapshot_bytes
           }))
   | Oracle ->
-    let snapshot = Runtime.take_snapshot prepared pre_env in
+    let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
     let cloud_response = forward t req in
-    let post_env = make_env ~user_token in
+    let post_obs = Runtime.observe prepared (make_env ~user_token) in
     let snapshot_bytes = Runtime.snapshot_bytes snapshot in
     let success = Response.is_success cloud_response in
     let conformance, post_verdict, detail =
@@ -476,8 +518,9 @@ let monitored t classified prepared req =
               cloud_response.Response.status )
         else begin
           let post_verdict =
-            stable_post_verdict t ~make_env ~user_token post_env
-              (Runtime.check_post prepared snapshot post_env)
+            stable_post_verdict t ~make_env ~user_token
+              (Runtime.observed_env post_obs)
+              (Runtime.check_post_observed prepared snapshot post_obs)
           in
           match tri_of_verdict post_verdict with
           | `True -> (Outcome.Conform, Some post_verdict, "")

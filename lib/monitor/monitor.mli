@@ -30,6 +30,11 @@ type mode =
 type config = {
   mode : mode;
   strategy : Cm_contracts.Runtime.strategy;
+  engine : Cm_contracts.Runtime.engine;
+      (** [Compiled] (the default) checks contracts through staged
+          closures; [Interpreted] walks the AST on every check.  Both
+          produce identical verdicts — the interpreter remains as the
+          executable semantics and benchmark baseline. *)
   service_token : string;  (** the monitor's own cloud credentials *)
   resources : Cm_uml.Resource_model.t;
   behavior : Cm_uml.Behavior_model.t;
@@ -48,13 +53,15 @@ type config = {
 val default_config :
   ?mode:mode ->
   ?strategy:Cm_contracts.Runtime.strategy ->
+  ?engine:Cm_contracts.Runtime.engine ->
   ?stability_check:bool ->
   service_token:string ->
   ?security:Cm_contracts.Generate.security ->
   Cm_uml.Resource_model.t ->
   Cm_uml.Behavior_model.t ->
   config
-(** Defaults: [Oracle] mode, [Lean] snapshots, no stability check. *)
+(** Defaults: [Oracle] mode, [Lean] snapshots, [Compiled] engine, no
+    stability check. *)
 
 type t
 
@@ -74,6 +81,11 @@ val contracts : t -> Cm_contracts.Contract.t list
 
 val uri_table : t -> Cm_uml.Paths.entry list
 (** The derived URI entries the monitor classifies against. *)
+
+val entry_for_path : t -> string -> Cm_uml.Paths.entry option
+(** The entry request classification selects for a concrete path: the
+    most specific matching template (dispatch-table lookup).  Exposed so
+    tests can assert the table agrees with the naive match-all + sort. *)
 
 val configuration : t -> config
 

@@ -11,6 +11,7 @@ type t = {
   model : RM.t;
   project_id : string;
   entries : Cm_uml.Paths.entry list;
+  entry_index : Cm_uml.Paths.index;
   context_def : string;  (* the item contained in the root collection *)
   context_param : string;  (* its id parameter name, e.g. "project_id" *)
 }
@@ -29,6 +30,7 @@ let create ~backend ~token ~model ~project_id =
     model;
     project_id;
     entries;
+    entry_index = Cm_uml.Paths.index entries;
     context_def;
     context_param = Cm_uml.Paths.id_param context_def
   }
@@ -49,9 +51,7 @@ let unwrap = function
   | Some _ | None -> None
 
 let template_for t ~resource ~item =
-  List.find_opt
-    (fun (e : Cm_uml.Paths.entry) -> e.resource = resource && e.is_item = item)
-    t.entries
+  Cm_uml.Paths.find t.entry_index ~resource ~item
   |> Option.map (fun (e : Cm_uml.Paths.entry) -> e.template)
 
 let expand t template bindings =

@@ -32,245 +32,52 @@ let lookup name env =
 
 let bind_value name value env = { env with vars = (name, value) :: env.vars }
 
-let navigate value prop =
-  match value with
-  | Value.Undef -> Value.Undef
-  | Value.Json (Json.Obj _ as obj) ->
-    (match Json.member prop obj with
-     | Some v -> Value.Json v
-     | None -> Value.Undef)
-  | Value.Json (Json.List items) ->
-    (* OCL collect shorthand: navigating a collection navigates each
-       element, dropping undefined results. *)
-    let collected =
-      List.filter_map
-        (fun item ->
-          match item with
-          | Json.Obj _ -> Json.member prop item
-          | _ -> None)
-        items
-    in
-    Value.Json (Json.List collected)
-  | Value.Json _ -> Value.Undef
-
-let numeric = function
-  | Value.Json (Json.Int n) -> Some (`Int n)
-  | Value.Json (Json.Float f) -> Some (`Float f)
-  | _ -> None
-
-let arith op a b =
-  match numeric a, numeric b with
-  | Some (`Int x), Some (`Int y) ->
-    (match op with
-     | Ast.Add -> Value.of_int (x + y)
-     | Ast.Sub -> Value.of_int (x - y)
-     | Ast.Mul -> Value.of_int (x * y)
-     | Ast.Div -> if y = 0 then Value.Undef else Value.of_int (x / y)
-     | _ -> Value.Undef)
-  | Some nx, Some ny ->
-    let to_f = function `Int n -> float_of_int n | `Float f -> f in
-    let x = to_f nx and y = to_f ny in
-    (match op with
-     | Ast.Add -> Value.Json (Json.Float (x +. y))
-     | Ast.Sub -> Value.Json (Json.Float (x -. y))
-     | Ast.Mul -> Value.Json (Json.Float (x *. y))
-     | Ast.Div -> if y = 0. then Value.Undef else Value.Json (Json.Float (x /. y))
-     | _ -> Value.Undef)
-  | _, _ -> Value.Undef
-
-let coll_sum items =
-  let rec loop acc_int acc_float all_int = function
-    | [] ->
-      if all_int then Value.of_int acc_int
-      else Value.Json (Json.Float (acc_float +. float_of_int acc_int))
-    | item :: rest ->
-      (match numeric item with
-       | Some (`Int n) -> loop (acc_int + n) acc_float all_int rest
-       | Some (`Float f) -> loop acc_int (acc_float +. f) false rest
-       | None -> Value.Undef)
-  in
-  loop 0 0. true items
-
 let rec eval env expr =
   match expr with
-  | Ast.Bool_lit b -> Value.of_bool b
+  | Ast.Bool_lit b -> Prim.value_of_bool b
   | Ast.Int_lit n -> Value.of_int n
   | Ast.String_lit s -> Value.of_string s
   | Ast.Null_lit -> Value.Json Json.Null
   | Ast.Var name -> lookup name env
-  | Ast.Nav (e, prop) -> navigate (eval env e) prop
+  | Ast.Nav (e, prop) -> Prim.navigate (eval env e) prop
   | Ast.At_pre e ->
     (match env.pre with
      | Some pre_env -> eval pre_env e
      | None -> if env.is_pre then eval env e else Value.Undef)
-  | Ast.Coll (e, op) -> eval_coll env e op
+  | Ast.Coll (e, op) -> Prim.coll op (eval env e)
   | Ast.Member (e, includes, arg) ->
-    let items = Value.as_collection (eval env e) in
-    let needle = eval env arg in
-    (match needle with
-     | Value.Undef -> Value.Undef
-     | Value.Json _ ->
-       let found =
-         List.exists (fun item -> Value.equal_value item needle = Value.True) items
-       in
-       Value.of_bool (if includes then found else not found))
-  | Ast.Count (e, arg) ->
-    let items = Value.as_collection (eval env e) in
-    let needle = eval env arg in
-    (match needle with
-     | Value.Undef -> Value.Undef
-     | Value.Json _ ->
-       Value.of_int
-         (List.length
-            (List.filter
-               (fun item -> Value.equal_value item needle = Value.True)
-               items)))
-  | Ast.Iter (e, kind, var, body) -> eval_iter env e kind var body
-  | Ast.Unop (Ast.Not, e) -> Value.of_tribool (Value.tri_not (Value.truth (eval env e)))
-  | Ast.Unop (Ast.Neg, e) ->
-    (match numeric (eval env e) with
-     | Some (`Int n) -> Value.of_int (-n)
-     | Some (`Float f) -> Value.Json (Json.Float (-.f))
-     | None -> Value.Undef)
+    Prim.member ~includes (eval env e) (eval env arg)
+  | Ast.Count (e, arg) -> Prim.count (eval env e) (eval env arg)
+  | Ast.Iter (e, kind, var, body) ->
+    Prim.iter kind (eval env e) (fun item ->
+        eval (bind_value var item env) body)
+  | Ast.Unop (Ast.Not, e) ->
+    Prim.value_of_tribool (Value.tri_not (Value.truth (eval env e)))
+  | Ast.Unop (Ast.Neg, e) -> Prim.neg (eval env e)
   | Ast.Binop (op, a, b) -> eval_binop env op a b
-
-and eval_coll env e op =
-  let value = eval env e in
-  let items = Value.as_collection value in
-  match op with
-  | Ast.Size -> Value.of_int (List.length items)
-  | Ast.Is_empty -> Value.of_bool (items = [])
-  | Ast.Not_empty -> Value.of_bool (items <> [])
-  | Ast.Sum -> coll_sum items
-  | Ast.First -> (match items with first :: _ -> first | [] -> Value.Undef)
-  | Ast.Last ->
-    (match List.rev items with last :: _ -> last | [] -> Value.Undef)
-  | Ast.As_set ->
-    let rec dedup seen = function
-      | [] -> List.rev seen
-      | item :: rest ->
-        if
-          List.exists
-            (fun s -> Value.equal_value s item = Value.True)
-            seen
-        then dedup seen rest
-        else dedup (item :: seen) rest
-    in
-    let distinct =
-      dedup [] items
-      |> List.filter_map (function
-           | Value.Json j -> Some j
-           | Value.Undef -> None)
-    in
-    Value.Json (Json.List distinct)
-
-and eval_iter env e kind var body =
-  let items = Value.as_collection (eval env e) in
-  let body_truth item = Value.truth (eval (bind_value var item env) body) in
-  match kind with
-  | Ast.For_all ->
-    Value.of_tribool
-      (List.fold_left
-         (fun acc item -> Value.tri_and acc (body_truth item))
-         Value.True items)
-  | Ast.Exists ->
-    Value.of_tribool
-      (List.fold_left
-         (fun acc item -> Value.tri_or acc (body_truth item))
-         Value.False items)
-  | Ast.One ->
-    let count_true = ref 0 and unknown = ref false in
-    List.iter
-      (fun item ->
-        match body_truth item with
-        | Value.True -> incr count_true
-        | Value.False -> ()
-        | Value.Unknown -> unknown := true)
-      items;
-    if !unknown then Value.Undef else Value.of_bool (!count_true = 1)
-  | Ast.Select | Ast.Reject ->
-    let keep_on = if kind = Ast.Select then Value.True else Value.False in
-    let rec loop acc = function
-      | [] -> Value.Json (Json.List (List.rev acc))
-      | item :: rest ->
-        (match body_truth item with
-         | Value.Unknown -> Value.Undef
-         | t ->
-           let acc =
-             if t = keep_on then
-               match item with
-               | Value.Json j -> j :: acc
-               | Value.Undef -> acc
-             else acc
-           in
-           loop acc rest)
-    in
-    loop [] items
-  | Ast.Any ->
-    let rec find = function
-      | [] -> Value.Undef
-      | item :: rest ->
-        (match body_truth item with
-         | Value.True -> item
-         | Value.False -> find rest
-         | Value.Unknown -> Value.Undef)
-    in
-    find items
-  | Ast.Is_unique ->
-    let values = List.map (fun item -> eval (bind_value var item env) body) items in
-    if List.exists (fun v -> v = Value.Undef) values then Value.Undef
-    else begin
-      let rec pairwise = function
-        | [] -> true
-        | v :: rest ->
-          List.for_all (fun w -> Value.equal_value v w <> Value.True) rest
-          && pairwise rest
-      in
-      Value.of_bool (pairwise values)
-    end
-  | Ast.Collect ->
-    let mapped =
-      List.filter_map
-        (fun item ->
-          match eval (bind_value var item env) body with
-          | Value.Json j -> Some j
-          | Value.Undef -> None)
-        items
-    in
-    Value.Json (Json.List mapped)
 
 and eval_binop env op a b =
   match op with
   | Ast.And ->
-    Value.of_tribool
+    Prim.value_of_tribool
       (Value.tri_and (Value.truth (eval env a)) (Value.truth (eval env b)))
   | Ast.Or ->
-    Value.of_tribool
+    Prim.value_of_tribool
       (Value.tri_or (Value.truth (eval env a)) (Value.truth (eval env b)))
   | Ast.Implies ->
-    Value.of_tribool
+    Prim.value_of_tribool
       (Value.tri_implies (Value.truth (eval env a)) (Value.truth (eval env b)))
   | Ast.Xor ->
-    Value.of_tribool
+    Prim.value_of_tribool
       (Value.tri_xor (Value.truth (eval env a)) (Value.truth (eval env b)))
-  | Ast.Eq -> Value.of_tribool (Value.equal_value (eval env a) (eval env b))
+  | Ast.Eq -> Prim.value_of_tribool (Value.equal_value (eval env a) (eval env b))
   | Ast.Neq ->
-    Value.of_tribool (Value.tri_not (Value.equal_value (eval env a) (eval env b)))
+    Prim.value_of_tribool
+      (Value.tri_not (Value.equal_value (eval env a) (eval env b)))
   | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
-    (match Value.compare_order (eval env a) (eval env b) with
-     | None -> Value.Undef
-     | Some c ->
-       let holds =
-         match op with
-         | Ast.Lt -> c < 0
-         | Ast.Le -> c <= 0
-         | Ast.Gt -> c > 0
-         | Ast.Ge -> c >= 0
-         | _ -> false
-       in
-       Value.of_bool holds)
+    Prim.compare op (eval env a) (eval env b)
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
-    arith op (eval env a) (eval env b)
+    Prim.arith op (eval env a) (eval env b)
 
 let check env expr = Value.truth (eval env expr)
 

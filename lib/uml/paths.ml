@@ -72,9 +72,26 @@ let derive (model : Resource_model.t) =
   let* entries = walk [] [] model.root model.base_path in
   Ok (List.rev entries)
 
+(* Hashed entry lookup: the monitor and the observer resolve entries on
+   every request/observation, so a linear scan over the derived table is
+   hot-path work.  Keyed by (resource, is_item); first derived entry
+   wins, as with [List.find_opt]. *)
+type index = (string * bool, entry) Hashtbl.t
+
+let index entries =
+  let table = Hashtbl.create (2 * List.length entries + 1) in
+  List.iter
+    (fun entry ->
+      let key = (entry.resource, entry.is_item) in
+      if not (Hashtbl.mem table key) then Hashtbl.add table key entry)
+    entries;
+  table
+
+let find idx ~resource ~item = Hashtbl.find_opt idx (resource, item)
+
 let template_for model ~resource ~item =
   match derive model with
   | Error _ -> None
   | Ok entries ->
-    List.find_opt (fun e -> e.resource = resource && e.is_item = item) entries
+    find (index entries) ~resource ~item
     |> Option.map (fun e -> e.template)

@@ -24,6 +24,15 @@ val derive : Resource_model.t -> (entry list, string) result
     the item URI.  Errors on unreachable resources or on a cycle along
     containment. *)
 
+type index
+(** Hashed [(resource, is_item)] lookup over a derived entry list — the
+    per-request replacement for scanning the table.  Equivalent to
+    [List.find_opt] on the same list (first entry wins), asserted in
+    [test/test_uml.ml]. *)
+
+val index : entry list -> index
+val find : index -> resource:string -> item:bool -> entry option
+
 val template_for :
   Resource_model.t -> resource:string -> item:bool -> Cm_http.Uri_template.t option
 (** Convenience lookup over {!derive}. *)

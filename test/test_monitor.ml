@@ -512,6 +512,116 @@ let audit_tests =
           (Astring_contains.contains text "0 authorization gaps"))
   ]
 
+(* ---- dispatch tables agree with the naive scans they replaced ---- *)
+
+module BM = Cm_uml.Behavior_model
+module Uri_template = Cm_http.Uri_template
+
+(* A monitor over a model with a stub backend — [create] never calls the
+   backend, and these tests only exercise lookup. *)
+let lookup_monitor resources behavior =
+  let config = Monitor.default_config ~service_token:"t" resources behavior in
+  match
+    Monitor.create config (fun _ -> Response.error Cm_http.Status.not_found "")
+  with
+  | Ok m -> m
+  | Error msgs -> failwith (String.concat "; " msgs)
+
+(* The pre-dispatch-table classification: match every entry, keep the
+   most specific (stable sort preserves derivation order on ties). *)
+let reference_entry entries path =
+  let candidates =
+    List.filter
+      (fun (e : Cm_uml.Paths.entry) ->
+        Uri_template.matches e.template path <> None)
+      entries
+  in
+  match
+    List.stable_sort
+      (fun (a : Cm_uml.Paths.entry) b ->
+        Int.compare
+          (Uri_template.specificity b.template)
+          (Uri_template.specificity a.template))
+      candidates
+  with
+  | [] -> None
+  | e :: _ -> Some e
+
+let entry_equal (a : Cm_uml.Paths.entry) (b : Cm_uml.Paths.entry) =
+  a.resource = b.resource && a.is_item = b.is_item
+  && Uri_template.equal a.template b.template
+
+let sample_paths entries =
+  let expanded =
+    List.map
+      (fun (e : Cm_uml.Paths.entry) ->
+        let bindings =
+          List.map
+            (fun p -> (p, "x-" ^ p))
+            (Uri_template.param_names e.template)
+        in
+        Uri_template.expand_exn e.template bindings)
+      entries
+  in
+  expanded
+  @ [ "/"; "/nope"; "/v3"; "/v3/p"; "/v3/p/volumes/v/extra/deep"; "" ]
+
+let dispatch_case name resources behavior =
+  Alcotest.test_case name `Quick (fun () ->
+      let m = lookup_monitor resources behavior in
+      let entries = Monitor.uri_table m in
+      (* URI dispatch: table lookup = match-all + sort, on every derived
+         URI and on unmatched paths *)
+      List.iter
+        (fun path ->
+          let got = Monitor.entry_for_path m path in
+          let expected = reference_entry entries path in
+          match got, expected with
+          | None, None -> ()
+          | Some g, Some e when entry_equal g e -> ()
+          | _ ->
+            Alcotest.failf "dispatch disagrees on %s: got %s, expected %s"
+              path
+              (match got with
+               | Some (g : Cm_uml.Paths.entry) -> g.resource
+               | None -> "none")
+              (match expected with
+               | Some (e : Cm_uml.Paths.entry) -> e.resource
+               | None -> "none"))
+        (sample_paths entries);
+      (* trigger dispatch: hashed lookup = linear scan over the
+         generated contracts, plus misses on foreign triggers *)
+      let contracts = Monitor.contracts m in
+      let linear trigger =
+        List.find_opt
+          (fun (c : Cm_contracts.Contract.t) ->
+            BM.trigger_equal c.trigger trigger)
+          contracts
+      in
+      let check_trigger trigger =
+        let got = Monitor.contract_for_trigger m trigger in
+        let expected = linear trigger in
+        match got, expected with
+        | None, None -> ()
+        | Some g, Some e when BM.trigger_equal g.trigger e.trigger -> ()
+        | _ ->
+          Alcotest.failf "trigger lookup disagrees on %a" BM.pp_trigger
+            trigger
+      in
+      List.iter check_trigger (BM.triggers behavior);
+      List.iter check_trigger
+        [ { BM.meth = Meth.PATCH; resource = "volume" };
+          { BM.meth = Meth.DELETE; resource = "nonexistent" };
+          { BM.meth = Meth.POST; resource = "volume:item" }
+        ])
+
+let dispatch_tests =
+  [ dispatch_case "cinder dispatch tables = naive scans" Cinder.resources
+      Cinder.behavior;
+    dispatch_case "glance dispatch tables = naive scans"
+      Cm_uml.Glance_model.resources Cm_uml.Glance_model.behavior
+  ]
+
 let () =
   Alcotest.run "cm_monitor"
     [ ("observer", observer_tests);
@@ -520,5 +630,6 @@ let () =
       ("reporting", reporting_tests);
       ("composition", composition_tests);
       ("interference", interference_tests);
-      ("audit", audit_tests)
+      ("audit", audit_tests);
+      ("dispatch", dispatch_tests)
     ]

@@ -660,6 +660,42 @@ let prop_slice_preserves_contracts =
                 b.Cm_contracts.Contract.post
          | _ -> false))
 
+let paths_index_tests =
+  let case name resources =
+    Alcotest.test_case name `Quick (fun () ->
+        match Paths.derive resources with
+        | Error msg -> Alcotest.fail msg
+        | Ok entries ->
+          let idx = Paths.index entries in
+          let linear resource item =
+            List.find_opt
+              (fun (e : Paths.entry) ->
+                e.resource = resource && e.is_item = item)
+              entries
+          in
+          let tmpl (e : Paths.entry) =
+            Cm_http.Uri_template.to_string e.template
+          in
+          (* every (resource, is_item) key present in the table — both
+             polarities, so misses are exercised too *)
+          List.iter
+            (fun (e : Paths.entry) ->
+              List.iter
+                (fun item ->
+                  Alcotest.(check (option string))
+                    (Printf.sprintf "%s/item:%b" e.resource item)
+                    (Option.map tmpl (linear e.resource item))
+                    (Option.map tmpl
+                       (Paths.find idx ~resource:e.resource ~item)))
+                [ true; false ])
+            entries;
+          Alcotest.(check bool) "unknown resource misses" true
+            (Paths.find idx ~resource:"no-such-resource" ~item:false = None))
+  in
+  [ case "cinder: index = List.find_opt" Cinder.resources;
+    case "glance: index = List.find_opt" Cm_uml.Glance_model.resources
+  ]
+
 let model_properties =
   List.map QCheck_alcotest.to_alcotest
     [ prop_random_models_validate;
@@ -677,6 +713,7 @@ let () =
       ("signature", signature_tests);
       ("analysis", analysis_tests);
       ("slice", slice_tests);
+      ("paths-index", paths_index_tests);
       ("model-properties", model_properties);
       ("mermaid", mermaid_tests)
     ]
