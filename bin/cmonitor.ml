@@ -172,12 +172,95 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"print the security-requirements table (Table I)")
     Term.(const table1 $ const ())
 
+(* ---- fuzz: property-based differential conformance ---- *)
+
+let fuzz cases seed shrink oracle_name max_size corpus =
+  let module R = Cm_proptest.Runner in
+  let module O = Cm_proptest.Oracle in
+  let module C = Cm_proptest.Corpus in
+  let oracles =
+    if oracle_name = "all" then Some O.all
+    else
+      match O.find oracle_name with
+      | Some o -> Some [ o ]
+      | None ->
+        Printf.eprintf "unknown oracle %S (expected all%s)\n" oracle_name
+          (String.concat ""
+             (List.map (fun (o : O.t) -> "|" ^ o.name) O.all));
+        None
+  in
+  match oracles with
+  | None -> 2
+  | Some oracles ->
+    let corpus_ok =
+      match corpus with
+      | None -> true
+      | Some path ->
+        (match C.load path with
+         | Error msg ->
+           Printf.eprintf "corpus %s: %s\n" path msg;
+           false
+         | Ok entries ->
+           let still_failing = R.replay_corpus O.all entries in
+           Printf.printf "corpus: %d entries replayed, %d failing\n"
+             (List.length entries)
+             (List.length still_failing);
+           List.iter
+             (fun ((e : C.entry), detail) ->
+               Printf.printf "CORPUS FAIL %s case %d: %s\n" e.oracle e.index
+                 detail)
+             still_failing;
+           still_failing = [])
+    in
+    let report = R.run ~oracles ~shrink ~max_size ~seed ~cases () in
+    print_string (R.render report);
+    (match corpus with
+     | Some path when R.failed report ->
+       List.iter (fun (f : O.failure) -> C.append path f.entry) report.failures;
+       Printf.printf "recorded %d failing entries in %s\n"
+         (List.length report.failures) path
+     | _ -> ());
+    if R.failed report || not corpus_ok then 1 else 0
+
+let cases_arg =
+  let doc = "Number of fuzz cases to run across all oracles." in
+  Arg.(value & opt int 2000 & info [ "cases" ] ~docv:"N" ~doc)
+
+let shrink_arg =
+  let doc = "Greedily shrink counterexamples before reporting." in
+  Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL" ~doc)
+
+let oracle_arg =
+  let doc = "Which oracle to drive: all, engine, rbac, codegen or monitor." in
+  Arg.(value & opt string "all" & info [ "oracle" ] ~docv:"NAME" ~doc)
+
+let max_size_arg =
+  let doc = "Generator size budget; case sizes cycle through 2..2+K-1." in
+  Arg.(value & opt int 10 & info [ "max-size" ] ~docv:"K" ~doc)
+
+let corpus_arg =
+  let doc =
+    "Corpus file: existing entries are replayed before the campaign and new \
+     failures are appended to it."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "deterministic property-based differential fuzzing of the OCL \
+          engines, RBAC guards, code generators and monitor verdicts")
+    Term.(
+      const fuzz $ cases_arg $ seed_arg $ shrink_arg $ oracle_arg
+      $ max_size_arg $ corpus_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cmonitor" ~version:Cloudmon.version
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
     [ validate_cmd; lifecycle_cmd; contracts_cmd; table1_cmd; testgen_cmd;
-      explore_cmd; audit_cmd
+      explore_cmd; audit_cmd; fuzz_cmd
     ]
 
 let () = exit (Cmd.eval' main)

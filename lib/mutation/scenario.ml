@@ -15,6 +15,7 @@ let service_subject =
   Cm_rbac.Subject.make "cmonitor-svc" [ "proj_administrator" ]
 
 let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
+    ?(engine = Cm_contracts.Runtime.Compiled)
     ?(faults = Cm_cloudsim.Faults.none) () =
   let cloud = Cloud.create () in
   Cloud.seed cloud Cloud.my_project;
@@ -39,7 +40,7 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     }
   in
   let config =
-    Monitor.default_config ~mode ~strategy ~service_token ~security
+    Monitor.default_config ~mode ~strategy ~engine ~service_token ~security
       Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
   in
   match Monitor.create config (Cloud.handle cloud) with

@@ -17,13 +17,16 @@ type ctx = {
 val setup :
   ?mode:Cm_monitor.Monitor.mode ->
   ?strategy:Cm_contracts.Runtime.strategy ->
+  ?engine:Cm_contracts.Runtime.engine ->
   ?faults:Cm_cloudsim.Faults.set ->
   unit ->
   (ctx, string list) result
 (** Fresh simulated cloud seeded with the paper's [myProject] (three
     users, quota of 3 volumes), a service account for the monitor, the
     given faults activated, and a monitor over the Cinder models in the
-    given mode (default [Oracle]). *)
+    given mode (default [Oracle]) with the given contract engine
+    (default [Compiled] — the fuzzer's differential oracle runs the
+    same trace under both engines). *)
 
 val request :
   ctx ->

@@ -161,7 +161,12 @@ and parse_unary st =
     Ast.Unop (Ast.Not, parse_unary st)
   | Lexer.MINUS, _ ->
     advance st;
-    Ast.Unop (Ast.Neg, parse_unary st)
+    (* Fold the sign into integer literals so that negative constants
+       (as produced by constant folding) print and re-parse to the same
+       AST. *)
+    (match parse_unary st with
+     | Ast.Int_lit n -> Ast.Int_lit (-n)
+     | inner -> Ast.Unop (Ast.Neg, inner))
   | _ -> parse_postfix st
 
 and parse_postfix st =

@@ -74,7 +74,9 @@ let rec step expr =
      | Ast.Bool_lit true, b' -> b'
      | Ast.Bool_lit false, _ -> Ast.Bool_lit true
      | _, Ast.Bool_lit true -> Ast.Bool_lit true
-     | a', b' when Ast.equal a' b' -> Ast.Bool_lit true
+     (* No [a implies a -> true]: under Kleene semantics
+        Unknown implies Unknown is Unknown, so the rewrite is unsound
+        for any operand that can evaluate to Unknown. *)
      | a', b' -> Ast.Binop (Ast.Implies, a', b'))
   | Ast.Binop (Ast.Xor, a, b) ->
     (match step a, step b with

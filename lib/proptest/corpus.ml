@@ -1,0 +1,90 @@
+type entry = {
+  oracle : string;
+  seed : int;
+  index : int;
+  size : int;
+  payload : (string * string) list;
+}
+
+let make ~oracle ~seed ~index ~size payload =
+  { oracle; seed; index; size; payload }
+
+let to_line e =
+  String.concat "\t"
+    ([ "oracle=" ^ e.oracle;
+       "seed=" ^ string_of_int e.seed;
+       "index=" ^ string_of_int e.index;
+       "size=" ^ string_of_int e.size
+     ]
+    @ List.map (fun (k, v) -> k ^ "=" ^ v) e.payload)
+
+let split_kv field =
+  match String.index_opt field '=' with
+  | Some i ->
+    Ok
+      ( String.sub field 0 i,
+        String.sub field (i + 1) (String.length field - i - 1) )
+  | None -> Error (Printf.sprintf "malformed field %S (expected key=value)" field)
+
+let of_line line =
+  let ( let* ) = Result.bind in
+  let fields = String.split_on_char '\t' line in
+  let* kvs =
+    List.fold_left
+      (fun acc field ->
+        let* acc = acc in
+        let* kv = split_kv field in
+        Ok (kv :: acc))
+      (Ok []) fields
+  in
+  let kvs = List.rev kvs in
+  let find key =
+    match List.assoc_opt key kvs with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %s in %S" key line)
+  in
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "non-integer %s=%S" key v)
+  in
+  let* oracle = find "oracle" in
+  let* seed = Result.bind (find "seed") (int_of "seed") in
+  let* index = Result.bind (find "index") (int_of "index") in
+  let* size = Result.bind (find "size") (int_of "size") in
+  let payload =
+    List.filter
+      (fun (k, _) -> not (List.mem k [ "oracle"; "seed"; "index"; "size" ]))
+      kvs
+  in
+  Ok { oracle; seed; index; size; payload }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec build acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then build acc (n + 1) rest
+      else
+        (match of_line trimmed with
+         | Ok entry -> build (entry :: acc) (n + 1) rest
+         | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+  in
+  build [] 1 lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    of_string text
+  end
+
+let append path entry =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (to_line entry);
+  output_char oc '\n';
+  close_out oc

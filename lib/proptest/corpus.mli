@@ -1,0 +1,33 @@
+(** The regression corpus: shrunk counterexamples, serialized with the
+    seed that produced them.
+
+    One entry per line, tab-separated [key=value] fields; [#] comments
+    and blank lines are skipped.  Required keys: [oracle], [seed],
+    [index], [size] — enough to regenerate the exact case stream via
+    {!Rng.case}.  Optional payload keys ([expr], [trace], [mutant],
+    [note]) carry the shrunk artifact itself so an entry replays even
+    after the generators evolve. *)
+
+type entry = {
+  oracle : string;
+  seed : int;
+  index : int;
+  size : int;
+  payload : (string * string) list;
+}
+
+val make :
+  oracle:string -> seed:int -> index:int -> size:int ->
+  (string * string) list -> entry
+
+val to_line : entry -> string
+val of_line : string -> (entry, string) result
+(** [Error] on malformed lines; comment/blank lines are not valid input
+    here (the file parser filters them). *)
+
+val of_string : string -> (entry list, string) result
+val load : string -> (entry list, string) result
+(** Read a corpus file; a missing file is an empty corpus. *)
+
+val append : string -> entry -> unit
+(** Append one entry to the file, creating it if needed. *)

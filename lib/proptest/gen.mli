@@ -1,0 +1,42 @@
+(** Size-driven generator combinators.
+
+    A generator is a function of a {!Rng.t} stream and a [size] budget;
+    recursive generators spend the budget so that generated structures
+    stay bounded and early cases (small sizes) stay readable.  All
+    combinators are deterministic in the stream. *)
+
+type 'a t = Rng.t -> size:int -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val int_range : int -> int -> int t
+(** Inclusive; ignores [size]. *)
+
+val bool : bool t
+
+val oneof : 'a t list -> 'a t
+(** Uniform choice among sub-generators. *)
+
+val oneof_const : 'a list -> 'a t
+(** Uniform choice among constants. *)
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must be positive. *)
+
+val list_len : int t -> 'a t -> 'a list t
+(** Length drawn from the first generator. *)
+
+val sized : (int -> 'a t) -> 'a t
+(** Read the current size budget. *)
+
+val resize : int -> 'a t -> 'a t
+(** Override the size budget for a sub-generator. *)
+
+val smaller : 'a t -> 'a t
+(** Halve the budget (recursion step). *)
+
+val run : seed:int -> size:int -> 'a t -> 'a
+(** Run against a fresh stream — convenience for tests. *)

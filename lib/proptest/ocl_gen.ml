@@ -1,0 +1,260 @@
+module Ast = Cm_ocl.Ast
+module Ty = Cm_ocl.Ty
+module Eval = Cm_ocl.Eval
+module Json = Cm_json.Json
+
+let volume_ty =
+  Ty.Object
+    [ ("id", Ty.String); ("name", Ty.String); ("status", Ty.String);
+      ("size", Ty.Int)
+    ]
+
+let signature =
+  [ ( "project",
+      Ty.Object
+        [ ("id", Ty.String);
+          ("volumes", Ty.Collection volume_ty);
+          ("images", Ty.Collection volume_ty)
+        ] );
+    ("volume", volume_ty);
+    ( "user",
+      Ty.Object
+        [ ("name", Ty.String);
+          ("groups", Ty.Collection Ty.String);
+          ("roles", Ty.Collection Ty.String)
+        ] );
+    ("quota_sets", Ty.Object [ ("id", Ty.String); ("volumes", Ty.Int); ("images", Ty.Int) ])
+  ]
+
+let string_pool =
+  [| "available"; "in-use"; "error"; "queued"; "proj_administrator";
+     "proj_member"; "data1"; "x"
+  |]
+
+(* ---- access paths ---- *)
+
+(* All navigation chains (up to depth 2) reachable from the environment,
+   with their static types.  Navigating a Collection(Object) property is
+   the OCL collect shorthand and yields a collection. *)
+let paths env =
+  let rec from depth (expr, ty) =
+    (expr, ty)
+    ::
+    (if depth = 0 then []
+     else
+       match ty with
+       | Ty.Object props ->
+         List.concat_map
+           (fun (prop, t) -> from (depth - 1) (Ast.Nav (expr, prop), t))
+           props
+       | Ty.Collection (Ty.Object props) ->
+         List.concat_map
+           (fun (prop, t) ->
+             from (depth - 1) (Ast.Nav (expr, prop), Ty.Collection t))
+           props
+       | _ -> [])
+  in
+  List.concat_map (fun (name, ty) -> from 2 (Ast.Var name, ty)) env
+
+let paths_of_ty env ty =
+  List.filter_map
+    (fun (expr, t) -> if Ty.equal t ty then Some expr else None)
+    (paths env)
+
+let collection_paths env =
+  List.filter_map
+    (fun (expr, t) ->
+      match t with Ty.Collection elem -> Some (expr, elem) | _ -> None)
+    (paths env)
+
+(* ---- leaves ---- *)
+
+let literal rng ty =
+  match ty with
+  | Ty.Bool -> Some (Ast.Bool_lit (Rng.bool rng))
+  | Ty.Int -> Some (Ast.Int_lit (Rng.int rng 7))
+  | Ty.String -> Some (Ast.String_lit (Rng.choose_arr rng string_pool))
+  | _ -> None
+
+let leaf env rng ty =
+  let path_choices = paths_of_ty env ty in
+  match literal rng ty, path_choices with
+  | Some lit, [] -> lit
+  | Some lit, _ -> if Rng.bool rng then lit else Rng.choose rng path_choices
+  | None, _ :: _ -> Rng.choose rng path_choices
+  | None, [] ->
+    (* No literal and no path of this type: build a collection via
+       collect over some reachable collection (only Collection types can
+       end up here; the signature always provides collections). *)
+    (match ty with
+     | Ty.Collection elem ->
+       let source, selem = Rng.choose rng (collection_paths env) in
+       let var = "c0" in
+       let inner = (var, selem) :: env in
+       (match literal rng elem, paths_of_ty inner elem with
+        | Some lit, _ -> Ast.Iter (source, Ast.Collect, var, lit)
+        | None, body :: _ -> Ast.Iter (source, Ast.Collect, var, body)
+        | None, [] -> Ast.Iter (source, Ast.Collect, var, Ast.Int_lit 0))
+     | _ -> Ast.Null_lit)
+
+(* ---- recursive generation ---- *)
+
+let elem_pool = [ Ty.Int; Ty.String ]
+let coll_elem_pool = [ Ty.Int; Ty.String ]
+
+let rec gen env depth rng ~size ty =
+  if size <= 1 then leaf env rng ty
+  else
+    let sub = size / 2 in
+    let go ?(n = env) t = gen n (depth + 1) rng ~size:sub t in
+    let fresh = Printf.sprintf "it%d" depth in
+    match ty with
+    | Ty.Bool ->
+      (match Rng.int rng 12 with
+       | 0 -> Ast.Unop (Ast.Not, gen env depth rng ~size:(size - 1) Ty.Bool)
+       | 1 | 2 ->
+         let op =
+           Rng.choose rng [ Ast.And; Ast.Or; Ast.Xor; Ast.Implies ]
+         in
+         Ast.Binop (op, go Ty.Bool, go Ty.Bool)
+       | 3 ->
+         let t = Rng.choose rng (Ty.Bool :: elem_pool) in
+         Ast.Binop ((if Rng.bool rng then Ast.Eq else Ast.Neq), go t, go t)
+       | 4 ->
+         let t = Rng.choose rng elem_pool in
+         let op = Rng.choose rng [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+         Ast.Binop (op, go t, go t)
+       | 5 ->
+         let t = Rng.choose rng coll_elem_pool in
+         Ast.Member (go (Ty.Collection t), Rng.bool rng, go t)
+       | 6 ->
+         let t = Rng.choose rng coll_elem_pool in
+         Ast.Coll
+           ( go (Ty.Collection t),
+             if Rng.bool rng then Ast.Is_empty else Ast.Not_empty )
+       | 7 | 8 ->
+         let source, selem = Rng.choose rng (collection_paths env) in
+         let kind = Rng.choose rng [ Ast.For_all; Ast.Exists; Ast.One ] in
+         Ast.Iter
+           (source, kind, fresh, go ~n:((fresh, selem) :: env) Ty.Bool)
+       | 9 ->
+         let source, selem = Rng.choose rng (collection_paths env) in
+         let t = Rng.choose rng elem_pool in
+         Ast.Iter
+           (source, Ast.Is_unique, fresh, go ~n:((fresh, selem) :: env) t)
+       | 10 -> Ast.At_pre (gen env depth rng ~size:(size - 1) Ty.Bool)
+       | _ -> leaf env rng Ty.Bool)
+    | Ty.Int ->
+      (match Rng.int rng 8 with
+       | 0 | 1 ->
+         let op =
+           Rng.choose rng [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ]
+         in
+         Ast.Binop (op, go Ty.Int, go Ty.Int)
+       | 2 | 3 ->
+         let t = Rng.choose rng coll_elem_pool in
+         Ast.Coll (go (Ty.Collection t), Ast.Size)
+       | 4 -> Ast.Coll (go (Ty.Collection Ty.Int), Ast.Sum)
+       | 5 ->
+         let t = Rng.choose rng coll_elem_pool in
+         Ast.Count (go (Ty.Collection t), go t)
+       | 6 -> Ast.At_pre (gen env depth rng ~size:(size - 1) Ty.Int)
+       | _ -> leaf env rng Ty.Int)
+    | Ty.String ->
+      (match Rng.int rng 4 with
+       | 0 ->
+         Ast.Coll
+           ( go (Ty.Collection Ty.String),
+             if Rng.bool rng then Ast.First else Ast.Last )
+       | 1 -> Ast.At_pre (gen env depth rng ~size:(size - 1) Ty.String)
+       | _ -> leaf env rng Ty.String)
+    | Ty.Collection elem ->
+      (match Rng.int rng 6 with
+       | 0 | 1 ->
+         let source = go (Ty.Collection elem) in
+         let kind = if Rng.bool rng then Ast.Select else Ast.Reject in
+         Ast.Iter
+           (source, kind, fresh, go ~n:((fresh, elem) :: env) Ty.Bool)
+       | 2 ->
+         let source, selem = Rng.choose rng (collection_paths env) in
+         Ast.Iter
+           (source, Ast.Collect, fresh, go ~n:((fresh, selem) :: env) elem)
+       | 3 -> Ast.Coll (go (Ty.Collection elem), Ast.As_set)
+       | _ -> leaf env rng ty)
+    | Ty.Real | Ty.Object _ | Ty.Any -> leaf env rng ty
+
+let gen_of_ty ty : Ast.expr Gen.t =
+  fun rng ~size -> gen signature 0 rng ~size ty
+
+let gen_bool = gen_of_ty Ty.Bool
+
+(* ---- environments ---- *)
+
+let rec doc_of_ty rng ty =
+  match ty with
+  | Ty.Bool -> Json.bool (Rng.bool rng)
+  | Ty.Int -> Json.int (Rng.int_in rng (-2) 9)
+  | Ty.Real -> Json.int (Rng.int rng 5)
+  | Ty.String -> Json.string (Rng.choose_arr rng string_pool)
+  | Ty.Collection t ->
+    Json.list (List.init (Rng.int rng 4) (fun _ -> doc_of_ty rng t))
+  | Ty.Object props ->
+    (* Occasionally drop a field: navigation must go Undef gracefully. *)
+    Json.obj
+      (List.filter_map
+         (fun (prop, t) ->
+           if Rng.int rng 8 = 0 then None else Some (prop, doc_of_ty rng t))
+         props)
+  | Ty.Any -> Json.int 1
+
+let degenerate rng =
+  match Rng.int rng 4 with
+  | 0 -> Some Json.Null
+  | 1 -> Some (Json.obj [])
+  | 2 -> Some (Json.int 7)
+  | _ -> None (* unbound: lookup yields Undef *)
+
+let gen_env : Eval.env Gen.t =
+  fun rng ~size:_ ->
+  Eval.env_of_bindings
+    (List.filter_map
+       (fun (name, ty) ->
+         if Rng.int rng 5 = 0 then
+           match degenerate rng with
+           | Some doc -> Some (name, doc)
+           | None -> None
+         else Some (name, doc_of_ty rng ty))
+       signature)
+
+(* ---- shrinking ---- *)
+
+let rec shrink_expr e =
+  let rebuild wrap shrunk = List.map wrap shrunk in
+  match e with
+  | Ast.Bool_lit _ | Ast.Null_lit | Ast.Var _ -> []
+  | Ast.Int_lit n -> if n = 0 then [] else [ Ast.Int_lit 0 ]
+  | Ast.String_lit "" -> []
+  | Ast.String_lit _ -> [ Ast.String_lit "" ]
+  | Ast.Nav (s, p) ->
+    (s :: rebuild (fun s' -> Ast.Nav (s', p)) (shrink_expr s))
+  | Ast.At_pre i -> i :: rebuild (fun i' -> Ast.At_pre i') (shrink_expr i)
+  | Ast.Unop (op, i) ->
+    i :: rebuild (fun i' -> Ast.Unop (op, i')) (shrink_expr i)
+  | Ast.Coll (s, op) ->
+    s :: rebuild (fun s' -> Ast.Coll (s', op)) (shrink_expr s)
+  | Ast.Member (s, inc, a) ->
+    [ s; a ]
+    @ rebuild (fun s' -> Ast.Member (s', inc, a)) (shrink_expr s)
+    @ rebuild (fun a' -> Ast.Member (s, inc, a')) (shrink_expr a)
+  | Ast.Count (s, a) ->
+    [ s; a ]
+    @ rebuild (fun s' -> Ast.Count (s', a)) (shrink_expr s)
+    @ rebuild (fun a' -> Ast.Count (s, a')) (shrink_expr a)
+  | Ast.Iter (s, k, v, b) ->
+    [ s; b ]
+    @ rebuild (fun s' -> Ast.Iter (s', k, v, b)) (shrink_expr s)
+    @ rebuild (fun b' -> Ast.Iter (s, k, v, b')) (shrink_expr b)
+  | Ast.Binop (op, a, b) ->
+    [ a; b ]
+    @ rebuild (fun a' -> Ast.Binop (op, a', b)) (shrink_expr a)
+    @ rebuild (fun b' -> Ast.Binop (op, a, b')) (shrink_expr b)

@@ -1,0 +1,28 @@
+(** Type-directed random OCL expressions and evaluation environments.
+
+    The generator produces expressions that are {e well-typed} over the
+    canonical cloud signature ({!signature}: project / volume / user /
+    quota_sets, the vocabulary of the generated Cinder contracts), which
+    is asserted as a generator self-check in the test suite.  The
+    environments it produces deliberately include degenerate states —
+    missing bindings, null documents, wrongly typed documents, dropped
+    object fields — because the differential property must hold on the
+    whole Kleene domain, not just on happy-path states. *)
+
+val signature : Cm_ocl.Ty.signature
+(** Variables the generated expressions range over. *)
+
+val gen_bool : Cm_ocl.Ast.expr Gen.t
+(** A well-typed boolean expression (a contract-shaped formula). *)
+
+val gen_of_ty : Cm_ocl.Ty.t -> Cm_ocl.Ast.expr Gen.t
+(** A well-typed expression of the requested type. *)
+
+val gen_env : Cm_ocl.Eval.env Gen.t
+(** Bindings for {!signature}: mostly canonical documents with random
+    content, salted with degenerate ones. *)
+
+val shrink_expr : Cm_ocl.Ast.expr -> Cm_ocl.Ast.expr list
+(** Structural shrink candidates: subterms and one-hole reductions.
+    Candidates are not guaranteed well-typed — the differential
+    property is total, so minimization may leave the typed fragment. *)

@@ -1,0 +1,544 @@
+module Ast = Cm_ocl.Ast
+module Ty = Cm_ocl.Ty
+module Eval = Cm_ocl.Eval
+module Value = Cm_ocl.Value
+module Compile = Cm_ocl.Compile
+module Pretty = Cm_ocl.Pretty
+module Typecheck = Cm_ocl.Typecheck
+module Contract = Cm_contracts.Contract
+module Generate = Cm_contracts.Generate
+module Runtime = Cm_contracts.Runtime
+module BM = Cm_uml.Behavior_model
+module Meth = Cm_http.Meth
+module Security_table = Cm_rbac.Security_table
+module Role_assignment = Cm_rbac.Role_assignment
+module Subject = Cm_rbac.Subject
+module Mutant = Cm_mutation.Mutant
+module Scenario = Cm_mutation.Scenario
+module Outcome = Cm_monitor.Outcome
+
+type failure = {
+  oracle : string;
+  index : int;
+  repr : string;
+  detail : string;
+  shrink_steps : int;
+  entry : Corpus.entry;
+}
+
+type verdict = Pass | Fail of failure
+
+type t = {
+  name : string;
+  weight : int;
+  run_case : shrink:bool -> seed:int -> index:int -> size:int -> verdict;
+  replay : Corpus.entry -> (unit, string) result;
+}
+
+(* Streams: every case splits its stream into independent substreams up
+   front, so shrinking one component (say, the expression) re-evaluates
+   the property against the *same* environments that exposed the
+   failure. *)
+let case_streams ~seed index =
+  let rng = Rng.case ~seed index in
+  let a = Rng.split rng in
+  let b = Rng.split rng in
+  (a, b)
+
+(* ---- engine conformance ---- *)
+
+(* The same discipline as test_compile.agree_on: one plan, compile both
+   pipelines, then build frames. *)
+let check_expr_on expr (env, pre) =
+  let plan = Compile.plan () in
+  let staged = Compile.compile plan expr in
+  let staged_raw = Compile.compile_raw plan expr in
+  let ienv =
+    match pre with Some p -> Eval.with_pre ~pre:p env | None -> env
+  in
+  let frame =
+    let fr = Compile.frame_of_env plan env in
+    match pre with
+    | Some p -> Compile.with_pre ~pre:(Compile.frame_of_env plan p) fr
+    | None -> fr
+  in
+  let expected = Eval.eval ienv expr in
+  let got = Compile.eval staged frame in
+  let got_raw = Compile.eval staged_raw frame in
+  if got <> expected then
+    Some (Fmt.str "compiled %a <> interpreted %a" Value.pp got Value.pp expected)
+  else if got_raw <> expected then
+    Some
+      (Fmt.str "raw-compiled %a <> interpreted %a" Value.pp got_raw Value.pp
+         expected)
+  else if
+    not
+      (Eval.verdict_equal (Eval.verdict ienv expr)
+         (Compile.verdict staged frame))
+  then Some "verdict mismatch"
+  else None
+
+let env_pairs rng n =
+  List.init n (fun _ ->
+      let env = Ocl_gen.gen_env rng ~size:0 in
+      let pre =
+        if Rng.bool rng then Some (Ocl_gen.gen_env rng ~size:0) else None
+      in
+      (env, pre))
+
+let envs_per_case = 6
+
+let check_expr_all expr envs =
+  let rec first = function
+    | [] -> None
+    | pair :: rest ->
+      (match check_expr_on expr pair with
+       | Some detail -> Some detail
+       | None -> first rest)
+  in
+  first envs
+
+let shrink_failing_expr ~shrink expr fails =
+  if not shrink then (expr, 0)
+  else
+    Shrink.minimize ~candidates:Ocl_gen.shrink_expr
+      ~still_fails:(fun e -> fails e <> None)
+      expr
+
+let engine_run ~shrink ~seed ~index ~size =
+  let rng_expr, rng_envs = case_streams ~seed index in
+  let expr = Ocl_gen.gen_bool rng_expr ~size in
+  let envs = env_pairs rng_envs envs_per_case in
+  let fails e = check_expr_all e envs in
+  match fails expr with
+  | None -> Pass
+  | Some detail0 ->
+    let shrunk, steps = shrink_failing_expr ~shrink expr fails in
+    let detail = Option.value ~default:detail0 (fails shrunk) in
+    let repr = Pretty.to_string shrunk in
+    Fail
+      { oracle = "engine"; index; repr; detail; shrink_steps = steps;
+        entry =
+          Corpus.make ~oracle:"engine" ~seed ~index ~size [ ("expr", repr) ]
+      }
+
+let engine_replay (entry : Corpus.entry) =
+  let rng_expr, rng_envs = case_streams ~seed:entry.seed entry.index in
+  let expr_result =
+    match List.assoc_opt "expr" entry.payload with
+    | Some text ->
+      (match Cm_ocl.Ocl_parser.parse text with
+       | Ok expr -> Ok expr
+       | Error err ->
+         Error (Fmt.str "corpus expr does not parse: %a" Cm_ocl.Ocl_parser.pp_error err))
+    | None -> Ok (Ocl_gen.gen_bool rng_expr ~size:entry.size)
+  in
+  match expr_result with
+  | Error _ as err -> err
+  | Ok expr ->
+    (match check_expr_all expr (env_pairs rng_envs envs_per_case) with
+     | None -> Ok ()
+     | Some detail ->
+       Error (Fmt.str "%s on %s" detail (Pretty.to_string expr)))
+
+let engine =
+  { name = "engine"; weight = 5; run_case = engine_run; replay = engine_replay }
+
+(* ---- RBAC guard conformance ---- *)
+
+let groups_pool =
+  [ "proj_administrator"; "service_architect"; "business_analyst"; "auditors" ]
+
+let roles_pool = [ "admin"; "member"; "user" ]
+let rbac_meths = Meth.[ GET; PUT; POST; DELETE ]
+
+let subset rng items = List.filter (fun _ -> Rng.bool rng) items
+
+let rbac_case rng =
+  let assignment =
+    Role_assignment.of_list
+      (List.concat_map
+         (fun group ->
+           List.filter_map
+             (fun role ->
+               if Rng.bool rng then Some (group, role) else None)
+             roles_pool)
+         groups_pool)
+  in
+  let table =
+    List.filteri (fun i _ -> i >= 0) (* keep order deterministic *)
+      (List.concat
+         (List.mapi
+            (fun i meth ->
+              if Rng.int rng 4 = 0 then []
+              else
+                [ Security_table.entry ~resource:"volume"
+                    ~req:(Printf.sprintf "f.%d" (i + 1))
+                    meth (subset rng roles_pool)
+                ])
+            rbac_meths))
+  in
+  let subject = Subject.make "fuzz-user" (subset rng groups_pool) in
+  (assignment, table, subject)
+
+let rbac_repr assignment table subject =
+  Fmt.str "assignment=[%s] entries=[%s] subject-groups=[%s]"
+    (String.concat "; "
+       (List.map
+          (fun (g, r) -> g ^ "->" ^ r)
+          (Role_assignment.to_list assignment)))
+    (String.concat "; "
+       (List.map
+          (fun (e : Security_table.entry) ->
+            Meth.to_string e.meth ^ ":" ^ String.concat "," e.roles)
+          table))
+    (String.concat "," subject.Subject.groups)
+
+let rbac_check (assignment, table, subject) =
+  let user_doc = Role_assignment.enrich subject assignment in
+  let env = Eval.env_of_bindings [ ("user", user_doc) ] in
+  let rec first = function
+    | [] -> None
+    | (e : Security_table.entry) :: rest ->
+      let guard = Security_table.auth_guard e assignment in
+      let interpreted = Eval.check env guard in
+      let plan = Compile.plan () in
+      let compiled_guard = Compile.compile plan guard in
+      let compiled = Compile.check compiled_guard (Compile.frame_of_env plan env) in
+      let allowed =
+        Security_table.allowed table assignment ~resource:"volume"
+          ~meth:e.meth subject
+      in
+      if interpreted <> compiled then
+        Some
+          (Fmt.str "%s guard: interpreted %a <> compiled %a"
+             (Meth.to_string e.meth) Value.pp_tribool interpreted
+             Value.pp_tribool compiled)
+      else if (interpreted = Value.True) <> allowed then
+        Some
+          (Fmt.str "%s guard truth %a contradicts allowed=%b on %s"
+             (Meth.to_string e.meth) Value.pp_tribool interpreted allowed
+             (Pretty.to_string guard))
+      else first rest
+  in
+  first table
+
+let rbac_run ~shrink:_ ~seed ~index ~size =
+  let rng, _ = case_streams ~seed index in
+  let (assignment, table, subject) as case = rbac_case rng in
+  match rbac_check case with
+  | None -> Pass
+  | Some detail ->
+    Fail
+      { oracle = "rbac"; index; detail;
+        repr = rbac_repr assignment table subject;
+        shrink_steps = 0;
+        entry = Corpus.make ~oracle:"rbac" ~seed ~index ~size []
+      }
+
+let rbac_replay (entry : Corpus.entry) =
+  let rng, _ = case_streams ~seed:entry.seed entry.index in
+  match rbac_check (rbac_case rng) with
+  | None -> Ok ()
+  | Some detail -> Error detail
+
+let rbac = { name = "rbac"; weight = 2; run_case = rbac_run; replay = rbac_replay }
+
+(* ---- codegen round-trip ---- *)
+
+(* Round-trip and translation failures only — the well-typedness
+   self-check is deliberately *not* part of this predicate, so shrinking
+   cannot walk out of the typed fragment and call it progress. *)
+let codegen_fails expr =
+  match Cm_ocl.Ocl_parser.parse (Pretty.to_string expr) with
+  | Error err ->
+    Some (Fmt.str "re-parse failed: %a" Cm_ocl.Ocl_parser.pp_error err)
+  | Ok reparsed when not (Ast.equal reparsed expr) ->
+    Some
+      (Fmt.str "print/parse round-trip changed the expression: got %s"
+         (Pretty.to_string reparsed))
+  | Ok _ ->
+    (match Cm_codegen.Ocl_to_python.translate expr with
+     | exception exn ->
+       Some ("python translation raised " ^ Printexc.to_string exn)
+     | "" -> Some "empty python translation"
+     | _ ->
+       (match Cm_codegen.Ocl_to_python.variables expr with
+        | exception exn ->
+          Some ("python variable extraction raised " ^ Printexc.to_string exn)
+        | _ -> None))
+
+let cinder_security =
+  { Generate.table = Security_table.cinder;
+    assignment = Security_table.cinder_assignment
+  }
+
+let gen_machine rng ~size =
+  let n_states = 2 + Rng.int rng 3 in
+  let state_name i = Printf.sprintf "S%d" i in
+  let small = max 2 (min 5 size) in
+  let states =
+    List.init n_states (fun i ->
+        BM.state (state_name i) (Ocl_gen.gen_bool rng ~size:small))
+  in
+  let transitions =
+    List.init
+      (1 + Rng.int rng 5)
+      (fun _ ->
+        let guard =
+          if Rng.bool rng then Some (Ocl_gen.gen_bool rng ~size:3) else None
+        in
+        let effect =
+          if Rng.bool rng then Some (Ocl_gen.gen_bool rng ~size:3) else None
+        in
+        BM.transition ?guard ?effect
+          ~source:(state_name (Rng.int rng n_states))
+          ~target:(state_name (Rng.int rng n_states))
+          (Rng.choose rng rbac_meths) "volume")
+  in
+  { BM.machine_name = "FuzzMachine"; context = "project"; initial = "S0";
+    states; transitions
+  }
+
+let contract_exprs (c : Contract.t) =
+  [ ("pre", c.Contract.pre);
+    ("functional_pre", c.Contract.functional_pre);
+    ("post", c.Contract.post)
+  ]
+  @ (match c.Contract.auth_guard with
+     | Some g -> [ ("auth_guard", g) ]
+     | None -> [])
+  @ List.mapi
+      (fun i (b : Contract.branch) ->
+        (Printf.sprintf "branch-%d" i, b.Contract.branch_pre))
+      c.Contract.branches
+
+let codegen_case ~shrink ~seed ~index ~size rng =
+  let fail detail expr steps =
+    let repr = Pretty.to_string expr in
+    Fail
+      { oracle = "codegen"; index; repr; detail; shrink_steps = steps;
+        entry =
+          Corpus.make ~oracle:"codegen" ~seed ~index ~size [ ("expr", repr) ]
+      }
+  in
+  if Rng.int rng 3 < 2 then begin
+    (* Expression mode: generator self-check, then printer round-trips. *)
+    let expr = Ocl_gen.gen_bool rng ~size in
+    if not (Typecheck.well_typed Ocl_gen.signature expr) then
+      fail "generator produced an ill-typed expression" expr 0
+    else
+      match codegen_fails expr with
+      | None -> Pass
+      | Some detail0 ->
+        let shrunk, steps =
+          if shrink then
+            Shrink.minimize ~candidates:Ocl_gen.shrink_expr
+              ~still_fails:(fun e -> codegen_fails e <> None)
+              expr
+          else (expr, 0)
+        in
+        let detail = Option.value ~default:detail0 (codegen_fails shrunk) in
+        fail detail shrunk steps
+  end
+  else begin
+    (* Machine mode: random state machine -> generated contracts -> every
+       contract expression survives the printers. *)
+    let machine = gen_machine rng ~size in
+    let security = if Rng.bool rng then Some cinder_security else None in
+    match Generate.all ?security machine with
+    | Error msg ->
+      Fail
+        { oracle = "codegen"; index;
+          repr = Fmt.str "machine with %d transitions" (List.length machine.BM.transitions);
+          detail = "contract generation failed: " ^ msg;
+          shrink_steps = 0;
+          entry = Corpus.make ~oracle:"codegen" ~seed ~index ~size []
+        }
+    | Ok contracts ->
+      let rec first = function
+        | [] -> Pass
+        | (part, expr) :: rest ->
+          (match codegen_fails expr with
+           | None -> first rest
+           | Some detail ->
+             let shrunk, steps =
+               if shrink then
+                 Shrink.minimize ~candidates:Ocl_gen.shrink_expr
+                   ~still_fails:(fun e -> codegen_fails e <> None)
+                   expr
+               else (expr, 0)
+             in
+             let detail =
+               Fmt.str "%s (in generated %s)"
+                 (Option.value ~default:detail (codegen_fails shrunk))
+                 part
+             in
+             fail detail shrunk steps)
+      in
+      first (List.concat_map contract_exprs contracts)
+  end
+
+let codegen_run ~shrink ~seed ~index ~size =
+  let rng, _ = case_streams ~seed index in
+  codegen_case ~shrink ~seed ~index ~size rng
+
+let codegen_replay (entry : Corpus.entry) =
+  match List.assoc_opt "expr" entry.payload with
+  | Some text ->
+    (match Cm_ocl.Ocl_parser.parse text with
+     | Error err ->
+       Error (Fmt.str "corpus expr does not parse: %a" Cm_ocl.Ocl_parser.pp_error err)
+     | Ok expr ->
+       (match codegen_fails expr with
+        | None -> Ok ()
+        | Some detail -> Error detail))
+  | None ->
+    let rng, _ = case_streams ~seed:entry.seed entry.index in
+    (match
+       codegen_case ~shrink:false ~seed:entry.seed ~index:entry.index
+         ~size:entry.size rng
+     with
+     | Pass -> Ok ()
+     | Fail f -> Error f.detail)
+
+let codegen =
+  { name = "codegen"; weight = 2; run_case = codegen_run;
+    replay = codegen_replay
+  }
+
+(* ---- monitor conformance ---- *)
+
+(* Undefined verdicts carry engine-specific fault-localization hints
+   (the interpreter names the undefined atoms, the compiler does not);
+   normalize them away — the *class* of the verdict must agree. *)
+let conf_key = function
+  | Outcome.Undefined _ -> "undefined"
+  | c -> Outcome.conformance_to_string c
+
+let verdict_key = function
+  | None -> "-"
+  | Some Eval.Holds -> "H"
+  | Some Eval.Violated -> "V"
+  | Some (Eval.Undefined_verdict _) -> "U"
+
+let outcome_key (o : Outcome.t) =
+  Fmt.str "%d|%s|%s|%s|%s" o.response.Cm_http.Response.status
+    (conf_key o.conformance) (verdict_key o.pre_verdict)
+    (verdict_key o.post_verdict)
+    (String.concat "," o.covered_requirements)
+
+let has_violation outcomes =
+  List.exists (fun (o : Outcome.t) -> Outcome.is_violation o.conformance) outcomes
+
+let mutant_engine index =
+  if index land 1 = 0 then Runtime.Compiled else Runtime.Interpreted
+
+let monitor_check ~index ~mutant trace =
+  match
+    ( Scenario.setup ~engine:Runtime.Interpreted (),
+      Scenario.setup ~engine:Runtime.Compiled () )
+  with
+  | Error msgs, _ | _, Error msgs ->
+    Some ("monitor setup failed: " ^ String.concat "; " msgs)
+  | Ok ctx_i, Ok ctx_c ->
+    let out_i = Trace_gen.run ctx_i trace in
+    let out_c = Trace_gen.run ctx_c trace in
+    let keys_i = List.map outcome_key out_i in
+    let keys_c = List.map outcome_key out_c in
+    if keys_i <> keys_c then begin
+      let rec first_diff n a b =
+        match a, b with
+        | x :: a', y :: b' -> if x = y then first_diff (n + 1) a' b' else
+            Fmt.str "exchange %d: interpreted [%s] vs compiled [%s]" n x y
+        | [], y :: _ -> Fmt.str "exchange %d only under compiled: [%s]" n y
+        | x :: _, [] -> Fmt.str "exchange %d only under interpreted: [%s]" n x
+        | [], [] -> "lengths differ"
+      in
+      Some ("engine verdicts diverge at " ^ first_diff 0 keys_i keys_c)
+    end
+    else if has_violation out_c then
+      Some "violation raised on the fault-free cloud"
+    else begin
+      match
+        Scenario.setup ~engine:(mutant_engine index)
+          ~faults:mutant.Mutant.faults ()
+      with
+      | Error msgs -> Some ("mutant setup failed: " ^ String.concat "; " msgs)
+      | Ok ctx_m ->
+        if has_violation (Trace_gen.run ctx_m trace) then None
+        else Some ("mutant " ^ mutant.Mutant.name ^ " survived the trace")
+    end
+
+let monitor_noise_size size = min size 12
+
+let monitor_run ~shrink ~seed ~index ~size =
+  let rng_noise, rng_probe = case_streams ~seed index in
+  let mutants = Mutant.all in
+  let mutant = List.nth mutants (index mod List.length mutants) in
+  let noise = Trace_gen.gen_noise rng_noise ~size:(monitor_noise_size size) in
+  let tail =
+    { Trace_gen.user = "alice"; op = Trace_gen.Drain }
+    :: Trace_gen.probe_for mutant.Mutant.name rng_probe
+  in
+  let fails noise = monitor_check ~index ~mutant (noise @ tail) in
+  match fails noise with
+  | None -> Pass
+  | Some detail0 ->
+    let shrunk, steps =
+      if shrink then
+        (* Each evaluation spins up three clouds: keep the budget tight. *)
+        Shrink.minimize ~budget:30 ~candidates:Shrink.shrink_list
+          ~still_fails:(fun n -> fails n <> None)
+          noise
+      else (noise, 0)
+    in
+    let detail = Option.value ~default:detail0 (fails shrunk) in
+    let trace = shrunk @ tail in
+    Fail
+      { oracle = "monitor"; index; detail; shrink_steps = steps;
+        repr = Fmt.str "%s vs %s" mutant.Mutant.name (Trace_gen.to_string trace);
+        entry =
+          Corpus.make ~oracle:"monitor" ~seed ~index ~size
+            [ ("mutant", mutant.Mutant.name);
+              ("trace", Trace_gen.to_string trace)
+            ]
+      }
+
+let monitor_replay (entry : Corpus.entry) =
+  let mutant_name =
+    match List.assoc_opt "mutant" entry.payload with
+    | Some name -> name
+    | None ->
+      (List.nth Mutant.all (entry.index mod List.length Mutant.all)).Mutant.name
+  in
+  match Mutant.find mutant_name with
+  | None -> Error ("unknown mutant " ^ mutant_name)
+  | Some mutant ->
+    let trace_result =
+      match List.assoc_opt "trace" entry.payload with
+      | Some text -> Trace_gen.of_string text
+      | None ->
+        let rng_noise, rng_probe = case_streams ~seed:entry.seed entry.index in
+        let noise =
+          Trace_gen.gen_noise rng_noise ~size:(monitor_noise_size entry.size)
+        in
+        Ok
+          (noise
+          @ ({ Trace_gen.user = "alice"; op = Trace_gen.Drain }
+            :: Trace_gen.probe_for mutant.Mutant.name rng_probe))
+    in
+    (match trace_result with
+     | Error msg -> Error ("corpus trace does not parse: " ^ msg)
+     | Ok trace ->
+       (match monitor_check ~index:entry.index ~mutant trace with
+        | None -> Ok ()
+        | Some detail -> Error detail))
+
+let monitor =
+  { name = "monitor"; weight = 1; run_case = monitor_run;
+    replay = monitor_replay
+  }
+
+let all = [ engine; rbac; codegen; monitor ]
+let find name = List.find_opt (fun o -> o.name = name) all

@@ -1,0 +1,70 @@
+(* Splitmix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state stepped
+   by an odd gamma, finalized through a murmur-style mixer.  Chosen here
+   because splitting is O(1) and the whole generator is a pure function
+   of (state, gamma) — exactly what seed-replayable fuzzing needs. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gammas must be odd; weak gammas (too few bit flips between
+   consecutive multiples) get an extra xor-shift, as in the paper. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  let flips = Int64.logxor z (Int64.shift_right_logical z 1) in
+  let popcount x =
+    let rec loop acc x =
+      if x = 0L then acc
+      else loop (acc + 1) (Int64.logand x (Int64.sub x 1L))
+    in
+    loop 0 x
+  in
+  if popcount flips < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let next t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let of_seed seed =
+  { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let case ~seed i =
+  (* Mix the case index into both state and gamma so streams for
+     different cases of the same run share no structure. *)
+  let base = mix64 (Int64.logxor (Int64.of_int seed) (mix64 (Int64.of_int i))) in
+  { state = base; gamma = mix_gamma (Int64.add base golden_gamma) }
+
+let split t =
+  let state = next t in
+  let gamma = mix_gamma (next t) in
+  { state; gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let bits64 = next
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let choose_arr t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose_arr: empty array";
+  arr.(int t (Array.length arr))

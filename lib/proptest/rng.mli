@@ -1,0 +1,45 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every random decision the fuzzer makes flows through this module —
+    never [Stdlib.Random] and never [Random.self_init] — so a run is a
+    pure function of its seed: [cmonitor fuzz --seed 42] replays the
+    identical case sequence on every machine.
+
+    The generator is {e splittable}: {!split} derives an independent
+    stream, and {!case} derives the stream for the [i]-th test case
+    directly from the root seed, so any single case can be replayed
+    without regenerating its predecessors. *)
+
+type t
+
+val of_seed : int -> t
+(** A fresh generator from an integer seed. *)
+
+val case : seed:int -> int -> t
+(** [case ~seed i] is the independent stream for case number [i] of the
+    run rooted at [seed].  [case ~seed i] and [case ~seed j] are
+    decorrelated for [i <> j]; the same pair always yields the same
+    stream. *)
+
+val split : t -> t
+(** Draw an independent child stream.  The parent advances by two
+    steps; the child shares no future output with it. *)
+
+val copy : t -> t
+(** Snapshot the current state (for re-running a generator). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+val choose : t -> 'a list -> 'a
+(** Uniform pick; the list must be non-empty. *)
+
+val choose_arr : t -> 'a array -> 'a

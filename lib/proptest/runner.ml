@@ -1,0 +1,90 @@
+type oracle_stats = { name : string; cases : int; failures : int }
+
+type report = {
+  seed : int;
+  shrink : bool;
+  total_cases : int;
+  stats : oracle_stats list;
+  failures : Oracle.failure list;
+}
+
+let allocate ~cases oracles =
+  let total_weight =
+    List.fold_left (fun acc (o : Oracle.t) -> acc + o.weight) 0 oracles
+  in
+  if total_weight = 0 then List.map (fun o -> (o, 0)) oracles
+  else begin
+    let base =
+      List.map
+        (fun (o : Oracle.t) -> (o, cases * o.weight / total_weight))
+        oracles
+    in
+    let assigned = List.fold_left (fun acc (_, n) -> acc + n) 0 base in
+    let leftover = cases - assigned in
+    (* Hand the integer-division remainder to the first oracles, one
+       case each — keeps the total exact and the split deterministic. *)
+    List.mapi (fun i (o, n) -> (o, if i < leftover then n + 1 else n)) base
+  end
+
+let size_for ~max_size index = 2 + (index mod max_size)
+
+let run ?(oracles = Oracle.all) ?(shrink = true) ?(max_size = 10) ~seed ~cases
+    () =
+  let plan = allocate ~cases oracles in
+  let stats, failures =
+    List.fold_left
+      (fun (stats, failures) ((o : Oracle.t), n) ->
+        let oracle_failures = ref [] in
+        for index = 0 to n - 1 do
+          match
+            o.run_case ~shrink ~seed ~index ~size:(size_for ~max_size index)
+          with
+          | Oracle.Pass -> ()
+          | Oracle.Fail f -> oracle_failures := f :: !oracle_failures
+        done;
+        let fs = List.rev !oracle_failures in
+        ( { name = o.name; cases = n; failures = List.length fs } :: stats,
+          fs :: failures ))
+      ([], []) plan
+  in
+  { seed; shrink; total_cases = cases;
+    stats = List.rev stats;
+    failures = List.concat (List.rev failures)
+  }
+
+let failed report = report.failures <> []
+
+let render report =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "fuzz: seed=%d cases=%d shrink=%b" report.seed report.total_cases
+    report.shrink;
+  List.iter
+    (fun s -> line "  %-8s %6d cases  %d failures" s.name s.cases s.failures)
+    report.stats;
+  let shown = 20 in
+  List.iteri
+    (fun i (f : Oracle.failure) ->
+      if i < shown then begin
+        line "FAIL %s case %d (%d shrink steps): %s" f.oracle f.index
+          f.shrink_steps f.detail;
+        line "  counterexample: %s" f.repr;
+        line "  corpus: %s" (Corpus.to_line f.entry)
+      end)
+    report.failures;
+  let n = List.length report.failures in
+  if n > shown then line "... and %d more failures" (n - shown);
+  if n = 0 then line "result: OK (no conformance mismatches)"
+  else line "result: %d failure%s" n (if n = 1 then "" else "s");
+  Buffer.contents buf
+
+let replay_corpus oracles entries =
+  List.filter_map
+    (fun (e : Corpus.entry) ->
+      match List.find_opt (fun (o : Oracle.t) -> o.name = e.oracle) oracles with
+      | None -> Some (e, "unknown oracle " ^ e.oracle)
+      | Some o ->
+        (match o.replay e with
+         | Ok () -> None
+         | Error detail -> Some (e, detail)))
+    entries

@@ -1,0 +1,41 @@
+(** Drives the oracles over a deterministic case budget.
+
+    The budget is split across oracles proportionally to their weights;
+    each oracle then runs its cases at indices [0..n-1] with sizes
+    cycling through [2 .. 2 + max_size - 1].  The whole run is a pure
+    function of [(seed, cases, oracles)] — re-running with the same
+    arguments reproduces the identical case sequence and report. *)
+
+type oracle_stats = { name : string; cases : int; failures : int }
+
+type report = {
+  seed : int;
+  shrink : bool;
+  total_cases : int;
+  stats : oracle_stats list;
+  failures : Oracle.failure list;
+}
+
+val allocate : cases:int -> Oracle.t list -> (Oracle.t * int) list
+(** Weighted split of the case budget; allocations sum to [cases]. *)
+
+val run :
+  ?oracles:Oracle.t list ->
+  ?shrink:bool ->
+  ?max_size:int ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** Run the fuzz campaign.  Defaults: all oracles, shrinking on,
+    [max_size] 10. *)
+
+val failed : report -> bool
+
+val render : report -> string
+(** Deterministic human-readable report (no timestamps). *)
+
+val replay_corpus :
+  Oracle.t list -> Corpus.entry list -> (Corpus.entry * string) list
+(** Re-check corpus entries; returns the entries that still fail (or
+    reference an unknown oracle) with the failure detail. *)

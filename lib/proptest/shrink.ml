@@ -1,0 +1,35 @@
+let minimize ?(budget = 1000) ~candidates ~still_fails x =
+  let evals = ref 0 in
+  let fails c =
+    incr evals;
+    still_fails c
+  in
+  let rec go current steps =
+    if !evals >= budget then (current, steps)
+    else begin
+      let rec first = function
+        | [] -> None
+        | c :: rest ->
+          if !evals >= budget then None
+          else if fails c then Some c
+          else first rest
+      in
+      match first (candidates current) with
+      | Some smaller -> go smaller (steps + 1)
+      | None -> (current, steps)
+    end
+  in
+  go x 0
+
+let shrink_list items =
+  let n = List.length items in
+  if n = 0 then []
+  else begin
+    let take k = List.filteri (fun i _ -> i < k) items in
+    let drop k = List.filteri (fun i _ -> i >= k) items in
+    let halves = if n >= 2 then [ take (n / 2); drop (n / 2) ] else [] in
+    let drop_one =
+      List.init n (fun i -> List.filteri (fun j _ -> j <> i) items)
+    in
+    halves @ drop_one
+  end

@@ -1,0 +1,24 @@
+(** Greedy counterexample minimization.
+
+    A shrinker proposes strictly "smaller" variants of a failing input;
+    {!minimize} repeatedly commits to the first variant that still
+    fails, until no variant fails or the evaluation budget runs out.
+    Greedy first-fit keeps re-evaluation counts low — important here
+    because one monitor-trace evaluation spins up whole simulated
+    clouds. *)
+
+val minimize :
+  ?budget:int ->
+  candidates:('a -> 'a list) ->
+  still_fails:('a -> bool) ->
+  'a ->
+  'a * int
+(** [minimize ~candidates ~still_fails x] with [still_fails x = true]
+    returns the minimized input and the number of shrink steps taken
+    (committed candidates).  [budget] (default 1000) caps the total
+    number of [still_fails] evaluations. *)
+
+val shrink_list : 'a list -> 'a list list
+(** Structural list shrinks: drop the first/second half, drop single
+    elements.  Ordered largest-cut-first so greedy minimization removes
+    noise quickly. *)

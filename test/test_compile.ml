@@ -283,9 +283,77 @@ let runtime_differential_tests =
             [ Runtime.Lean; Runtime.Full ]))
     all_contracts
 
+(* ---- exhaustive Kleene connectives ----
+
+   The compiler stages [and]/[or]/[implies] through short-circuiting
+   closures with separate constant-folded paths, so a drift from the
+   Kleene truth tables would be silent on happy-path contracts.  Cover
+   the full operand grid: each of the three truth values both as a
+   compile-time constant (literal) and as a runtime value (variable
+   binding — including an unbound variable for Unknown). *)
+
+let tribool = Alcotest.testable Value.pp_tribool ( = )
+
+let kleene_env =
+  Eval.env_of_bindings [ ("t", Json.bool true); ("f", Json.bool false) ]
+
+(* label, expression, its truth value *)
+let kleene_operands =
+  [ ("const-true", Ast.Bool_lit true, Value.True);
+    ("const-false", Ast.Bool_lit false, Value.False);
+    ("const-unknown", Ast.Null_lit, Value.Unknown);
+    ("dyn-true", Ast.Var "t", Value.True);
+    ("dyn-false", Ast.Var "f", Value.False);
+    ("dyn-unknown", Ast.Var "u", Value.Unknown)
+  ]
+
+let check_kleene label expr expected =
+  Alcotest.check tribool (label ^ " interpreted") expected
+    (Eval.check kleene_env expr);
+  let plan = Compile.plan () in
+  let staged = Compile.compile plan expr in
+  let staged_raw = Compile.compile_raw plan expr in
+  let frame = Compile.frame_of_env plan kleene_env in
+  Alcotest.check tribool (label ^ " compiled") expected
+    (Compile.check staged frame);
+  Alcotest.check tribool (label ^ " raw-compiled") expected
+    (Compile.check staged_raw frame)
+
+let kleene_tests =
+  let connectives =
+    [ ("and", Ast.And, Value.tri_and);
+      ("or", Ast.Or, Value.tri_or);
+      ("implies", Ast.Implies, Value.tri_implies);
+      ("xor", Ast.Xor, Value.tri_xor)
+    ]
+  in
+  List.map
+    (fun (name, op, reference) ->
+      Alcotest.test_case (name ^ ": full 6x6 operand grid") `Quick (fun () ->
+          List.iter
+            (fun (la, ea, ta) ->
+              List.iter
+                (fun (lb, eb, tb) ->
+                  check_kleene
+                    (Printf.sprintf "%s %s %s" la name lb)
+                    (Ast.Binop (op, ea, eb))
+                    (reference ta tb))
+                kleene_operands)
+            kleene_operands))
+    connectives
+  @ [ Alcotest.test_case "not: all 6 operands" `Quick (fun () ->
+          List.iter
+            (fun (l, e, t) ->
+              check_kleene ("not " ^ l)
+                (Ast.Unop (Ast.Not, e))
+                (Value.tri_not t))
+            kleene_operands)
+    ]
+
 let () =
   Alcotest.run "cm_compile"
     [ ("expr-differential", expr_differential_tests);
       ("corners", corner_tests);
-      ("runtime-differential", runtime_differential_tests)
+      ("runtime-differential", runtime_differential_tests);
+      ("kleene-connectives", kleene_tests)
     ]

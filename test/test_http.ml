@@ -132,7 +132,57 @@ let template_tests =
         let a = Uri_template.parse_exn "/v3/{p}/volumes/detail" in
         let b = Uri_template.parse_exn "/v3/{p}/volumes/{id}" in
         Alcotest.(check bool) "a > b" true
-          (Uri_template.specificity a > Uri_template.specificity b))
+          (Uri_template.specificity a > Uri_template.specificity b));
+    Alcotest.test_case "empty segments collapse on both sides" `Quick
+      (fun () ->
+        (* split_path drops empty segments, so duplicate and leading or
+           trailing slashes normalize away — in the template and in the
+           matched path alike. *)
+        let t = Uri_template.parse_exn "//v3//{p}///volumes/" in
+        Alcotest.(check string) "normalized print" "/v3/{p}/volumes"
+          (Uri_template.to_string t);
+        Alcotest.(check bool) "doubled slashes in path match" true
+          (Uri_template.matches t "/v3//myProject///volumes" <> None);
+        Alcotest.(check bool) "root collapses to the empty template" true
+          (Uri_template.matches (Uri_template.parse_exn "///") "/" <> None));
+    Alcotest.test_case "trailing slash on either side" `Quick (fun () ->
+        let t = Uri_template.parse_exn "/v3/{p}/volumes/" in
+        Alcotest.(check bool) "path without trailing slash" true
+          (Uri_template.matches t "/v3/p1/volumes" <> None);
+        Alcotest.(check bool) "path with trailing slash" true
+          (Uri_template.matches t "/v3/p1/volumes/" <> None);
+        Alcotest.(check bool) "extra segment still rejected" true
+          (Uri_template.matches t "/v3/p1/volumes/x" = None));
+    Alcotest.test_case "duplicate parameter names: last match wins lookup"
+      `Quick (fun () ->
+        (* The parser does not reject a repeated name; matching binds
+           each occurrence and assoc finds the first (leftmost). *)
+        let t = Uri_template.parse_exn "/pair/{id}/{id}" in
+        Alcotest.(check (list string)) "both occurrences reported"
+          [ "id"; "id" ]
+          (Uri_template.param_names t);
+        match Uri_template.matches t "/pair/a/b" with
+        | None -> Alcotest.fail "no match"
+        | Some bindings ->
+          Alcotest.(check (option string)) "leftmost binding" (Some "a")
+            (List.assoc_opt "id" bindings);
+          Alcotest.(check int) "two bindings recorded" 2
+            (List.length bindings));
+    Alcotest.test_case "percent-encoded ids are matched verbatim" `Quick
+      (fun () ->
+        (* No percent-decoding happens anywhere in the template layer:
+           an encoded id binds as the raw octets, and an encoded slash
+           does NOT split a segment. *)
+        let t = Uri_template.parse_exn "/v3/{p}/volumes/{id}" in
+        match Uri_template.matches t "/v3/my%20Project/volumes/vol%2F7" with
+        | None -> Alcotest.fail "no match"
+        | Some bindings ->
+          Alcotest.(check (option string)) "space stays encoded"
+            (Some "my%20Project")
+            (List.assoc_opt "p" bindings);
+          Alcotest.(check (option string)) "slash stays encoded"
+            (Some "vol%2F7")
+            (List.assoc_opt "id" bindings))
   ]
 
 let dummy_handler body : Router.handler =

@@ -368,7 +368,10 @@ let simplify_tests =
         check_simpl "not over eq" "not (x = 1)" "x <> 1";
         check_simpl "not over lt" "not (x < 1)" "x >= 1";
         check_simpl "implies true" "x = 1 implies true" "true";
-        check_simpl "self implication" "x = 1 implies x = 1" "true";
+        (* Not simplified to true: when x is unbound both sides are
+           Unknown, and Unknown implies Unknown is Unknown. *)
+        check_simpl "self implication stays" "x = 1 implies x = 1"
+          "x = 1 implies x = 1";
         check_simpl "constant folding" "1 + 2 = 3" "true");
     Alcotest.test_case "disjuncts and conjuncts flatten" `Quick (fun () ->
         Alcotest.(check int) "3 disjuncts" 3
@@ -491,6 +494,46 @@ let properties =
       prop_free_vars_sound
     ]
 
+(* Exhaustive Kleene truth tables for the tribool operators.  These are
+   the reference semantics that both evaluation engines are tested
+   against — spelled out value by value so any edit to Value is caught
+   directly, not just through a differential failure downstream. *)
+let kleene_tests =
+  let module V = Value in
+  let tri = Alcotest.testable V.pp_tribool ( = ) in
+  let all = [ V.True; V.False; V.Unknown ] in
+  let name a op b =
+    Fmt.str "%a %s %a" V.pp_tribool a op V.pp_tribool b
+  in
+  let table op f expected =
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            Alcotest.check tri (name a op b) expected.(i).(j) (f a b))
+          all)
+      all
+  in
+  let t = V.True and f = V.False and u = V.Unknown in
+  [ Alcotest.test_case "not" `Quick (fun () ->
+        Alcotest.check tri "not true" f (V.tri_not t);
+        Alcotest.check tri "not false" t (V.tri_not f);
+        Alcotest.check tri "not unknown" u (V.tri_not u));
+    Alcotest.test_case "and: false absorbs, unknown propagates" `Quick
+      (fun () ->
+        table "and" V.tri_and
+          [| [| t; f; u |]; [| f; f; f |]; [| u; f; u |] |]);
+    Alcotest.test_case "or: true absorbs, unknown propagates" `Quick
+      (fun () ->
+        table "or" V.tri_or [| [| t; t; t |]; [| t; f; u |]; [| t; u; u |] |]);
+    Alcotest.test_case "implies: (not a) or b" `Quick (fun () ->
+        table "implies" V.tri_implies
+          [| [| t; f; u |]; [| t; t; t |]; [| t; u; u |] |]);
+    Alcotest.test_case "xor: unknown poisons" `Quick (fun () ->
+        table "xor" V.tri_xor
+          [| [| f; t; u |]; [| t; f; u |]; [| u; u; u |] |])
+  ]
+
 let () =
   Alcotest.run "cm_ocl"
     [ ("parser", parse_tests);
@@ -498,5 +541,6 @@ let () =
       ("typecheck", typecheck_tests);
       ("ty", ty_tests);
       ("simplify", simplify_tests);
+      ("kleene", kleene_tests);
       ("properties", properties)
     ]
