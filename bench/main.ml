@@ -576,6 +576,103 @@ let section_fastpath () =
     Printf.printf "\nwrote BENCH_fastpath.json (%d rows)\n" (List.length rows)
   end
 
+let section_resilience () =
+  banner "B5: resilient forwarding overhead (fault-free, policy on vs off)";
+  let module Json = Cm_json.Json in
+  let fx = Workloads.make_fixture () in
+  let service =
+    match
+      Cm_cloudsim.Cloud.login fx.Workloads.cloud ~user:"svc" ~password:"svc"
+        ~project_id:"myProject"
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let resilient_monitor policy =
+    match
+      Cm_monitor.Monitor.create
+        (Cm_monitor.Monitor.default_config ~mode:Cm_monitor.Monitor.Oracle
+           ~service_token:service ~security ~resilience:policy
+           Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior)
+        (Cm_cloudsim.Cloud.handle fx.Workloads.cloud)
+    with
+    | Ok m -> m
+    | Error msgs -> failwith (String.concat "; " msgs)
+  in
+  let m_default = resilient_monitor Cm_monitor.Resilience.default in
+  let m_verified =
+    resilient_monitor
+      { Cm_monitor.Resilience.default with
+        Cm_monitor.Resilience.verified_reads = true
+      }
+  in
+  let request = Workloads.get_volume_request fx in
+  let tests =
+    Bechamel.Test.make_grouped ~name:"resilience"
+      [ Bechamel.Test.make ~name:"handle-resilience-off"
+          (staged (fun () ->
+               ignore
+                 (Cm_monitor.Monitor.handle fx.Workloads.monitor_oracle request)));
+        Bechamel.Test.make ~name:"handle-resilience-on"
+          (staged (fun () ->
+               ignore (Cm_monitor.Monitor.handle m_default request)));
+        Bechamel.Test.make ~name:"handle-verified-reads"
+          (staged (fun () ->
+               ignore (Cm_monitor.Monitor.handle m_verified request)))
+      ]
+  in
+  let rows = run_group_rows ~quota_s:0.5 tests in
+  let ns_of suffix =
+    List.find_map
+      (fun (name, ns, _) ->
+        if String.ends_with ~suffix name then Some ns else None)
+      rows
+  in
+  print_newline ();
+  let overhead =
+    match ns_of "resilience-off", ns_of "resilience-on" with
+    | Some off, Some on when off > 0. ->
+      let pct = (on -. off) /. off *. 100. in
+      Printf.printf
+        "resilience layer, fault-free: %+.1f%% per request (%.0f ns -> %.0f \
+         ns; target < 10%%)\n"
+        pct off on;
+      Some pct
+    | _ ->
+      print_endline "resilience layer overhead: n/a";
+      None
+  in
+  (match ns_of "resilience-off", ns_of "verified-reads" with
+   | Some off, Some on when off > 0. ->
+     Printf.printf
+       "with verified reads (chaos policy): %+.1f%% (doubles observation \
+        GETs by design)\n"
+       ((on -. off) /. off *. 100.)
+   | _ -> ());
+  if !json_output then begin
+    let doc =
+      Json.obj
+        [ ( "rows",
+            Json.list
+              (List.map
+                 (fun (name, ns, r2) ->
+                   Json.obj
+                     [ ("benchmark", Json.string name);
+                       ("ns_per_run", Json.float ns);
+                       ("r2", Json.float r2)
+                     ])
+                 rows) );
+          ( "overhead_percent",
+            match overhead with Some p -> Json.float p | None -> Json.Null )
+        ]
+    in
+    let oc = open_out "BENCH_resilience.json" in
+    output_string oc (Cm_json.Printer.to_string_pretty doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_resilience.json (%d rows)\n" (List.length rows)
+  end
+
 let section_explore () =
   banner "A4: randomized conformance exploration";
   (match Cm_mutation.Explorer.run ~config:{ Cm_mutation.Explorer.seed = 42; steps = 300 } () with
@@ -752,6 +849,7 @@ let sections =
     ("ocl", section_ocl);
     ("ablation", section_ablation);
     ("fastpath", section_fastpath);
+    ("resilience", section_resilience);
     ("testgen", section_testgen);
     ("localize", section_localize);
     ("glance", section_glance);

@@ -255,12 +255,96 @@ let fuzz_cmd =
       const fuzz $ cases_arg $ seed_arg $ shrink_arg $ oracle_arg
       $ max_size_arg $ corpus_arg)
 
+(* ---- chaos: the mutation campaign under unreliable transport ---- *)
+
+let chaos cases seed profile_name json_path =
+  let module Chaos = Cm_cloudsim.Chaos in
+  let module Campaign = Cloudmon.Mutation.Campaign in
+  let profiles =
+    if profile_name = "all" then Chaos.profiles
+    else
+      match Chaos.find_profile profile_name with
+      | Some p -> [ p ]
+      | None -> []
+  in
+  if profiles = [] then begin
+    Printf.eprintf "unknown chaos profile %S (expected all%s)\n" profile_name
+      (String.concat ""
+         (List.map (fun (p : Chaos.profile) -> "|" ^ p.Chaos.name) Chaos.profiles));
+    2
+  end
+  else begin
+    let mutants = Cloudmon.Mutation.Mutant.all in
+    let rec matrices acc = function
+      | [] -> Ok (List.rev acc)
+      | profile :: rest ->
+        (match Campaign.run_chaos ~seed profile mutants with
+         | Ok runs ->
+           Printf.printf "=== profile %s: %s ===\n" profile.Chaos.name
+             profile.Chaos.description;
+           print_string (Campaign.chaos_matrix runs);
+           print_newline ();
+           matrices (runs :: acc) rest
+         | Error msgs ->
+           List.iter prerr_endline msgs;
+           Error ())
+    in
+    match matrices [] profiles with
+    | Error () -> 1
+    | Ok all_runs ->
+      let runs = List.concat all_runs in
+      let matrix_ok = Campaign.chaos_ok runs in
+      (match json_path with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         output_string oc
+           (Cm_json.Printer.to_string_pretty (Campaign.chaos_to_json runs));
+         output_string oc "\n";
+         close_out oc;
+         Printf.printf "wrote %s\n" path);
+      (* the randomized half: bounded random profiles x random traces *)
+      let module R = Cm_proptest.Runner in
+      let report =
+        R.run
+          ~oracles:[ Cm_proptest.Oracle.chaos ]
+          ~shrink:false ~seed ~cases ()
+      in
+      print_string (R.render report);
+      Printf.printf "\ncampaign: %s; fuzz: %s\n"
+        (if matrix_ok then "no flips, all mutants killed" else "INTEGRITY FAILURE")
+        (if R.failed report then "FAILED" else "passed");
+      if matrix_ok && not (R.failed report) then 0 else 1
+  end
+
+let chaos_cases_arg =
+  let doc = "Number of randomized chaos cases after the profile matrix." in
+  Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
+
+let chaos_profile_arg =
+  let doc = "Chaos profile to run: all (default) or a named profile." in
+  Arg.(value & opt string "all" & info [ "profile" ] ~docv:"NAME" ~doc)
+
+let chaos_json_arg =
+  let doc = "Write the machine-readable integrity report to this file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "mutation campaign under unreliable transport: every mutant must \
+          stay killed and no definite verdict may flip")
+    Term.(
+      const chaos $ chaos_cases_arg $ seed_arg $ chaos_profile_arg
+      $ chaos_json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cmonitor" ~version:Cloudmon.version
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
     [ validate_cmd; lifecycle_cmd; contracts_cmd; table1_cmd; testgen_cmd;
-      explore_cmd; audit_cmd; fuzz_cmd
+      explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -5,6 +5,10 @@ type t = {
   identity : Identity.t;
   ctx : Guarded.ctx;
   router : Cm_http.Router.t;
+  (* Idempotency cache: first response per X-Request-Id for mutating
+     requests, so a client retrying after an uncertain transport failure
+     (timeout, connection reset) never executes the mutation twice. *)
+  dedup : (string, Cm_http.Response.t) Hashtbl.t;
 }
 
 let default_policy =
@@ -38,10 +42,10 @@ let default_policy =
       ("server:delete", Policy.Role "admin")
     ]
 
-let create ?(policy = default_policy) () =
+let create ?(policy = default_policy) ?clock ?seed () =
   let store = Store.create () in
   let identity = Identity.create () in
-  let ctx = Guarded.make ~identity ~policy in
+  let ctx = Guarded.make ?clock ?seed ~identity ~policy () in
   let block_storage = Block_storage.create ~store ~ctx in
   let compute = Compute.create ~store ~ctx in
   let image_service = Image_service.create ~store ~ctx in
@@ -51,11 +55,29 @@ let create ?(policy = default_policy) () =
       @ Compute.routes compute
       @ Image_service.routes image_service)
   in
-  { store; identity; ctx; router }
+  { store; identity; ctx; router; dedup = Hashtbl.create 64 }
 
-let handle t req = Cm_http.Router.dispatch t.router req
+let request_id_header = "X-Request-Id"
+
+let mutating = function
+  | Cm_http.Meth.POST | Cm_http.Meth.PUT | Cm_http.Meth.DELETE
+  | Cm_http.Meth.PATCH -> true
+  | Cm_http.Meth.GET | Cm_http.Meth.HEAD | Cm_http.Meth.OPTIONS -> false
+
+let handle t req =
+  match Cm_http.Headers.get request_id_header req.Cm_http.Request.headers with
+  | Some id when mutating req.Cm_http.Request.meth ->
+    (match Hashtbl.find_opt t.dedup id with
+     | Some cached -> cached
+     | None ->
+       let resp = Cm_http.Router.dispatch t.router req in
+       Hashtbl.replace t.dedup id resp;
+       resp)
+  | Some _ | None -> Cm_http.Router.dispatch t.router req
+
 let store t = t.store
 let identity t = t.identity
+let clock t = Guarded.clock t.ctx
 let set_faults t faults = Guarded.set_faults t.ctx faults
 let faults t = Guarded.faults t.ctx
 

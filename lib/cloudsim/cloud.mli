@@ -8,14 +8,27 @@
 
 type t
 
-val create : ?policy:Cm_rbac.Policy.t -> unit -> t
-(** [policy] defaults to {!default_policy}. *)
+val create :
+  ?policy:Cm_rbac.Policy.t -> ?clock:Cm_core.Clock.t -> ?seed:int -> unit -> t
+(** [policy] defaults to {!default_policy}.  [clock] is the virtual
+    clock advanced by [Slow_action] faults (fresh by default); [seed]
+    drives [Flaky_action] draws. *)
 
 val handle : t -> Cm_http.Request.t -> Cm_http.Response.t
-(** Dispatch one request (the cloud's HTTP entry point). *)
+(** Dispatch one request (the cloud's HTTP entry point).  A mutating
+    request (POST/PUT/DELETE/PATCH) carrying an [X-Request-Id] header is
+    idempotent: the first response for that id is cached and replayed on
+    retries, so a client retrying after an uncertain transport failure
+    never executes the mutation twice. *)
+
+val request_id_header : string
+(** ["X-Request-Id"] — the idempotency-key header {!handle} dedups on. *)
 
 val store : t -> Store.t
 val identity : t -> Identity.t
+
+val clock : t -> Cm_core.Clock.t
+(** The cloud's virtual clock (shared with whoever passed it in). *)
 
 val set_faults : t -> Faults.set -> unit
 (** Activate a mutant (empty set restores the correct implementation). *)

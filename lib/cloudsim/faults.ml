@@ -7,6 +7,8 @@ type t =
   | Wrong_success_status of string * Cm_http.Status.t
   | Phantom_create
   | Zombie_delete
+  | Slow_action of string * int
+  | Flaky_action of string * float
 
 let to_string = function
   | Policy_override (action, rule) ->
@@ -20,6 +22,9 @@ let to_string = function
     Printf.sprintf "wrong-success-status(%s -> %d)" action status
   | Phantom_create -> "phantom-create"
   | Zombie_delete -> "zombie-delete"
+  | Slow_action (action, ms) -> Printf.sprintf "slow-action(%s, %dms)" action ms
+  | Flaky_action (action, p) ->
+    Printf.sprintf "flaky-action(%s, p=%.2f)" action p
 
 let equal a b = a = b
 
@@ -54,3 +59,13 @@ let success_status_for set action =
 
 let phantom_create set = List.mem Phantom_create set
 let zombie_delete set = List.mem Zombie_delete set
+
+let slow_ms set action =
+  List.find_map
+    (function Slow_action (a, ms) when a = action -> Some ms | _ -> None)
+    set
+
+let flaky_p set action =
+  List.find_map
+    (function Flaky_action (a, p) when a = action -> Some p | _ -> None)
+    set

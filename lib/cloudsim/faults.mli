@@ -22,6 +22,12 @@ type t =
       (** POST answers 201 but does not actually create the volume *)
   | Zombie_delete
       (** DELETE answers 204 but does not actually delete the volume *)
+  | Slow_action of string * int
+      (** the action takes the given extra virtual milliseconds — a
+          degraded backend; composes with behavioural faults in one set *)
+  | Flaky_action of string * float
+      (** the action fails with 503 with the given probability before
+          executing (drawn from the cloud's own seeded PRNG) *)
 
 val to_string : t -> string
 val equal : t -> t -> bool
@@ -40,3 +46,11 @@ val allows_delete_in_use : set -> bool
 val success_status_for : set -> string -> Cm_http.Status.t option
 val phantom_create : set -> bool
 val zombie_delete : set -> bool
+
+val slow_ms : set -> string -> int option
+(** Extra virtual latency for the action, when a [Slow_action] fault is
+    active on it. *)
+
+val flaky_p : set -> string -> float option
+(** Probability of a transient 503 on the action, when a [Flaky_action]
+    fault is active on it. *)

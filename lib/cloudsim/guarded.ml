@@ -2,44 +2,64 @@ type ctx = {
   identity : Identity.t;
   policy : Cm_rbac.Policy.t;
   faults : Faults.set ref;
+  clock : Cm_core.Clock.t;
+  rng : Cm_core.Prng.t;
 }
 
-let make ~identity ~policy = { identity; policy; faults = ref Faults.none }
+let make ?clock ?(seed = 0x5EED) ~identity ~policy () =
+  let clock =
+    match clock with Some c -> c | None -> Cm_core.Clock.create ()
+  in
+  { identity; policy; faults = ref Faults.none; clock;
+    rng = Cm_core.Prng.of_seed seed
+  }
+
 let set_faults ctx faults = ctx.faults := faults
 let faults ctx = !(ctx.faults)
+let clock ctx = ctx.clock
 
 let authorize ctx ~action ~project_id req =
-  match Cm_http.Request.auth_token req with
-  | None ->
+  (match Faults.slow_ms !(ctx.faults) action with
+   | Some ms -> Cm_core.Clock.advance ctx.clock ms
+   | None -> ());
+  match Faults.flaky_p !(ctx.faults) action with
+  | Some p when Cm_core.Prng.chance ctx.rng p ->
     Error
-      (Cm_http.Response.error Cm_http.Status.unauthorized
-         "authentication required")
-  | Some token ->
-    (match Identity.validate ctx.identity ~token with
+      (Cm_http.Response.error Cm_http.Status.service_unavailable
+         (Printf.sprintf "transient backend failure on %s" action))
+  | Some _ | None ->
+    (match Cm_http.Request.auth_token req with
      | None ->
        Error
-         (Cm_http.Response.error Cm_http.Status.unauthorized "invalid token")
-     | Some info ->
-       if info.Identity.project_id <> project_id then
-         Error
-           (Cm_http.Response.error Cm_http.Status.forbidden
-              "token not scoped to this project")
-       else if Faults.skips_policy !(ctx.faults) action then Ok info
-       else if Faults.denies !(ctx.faults) action then
-         Error
-           (Cm_http.Response.error Cm_http.Status.forbidden
-              (Printf.sprintf "policy does not allow %s" action))
-       else begin
-         let roles = Identity.roles_of_token ctx.identity info in
-         let groups = info.Identity.subject.Cm_rbac.Subject.groups in
-         let permitted =
-           match Faults.overridden_rule !(ctx.faults) action with
-           | Some rule -> Cm_rbac.Policy.satisfies rule ~roles ~groups
-           | None -> Cm_rbac.Policy.authorize ctx.policy ~action ~roles ~groups
-         in
-         if permitted then Ok info
-         else
-           Error
-             (Cm_http.Response.error Cm_http.Status.forbidden
-                (Printf.sprintf "policy does not allow %s" action))
-       end)
+         (Cm_http.Response.error Cm_http.Status.unauthorized
+            "authentication required")
+     | Some token ->
+       (match Identity.validate ctx.identity ~token with
+        | None ->
+          Error
+            (Cm_http.Response.error Cm_http.Status.unauthorized "invalid token")
+        | Some info ->
+          if info.Identity.project_id <> project_id then
+            Error
+              (Cm_http.Response.error Cm_http.Status.forbidden
+                 "token not scoped to this project")
+          else if Faults.skips_policy !(ctx.faults) action then Ok info
+          else if Faults.denies !(ctx.faults) action then
+            Error
+              (Cm_http.Response.error Cm_http.Status.forbidden
+                 (Printf.sprintf "policy does not allow %s" action))
+          else begin
+            let roles = Identity.roles_of_token ctx.identity info in
+            let groups = info.Identity.subject.Cm_rbac.Subject.groups in
+            let permitted =
+              match Faults.overridden_rule !(ctx.faults) action with
+              | Some rule -> Cm_rbac.Policy.satisfies rule ~roles ~groups
+              | None ->
+                Cm_rbac.Policy.authorize ctx.policy ~action ~roles ~groups
+            in
+            if permitted then Ok info
+            else
+              Error
+                (Cm_http.Response.error Cm_http.Status.forbidden
+                   (Printf.sprintf "policy does not allow %s" action))
+          end))

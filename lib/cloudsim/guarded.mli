@@ -1,22 +1,34 @@
 (** Authentication and policy enforcement shared by the simulated
     services (the Keystone middleware every OpenStack service mounts).
 
-    Order of checks, matching OpenStack semantics: missing/invalid token
-    -> 401; token scoped to a different project -> 403; policy denies
-    the action for the subject's roles/groups -> 403.  Fault injection
-    can skip, deny or override the policy decision. *)
+    Order of checks, matching OpenStack semantics: crash faults first
+    ([Slow_action] advances the virtual clock, [Flaky_action] may answer
+    503 before anything executes); then missing/invalid token -> 401;
+    token scoped to a different project -> 403; policy denies the action
+    for the subject's roles/groups -> 403.  Fault injection can skip,
+    deny or override the policy decision. *)
 
 type ctx = {
   identity : Identity.t;
   policy : Cm_rbac.Policy.t;
   faults : Faults.set ref;
+  clock : Cm_core.Clock.t;  (** advanced by [Slow_action] faults *)
+  rng : Cm_core.Prng.t;  (** drives [Flaky_action] draws, seeded *)
 }
 
-val make : identity:Identity.t -> policy:Cm_rbac.Policy.t -> ctx
-(** Starts with no faults. *)
+val make :
+  ?clock:Cm_core.Clock.t ->
+  ?seed:int ->
+  identity:Identity.t ->
+  policy:Cm_rbac.Policy.t ->
+  unit ->
+  ctx
+(** Starts with no faults.  [clock] defaults to a fresh virtual clock;
+    [seed] (default [0x5EED]) seeds the flaky-fault PRNG. *)
 
 val set_faults : ctx -> Faults.set -> unit
 val faults : ctx -> Faults.set
+val clock : ctx -> Cm_core.Clock.t
 
 val authorize :
   ctx ->

@@ -7,11 +7,15 @@ module Ocl = Cm_ocl
 module Uml = Cm_uml
 module Rbac = Cm_rbac
 module Contracts = Cm_contracts
+module Clock = Cm_core.Clock
+module Transport = Cm_core.Transport
 module Cloudsim = Cm_cloudsim.Cloud
 module Identity = Cm_cloudsim.Identity
 module Store = Cm_cloudsim.Store
 module Faults = Cm_cloudsim.Faults
+module Chaos = Cm_cloudsim.Chaos
 module Monitor = Cm_monitor.Monitor
+module Resilience = Cm_monitor.Resilience
 module Outcome = Cm_monitor.Outcome
 module Report = Cm_monitor.Report
 module Codegen = Cm_codegen

@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* 53 uniform bits into [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let int_in t lo hi = lo + int t (hi - lo + 1)
+
+let chance t p = p > 0.0 && (p >= 1.0 || float t < p)

@@ -1,0 +1,25 @@
+(** Small deterministic PRNG (splitmix64) for the fault simulators.
+
+    The chaos transport and the resilience layer's backoff jitter must
+    be pure functions of their seeds — never [Stdlib.Random] — so every
+    chaos campaign replays identically from [--seed].  (The fuzzer has
+    its own splittable generator in [Cm_proptest.Rng]; this one is the
+    dependency-free core variant for the simulation layers.) *)
+
+type t
+
+val of_seed : int -> t
+val bits64 : t -> int64
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] uniform-ish in [\[0, bound)]; [bound] positive. *)
+
+val int_in : t -> int -> int -> int
+(** Inclusive range. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p].  [p <= 0.] never draws
+    (and never advances the stream); [p >= 1.] always fires. *)

@@ -1,0 +1,11 @@
+exception Timeout of int
+exception Connection_reset
+
+let is_failure = function
+  | Timeout _ | Connection_reset -> true
+  | _ -> false
+
+let describe = function
+  | Timeout ms -> Printf.sprintf "transport timeout after %d virtual ms" ms
+  | Connection_reset -> "connection reset"
+  | exn -> Printexc.to_string exn

@@ -1,0 +1,23 @@
+(** Transport-level failures between the monitor and the cloud.
+
+    A backend is [Request.t -> Response.t]; crash faults that have no
+    well-formed HTTP answer (the connection died, the wait was
+    abandoned) surface as these exceptions.  They are defined here — in
+    the dependency-free core — so the unreliable-transport simulator
+    ({!Cm_cloudsim.Chaos}) can raise them and the monitor's resilience
+    layer ({!Cm_monitor.Resilience}) can catch them without either
+    library depending on the other. *)
+
+exception Timeout of int
+(** The caller stopped waiting after the given virtual milliseconds.
+    The request {e may or may not} have reached the backend. *)
+
+exception Connection_reset
+(** The connection dropped.  The request {e may or may not} have been
+    executed before the drop. *)
+
+val is_failure : exn -> bool
+(** True exactly for the exceptions of this module. *)
+
+val describe : exn -> string
+(** Human-readable description (falls back to [Printexc.to_string]). *)

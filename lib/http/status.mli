@@ -35,7 +35,11 @@ val internal_server_error : t (** 500 *)
 
 val not_implemented : t (** 501 *)
 
+val bad_gateway : t (** 502 — transport blip in front of the cloud *)
+
 val service_unavailable : t (** 503 *)
+
+val gateway_timeout : t (** 504 — the monitor gave up waiting on the cloud *)
 
 val reason_phrase : t -> string
 val is_success : t -> bool (** 2xx *)

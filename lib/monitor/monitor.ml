@@ -1,4 +1,6 @@
 module Json = Cm_json.Json
+module Clock = Cm_core.Clock
+module Transport = Cm_core.Transport
 module Request = Cm_http.Request
 module Response = Cm_http.Response
 module Status = Cm_http.Status
@@ -15,6 +17,7 @@ let log_src =
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type mode = Enforce | Oracle
+type degradation = Fail_closed | Fail_open_logged
 
 type config = {
   mode : mode;
@@ -25,18 +28,27 @@ type config = {
   behavior : Behavior_model.t;
   security : Generate.security option;
   stability_check : bool;
+  resilience : Resilience.policy option;
+  degradation : degradation;
+  clock : Clock.t option;
 }
 
 let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ?(engine = Cm_contracts.Runtime.Compiled) ?(stability_check = false)
-    ~service_token ?security resources behavior =
+    ?resilience ?(degradation = Fail_open_logged) ?clock ~service_token
+    ?security resources behavior =
   { mode; strategy; engine; service_token; resources; behavior; security;
-    stability_check
+    stability_check; resilience; degradation; clock
   }
 
 type t = {
   config : config;
-  backend : Observer.backend;
+  backend : Observer.backend;  (* the raw transport *)
+  resilient : Resilience.t option;
+  obs_backend : Observer.backend;  (* what observation GETs go through *)
+  mutable forward_seen : bool;
+      (* whether the current [handle] already reached the backend — read
+         by exception containment to say if the request may have run *)
   entries : Cm_uml.Paths.entry list;
   prepared : (Behavior_model.trigger * Runtime.prepared) list;
   (* Request-path dispatch tables, built once in [create]:
@@ -50,6 +62,7 @@ type t = {
 }
 
 let contracts t = List.map (fun (_, p) -> Runtime.contract p) t.prepared
+let resilience t = t.resilient
 let uri_table t = t.entries
 let configuration t = t.config
 let outcomes t = List.rev t.log
@@ -93,6 +106,19 @@ let dispatch_table entries =
     (List.rev sorted);
   table
 
+(* A successful observation GET must carry the single-key envelope
+   [Observer.unwrap] expects; anything else is a corrupt read the
+   resilience layer should retry rather than hand to contract
+   evaluation.  Scoped to GETs so forwarded mutations are never
+   re-judged by shape. *)
+let observation_envelope (req : Request.t) (resp : Response.t) =
+  match req.Request.meth with
+  | Meth.GET when Response.is_success resp ->
+    (match resp.Response.body with
+     | Some (Json.Obj [ _ ]) -> true
+     | Some _ | None -> false)
+  | _ -> true
+
 let create config backend =
   let issues = Cm_uml.Validate.all config.resources [ config.behavior ] in
   if issues <> [] then
@@ -129,9 +155,27 @@ let create config backend =
                if not (Hashtbl.mem by_trigger trigger) then
                  Hashtbl.add by_trigger trigger p)
              prepared;
+           let resilient =
+             Option.map
+               (fun policy ->
+                 let clock =
+                   match config.clock with
+                   | Some clock -> clock
+                   | None -> Clock.create ()
+                 in
+                 Resilience.create ~validate:observation_envelope policy clock
+                   backend)
+               config.resilience
+           in
            Ok
              { config;
                backend;
+               resilient;
+               obs_backend =
+                 (match resilient with
+                  | Some r -> Resilience.backend r
+                  | None -> backend);
+               forward_seen = false;
                entries;
                prepared;
                dispatch = dispatch_table entries;
@@ -229,7 +273,7 @@ let observe_env t classified =
     Option.value ~default:"" classified.request_project
   in
   let observer =
-    Observer.create ~backend:t.backend ~token:t.config.service_token
+    Observer.create ~backend:t.obs_backend ~token:t.config.service_token
       ~model:t.config.resources ~project_id
   in
   fun ~user_token ->
@@ -301,21 +345,101 @@ let stable_post_verdict t ~make_env ~user_token post_env post_verdict =
 
 (* ---- the main flows ---- *)
 
-let forward t req = t.backend req
-
-let not_monitored t req =
-  let response = forward t req in
+let outcome_base req response cloud_response conformance detail =
   { Outcome.request = req;
     response;
-    cloud_response = Some response;
-    conformance = Outcome.Not_monitored;
+    cloud_response;
+    conformance;
     pre_verdict = None;
     post_verdict = None;
     covered_requirements = [];
     contract_requirements = [];
     snapshot_bytes = 0;
-    detail = "no model entry for this URI"
+    detail
   }
+
+(* One forwarded request, three possible worlds: the backend answered;
+   the breaker refused to send (the cloud definitely did not see it); or
+   retries ran out (the last attempt may have reached the cloud). *)
+type forwarded =
+  | Delivered of Response.t
+  | Not_delivered of Resilience.failure
+  | Unknown_outcome of Resilience.failure
+
+let forward t req =
+  match t.resilient with
+  | None ->
+    t.forward_seen <- true;
+    Delivered (t.backend req)
+  | Some r ->
+    (* [call_verified] so the double-read stale defense also covers
+       forwarded GETs (a stale 200 for a deleted resource would flip a
+       definite verdict); for non-GETs it is exactly [call]. *)
+    (match Resilience.call_verified r req with
+     | Ok resp ->
+       t.forward_seen <- true;
+       Delivered resp
+     | Error (Resilience.Circuit_open _ as failure) -> Not_delivered failure
+     | Error (Resilience.Exhausted _ as failure) ->
+       t.forward_seen <- true;
+       Unknown_outcome failure)
+
+(* The circuit is open: monitoring cannot complete, and nothing was
+   sent.  [Fail_closed] rejects outright (availability sacrificed for
+   certainty); [Fail_open_logged] forwards raw — one shot, unmonitored —
+   so the cloud stays reachable behind a wedged monitor.  Either way the
+   exchange is logged as [Degraded], never as a cloud verdict. *)
+let degrade t req failure =
+  let why = Resilience.failure_to_string failure in
+  match t.config.degradation with
+  | Fail_closed ->
+    let detail = "fail-closed: " ^ why in
+    let response =
+      Response.make
+        ~headers:(Cm_http.Headers.content_type_json Cm_http.Headers.empty)
+        ~body:(monitor_body (Outcome.Degraded detail) detail)
+        Status.service_unavailable
+    in
+    outcome_base req response None (Outcome.Degraded detail) detail
+  | Fail_open_logged ->
+    let detail = "fail-open: forwarded unmonitored (" ^ why ^ ")" in
+    (match t.backend req with
+     | response ->
+       t.forward_seen <- true;
+       outcome_base req response (Some response) (Outcome.Degraded detail)
+         detail
+     | exception exn when Transport.is_failure exn ->
+       let detail = detail ^ "; raw forward failed: " ^ Transport.describe exn in
+       outcome_base req
+         (Response.error Status.bad_gateway detail)
+         None (Outcome.Degraded detail) detail)
+
+(* Retries exhausted after the request may have reached the cloud: the
+   outcome of this exchange is genuinely three-valued. *)
+let unknown_outcome req failure =
+  let hint =
+    "forwarding outcome unknown: " ^ Resilience.failure_to_string failure
+  in
+  outcome_base req
+    (Response.error Status.gateway_timeout hint)
+    None (Outcome.Undefined hint) hint
+
+let not_monitored t req =
+  match forward t req with
+  | Not_delivered failure -> degrade t req failure
+  | Unknown_outcome failure -> unknown_outcome req failure
+  | Delivered response ->
+    { Outcome.request = req;
+      response;
+      cloud_response = Some response;
+      conformance = Outcome.Not_monitored;
+      pre_verdict = None;
+      post_verdict = None;
+      covered_requirements = [];
+      contract_requirements = [];
+      snapshot_bytes = 0;
+      detail = "no model entry for this URI"
+    }
 
 let no_contract t classified req =
   match t.config.mode with
@@ -342,40 +466,63 @@ let no_contract t classified req =
       detail = "no contract for trigger"
     }
   | Oracle ->
-    let response = forward t req in
-    let conformance =
-      if Response.is_success response then Outcome.Functional_wrongly_accepted
-      else Outcome.Conform_denied
-    in
-    { Outcome.request = req;
-      response;
-      cloud_response = Some response;
-      conformance;
-      pre_verdict = None;
-      post_verdict = None;
-      covered_requirements = [];
-      contract_requirements = [];
-      snapshot_bytes = 0;
-      detail = "method has no contract in the model"
-    }
-
-let outcome_base req response cloud_response conformance detail =
-  { Outcome.request = req;
-    response;
-    cloud_response;
-    conformance;
-    pre_verdict = None;
-    post_verdict = None;
-    covered_requirements = [];
-    contract_requirements = [];
-    snapshot_bytes = 0;
-    detail
-  }
+    (match forward t req with
+     | Not_delivered failure -> degrade t req failure
+     | Unknown_outcome failure -> unknown_outcome req failure
+     | Delivered response ->
+       let conformance =
+         if Response.is_success response then
+           Outcome.Functional_wrongly_accepted
+         else Outcome.Conform_denied
+       in
+       { Outcome.request = req;
+         response;
+         cloud_response = Some response;
+         conformance;
+         pre_verdict = None;
+         post_verdict = None;
+         covered_requirements = [];
+         contract_requirements = [];
+         snapshot_bytes = 0;
+         detail = "method has no contract in the model"
+       })
 
 let tri_tag hint = function
   | Cm_ocl.Value.True -> `True
   | Cm_ocl.Value.False -> `False
   | Cm_ocl.Value.Unknown -> `Unknown hint
+
+(* Timeout after forwarding, mid-contract: the request may or may not
+   have executed.  Re-probe the observed state and record how it
+   reconciles with the pre-snapshot, but keep the verdict three-valued —
+   the presence (or absence) of the effect cannot be attributed to this
+   request, so claiming [Conform] or [Post_violated] here would be a
+   coin-flip dressed as a verdict. *)
+let unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+    ~pre_verdict ~covered ~requirements req failure =
+  let post_obs = Runtime.observe prepared (make_env ~user_token) in
+  let post_verdict = Runtime.check_post_observed prepared snapshot post_obs in
+  let hint =
+    "forwarding outcome unknown: " ^ Resilience.failure_to_string failure
+  in
+  let reconcile =
+    match post_verdict with
+    | Cm_ocl.Eval.Holds -> "re-probe: post-state consistent with execution"
+    | Cm_ocl.Eval.Violated ->
+      "re-probe: post-state does not show the expected effect"
+    | Cm_ocl.Eval.Undefined_verdict _ -> "re-probe: post-state unobservable"
+  in
+  let detail = hint ^ "; " ^ reconcile in
+  { (outcome_base req
+       (Response.error Status.gateway_timeout detail)
+       None (Outcome.Undefined hint) detail)
+    with
+    pre_verdict = Some pre_verdict;
+    post_verdict = Some post_verdict;
+    covered_requirements = covered;
+    contract_requirements = requirements;
+    snapshot_bytes = Runtime.snapshot_bytes snapshot
+  }
 
 let monitored t classified prepared req =
   let user_token = Request.auth_token req in
@@ -418,7 +565,18 @@ let monitored t classified prepared req =
        }
      | `True ->
        let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
-       let cloud_response = forward t req in
+       (match forward t req with
+        | Not_delivered failure ->
+          { (degrade t req failure) with
+            pre_verdict = Some pre_verdict;
+            covered_requirements = covered;
+            contract_requirements = contract.Contract.requirements
+          }
+        | Unknown_outcome failure ->
+          unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+            ~pre_verdict ~covered
+            ~requirements:contract.Contract.requirements req failure
+        | Delivered cloud_response ->
        let post_obs = Runtime.observe prepared (make_env ~user_token) in
        let post_verdict =
          stable_post_verdict t ~make_env ~user_token
@@ -472,10 +630,21 @@ let monitored t classified prepared req =
             covered_requirements = covered;
             contract_requirements = contract.Contract.requirements;
             snapshot_bytes
-          }))
+          })))
   | Oracle ->
     let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
-    let cloud_response = forward t req in
+    (match forward t req with
+     | Not_delivered failure ->
+       { (degrade t req failure) with
+         pre_verdict = Some pre_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements
+       }
+     | Unknown_outcome failure ->
+       unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+         ~pre_verdict ~covered
+         ~requirements:contract.Contract.requirements req failure
+     | Delivered cloud_response ->
     let post_obs = Runtime.observe prepared (make_env ~user_token) in
     let snapshot_bytes = Runtime.snapshot_bytes snapshot in
     let success = Response.is_success cloud_response in
@@ -539,14 +708,52 @@ let monitored t classified prepared req =
       covered_requirements = covered;
       contract_requirements = contract.Contract.requirements;
       snapshot_bytes
-    }
+    })
 
-let handle t req =
+let handle_inner t req =
   match classify t req with
-  | None -> record t (not_monitored t req)
+  | None -> not_monitored t req
   | Some classified ->
     (match prepared_for t classified.trigger with
-     | None -> record t (no_contract t classified req)
-     | Some prepared -> record t (monitored t classified prepared req))
+     | None -> no_contract t classified req
+     | Some prepared -> monitored t classified prepared req)
+
+(* Per-request exception containment.  A transport failure that escapes
+   (no resilience layer configured) degrades the exchange; any other
+   exception is a bug in the monitor itself and is reported as
+   [Monitor_error] — a monitor bug must never surface as a cloud
+   violation, and must never take the proxy down with it.  Resource
+   exhaustion is not containable and is re-raised. *)
+let handle t req =
+  t.forward_seen <- false;
+  match handle_inner t req with
+  | outcome -> record t outcome
+  | exception ((Stack_overflow | Out_of_memory) as exn) -> raise exn
+  | exception exn ->
+    let suffix =
+      if t.forward_seen then " (the request may have reached the cloud)"
+      else " (before the request reached the cloud)"
+    in
+    if Transport.is_failure exn then begin
+      let detail =
+        "transport failure escaped monitoring: " ^ Transport.describe exn
+        ^ suffix
+      in
+      record t
+        (outcome_base req
+           (Response.error Status.bad_gateway detail)
+           None (Outcome.Degraded detail) detail)
+    end
+    else begin
+      let detail =
+        "internal monitor exception contained: " ^ Printexc.to_string exn
+        ^ suffix
+      in
+      Log.err (fun m -> m "%s" detail);
+      record t
+        (outcome_base req
+           (Response.error Status.internal_server_error detail)
+           None (Outcome.Monitor_error detail) detail)
+    end
 
 let handle_response t req = (handle t req).Outcome.response

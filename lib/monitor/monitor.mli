@@ -27,6 +27,14 @@ type mode =
   | Enforce
   | Oracle
 
+type degradation =
+  | Fail_closed
+      (** when monitoring cannot complete (circuit open), reject the
+          request with a 503 — certainty over availability *)
+  | Fail_open_logged
+      (** forward the request raw and unmonitored, logging the exchange
+          as [Degraded] — availability over certainty (the default) *)
+
 type config = {
   mode : mode;
   strategy : Cm_contracts.Runtime.strategy;
@@ -48,6 +56,18 @@ type config = {
           downgraded to [Undefined] ("concurrent interference") instead
           of a false alarm.  Off by default (two extra observation GETs
           per violation). *)
+  resilience : Resilience.policy option;
+      (** When set, every backend call — forwarded requests and
+          observation GETs alike — goes through a {!Resilience} layer:
+          per-attempt timeouts, bounded retries with deterministic
+          backoff, idempotency keys on retried mutations, envelope
+          validation on observation reads, and a per-route circuit
+          breaker.  [None] (the default) forwards raw, as before. *)
+  degradation : degradation;
+  clock : Cm_core.Clock.t option;
+      (** The virtual clock the resilience layer times against.  Pass
+          the same clock the (simulated) backend advances; when [None] a
+          private clock is created (fine for latency-free backends). *)
 }
 
 val default_config :
@@ -55,13 +75,16 @@ val default_config :
   ?strategy:Cm_contracts.Runtime.strategy ->
   ?engine:Cm_contracts.Runtime.engine ->
   ?stability_check:bool ->
+  ?resilience:Resilience.policy ->
+  ?degradation:degradation ->
+  ?clock:Cm_core.Clock.t ->
   service_token:string ->
   ?security:Cm_contracts.Generate.security ->
   Cm_uml.Resource_model.t ->
   Cm_uml.Behavior_model.t ->
   config
 (** Defaults: [Oracle] mode, [Lean] snapshots, [Compiled] engine, no
-    stability check. *)
+    stability check, no resilience layer, [Fail_open_logged]. *)
 
 type t
 
@@ -71,7 +94,16 @@ val create : config -> Observer.backend -> (t, string list) result
 
 val handle : t -> Cm_http.Request.t -> Outcome.t
 (** Monitor one request.  The outcome's [response] is what the caller
-    should see; the full exchange is also appended to {!outcomes}. *)
+    should see; the full exchange is also appended to {!outcomes}.
+
+    Never raises (short of resource exhaustion): transport failures that
+    escape the resilience layer become [Degraded] outcomes, and any
+    internal exception is contained per-request as [Monitor_error] —
+    a monitor bug is never reported as a cloud violation. *)
+
+val resilience : t -> Resilience.t option
+(** The live resilience layer (breaker states, per-route metrics), when
+    the configuration enabled one. *)
 
 val handle_response : t -> Cm_http.Request.t -> Cm_http.Response.t
 (** [ (handle t req).response ] — lets a monitor instance itself be used

@@ -26,11 +26,25 @@ type conformance =
       (** success, but with an unexpected success status code *)
   | Post_violated  (** success, but the postcondition does not hold *)
   | Undefined of string  (** contracts could not be evaluated *)
+  | Degraded of string
+      (** monitoring was degraded by transport trouble: the request was
+          blocked (fail-closed) or forwarded unmonitored (fail-open) —
+          never a definite claim about the cloud's conformance *)
+  | Monitor_error of string
+      (** the monitor {e itself} failed on this exchange (an internal
+          exception was contained) — never reported as a cloud
+          violation *)
   | Not_monitored  (** no model covers this request; forwarded verbatim *)
 
 val is_violation : conformance -> bool
 (** [true] exactly for the [Security_*], [Functional_*] and
     [Post_violated] verdicts — what "kills a mutant". *)
+
+val is_definite : conformance -> bool
+(** A definite claim about the exchange ([false] for [Undefined],
+    [Degraded] and [Monitor_error]).  Verdict integrity under transport
+    faults means: a definite verdict never {e flips} to a different
+    definite verdict — it may only degrade to a non-definite one. *)
 
 val conformance_to_string : conformance -> string
 

@@ -71,6 +71,194 @@ let all_killed results =
       match r.mutant with None -> not r.killed | Some _ -> r.killed)
     results
 
+(* ---- chaos campaigns: verdict integrity under unreliable transport ---- *)
+
+(* Stale observation reads are the one fault class that can manufacture
+   a false [Post_violated]; the double-read defense closes it, so chaos
+   campaigns run with it on. *)
+let chaos_policy =
+  { Cm_monitor.Resilience.default with Cm_monitor.Resilience.verified_reads = true }
+
+type chaos_run = {
+  cr_mutant : Mutant.t option;
+  cr_profile : string;
+  cr_killed : bool;
+  cr_exchanges : int;
+  cr_comparable : int;
+  cr_flips : (int * string * string) list;
+  cr_indefinite : int;
+  cr_injected : (string * int) list;
+}
+
+(* Position-wise comparison against the fault-free run of the same
+   mutant.  A step is comparable when both runs issued the same request
+   (method + path — ids can diverge once a creation was absorbed
+   differently); a flip is two *definite* verdicts that disagree on a
+   comparable step.  Degrading to Undefined/Degraded/Monitor_error is
+   the allowed escape hatch, flipping between definite verdicts is the
+   integrity violation the campaign exists to catch. *)
+let compare_outcomes ref_outcomes chaos_outcomes =
+  let open Cm_monitor.Outcome in
+  let rec walk i refs steps comparable flips indefinite =
+    match refs, steps with
+    | _, [] -> (comparable, List.rev flips, indefinite)
+    | [], s :: stl ->
+      let indefinite =
+        indefinite + (if is_definite s.conformance then 0 else 1)
+      in
+      walk (i + 1) [] stl comparable flips indefinite
+    | r :: rtl, s :: stl ->
+      let indefinite =
+        indefinite + (if is_definite s.conformance then 0 else 1)
+      in
+      let same_target =
+        r.request.Cm_http.Request.meth = s.request.Cm_http.Request.meth
+        && r.request.Cm_http.Request.path = s.request.Cm_http.Request.path
+      in
+      if same_target then begin
+        let flips =
+          if
+            is_definite r.conformance && is_definite s.conformance
+            && r.conformance <> s.conformance
+          then
+            ( i,
+              conformance_to_string r.conformance,
+              conformance_to_string s.conformance )
+            :: flips
+          else flips
+        in
+        walk (i + 1) rtl stl (comparable + 1) flips indefinite
+      end
+      else walk (i + 1) rtl stl comparable flips indefinite
+  in
+  walk 0 ref_outcomes chaos_outcomes 0 [] 0
+
+let run_chaos_one ?(seed = 42) ~index profile mutant =
+  let faults =
+    match mutant with
+    | Some m -> m.Mutant.faults
+    | None -> Cm_cloudsim.Faults.none
+  in
+  match Scenario.setup ~faults () with
+  | Error msgs -> Error msgs
+  | Ok ref_ctx ->
+    Scenario.standard ref_ctx;
+    let ref_outcomes = Cm_monitor.Monitor.outcomes ref_ctx.Scenario.monitor in
+    (match
+       Scenario.setup ~faults ~chaos:profile
+         ~chaos_seed:(seed + (1013 * index))
+         ~resilience:chaos_policy ()
+     with
+     | Error msgs -> Error msgs
+     | Ok ctx ->
+       Scenario.standard ctx;
+       let outcomes = Cm_monitor.Monitor.outcomes ctx.Scenario.monitor in
+       let comparable, flips, indefinite =
+         compare_outcomes ref_outcomes outcomes
+       in
+       Ok
+         { cr_mutant = mutant;
+           cr_profile = profile.Cm_cloudsim.Chaos.name;
+           cr_killed = Cm_monitor.Report.violations outcomes <> [];
+           cr_exchanges = List.length outcomes;
+           cr_comparable = comparable;
+           cr_flips = flips;
+           cr_indefinite = indefinite;
+           cr_injected =
+             (match ctx.Scenario.chaos with
+              | Some chaos -> Cm_cloudsim.Chaos.stats chaos
+              | None -> [])
+         })
+
+let run_chaos ?seed profile mutants =
+  let rec loop index acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest ->
+      (match run_chaos_one ?seed ~index profile m with
+       | Ok r -> loop (index + 1) (r :: acc) rest
+       | Error _ as err -> err)
+  in
+  loop 0 [] (None :: List.map (fun m -> Some m) mutants)
+
+let chaos_ok runs =
+  List.for_all
+    (fun r ->
+      r.cr_flips = []
+      &&
+      match r.cr_mutant with
+      | None -> not r.cr_killed
+      | Some _ -> r.cr_killed)
+    runs
+
+let chaos_matrix runs =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "%-16s %-36s %-8s %-6s %-11s %s" "profile" "mutant" "killed" "flips"
+    "indefinite" "injected faults";
+  line "%s" (String.make 110 '-');
+  List.iter
+    (fun r ->
+      let name =
+        match r.cr_mutant with
+        | None -> "(baseline: no fault)"
+        | Some m -> m.Mutant.name
+      in
+      let killed_cell =
+        match r.cr_mutant with
+        | None -> if r.cr_killed then "DIRTY" else "clean"
+        | Some _ -> if r.cr_killed then "yes" else "NO"
+      in
+      let injected =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) r.cr_injected)
+      in
+      line "%-16s %-36s %-8s %-6d %-11d %s" r.cr_profile name killed_cell
+        (List.length r.cr_flips)
+        r.cr_indefinite injected;
+      List.iter
+        (fun (i, was, now) -> line "    FLIP step %d: %s -> %s" i was now)
+        r.cr_flips)
+    runs;
+  Buffer.contents buf
+
+let chaos_to_json runs =
+  let module Json = Cm_json.Json in
+  Json.obj
+    [ ( "runs",
+        Json.list
+          (List.map
+             (fun r ->
+               Json.obj
+                 [ ("profile", Json.string r.cr_profile);
+                   ( "mutant",
+                     match r.cr_mutant with
+                     | None -> Json.null
+                     | Some m -> Json.string m.Mutant.name );
+                   ("killed", Json.bool r.cr_killed);
+                   ("exchanges", Json.int r.cr_exchanges);
+                   ("comparable", Json.int r.cr_comparable);
+                   ( "flips",
+                     Json.list
+                       (List.map
+                          (fun (i, was, now) ->
+                            Json.obj
+                              [ ("step", Json.int i);
+                                ("fault_free", Json.string was);
+                                ("chaos", Json.string now)
+                              ])
+                          r.cr_flips) );
+                   ("indefinite", Json.int r.cr_indefinite);
+                   ( "injected",
+                     Json.obj
+                       (List.map (fun (k, v) -> (k, Json.int v)) r.cr_injected)
+                   )
+                 ])
+             runs) );
+      ("ok", Json.bool (chaos_ok runs))
+    ]
+
 let to_json results =
   let module Json = Cm_json.Json in
   Json.obj

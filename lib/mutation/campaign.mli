@@ -29,3 +29,49 @@ val kill_matrix : result list -> string
 
 val all_killed : result list -> bool
 (** Every mutant killed {e and} the baseline clean. *)
+
+(** {1 Chaos campaigns}
+
+    The same mutants, but with an unreliable transport between monitor
+    and cloud and the monitor forwarding through its resilience layer.
+    Each mutant runs twice — once fault-free as the reference, once
+    under chaos — and the two verdict sequences are compared step by
+    step.  Detection power must survive (every mutant still killed) and
+    verdict integrity must hold (no {e flip} between definite verdicts;
+    degrading to [Undefined]/[Degraded] is allowed). *)
+
+val chaos_policy : Cm_monitor.Resilience.policy
+(** {!Cm_monitor.Resilience.default} with [verified_reads] on — the
+    double-read defense against stale observation caches. *)
+
+type chaos_run = {
+  cr_mutant : Mutant.t option;
+  cr_profile : string;
+  cr_killed : bool;
+  cr_exchanges : int;
+  cr_comparable : int;
+      (** steps where chaos and reference issued the same request *)
+  cr_flips : (int * string * string) list;
+      (** (step, fault-free verdict, chaos verdict) definite
+          disagreements — must be empty *)
+  cr_indefinite : int;
+      (** chaos outcomes that degraded to a non-definite verdict *)
+  cr_injected : (string * int) list;  (** chaos fault counters *)
+}
+
+val run_chaos :
+  ?seed:int ->
+  Cm_cloudsim.Chaos.profile ->
+  Mutant.t list ->
+  (chaos_run list, string list) Stdlib.result
+(** Baseline + each mutant under the profile.  [seed] (default 42)
+    derives a distinct chaos seed per run, so campaigns are
+    reproducible end to end. *)
+
+val chaos_ok : chaos_run list -> bool
+(** No flips anywhere, the baseline clean, every mutant killed. *)
+
+val chaos_matrix : chaos_run list -> string
+(** Printable matrix, flips spelled out per run. *)
+
+val chaos_to_json : chaos_run list -> Cm_json.Json.t

@@ -7,6 +7,8 @@ type ctx = {
   cloud : Cloud.t;
   monitor : Monitor.t;
   tokens : (string * string) list;
+  clock : Cm_core.Clock.t;
+  chaos : Cm_cloudsim.Chaos.t option;
 }
 
 let project = "myProject"
@@ -16,8 +18,10 @@ let service_subject =
 
 let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ?(engine = Cm_contracts.Runtime.Compiled)
-    ?(faults = Cm_cloudsim.Faults.none) () =
-  let cloud = Cloud.create () in
+    ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
+    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false) () =
+  let clock = Cm_core.Clock.create () in
+  let cloud = Cloud.create ~clock () in
   Cloud.seed cloud Cloud.my_project;
   Cm_cloudsim.Identity.add_user (Cloud.identity cloud) ~password:"svc-pw"
     service_subject;
@@ -34,17 +38,32 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ]
   in
   Cloud.set_faults cloud faults;
+  (* Chaos wraps the transport the *monitor* sees; logins above talked
+     to the cloud directly, as an operator bootstrapping would. *)
+  let chaos =
+    Option.map
+      (fun profile ->
+        Cm_cloudsim.Chaos.create ?seed:chaos_seed profile clock
+          (Cloud.handle cloud))
+      chaos
+  in
+  let backend =
+    match chaos with
+    | Some c -> Cm_cloudsim.Chaos.backend c
+    | None -> Cloud.handle cloud
+  in
   let security =
     { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
       assignment = Cm_rbac.Security_table.cinder_assignment
     }
   in
   let config =
-    Monitor.default_config ~mode ~strategy ~engine ~service_token ~security
+    Monitor.default_config ~mode ~strategy ~engine ~stability_check ?resilience
+      ~degradation ~clock ~service_token ~security
       Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
   in
-  match Monitor.create config (Cloud.handle cloud) with
-  | Ok monitor -> Ok { cloud; monitor; tokens }
+  match Monitor.create config backend with
+  | Ok monitor -> Ok { cloud; monitor; tokens; clock; chaos }
   | Error msgs -> Error msgs
 
 let token_of ctx user =

@@ -12,6 +12,9 @@ type ctx = {
   cloud : Cm_cloudsim.Cloud.t;
   monitor : Cm_monitor.Monitor.t;
   tokens : (string * string) list;  (** user name -> token *)
+  clock : Cm_core.Clock.t;
+      (** the virtual clock shared by cloud, chaos layer and monitor *)
+  chaos : Cm_cloudsim.Chaos.t option;  (** the transport wrapper, if any *)
 }
 
 val setup :
@@ -19,6 +22,11 @@ val setup :
   ?strategy:Cm_contracts.Runtime.strategy ->
   ?engine:Cm_contracts.Runtime.engine ->
   ?faults:Cm_cloudsim.Faults.set ->
+  ?chaos:Cm_cloudsim.Chaos.profile ->
+  ?chaos_seed:int ->
+  ?resilience:Cm_monitor.Resilience.policy ->
+  ?degradation:Cm_monitor.Monitor.degradation ->
+  ?stability_check:bool ->
   unit ->
   (ctx, string list) result
 (** Fresh simulated cloud seeded with the paper's [myProject] (three
@@ -26,7 +34,12 @@ val setup :
     given faults activated, and a monitor over the Cinder models in the
     given mode (default [Oracle]) with the given contract engine
     (default [Compiled] — the fuzzer's differential oracle runs the
-    same trace under both engines). *)
+    same trace under both engines).
+
+    [chaos] interposes an unreliable transport between monitor and
+    cloud (seeded by [chaos_seed]); [resilience] makes the monitor
+    forward through the retry/timeout/breaker layer; all three share
+    one virtual clock.  Logins during setup bypass the chaos layer. *)
 
 val request :
   ctx ->

@@ -1,0 +1,15 @@
+(** Random bounded chaos profiles for the fuzzer.
+
+    Draws an unreliable-transport profile whose per-class probabilities
+    stay inside the envelope a six-attempt retry policy is designed to
+    absorb.  The chaos oracle runs a random trace with and without the
+    generated profile and demands verdict integrity: no definite
+    verdict flips, no mutant kill lost. *)
+
+val gen_profile : Rng.t -> size:int -> Cm_cloudsim.Chaos.profile
+(** Deterministic in the stream; [size] (the generator budget, 2..11)
+    scales fault intensity. *)
+
+val describe : Cm_cloudsim.Chaos.profile -> string
+(** One-line rendering of the drawn probabilities, for counterexample
+    reports. *)

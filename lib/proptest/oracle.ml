@@ -540,5 +540,98 @@ let monitor =
     replay = monitor_replay
   }
 
-let all = [ engine; rbac; codegen; monitor ]
+(* ---- chaos: verdict integrity under unreliable transport ---- *)
+
+(* Position-wise comparison of the fault-free and chaos verdict
+   sequences for the same trace.  Only steps where both runs issued the
+   same request are comparable; a failure is two *definite* verdicts
+   disagreeing (degrading to Undefined/Degraded/Monitor_error is the
+   allowed escape hatch). *)
+let chaos_flip ref_out chaos_out =
+  let rec walk i refs steps =
+    match refs, steps with
+    | (r : Outcome.t) :: rtl, (s : Outcome.t) :: stl ->
+      if
+        r.request.Cm_http.Request.meth = s.request.Cm_http.Request.meth
+        && r.request.Cm_http.Request.path = s.request.Cm_http.Request.path
+        && Outcome.is_definite r.conformance
+        && Outcome.is_definite s.conformance
+        && r.conformance <> s.conformance
+      then
+        Some
+          (Fmt.str "exchange %d (%s %s): fault-free %s, chaos %s" i
+             (Meth.to_string r.request.Cm_http.Request.meth)
+             r.request.Cm_http.Request.path
+             (Outcome.conformance_to_string r.conformance)
+             (Outcome.conformance_to_string s.conformance))
+      else walk (i + 1) rtl stl
+    | _, _ -> None
+  in
+  walk 0 ref_out chaos_out
+
+let chaos_check ~mutant ~profile ~chaos_seed trace =
+  match
+    ( Scenario.setup ~faults:mutant.Mutant.faults (),
+      Scenario.setup ~faults:mutant.Mutant.faults ~chaos:profile ~chaos_seed
+        ~resilience:Cm_mutation.Campaign.chaos_policy () )
+  with
+  | Error msgs, _ | _, Error msgs ->
+    Some ("chaos setup failed: " ^ String.concat "; " msgs)
+  | Ok ref_ctx, Ok chaos_ctx ->
+    let ref_out = Trace_gen.run ref_ctx trace in
+    let chaos_out = Trace_gen.run chaos_ctx trace in
+    (match chaos_flip ref_out chaos_out with
+     | Some detail -> Some ("verdict flip under chaos: " ^ detail)
+     | None ->
+       if has_violation ref_out && not (has_violation chaos_out) then
+         Some ("kill of " ^ mutant.Mutant.name ^ " lost under chaos")
+       else None)
+
+(* Everything a chaos case needs is re-derivable from (seed, index,
+   size), so corpus entries carry no payload and replay regenerates. *)
+let chaos_case_inputs ~seed ~index ~size =
+  let rng_noise, rng_probe = case_streams ~seed index in
+  let rng_profile = Rng.split rng_noise in
+  let profile = Chaos_gen.gen_profile rng_profile ~size in
+  let mutants = Mutant.all in
+  let mutant = List.nth mutants (index mod List.length mutants) in
+  let noise = Trace_gen.gen_noise rng_noise ~size:(monitor_noise_size size) in
+  let trace =
+    noise
+    @ { Trace_gen.user = "alice"; op = Trace_gen.Drain }
+      :: Trace_gen.probe_for mutant.Mutant.name rng_probe
+  in
+  (mutant, profile, trace, seed + (7919 * index))
+
+let chaos_run ~shrink:_ ~seed ~index ~size =
+  let mutant, profile, trace, chaos_seed =
+    chaos_case_inputs ~seed ~index ~size
+  in
+  match chaos_check ~mutant ~profile ~chaos_seed trace with
+  | None -> Pass
+  | Some detail ->
+    Fail
+      { oracle = "chaos";
+        index;
+        detail;
+        shrink_steps = 0;
+        repr =
+          Fmt.str "%s under %s vs %s" mutant.Mutant.name
+            (Chaos_gen.describe profile)
+            (Trace_gen.to_string trace);
+        entry = Corpus.make ~oracle:"chaos" ~seed ~index ~size []
+      }
+
+let chaos_replay (entry : Corpus.entry) =
+  let mutant, profile, trace, chaos_seed =
+    chaos_case_inputs ~seed:entry.seed ~index:entry.index ~size:entry.size
+  in
+  match chaos_check ~mutant ~profile ~chaos_seed trace with
+  | None -> Ok ()
+  | Some detail -> Error detail
+
+let chaos =
+  { name = "chaos"; weight = 1; run_case = chaos_run; replay = chaos_replay }
+
+let all = [ engine; rbac; codegen; monitor; chaos ]
 let find name = List.find_opt (fun o -> o.name = name) all

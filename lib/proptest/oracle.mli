@@ -45,5 +45,12 @@ val rbac : t
 val codegen : t
 val monitor : t
 
+val chaos : t
+(** Verdict integrity under unreliable transport: a random trace runs
+    once fault-free and once under a random bounded chaos profile
+    ({!Chaos_gen}) with the monitor's resilience layer on.  Definite
+    verdicts must not flip between the two runs, and a mutant the
+    fault-free run kills must still be killed under chaos. *)
+
 val all : t list
 val find : string -> t option
