@@ -4,14 +4,15 @@
    T1 (Table I), L1 (Listing 1), L2/L3 (Listings 2-3), F2 (workflow),
    F3 (models), F4 (pipeline), E1 (mutation experiment), plus the
    quantitative benches B1 (monitoring overhead), B2 (generation
-   scaling), B3 (OCL evaluation), B4 (compiled fast path) and A1
-   (snapshot ablation).
+   scaling), B3 (OCL evaluation), B4 (compiled fast path), B5 (sharded
+   multicore serving) and A1 (snapshot ablation).
 
    `dune exec bench/main.exe` runs everything;
    `dune exec bench/main.exe -- SECTION...` runs selected sections
    (table1 listing1 listing23 fig2 fig3 fig4 mutants overhead scaling
-   ocl ablation fastpath ...).  Flags: `--quick` shrinks bench quotas,
-   `--json` makes `fastpath` write BENCH_fastpath.json. *)
+   ocl ablation fastpath throughput ...).  Flags: `--quick` shrinks
+   bench quotas, `--json` makes `fastpath` write BENCH_fastpath.json
+   and `throughput` write BENCH_throughput.json. *)
 
 let banner title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -577,7 +578,7 @@ let section_fastpath () =
   end
 
 let section_resilience () =
-  banner "B5: resilient forwarding overhead (fault-free, policy on vs off)";
+  banner "A8: resilient forwarding overhead (fault-free, policy on vs off)";
   let module Json = Cm_json.Json in
   let fx = Workloads.make_fixture () in
   let service =
@@ -672,6 +673,60 @@ let section_resilience () =
     close_out oc;
     Printf.printf "\nwrote BENCH_resilience.json (%d rows)\n" (List.length rows)
   end
+
+let section_throughput () =
+  banner
+    "B5: sharded multicore serving (domain scaling, footprint pruning, \
+     observation cache)";
+  let spec =
+    if !quick then
+      { Cloudmon.Serve_bench.default_spec with
+        Cloudmon.Serve_bench.projects = 4;
+        requests_per_project = 15
+      }
+    else Cloudmon.Serve_bench.default_spec
+  in
+  (match Cloudmon.Serve_bench.run ~spec () with
+   | Error msgs -> List.iter print_endline msgs
+   | Ok report ->
+     print_string (Cloudmon.Serve_bench.render report);
+     if !json_output then begin
+       let oc = open_out "BENCH_throughput.json" in
+       output_string oc
+         (Cm_json.Printer.to_string_pretty (Cloudmon.Serve_bench.to_json report));
+       output_string oc "\n";
+       close_out oc;
+       print_endline "\nwrote BENCH_throughput.json"
+     end);
+  (* the per-phase breakdown the timings flag surfaces in Report *)
+  let fx = Workloads.make_fixture () in
+  let service =
+    match
+      Cm_cloudsim.Cloud.login fx.Workloads.cloud ~user:"svc" ~password:"svc"
+        ~project_id:"myProject"
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  (match
+     Cm_monitor.Monitor.create
+       (Cm_monitor.Monitor.default_config ~mode:Cm_monitor.Monitor.Oracle
+          ~service_token:service ~security ~timings:true
+          Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior)
+       (Cm_cloudsim.Cloud.handle fx.Workloads.cloud)
+   with
+   | Error msgs -> List.iter print_endline msgs
+   | Ok monitor ->
+     let request = Workloads.get_volume_request fx in
+     for _ = 1 to 200 do
+       ignore (Cm_monitor.Monitor.handle monitor request)
+     done;
+     let outcomes = Cm_monitor.Monitor.outcomes monitor in
+     print_newline ();
+     print_string
+       (Cm_monitor.Report.render
+          (Cm_monitor.Report.summarize outcomes)
+          ~coverage:[]))
 
 let section_explore () =
   banner "A4: randomized conformance exploration";
@@ -850,6 +905,7 @@ let sections =
     ("ablation", section_ablation);
     ("fastpath", section_fastpath);
     ("resilience", section_resilience);
+    ("throughput", section_throughput);
     ("testgen", section_testgen);
     ("localize", section_localize);
     ("glance", section_glance);

@@ -339,12 +339,114 @@ let chaos_cmd =
       const chaos $ chaos_cases_arg $ seed_arg $ chaos_profile_arg
       $ chaos_json_arg)
 
+(* ---- serve-bench: sharded multicore throughput ---- *)
+
+let serve_bench projects requests seed domains json_path baseline_path
+    max_regression =
+  let module SB = Cloudmon.Serve_bench in
+  let spec =
+    { SB.projects; requests_per_project = requests; seed }
+  in
+  let domains_list =
+    match domains with
+    | [] -> [ 1; 2; 4 ]
+    | ds -> List.sort_uniq compare (List.map (fun d -> max 1 d) ds)
+  in
+  match SB.run ~spec ~domains_list () with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    1
+  | Ok report ->
+    print_string (SB.render report);
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Cm_json.Printer.to_string_pretty (SB.to_json report));
+       output_string oc "\n";
+       close_out oc;
+       Printf.printf "wrote %s\n" path);
+    if not report.SB.rp_verdicts_consistent then begin
+      prerr_endline "serve-bench: verdicts diverged across domain counts";
+      1
+    end
+    else begin
+      match baseline_path with
+      | None -> 0
+      | Some path ->
+        let text =
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        (match Cm_json.Parser.parse text with
+         | Error e ->
+           Printf.eprintf "serve-bench: cannot parse %s: %s\n" path
+             (Format.asprintf "%a" Cm_json.Parser.pp_error e);
+           2
+         | Ok baseline ->
+           (match
+              SB.check_against_baseline report ~baseline
+                ~max_regression_pct:max_regression
+            with
+            | Ok () ->
+              Printf.printf
+                "baseline check passed (within %.0f%% of %s)\n"
+                max_regression path;
+              0
+            | Error msg ->
+              prerr_endline ("serve-bench: " ^ msg);
+              1))
+    end
+
+let sb_projects_arg =
+  let doc = "Number of tenant projects (also the shard count)." in
+  Arg.(value & opt int 8 & info [ "projects" ] ~docv:"N" ~doc)
+
+let sb_requests_arg =
+  let doc = "Requests per project in the replayed workload." in
+  Arg.(value & opt int 50 & info [ "requests" ] ~docv:"N" ~doc)
+
+let sb_domains_arg =
+  let doc =
+    "Domain count to measure (repeatable; default 1, 2 and 4)."
+  in
+  Arg.(value & opt_all int [] & info [ "domains" ] ~docv:"N" ~doc)
+
+let sb_json_arg =
+  let doc = "Write the throughput report to this file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let sb_baseline_arg =
+  let doc =
+    "Fail if the single-domain handle cost regresses against the \
+     fastpath/cinder-handle-compiled entry of this BENCH_fastpath.json."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let sb_max_regression_arg =
+  let doc = "Allowed handle-cost regression over the baseline, percent." in
+  Arg.(value & opt float 15. & info [ "max-regression" ] ~docv:"PCT" ~doc)
+
+let serve_bench_cmd =
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "replay a seeded multi-tenant workload through the sharded monitor \
+          at several domain counts and report throughput, cache hit rate and \
+          observation traffic")
+    Term.(
+      const serve_bench $ sb_projects_arg $ sb_requests_arg $ seed_arg
+      $ sb_domains_arg $ sb_json_arg $ sb_baseline_arg $ sb_max_regression_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cmonitor" ~version:Cloudmon.version
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
     [ validate_cmd; lifecycle_cmd; contracts_cmd; table1_cmd; testgen_cmd;
-      explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd
+      explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; serve_bench_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -7,8 +7,11 @@ type t = {
   router : Cm_http.Router.t;
   (* Idempotency cache: first response per X-Request-Id for mutating
      requests, so a client retrying after an uncertain transport failure
-     (timeout, connection reset) never executes the mutation twice. *)
+     (timeout, connection reset) never executes the mutation twice.
+     Mutex-protected: it is the one table every shard's mutations
+     share. *)
   dedup : (string, Cm_http.Response.t) Hashtbl.t;
+  dedup_lock : Mutex.t;
 }
 
 let default_policy =
@@ -55,7 +58,10 @@ let create ?(policy = default_policy) ?clock ?seed () =
       @ Compute.routes compute
       @ Image_service.routes image_service)
   in
-  { store; identity; ctx; router; dedup = Hashtbl.create 64 }
+  { store; identity; ctx; router;
+    dedup = Hashtbl.create 64;
+    dedup_lock = Mutex.create ()
+  }
 
 let request_id_header = "X-Request-Id"
 
@@ -67,12 +73,17 @@ let mutating = function
 let handle t req =
   match Cm_http.Headers.get request_id_header req.Cm_http.Request.headers with
   | Some id when mutating req.Cm_http.Request.meth ->
-    (match Hashtbl.find_opt t.dedup id with
-     | Some cached -> cached
-     | None ->
-       let resp = Cm_http.Router.dispatch t.router req in
-       Hashtbl.replace t.dedup id resp;
-       resp)
+    (* The check-dispatch-store must be atomic or two shards retrying
+       the same request id could both execute the mutation.  Holding the
+       lock across dispatch serializes cross-shard mutations that carry
+       request ids; within a shard mutations are sequential anyway. *)
+    Mutex.protect t.dedup_lock (fun () ->
+        match Hashtbl.find_opt t.dedup id with
+        | Some cached -> cached
+        | None ->
+          let resp = Cm_http.Router.dispatch t.router req in
+          Hashtbl.replace t.dedup id resp;
+          resp)
   | Some _ | None -> Cm_http.Router.dispatch t.router req
 
 let store t = t.store

@@ -5,25 +5,34 @@ module Role_assignment = Cm_rbac.Role_assignment
 type user_record = { subject : Subject.t; password : string }
 type token_info = { subject : Subject.t; project_id : string }
 
+(* Identity writes (user/assignment setup, token issue/revoke) are
+   mutex-serialized so multi-tenant fixtures can be seeded from anywhere;
+   validation — the hot per-request read — stays lock-free under the
+   discipline that writes quiesce before parallel serving begins (the
+   serve path never logs in; only the setup phase does). *)
 type t = {
   users : (string, user_record) Hashtbl.t;
   assignments : (string, Role_assignment.t) Hashtbl.t;
   tokens : (string, token_info) Hashtbl.t;
-  mutable next_token : int;
+  next_token : int Atomic.t;
+  write_lock : Mutex.t;
 }
 
 let create () =
   { users = Hashtbl.create 16;
     assignments = Hashtbl.create 4;
     tokens = Hashtbl.create 16;
-    next_token = 1
+    next_token = Atomic.make 1;
+    write_lock = Mutex.create ()
   }
 
 let add_user t ?(password = "secret") subject =
-  Hashtbl.replace t.users subject.Subject.user_name { subject; password }
+  Mutex.protect t.write_lock (fun () ->
+      Hashtbl.replace t.users subject.Subject.user_name { subject; password })
 
 let set_assignment t ~project_id assignment =
-  Hashtbl.replace t.assignments project_id assignment
+  Mutex.protect t.write_lock (fun () ->
+      Hashtbl.replace t.assignments project_id assignment)
 
 let assignment_for t ~project_id =
   Option.value ~default:Role_assignment.empty
@@ -35,14 +44,19 @@ let issue_token t ~user ~password ~project_id =
   | Some record ->
     if record.password <> password then Error "invalid credentials"
     else begin
-      let value = Printf.sprintf "tok-%d-%s" t.next_token user in
-      t.next_token <- t.next_token + 1;
-      Hashtbl.replace t.tokens value { subject = record.subject; project_id };
+      let value =
+        Printf.sprintf "tok-%d-%s" (Atomic.fetch_and_add t.next_token 1) user
+      in
+      Mutex.protect t.write_lock (fun () ->
+          Hashtbl.replace t.tokens value
+            { subject = record.subject; project_id });
       Ok value
     end
 
 let validate t ~token = Hashtbl.find_opt t.tokens token
-let revoke t ~token = Hashtbl.remove t.tokens token
+
+let revoke t ~token =
+  Mutex.protect t.write_lock (fun () -> Hashtbl.remove t.tokens token)
 
 let roles_of_token t info =
   Role_assignment.roles_of info.subject (assignment_for t ~project_id:info.project_id)

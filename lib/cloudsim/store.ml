@@ -40,17 +40,28 @@ type project = {
   images : (string, image) Hashtbl.t;
 }
 
+(* Domain-safety boundary: the store is shared by all shards, so the
+   cross-project surface — the id counter and the project table — is
+   Atomic/Mutex-protected.  Everything *inside* a project (its volume,
+   server and image tables, the mutable resource fields) is owned by
+   exactly one shard at a time: requests are partitioned by project and
+   each shard serves its projects sequentially, so per-project state
+   needs no locks.  Cross-shard readers of per-project state (benches,
+   assertions) must run while serving is quiesced. *)
 type t = {
   project_table : (string, project) Hashtbl.t;
-  mutable next_id : int;
+  table_lock : Mutex.t;
+  next_id : int Atomic.t;
 }
 
-let create () = { project_table = Hashtbl.create 16; next_id = 1 }
+let create () =
+  { project_table = Hashtbl.create 16;
+    table_lock = Mutex.create ();
+    next_id = Atomic.make 1
+  }
 
 let fresh_id t ~prefix =
-  let id = Printf.sprintf "%s-%d" prefix t.next_id in
-  t.next_id <- t.next_id + 1;
-  id
+  Printf.sprintf "%s-%d" prefix (Atomic.fetch_and_add t.next_id 1)
 
 let add_project t ~id ~name ~quota_volumes ~quota_gigabytes
     ?(quota_images = 2) () =
@@ -65,13 +76,16 @@ let add_project t ~id ~name ~quota_volumes ~quota_gigabytes
       images = Hashtbl.create 16
     }
   in
-  Hashtbl.replace t.project_table id project;
+  Mutex.protect t.table_lock (fun () ->
+      Hashtbl.replace t.project_table id project);
   project
 
-let find_project t id = Hashtbl.find_opt t.project_table id
+let find_project t id =
+  Mutex.protect t.table_lock (fun () -> Hashtbl.find_opt t.project_table id)
 
 let projects t =
-  Hashtbl.fold (fun _ p acc -> p :: acc) t.project_table []
+  Mutex.protect t.table_lock (fun () ->
+      Hashtbl.fold (fun _ p acc -> p :: acc) t.project_table [])
   |> List.sort (fun a b -> String.compare a.project_id b.project_id)
 
 let add_volume t project ~name ~size_gb =

@@ -4,7 +4,20 @@
     The store is deliberately simple and mutable — it stands in for
     OpenStack's databases.  Determinism matters more than realism here:
     identifiers are sequential ([vol-1], [srv-1], …) so that tests and
-    benches are reproducible. *)
+    benches are reproducible.
+
+    {b Domain safety.}  The cross-project surface is safe to call from
+    any domain: {!fresh_id} is an [Atomic] counter and the project
+    table is mutex-protected.  Per-project state (the tables and
+    mutable fields inside a {!project}) follows a shard-ownership
+    discipline instead of locks: requests are partitioned by project
+    and each project is served by exactly one domain at a time, so
+    concurrent access to {e different} projects is safe while
+    concurrent access to the {e same} project is the caller's bug.
+    Note that under parallel serving the interleaving of [fresh_id]
+    calls across shards is scheduler-dependent, so id {e values} are
+    not reproducible run-to-run — contracts never read ids' spellings,
+    so verdicts stay deterministic (see DESIGN.md §8). *)
 
 type snapshot = {
   snapshot_id : string;

@@ -26,7 +26,23 @@ type prepared = {
   engine : engine;
   compiled : Snapshot.compiled;
   staged : staged;
+  footprint : Cm_ocl.Footprint.t;
 }
+
+(* The read-set is computed over the contract's original expressions,
+   not the slot-rewritten post: slot variables are synthetic and the
+   slot expressions themselves are sub-expressions of the post. *)
+let contract_footprint (contract : Contract.t) =
+  Cm_ocl.Footprint.of_exprs
+    ([ contract.Contract.pre;
+       contract.Contract.functional_pre;
+       contract.Contract.post
+     ]
+    @ Option.to_list contract.Contract.auth_guard
+    @ List.concat_map
+        (fun (b : Contract.branch) ->
+          [ b.Contract.branch_pre; b.Contract.branch_post ])
+        contract.Contract.branches)
 
 let stage_contract (contract : Contract.t) (compiled : Snapshot.compiled) =
   let plan = Compile.plan () in
@@ -65,12 +81,14 @@ let prepare ?(strategy = Lean) ?(engine = Compiled) contract =
     strategy;
     engine;
     compiled;
-    staged = stage_contract contract compiled
+    staged = stage_contract contract compiled;
+    footprint = contract_footprint contract
   }
 
 let contract p = p.contract
 let strategy p = p.strategy
 let engine p = p.engine
+let footprint p = p.footprint
 
 (* An observed state: the interpreter environment as delivered by the
    observer, plus its one-time projection onto the contract's frame.

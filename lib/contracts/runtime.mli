@@ -30,6 +30,11 @@ val contract : prepared -> Contract.t
 val strategy : prepared -> strategy
 val engine : prepared -> engine
 
+val footprint : prepared -> Cm_ocl.Footprint.t
+(** Static read-set over all of the contract's expressions (pre,
+    functional pre, auth guard, branches, post).  The observer prunes
+    its state fetches to this. *)
+
 type observed
 (** One observed cloud state: the observer's environment plus its
     one-time projection onto the contract's compiled frame.  Build it

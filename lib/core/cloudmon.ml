@@ -21,6 +21,7 @@ module Report = Cm_monitor.Report
 module Codegen = Cm_codegen
 module Mutation = Cm_mutation
 module Testgen = Cm_testgen
+module Serve_bench = Serve_bench
 
 let cinder_security =
   { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;

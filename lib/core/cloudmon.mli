@@ -51,6 +51,10 @@ module Codegen = Cm_codegen
 module Mutation = Cm_mutation
 module Testgen = Cm_testgen
 
+module Serve_bench = Serve_bench
+(** Sharded-serving throughput harness (the [serve-bench]
+    subcommand). *)
+
 (** {1 End-to-end flows} *)
 
 val cinder_security : Cm_contracts.Generate.security

@@ -1,0 +1,37 @@
+let available () = max 1 (Domain.recommended_domain_count ())
+
+let run ~domains n f =
+  if n < 0 then invalid_arg "Domain_pool.run: negative task count";
+  let domains = max 1 (min domains (max 1 n)) in
+  if domains = 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    (* Striped assignment: worker d owns indices d, d+domains, ... so
+       the task->worker map is a pure function of (n, domains).  Each
+       slot is written by exactly one domain and read only after join. *)
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        let r = try Ok (f !i) with exn -> Error exn in
+        results.(!i) <- Some r;
+        i := !i + domains
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error exn) -> raise exn
+        | None -> failwith "Domain_pool.run: task not executed")
+      results
+  end
+
+let map_array ~domains f arr = run ~domains (Array.length arr) (fun i -> f arr.(i))
+
+let map_list ~domains f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map_array ~domains f arr)

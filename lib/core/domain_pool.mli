@@ -1,0 +1,21 @@
+(** Deterministic fan-out of independent tasks over OCaml 5 domains.
+
+    Task [i] of [n] is always executed by worker [i mod domains], and
+    each worker runs its tasks in ascending index order.  The
+    assignment — and therefore any per-worker side-effect order —
+    depends only on [(n, domains)], never on the scheduler, which is
+    what lets sharded monitor runs stay seed-deterministic. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val run : domains:int -> int -> (int -> 'a) -> 'a array
+(** [run ~domains n f] computes [|f 0; ...; f (n-1)|].  [domains] is
+    clamped to [1 <= domains <= n]; with [domains = 1] everything runs
+    on the calling domain.  Tasks must be independent: [f] is called
+    concurrently from different domains.  An exception in any task is
+    re-raised after all workers have been joined. *)
+
+val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,433 @@
+module Cloud = Cm_cloudsim.Cloud
+module Store = Cm_cloudsim.Store
+module Identity = Cm_cloudsim.Identity
+module Request = Cm_http.Request
+module Meth = Cm_http.Meth
+module Json = Cm_json.Json
+module Monitor = Cm_monitor.Monitor
+module Shard = Cm_monitor.Shard
+module Obs_cache = Cm_monitor.Obs_cache
+module Outcome = Cm_monitor.Outcome
+module Prng = Cm_core.Prng
+
+type spec = { projects : int; requests_per_project : int; seed : int }
+
+let default_spec = { projects = 8; requests_per_project = 50; seed = 42 }
+
+(* ---- world: one cloud, N tenants, pre-created volumes --------------- *)
+
+type tenant = {
+  tn_project : string;
+  tn_service : string;  (* project-scoped service token *)
+  tn_admin : string;
+  tn_member : string;
+  tn_volumes : string list;  (* stable targets for GET/PUT *)
+  mutable tn_victims : string list;  (* each DELETEd at most once *)
+}
+
+type world = {
+  cloud : Cloud.t;
+  service_token : string;
+  tenants : tenant array;
+}
+
+let project_name i = Printf.sprintf "proj-%02d" i
+
+(* How many volumes each tenant starts with: a handful of stable
+   GET/PUT targets plus one deletion victim per expected DELETE. *)
+let stable_volumes = 4
+
+let created_volume_id resp =
+  match resp.Cm_http.Response.body with
+  | None -> None
+  | Some body ->
+    (match Cm_json.Pointer.get [ Key "volume"; Key "id" ] body with
+     | Some (Json.String id) -> Some id
+     | Some _ | None -> None)
+
+let volume_body name =
+  Json.obj
+    [ ("volume", Json.obj [ ("name", Json.string name); ("size", Json.int 1) ])
+    ]
+
+let setup spec =
+  let cloud = Cloud.create () in
+  let identity = Cloud.identity cloud in
+  let login user password project_id =
+    match Cloud.login cloud ~user ~password ~project_id with
+    | Ok t -> t
+    | Error e -> failwith ("serve_bench: login failed: " ^ e)
+  in
+  let victims_per_tenant = max 1 (spec.requests_per_project / 10) in
+  let tenants =
+    Array.init spec.projects (fun i ->
+        let pid = project_name i in
+        ignore
+          (Store.add_project (Cloud.store cloud) ~id:pid ~name:pid
+             ~quota_volumes:(stable_volumes + spec.requests_per_project + 8)
+             ~quota_gigabytes:1_000_000 ~quota_images:8 ());
+        Identity.set_assignment identity ~project_id:pid
+          Cm_rbac.Security_table.cinder_assignment;
+        let add name groups =
+          Identity.add_user identity ~password:"pw"
+            (Cm_rbac.Subject.make name groups)
+        in
+        add (Printf.sprintf "svc-%d" i) [ "proj_administrator" ];
+        add (Printf.sprintf "admin-%d" i) [ "proj_administrator" ];
+        add (Printf.sprintf "member-%d" i) [ "service_architect" ];
+        let tn_service = login (Printf.sprintf "svc-%d" i) "pw" pid in
+        let tn_admin = login (Printf.sprintf "admin-%d" i) "pw" pid in
+        let tn_member = login (Printf.sprintf "member-%d" i) "pw" pid in
+        let create name =
+          let resp =
+            Cloud.handle cloud
+              (Request.make ~body:(volume_body name) Meth.POST
+                 (Printf.sprintf "/v3/%s/volumes" pid)
+              |> Request.with_auth_token tn_member)
+          in
+          match created_volume_id resp with
+          | Some id -> id
+          | None -> failwith "serve_bench: seeding volume creation failed"
+        in
+        let tn_volumes =
+          List.init stable_volumes (fun v ->
+              create (Printf.sprintf "base-%d" v))
+        in
+        let tn_victims =
+          List.init victims_per_tenant (fun v ->
+              create (Printf.sprintf "victim-%d" v))
+        in
+        { tn_project = pid; tn_service; tn_admin; tn_member; tn_volumes;
+          tn_victims
+        })
+  in
+  { cloud; service_token = tenants.(0).tn_service; tenants }
+
+let service_token_for world =
+  let table =
+    Array.to_list world.tenants
+    |> List.map (fun tn -> (tn.tn_project, tn.tn_service))
+  in
+  fun project -> List.assoc_opt project table
+
+(* ---- workload: a pure function of the spec -------------------------- *)
+
+(* Round-robin over tenants (so every shard gets work) with a
+   PRNG-chosen operation mix: reads dominate, with enough mutations to
+   keep cache invalidation honest.  Request paths only reference
+   pre-created ids, so the stream is identical however it is served. *)
+let workload spec world =
+  let prng = Prng.of_seed spec.seed in
+  let total = spec.projects * spec.requests_per_project in
+  List.init total (fun step ->
+      let tn = world.tenants.(step mod spec.projects) in
+      let base = Printf.sprintf "/v3/%s/volumes" tn.tn_project in
+      let stable n = List.nth tn.tn_volumes (n mod stable_volumes) in
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 ->
+        Request.make Meth.GET base |> Request.with_auth_token tn.tn_member
+      | 3 | 4 | 5 ->
+        Request.make Meth.GET (base ^ "/" ^ stable (Prng.int prng 64))
+        |> Request.with_auth_token tn.tn_member
+      | 6 | 7 ->
+        Request.make
+          ~body:
+            (Json.obj
+               [ ( "volume",
+                   Json.obj
+                     [ ("name", Json.string (Printf.sprintf "ren-%d" step)) ]
+                 )
+               ])
+          Meth.PUT
+          (base ^ "/" ^ stable (Prng.int prng 64))
+        |> Request.with_auth_token tn.tn_member
+      | 8 ->
+        Request.make ~body:(volume_body (Printf.sprintf "new-%d" step))
+          Meth.POST base
+        |> Request.with_auth_token tn.tn_member
+      | _ ->
+        (match tn.tn_victims with
+         | id :: rest ->
+           tn.tn_victims <- rest;
+           Request.make Meth.DELETE (base ^ "/" ^ id)
+           |> Request.with_auth_token tn.tn_admin
+         | [] ->
+           Request.make Meth.GET base |> Request.with_auth_token tn.tn_member))
+
+(* ---- monitor pools --------------------------------------------------- *)
+
+let pool_config ?(footprint_pruning = true) ?(cache = Obs_cache.Cross_request)
+    world =
+  Monitor.default_config ~footprint_pruning ~cache
+    ~service_token:world.service_token
+    ~service_token_for:(service_token_for world)
+    ~security:
+      { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+        assignment = Cm_rbac.Security_table.cinder_assignment
+      }
+    Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+
+let make_pool ?footprint_pruning ?cache ~shards world backend =
+  Shard.create ~shards (pool_config ?footprint_pruning ?cache world) backend
+
+(* ---- measurements ---------------------------------------------------- *)
+
+type scaling_point = {
+  sp_domains : int;
+  sp_requests : int;
+  sp_elapsed_ns : float;
+  sp_req_per_s : float;
+  sp_hit_rate : float;
+  sp_verdicts : string list;  (* conformance per request, arrival order *)
+}
+
+type report = {
+  rp_projects : int;
+  rp_requests_per_project : int;
+  rp_seed : int;
+  rp_shards : int;
+  rp_available_domains : int;
+      (* hardware parallelism of the measurement host: on a single-core
+         host extra domains only add contention, so speedup must be read
+         against this *)
+  rp_scaling : scaling_point list;
+  rp_speedup : float;  (* best req/s over the 1-domain req/s *)
+  rp_verdicts_consistent : bool;
+  rp_gets_baseline : float;  (* observation GETs per monitored request *)
+  rp_gets_pruned : float;
+  rp_gets_cached : float;
+  rp_cache : Obs_cache.stats;
+  rp_handle_ns : float;  (* single-domain ns per monitored request *)
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let run_scaling spec domains =
+  let world = setup spec in
+  let reqs = workload spec world in
+  match make_pool ~shards:spec.projects world (Cloud.handle world.cloud) with
+  | Error msgs -> Error msgs
+  | Ok pool ->
+    let n = List.length reqs in
+    let t0 = now_ns () in
+    let outcomes = Shard.handle_all ~domains pool reqs in
+    let elapsed = now_ns () -. t0 in
+    let stats = Shard.cache_stats pool in
+    Ok
+      { sp_domains = domains;
+        sp_requests = n;
+        sp_elapsed_ns = elapsed;
+        sp_req_per_s = float_of_int n /. (elapsed /. 1e9);
+        sp_hit_rate = Obs_cache.hit_rate stats;
+        sp_verdicts =
+          Array.to_list
+            (Array.map
+               (fun (o : Outcome.t) ->
+                 Outcome.conformance_to_string o.Outcome.conformance)
+               outcomes)
+      }
+
+(* GETs the monitor adds per monitored request: count every GET the
+   backend sees, minus the workload's own forwarded GETs. *)
+let run_gets spec ~footprint_pruning ~cache =
+  let world = setup spec in
+  let reqs = workload spec world in
+  let gets = Atomic.make 0 in
+  let backend req =
+    if req.Request.meth = Meth.GET then Atomic.incr gets;
+    Cloud.handle world.cloud req
+  in
+  match make_pool ~footprint_pruning ~cache ~shards:1 world backend with
+  | Error msgs -> Error msgs
+  | Ok pool ->
+    let workload_gets =
+      List.length (List.filter (fun r -> r.Request.meth = Meth.GET) reqs)
+    in
+    ignore (Shard.handle_all ~domains:1 pool reqs);
+    let observation_gets = Atomic.get gets - workload_gets in
+    Ok
+      ( float_of_int observation_gets /. float_of_int (List.length reqs),
+        Shard.cache_stats pool )
+
+(* Arrival-order verdicts plus per-shard verdict sequences at a given
+   domain count — the raw material of the determinism tests. *)
+let verdict_run spec ~domains =
+  let world = setup spec in
+  let reqs = workload spec world in
+  match make_pool ~shards:spec.projects world (Cloud.handle world.cloud) with
+  | Error msgs -> Error msgs
+  | Ok pool ->
+    let outcomes = Shard.handle_all ~domains pool reqs in
+    let names arr =
+      List.map
+        (fun (o : Outcome.t) ->
+          Outcome.conformance_to_string o.Outcome.conformance)
+        arr
+    in
+    Ok
+      ( names (Array.to_list outcomes),
+        Array.map names (Shard.outcomes_by_shard pool) )
+
+let run_handle_ns spec =
+  let world = setup spec in
+  let reqs = workload spec world in
+  match make_pool ~shards:spec.projects world (Cloud.handle world.cloud) with
+  | Error msgs -> Error msgs
+  | Ok pool ->
+    let n = List.length reqs in
+    let t0 = now_ns () in
+    ignore (Shard.handle_all ~domains:1 pool reqs);
+    let elapsed = now_ns () -. t0 in
+    Ok (elapsed /. float_of_int n)
+
+let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) () =
+  let ( let* ) = Result.bind in
+  let rec scale acc = function
+    | [] -> Ok (List.rev acc)
+    | d :: rest ->
+      let* point = run_scaling spec d in
+      scale (point :: acc) rest
+  in
+  let* scaling = scale [] domains_list in
+  let* gets_baseline, _ =
+    run_gets spec ~footprint_pruning:false ~cache:Obs_cache.Disabled
+  in
+  let* gets_pruned, _ =
+    run_gets spec ~footprint_pruning:true ~cache:Obs_cache.Disabled
+  in
+  let* gets_cached, cache_stats =
+    run_gets spec ~footprint_pruning:true ~cache:Obs_cache.Cross_request
+  in
+  let* handle_ns = run_handle_ns spec in
+  let base_rate = match scaling with p :: _ -> p.sp_req_per_s | [] -> nan in
+  let best_rate =
+    List.fold_left (fun acc p -> Float.max acc p.sp_req_per_s) 0. scaling
+  in
+  let verdicts_consistent =
+    match scaling with
+    | [] -> true
+    | p :: rest -> List.for_all (fun q -> q.sp_verdicts = p.sp_verdicts) rest
+  in
+  Ok
+    { rp_projects = spec.projects;
+      rp_requests_per_project = spec.requests_per_project;
+      rp_seed = spec.seed;
+      rp_shards = spec.projects;
+      rp_available_domains = Cm_core.Domain_pool.available ();
+      rp_scaling = scaling;
+      rp_speedup = best_rate /. base_rate;
+      rp_verdicts_consistent = verdicts_consistent;
+      rp_gets_baseline = gets_baseline;
+      rp_gets_pruned = gets_pruned;
+      rp_gets_cached = gets_cached;
+      rp_cache = cache_stats;
+      rp_handle_ns = handle_ns
+    }
+
+(* ---- reporting ------------------------------------------------------- *)
+
+let render report =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line
+    "serve-bench: %d projects x %d requests (seed %d), %d shards, %d \
+     hardware domain%s"
+    report.rp_projects report.rp_requests_per_project report.rp_seed
+    report.rp_shards report.rp_available_domains
+    (if report.rp_available_domains = 1 then "" else "s");
+  line "";
+  line "%-8s %-10s %-12s %-10s %s" "domains" "requests" "req/s" "hit rate"
+    "verdicts";
+  line "%s" (String.make 60 '-');
+  List.iter
+    (fun p ->
+      line "%-8d %-10d %-12.0f %-10.2f %s" p.sp_domains p.sp_requests
+        p.sp_req_per_s p.sp_hit_rate
+        (if report.rp_verdicts_consistent then "consistent" else "DIVERGED"))
+    report.rp_scaling;
+  line "";
+  line "speedup (best vs 1 domain):     %.2fx" report.rp_speedup;
+  line "observation GETs per request:";
+  line "  unpruned, uncached:           %.2f" report.rp_gets_baseline;
+  line "  footprint-pruned:             %.2f" report.rp_gets_pruned;
+  line "  pruned + cross-request cache: %.2f" report.rp_gets_cached;
+  line "cache: %d hits / %d misses / %d invalidated (%.0f%% hit rate)"
+    report.rp_cache.Obs_cache.hits report.rp_cache.Obs_cache.misses
+    report.rp_cache.Obs_cache.invalidated
+    (100. *. Obs_cache.hit_rate report.rp_cache);
+  line "single-domain handle:           %.1f us/request"
+    (report.rp_handle_ns /. 1e3);
+  Buffer.contents buf
+
+let to_json report =
+  Json.obj
+    [ ("projects", Json.int report.rp_projects);
+      ("requests_per_project", Json.int report.rp_requests_per_project);
+      ("seed", Json.int report.rp_seed);
+      ("shards", Json.int report.rp_shards);
+      ("available_domains", Json.int report.rp_available_domains);
+      ( "scaling",
+        Json.list
+          (List.map
+             (fun p ->
+               Json.obj
+                 [ ("domains", Json.int p.sp_domains);
+                   ("requests", Json.int p.sp_requests);
+                   ("elapsed_ns", Json.float p.sp_elapsed_ns);
+                   ("req_per_s", Json.float p.sp_req_per_s);
+                   ("cache_hit_rate", Json.float p.sp_hit_rate)
+                 ])
+             report.rp_scaling) );
+      ("speedup", Json.float report.rp_speedup);
+      ("verdicts_consistent", Json.bool report.rp_verdicts_consistent);
+      ( "gets_per_request",
+        Json.obj
+          [ ("baseline", Json.float report.rp_gets_baseline);
+            ("pruned", Json.float report.rp_gets_pruned);
+            ("pruned_cached", Json.float report.rp_gets_cached)
+          ] );
+      ( "cache",
+        Json.obj
+          [ ("hits", Json.int report.rp_cache.Obs_cache.hits);
+            ("misses", Json.int report.rp_cache.Obs_cache.misses);
+            ("invalidated", Json.int report.rp_cache.Obs_cache.invalidated);
+            ("hit_rate", Json.float (Obs_cache.hit_rate report.rp_cache))
+          ] );
+      ("handle_ns_per_run", Json.float report.rp_handle_ns)
+    ]
+
+(* ---- CI regression gate ---------------------------------------------- *)
+
+let fastpath_handle_ns baseline =
+  match baseline with
+  | Json.List entries ->
+    List.find_map
+      (fun entry ->
+        match
+          ( Cm_json.Pointer.get [ Key "benchmark" ] entry,
+            Cm_json.Pointer.get [ Key "ns_per_run" ] entry )
+        with
+        | Some (Json.String "fastpath/cinder-handle-compiled"), Some ns ->
+          (match ns with
+           | Json.Float f -> Some f
+           | Json.Int i -> Some (float_of_int i)
+           | _ -> None)
+        | _ -> None)
+      entries
+  | _ -> None
+
+let check_against_baseline report ~baseline ~max_regression_pct =
+  match fastpath_handle_ns baseline with
+  | None ->
+    Error "baseline has no fastpath/cinder-handle-compiled ns_per_run entry"
+  | Some base_ns ->
+    let limit = base_ns *. (1. +. (max_regression_pct /. 100.)) in
+    if report.rp_handle_ns > limit then
+      Error
+        (Printf.sprintf
+           "handle regression: %.0f ns/request exceeds %.0f ns (baseline \
+            %.0f ns + %.0f%%)"
+           report.rp_handle_ns limit base_ns max_regression_pct)
+    else Ok ()

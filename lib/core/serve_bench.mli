@@ -1,0 +1,78 @@
+(** Throughput harness for the sharded monitor: replay a seeded
+    multi-tenant workload at several domain counts and report req/s
+    scaling, observation-cache hit rates, observation GETs per request
+    under footprint pruning, and the single-domain handle cost (the CI
+    regression gate against BENCH_fastpath.json).
+
+    The workload is a pure function of the spec — round-robin over the
+    tenants with a PRNG-chosen mix of listings, item reads, renames,
+    creations and deletions against pre-created volumes — so every
+    measurement config replays the identical request stream, and the
+    harness cross-checks that verdict sequences agree at every domain
+    count. *)
+
+type spec = {
+  projects : int;  (** tenant count; also the shard count *)
+  requests_per_project : int;
+  seed : int;
+}
+
+val default_spec : spec
+(** 8 projects x 50 requests, seed 42. *)
+
+type scaling_point = {
+  sp_domains : int;
+  sp_requests : int;
+  sp_elapsed_ns : float;
+  sp_req_per_s : float;
+  sp_hit_rate : float;
+  sp_verdicts : string list;  (** conformance per request, arrival order *)
+}
+
+type report = {
+  rp_projects : int;
+  rp_requests_per_project : int;
+  rp_seed : int;
+  rp_shards : int;
+  rp_available_domains : int;
+      (** hardware parallelism of the measurement host
+          ({!Cm_core.Domain_pool.available}) — on a single-core host
+          extra domains only add contention *)
+  rp_scaling : scaling_point list;
+  rp_speedup : float;  (** best req/s over the 1-domain req/s *)
+  rp_verdicts_consistent : bool;
+      (** verdict sequences identical at every measured domain count *)
+  rp_gets_baseline : float;
+      (** observation GETs per monitored request, no pruning, no cache *)
+  rp_gets_pruned : float;  (** with footprint pruning *)
+  rp_gets_cached : float;  (** pruning + cross-request cache *)
+  rp_cache : Cm_monitor.Obs_cache.stats;
+  rp_handle_ns : float;  (** single-domain ns per monitored request *)
+}
+
+val run :
+  ?spec:spec -> ?domains_list:int list -> unit -> (report, string list) result
+(** Fresh cloud + shard pool per measurement (default domain counts
+    1, 2 and 4). *)
+
+val verdict_run :
+  spec ->
+  domains:int ->
+  (string list * string list array, string list) result
+(** Fresh world, one serving pass: the conformance names in arrival
+    order plus each shard's conformance sequence — the determinism
+    tests assert both are identical at every domain count. *)
+
+val render : report -> string
+
+val to_json : report -> Cm_json.Json.t
+(** The BENCH_throughput.json document. *)
+
+val check_against_baseline :
+  report ->
+  baseline:Cm_json.Json.t ->
+  max_regression_pct:float ->
+  (unit, string) result
+(** Compare [rp_handle_ns] against the
+    [fastpath/cinder-handle-compiled] entry of a BENCH_fastpath.json
+    document. *)

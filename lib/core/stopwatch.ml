@@ -1,0 +1,10 @@
+type source = Wall | Virtual of Clock.t
+
+let now_ns = function
+  | Wall -> Unix.gettimeofday () *. 1e9
+  | Virtual clock -> float_of_int (Clock.now clock) *. 1e6
+
+let time_ns source f =
+  let start = now_ns source in
+  let result = f () in
+  (result, now_ns source -. start)

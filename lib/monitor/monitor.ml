@@ -24,6 +24,7 @@ type config = {
   strategy : Runtime.strategy;
   engine : Runtime.engine;
   service_token : string;
+  service_token_for : (string -> string option) option;
   resources : Resource_model.t;
   behavior : Behavior_model.t;
   security : Generate.security option;
@@ -31,14 +32,20 @@ type config = {
   resilience : Resilience.policy option;
   degradation : degradation;
   clock : Clock.t option;
+  footprint_pruning : bool;
+  cache : Obs_cache.scope;
+  timings : bool;
 }
 
 let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ?(engine = Cm_contracts.Runtime.Compiled) ?(stability_check = false)
-    ?resilience ?(degradation = Fail_open_logged) ?clock ~service_token
-    ?security resources behavior =
-  { mode; strategy; engine; service_token; resources; behavior; security;
-    stability_check; resilience; degradation; clock
+    ?resilience ?(degradation = Fail_open_logged) ?clock
+    ?(footprint_pruning = true) ?(cache = Obs_cache.Per_request)
+    ?(timings = false) ~service_token ?service_token_for ?security resources
+    behavior =
+  { mode; strategy; engine; service_token; service_token_for; resources;
+    behavior; security; stability_check; resilience; degradation; clock;
+    footprint_pruning; cache; timings
   }
 
 type t = {
@@ -58,11 +65,24 @@ type t = {
      - [by_trigger] replaces the linear scan over prepared contracts. *)
   dispatch : (int, Cm_uml.Paths.entry list) Hashtbl.t;
   by_trigger : (Behavior_model.trigger, Runtime.prepared) Hashtbl.t;
+  observer_base : Observer.t;
+      (* path entries derived once; per request this is re-targeted with
+         [with_project] (a cheap record copy) instead of re-deriving *)
+  cache : Obs_cache.t option;
+  stopwatch : Cm_core.Stopwatch.source option;
+  (* per-request phase accumulators, reset at the top of [handle] *)
+  mutable ph_observe_pre : float;
+  mutable ph_eval_pre : float;
+  mutable ph_forward : float;
+  mutable ph_observe_post : float;
+  mutable ph_eval_post : float;
   mutable log : Outcome.t list;  (* newest first *)
 }
 
 let contracts t = List.map (fun (_, p) -> Runtime.contract p) t.prepared
 let resilience t = t.resilient
+let cache_stats t = Option.map Obs_cache.stats t.cache
+let flush_cache t = Option.iter Obs_cache.clear t.cache
 let uri_table t = t.entries
 let configuration t = t.config
 let outcomes t = List.rev t.log
@@ -167,19 +187,48 @@ let create config backend =
                    backend)
                config.resilience
            in
+           let obs_backend =
+             match resilient with
+             | Some r -> Resilience.backend r
+             | None -> backend
+           in
+           let cache =
+             match config.cache with
+             | Obs_cache.Disabled -> None
+             | scope -> Some (Obs_cache.create scope)
+           in
+           let observer_base =
+             Observer.of_entries ~backend:obs_backend
+               ~token:config.service_token ~model:config.resources
+               ~project_id:"" entries
+             |> fun o -> Observer.with_cache o cache
+           in
+           let stopwatch =
+             if not config.timings then None
+             else
+               Some
+                 (match config.clock with
+                 | Some clock -> Cm_core.Stopwatch.Virtual clock
+                 | None -> Cm_core.Stopwatch.Wall)
+           in
            Ok
              { config;
                backend;
                resilient;
-               obs_backend =
-                 (match resilient with
-                  | Some r -> Resilience.backend r
-                  | None -> backend);
+               obs_backend;
                forward_seen = false;
                entries;
                prepared;
                dispatch = dispatch_table entries;
                by_trigger;
+               observer_base;
+               cache;
+               stopwatch;
+               ph_observe_pre = 0.;
+               ph_eval_pre = 0.;
+               ph_forward = 0.;
+               ph_observe_post = 0.;
+               ph_eval_post = 0.;
                log = []
              }
          end)
@@ -266,18 +315,64 @@ let prepared_for t trigger = Hashtbl.find_opt t.by_trigger trigger
 let contract_for_trigger t trigger =
   Option.map Runtime.contract (prepared_for t trigger)
 
+let project_of t req = Option.bind (classify t req) (fun c -> c.request_project)
+
+(* ---- phase timing ---- *)
+
+let timed t slot f =
+  match t.stopwatch with
+  | None -> f ()
+  | Some source ->
+    let result, ns = Cm_core.Stopwatch.time_ns source f in
+    (match slot with
+    | `Observe_pre -> t.ph_observe_pre <- t.ph_observe_pre +. ns
+    | `Eval_pre -> t.ph_eval_pre <- t.ph_eval_pre +. ns
+    | `Forward -> t.ph_forward <- t.ph_forward +. ns
+    | `Observe_post -> t.ph_observe_post <- t.ph_observe_post +. ns
+    | `Eval_post -> t.ph_eval_post <- t.ph_eval_post +. ns);
+    result
+
+let reset_phases t =
+  t.ph_observe_pre <- 0.;
+  t.ph_eval_pre <- 0.;
+  t.ph_forward <- 0.;
+  t.ph_observe_post <- 0.;
+  t.ph_eval_post <- 0.
+
+let current_phases t =
+  match t.stopwatch with
+  | None -> None
+  | Some _ ->
+    Some
+      { Outcome.observe_pre_ns = t.ph_observe_pre;
+        eval_pre_ns = t.ph_eval_pre;
+        forward_ns = t.ph_forward;
+        observe_post_ns = t.ph_observe_post;
+        eval_post_ns = t.ph_eval_post
+      }
+
 (* ---- observation ---- *)
 
-let observe_env t classified =
+let observe_env t classified prepared =
   let project_id =
     Option.value ~default:"" classified.request_project
   in
+  let observer = Observer.with_project t.observer_base ~project_id in
   let observer =
-    Observer.create ~backend:t.obs_backend ~token:t.config.service_token
-      ~model:t.config.resources ~project_id
+    match t.config.service_token_for with
+    | Some resolve ->
+      (match resolve project_id with
+       | Some token -> Observer.with_token observer ~token
+       | None -> observer)
+    | None -> observer
   in
-  fun ~user_token ->
-    Observer.env ?item:classified.item ~bindings:classified.bindings
+  let observer =
+    if t.config.footprint_pruning then
+      Observer.with_footprint observer (Some (Runtime.footprint prepared))
+    else observer
+  in
+  fun ~fresh ~user_token ->
+    Observer.env ~fresh ?item:classified.item ~bindings:classified.bindings
       ?user_token observer
 
 (* ---- verdict helpers ---- *)
@@ -308,6 +403,7 @@ let blocked_response conformance detail =
     Status.forbidden
 
 let record t outcome =
+  let outcome = { outcome with Outcome.phases = current_phases t } in
   (if Outcome.is_violation outcome.Outcome.conformance then
      Log.warn (fun m -> m "%a" Outcome.pp outcome)
    else Log.debug (fun m -> m "%a" Outcome.pp outcome));
@@ -335,7 +431,12 @@ let envs_equal a b =
 let stable_post_verdict t ~make_env ~user_token post_env post_verdict =
   match post_verdict with
   | Cm_ocl.Eval.Violated when t.config.stability_check ->
-    let second_env = make_env ~user_token in
+    (* [~fresh:true]: the re-observation must reach the cloud, not the
+       observation cache, or concurrent interference could be masked by
+       replaying our own cached reads. *)
+    let second_env =
+      timed t `Observe_post (fun () -> make_env ~fresh:true ~user_token)
+    in
     if envs_equal post_env second_env then post_verdict
     else
       Cm_ocl.Eval.Undefined_verdict
@@ -355,7 +456,8 @@ let outcome_base req response cloud_response conformance detail =
     covered_requirements = [];
     contract_requirements = [];
     snapshot_bytes = 0;
-    detail
+    detail;
+    phases = None
   }
 
 (* One forwarded request, three possible worlds: the backend answered;
@@ -366,23 +468,42 @@ type forwarded =
   | Not_delivered of Resilience.failure
   | Unknown_outcome of Resilience.failure
 
+(* A forwarded mutation (or one that may have executed) invalidates the
+   cache entries its write-set overlaps: the mutated path itself,
+   anything beneath it, and every ancestor/listing whose document can
+   reflect it.  Unmodelled mutations (e.g. POST .../action) pass through
+   here too, so the cache never survives a write it cannot classify. *)
+let invalidate_after_mutation t (req : Request.t) =
+  if not (Meth.is_safe req.Request.meth) then
+    Option.iter
+      (fun cache -> Obs_cache.invalidate_overlapping cache req.Request.path)
+      t.cache
+
 let forward t req =
-  match t.resilient with
-  | None ->
-    t.forward_seen <- true;
-    Delivered (t.backend req)
-  | Some r ->
-    (* [call_verified] so the double-read stale defense also covers
-       forwarded GETs (a stale 200 for a deleted resource would flip a
-       definite verdict); for non-GETs it is exactly [call]. *)
-    (match Resilience.call_verified r req with
-     | Ok resp ->
-       t.forward_seen <- true;
-       Delivered resp
-     | Error (Resilience.Circuit_open _ as failure) -> Not_delivered failure
-     | Error (Resilience.Exhausted _ as failure) ->
-       t.forward_seen <- true;
-       Unknown_outcome failure)
+  let result =
+    timed t `Forward (fun () ->
+        match t.resilient with
+        | None ->
+          t.forward_seen <- true;
+          Delivered (t.backend req)
+        | Some r ->
+          (* [call_verified] so the double-read stale defense also covers
+             forwarded GETs (a stale 200 for a deleted resource would flip a
+             definite verdict); for non-GETs it is exactly [call]. *)
+          (match Resilience.call_verified r req with
+           | Ok resp ->
+             t.forward_seen <- true;
+             Delivered resp
+           | Error (Resilience.Circuit_open _ as failure) ->
+             Not_delivered failure
+           | Error (Resilience.Exhausted _ as failure) ->
+             t.forward_seen <- true;
+             Unknown_outcome failure))
+  in
+  (match result with
+  | Delivered _ | Unknown_outcome _ -> invalidate_after_mutation t req
+  | Not_delivered _ -> ());
+  result
 
 (* The circuit is open: monitoring cannot complete, and nothing was
    sent.  [Fail_closed] rejects outright (availability sacrificed for
@@ -403,13 +524,15 @@ let degrade t req failure =
     outcome_base req response None (Outcome.Degraded detail) detail
   | Fail_open_logged ->
     let detail = "fail-open: forwarded unmonitored (" ^ why ^ ")" in
-    (match t.backend req with
+    (match timed t `Forward (fun () -> t.backend req) with
      | response ->
        t.forward_seen <- true;
+       invalidate_after_mutation t req;
        outcome_base req response (Some response) (Outcome.Degraded detail)
          detail
      | exception exn when Transport.is_failure exn ->
        let detail = detail ^ "; raw forward failed: " ^ Transport.describe exn in
+       invalidate_after_mutation t req;
        outcome_base req
          (Response.error Status.bad_gateway detail)
          None (Outcome.Degraded detail) detail)
@@ -438,7 +561,8 @@ let not_monitored t req =
       covered_requirements = [];
       contract_requirements = [];
       snapshot_bytes = 0;
-      detail = "no model entry for this URI"
+      detail = "no model entry for this URI";
+      phases = None
     }
 
 let no_contract t classified req =
@@ -463,7 +587,8 @@ let no_contract t classified req =
       covered_requirements = [];
       contract_requirements = [];
       snapshot_bytes = 0;
-      detail = "no contract for trigger"
+      detail = "no contract for trigger";
+      phases = None
     }
   | Oracle ->
     (match forward t req with
@@ -484,7 +609,8 @@ let no_contract t classified req =
          covered_requirements = [];
          contract_requirements = [];
          snapshot_bytes = 0;
-         detail = "method has no contract in the model"
+         detail = "method has no contract in the model";
+         phases = None
        })
 
 let tri_tag hint = function
@@ -498,10 +624,16 @@ let tri_tag hint = function
    the presence (or absence) of the effect cannot be attributed to this
    request, so claiming [Conform] or [Post_violated] here would be a
    coin-flip dressed as a verdict. *)
-let unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+let unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
     ~pre_verdict ~covered ~requirements req failure =
-  let post_obs = Runtime.observe prepared (make_env ~user_token) in
-  let post_verdict = Runtime.check_post_observed prepared snapshot post_obs in
+  let post_obs =
+    timed t `Observe_post (fun () ->
+        Runtime.observe prepared (make_env ~fresh:false ~user_token))
+  in
+  let post_verdict =
+    timed t `Eval_post (fun () ->
+        Runtime.check_post_observed prepared snapshot post_obs)
+  in
   let hint =
     "forwarding outcome unknown: " ^ Resilience.failure_to_string failure
   in
@@ -526,19 +658,29 @@ let unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
 
 let monitored t classified prepared req =
   let user_token = Request.auth_token req in
-  let make_env = observe_env t classified in
-  let pre_obs = Runtime.observe prepared (make_env ~user_token) in
+  let make_env = observe_env t classified prepared in
+  let pre_obs =
+    timed t `Observe_pre (fun () ->
+        Runtime.observe prepared (make_env ~fresh:false ~user_token))
+  in
   let contract = Runtime.contract prepared in
-  let pre_verdict = Runtime.check_pre_observed prepared pre_obs in
-  let covered = Runtime.covered_requirements_observed prepared pre_obs in
+  let pre_verdict =
+    timed t `Eval_pre (fun () -> Runtime.check_pre_observed prepared pre_obs)
+  in
+  let covered =
+    timed t `Eval_pre (fun () ->
+        Runtime.covered_requirements_observed prepared pre_obs)
+  in
   let auth_tri =
-    match Runtime.auth_guard_tri prepared pre_obs with
+    match
+      timed t `Eval_pre (fun () -> Runtime.auth_guard_tri prepared pre_obs)
+    with
     | None -> `True
     | Some tri -> tri_tag "authorization guard undefined" tri
   in
   let functional_tri =
     tri_tag "functional precondition undefined"
-      (Runtime.functional_pre_tri prepared pre_obs)
+      (timed t `Eval_pre (fun () -> Runtime.functional_pre_tri prepared pre_obs))
   in
   match t.config.mode with
   | Enforce ->
@@ -564,7 +706,10 @@ let monitored t classified prepared req =
          contract_requirements = contract.Contract.requirements
        }
      | `True ->
-       let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
+       let snapshot =
+         timed t `Eval_pre (fun () ->
+             Runtime.take_snapshot_observed prepared pre_obs)
+       in
        (match forward t req with
         | Not_delivered failure ->
           { (degrade t req failure) with
@@ -573,15 +718,19 @@ let monitored t classified prepared req =
             contract_requirements = contract.Contract.requirements
           }
         | Unknown_outcome failure ->
-          unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+          unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
             ~pre_verdict ~covered
             ~requirements:contract.Contract.requirements req failure
         | Delivered cloud_response ->
-       let post_obs = Runtime.observe prepared (make_env ~user_token) in
+       let post_obs =
+         timed t `Observe_post (fun () ->
+             Runtime.observe prepared (make_env ~fresh:false ~user_token))
+       in
        let post_verdict =
          stable_post_verdict t ~make_env ~user_token
            (Runtime.observed_env post_obs)
-           (Runtime.check_post_observed prepared snapshot post_obs)
+           (timed t `Eval_post (fun () ->
+                Runtime.check_post_observed prepared snapshot post_obs))
        in
        let snapshot_bytes = Runtime.snapshot_bytes snapshot in
        (match tri_of_verdict post_verdict with
@@ -632,7 +781,10 @@ let monitored t classified prepared req =
             snapshot_bytes
           })))
   | Oracle ->
-    let snapshot = Runtime.take_snapshot_observed prepared pre_obs in
+    let snapshot =
+      timed t `Eval_pre (fun () ->
+          Runtime.take_snapshot_observed prepared pre_obs)
+    in
     (match forward t req with
      | Not_delivered failure ->
        { (degrade t req failure) with
@@ -641,11 +793,14 @@ let monitored t classified prepared req =
          contract_requirements = contract.Contract.requirements
        }
      | Unknown_outcome failure ->
-       unknown_after_forward ~prepared ~make_env ~user_token ~snapshot
+       unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
          ~pre_verdict ~covered
          ~requirements:contract.Contract.requirements req failure
      | Delivered cloud_response ->
-    let post_obs = Runtime.observe prepared (make_env ~user_token) in
+    let post_obs =
+      timed t `Observe_post (fun () ->
+          Runtime.observe prepared (make_env ~fresh:false ~user_token))
+    in
     let snapshot_bytes = Runtime.snapshot_bytes snapshot in
     let success = Response.is_success cloud_response in
     let conformance, post_verdict, detail =
@@ -689,7 +844,8 @@ let monitored t classified prepared req =
           let post_verdict =
             stable_post_verdict t ~make_env ~user_token
               (Runtime.observed_env post_obs)
-              (Runtime.check_post_observed prepared snapshot post_obs)
+              (timed t `Eval_post (fun () ->
+                   Runtime.check_post_observed prepared snapshot post_obs))
           in
           match tri_of_verdict post_verdict with
           | `True -> (Outcome.Conform, Some post_verdict, "")
@@ -726,6 +882,8 @@ let handle_inner t req =
    exhaustion is not containable and is re-raised. *)
 let handle t req =
   t.forward_seen <- false;
+  reset_phases t;
+  Option.iter Obs_cache.begin_request t.cache;
   match handle_inner t req with
   | outcome -> record t outcome
   | exception ((Stack_overflow | Out_of_memory) as exn) -> raise exn

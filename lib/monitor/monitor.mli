@@ -44,6 +44,11 @@ type config = {
           produce identical verdicts — the interpreter remains as the
           executable semantics and benchmark baseline. *)
   service_token : string;  (** the monitor's own cloud credentials *)
+  service_token_for : (string -> string option) option;
+      (** Per-project service credentials: clouds scope tokens to one
+          project, so a monitor serving several tenants resolves the
+          observation token from the classified project id ([None]
+          falls back to [service_token]). *)
   resources : Cm_uml.Resource_model.t;
   behavior : Cm_uml.Behavior_model.t;
   security : Cm_contracts.Generate.security option;
@@ -68,6 +73,22 @@ type config = {
       (** The virtual clock the resilience layer times against.  Pass
           the same clock the (simulated) backend advances; when [None] a
           private clock is created (fine for latency-free backends). *)
+  footprint_pruning : bool;
+      (** Restrict observation GETs to the matched contract's static
+          read-set ({!Cm_ocl.Footprint}).  Verdict-preserving: pruned
+          state is state no contract expression can read.  On by
+          default. *)
+  cache : Obs_cache.scope;
+      (** Observation-cache scope.  [Per_request] (the default) reuses
+          reads only within one exchange — sound under arbitrary
+          out-of-band writers between requests.  [Cross_request] also
+          reuses across exchanges (invalidated on forwarded mutations) —
+          sound under the single-writer-per-tenant discipline the shard
+          layer enforces; out-of-band writers must {!flush_cache}. *)
+  timings : bool;
+      (** Record per-phase timing into each outcome's
+          [Outcome.phases] (wall clock, or the virtual [clock] when one
+          is configured).  Off by default. *)
 }
 
 val default_config :
@@ -78,13 +99,18 @@ val default_config :
   ?resilience:Resilience.policy ->
   ?degradation:degradation ->
   ?clock:Cm_core.Clock.t ->
+  ?footprint_pruning:bool ->
+  ?cache:Obs_cache.scope ->
+  ?timings:bool ->
   service_token:string ->
+  ?service_token_for:(string -> string option) ->
   ?security:Cm_contracts.Generate.security ->
   Cm_uml.Resource_model.t ->
   Cm_uml.Behavior_model.t ->
   config
 (** Defaults: [Oracle] mode, [Lean] snapshots, [Compiled] engine, no
-    stability check, no resilience layer, [Fail_open_logged]. *)
+    stability check, no resilience layer, [Fail_open_logged], footprint
+    pruning on, [Per_request] observation cache, timings off. *)
 
 type t
 
@@ -104,6 +130,20 @@ val handle : t -> Cm_http.Request.t -> Outcome.t
 val resilience : t -> Resilience.t option
 (** The live resilience layer (breaker states, per-route metrics), when
     the configuration enabled one. *)
+
+val cache_stats : t -> Obs_cache.stats option
+(** Hit/miss/invalidation counters of the observation cache, when one
+    is enabled. *)
+
+val flush_cache : t -> unit
+(** Drop all cached observations.  Out-of-band writers (anything that
+    mutates the cloud without going through {!handle}) must call this
+    before the next monitored request under [Cross_request] scope. *)
+
+val project_of : t -> Cm_http.Request.t -> string option
+(** The project/tenant id request classification binds for the path
+    ([None] for unclassified requests) — the shard layer's partition
+    key. *)
 
 val handle_response : t -> Cm_http.Request.t -> Cm_http.Response.t
 (** [ (handle t req).response ] — lets a monitor instance itself be used

@@ -1,0 +1,90 @@
+module Response = Cm_http.Response
+
+type scope = Disabled | Per_request | Cross_request
+
+type key = { path : string; token : string option }
+
+type t = {
+  scope : scope;
+  table : (key, Response.t) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidated : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; invalidated : int }
+
+let create scope =
+  { scope;
+    table = Hashtbl.create 32;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    invalidated = Atomic.make 0
+  }
+
+let scope t = t.scope
+let enabled t = t.scope <> Disabled
+
+let find t ~token path =
+  if not (enabled t) then None
+  else
+    match Hashtbl.find_opt t.table { path; token } with
+    | Some r ->
+      Atomic.incr t.hits;
+      Some r
+    | None ->
+      Atomic.incr t.misses;
+      None
+
+(* Definite state answers only: a 2xx is the resource, a 404 is its
+   definite absence (stable until an overlapping mutation).  Transient
+   failures surfaced by the resilience layer (5xx, degraded responses)
+   must be retried on the next observation, never replayed. *)
+let cacheable (resp : Response.t) =
+  Response.is_success resp || resp.Response.status = Cm_http.Status.not_found
+
+let remember t ~token path resp =
+  if enabled t && cacheable resp then
+    Hashtbl.replace t.table { path; token } resp
+
+let segments path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let rec is_prefix xs ys =
+  match xs, ys with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> String.equal x y && is_prefix xs' ys'
+
+let overlaps cached mutated =
+  is_prefix cached mutated || is_prefix mutated cached
+
+let invalidate_overlapping t mutated_path =
+  if enabled t then begin
+    let mutated = segments mutated_path in
+    let stale =
+      Hashtbl.fold
+        (fun key _ acc ->
+          if overlaps (segments key.path) mutated then key :: acc else acc)
+        t.table []
+    in
+    List.iter
+      (fun key ->
+        Hashtbl.remove t.table key;
+        Atomic.incr t.invalidated)
+      stale
+  end
+
+let clear t = Hashtbl.reset t.table
+
+let begin_request t = match t.scope with Per_request -> clear t | _ -> ()
+
+let stats (cache : t) =
+  { hits = Atomic.get cache.hits;
+    misses = Atomic.get cache.misses;
+    invalidated = Atomic.get cache.invalidated
+  }
+
+let hit_rate { hits; misses; _ } =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total

@@ -1,0 +1,50 @@
+(** Observation cache with mutation-overlap invalidation.
+
+    The observer's GETs are pure reads of cloud state; between
+    mutations that state cannot change (per-tenant requests are
+    serialized within a shard), so responses can be reused.  A
+    forwarded POST/PUT/DELETE on path [M] invalidates exactly the
+    entries whose path overlaps [M]'s write-set: cached path [P] is
+    dropped iff [P] is a segment-prefix of [M] (a container listing or
+    ancestor document that now includes/excludes the mutated resource)
+    or [M] is a segment-prefix of [P] (the mutated resource itself or
+    something beneath it).
+
+    Scopes: [Per_request] reuses observations only within one
+    monitored exchange (pre-state -> post-state of the same request) —
+    always sound, even with out-of-band writers between requests.
+    [Cross_request] keeps entries across exchanges and is sound under
+    the single-writer-per-tenant discipline the shard layer enforces.
+
+    Counters are [Atomic] so shards can be polled from other domains
+    while serving. *)
+
+type scope = Disabled | Per_request | Cross_request
+
+type t
+
+type stats = { hits : int; misses : int; invalidated : int }
+
+val create : scope -> t
+val scope : t -> scope
+val enabled : t -> bool
+
+val find : t -> token:string option -> string -> Cm_http.Response.t option
+
+val remember : t -> token:string option -> string -> Cm_http.Response.t -> unit
+(** Stores only definite state answers (2xx and 404); transient
+    failures (5xx, degraded responses) are never pinned. *)
+
+val invalidate_overlapping : t -> string -> unit
+(** Drop every entry whose path segment-prefix-overlaps the mutated
+    path, in either direction. *)
+
+val begin_request : t -> unit
+(** Called at the top of each monitored exchange; clears the table
+    under [Per_request] scope. *)
+
+val clear : t -> unit
+(** Drop all entries (out-of-band writers should call this). *)
+
+val stats : t -> stats
+val hit_rate : stats -> float

@@ -2,6 +2,7 @@ module Json = Cm_json.Json
 module Request = Cm_http.Request
 module Response = Cm_http.Response
 module RM = Cm_uml.Resource_model
+module Footprint = Cm_ocl.Footprint
 
 type backend = Request.t -> Response.t
 
@@ -14,12 +15,12 @@ type t = {
   entry_index : Cm_uml.Paths.index;
   context_def : string;  (* the item contained in the root collection *)
   context_param : string;  (* its id parameter name, e.g. "project_id" *)
+  footprint : Footprint.t option;
+      (* None = observe everything; Some fp = fetch only what fp reads *)
+  cache : Obs_cache.t option;
 }
 
-let create ~backend ~token ~model ~project_id =
-  let entries =
-    match Cm_uml.Paths.derive model with Ok entries -> entries | Error _ -> []
-  in
+let of_entries ~backend ~token ~model ~project_id entries =
   let context_def =
     match RM.outgoing model.RM.root model with
     | child :: _ -> child.RM.target
@@ -32,14 +33,90 @@ let create ~backend ~token ~model ~project_id =
     entries;
     entry_index = Cm_uml.Paths.index entries;
     context_def;
-    context_param = Cm_uml.Paths.id_param context_def
+    context_param = Cm_uml.Paths.id_param context_def;
+    footprint = None;
+    cache = None
   }
 
-let get t path =
+let create ~backend ~token ~model ~project_id =
+  match Cm_uml.Paths.derive model with
+  | Ok entries -> Ok (of_entries ~backend ~token ~model ~project_id entries)
+  | Error msg ->
+    (* A model whose URI scheme cannot be derived would otherwise yield a
+       monitor that observes nothing and vacuously passes everything. *)
+    Error (Printf.sprintf "observer: cannot derive URI scheme: %s" msg)
+
+let create_exn ~backend ~token ~model ~project_id =
+  match create ~backend ~token ~model ~project_id with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+let with_project t ~project_id = { t with project_id }
+let with_token t ~token = { t with token }
+let with_footprint t footprint = { t with footprint }
+let with_cache t cache = { t with cache }
+let project_id t = t.project_id
+let context_def t = t.context_def
+
+(* ---- footprint pruning ----------------------------------------------- *)
+
+let wants_root t name =
+  match t.footprint with
+  | None -> true
+  | Some fp -> Footprint.mentions fp (String.lowercase_ascii name)
+
+let wants_member t root field =
+  match t.footprint with
+  | None -> true
+  | Some fp -> Footprint.needs_field fp ~root:(String.lowercase_ascii root) field
+
+(* The context document's own attributes vs. the members we graft from
+   child listings: if the contracts only read grafted roles, the doc GET
+   itself is dead weight. *)
+let wants_own_attrs t root ~grafted_roles =
+  match t.footprint with
+  | None -> true
+  | Some fp ->
+    let root = String.lowercase_ascii root in
+    (match List.assoc_opt root fp with
+     | None -> false
+     | Some Footprint.All -> true
+     | Some (Footprint.Fields fs) ->
+       List.exists (fun f -> not (List.mem f grafted_roles)) fs)
+
+(* ---- cached GETs ------------------------------------------------------ *)
+
+let backend_get ?(subject_token = None) t path =
   let req =
     Request.make Cm_http.Meth.GET path |> Request.with_auth_token t.token
   in
+  let req =
+    match subject_token with
+    | None -> req
+    | Some token ->
+      { req with
+        Request.headers =
+          Cm_http.Headers.replace "X-Subject-Token" token req.Request.headers
+      }
+  in
   t.backend req
+
+(* [fresh] bypasses cache reads but still refreshes the entry: the
+   stability re-observation must see the cloud, not the cache, or
+   concurrent interference would be masked. *)
+let get ?(fresh = false) ?(subject_token = None) t path =
+  match t.cache with
+  | Some cache when Obs_cache.enabled cache ->
+    let cached =
+      if fresh then None else Obs_cache.find cache ~token:subject_token path
+    in
+    (match cached with
+     | Some resp -> resp
+     | None ->
+       let resp = backend_get ~subject_token t path in
+       Obs_cache.remember cache ~token:subject_token path resp;
+       resp)
+  | _ -> backend_get ~subject_token t path
 
 let successful_body resp =
   if Response.is_success resp then resp.Response.body else None
@@ -62,24 +139,25 @@ let expand t template bindings =
   | Ok path -> Some path
   | Error _ -> None
 
-let get_unwrapped t ~resource ~item bindings =
+let get_unwrapped ?fresh t ~resource ~item bindings =
   match template_for t ~resource ~item with
   | None -> None
   | Some template ->
     (match expand t template bindings with
      | None -> None
-     | Some path -> unwrap (successful_body (get t path)))
+     | Some path -> unwrap (successful_body (get ?fresh t path)))
 
 (* Sub-collections of a bound item: graft each reachable listing into the
    item document as a member named by the role — this is what makes
    [volume.snapshots->size()] evaluable. *)
-let graft_sub_collections t request_bindings (def_name : string) doc =
+let graft_sub_collections ?fresh t request_bindings (def_name : string) doc =
   match doc with
   | Json.Obj members ->
     let extra =
       List.filter_map
         (fun (assoc : RM.association) ->
           if assoc.source <> def_name then None
+          else if not (wants_member t def_name assoc.role) then None
           else
             match RM.find_resource assoc.target t.model with
             | None -> None
@@ -98,7 +176,8 @@ let graft_sub_collections t request_bindings (def_name : string) doc =
                | None -> None
                | Some resource ->
                  (match
-                    get_unwrapped t ~resource ~item:false request_bindings
+                    get_unwrapped ?fresh t ~resource ~item:false
+                      request_bindings
                   with
                   | Some (Json.List _ as items) -> Some (assoc.role, items)
                   | Some _ | None -> None)))
@@ -110,11 +189,12 @@ let graft_sub_collections t request_bindings (def_name : string) doc =
 (* Items addressable with the available URI parameters: for each item
    entry whose every parameter is known, GET and bind it. The context
    resource is excluded (it gets richer treatment below). *)
-let ancestor_bindings t request_bindings =
+let ancestor_bindings ?fresh t request_bindings =
   let available = (t.context_param, t.project_id) :: request_bindings in
   List.filter_map
     (fun (entry : Cm_uml.Paths.entry) ->
       if (not entry.is_item) || entry.resource = t.context_def then None
+      else if not (wants_root t entry.resource) then None
       else begin
         let params = Cm_http.Uri_template.param_names entry.template in
         (* single-param items (the context's singleton children) are
@@ -127,27 +207,45 @@ let ancestor_bindings t request_bindings =
         if not all_known then None
         else
           match
-            get_unwrapped t ~resource:entry.resource ~item:true
+            get_unwrapped ?fresh t ~resource:entry.resource ~item:true
               request_bindings
           with
           | Some doc ->
             Some
               ( String.lowercase_ascii entry.resource,
-                graft_sub_collections t request_bindings entry.resource doc )
+                graft_sub_collections ?fresh t request_bindings entry.resource
+                  doc )
           | None -> None
       end)
     t.entries
 
-let observe ?item ?(bindings = []) t =
+let observe ?(fresh = false) ?item ?(bindings = []) t =
+  (* which roles the context walk can graft (for dead-doc elimination) *)
+  let children = RM.outgoing t.context_def t.model in
+  let collection_roles =
+    List.filter_map
+      (fun (assoc : RM.association) ->
+        match RM.find_resource assoc.target t.model with
+        | None -> None
+        | Some target_def ->
+          if
+            target_def.kind = RM.Collection
+            || Cm_uml.Multiplicity.is_collection assoc.multiplicity
+          then Some assoc.role
+          else None)
+      children
+  in
   (* 1. the context resource's own document *)
   let context_members =
-    match get_unwrapped t ~resource:t.context_def ~item:true [] with
-    | Some (Json.Obj members) -> members
-    | Some _ | None -> []
+    if not (wants_own_attrs t t.context_def ~grafted_roles:collection_roles)
+    then []
+    else
+      match get_unwrapped ~fresh t ~resource:t.context_def ~item:true [] with
+      | Some (Json.Obj members) -> members
+      | Some _ | None -> []
   in
   (* 2. children of the context: collections become members under their
      role; singleton normals become top-level bindings *)
-  let children = RM.outgoing t.context_def t.model in
   let member_bindings, toplevel_bindings =
     List.fold_left
       (fun (members, toplevels) (assoc : RM.association) ->
@@ -160,22 +258,25 @@ let observe ?item ?(bindings = []) t =
                && Cm_uml.Multiplicity.is_collection assoc.multiplicity
           in
           if is_sub_collection then begin
-            (* the addressable listing: the collection entry named either
-               by the collection def or by the many-target def *)
-            let listing =
-              match target_def.kind with
-              | RM.Collection ->
-                get_unwrapped t ~resource:target_def.def_name ~item:false []
-              | RM.Normal ->
-                get_unwrapped t ~resource:target_def.def_name ~item:false []
-            in
-            match listing with
-            | Some (Json.List _ as items) ->
-              ((assoc.role, items) :: members, toplevels)
-            | Some _ | None -> (members, toplevels)
+            if not (wants_member t t.context_def assoc.role) then
+              (members, toplevels)
+            else
+              let listing =
+                get_unwrapped ~fresh t ~resource:target_def.def_name
+                  ~item:false []
+              in
+              match listing with
+              | Some (Json.List _ as items) ->
+                ((assoc.role, items) :: members, toplevels)
+              | Some _ | None -> (members, toplevels)
           end
+          else if not (wants_root t target_def.def_name) then
+            (members, toplevels)
           else begin
-            match get_unwrapped t ~resource:target_def.def_name ~item:true [] with
+            match
+              get_unwrapped ~fresh t ~resource:target_def.def_name ~item:true
+                []
+            with
             | Some doc ->
               ( members,
                 (String.lowercase_ascii target_def.def_name, doc) :: toplevels
@@ -191,20 +292,21 @@ let observe ?item ?(bindings = []) t =
   (* 3. every item reachable with the request's URI parameters —
      including the addressed item itself and all its ancestors — each
      enriched with its own sub-collection listings *)
-  let nested = ancestor_bindings t bindings in
+  let nested = ancestor_bindings ~fresh t bindings in
   (* 4. an explicitly requested item (used by drivers that know an id
      without having a full request path) *)
   let item_binding =
     match item with
     | None -> []
-    | Some (resource, id) when not (List.mem_assoc (String.lowercase_ascii resource) nested)
-      ->
+    | Some (resource, _) when not (wants_root t resource) -> []
+    | Some (resource, id)
+      when not (List.mem_assoc (String.lowercase_ascii resource) nested) ->
       let id_param = Cm_uml.Paths.id_param resource in
       let request_bindings = (id_param, id) :: bindings in
-      (match get_unwrapped t ~resource ~item:true request_bindings with
+      (match get_unwrapped ~fresh t ~resource ~item:true request_bindings with
        | Some doc ->
          [ ( String.lowercase_ascii resource,
-             graft_sub_collections t request_bindings resource doc )
+             graft_sub_collections ~fresh t request_bindings resource doc )
          ]
        | None -> [])
     | Some _ -> []
@@ -213,9 +315,43 @@ let observe ?item ?(bindings = []) t =
 
 let privilege = function "admin" -> 0 | "member" -> 1 | "user" -> 2 | _ -> 3
 
+let introspection_path = "/identity/v3/auth/tokens"
+
+let parse_subject_body body =
+  let get_str field =
+    match Cm_json.Pointer.get [ Key "token"; Key field ] body with
+    | Some (Json.String s) -> Some s
+    | Some _ | None -> None
+  in
+  let get_list field =
+    match Cm_json.Pointer.get [ Key "token"; Key field ] body with
+    | Some (Json.List items) -> items
+    | Some _ | None -> []
+  in
+  let roles =
+    List.filter_map
+      (function Json.String s -> Some s | _ -> None)
+      (get_list "roles")
+  in
+  let primary =
+    match
+      List.sort (fun a b -> Int.compare (privilege a) (privilege b)) roles
+    with
+    | strongest :: _ -> strongest
+    | [] -> ""
+  in
+  Some
+    (Json.obj
+       [ ("name", Json.string (Option.value ~default:"" (get_str "user")));
+         ("groups", Json.List (get_list "groups"));
+         ("roles", Json.List (get_list "roles"));
+         ("role", Json.string primary);
+         ("id", Json.obj [ ("groups", Json.string primary) ])
+       ])
+
 let subject_binding backend ~token =
   let req =
-    Request.make Cm_http.Meth.GET "/identity/v3/auth/tokens"
+    Request.make Cm_http.Meth.GET introspection_path
     |> fun r ->
     { r with
       Request.headers =
@@ -224,45 +360,26 @@ let subject_binding backend ~token =
   in
   match successful_body (backend req) with
   | None -> None
-  | Some body ->
-    let get_str field =
-      match Cm_json.Pointer.get [ Key "token"; Key field ] body with
-      | Some (Json.String s) -> Some s
-      | Some _ | None -> None
-    in
-    let get_list field =
-      match Cm_json.Pointer.get [ Key "token"; Key field ] body with
-      | Some (Json.List items) -> items
-      | Some _ | None -> []
-    in
-    let roles =
-      List.filter_map
-        (function Json.String s -> Some s | _ -> None)
-        (get_list "roles")
-    in
-    let primary =
-      match
-        List.sort (fun a b -> Int.compare (privilege a) (privilege b)) roles
-      with
-      | strongest :: _ -> strongest
-      | [] -> ""
-    in
-    Some
-      (Json.obj
-         [ ("name", Json.string (Option.value ~default:"" (get_str "user")));
-           ("groups", Json.List (get_list "groups"));
-           ("roles", Json.List (get_list "roles"));
-           ("role", Json.string primary);
-           ("id", Json.obj [ ("groups", Json.string primary) ])
-         ])
+  | Some body -> parse_subject_body body
 
-let env ?item ?bindings ?user_token t =
-  let observed = observe ?item ?bindings t in
+(* Token introspections are cached under the subject token: a token's
+   roles cannot change mid-exchange, and identity mutations do not flow
+   through the monitored API (so no invalidation is needed). *)
+let subject_binding_cached ?(fresh = false) t ~token =
+  match
+    successful_body (get ~fresh ~subject_token:(Some token) t introspection_path)
+  with
+  | None -> None
+  | Some body -> parse_subject_body body
+
+let env ?fresh ?item ?bindings ?user_token t =
+  let observed = observe ?fresh ?item ?bindings t in
   let user_binding =
     match user_token with
     | None -> []
+    | Some _ when not (wants_root t "user") -> []
     | Some token ->
-      (match subject_binding t.backend ~token with
+      (match subject_binding_cached ?fresh t ~token with
        | Some user -> [ ("user", user) ]
        | None -> [])
   in

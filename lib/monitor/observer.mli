@@ -26,6 +26,16 @@
     ([{"volume": {...}}], [{"volumes": [...]}]) regardless of the key's
     exact spelling.
 
+    Two per-request cost levers, both optional and both
+    verdict-preserving:
+
+    - {!with_footprint} restricts the fetches to a contract's static
+      read-set ({!Cm_ocl.Footprint}) — unmentioned roots and members
+      are never GET;
+    - {!with_cache} reuses observation responses through an
+      {!Obs_cache} (invalidated by the monitor on forwarded mutations;
+      re-observations pass [~fresh:true] to bypass reads).
+
     Observation uses a service account (the monitor's own credentials),
     mirroring how OpenStack services authenticate to each other. *)
 
@@ -38,9 +48,47 @@ val create :
   token:string ->
   model:Cm_uml.Resource_model.t ->
   project_id:string ->
+  (t, string) result
+(** [Error] when the model's URI scheme cannot be derived — a monitor
+    that observes nothing would vacuously pass everything, so the
+    failure must be surfaced, not swallowed. *)
+
+val create_exn :
+  backend:backend ->
+  token:string ->
+  model:Cm_uml.Resource_model.t ->
+  project_id:string ->
   t
+(** Raises [Invalid_argument] where {!create} returns [Error]. *)
+
+val of_entries :
+  backend:backend ->
+  token:string ->
+  model:Cm_uml.Resource_model.t ->
+  project_id:string ->
+  Cm_uml.Paths.entry list ->
+  t
+(** Build from already-derived path entries (the monitor derives them
+    once and shares them across requests). *)
+
+val with_project : t -> project_id:string -> t
+(** Cheap per-request re-targeting; shares entries/index/cache. *)
+
+val with_token : t -> token:string -> t
+(** Swap the service credential — clouds scope tokens to one project,
+    so multi-tenant monitors resolve a per-project service token. *)
+
+val with_footprint : t -> Cm_ocl.Footprint.t option -> t
+(** [Some fp] prunes observation to the footprint; [None] observes
+    everything. *)
+
+val with_cache : t -> Obs_cache.t option -> t
+
+val project_id : t -> string
+val context_def : t -> string
 
 val observe :
+  ?fresh:bool ->
   ?item:string * string ->
   ?bindings:(string * string) list ->
   t ->
@@ -54,7 +102,10 @@ val observe :
     definition name, and each bound item additionally carries the
     listings of its own sub-collections as members under the role name.
     The context binding is produced even when the context GET fails
-    (with only the members that could be observed). *)
+    (with only the members that could be observed).
+    [~fresh:true] bypasses cache reads (still refreshing entries) — the
+    stability re-observation uses it so the cache can never mask
+    concurrent interference. *)
 
 val subject_binding : backend -> token:string -> Cm_json.Json.t option
 (** Introspect a {e user's} token into the ["user"] binding
@@ -62,6 +113,7 @@ val subject_binding : backend -> token:string -> Cm_json.Json.t option
     [None] when the token is invalid. *)
 
 val env :
+  ?fresh:bool ->
   ?item:string * string ->
   ?bindings:(string * string) list ->
   ?user_token:string ->

@@ -71,6 +71,25 @@ let conformance_of_string text =
 
 let pp_conformance ppf c = Fmt.string ppf (conformance_to_string c)
 
+type phases = {
+  observe_pre_ns : float;
+  eval_pre_ns : float;
+  forward_ns : float;
+  observe_post_ns : float;
+  eval_post_ns : float;
+}
+
+let phases_total p =
+  p.observe_pre_ns +. p.eval_pre_ns +. p.forward_ns +. p.observe_post_ns
+  +. p.eval_post_ns
+
+let pp_phases ppf p =
+  Fmt.pf ppf
+    "observe-pre %.0fns | eval-pre %.0fns | forward %.0fns | observe-post \
+     %.0fns | eval-post %.0fns"
+    p.observe_pre_ns p.eval_pre_ns p.forward_ns p.observe_post_ns
+    p.eval_post_ns
+
 type t = {
   request : Cm_http.Request.t;
   response : Cm_http.Response.t;
@@ -82,6 +101,7 @@ type t = {
   contract_requirements : string list;
   snapshot_bytes : int;
   detail : string;
+  phases : phases option;
 }
 
 let pp ppf outcome =

@@ -10,6 +10,10 @@ type summary = {
   undefined : int;
   not_monitored : int;
   by_conformance : (string * int) list;  (** verdict name -> count *)
+  timed : int;  (** outcomes that carried a phase breakdown *)
+  phase_means : Outcome.phases option;
+      (** mean per-phase cost over the timed outcomes (monitors run
+          with [timings = true]); [None] when nothing was timed *)
 }
 
 val summarize : Outcome.t list -> summary

@@ -80,13 +80,25 @@ let new_breaker () =
     half_open_in_flight = 0; opens = 0
   }
 
+(* Live counters are Atomic so shards can be polled from other domains
+   while serving; [route_metrics] below is the immutable snapshot the
+   API exposes. *)
+type route_counters = {
+  c_calls : int Atomic.t;
+  c_attempts : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_call_failures : int Atomic.t;
+  c_short_circuited : int Atomic.t;
+  c_breaker_opens : int Atomic.t;
+}
+
 type route_metrics = {
-  mutable calls : int;
-  mutable attempts : int;
-  mutable retries : int;
-  mutable call_failures : int;
-  mutable short_circuited : int;
-  mutable breaker_opens : int;
+  calls : int;
+  attempts : int;
+  retries : int;
+  call_failures : int;
+  short_circuited : int;
+  breaker_opens : int;
 }
 
 type t = {
@@ -97,9 +109,13 @@ type t = {
   route_key : Request.t -> string;
   validate : Request.t -> Response.t -> bool;
   breakers : (string, breaker) Hashtbl.t;
-  metrics : (string, route_metrics) Hashtbl.t;
-  mutable next_request_id : int;
+  metrics : (string, route_counters) Hashtbl.t;
 }
+
+(* Process-global so ids stay unique across every monitor/shard sharing
+   one idempotency table — two shards both minting "cm-1" would collide
+   in the cloud's dedup cache and replay a stranger's response. *)
+let next_request_id = Atomic.make 1
 
 (* Method + first two path segments: one breaker per API route family
    (e.g. "POST /v3/myProject"), so a wedged volume service does not
@@ -123,8 +139,7 @@ let create ?(seed = 0xBACC0FF) ?route_key ?(validate = fun _ _ -> true) policy
     route_key = Option.value ~default:default_route_key route_key;
     validate;
     breakers = Hashtbl.create 16;
-    metrics = Hashtbl.create 16;
-    next_request_id = 0
+    metrics = Hashtbl.create 16
   }
 
 let breaker_for t route =
@@ -140,15 +155,28 @@ let metrics_for t route =
   | Some m -> m
   | None ->
     let m =
-      { calls = 0; attempts = 0; retries = 0; call_failures = 0;
-        short_circuited = 0; breaker_opens = 0
+      { c_calls = Atomic.make 0;
+        c_attempts = Atomic.make 0;
+        c_retries = Atomic.make 0;
+        c_call_failures = Atomic.make 0;
+        c_short_circuited = Atomic.make 0;
+        c_breaker_opens = Atomic.make 0
       }
     in
     Hashtbl.add t.metrics route m;
     m
 
+let snapshot_counters c =
+  { calls = Atomic.get c.c_calls;
+    attempts = Atomic.get c.c_attempts;
+    retries = Atomic.get c.c_retries;
+    call_failures = Atomic.get c.c_call_failures;
+    short_circuited = Atomic.get c.c_short_circuited;
+    breaker_opens = Atomic.get c.c_breaker_opens
+  }
+
 let metrics t =
-  Hashtbl.fold (fun route m acc -> (route, m) :: acc) t.metrics []
+  Hashtbl.fold (fun route m acc -> (route, snapshot_counters m) :: acc) t.metrics []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let breaker_state t route =
@@ -190,7 +218,7 @@ let breaker_failure t b m =
   then begin
     if b.state <> Open then begin
       b.opens <- b.opens + 1;
-      m.breaker_opens <- m.breaker_opens + 1
+      Atomic.incr m.c_breaker_opens
     end;
     b.state <- Open;
     b.opened_at <- Clock.now t.clock;
@@ -242,15 +270,13 @@ let ensure_request_id t req =
   if
     t.policy.retry_mutations && mutating req
     && Headers.get request_id_header req.Request.headers = None
-  then begin
-    t.next_request_id <- t.next_request_id + 1;
+  then
     { req with
       Request.headers =
         Headers.replace request_id_header
-          (Printf.sprintf "cm-%d" t.next_request_id)
+          (Printf.sprintf "cm-%d" (Atomic.fetch_and_add next_request_id 1))
           req.Request.headers
     }
-  end
   else req
 
 (* A 502/503/504 is treated as a not-executed gateway blip (true in the
@@ -294,9 +320,9 @@ let call t req =
   let route = t.route_key req in
   let b = breaker_for t route in
   let m = metrics_for t route in
-  m.calls <- m.calls + 1;
+  Atomic.incr m.c_calls;
   if not (breaker_admit t b) then begin
-    m.short_circuited <- m.short_circuited + 1;
+    Atomic.incr m.c_short_circuited;
     Error (Circuit_open route)
   end
   else begin
@@ -306,7 +332,7 @@ let call t req =
     let started = Clock.now t.clock in
     let deadline = started + t.policy.total_budget_ms in
     let finish_failure attempts last_error =
-      m.call_failures <- m.call_failures + 1;
+      Atomic.incr m.c_call_failures;
       breaker_failure t b m;
       Error
         (Exhausted
@@ -317,7 +343,7 @@ let call t req =
            })
     in
     let rec loop attempt last_blip =
-      m.attempts <- m.attempts + 1;
+      Atomic.incr m.c_attempts;
       match one_attempt t req with
       | Got resp ->
         breaker_success b;
@@ -351,7 +377,7 @@ let call t req =
           | _ -> finish_failure attempt last_error
         end
         else begin
-          m.retries <- m.retries + 1;
+          Atomic.incr m.c_retries;
           let pause = backoff_ms t.policy t.rng ~attempt in
           let pause = min pause (max 1 (deadline - Clock.now t.clock)) in
           Clock.advance t.clock pause;

@@ -114,13 +114,15 @@ val breaker_state : t -> string -> breaker_state
 val breaker_state_to_string : breaker_state -> string
 
 type route_metrics = {
-  mutable calls : int;
-  mutable attempts : int;
-  mutable retries : int;
-  mutable call_failures : int;  (** calls that returned [Error] *)
-  mutable short_circuited : int;  (** rejected by an open breaker *)
-  mutable breaker_opens : int;
+  calls : int;
+  attempts : int;
+  retries : int;
+  call_failures : int;  (** calls that returned [Error] *)
+  short_circuited : int;  (** rejected by an open breaker *)
+  breaker_opens : int;
 }
+(** An immutable snapshot; the live counters are [Atomic]-backed so
+    they can be read from any domain while serving. *)
 
 val metrics : t -> (string * route_metrics) list
 (** Per-route health counters, sorted by route. *)

@@ -1,0 +1,71 @@
+type t = { monitors : Monitor.t array }
+
+let create ?(shards = 1) config backend =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  let rec build acc i =
+    if i = shards then Ok { monitors = Array.of_list (List.rev acc) }
+    else
+      match Monitor.create config backend with
+      | Ok m -> build (m :: acc) (i + 1)
+      | Error _ as e -> e
+  in
+  build [] 0
+
+let shards t = Array.length t.monitors
+let monitor t i = t.monitors.(i)
+
+(* FNV-1a, masked to a non-negative int.  Any stable string hash works;
+   what matters is that the partition depends only on the project id
+   and the shard count. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let shard_of t req =
+  match Monitor.project_of t.monitors.(0) req with
+  | None -> 0
+  | Some project -> fnv1a project mod Array.length t.monitors
+
+let handle_all ?(domains = 1) t reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let shard_count = Array.length t.monitors in
+  (* Partition by tenant, preserving arrival order within each shard. *)
+  let queues = Array.make shard_count [] in
+  for i = n - 1 downto 0 do
+    let s = shard_of t reqs.(i) in
+    queues.(s) <- i :: queues.(s)
+  done;
+  let results = Array.make n None in
+  let serve s =
+    List.iter
+      (fun i -> results.(i) <- Some (Monitor.handle t.monitors.(s) reqs.(i)))
+      queues.(s)
+  in
+  (* Each slot of [results] is written by exactly one shard and read
+     only after every domain is joined, so the array needs no lock. *)
+  ignore (Cm_core.Domain_pool.run ~domains shard_count serve);
+  Array.map
+    (function Some o -> o | None -> assert false (* every index queued *))
+    results
+
+let outcomes_by_shard t = Array.map Monitor.outcomes t.monitors
+
+let cache_stats t =
+  Array.fold_left
+    (fun acc m ->
+      match Monitor.cache_stats m with
+      | None -> acc
+      | Some s ->
+        Obs_cache.
+          { hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            invalidated = acc.invalidated + s.invalidated
+          })
+    Obs_cache.{ hits = 0; misses = 0; invalidated = 0 }
+    t.monitors
+
+let flush_caches t = Array.iter Monitor.flush_cache t.monitors

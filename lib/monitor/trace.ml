@@ -136,7 +136,8 @@ let outcome_of_json json =
       covered_requirements;
       contract_requirements;
       snapshot_bytes;
-      detail
+      detail;
+      phases = None
     }
 
 let to_jsonl outcomes =

@@ -32,15 +32,21 @@ let run_one mutant =
            | [] -> None)
       }
 
-let run mutants =
+let sequence results =
   let rec loop acc = function
     | [] -> Ok (List.rev acc)
-    | m :: rest ->
-      (match run_one m with
-       | Ok result -> loop (result :: acc) rest
-       | Error _ as err -> err)
+    | Ok r :: rest -> loop (r :: acc) rest
+    | (Error _ as err) :: _ -> err
   in
-  loop [] (None :: List.map (fun m -> Some m) mutants)
+  loop [] results
+
+(* Every run builds a fresh cloud + monitor, so campaign entries are
+   fully independent and can fan out over domains; the result order is
+   the job order regardless of domain count. *)
+let run ?(domains = 1) mutants =
+  sequence
+    (Cm_core.Domain_pool.map_list ~domains run_one
+       (None :: List.map (fun m -> Some m) mutants))
 
 let kill_matrix results =
   let buf = Buffer.create 512 in
@@ -170,15 +176,13 @@ let run_chaos_one ?(seed = 42) ~index profile mutant =
               | None -> [])
          })
 
-let run_chaos ?seed profile mutants =
-  let rec loop index acc = function
-    | [] -> Ok (List.rev acc)
-    | m :: rest ->
-      (match run_chaos_one ?seed ~index profile m with
-       | Ok r -> loop (index + 1) (r :: acc) rest
-       | Error _ as err -> err)
-  in
-  loop 0 [] (None :: List.map (fun m -> Some m) mutants)
+let run_chaos ?seed ?(domains = 1) profile mutants =
+  sequence
+    (Cm_core.Domain_pool.map_list ~domains
+       (fun (index, m) -> run_chaos_one ?seed ~index profile m)
+       (List.mapi
+          (fun i m -> (i, m))
+          (None :: List.map (fun m -> Some m) mutants)))
 
 let chaos_ok runs =
   List.for_all

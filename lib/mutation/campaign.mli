@@ -17,8 +17,11 @@ type result = {
 val run_one : Mutant.t option -> (result, string list) Stdlib.result
 (** Fresh cloud + monitor, standard workload, collect. *)
 
-val run : Mutant.t list -> (result list, string list) Stdlib.result
-(** Baseline first (it must be violation-free), then each mutant. *)
+val run : ?domains:int -> Mutant.t list -> (result list, string list) Stdlib.result
+(** Baseline first (it must be violation-free), then each mutant.
+    Every entry runs in a fresh cloud + monitor, so with [domains > 1]
+    (default 1) entries fan out over OCaml domains; results keep the
+    job order and are identical at any domain count. *)
 
 val to_json : result list -> Cm_json.Json.t
 (** Machine-readable kill matrix for CI gates. *)
@@ -61,12 +64,14 @@ type chaos_run = {
 
 val run_chaos :
   ?seed:int ->
+  ?domains:int ->
   Cm_cloudsim.Chaos.profile ->
   Mutant.t list ->
   (chaos_run list, string list) Stdlib.result
 (** Baseline + each mutant under the profile.  [seed] (default 42)
-    derives a distinct chaos seed per run, so campaigns are
-    reproducible end to end. *)
+    derives a distinct chaos seed per run — from the job {e index}, not
+    the schedule — so campaigns are reproducible end to end at any
+    [domains] count (default 1). *)
 
 val chaos_ok : chaos_run list -> bool
 (** No flips anywhere, the baseline clean, every mutant killed. *)

@@ -19,7 +19,8 @@ let service_subject =
 let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ?(engine = Cm_contracts.Runtime.Compiled)
     ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
-    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false) () =
+    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false)
+    ?footprint_pruning ?cache () =
   let clock = Cm_core.Clock.create () in
   let cloud = Cloud.create ~clock () in
   Cloud.seed cloud Cloud.my_project;
@@ -59,7 +60,7 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
   in
   let config =
     Monitor.default_config ~mode ~strategy ~engine ~stability_check ?resilience
-      ~degradation ~clock ~service_token ~security
+      ~degradation ~clock ?footprint_pruning ?cache ~service_token ~security
       Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
   in
   match Monitor.create config backend with

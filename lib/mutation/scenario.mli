@@ -27,6 +27,8 @@ val setup :
   ?resilience:Cm_monitor.Resilience.policy ->
   ?degradation:Cm_monitor.Monitor.degradation ->
   ?stability_check:bool ->
+  ?footprint_pruning:bool ->
+  ?cache:Cm_monitor.Obs_cache.scope ->
   unit ->
   (ctx, string list) result
 (** Fresh simulated cloud seeded with the paper's [myProject] (three

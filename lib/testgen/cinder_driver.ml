@@ -102,7 +102,7 @@ let driver ?(faults = Cm_cloudsim.Faults.none) () () =
   in
   let observe () =
     let observer =
-      Cm_monitor.Observer.create ~backend:(Cloud.handle cloud)
+      Cm_monitor.Observer.create_exn ~backend:(Cloud.handle cloud)
         ~token:service_token ~model:Cm_uml.Cinder_model.resources
         ~project_id:project
     in

@@ -197,7 +197,7 @@ let driver ?(faults = Cm_cloudsim.Faults.none) spec () =
   in
   let observe () =
     let observer =
-      Cm_monitor.Observer.create ~backend:(Cloud.handle cloud)
+      Cm_monitor.Observer.create_exn ~backend:(Cloud.handle cloud)
         ~token:service_token ~model:spec.resources ~project_id:project
     in
     (* bind the first item of the behaviour's most specific resource so

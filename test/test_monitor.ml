@@ -73,7 +73,7 @@ let observer_tests =
           (run fx fx.alice Meth.POST "/v3/myProject/volumes"
              ~body:(volume_body "v") ());
         let observer =
-          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+          Observer.create_exn ~backend:(Cloud.handle fx.cloud) ~token:fx.service
             ~model:Cinder.resources ~project_id:"myProject"
         in
         let bindings = Observer.observe observer in
@@ -98,7 +98,7 @@ let observer_tests =
           (run fx fx.alice Meth.POST "/v3/myProject/volumes"
              ~body:(volume_body "v") ());
         let observer =
-          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+          Observer.create_exn ~backend:(Cloud.handle fx.cloud) ~token:fx.service
             ~model:Cinder.resources ~project_id:"myProject"
         in
         Alcotest.(check bool) "present" true
@@ -110,7 +110,7 @@ let observer_tests =
     Alcotest.test_case "nonexistent project observes as empty" `Quick (fun () ->
         let fx = fixture () in
         let observer =
-          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+          Observer.create_exn ~backend:(Cloud.handle fx.cloud) ~token:fx.service
             ~model:Cinder.resources ~project_id:"ghost"
         in
         let env = Observer.env observer in

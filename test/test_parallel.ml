@@ -1,0 +1,334 @@
+(* Determinism under parallelism: everything the monitor reports must
+   be a pure function of the request stream and the shard count, never
+   of how many domains served it.  The suites below re-run the mutation
+   campaign, a fuzz slice and a sharded multi-tenant workload at 1, 2
+   and 4 domains and require bit-identical verdicts, plus the
+   cache-invalidation properties that make the observation cache unable
+   to mask real state changes or concurrent interference. *)
+
+module Campaign = Cm_mutation.Campaign
+module Mutant = Cm_mutation.Mutant
+module Scenario = Cm_mutation.Scenario
+module Chaos = Cm_cloudsim.Chaos
+module Monitor = Cm_monitor.Monitor
+module Obs_cache = Cm_monitor.Obs_cache
+module Outcome = Cm_monitor.Outcome
+module Response = Cm_http.Response
+module Meth = Cm_http.Meth
+module SB = Cloudmon.Serve_bench
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* ---- mutation campaign at several domain counts ---- *)
+
+let campaign_projection results =
+  List.map
+    (fun (r : Campaign.result) ->
+      ( (match r.mutant with None -> "baseline" | Some m -> m.Mutant.name),
+        r.killed,
+        r.exchanges,
+        r.first_violation ))
+    results
+
+let test_campaign_domains () =
+  let runs =
+    List.map
+      (fun domains ->
+        match Campaign.run ~domains Mutant.all with
+        | Ok results -> results
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs))
+      domain_counts
+  in
+  List.iter
+    (fun results ->
+      Alcotest.(check bool) "all mutants killed, baseline clean" true
+        (Campaign.all_killed results))
+    runs;
+  match List.map campaign_projection runs with
+  | [] -> ()
+  | reference :: rest ->
+    List.iteri
+      (fun i other ->
+        Alcotest.(check bool)
+          (Printf.sprintf "kill matrix identical at %d domains"
+             (List.nth domain_counts (i + 1)))
+          true (other = reference))
+      rest
+
+let chaos_projection runs =
+  List.map
+    (fun (r : Campaign.chaos_run) ->
+      ( (match r.cr_mutant with None -> "baseline" | Some m -> m.Mutant.name),
+        r.cr_killed,
+        r.cr_exchanges,
+        List.length r.cr_flips,
+        r.cr_indefinite ))
+    runs
+
+let test_chaos_campaign_domains () =
+  let profile =
+    match Chaos.find_profile "flaky-network" with
+    | Some p -> p
+    | None -> Alcotest.fail "flaky-network profile missing"
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        match Campaign.run_chaos ~domains profile Mutant.all with
+        | Ok runs -> runs
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs))
+      [ 1; 2 ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no flips, mutants still killed under chaos" true
+        (Campaign.chaos_ok r))
+    runs;
+  match List.map chaos_projection runs with
+  | [ reference; two ] ->
+    Alcotest.(check bool) "chaos matrix identical at 2 domains" true
+      (two = reference)
+  | _ -> Alcotest.fail "expected two chaos runs"
+
+(* ---- fuzz slice at several domain counts ---- *)
+
+(* Each fuzz case builds its own cloud + monitor, so cases are
+   independent jobs; the verdict of case [i] must not depend on which
+   domain ran it.  500 cases of the monitor oracle (the verdict-bearing
+   one) without shrinking. *)
+let test_fuzz_domains () =
+  let oracle =
+    match Cm_proptest.Oracle.find "monitor" with
+    | Some o -> o
+    | None -> Alcotest.fail "monitor oracle missing"
+  in
+  let cases = 500 in
+  let verdict_name index =
+    match
+      oracle.Cm_proptest.Oracle.run_case ~shrink:false ~seed:42 ~index
+        ~size:(2 + (index mod 9))
+    with
+    | Cm_proptest.Oracle.Pass -> (index, "pass", "")
+    | Cm_proptest.Oracle.Fail f ->
+      (index, "fail", f.Cm_proptest.Oracle.detail)
+  in
+  let indices = List.init cases (fun i -> i) in
+  let runs =
+    List.map
+      (fun domains ->
+        Cm_core.Domain_pool.map_list ~domains verdict_name indices)
+      domain_counts
+  in
+  match runs with
+  | reference :: rest ->
+    Alcotest.(check int) "all cases ran" cases (List.length reference);
+    List.iter
+      (fun (_, verdict, _) ->
+        Alcotest.(check string) "fuzz baseline passes" "pass" verdict)
+      reference;
+    List.iteri
+      (fun i other ->
+        Alcotest.(check bool)
+          (Printf.sprintf "fuzz verdicts identical at %d domains"
+             (List.nth domain_counts (i + 1)))
+          true (other = reference))
+      rest
+  | [] -> ()
+
+(* ---- sharded serving: arrival order and per-shard sequences ---- *)
+
+let test_shard_determinism () =
+  let spec =
+    { SB.projects = 4; requests_per_project = 25; seed = 7 }
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        match SB.verdict_run spec ~domains with
+        | Ok r -> r
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs))
+      domain_counts
+  in
+  match runs with
+  | (ref_arrival, ref_shards) :: rest ->
+    Alcotest.(check int) "expected workload size" 100
+      (List.length ref_arrival);
+    List.iteri
+      (fun i (arrival, shards) ->
+        let d = List.nth domain_counts (i + 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "arrival-order verdicts identical at %d domains" d)
+          true
+          (arrival = ref_arrival);
+        Alcotest.(check bool)
+          (Printf.sprintf "per-shard sequences identical at %d domains" d)
+          true
+          (shards = ref_shards))
+      rest
+  | [] -> ()
+
+(* ---- the cache cannot change what the monitor concludes ---- *)
+
+(* Same standard workload, cache off vs per-request vs cross-request:
+   identical verdict sequences. *)
+let test_cache_scope_equivalence () =
+  let verdicts cache =
+    match Scenario.setup ~cache () with
+    | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+    | Ok ctx ->
+      Scenario.standard ctx;
+      List.map
+        (fun (o : Outcome.t) ->
+          Outcome.conformance_to_string o.Outcome.conformance)
+        (Monitor.outcomes ctx.Scenario.monitor)
+  in
+  let off = verdicts Obs_cache.Disabled in
+  Alcotest.(check bool) "per-request cache preserves verdicts" true
+    (verdicts Obs_cache.Per_request = off);
+  Alcotest.(check bool) "cross-request cache preserves verdicts" true
+    (verdicts Obs_cache.Cross_request = off)
+
+(* Chaos with stale reads plus the cross-request cache: the double-read
+   (verified reads) defense re-observes with [fresh:true], so the cache
+   must never convert a would-be flip into a wrong definite verdict. *)
+let test_cache_under_stale_chaos () =
+  let profile =
+    match Chaos.find_profile "degraded-cloud" with
+    | Some p -> p
+    | None -> Alcotest.fail "degraded-cloud profile missing"
+  in
+  List.iter
+    (fun mutant ->
+      let faults =
+        match mutant with
+        | Some (m : Mutant.t) -> m.Mutant.faults
+        | None -> Cm_cloudsim.Faults.none
+      in
+      let outcomes_with cache =
+        match
+          Scenario.setup ~faults ~chaos:profile ~chaos_seed:99
+            ~resilience:Campaign.chaos_policy ~cache ()
+        with
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+        | Ok ctx ->
+          Scenario.standard ctx;
+          Monitor.outcomes ctx.Scenario.monitor
+      in
+      let definite outcomes =
+        List.filter_map
+          (fun (o : Outcome.t) ->
+            if Outcome.is_definite o.Outcome.conformance then
+              Some
+                ( o.Outcome.request.Cm_http.Request.meth,
+                  o.Outcome.request.Cm_http.Request.path,
+                  Outcome.conformance_to_string o.Outcome.conformance )
+            else None)
+          outcomes
+      in
+      let uncached = outcomes_with Obs_cache.Disabled in
+      let cached = outcomes_with Obs_cache.Cross_request in
+      Alcotest.(check bool)
+        "definite verdicts unchanged by the cache under stale chaos" true
+        (definite cached = definite uncached);
+      match mutant with
+      | Some _ ->
+        Alcotest.(check bool) "mutant still killed with cache on" true
+          (Cm_monitor.Report.violations cached <> [])
+      | None ->
+        Alcotest.(check bool) "baseline still clean with cache on" true
+          (Cm_monitor.Report.violations cached = []))
+    [ None; Mutant.find "M1-delete-privilege-escalation" ]
+
+(* ---- invalidation properties of the cache itself ---- *)
+
+let ok_response body =
+  Response.ok (Cm_json.Json.obj [ ("v", Cm_json.Json.string body) ])
+
+let test_cache_invalidation_overlap () =
+  let cache = Obs_cache.create Obs_cache.Cross_request in
+  let remember path = Obs_cache.remember cache ~token:None path (ok_response path) in
+  let cached path = Obs_cache.find cache ~token:None path <> None in
+  remember "/v3/p/volumes";
+  remember "/v3/p/volumes/vol-1";
+  remember "/v3/p/volumes/vol-1/snapshots";
+  remember "/v3/p/images";
+  Obs_cache.invalidate_overlapping cache "/v3/p/volumes/vol-1";
+  Alcotest.(check bool) "ancestor listing dropped" false (cached "/v3/p/volumes");
+  Alcotest.(check bool) "the resource itself dropped" false
+    (cached "/v3/p/volumes/vol-1");
+  Alcotest.(check bool) "descendants dropped" false
+    (cached "/v3/p/volumes/vol-1/snapshots");
+  Alcotest.(check bool) "unrelated subtree kept" true (cached "/v3/p/images");
+  (* segment-prefix, not string-prefix *)
+  let cache = Obs_cache.create Obs_cache.Cross_request in
+  Obs_cache.remember cache ~token:None "/v3/p/volumes/vol-10"
+    (ok_response "ten");
+  Obs_cache.invalidate_overlapping cache "/v3/p/volumes/vol-1";
+  Alcotest.(check bool) "vol-10 is not a segment-prefix match" true
+    (Obs_cache.find cache ~token:None "/v3/p/volumes/vol-10" <> None)
+
+let test_cache_definite_answers_only () =
+  let cache = Obs_cache.create Obs_cache.Cross_request in
+  Obs_cache.remember cache ~token:None "/a"
+    (Response.error Cm_http.Status.service_unavailable "transient");
+  Alcotest.(check bool) "5xx never pinned" true
+    (Obs_cache.find cache ~token:None "/a" = None);
+  Obs_cache.remember cache ~token:None "/b"
+    (Response.error Cm_http.Status.not_found "gone");
+  Alcotest.(check bool) "404 is a definite answer" true
+    (Obs_cache.find cache ~token:None "/b" <> None)
+
+let test_cache_token_isolation () =
+  let cache = Obs_cache.create Obs_cache.Cross_request in
+  Obs_cache.remember cache ~token:(Some "tok-a") "/a" (ok_response "a");
+  Alcotest.(check bool) "other token misses" true
+    (Obs_cache.find cache ~token:(Some "tok-b") "/a" = None);
+  Alcotest.(check bool) "same token hits" true
+    (Obs_cache.find cache ~token:(Some "tok-a") "/a" <> None)
+
+let test_per_request_scope_clears () =
+  let cache = Obs_cache.create Obs_cache.Per_request in
+  Obs_cache.remember cache ~token:None "/a" (ok_response "a");
+  Alcotest.(check bool) "hit within the exchange" true
+    (Obs_cache.find cache ~token:None "/a" <> None);
+  Obs_cache.begin_request cache;
+  Alcotest.(check bool) "cleared at the next exchange" true
+    (Obs_cache.find cache ~token:None "/a" = None);
+  let cross = Obs_cache.create Obs_cache.Cross_request in
+  Obs_cache.remember cross ~token:None "/a" (ok_response "a");
+  Obs_cache.begin_request cross;
+  Alcotest.(check bool) "cross-request survives exchanges" true
+    (Obs_cache.find cross ~token:None "/a" <> None)
+
+let () =
+  Alcotest.run "cm_parallel"
+    [ ( "campaigns",
+        [ Alcotest.test_case "mutant kill matrix at 1/2/4 domains" `Slow
+            test_campaign_domains;
+          Alcotest.test_case "chaos campaign at 1/2 domains" `Slow
+            test_chaos_campaign_domains
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "500 monitor cases at 1/2/4 domains" `Slow
+            test_fuzz_domains
+        ] );
+      ( "sharding",
+        [ Alcotest.test_case "arrival + per-shard sequences" `Slow
+            test_shard_determinism
+        ] );
+      ( "cache-verdicts",
+        [ Alcotest.test_case "scope equivalence" `Quick
+            test_cache_scope_equivalence;
+          Alcotest.test_case "stale chaos not masked" `Slow
+            test_cache_under_stale_chaos
+        ] );
+      ( "cache-properties",
+        [ Alcotest.test_case "overlap invalidation" `Quick
+            test_cache_invalidation_overlap;
+          Alcotest.test_case "definite answers only" `Quick
+            test_cache_definite_answers_only;
+          Alcotest.test_case "token isolation" `Quick test_cache_token_isolation;
+          Alcotest.test_case "per-request scope clears" `Quick
+            test_per_request_scope_clears
+        ] )
+    ]

@@ -189,7 +189,7 @@ let observer_tests =
           (direct fx fx.alice ~body:(snapshot_body "s1") Meth.POST
              (snap_base vid));
         let observer =
-          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+          Observer.create_exn ~backend:(Cloud.handle fx.cloud) ~token:fx.service
             ~model:Snap.resources ~project_id:"myProject"
         in
         let request_bindings =
@@ -218,7 +218,7 @@ let observer_tests =
           (direct fx fx.alice ~body:(snapshot_body "s1") Meth.POST
              (snap_base vid));
         let observer =
-          Observer.create ~backend:(Cloud.handle fx.cloud) ~token:fx.service
+          Observer.create_exn ~backend:(Cloud.handle fx.cloud) ~token:fx.service
             ~model:Snap.resources ~project_id:"myProject"
         in
         let env =
