@@ -114,6 +114,91 @@ let table1 () =
        Cloudmon.Rbac.Security_table.cinder_assignment);
   0
 
+(* ---- analyze: design-time contract verification ---- *)
+
+let cinder_input =
+  ( "cinder",
+    { Cloudmon.Analysis.Rules.resources = Cloudmon.Uml.Cinder_model.resources;
+      behavior = Cloudmon.Uml.Cinder_model.behavior;
+      security = Some Cloudmon.cinder_security
+    } )
+
+let glance_input =
+  ( "glance",
+    { Cloudmon.Analysis.Rules.resources = Cloudmon.Uml.Glance_model.resources;
+      behavior = Cloudmon.Uml.Glance_model.behavior;
+      security = Some Cloudmon.glance_security
+    } )
+
+let snapshot_input =
+  ( "snapshot",
+    { Cloudmon.Analysis.Rules.resources = Cloudmon.Uml.Snapshot_model.resources;
+      behavior = Cloudmon.Uml.Snapshot_model.behavior;
+      security = Some Cloudmon.snapshot_security
+    } )
+
+let analysis_inputs = function
+  | "cinder" -> Ok [ cinder_input ]
+  | "glance" -> Ok [ glance_input ]
+  | "snapshot" -> Ok [ snapshot_input ]
+  | "all" -> Ok [ cinder_input; glance_input; snapshot_input ]
+  | other -> Error (Printf.sprintf "unknown model %S" other)
+
+let analyze_selftest () =
+  let results = Cloudmon.Analysis.Defects.check_all () in
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Ok () -> Printf.printf "pass  %s\n" name
+      | Error msg -> Printf.printf "FAIL  %s: %s\n" name msg)
+    results;
+  let failed = List.filter (fun (_, r) -> Result.is_error r) results in
+  Printf.printf "%d/%d seeded defects caught by their expected rule\n"
+    (List.length results - List.length failed)
+    (List.length results);
+  if failed = [] then 0 else 1
+
+let analyze model format crosscheck_cases seed selftest =
+  if selftest then analyze_selftest ()
+  else
+    match analysis_inputs model with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok inputs ->
+      let failures =
+        List.filter_map
+          (fun (label, input) ->
+            let findings = Cloudmon.Analysis.Rules.analyze input in
+            (match format with
+             | "json" ->
+               Fmt.pr "%a@." Cloudmon.Json.pp (Cloudmon.Lint.to_json findings)
+             | _ ->
+               Printf.printf "== %s ==\n" label;
+               print_string
+                 (Cloudmon.Lint.render
+                    ~catalogue:Cloudmon.Analysis.Rules.full_catalogue findings));
+            let static_bad = Cloudmon.Lint.errors findings <> [] in
+            let dynamic_bad =
+              crosscheck_cases > 0
+              &&
+              match
+                Cloudmon.Analysis.Crosscheck.run ~cases:crosscheck_cases ~seed
+                  input
+              with
+              | Error msg ->
+                Printf.printf "cross-check failed to run: %s\n" msg;
+                true
+              | Ok r ->
+                Fmt.pr "cross-check %a@." Cloudmon.Analysis.Crosscheck.pp_result r;
+                List.iter (Printf.printf "  violation: %s\n") r.violations;
+                not (Cloudmon.Analysis.Crosscheck.ok r)
+            in
+            if static_bad || dynamic_bad then Some label else None)
+          inputs
+      in
+      if failures = [] then 0 else 1
+
 let paper_flag =
   let doc = "Only the three mutants of the paper." in
   Arg.(value & flag & info [ "paper-only" ] ~doc)
@@ -152,6 +237,39 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"run the mutation experiment (§VI-D)")
     Term.(const validate $ paper_flag)
+
+let analyze_model_arg =
+  let doc = "Model set to analyze: cinder, glance, snapshot, or all." in
+  Arg.(value & opt string "all" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let analyze_format_arg =
+  let doc = "Report format: text (default) or json." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let analyze_crosscheck_arg =
+  let doc =
+    "Also fuzz N random observations per model and fail if any static \
+     verdict (dead/vacuous) is contradicted dynamically (0 = skip)."
+  in
+  Arg.(value & opt int 0 & info [ "cross-check" ] ~docv:"N" ~doc)
+
+let analyze_selftest_flag =
+  let doc =
+    "Run the seeded defect corpus instead: every deliberately broken model \
+     must be caught by exactly its expected rule."
+  in
+  Arg.(value & flag & info [ "selftest" ] ~doc)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "design-time contract verification: vacuity/dead-code analysis, \
+          RBAC coverage audit and footprint blind spots (exit 1 on Error \
+          findings)")
+    Term.(
+      const analyze $ analyze_model_arg $ analyze_format_arg
+      $ analyze_crosscheck_arg $ seed_arg $ analyze_selftest_flag)
 
 let verbose_flag =
   let doc = "Stream every monitored exchange to stderr (Logs reporter)." in
@@ -445,8 +563,8 @@ let main =
   Cmd.group
     (Cmd.info "cmonitor" ~version:Cloudmon.version
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
-    [ validate_cmd; lifecycle_cmd; contracts_cmd; table1_cmd; testgen_cmd;
-      explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; serve_bench_cmd
+    [ validate_cmd; analyze_cmd; lifecycle_cmd; contracts_cmd; table1_cmd;
+      testgen_cmd; explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; serve_bench_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -62,18 +62,44 @@ let () =
           ]
     }
   in
-  match
-    C.Contracts.Evolution.compare
-      ~old_version:(C.Uml.Cinder_model.behavior, table, assignment)
-      ~new_version:(release2_behavior, release2_table, assignment)
-      ~sample
-  with
-  | Error msg -> prerr_endline msg
-  | Ok report ->
-    print_string (C.Contracts.Evolution.render report);
-    print_endline "";
-    Printf.printf
-      "release gate: %d security-relevant change(s) need review before \
-       deploying\n"
-      (List.length report.C.Contracts.Evolution.security_relevant);
-    if report.C.Contracts.Evolution.security_relevant = [] then exit 1
+  (match
+     C.Contracts.Evolution.compare
+       ~old_version:(C.Uml.Cinder_model.behavior, table, assignment)
+       ~new_version:(release2_behavior, release2_table, assignment)
+       ~sample
+   with
+   | Error msg -> prerr_endline msg
+   | Ok report ->
+     print_string (C.Contracts.Evolution.render report);
+     print_endline "";
+     Printf.printf
+       "release gate: %d security-relevant change(s) need review before \
+        deploying\n"
+       (List.length report.C.Contracts.Evolution.security_relevant);
+     if report.C.Contracts.Evolution.security_relevant = [] then exit 1);
+
+  (* The diff only compares against release 1; the static analyzer judges
+     release 2 on its own terms.  Dropping the in-use guard also made the
+     two not-full DELETE transitions overlap (same trigger, same guard,
+     different targets) — nondeterminism the evolution diff cannot see. *)
+  print_endline "";
+  print_endline "== static analysis of release 2 ==";
+  let findings =
+    C.Analysis.Rules.analyze
+      { C.Analysis.Rules.resources = C.Uml.Cinder_model.resources;
+        behavior = release2_behavior;
+        security =
+          Some
+            { C.Contracts.Generate.table = release2_table;
+              assignment
+            }
+      }
+  in
+  print_string
+    (C.Lint.render ~catalogue:C.Analysis.Rules.full_catalogue findings);
+  let overlap =
+    List.exists (fun (f : C.Lint.finding) -> f.rule = "AN004") findings
+  in
+  Printf.printf "release gate: guard-overlap nondeterminism %s\n"
+    (if overlap then "detected before deployment" else "NOT detected");
+  if not overlap then exit 1

@@ -1,0 +1,175 @@
+module Ast = Cm_ocl.Ast
+module Eval = Cm_ocl.Eval
+module Ty = Cm_ocl.Ty
+module BM = Cm_uml.Behavior_model
+module RM = Cm_uml.Resource_model
+module J = Cm_json.Json
+module Rng = Cm_proptest.Rng
+
+type result = {
+  cases : int;
+  branches : int;
+  flagged_dead : int;
+  flagged_vacuous : int;
+  live_witnessed : int;
+  violations : string list;
+}
+
+let ok r = r.violations = []
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%d cases x %d branches: %d flagged dead, %d flagged vacuous, %d live \
+     branches witnessed, %d violations"
+    r.cases r.branches r.flagged_dead r.flagged_vacuous r.live_witnessed
+    (List.length r.violations)
+
+(* ---- observation generator: signature-driven random JSON ---- *)
+
+let string_pool =
+  [ "available"; "in-use"; "active"; "error"; "deleted"; "x" ]
+
+let usergroups =
+  [ "proj_administrator"; "service_architect"; "business_analyst" ]
+
+let rec gen_json rng (ty : Ty.t) =
+  match ty with
+  | Ty.Bool -> J.Bool (Rng.bool rng)
+  | Ty.Int | Ty.Real -> J.Int (Rng.int_in rng 0 4)
+  | Ty.String -> J.String (Rng.choose rng string_pool)
+  | Ty.Collection elt ->
+    J.List (List.init (Rng.int rng 4) (fun _ -> gen_json rng elt))
+  | Ty.Object fields ->
+    (* Occasionally drop a field so evaluation exercises Undef paths. *)
+    J.Obj
+      (List.filter_map
+         (fun (name, fty) ->
+           if Rng.int rng 8 = 0 then None
+           else Some (name, gen_json rng fty))
+         fields)
+  | Ty.Any -> if Rng.bool rng then J.Int (Rng.int_in rng 0 4) else J.String "x"
+
+let gen_user rng assignment =
+  let groups = List.filter (fun _ -> Rng.bool rng) usergroups in
+  let subject = Cm_rbac.Subject.make "crosscheck" groups in
+  match assignment with
+  | Some a -> Cm_rbac.Role_assignment.enrich subject a
+  | None -> Cm_rbac.Subject.to_json subject
+
+let gen_env rng signature assignment =
+  Eval.env_of_bindings
+    (List.map
+       (fun (name, ty) ->
+         if String.equal name "user" then (name, gen_user rng assignment)
+         else (name, gen_json rng ty))
+       signature)
+
+(* ---- static branch classification ---- *)
+
+type branch = {
+  label : string;
+  branch_pre : Ast.expr;  (** inv(source) and guard and auth *)
+  consequent : Ast.expr;  (** inv(target) and effect *)
+  dead : bool;
+  vacuous : bool;
+}
+
+let classify (input : Rules.input) =
+  let inv_of name =
+    match BM.find_state name input.behavior with
+    | Some s -> s.BM.invariant
+    | None -> Ast.Bool_lit true
+  in
+  let auth_of (tr : BM.transition) =
+    match input.security with
+    | None -> []
+    | Some { Cm_contracts.Generate.table; assignment } ->
+      (match
+         Cm_rbac.Security_table.find ~resource:tr.trigger.resource
+           ~meth:tr.trigger.meth table
+       with
+       | Some entry ->
+         [ Cm_rbac.Security_table.auth_guard entry assignment ]
+       | None -> [ Ast.Bool_lit false ]  (* fail-closed, as in Generate *))
+  in
+  List.mapi
+    (fun i (tr : BM.transition) ->
+      let branch_pre =
+        Cm_ocl.Simplify.simplify
+          (Ast.conj
+             ((inv_of tr.source
+              :: (match tr.guard with Some g -> [ g ] | None -> []))
+             @ auth_of tr))
+      in
+      let consequent =
+        Ast.conj
+          (inv_of tr.target
+          :: (match tr.effect with Some e -> [ e ] | None -> []))
+      in
+      { label =
+          Fmt.str "transition #%d %s->%s on %a" i tr.source tr.target
+            BM.pp_trigger tr.trigger;
+        branch_pre;
+        consequent;
+        dead = Solver.satisfiable branch_pre = Solver.Unsat;
+        vacuous = Solver.never_false consequent = Solver.Unsat
+      })
+    input.behavior.BM.transitions
+
+(* ---- the run ---- *)
+
+let run ?(cases = 10_000) ?(seed = 42) (input : Rules.input) =
+  let signature = RM.signature input.resources in
+  let signature =
+    if List.mem_assoc "user" signature then signature
+    else ("user", Ty.Any) :: signature
+  in
+  let assignment =
+    Option.map
+      (fun s -> s.Cm_contracts.Generate.assignment)
+      input.security
+  in
+  let branches = classify input in
+  let n = List.length branches in
+  let witnessed = Array.make n false in
+  let violations = ref [] in
+  let record v = if List.length !violations < 10 then violations := v :: !violations in
+  for case = 0 to cases - 1 do
+    let rng = Rng.case ~seed case in
+    let env_pre = gen_env rng signature assignment in
+    let env_post =
+      Eval.with_pre ~pre:env_pre (gen_env rng signature assignment)
+    in
+    List.iteri
+      (fun i b ->
+        (match Eval.check env_pre b.branch_pre with
+         | Cm_ocl.Value.True ->
+           if b.dead then
+             record
+               (Printf.sprintf
+                  "case %d: %s was flagged dead but its precondition \
+                   evaluated to true"
+                  case b.label)
+           else witnessed.(i) <- true
+         | Cm_ocl.Value.False | Cm_ocl.Value.Unknown -> ());
+        if b.vacuous then
+          match Eval.check env_post b.consequent with
+          | Cm_ocl.Value.False ->
+            record
+              (Printf.sprintf
+                 "case %d: %s was flagged vacuous but its consequent \
+                  evaluated to false"
+                 case b.label)
+          | Cm_ocl.Value.True | Cm_ocl.Value.Unknown -> ())
+      branches
+  done;
+  let count p = List.length (List.filter p branches) in
+  Ok
+    { cases;
+      branches = n;
+      flagged_dead = count (fun b -> b.dead);
+      flagged_vacuous = count (fun b -> b.vacuous);
+      live_witnessed =
+        Array.fold_left (fun acc w -> if w then acc + 1 else acc) 0 witnessed;
+      violations = List.rev !violations
+    }

@@ -1,0 +1,36 @@
+(** Dynamic cross-validation of the static verdicts.
+
+    The solver's claims are falsifiable: a branch flagged {e dead}
+    (AN002/AN008-style: its precondition is unsatisfiable) must never
+    see its precondition evaluate to [True], and a branch flagged
+    {e vacuous} (AN003-style: its consequent can never be [False]) must
+    never see that consequent evaluate to [False] — over {e any}
+    randomly generated observation.  This module replays both claims
+    against a deterministic fuzz run driven by the resource model's
+    signature: one disagreement is a soundness bug in the solver, not a
+    flaky test. *)
+
+type result = {
+  cases : int;  (** observations generated *)
+  branches : int;  (** transitions examined *)
+  flagged_dead : int;  (** branches with statically unsatisfiable pre *)
+  flagged_vacuous : int;  (** branches with tautological consequent *)
+  live_witnessed : int;
+      (** unflagged branches whose precondition held in at least one
+          generated case — evidence the generator exercises the space *)
+  violations : string list;
+      (** each entry is a human-readable description of a static verdict
+          contradicted by a concrete evaluation *)
+}
+
+val ok : result -> bool
+(** No violations. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?cases:int -> ?seed:int -> Rules.input -> (result, string) Stdlib.result
+(** [run input] classifies every transition branch statically, then
+    replays [cases] (default 10_000) signature-driven random
+    observations through {!Cm_ocl.Eval} against every branch.
+    [Error] when the resource model's signature cannot be derived. *)

@@ -1,0 +1,237 @@
+module Lint = Cm_lint.Lint
+module Ast = Cm_ocl.Ast
+module BM = Cm_uml.Behavior_model
+module RM = Cm_uml.Resource_model
+module ST = Cm_rbac.Security_table
+
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+type entry = {
+  name : string;
+  description : string;
+  input : Rules.input;
+  expected : string list;
+}
+
+let base = Cm_uml.Cinder_model.behavior
+let base_resources = Cm_uml.Cinder_model.resources
+
+let security ?(table = ST.cinder) () =
+  Some { Cm_contracts.Generate.table; assignment = ST.cinder_assignment }
+
+let input ?(resources = base_resources) ?table behavior =
+  { Rules.resources; behavior; security = security ?table () }
+
+let with_transitions f = { base with BM.transitions = f base.BM.transitions }
+
+(* Replace the invariant of one state. *)
+let with_invariant name inv =
+  { base with
+    BM.states =
+      List.map
+        (fun (s : BM.state) ->
+          if String.equal s.state_name name then { s with BM.invariant = inv }
+          else s)
+        base.BM.states
+  }
+
+let s_no_volume = "project_with_no_volume"
+let s_not_full = "project_with_volume_and_not_full_quota"
+let s_full = "project_with_volume_and_full_quota"
+
+let corpus =
+  [ { name = "unsat_invariant";
+      description =
+        "the full-quota state demands >= 1 and = 0 volumes at once: the \
+         state is uninhabitable";
+      input =
+        input
+          (with_invariant s_full
+             (ocl
+                "project.volumes->size() >= 1 and project.volumes->size() = 0"));
+      expected = [ "AN001" ]
+    };
+    { name = "dead_guard_vs_invariant";
+      description =
+        "a create transition out of the full state guarded by 'count < \
+         quota' contradicts the full-state invariant count = quota";
+      input =
+        input
+          (with_transitions (fun ts ->
+               ts
+               @ [ BM.transition ~source:s_full ~target:s_full
+                     ~guard:(ocl "project.volumes->size() < quota_sets.volumes")
+                     ~effect:
+                       (ocl
+                          "project.volumes->size() = \
+                           pre(project.volumes->size()) + 1")
+                     ~requirements:[ "1.3" ] Cm_http.Meth.POST "volume"
+                 ]));
+      expected = [ "AN002" ]
+    };
+    { name = "contradictory_guard";
+      description =
+        "an update transition guarded by status = 'in-use' and status <> \
+         'in-use' can never fire";
+      input =
+        input
+          (with_transitions (fun ts ->
+               ts
+               @ [ BM.transition ~source:s_not_full ~target:s_not_full
+                     ~guard:
+                       (ocl
+                          "volume.status = 'in-use' and volume.status <> \
+                           'in-use'")
+                     ~effect:
+                       (ocl
+                          "project.volumes->size() = \
+                           pre(project.volumes->size())")
+                     ~requirements:[ "1.2" ] Cm_http.Meth.PUT "volume"
+                 ]));
+      expected = [ "AN002" ]
+    };
+    { name = "vacuous_post_tautology";
+      description =
+        "a transition into a state whose invariant is 'count >= 0' (with \
+         no effect) can never be violated: collection sizes are always \
+         non-negative";
+      input =
+        (let anything = "anything_goes" in
+         input
+           { base with
+             BM.states =
+               base.BM.states
+               @ [ BM.state anything (ocl "project.volumes->size() >= 0") ];
+             BM.transitions =
+               base.BM.transitions
+               @ [ BM.transition ~source:s_no_volume ~target:anything
+                     ~requirements:[ "1.2" ] Cm_http.Meth.PUT "volume"
+                 ]
+           });
+      expected = [ "AN003" ]
+    };
+    { name = "guard_overlap";
+      description =
+        "weakening the quota = 1 create guard to quota >= 1 makes the two \
+         creation branches from the empty state overlap while targeting \
+         different states";
+      input =
+        input
+          (with_transitions
+             (List.map (fun (tr : BM.transition) ->
+                  match tr.guard with
+                  | Some g
+                    when Ast.equal g (ocl "quota_sets.volumes = 1")
+                         && String.equal tr.source s_no_volume ->
+                    { tr with BM.guard = Some (ocl "quota_sets.volumes >= 1") }
+                  | _ -> tr)));
+      expected = [ "AN004" ]
+    };
+    { name = "rbac_missing_row";
+      description =
+        "a PATCH(volume) transition has no security-table row: the \
+         generated contract is fail-closed and rejects every PATCH";
+      input =
+        input
+          (with_transitions (fun ts ->
+               ts
+               @ [ BM.transition ~source:s_not_full ~target:s_not_full
+                     ~guard:(ocl "volume.id->size() = 1")
+                     ~effect:
+                       (ocl
+                          "project.volumes->size() = \
+                           pre(project.volumes->size())")
+                     ~requirements:[ "1.2" ] Cm_http.Meth.PATCH "volume"
+                 ]));
+      expected = [ "AN005" ]
+    };
+    { name = "rbac_unknown_role";
+      description =
+        "the delete row grants 'superuser', a role no usergroup is \
+         assigned: the grant is unusable";
+      input =
+        input
+          ~table:
+            (List.map
+               (fun (e : ST.entry) ->
+                 if e.meth = Cm_http.Meth.DELETE then
+                   { e with ST.roles = [ "admin"; "superuser" ] }
+                 else e)
+               ST.cinder)
+          base;
+      expected = [ "AN006" ]
+    };
+    { name = "rbac_dangling_row";
+      description =
+        "a security row covers GET(backup) but the resource model defines \
+         no backup resource";
+      input =
+        input
+          ~table:
+            (ST.cinder
+            @ [ ST.entry ~resource:"backup" ~req:"9.9" Cm_http.Meth.GET
+                  [ "admin" ]
+              ])
+          base;
+      expected = [ "AN007" ]
+    };
+    { name = "rbac_unreachable";
+      description =
+        "the delete row grants only the unassigned 'auditor' role: the \
+         authorization guard is false, so no authorized subject can ever \
+         delete a volume";
+      input =
+        input
+          ~table:
+            (List.map
+               (fun (e : ST.entry) ->
+                 if e.meth = Cm_http.Meth.DELETE then
+                   { e with ST.roles = [ "auditor" ] }
+                 else e)
+               ST.cinder)
+          base;
+      expected = [ "AN006"; "AN008" ]
+    };
+    { name = "footprint_blind_spot";
+      description =
+        "the empty-state invariant reads orphan.flag, but 'orphan' has no \
+         association from the root: the observer can never bind it";
+      input =
+        (let resources =
+           { base_resources with
+             RM.resources =
+               base_resources.RM.resources
+               @ [ RM.normal "orphan" [ ("flag", RM.A_string) ] ]
+           }
+         in
+         { Rules.resources;
+           behavior =
+             with_invariant s_no_volume
+               (Ast.conj
+                  [ (BM.find_state s_no_volume base |> Option.get).BM.invariant;
+                    ocl "orphan.flag = orphan.flag"
+                  ]);
+           security = security ()
+         });
+      expected = [ "AN009" ]
+    }
+  ]
+
+let an_codes findings =
+  findings
+  |> List.filter_map (fun (f : Lint.finding) ->
+         if String.length f.rule >= 2 && String.sub f.rule 0 2 = "AN" then
+           Some f.rule
+         else None)
+  |> List.sort_uniq String.compare
+
+let check entry =
+  let got = an_codes (Rules.analyze entry.input) in
+  if got = List.sort_uniq String.compare entry.expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: expected [%s], analyzer raised [%s]" entry.name
+         (String.concat "; " entry.expected)
+         (String.concat "; " got))
+
+let check_all () = List.map (fun e -> (e.name, check e)) corpus

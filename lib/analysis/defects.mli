@@ -1,0 +1,29 @@
+(** The seeded defective-model corpus.
+
+    Ten deliberate modelling mistakes, each a minimal mutation of the
+    Cinder models, each annotated with exactly the [AN00x] rule codes
+    the analyzer is expected to raise.  The corpus is both the unit-test
+    bed for the rules and the `cmonitor analyze --selftest` payload: a
+    rule that stops firing (or starts over-firing) on its seeded defect
+    is a regression. *)
+
+type entry = {
+  name : string;
+  description : string;
+  input : Rules.input;
+  expected : string list;  (** sorted AN rule codes *)
+}
+
+val corpus : entry list
+(** The ten entries, in a stable order. *)
+
+val an_codes : Cm_lint.Lint.finding list -> string list
+(** The distinct [AN00x] codes among the findings, sorted — VAL
+    well-formedness codes are ignored so the corpus pins down analysis
+    behavior only. *)
+
+val check : entry -> (unit, string) result
+(** Run {!Rules.analyze} and compare {!an_codes} against [expected];
+    [Error] carries a human-readable mismatch description. *)
+
+val check_all : unit -> (string * (unit, string) result) list

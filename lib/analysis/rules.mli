@@ -1,0 +1,54 @@
+(** The design-time analysis rules.
+
+    Satisfiability-based vacuity/dead-code analysis over the behavior
+    model, an RBAC coverage audit over the security table, and a
+    footprint observability check over the generated contracts.  All
+    findings are reported through {!Cm_lint.Lint} under stable [AN00x]
+    codes:
+
+    - [AN001] unsatisfiable state invariant (Error)
+    - [AN002] dead transition: source invariant and guard jointly
+      unsatisfiable (Error) — also the antecedent-unsatisfiable form of
+      a vacuous postcondition, reported once at its root cause
+    - [AN003] vacuous postcondition: the consequent
+      [inv(target) and effect] can never evaluate to false (Error)
+    - [AN004] guard-overlap nondeterminism: two same-trigger transitions
+      from one state with a satisfiable guard conjunction but different
+      targets or effects (Error, with witness)
+    - [AN005] trigger with no security-table row: the generated
+      contract is fail-closed and rejects every request (Error)
+    - [AN006] security row references a role with no usergroup
+      assignment (Error)
+    - [AN007] dangling security row: unknown resource, or a
+      (resource, method) pair no transition exercises (Warning)
+    - [AN008] role-unreachable transition: functionally satisfiable but
+      unsatisfiable once the authorization guard is conjoined (Error)
+    - [AN009] footprint blind spot: a generated contract reads state the
+      observer never binds (Error) or a member no resource-model path
+      produces (Warning)
+
+    Rules that depend on the solver treat {!Solver.Unknown}
+    conservatively: no finding. *)
+
+type input = {
+  resources : Cm_uml.Resource_model.t;
+  behavior : Cm_uml.Behavior_model.t;
+  security : Cm_contracts.Generate.security option;
+}
+
+val catalogue : Cm_lint.Lint.rule list
+(** Metadata for AN001..AN009 (see {!Cm_uml.Validate.catalogue} for the
+    VAL side). *)
+
+val full_catalogue : Cm_lint.Lint.rule list
+(** [catalogue] plus the well-formedness VAL rules — everything
+    `cmonitor analyze` can emit. *)
+
+val analyze :
+  ?include_validate:bool ->
+  ?waivers:Cm_lint.Lint.waiver list ->
+  input ->
+  Cm_lint.Lint.finding list
+(** Run every rule.  [include_validate] (default [true]) prepends the
+    {!Cm_uml.Validate} well-formedness findings so one report covers
+    both layers; waivers demote accepted findings to Info. *)

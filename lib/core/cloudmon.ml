@@ -21,6 +21,8 @@ module Report = Cm_monitor.Report
 module Codegen = Cm_codegen
 module Mutation = Cm_mutation
 module Testgen = Cm_testgen
+module Lint = Cm_lint.Lint
+module Analysis = Cm_analysis
 module Serve_bench = Serve_bench
 
 let cinder_security =
@@ -30,6 +32,11 @@ let cinder_security =
 
 let glance_security =
   { Cm_contracts.Generate.table = Cm_rbac.Security_table.glance;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
+let snapshot_security =
+  { Cm_contracts.Generate.table = Cm_uml.Snapshot_model.security_table;
     assignment = Cm_rbac.Security_table.cinder_assignment
   }
 

@@ -51,6 +51,15 @@ module Codegen = Cm_codegen
 module Mutation = Cm_mutation
 module Testgen = Cm_testgen
 
+module Lint = Cm_lint.Lint
+(** The unified finding/rule/waiver vocabulary shared by validation and
+    design-time analysis. *)
+
+module Analysis = Cm_analysis
+(** Design-time contract verification: the satisfiability solver, the
+    AN001..AN009 rule registry, the seeded defect corpus and the dynamic
+    cross-check (the [analyze] subcommand). *)
+
 module Serve_bench = Serve_bench
 (** Sharded-serving throughput harness (the [serve-bench]
     subcommand). *)
@@ -63,6 +72,9 @@ val cinder_security : Cm_contracts.Generate.security
 val glance_security : Cm_contracts.Generate.security
 (** The image-service table (2.x requirements) with the same
     assignment. *)
+
+val snapshot_security : Cm_contracts.Generate.security
+(** The snapshot table (3.x requirements) with the same assignment. *)
 
 val monitor_of_models :
   ?mode:Cm_monitor.Monitor.mode ->

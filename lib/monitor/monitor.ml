@@ -142,7 +142,7 @@ let observation_envelope (req : Request.t) (resp : Response.t) =
 let create config backend =
   let issues = Cm_uml.Validate.all config.resources [ config.behavior ] in
   if issues <> [] then
-    Error (List.map (Fmt.str "%a" Cm_uml.Validate.pp_issue) issues)
+    Error (List.map (Fmt.str "%a" Cm_lint.Lint.pp_finding) issues)
   else
     match Cm_uml.Paths.derive config.resources with
     | Error msg -> Error [ msg ]

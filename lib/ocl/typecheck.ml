@@ -1,12 +1,23 @@
-type error = { expr : Ast.expr; message : string }
+type error = {
+  expr : Ast.expr;
+  message : string;
+  expected : Ty.t option;
+  actual : Ty.t option;
+}
 
-let pp_error ppf { expr; message } =
-  Fmt.pf ppf "%s in `%a'" message Pretty.pp expr
+let pp_error ppf { expr; message; expected; actual } =
+  Fmt.pf ppf "%s in `%a'" message Pretty.pp expr;
+  match (expected, actual) with
+  | Some want, Some got ->
+    Fmt.pf ppf " (expected %a, found %a)" Ty.pp want Ty.pp got
+  | Some want, None -> Fmt.pf ppf " (expected %a)" Ty.pp want
+  | None, Some got -> Fmt.pf ppf " (found %a)" Ty.pp got
+  | None, None -> ()
 
 let infer signature expr =
   let errors = ref [] in
-  let report e message =
-    errors := { expr = e; message } :: !errors;
+  let report ?expected ?actual e message =
+    errors := { expr = e; message; expected; actual } :: !errors;
     Ty.Any
   in
   let rec go env e =
@@ -24,7 +35,7 @@ let infer signature expr =
       (match Ty.property prop source_ty with
        | Some t -> t
        | None ->
-         report e
+         report ~actual:source_ty e
            (Fmt.str "no property %S on %a" prop Ty.pp source_ty))
     | Ast.At_pre inner -> go env inner
     | Ast.Coll (source, op) ->
@@ -36,7 +47,7 @@ let infer signature expr =
        | Ast.Sum ->
          if Ty.is_numeric elem then elem
          else
-           report e
+           report ~expected:Ty.Int ~actual:elem e
              (Fmt.str "sum over non-numeric elements of type %a" Ty.pp elem)
        | Ast.First | Ast.Last -> elem
        | Ast.As_set -> Ty.Collection elem)
@@ -45,7 +56,7 @@ let infer signature expr =
       let arg_ty = go env arg in
       if Ty.compatible elem arg_ty then Ty.Int
       else
-        report e
+        report ~expected:elem ~actual:arg_ty e
           (Fmt.str "count argument of type %a over elements %a" Ty.pp arg_ty
              Ty.pp elem)
     | Ast.Member (source, _, arg) ->
@@ -53,7 +64,7 @@ let infer signature expr =
       let arg_ty = go env arg in
       if Ty.compatible elem arg_ty then Ty.Bool
       else
-        report e
+        report ~expected:elem ~actual:arg_ty e
           (Fmt.str "includes/excludes argument of type %a over elements %a"
              Ty.pp arg_ty Ty.pp elem)
     | Ast.Iter (source, kind, var, body) ->
@@ -64,54 +75,70 @@ let infer signature expr =
        | Ast.For_all | Ast.Exists | Ast.One ->
          if Ty.compatible body_ty Ty.Bool then Ty.Bool
          else
-           report e (Fmt.str "iterator body has type %a, expected Boolean"
-                       Ty.pp body_ty)
+           report ~expected:Ty.Bool ~actual:body_ty e
+             (Fmt.str "iterator body has type %a, expected Boolean"
+                Ty.pp body_ty)
        | Ast.Select | Ast.Reject ->
          if Ty.compatible body_ty Ty.Bool then Ty.Collection elem
          else
-           report e (Fmt.str "select/reject body has type %a, expected Boolean"
-                       Ty.pp body_ty)
+           report ~expected:Ty.Bool ~actual:body_ty e
+             (Fmt.str "select/reject body has type %a, expected Boolean"
+                Ty.pp body_ty)
        | Ast.Collect -> Ty.Collection body_ty
        | Ast.Any ->
          if Ty.compatible body_ty Ty.Bool then elem
          else
-           report e (Fmt.str "any body has type %a, expected Boolean"
-                       Ty.pp body_ty)
+           report ~expected:Ty.Bool ~actual:body_ty e
+             (Fmt.str "any body has type %a, expected Boolean"
+                Ty.pp body_ty)
        | Ast.Is_unique -> Ty.Bool)
     | Ast.Unop (Ast.Not, inner) ->
       let inner_ty = go env inner in
       if Ty.compatible inner_ty Ty.Bool then Ty.Bool
-      else report e (Fmt.str "not applied to %a" Ty.pp inner_ty)
+      else
+        report ~expected:Ty.Bool ~actual:inner_ty e
+          (Fmt.str "not applied to %a" Ty.pp inner_ty)
     | Ast.Unop (Ast.Neg, inner) ->
       let inner_ty = go env inner in
       if Ty.is_numeric inner_ty then inner_ty
-      else report e (Fmt.str "unary minus applied to %a" Ty.pp inner_ty)
+      else
+        report ~expected:Ty.Int ~actual:inner_ty e
+          (Fmt.str "unary minus applied to %a" Ty.pp inner_ty)
     | Ast.Binop ((Ast.And | Ast.Or | Ast.Xor | Ast.Implies), a, b) ->
       let ta = go env a and tb = go env b in
       if not (Ty.compatible ta Ty.Bool) then
-        ignore (report a (Fmt.str "boolean operator over %a" Ty.pp ta));
+        ignore
+          (report ~expected:Ty.Bool ~actual:ta a
+             (Fmt.str "boolean operator over %a" Ty.pp ta));
       if not (Ty.compatible tb Ty.Bool) then
-        ignore (report b (Fmt.str "boolean operator over %a" Ty.pp tb));
+        ignore
+          (report ~expected:Ty.Bool ~actual:tb b
+             (Fmt.str "boolean operator over %a" Ty.pp tb));
       Ty.Bool
     | Ast.Binop ((Ast.Eq | Ast.Neq), a, b) ->
       let ta = go env a and tb = go env b in
       if Ty.compatible ta tb then Ty.Bool
       else
-        report e (Fmt.str "comparing incompatible types %a and %a" Ty.pp ta
-                    Ty.pp tb)
+        report ~expected:ta ~actual:tb e
+          (Fmt.str "comparing incompatible types %a and %a" Ty.pp ta
+             Ty.pp tb)
     | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
       let ta = go env a and tb = go env b in
       let orderable t = Ty.is_numeric t || Ty.equal t Ty.String in
       if orderable ta && orderable tb && Ty.compatible ta tb then Ty.Bool
       else
-        report e (Fmt.str "ordering incompatible types %a and %a" Ty.pp ta
-                    Ty.pp tb)
+        report ~expected:ta ~actual:tb e
+          (Fmt.str "ordering incompatible types %a and %a" Ty.pp ta
+             Ty.pp tb)
     | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) ->
       let ta = go env a and tb = go env b in
       if Ty.is_numeric ta && Ty.is_numeric tb then
         if Ty.equal ta Ty.Real || Ty.equal tb Ty.Real then Ty.Real else Ty.Int
       else
-        report e (Fmt.str "arithmetic over %a and %a" Ty.pp ta Ty.pp tb)
+        report ~expected:Ty.Int
+          ~actual:(if Ty.is_numeric ta then tb else ta)
+          e
+          (Fmt.str "arithmetic over %a and %a" Ty.pp ta Ty.pp tb)
   in
   let t = go signature expr in
   (t, List.rev !errors)
@@ -121,6 +148,11 @@ let check_boolean signature expr =
   if Ty.compatible t Ty.Bool then errors
   else
     errors
-    @ [ { expr; message = Fmt.str "expression has type %a, expected Boolean" Ty.pp t } ]
+    @ [ { expr;
+          message = Fmt.str "expression has type %a, expected Boolean" Ty.pp t;
+          expected = Some Ty.Bool;
+          actual = Some t
+        }
+      ]
 
 let well_typed signature expr = check_boolean signature expr = []

@@ -7,9 +7,15 @@
 type error = {
   expr : Ast.expr;  (** the offending subexpression *)
   message : string;
+  expected : Ty.t option;  (** the type the context required, if known *)
+  actual : Ty.t option;  (** the type actually inferred, if known *)
 }
 
 val pp_error : Format.formatter -> error -> unit
+(** One self-contained message: the problem, the pretty-printed
+    offending subexpression, and — when known — the expected/actual
+    types, e.g.
+    ["not applied to Integer in `not volume.size' (expected Boolean, found Integer)"]. *)
 
 val infer : Ty.signature -> Ast.expr -> Ty.t * error list
 (** Infer the type; errors are collected (the traversal continues with

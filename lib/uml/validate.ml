@@ -1,6 +1,50 @@
-type issue = { where : string; problem : string }
+module Lint = Cm_lint.Lint
 
-let pp_issue ppf { where; problem } = Fmt.pf ppf "%s: %s" where problem
+type issue = Lint.finding
+
+(* Rule codes for the well-formedness layer.  Severity is always Error:
+   the generator refuses ill-formed input outright. *)
+let c_duplicate = "VAL001"
+let c_dangling = "VAL002"
+let c_structure = "VAL003"
+let c_unreachable = "VAL004"
+let c_typecheck = "VAL005"
+let c_prestate = "VAL006"
+
+let catalogue =
+  [ Lint.rule ~code:c_duplicate ~title:"duplicate model element name"
+      ~severity:Lint.Error
+      "Resource, attribute, role and state names must be unique within \
+       their scope; duplicates make URI derivation and state lookup \
+       ambiguous.";
+    Lint.rule ~code:c_dangling ~title:"dangling model reference"
+      ~severity:Lint.Error
+      "An association endpoint, root, initial state, transition endpoint \
+       or trigger resource names a model element that does not exist.";
+    Lint.rule ~code:c_structure ~title:"malformed resource structure"
+      ~severity:Lint.Error
+      "Collections must have no attributes and contain exactly one \
+       resource definition; the root must be a collection; URI templates \
+       must be derivable.";
+    Lint.rule ~code:c_unreachable ~title:"unreachable model element"
+      ~severity:Lint.Error
+      "Every resource definition must be reachable from the root and \
+       every state from the initial state.";
+    Lint.rule ~code:c_typecheck ~title:"expression does not typecheck"
+      ~severity:Lint.Error
+      "Invariants, guards and effects must typecheck as Boolean against \
+       the resource-model signature.";
+    Lint.rule ~code:c_prestate ~title:"illegal pre-state reference"
+      ~severity:Lint.Error
+      "Only effects may reference the pre-state via @pre; invariants and \
+       guards are single-state predicates."
+  ]
+
+let issue ~rule ~where problem =
+  Lint.finding ~rule ~severity:Lint.Error ~where problem
+
+let pp_issue = Lint.pp_finding
+(* Deprecated: use {!Cm_lint.Lint.pp_finding} (this is now an alias). *)
 
 let duplicates names =
   let sorted = List.sort String.compare names in
@@ -14,34 +58,42 @@ let duplicates names =
 let resource_model (model : Resource_model.t) =
   let open Resource_model in
   let issues = ref [] in
-  let add where problem = issues := { where; problem } :: !issues in
+  let add ~rule where problem = issues := issue ~rule ~where problem :: !issues in
   let names = List.map (fun r -> r.def_name) model.resources in
   List.iter
-    (fun name -> add name "duplicate resource definition name")
+    (fun name -> add ~rule:c_duplicate name "duplicate resource definition name")
     (duplicates names);
   List.iter
     (fun (r : resource_def) ->
       let attr_names = List.map (fun a -> a.attr_name) r.attributes in
       List.iter
-        (fun a -> add r.def_name (Printf.sprintf "duplicate attribute %S" a))
+        (fun a ->
+          add ~rule:c_duplicate r.def_name
+            (Printf.sprintf "duplicate attribute %S" a))
         (duplicates attr_names);
       match r.kind with
       | Collection ->
         if r.attributes <> [] then
-          add r.def_name "collection resource definition has attributes";
+          add ~rule:c_structure r.def_name
+            "collection resource definition has attributes";
         (match outgoing r.def_name model with
          | [ _ ] -> ()
-         | [] -> add r.def_name "collection contains no resource definition"
+         | [] ->
+           add ~rule:c_structure r.def_name
+             "collection contains no resource definition"
          | _ :: _ :: _ ->
-           add r.def_name "collection contains more than one resource definition")
+           add ~rule:c_structure r.def_name
+             "collection contains more than one resource definition")
       | Normal -> ())
     model.resources;
   List.iter
     (fun (a : association) ->
       if not (List.mem a.source names) then
-        add a.role (Printf.sprintf "association source %S does not exist" a.source);
+        add ~rule:c_dangling a.role
+          (Printf.sprintf "association source %S does not exist" a.source);
       if not (List.mem a.target names) then
-        add a.role (Printf.sprintf "association target %S does not exist" a.target))
+        add ~rule:c_dangling a.role
+          (Printf.sprintf "association target %S does not exist" a.target))
     model.associations;
   (* Role names must be unique per source: they become URI segments. *)
   List.iter
@@ -49,45 +101,51 @@ let resource_model (model : Resource_model.t) =
       let roles = List.map (fun (a : association) -> a.role) (outgoing r.def_name model) in
       List.iter
         (fun role ->
-          add r.def_name (Printf.sprintf "duplicate role name %S" role))
+          add ~rule:c_duplicate r.def_name
+            (Printf.sprintf "duplicate role name %S" role))
         (duplicates roles))
     model.resources;
   (match find_resource model.root model with
-   | None -> add model.root "root resource definition does not exist"
+   | None ->
+     add ~rule:c_dangling model.root "root resource definition does not exist"
    | Some root_def ->
      if root_def.kind <> Collection then
-       add model.root "root resource definition is not a collection");
+       add ~rule:c_structure model.root
+         "root resource definition is not a collection");
   (match Paths.derive model with
-   | Error msg -> add model.model_name msg
+   | Error msg -> add ~rule:c_structure model.model_name msg
    | Ok entries ->
      let reachable = List.map (fun (e : Paths.entry) -> e.resource) entries in
      List.iter
        (fun name ->
          if not (List.mem name reachable) then
-           add name "resource definition not reachable from the root")
+           add ~rule:c_unreachable name
+             "resource definition not reachable from the root")
        names);
   List.rev !issues
 
 let check_expr signature where label allow_pre expr issues =
-  let add problem = issues := { where; problem } :: !issues in
+  let add ~rule problem = issues := issue ~rule ~where problem :: !issues in
   if (not allow_pre) && Cm_ocl.Ast.has_pre expr then
-    add (Printf.sprintf "%s must not reference the pre-state" label);
+    add ~rule:c_prestate
+      (Printf.sprintf "%s must not reference the pre-state" label);
   List.iter
     (fun err ->
-      add (Fmt.str "%s does not typecheck: %a" label Cm_ocl.Typecheck.pp_error err))
+      add ~rule:c_typecheck
+        (Fmt.str "%s does not typecheck: %a" label Cm_ocl.Typecheck.pp_error err))
     (Cm_ocl.Typecheck.check_boolean signature expr)
 
 let behavior_model (resources : Resource_model.t) (machine : Behavior_model.t) =
   let open Behavior_model in
   let issues = ref [] in
-  let add where problem = issues := { where; problem } :: !issues in
+  let add ~rule where problem = issues := issue ~rule ~where problem :: !issues in
   let signature = Resource_model.signature resources in
   let state_names = List.map (fun s -> s.state_name) machine.states in
   List.iter
-    (fun name -> add name "duplicate state name")
+    (fun name -> add ~rule:c_duplicate name "duplicate state name")
     (duplicates state_names);
   if not (List.mem machine.initial state_names) then
-    add machine.initial "initial state does not exist";
+    add ~rule:c_dangling machine.initial "initial state does not exist";
   List.iter
     (fun s ->
       check_expr signature s.state_name "state invariant" false s.invariant
@@ -105,12 +163,12 @@ let behavior_model (resources : Resource_model.t) (machine : Behavior_model.t) =
           tr.trigger
       in
       if not (List.mem tr.source state_names) then
-        add where "source state does not exist";
+        add ~rule:c_dangling where "source state does not exist";
       if not (List.mem tr.target state_names) then
-        add where "target state does not exist";
+        add ~rule:c_dangling where "target state does not exist";
       if not (List.mem (String.lowercase_ascii tr.trigger.resource) resource_names)
       then
-        add where
+        add ~rule:c_dangling where
           (Printf.sprintf "trigger resource %S not in the resource model"
              tr.trigger.resource);
       (match tr.guard with
@@ -138,7 +196,7 @@ let behavior_model (resources : Resource_model.t) (machine : Behavior_model.t) =
   List.iter
     (fun name ->
       if not (List.mem name reachable) then
-        add name "state not reachable from the initial state")
+        add ~rule:c_unreachable name "state not reachable from the initial state")
     state_names;
   List.rev !issues
 

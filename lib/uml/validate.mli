@@ -2,14 +2,24 @@
 
     The paper's workflow has a security analyst drawing the models by
     hand; the generator refuses ill-formed input with a full list of
-    problems rather than producing a broken monitor. *)
+    problems rather than producing a broken monitor.
 
-type issue = {
-  where : string;  (** model element the issue is attached to *)
-  problem : string;
-}
+    Findings are reported through the unified lint framework
+    ({!Cm_lint.Lint}) under stable [VAL00x] rule codes, so `cmonitor
+    validate` and `cmonitor analyze` share one reporter. *)
+
+type issue = Cm_lint.Lint.finding
+(** An issue is a lint finding: [rule] is a [VAL00x] code, [severity]
+    is always {!Cm_lint.Lint.Error} for well-formedness problems,
+    [where] names the offending model element and [message] describes
+    the problem. *)
+
+val catalogue : Cm_lint.Lint.rule list
+(** Metadata for the VAL001..VAL006 well-formedness rules. *)
 
 val pp_issue : Format.formatter -> issue -> unit
+[@@ocaml.deprecated "Use Cm_lint.Lint.pp_finding instead."]
+(** Deprecated alias of {!Cm_lint.Lint.pp_finding}. *)
 
 val resource_model : Resource_model.t -> issue list
 (** Checks: unique resource names; association endpoints exist; role

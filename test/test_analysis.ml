@@ -1,0 +1,339 @@
+(* Tests for the design-time analysis subsystem: the satisfiability
+   solver (soundness of Unsat, evaluator-verified witnesses), the
+   AN001..AN009 rule registry against the seeded defect corpus, the
+   shipped models' cleanliness, the dynamic cross-check, the lint
+   framework, and the enriched typechecker diagnostics. *)
+
+module Ast = Cm_ocl.Ast
+module Eval = Cm_ocl.Eval
+module Ty = Cm_ocl.Ty
+module Lint = Cm_lint.Lint
+module Solver = Cm_analysis.Solver
+module Rules = Cm_analysis.Rules
+module Defects = Cm_analysis.Defects
+module Crosscheck = Cm_analysis.Crosscheck
+
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let outcome_label = function
+  | Solver.Unsat -> "unsat"
+  | Solver.Sat _ -> "sat"
+  | Solver.Unknown -> "unknown"
+
+(* ---- solver unit suite ---- *)
+
+(* Each [sat] witness must replay to True under Eval — the solver
+   promises evaluator-verified models, so we re-check the promise here
+   rather than trusting the implementation. *)
+let expect_outcome name source expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let e = ocl source in
+      let got = Solver.satisfiable e in
+      Alcotest.(check string) source expected (outcome_label got);
+      match got with
+      | Solver.Sat env ->
+        Alcotest.(check bool)
+          (Printf.sprintf "witness for %s replays to True" source)
+          true
+          (Eval.check env e = Cm_ocl.Value.True)
+      | Solver.Unsat | Solver.Unknown -> ())
+
+let solver_tests =
+  [ expect_outcome "trivial true" "1 = 1" "sat";
+    expect_outcome "trivial false" "1 = 2" "unsat";
+    expect_outcome "interval conflict"
+      "project.volumes->size() >= 1 and project.volumes->size() = 0" "unsat";
+    expect_outcome "interval witness"
+      "project.volumes->size() >= 1 and project.volumes->size() < 3" "sat";
+    expect_outcome "size is never negative" "project.volumes->size() < 0"
+      "unsat";
+    expect_outcome "difference constraint chain"
+      "project.volumes->size() < quota_sets.volumes and quota_sets.volumes \
+       <= project.volumes->size()"
+      "unsat";
+    expect_outcome "string equality conflict"
+      "volume.status = 'in-use' and volume.status <> 'in-use'" "unsat";
+    expect_outcome "string enum witness"
+      "volume.status <> 'in-use' and volume.status <> 'available'" "sat";
+    expect_outcome "membership conflict"
+      "user.groups->includes('admin') and user.groups->excludes('admin')"
+      "unsat";
+    expect_outcome "membership forces size"
+      "user.groups->includes('admin') and user.groups->size() = 0" "unsat";
+    expect_outcome "isEmpty rewrites to size"
+      "project.volumes->isEmpty() and project.volumes->size() >= 1" "unsat";
+    expect_outcome "notEmpty witness" "project.volumes->notEmpty()" "sat";
+    expect_outcome "implication kept satisfiable"
+      "quota_sets.volumes > 1 implies project.volumes->size() >= 0" "sat";
+    expect_outcome "non-convex disequality enumeration"
+      "quota_sets.volumes <> 3 and quota_sets.volumes >= 3 and \
+       quota_sets.volumes <= 3"
+      "unsat";
+    expect_outcome "combined cinder branch"
+      "project.id->size() = 1 and project.volumes->size() >= 1 and \
+       project.volumes->size() < quota_sets.volumes and \
+       user.groups->includes('proj_administrator') and volume.status <> \
+       'in-use'"
+      "sat";
+    Alcotest.test_case "never_false flags tautologies" `Quick (fun () ->
+        Alcotest.(check string) "size >= 0 is a tautology" "unsat"
+          (outcome_label
+             (Solver.never_false (ocl "project.volumes->size() >= 0")));
+        Alcotest.(check string) "size >= 1 is falsifiable" "sat"
+          (outcome_label
+             (Solver.never_false (ocl "project.volumes->size() >= 1"))));
+    Alcotest.test_case "opaque atoms degrade to unknown" `Quick (fun () ->
+        Alcotest.(check string) "forAll over a forced-nonempty collection"
+          "unknown"
+          (outcome_label
+             (Solver.satisfiable
+                (ocl
+                   "project.volumes->forAll(v | v.size > 0) and \
+                    project.volumes->size() >= 1")));
+        Alcotest.(check string) "exists body is out of fragment" "unknown"
+          (outcome_label
+             (Solver.satisfiable (ocl "project.volumes->exists(v | v.size > 0)")));
+        Alcotest.(check string)
+          "but a propositionally false context still closes" "unsat"
+          (outcome_label
+             (Solver.satisfiable
+                (ocl "project.volumes->forAll(v | v.size > 0) and 1 = 2"))));
+    Alcotest.test_case "pre-state and post-state are distinct atoms" `Quick
+      (fun () ->
+        Alcotest.(check string) "x = pre(x)+1 and x = pre(x) is unsat" "unsat"
+          (outcome_label
+             (Solver.satisfiable
+                (ocl
+                   "project.volumes->size() = pre(project.volumes->size()) + \
+                    1 and project.volumes->size() = \
+                    pre(project.volumes->size())"))));
+    Alcotest.test_case "atom budget caps to unknown" `Quick (fun () ->
+        let wide =
+          Ast.conj
+            (List.init (Solver.atom_budget + 2) (fun i ->
+                 ocl (Printf.sprintf "project.a%d->size() >= %d" i i)))
+        in
+        Alcotest.(check string) "too many atoms" "unknown"
+          (outcome_label (Solver.satisfiable wide)))
+  ]
+
+(* ---- the seeded defect corpus ---- *)
+
+let corpus_tests =
+  List.map
+    (fun (e : Defects.entry) ->
+      Alcotest.test_case e.name `Quick (fun () ->
+          match Defects.check e with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg))
+    Defects.corpus
+
+let corpus_meta_tests =
+  [ Alcotest.test_case "corpus has ten distinct entries" `Quick (fun () ->
+        Alcotest.(check int) "size" 10 (List.length Defects.corpus);
+        let names =
+          List.map (fun (e : Defects.entry) -> e.name) Defects.corpus
+        in
+        Alcotest.(check int) "distinct names" 10
+          (List.length (List.sort_uniq String.compare names)));
+    Alcotest.test_case "every AN rule is exercised by some entry" `Quick
+      (fun () ->
+        let covered =
+          List.concat_map (fun (e : Defects.entry) -> e.expected) Defects.corpus
+          |> List.sort_uniq String.compare
+        in
+        let all_codes =
+          List.map (fun (r : Lint.rule) -> r.code) Rules.catalogue
+          |> List.sort String.compare
+        in
+        Alcotest.(check (list string)) "coverage" all_codes covered)
+  ]
+
+(* ---- shipped models analyze clean ---- *)
+
+let sec table =
+  Some
+    { Cm_contracts.Generate.table;
+      assignment = Cm_rbac.Security_table.cinder_assignment }
+
+let shipped =
+  [ ( "cinder",
+      { Rules.resources = Cm_uml.Cinder_model.resources;
+        behavior = Cm_uml.Cinder_model.behavior;
+        security = sec Cm_rbac.Security_table.cinder } );
+    ( "glance",
+      { Rules.resources = Cm_uml.Glance_model.resources;
+        behavior = Cm_uml.Glance_model.behavior;
+        security = sec Cm_rbac.Security_table.glance } );
+    ( "snapshot",
+      { Rules.resources = Cm_uml.Snapshot_model.resources;
+        behavior = Cm_uml.Snapshot_model.behavior;
+        security = sec Cm_uml.Snapshot_model.security_table } )
+  ]
+
+let clean_tests =
+  List.map
+    (fun (label, input) ->
+      Alcotest.test_case (label ^ " analyzes clean") `Quick (fun () ->
+          let findings = Rules.analyze input in
+          if findings <> [] then
+            Alcotest.failf "%s: %a" label
+              Fmt.(list ~sep:(any "; ") Lint.pp_finding)
+              findings))
+    shipped
+
+(* ---- dynamic cross-check of the static verdicts ---- *)
+
+let crosscheck_case name input ~dead ~vacuous =
+  Alcotest.test_case name `Quick (fun () ->
+      match Crosscheck.run ~cases:10_000 ~seed:42 input with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+        Alcotest.(check (list string)) "no violations" [] r.violations;
+        Alcotest.(check int) "flagged dead" dead r.flagged_dead;
+        Alcotest.(check int) "flagged vacuous" vacuous r.flagged_vacuous;
+        Alcotest.(check bool) "live branches witnessed" true
+          (r.live_witnessed > 0);
+        Alcotest.(check int) "all cases ran" 10_000 r.cases)
+
+let defective name =
+  (List.find (fun (e : Defects.entry) -> e.name = name) Defects.corpus).input
+
+let crosscheck_tests =
+  [ crosscheck_case "cinder: 10k cases, no verdict contradicted"
+      (List.assoc "cinder" shipped) ~dead:0 ~vacuous:0;
+    crosscheck_case "seeded dead branch never fires over 10k cases"
+      (defective "dead_guard_vs_invariant") ~dead:1 ~vacuous:0;
+    crosscheck_case "seeded vacuous branch never violated over 10k cases"
+      (defective "vacuous_post_tautology") ~dead:0 ~vacuous:1
+  ]
+
+(* ---- lint framework ---- *)
+
+let sample_rule =
+  Lint.rule ~code:"XX001" ~title:"sample" ~severity:Lint.Warning "sample rule"
+
+let lint_tests =
+  [ Alcotest.test_case "findings sort by severity then location" `Quick
+      (fun () ->
+        let f sev where = Lint.finding ~rule:"XX001" ~severity:sev ~where "m" in
+        let sorted =
+          Lint.sort [ f Lint.Info "a"; f Lint.Error "b"; f Lint.Warning "a" ]
+        in
+        Alcotest.(check (list string)) "order" [ "b"; "a"; "a" ]
+          (List.map (fun (x : Lint.finding) -> x.where) sorted));
+    Alcotest.test_case "summary counts by severity" `Quick (fun () ->
+        let f sev = Lint.finding ~rule:"XX001" ~severity:sev ~where:"w" "m" in
+        Alcotest.(check string) "summary" "2 errors, 1 warning, 0 info"
+          (Lint.summary [ f Lint.Error; f Lint.Error; f Lint.Warning ]));
+    Alcotest.test_case "waivers demote matching findings to Info" `Quick
+      (fun () ->
+        let f =
+          Lint.finding ~rule:"XX001" ~severity:Lint.Error ~where:"spot" "m"
+        in
+        let w =
+          { Lint.waive_rule = "XX001";
+            where_fragment = "spo";
+            reason = "accepted"
+          }
+        in
+        match Lint.apply_waivers [ w ] [ f ] with
+        | [ waived ] ->
+          Alcotest.(check bool) "demoted" true (waived.severity = Lint.Info);
+          Alcotest.(check bool) "reason recorded" true
+            (Lint.contains waived.message "accepted")
+        | _ -> Alcotest.fail "expected one finding");
+    Alcotest.test_case "render includes witness and summary" `Quick (fun () ->
+        let f =
+          Lint.finding ~witness:"x=1" ~rule:"XX001" ~severity:Lint.Warning
+            ~where:"here" "msg"
+        in
+        let text = Lint.render ~catalogue:[ sample_rule ] [ f ] in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (Lint.contains text needle))
+          [ "XX001"; "here"; "msg"; "x=1"; "1 warning" ]);
+    Alcotest.test_case "to_json carries every field" `Quick (fun () ->
+        let f =
+          Lint.finding ~witness:"w" ~rule:"XX001" ~severity:Lint.Error
+            ~where:"place" "msg"
+        in
+        let text = Fmt.str "%a" Cm_json.Json.pp (Lint.to_json [ f ]) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (Lint.contains text needle))
+          [ "XX001"; "place"; "msg"; "error" ])
+  ]
+
+(* ---- validate rides on the lint framework ---- *)
+
+let validate_tests =
+  [ Alcotest.test_case "validate findings carry VAL codes" `Quick (fun () ->
+        let module RM = Cm_uml.Resource_model in
+        let dup =
+          { Cm_uml.Cinder_model.resources with
+            RM.resources =
+              Cm_uml.Cinder_model.resources.RM.resources
+              @ [ RM.normal "volume" [] ]
+          }
+        in
+        let issues = Cm_uml.Validate.resource_model dup in
+        Alcotest.(check bool) "nonempty" true (issues <> []);
+        Alcotest.(check bool) "VAL-coded" true
+          (List.for_all
+             (fun (f : Lint.finding) ->
+               String.length f.rule = 6 && String.sub f.rule 0 3 = "VAL")
+             issues));
+    Alcotest.test_case "full catalogue spans VAL and AN rules" `Quick
+      (fun () ->
+        let codes =
+          List.map (fun (r : Lint.rule) -> r.code) Rules.full_catalogue
+        in
+        Alcotest.(check bool) "has VAL001" true (List.mem "VAL001" codes);
+        Alcotest.(check bool) "has AN009" true (List.mem "AN009" codes);
+        Alcotest.(check int) "distinct" (List.length codes)
+          (List.length (List.sort_uniq String.compare codes)))
+  ]
+
+(* ---- typechecker diagnostics carry expected/actual types ---- *)
+
+let typecheck_tests =
+  [ Alcotest.test_case "type mismatch names both types" `Quick (fun () ->
+        let signature = [ ("volume", Ty.Object [ ("size", Ty.Int) ]) ] in
+        match
+          Cm_ocl.Typecheck.check_boolean signature (ocl "volume.size = 'x'")
+        with
+        | [ err ] ->
+          Alcotest.(check (option string)) "expected" (Some "Integer")
+            (Option.map Ty.to_string err.expected);
+          Alcotest.(check (option string)) "actual" (Some "String")
+            (Option.map Ty.to_string err.actual);
+          let rendered = Fmt.str "%a" Cm_ocl.Typecheck.pp_error err in
+          Alcotest.(check bool) "message mentions both" true
+            (Lint.contains rendered "expected Integer, found String")
+        | errs -> Alcotest.failf "expected one error, got %d" (List.length errs));
+    Alcotest.test_case "non-boolean top level reports actual type" `Quick
+      (fun () ->
+        let signature = [ ("volume", Ty.Object [ ("size", Ty.Int) ]) ] in
+        match
+          Cm_ocl.Typecheck.check_boolean signature (ocl "volume.size + 1")
+        with
+        | [ err ] ->
+          Alcotest.(check (option string)) "expected Bool" (Some "Boolean")
+            (Option.map Ty.to_string err.expected);
+          Alcotest.(check (option string)) "actual Integer" (Some "Integer")
+            (Option.map Ty.to_string err.actual)
+        | errs -> Alcotest.failf "expected one error, got %d" (List.length errs))
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [ ("solver", solver_tests);
+      ("defect-corpus", corpus_tests);
+      ("corpus-meta", corpus_meta_tests);
+      ("shipped-models", clean_tests);
+      ("crosscheck", crosscheck_tests);
+      ("lint", lint_tests);
+      ("validate-on-lint", validate_tests);
+      ("typecheck-diagnostics", typecheck_tests)
+    ]

@@ -75,7 +75,7 @@ let model_tests =
         let issues = Cm_uml.Validate.all Glance.resources [ Glance.behavior ] in
         if issues <> [] then
           Alcotest.failf "issues: %a"
-            Fmt.(list ~sep:(any "; ") Cm_uml.Validate.pp_issue)
+            Fmt.(list ~sep:(any "; ") Cm_lint.Lint.pp_finding)
             issues);
     Alcotest.test_case "glance model is semantically clean" `Quick (fun () ->
         let findings = Cm_uml.Analysis.analyze Glance.behavior glance_sample in

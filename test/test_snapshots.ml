@@ -88,7 +88,7 @@ let model_tests =
         let issues = Cm_uml.Validate.all Snap.resources [ Snap.behavior ] in
         if issues <> [] then
           Alcotest.failf "issues: %a"
-            Fmt.(list ~sep:(any "; ") Cm_uml.Validate.pp_issue)
+            Fmt.(list ~sep:(any "; ") Cm_lint.Lint.pp_finding)
             issues);
     Alcotest.test_case "nested URI templates derived" `Quick (fun () ->
         match Cm_uml.Paths.derive Snap.resources with

@@ -41,7 +41,7 @@ let cinder_tests =
         let issues = Validate.all Cinder.resources [ Cinder.behavior ] in
         if issues <> [] then
           Alcotest.failf "issues: %a"
-            Fmt.(list ~sep:(any "; ") Validate.pp_issue)
+            Fmt.(list ~sep:(any "; ") Cm_lint.Lint.pp_finding)
             issues);
     Alcotest.test_case "derived URI templates match the paper" `Quick (fun () ->
         match Paths.derive Cinder.resources with
@@ -151,7 +151,7 @@ let broken_model_tests =
         Alcotest.(check bool) "flagged" true
           (List.exists
              (fun (i : Validate.issue) ->
-               Astring_contains.contains i.problem "pre-state")
+               Astring_contains.contains i.message "pre-state")
              (Validate.behavior_model Cinder.resources machine)));
     Alcotest.test_case "unreachable state" `Quick (fun () ->
         let machine =
@@ -495,7 +495,7 @@ let slice_tests =
         (* and it is still a valid model *)
         Alcotest.(check (list string)) "no issues" []
           (List.map
-             (Fmt.str "%a" Cm_uml.Validate.pp_issue)
+             (Fmt.str "%a" Cm_lint.Lint.pp_finding)
              (Cm_uml.Validate.resource_model sliced)))
   ]
 
