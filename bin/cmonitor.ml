@@ -459,7 +459,7 @@ let chaos_cmd =
 
 (* ---- serve-bench: sharded multicore throughput ---- *)
 
-let serve_bench projects requests seed domains json_path baseline_path
+let serve_bench projects requests seed domains rate json_path baseline_path
     max_regression =
   let module SB = Cloudmon.Serve_bench in
   let spec =
@@ -470,7 +470,7 @@ let serve_bench projects requests seed domains json_path baseline_path
     | [] -> [ 1; 2; 4 ]
     | ds -> List.sort_uniq compare (List.map (fun d -> max 1 d) ds)
   in
-  match SB.run ~spec ~domains_list () with
+  match SB.run ~spec ~domains_list ?rate () with
   | Error msgs ->
     List.iter prerr_endline msgs;
     1
@@ -533,6 +533,14 @@ let sb_domains_arg =
   in
   Arg.(value & opt_all int [] & info [ "domains" ] ~docv:"N" ~doc)
 
+let sb_rate_arg =
+  let doc =
+    "Open-loop arrival rate in requests/second for the latency \
+     measurement (default: self-calibrated to ~70% of the closed-loop \
+     capacity)."
+  in
+  Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"REQ_PER_S" ~doc)
+
 let sb_json_arg =
   let doc = "Write the throughput report to this file." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -557,7 +565,8 @@ let serve_bench_cmd =
           observation traffic")
     Term.(
       const serve_bench $ sb_projects_arg $ sb_requests_arg $ seed_arg
-      $ sb_domains_arg $ sb_json_arg $ sb_baseline_arg $ sb_max_regression_arg)
+      $ sb_domains_arg $ sb_rate_arg $ sb_json_arg $ sb_baseline_arg
+      $ sb_max_regression_arg)
 
 let main =
   Cmd.group

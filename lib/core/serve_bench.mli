@@ -26,7 +26,36 @@ type scaling_point = {
   sp_elapsed_ns : float;
   sp_req_per_s : float;
   sp_hit_rate : float;
+  sp_invalid : bool;
+      (** more domains than the host has: measures oversubscription
+          contention, not parallel speedup, and is excluded from
+          [rp_speedup] *)
   sp_verdicts : string list;  (** conformance per request, arrival order *)
+}
+
+type latency = {
+  lat_rate_per_s : float;  (** offered (open-loop) arrival rate *)
+  lat_requests : int;
+  lat_achieved_per_s : float;  (** completions over the makespan *)
+  lat_p50_ns : float;
+  lat_p95_ns : float;
+  lat_p99_ns : float;
+  lat_max_ns : float;
+}
+(** Open-loop latency distribution: requests arrive on a fixed schedule
+    and latency is completion minus {e scheduled} arrival, so queueing
+    delay is measured instead of throttling the offered load. *)
+
+type eval_comparison = {
+  ev_full_per_req : float;
+      (** contract evaluations per request under [Full_eval] *)
+  ev_inc_per_req : float;  (** same workload under [Incremental] *)
+  ev_reduction : float;  (** full/incremental — the >= 3x target *)
+  ev_replays : int;  (** memoized verdict replays, incremental run *)
+  ev_node_hit_rate : float;  (** inner connective cache hit rate *)
+  ev_hit_ns : float;  (** one memoized-hit precondition check *)
+  ev_hit_minor_words : float;
+      (** minor-heap words allocated per such check; target 0 *)
 }
 
 type report = {
@@ -39,7 +68,9 @@ type report = {
           ({!Cm_core.Domain_pool.available}) — on a single-core host
           extra domains only add contention *)
   rp_scaling : scaling_point list;
-  rp_speedup : float;  (** best req/s over the 1-domain req/s *)
+  rp_speedup : float;
+      (** best {e valid} multi-domain req/s over the 1-domain req/s
+          (can be below 1.0); 1.0 when no multi-domain point is valid *)
   rp_verdicts_consistent : bool;
       (** verdict sequences identical at every measured domain count *)
   rp_gets_baseline : float;
@@ -48,12 +79,34 @@ type report = {
   rp_gets_cached : float;  (** pruning + cross-request cache *)
   rp_cache : Cm_monitor.Obs_cache.stats;
   rp_handle_ns : float;  (** single-domain ns per monitored request *)
+  rp_latency : latency;
+  rp_eval : eval_comparison;
 }
 
 val run :
-  ?spec:spec -> ?domains_list:int list -> unit -> (report, string list) result
+  ?spec:spec ->
+  ?domains_list:int list ->
+  ?rate:float ->
+  unit ->
+  (report, string list) result
 (** Fresh cloud + shard pool per measurement (default domain counts
-    1, 2 and 4). *)
+    1, 2 and 4).  [rate] pins the open-loop arrival rate in req/s;
+    omitted (or non-positive) it self-calibrates to ~70% of the
+    measured closed-loop capacity. *)
+
+val run_open_loop : spec -> rate_per_s:float -> (latency, string list) result
+(** One open-loop pass at a fixed arrival rate (serving is sequential
+    in arrival order).  Raises [Invalid_argument] when the rate is not
+    positive. *)
+
+val run_eval_comparison : spec -> (eval_comparison, string list) result
+(** Replay the workload under [Full_eval] and [Incremental] and compare
+    evaluation counts; also runs the memoized-hit microbench. *)
+
+val measure_hit : ?checks:int -> unit -> float * float
+(** [(ns, minor_words)] per memoized-hit precondition check of the
+    paper's DELETE(volume) contract against an unchanged observed
+    state. *)
 
 val verdict_run :
   spec ->
@@ -75,4 +128,9 @@ val check_against_baseline :
   (unit, string) result
 (** Compare [rp_handle_ns] against the
     [fastpath/cinder-handle-compiled] entry of a BENCH_fastpath.json
-    document. *)
+    document; when the document also carries an
+    [incremental/memoized-hit-check] row, additionally gate the
+    memoized-hit check latency ([ns_per_run], +100 ns absolute slack)
+    and its allocation rate ([minor_words_per_check], +2 words slack)
+    at the same percentage.  Baselines without incremental rows skip
+    those gates (back-compatible). *)

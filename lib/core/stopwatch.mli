@@ -13,3 +13,12 @@ val now_ns : source -> float
 val time_ns : source -> (unit -> 'a) -> 'a * float
 (** Run the thunk and return its result with the elapsed nanoseconds.
     Exceptions propagate (nothing is recorded for the failed phase). *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] is the [p]-th percentile ([0 <= p <= 100])
+    of the samples, linearly interpolated between order statistics (the
+    array is not modified).  NaN when [samples] is empty. *)
+
+val percentiles : float array -> float list -> float list
+(** {!percentile} at several points (each sorts a fresh copy; fine for
+    report-sized sample sets). *)

@@ -1,0 +1,111 @@
+module Uri_template = Cm_http.Uri_template
+
+(* Touched-root tracking: maps each forwarded mutation's path to the set
+   of observation roots (the same vocabulary as {!Cm_ocl.Footprint} and
+   the observer's bindings) whose observed value may have changed, and
+   stamps those roots with a monotonically increasing generation.
+
+   A root's document can reflect a mutation when the mutated path
+   overlaps the root's URI template as a segment prefix in either
+   direction (mutating an item rewrites its collection listing; mutating
+   a collection rewrites its items), with template parameters matching
+   any concrete segment — the same overlap rule as
+   {!Obs_cache.invalidate_overlapping}, lifted from concrete cached
+   paths to the model's templates.  The context root (the project
+   document) grafts every child listing, so every classified mutation
+   touches it.  Mutations the model cannot classify conservatively touch
+   every root. *)
+
+type t = {
+  entries : (Uri_template.segment list * string) list;
+      (* template segments, lowercased resource root *)
+  context_root : string;
+  root_gen : (string, int) Hashtbl.t;
+  mutable gen : int;
+  mutable mutations : int;
+  mutable unclassified : int;
+}
+
+let create ~context (entries : Cm_uml.Paths.entry list) =
+  { entries =
+      List.map
+        (fun (e : Cm_uml.Paths.entry) ->
+          ( Uri_template.segments e.template,
+            String.lowercase_ascii e.resource ))
+        entries;
+    context_root = String.lowercase_ascii context;
+    root_gen = Hashtbl.create 16;
+    gen = 0;
+    mutations = 0;
+    unclassified = 0
+  }
+
+(* Bidirectional segment-prefix overlap of a template against a concrete
+   path; a parameter segment matches anything. *)
+let rec template_overlaps tsegs psegs =
+  match tsegs, psegs with
+  | [], _ | _, [] -> true
+  | Uri_template.Literal l :: ts, p :: ps ->
+    String.equal l p && template_overlaps ts ps
+  | Uri_template.Param _ :: ts, _ :: ps -> template_overlaps ts ps
+
+let touch t root = Hashtbl.replace t.root_gen root t.gen
+
+let note_all t =
+  t.gen <- t.gen + 1;
+  List.iter (fun (_, root) -> touch t root) t.entries;
+  touch t t.context_root
+
+let note t path =
+  t.mutations <- t.mutations + 1;
+  t.gen <- t.gen + 1;
+  let psegs = Uri_template.split_path path in
+  let matched = ref false in
+  List.iter
+    (fun (tsegs, root) ->
+      if template_overlaps tsegs psegs then begin
+        matched := true;
+        touch t root
+      end)
+    t.entries;
+  if !matched then touch t t.context_root
+  else begin
+    (* a write the model cannot place: assume everything moved *)
+    t.unclassified <- t.unclassified + 1;
+    List.iter (fun (_, root) -> touch t root) t.entries;
+    touch t t.context_root
+  end
+
+let generation t = t.gen
+
+(* Has [root] possibly changed after generation [seen]?  Roots the model
+   does not track (e.g. the per-request [user] subject binding) are
+   always treated as changed — only modelled resource documents may be
+   skipped. *)
+let changed_since t ~seen root =
+  match Hashtbl.find_opt t.root_gen root with
+  | Some g -> g > seen
+  | None ->
+    if
+      String.equal root t.context_root
+      || List.exists (fun (_, r) -> String.equal r root) t.entries
+    then seen < 0  (* tracked, never mutated: sync only the first time *)
+    else true
+
+(* The concrete roots a single path maps to (stats / tests). *)
+let roots_of_path t path =
+  let psegs = Uri_template.split_path path in
+  let hit =
+    List.filter_map
+      (fun (tsegs, root) ->
+        if template_overlaps tsegs psegs then Some root else None)
+      t.entries
+  in
+  match hit with
+  | [] -> List.sort_uniq String.compare (t.context_root :: List.map snd t.entries)
+  | hit -> List.sort_uniq String.compare (t.context_root :: hit)
+
+type stats = { mutations : int; unclassified : int; generation : int }
+
+let stats (t : t) =
+  { mutations = t.mutations; unclassified = t.unclassified; generation = t.gen }

@@ -1,0 +1,45 @@
+(** Touched-path deltas for the incremental engine.
+
+    Every forwarded mutation is mapped to the set of observation roots
+    (the footprint/observer vocabulary: lowercased resource definition
+    names) whose documents may reflect it, using bidirectional
+    segment-prefix overlap of the mutated path against the model's URI
+    templates — the template-level analogue of
+    {!Obs_cache.invalidate_overlapping}.  Each touched root is stamped
+    with a monotonically increasing generation; a contract that last
+    synchronized at generation [g] can skip re-diffing any root whose
+    stamp is still [<= g].
+
+    This is the {e trusted} delta: skipping a root means trusting that
+    its observed value did not change, which under chaotic transports
+    (stale reads becoming visible later) is an approximation.  The
+    monitor therefore only consults it when [trust_path_delta] is
+    explicitly enabled; the default incremental mode diffs every root's
+    value instead, and uses this module's stamps purely as statistics. *)
+
+type t
+
+val create : context:string -> Cm_uml.Paths.entry list -> t
+(** [context] is the context resource definition (the grafted project
+    document's root); entries are the model's derived URI table. *)
+
+val note : t -> string -> unit
+(** Record a mutation of the given concrete path.  Paths no template
+    overlaps conservatively touch every root. *)
+
+val note_all : t -> unit
+(** Record an unclassifiable state change (touches every root). *)
+
+val generation : t -> int
+
+val changed_since : t -> seen:int -> string -> bool
+(** Has the root possibly changed after generation [seen]?  Untracked
+    roots (e.g. the per-request [user] binding) are always changed. *)
+
+val roots_of_path : t -> string -> string list
+(** The roots a mutation of [path] would touch (sorted; for tests and
+    diagnostics). *)
+
+type stats = { mutations : int; unclassified : int; generation : int }
+
+val stats : t -> stats

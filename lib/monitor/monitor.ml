@@ -23,6 +23,8 @@ type config = {
   mode : mode;
   strategy : Runtime.strategy;
   engine : Runtime.engine;
+  eval : Runtime.eval_mode;
+  trust_path_delta : bool;
   service_token : string;
   service_token_for : (string -> string option) option;
   resources : Resource_model.t;
@@ -38,14 +40,15 @@ type config = {
 }
 
 let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
-    ?(engine = Cm_contracts.Runtime.Compiled) ?(stability_check = false)
-    ?resilience ?(degradation = Fail_open_logged) ?clock
-    ?(footprint_pruning = true) ?(cache = Obs_cache.Per_request)
+    ?(engine = Cm_contracts.Runtime.Compiled)
+    ?(eval = Cm_contracts.Runtime.Incremental) ?(trust_path_delta = false)
+    ?(stability_check = false) ?resilience ?(degradation = Fail_open_logged)
+    ?clock ?(footprint_pruning = true) ?(cache = Obs_cache.Per_request)
     ?(timings = false) ~service_token ?service_token_for ?security resources
     behavior =
-  { mode; strategy; engine; service_token; service_token_for; resources;
-    behavior; security; stability_check; resilience; degradation; clock;
-    footprint_pruning; cache; timings
+  { mode; strategy; engine; eval; trust_path_delta; service_token;
+    service_token_for; resources; behavior; security; stability_check;
+    resilience; degradation; clock; footprint_pruning; cache; timings
   }
 
 type t = {
@@ -69,6 +72,9 @@ type t = {
       (* path entries derived once; per request this is re-targeted with
          [with_project] (a cheap record copy) instead of re-deriving *)
   cache : Obs_cache.t option;
+  delta : Delta.t option;  (* touched-path generations (incremental mode) *)
+  delta_seen : (Behavior_model.trigger, int) Hashtbl.t;
+      (* per contract: the delta generation its frame last synced at *)
   stopwatch : Cm_core.Stopwatch.source option;
   (* per-request phase accumulators, reset at the top of [handle] *)
   mutable ph_observe_pre : float;
@@ -82,6 +88,24 @@ type t = {
 let contracts t = List.map (fun (_, p) -> Runtime.contract p) t.prepared
 let resilience t = t.resilient
 let cache_stats t = Option.map Obs_cache.stats t.cache
+
+let eval_stats t =
+  List.fold_left
+    (fun (acc : Runtime.eval_stats) (_, p) ->
+      let s = Runtime.eval_stats p in
+      { Runtime.evals = acc.evals + s.Runtime.evals;
+        replays = acc.replays + s.replays;
+        node_hits = acc.node_hits + s.node_hits;
+        node_evals = acc.node_evals + s.node_evals;
+        refreshes = acc.refreshes + s.refreshes;
+        slots_changed = acc.slots_changed + s.slots_changed
+      })
+    { Runtime.evals = 0; replays = 0; node_hits = 0; node_evals = 0;
+      refreshes = 0; slots_changed = 0
+    }
+    t.prepared
+
+let delta_stats t = Option.map Delta.stats t.delta
 let flush_cache t = Option.iter Obs_cache.clear t.cache
 let uri_table t = t.entries
 let configuration t = t.config
@@ -166,7 +190,7 @@ let create config backend =
                (fun c ->
                  ( c.Contract.trigger,
                    Runtime.prepare ~strategy:config.strategy
-                     ~engine:config.engine c ))
+                     ~engine:config.engine ~eval:config.eval c ))
                contract_list
            in
            let by_trigger = Hashtbl.create (2 * List.length prepared + 1) in
@@ -203,6 +227,14 @@ let create config backend =
                ~project_id:"" entries
              |> fun o -> Observer.with_cache o cache
            in
+           let delta =
+             if config.eval = Cm_contracts.Runtime.Incremental then
+               Some
+                 (Delta.create
+                    ~context:(Observer.context_def observer_base)
+                    entries)
+             else None
+           in
            let stopwatch =
              if not config.timings then None
              else
@@ -223,6 +255,8 @@ let create config backend =
                by_trigger;
                observer_base;
                cache;
+               delta;
+               delta_seen = Hashtbl.create 16;
                stopwatch;
                ph_observe_pre = 0.;
                ph_eval_pre = 0.;
@@ -474,10 +508,15 @@ type forwarded =
    reflect it.  Unmodelled mutations (e.g. POST .../action) pass through
    here too, so the cache never survives a write it cannot classify. *)
 let invalidate_after_mutation t (req : Request.t) =
-  if not (Meth.is_safe req.Request.meth) then
+  if not (Meth.is_safe req.Request.meth) then begin
     Option.iter
       (fun cache -> Obs_cache.invalidate_overlapping cache req.Request.path)
-      t.cache
+      t.cache;
+    (* the same write-set feeds the touched-path generations the
+       incremental engine uses (stats always; root-skipping only when
+       [trust_path_delta]) *)
+    Option.iter (fun delta -> Delta.note delta req.Request.path) t.delta
+  end
 
 let forward t req =
   let result =
@@ -659,10 +698,32 @@ let unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
 let monitored t classified prepared req =
   let user_token = Request.auth_token req in
   let make_env = observe_env t classified prepared in
-  let pre_obs =
-    timed t `Observe_pre (fun () ->
-        Runtime.observe prepared (make_env ~fresh:false ~user_token))
+  (* Trusted-delta mode: roots no mutation's template overlapped since
+     this contract's frame last synced are skipped without diffing.
+     [seen] is captured once — the forward in between bumps the
+     generation, so the post-observation still re-syncs everything the
+     mutation touched. *)
+  let changed =
+    match t.delta with
+    | Some d when t.config.trust_path_delta ->
+      let seen =
+        Option.value ~default:(-1)
+          (Hashtbl.find_opt t.delta_seen classified.trigger)
+      in
+      Some (fun root -> Delta.changed_since d ~seen root)
+    | _ -> None
   in
+  let observe_now () =
+    let obs =
+      Runtime.observe ?changed prepared (make_env ~fresh:false ~user_token)
+    in
+    Option.iter
+      (fun d ->
+        Hashtbl.replace t.delta_seen classified.trigger (Delta.generation d))
+      t.delta;
+    obs
+  in
+  let pre_obs = timed t `Observe_pre observe_now in
   let contract = Runtime.contract prepared in
   let pre_verdict =
     timed t `Eval_pre (fun () -> Runtime.check_pre_observed prepared pre_obs)
@@ -722,10 +783,7 @@ let monitored t classified prepared req =
             ~pre_verdict ~covered
             ~requirements:contract.Contract.requirements req failure
         | Delivered cloud_response ->
-       let post_obs =
-         timed t `Observe_post (fun () ->
-             Runtime.observe prepared (make_env ~fresh:false ~user_token))
-       in
+       let post_obs = timed t `Observe_post observe_now in
        let post_verdict =
          stable_post_verdict t ~make_env ~user_token
            (Runtime.observed_env post_obs)
@@ -797,10 +855,7 @@ let monitored t classified prepared req =
          ~pre_verdict ~covered
          ~requirements:contract.Contract.requirements req failure
      | Delivered cloud_response ->
-    let post_obs =
-      timed t `Observe_post (fun () ->
-          Runtime.observe prepared (make_env ~fresh:false ~user_token))
-    in
+    let post_obs = timed t `Observe_post observe_now in
     let snapshot_bytes = Runtime.snapshot_bytes snapshot in
     let success = Response.is_success cloud_response in
     let conformance, post_verdict, detail =

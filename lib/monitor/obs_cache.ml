@@ -2,11 +2,13 @@ module Response = Cm_http.Response
 
 type scope = Disabled | Per_request | Cross_request
 
-type key = { path : string; token : string option }
-
+(* Two-level table keyed by subject token then path: lookups hash the
+   strings the caller already holds instead of allocating a composite
+   key record per probe — the observer probes this on every GET of
+   every observation, so the allocation audit flattened it. *)
 type t = {
   scope : scope;
-  table : (key, Response.t) Hashtbl.t;
+  tables : (string option, (string, Response.t) Hashtbl.t) Hashtbl.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
   invalidated : int Atomic.t;
@@ -16,7 +18,7 @@ type stats = { hits : int; misses : int; invalidated : int }
 
 let create scope =
   { scope;
-    table = Hashtbl.create 32;
+    tables = Hashtbl.create 4;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     invalidated = Atomic.make 0
@@ -28,13 +30,18 @@ let enabled t = t.scope <> Disabled
 let find t ~token path =
   if not (enabled t) then None
   else
-    match Hashtbl.find_opt t.table { path; token } with
-    | Some r ->
-      Atomic.incr t.hits;
-      Some r
+    match Hashtbl.find_opt t.tables token with
     | None ->
       Atomic.incr t.misses;
       None
+    | Some inner ->
+      (match Hashtbl.find_opt inner path with
+       | Some _ as hit ->
+         Atomic.incr t.hits;
+         hit
+       | None ->
+         Atomic.incr t.misses;
+         None)
 
 (* Definite state answers only: a 2xx is the resource, a 404 is its
    definite absence (stable until an overlapping mutation).  Transient
@@ -44,8 +51,17 @@ let cacheable (resp : Response.t) =
   Response.is_success resp || resp.Response.status = Cm_http.Status.not_found
 
 let remember t ~token path resp =
-  if enabled t && cacheable resp then
-    Hashtbl.replace t.table { path; token } resp
+  if enabled t && cacheable resp then begin
+    let inner =
+      match Hashtbl.find_opt t.tables token with
+      | Some inner -> inner
+      | None ->
+        let inner = Hashtbl.create 16 in
+        Hashtbl.add t.tables token inner;
+        inner
+    in
+    Hashtbl.replace inner path resp
+  end
 
 let segments path =
   List.filter (fun s -> s <> "") (String.split_on_char '/' path)
@@ -62,20 +78,23 @@ let overlaps cached mutated =
 let invalidate_overlapping t mutated_path =
   if enabled t then begin
     let mutated = segments mutated_path in
-    let stale =
-      Hashtbl.fold
-        (fun key _ acc ->
-          if overlaps (segments key.path) mutated then key :: acc else acc)
-        t.table []
-    in
-    List.iter
-      (fun key ->
-        Hashtbl.remove t.table key;
-        Atomic.incr t.invalidated)
-      stale
+    Hashtbl.iter
+      (fun _token inner ->
+        let stale =
+          Hashtbl.fold
+            (fun path _ acc ->
+              if overlaps (segments path) mutated then path :: acc else acc)
+            inner []
+        in
+        List.iter
+          (fun path ->
+            Hashtbl.remove inner path;
+            Atomic.incr t.invalidated)
+          stale)
+      t.tables
   end
 
-let clear t = Hashtbl.reset t.table
+let clear t = Hashtbl.reset t.tables
 
 let begin_request t = match t.scope with Per_request -> clear t | _ -> ()
 

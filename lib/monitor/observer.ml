@@ -18,6 +18,11 @@ type t = {
   footprint : Footprint.t option;
       (* None = observe everything; Some fp = fetch only what fp reads *)
   cache : Obs_cache.t option;
+  lc_names : (string, string) Hashtbl.t;
+      (* interned lowercased resource names — root binding keys are
+         produced on every observation, so don't re-derive the string
+         each time (shared across [with_project] copies; each monitor
+         shard owns its observer, so single-threaded) *)
 }
 
 let of_entries ~backend ~token ~model ~project_id entries =
@@ -35,7 +40,8 @@ let of_entries ~backend ~token ~model ~project_id entries =
     context_def;
     context_param = Cm_uml.Paths.id_param context_def;
     footprint = None;
-    cache = None
+    cache = None;
+    lc_names = Hashtbl.create 16
   }
 
 let create ~backend ~token ~model ~project_id =
@@ -51,6 +57,14 @@ let create_exn ~backend ~token ~model ~project_id =
   | Ok t -> t
   | Error msg -> invalid_arg msg
 
+let lc t s =
+  match Hashtbl.find_opt t.lc_names s with
+  | Some v -> v
+  | None ->
+    let v = String.lowercase_ascii s in
+    Hashtbl.add t.lc_names s v;
+    v
+
 let with_project t ~project_id = { t with project_id }
 let with_token t ~token = { t with token }
 let with_footprint t footprint = { t with footprint }
@@ -63,12 +77,12 @@ let context_def t = t.context_def
 let wants_root t name =
   match t.footprint with
   | None -> true
-  | Some fp -> Footprint.mentions fp (String.lowercase_ascii name)
+  | Some fp -> Footprint.mentions fp (lc t name)
 
 let wants_member t root field =
   match t.footprint with
   | None -> true
-  | Some fp -> Footprint.needs_field fp ~root:(String.lowercase_ascii root) field
+  | Some fp -> Footprint.needs_field fp ~root:(lc t root) field
 
 (* The context document's own attributes vs. the members we graft from
    child listings: if the contracts only read grafted roles, the doc GET
@@ -77,7 +91,7 @@ let wants_own_attrs t root ~grafted_roles =
   match t.footprint with
   | None -> true
   | Some fp ->
-    let root = String.lowercase_ascii root in
+    let root = lc t root in
     (match List.assoc_opt root fp with
      | None -> false
      | Some Footprint.All -> true
@@ -212,7 +226,7 @@ let ancestor_bindings ?fresh t request_bindings =
           with
           | Some doc ->
             Some
-              ( String.lowercase_ascii entry.resource,
+              ( lc t entry.resource,
                 graft_sub_collections ?fresh t request_bindings entry.resource
                   doc )
           | None -> None
@@ -279,14 +293,13 @@ let observe ?(fresh = false) ?item ?(bindings = []) t =
             with
             | Some doc ->
               ( members,
-                (String.lowercase_ascii target_def.def_name, doc) :: toplevels
-              )
+                (lc t target_def.def_name, doc) :: toplevels )
             | None -> (members, toplevels)
           end)
       ([], []) children
   in
   let context_binding =
-    ( String.lowercase_ascii t.context_def,
+    ( lc t t.context_def,
       Json.Obj (context_members @ List.rev member_bindings) )
   in
   (* 3. every item reachable with the request's URI parameters —
@@ -300,12 +313,12 @@ let observe ?(fresh = false) ?item ?(bindings = []) t =
     | None -> []
     | Some (resource, _) when not (wants_root t resource) -> []
     | Some (resource, id)
-      when not (List.mem_assoc (String.lowercase_ascii resource) nested) ->
+      when not (List.mem_assoc (lc t resource) nested) ->
       let id_param = Cm_uml.Paths.id_param resource in
       let request_bindings = (id_param, id) :: bindings in
       (match get_unwrapped ~fresh t ~resource ~item:true request_bindings with
        | Some doc ->
-         [ ( String.lowercase_ascii resource,
+         [ ( lc t resource,
              graft_sub_collections ~fresh t request_bindings resource doc )
          ]
        | None -> [])

@@ -68,4 +68,26 @@ let cache_stats t =
     Obs_cache.{ hits = 0; misses = 0; invalidated = 0 }
     t.monitors
 
+let eval_stats t =
+  Array.fold_left
+    (fun acc m ->
+      let s = Monitor.eval_stats m in
+      Cm_contracts.Runtime.
+        { evals = acc.evals + s.evals;
+          replays = acc.replays + s.replays;
+          node_hits = acc.node_hits + s.node_hits;
+          node_evals = acc.node_evals + s.node_evals;
+          refreshes = acc.refreshes + s.refreshes;
+          slots_changed = acc.slots_changed + s.slots_changed
+        })
+    Cm_contracts.Runtime.
+      { evals = 0;
+        replays = 0;
+        node_hits = 0;
+        node_evals = 0;
+        refreshes = 0;
+        slots_changed = 0
+      }
+    t.monitors
+
 let flush_caches t = Array.iter Monitor.flush_cache t.monitors

@@ -51,6 +51,10 @@ val cache_stats : t -> Obs_cache.stats
 (** Pool-wide observation-cache counters (zeros when caching is
     disabled). *)
 
+val eval_stats : t -> Cm_contracts.Runtime.eval_stats
+(** Pool-wide incremental-evaluation counters, summed over every
+    replica's prepared contracts. *)
+
 val flush_caches : t -> unit
 (** {!Monitor.flush_cache} on every replica — required after any
     out-of-band write when the pool runs [Cross_request] caches. *)

@@ -17,7 +17,7 @@ let service_subject =
   Cm_rbac.Subject.make "cmonitor-svc" [ "proj_administrator" ]
 
 let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
-    ?(engine = Cm_contracts.Runtime.Compiled)
+    ?(engine = Cm_contracts.Runtime.Compiled) ?eval
     ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
     ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false)
     ?footprint_pruning ?cache () =
@@ -59,7 +59,8 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     }
   in
   let config =
-    Monitor.default_config ~mode ~strategy ~engine ~stability_check ?resilience
+    Monitor.default_config ~mode ~strategy ~engine ?eval ~stability_check
+      ?resilience
       ~degradation ~clock ?footprint_pruning ?cache ~service_token ~security
       Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
   in

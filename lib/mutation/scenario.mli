@@ -21,6 +21,7 @@ val setup :
   ?mode:Cm_monitor.Monitor.mode ->
   ?strategy:Cm_contracts.Runtime.strategy ->
   ?engine:Cm_contracts.Runtime.engine ->
+  ?eval:Cm_contracts.Runtime.eval_mode ->
   ?faults:Cm_cloudsim.Faults.set ->
   ?chaos:Cm_cloudsim.Chaos.profile ->
   ?chaos_seed:int ->

@@ -633,5 +633,125 @@ let chaos_replay (entry : Corpus.entry) =
 let chaos =
   { name = "chaos"; weight = 1; run_case = chaos_run; replay = chaos_replay }
 
-let all = [ engine; rbac; codegen; monitor; chaos ]
+(* ---- incremental vs full evaluation ---- *)
+
+(* The delta-driven engine must be observationally identical to full
+   re-evaluation.  Both sides run the compiled engine, so unlike the
+   engine oracle no hint normalization is applied: status, the full
+   conformance string (payload included), both verdicts and the covered
+   requirement set must agree bit-for-bit at every exchange.  A mutant
+   killed under full evaluation must stay killed under incremental. *)
+let strict_outcome_key (o : Outcome.t) =
+  Fmt.str "%d|%s|%s|%s|%s" o.response.Cm_http.Response.status
+    (Outcome.conformance_to_string o.conformance)
+    (verdict_key o.pre_verdict)
+    (verdict_key o.post_verdict)
+    (String.concat "," o.covered_requirements)
+
+let incremental_check ~mutant trace =
+  match
+    ( Scenario.setup ~eval:Runtime.Full_eval (),
+      Scenario.setup ~eval:Runtime.Incremental () )
+  with
+  | Error msgs, _ | _, Error msgs ->
+    Some ("incremental setup failed: " ^ String.concat "; " msgs)
+  | Ok ctx_full, Ok ctx_inc ->
+    let out_full = Trace_gen.run ctx_full trace in
+    let out_inc = Trace_gen.run ctx_inc trace in
+    let keys_full = List.map strict_outcome_key out_full in
+    let keys_inc = List.map strict_outcome_key out_inc in
+    if keys_full <> keys_inc then begin
+      let rec first_diff n a b =
+        match a, b with
+        | x :: a', y :: b' ->
+          if x = y then first_diff (n + 1) a' b'
+          else Fmt.str "exchange %d: full [%s] vs incremental [%s]" n x y
+        | [], y :: _ -> Fmt.str "exchange %d only under incremental: [%s]" n y
+        | x :: _, [] -> Fmt.str "exchange %d only under full: [%s]" n x
+        | [], [] -> "lengths differ"
+      in
+      Some ("eval modes diverge at " ^ first_diff 0 keys_full keys_inc)
+    end
+    else begin
+      match
+        Scenario.setup ~eval:Runtime.Incremental ~faults:mutant.Mutant.faults
+          ()
+      with
+      | Error msgs -> Some ("mutant setup failed: " ^ String.concat "; " msgs)
+      | Ok ctx_m ->
+        if has_violation (Trace_gen.run ctx_m trace) then None
+        else
+          Some
+            ("mutant " ^ mutant.Mutant.name
+           ^ " survived the trace under incremental evaluation")
+    end
+
+let incremental_run ~shrink ~seed ~index ~size =
+  let rng_noise, rng_probe = case_streams ~seed index in
+  let mutants = Mutant.all in
+  let mutant = List.nth mutants (index mod List.length mutants) in
+  let noise = Trace_gen.gen_noise rng_noise ~size:(monitor_noise_size size) in
+  let tail =
+    { Trace_gen.user = "alice"; op = Trace_gen.Drain }
+    :: Trace_gen.probe_for mutant.Mutant.name rng_probe
+  in
+  let fails noise = incremental_check ~mutant (noise @ tail) in
+  match fails noise with
+  | None -> Pass
+  | Some detail0 ->
+    let shrunk, steps =
+      if shrink then
+        Shrink.minimize ~budget:30 ~candidates:Shrink.shrink_list
+          ~still_fails:(fun n -> fails n <> None)
+          noise
+      else (noise, 0)
+    in
+    let detail = Option.value ~default:detail0 (fails shrunk) in
+    let trace = shrunk @ tail in
+    Fail
+      { oracle = "incremental"; index; detail; shrink_steps = steps;
+        repr = Fmt.str "%s vs %s" mutant.Mutant.name (Trace_gen.to_string trace);
+        entry =
+          Corpus.make ~oracle:"incremental" ~seed ~index ~size
+            [ ("mutant", mutant.Mutant.name);
+              ("trace", Trace_gen.to_string trace)
+            ]
+      }
+
+let incremental_replay (entry : Corpus.entry) =
+  let mutant_name =
+    match List.assoc_opt "mutant" entry.payload with
+    | Some name -> name
+    | None ->
+      (List.nth Mutant.all (entry.index mod List.length Mutant.all)).Mutant.name
+  in
+  match Mutant.find mutant_name with
+  | None -> Error ("unknown mutant " ^ mutant_name)
+  | Some mutant ->
+    let trace_result =
+      match List.assoc_opt "trace" entry.payload with
+      | Some text -> Trace_gen.of_string text
+      | None ->
+        let rng_noise, rng_probe = case_streams ~seed:entry.seed entry.index in
+        let noise =
+          Trace_gen.gen_noise rng_noise ~size:(monitor_noise_size entry.size)
+        in
+        Ok
+          (noise
+          @ ({ Trace_gen.user = "alice"; op = Trace_gen.Drain }
+            :: Trace_gen.probe_for mutant.Mutant.name rng_probe))
+    in
+    (match trace_result with
+     | Error msg -> Error ("corpus trace does not parse: " ^ msg)
+     | Ok trace ->
+       (match incremental_check ~mutant trace with
+        | None -> Ok ()
+        | Some detail -> Error detail))
+
+let incremental =
+  { name = "incremental"; weight = 2; run_case = incremental_run;
+    replay = incremental_replay
+  }
+
+let all = [ engine; rbac; codegen; monitor; incremental; chaos ]
 let find name = List.find_opt (fun o -> o.name = name) all

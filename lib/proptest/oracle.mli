@@ -17,6 +17,12 @@
       monitors, no violation on the fault-free cloud, and at least one
       violation for every injected mutant (the randomized
       generalization of the paper's three-mutant experiment).
+    - [incremental]: the same random traces must produce bit-identical
+      outcomes (status, full conformance string, verdicts, covered
+      requirements — no normalization) under [Full_eval] and
+      [Incremental] compiled monitors, and every mutant killed under
+      full re-evaluation must stay killed under delta-driven
+      evaluation.
 
     Every case is a pure function of [(seed, index, size)]; a failure is
     shrunk greedily and packaged as a replayable {!Corpus.entry}. *)
