@@ -1,6 +1,14 @@
 (* Synthetic workload builders for the scaling benches: resource models
    of parametric width and protocol machines of parametric depth, plus a
-   ready-to-use monitored cloud fixture. *)
+   ready-to-use monitored cloud fixture.
+
+   Determinism contract: every builder here is a pure function of its
+   parameters — [wide_resources] and [deep_behavior] of their size,
+   [request_stream] of its (mix, seed).  Same arguments, same artifact,
+   bit for bit, so bench runs are reproducible and comparable across
+   hosts and commits.  Request streams come from the workload DSL
+   ({!Cm_workload.Workload}); seeds are always explicit — no builder
+   draws from implicit global randomness. *)
 
 module RM = Cm_uml.Resource_model
 module BM = Cm_uml.Behavior_model
@@ -135,6 +143,21 @@ let get_volume_request fx =
   Cm_http.Request.make Cm_http.Meth.GET
     ("/v3/myProject/volumes/" ^ fx.volume_id)
   |> Cm_http.Request.with_auth_token fx.alice
+
+(* A seeded request stream over the fixture's project, compiled from a
+   workload-DSL mix (default: the serving benchmark's read-heavy mix).
+   All three DSL roles resolve to alice's token — the benches measure
+   monitoring cost, not authorization outcomes, and admin passes every
+   check the contracts make. *)
+let request_stream ?(mix = Cm_workload.Workload.read_heavy) ~seed fx =
+  let st =
+    { Cm_workload.Exec.st_project = "myProject";
+      st_token = (fun _ -> fx.alice);
+      st_stable_volumes = [ fx.volume_id ];
+      st_victim_volumes = []
+    }
+  in
+  Cm_workload.Exec.requests st (mix.Cm_workload.Workload.compile ~seed)
 
 (* The second worked example, for cross-service fastpath numbers. *)
 type glance_fixture = {

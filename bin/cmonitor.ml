@@ -349,7 +349,10 @@ let shrink_arg =
   Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL" ~doc)
 
 let oracle_arg =
-  let doc = "Which oracle to drive: all, engine, rbac, codegen or monitor." in
+  let doc =
+    "Which oracle to drive: all, engine, rbac, codegen, monitor, \
+     incremental, chaos or workload."
+  in
   Arg.(value & opt string "all" & info [ "oracle" ] ~docv:"NAME" ~doc)
 
 let max_size_arg =
@@ -556,6 +559,176 @@ let sb_max_regression_arg =
   let doc = "Allowed handle-cost regression over the baseline, percent." in
   Arg.(value & opt float 15. & info [ "max-regression" ] ~docv:"PCT" ~doc)
 
+(* ---- workload: the traffic-mix DSL ---- *)
+
+let workload list_flag mix_name seed trace_flag fuzz_cases kill_flag eval_name
+    domains chaos_flag =
+  let module W = Cloudmon.Workload in
+  let module Mutant = Cloudmon.Mutation.Mutant in
+  let module Campaign = Cloudmon.Mutation.Campaign in
+  let module Chaos = Cm_cloudsim.Chaos in
+  let failures = ref 0 in
+  let ran = ref false in
+  let list_mixes () =
+    List.iter
+      (fun (m : W.mix) ->
+        let trace = m.W.compile ~seed in
+        Printf.printf "%-12s %4d steps  %s  %s\n" m.W.mix_name
+          (List.length trace) (W.fingerprint trace) m.W.description)
+      W.mixes
+  in
+  if list_flag then begin
+    ran := true;
+    list_mixes ()
+  end;
+  (match mix_name with
+   | None -> ()
+   | Some name ->
+     ran := true;
+     (match W.find name with
+      | None ->
+        Printf.eprintf "unknown mix %S (try --list)\n" name;
+        incr failures
+      | Some m ->
+        let trace = m.W.compile ~seed in
+        Printf.printf "mix %s, seed %d: %d steps, fingerprint %s\n"
+          m.W.mix_name seed (List.length trace) (W.fingerprint trace);
+        if trace_flag then print_string (W.render trace)));
+  if fuzz_cases > 0 then begin
+    ran := true;
+    (* the determinism contract, checked the hard way: every case
+       compiles its (mix, seed) twice and the renderings must be
+       bit-identical; a second pass in reverse order catches hidden
+       global state *)
+    let n_mixes = List.length W.mixes in
+    let renders =
+      Array.init fuzz_cases (fun case ->
+          let m = List.nth W.mixes (case mod n_mixes) in
+          let a = W.render (m.W.compile ~seed:(seed + case)) in
+          let b = W.render (m.W.compile ~seed:(seed + case)) in
+          if not (String.equal a b) then begin
+            Printf.eprintf "MISMATCH: %s seed %d recompiled differently\n"
+              m.W.mix_name (seed + case);
+            incr failures
+          end;
+          a)
+    in
+    for case = fuzz_cases - 1 downto 0 do
+      let m = List.nth W.mixes (case mod n_mixes) in
+      if
+        not
+          (String.equal renders.(case)
+             (W.render (m.W.compile ~seed:(seed + case))))
+      then begin
+        Printf.eprintf "MISMATCH: %s seed %d is order-dependent\n" m.W.mix_name
+          (seed + case);
+        incr failures
+      end
+    done;
+    Printf.printf "workload fuzz: %d cases, %s\n" fuzz_cases
+      (if !failures = 0 then "all traces bit-identical" else "MISMATCHES")
+  end;
+  if kill_flag then begin
+    ran := true;
+    let evals =
+      match eval_name with
+      | "full" -> [ Cloudmon.Contracts.Runtime.Full_eval ]
+      | "incremental" -> [ Cloudmon.Contracts.Runtime.Incremental ]
+      | _ ->
+        [ Cloudmon.Contracts.Runtime.Full_eval;
+          Cloudmon.Contracts.Runtime.Incremental
+        ]
+    in
+    List.iter
+      (fun eval ->
+        Printf.printf "=== cross kill matrix (%s, %d domains) ===\n"
+          (match eval with
+           | Cloudmon.Contracts.Runtime.Full_eval -> "full evaluation"
+           | Cloudmon.Contracts.Runtime.Incremental -> "incremental")
+          domains;
+        match Campaign.run_cross ~domains ~eval Mutant.all_extended with
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          incr failures
+        | Ok results ->
+          print_string (Campaign.kill_matrix results);
+          print_newline ();
+          if not (Campaign.all_killed results) then incr failures)
+      evals
+  end;
+  if chaos_flag then begin
+    ran := true;
+    List.iter
+      (fun (profile : Chaos.profile) ->
+        Printf.printf "=== cross chaos: %s ===\n" profile.Chaos.name;
+        match Campaign.run_chaos_cross ~seed profile Mutant.cross_mutants with
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          incr failures
+        | Ok runs ->
+          print_string (Campaign.chaos_matrix runs);
+          print_newline ();
+          if not (Campaign.chaos_ok runs) then incr failures)
+      Chaos.profiles
+  end;
+  if not !ran then list_mixes ();
+  if !failures = 0 then 0 else 1
+
+let wl_list_arg =
+  let doc = "List the named mixes with step counts and fingerprints." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let wl_mix_arg =
+  let doc = "Compile this mix with --seed and print its fingerprint." in
+  Arg.(value & opt (some string) None & info [ "mix" ] ~docv:"NAME" ~doc)
+
+let wl_trace_arg =
+  let doc = "With --mix: also print the compiled trace, one step per line." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let wl_fuzz_arg =
+  let doc =
+    "Check the determinism contract over N cases: each (mix, seed) must \
+     compile to a bit-identical trace on every recompilation."
+  in
+  Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N" ~doc)
+
+let wl_kill_arg =
+  let doc =
+    "Run the cross-service kill matrix (baseline plus the full extended \
+     mutant catalog under the cross workload)."
+  in
+  Arg.(value & flag & info [ "kill-matrix" ] ~doc)
+
+let wl_eval_arg =
+  let doc =
+    "With --kill-matrix: contract evaluation mode — full, incremental, or \
+     both (default)."
+  in
+  Arg.(value & opt string "both" & info [ "eval" ] ~docv:"MODE" ~doc)
+
+let wl_domains_arg =
+  let doc = "With --kill-matrix: fan campaign entries over N domains." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let wl_chaos_arg =
+  let doc =
+    "Run the cross-service mutants under every chaos profile and check \
+     detection power and verdict integrity."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "the seeded traffic-mix DSL: list mixes, compile traces, check the \
+          bit-identical-trace contract, and run the cross-service \
+          kill/chaos matrices")
+    Term.(
+      const workload $ wl_list_arg $ wl_mix_arg $ seed_arg $ wl_trace_arg
+      $ wl_fuzz_arg $ wl_kill_arg $ wl_eval_arg $ wl_domains_arg $ wl_chaos_arg)
+
 let serve_bench_cmd =
   Cmd.v
     (Cmd.info "serve-bench"
@@ -573,7 +746,8 @@ let main =
     (Cmd.info "cmonitor" ~version:Cloudmon.version
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
     [ validate_cmd; analyze_cmd; lifecycle_cmd; contracts_cmd; table1_cmd;
-      testgen_cmd; explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; serve_bench_cmd
+      testgen_cmd; explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; workload_cmd;
+      serve_bench_cmd
     ]
 
 let () = exit (Cmd.eval' main)

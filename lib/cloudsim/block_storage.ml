@@ -83,20 +83,35 @@ let create_volume t : Cm_http.Router.handler =
         Guarded.authorize t.ctx ~action:"volume:create"
           ~project_id:project.Store.project_id req
       in
-      let name, size_gb =
+      let name, size_gb, image_ref =
         match req.Request.body with
         | Some body ->
           let get field = Cm_json.Pointer.get [ Key "volume"; Key field ] body in
           ( (match get "name" with
              | Some (Json.String n) -> n
              | Some _ | None -> "volume"),
-            match get "size" with Some (Json.Int n) -> n | Some _ | None -> 1 )
-        | None -> ("volume", 1)
+            (match get "size" with Some (Json.Int n) -> n | Some _ | None -> 1),
+            match get "imageRef" with
+            | Some (Json.String r) -> Some r
+            | Some _ | None -> None )
+        | None -> ("volume", 1, None)
+      in
+      let faults = Guarded.faults t.ctx in
+      let image_backing_ok =
+        match image_ref with
+        | None -> true
+        | Some _ when Faults.ignores_image_backing faults -> true
+        | Some ref ->
+          (match Store.find_image project ref with
+           | Some image -> image.Store.image_status = "active"
+           | None -> false)
       in
       if size_gb <= 0 then
         Response.error Status.bad_request "volume size must be positive"
+      else if not image_backing_ok then
+        Response.error Status.bad_request
+          "imageRef does not name an active image in this project"
       else begin
-        let faults = Guarded.faults t.ctx in
         let over_quota =
           Store.volume_count project >= project.Store.quota_volumes
           || Store.used_gigabytes project + size_gb
@@ -120,7 +135,10 @@ let create_volume t : Cm_http.Router.handler =
                  ])
             (faulty_status t ~action:"volume:create" ~default:Status.created)
         else begin
-          let volume = Store.add_volume t.store project ~name ~size_gb in
+          let volume =
+            Store.add_volume t.store project
+              ?source_image:image_ref ~name ~size_gb ()
+          in
           Response.make
             ~body:(Json.obj [ ("volume", Store.volume_json volume) ])
             (faulty_status t ~action:"volume:create" ~default:Status.created)

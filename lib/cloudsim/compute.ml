@@ -82,15 +82,18 @@ let delete_server t : Cm_http.Router.handler =
           ~project_id:project.Store.project_id req
       in
       with_server project bindings (fun server ->
-          (* Deleting a server releases its volumes. *)
-          List.iter
-            (fun (v : Store.volume) ->
-              match v.attached_to with
-              | Some sid when sid = server.Store.server_id ->
-                v.status <- "available";
-                v.attached_to <- None
-              | Some _ | None -> ())
-            (Store.volumes project);
+          (* Deleting a server releases its volumes — unless the
+             [Server_delete_leak] mutant forgets to, leaving them in-use
+             and attached to a server that no longer exists. *)
+          if not (Faults.server_delete_leak (Guarded.faults t.ctx)) then
+            List.iter
+              (fun (v : Store.volume) ->
+                match v.attached_to with
+                | Some sid when sid = server.Store.server_id ->
+                  v.status <- "available";
+                  v.attached_to <- None
+                | Some _ | None -> ())
+              (Store.volumes project);
           ignore (Store.remove_server project server.Store.server_id);
           Response.no_content))
 
@@ -101,20 +104,39 @@ let attach_volume t : Cm_http.Router.handler =
         Guarded.authorize t.ctx ~action:"volume:attach"
           ~project_id:project.Store.project_id req
       in
-      with_server project bindings (fun server ->
-          match body_volume_id req with
-          | None -> Response.error Status.bad_request "missing volume_id"
-          | Some volume_id ->
-            (match Store.find_volume project volume_id with
-             | None -> Response.error Status.not_found "volume not found"
-             | Some volume ->
-               if volume.Store.status = "in-use" then
-                 Response.error Status.conflict "volume already attached"
-               else begin
-                 volume.Store.status <- "in-use";
-                 volume.Store.attached_to <- Some server.Store.server_id;
-                 Response.make Status.accepted
-               end)))
+      let faults = Guarded.faults t.ctx in
+      let do_attach server_id =
+        match body_volume_id req with
+        | None -> Response.error Status.bad_request "missing volume_id"
+        | Some volume_id ->
+          (match Store.find_volume project volume_id with
+           | None ->
+             if Faults.attach_missing_volume_ok faults then
+               (* Mutant: acknowledge an attachment whose volume does
+                  not exist. *)
+               Response.make Status.accepted
+             else Response.error Status.not_found "volume not found"
+           | Some volume ->
+             if
+               volume.Store.status = "in-use"
+               && not (Faults.attach_in_use_ok faults)
+             then Response.error Status.conflict "volume already attached"
+             else begin
+               volume.Store.status <- "in-use";
+               volume.Store.attached_to <- Some server_id;
+               Response.make Status.accepted
+             end)
+      in
+      let server_id =
+        Option.value ~default:"" (List.assoc_opt "server_id" bindings)
+      in
+      match Store.find_server project server_id with
+      | Some server -> do_attach server.Store.server_id
+      | None ->
+        if Faults.attach_dead_server_ok faults then
+          (* Mutant: attach to a server that does not exist. *)
+          do_attach server_id
+        else Response.error Status.not_found "server not found")
 
 let detach_volume t : Cm_http.Router.handler =
  fun req bindings ->
@@ -132,9 +154,15 @@ let detach_volume t : Cm_http.Router.handler =
              | Some volume ->
                (match volume.Store.attached_to with
                 | Some sid when sid = server.Store.server_id ->
-                  volume.Store.status <- "available";
-                  volume.Store.attached_to <- None;
-                  Response.make Status.accepted
+                  if Faults.detach_noop (Guarded.faults t.ctx) then
+                    (* Mutant: acknowledge but leave the volume
+                       attached. *)
+                    Response.make Status.accepted
+                  else begin
+                    volume.Store.status <- "available";
+                    volume.Store.attached_to <- None;
+                    Response.make Status.accepted
+                  end
                 | Some _ | None ->
                   Response.error Status.conflict
                     "volume is not attached to this server"))))

@@ -9,6 +9,14 @@ type t =
   | Zombie_delete
   | Slow_action of string * int
   | Flaky_action of string * float
+  | Attach_missing_volume_ok
+  | Attach_in_use_ok
+  | Attach_dead_server_ok
+  | Detach_noop
+  | Ignore_image_backing
+  | Allow_delete_backing_image
+  | Zombie_token
+  | Server_delete_leak
 
 let to_string = function
   | Policy_override (action, rule) ->
@@ -25,6 +33,14 @@ let to_string = function
   | Slow_action (action, ms) -> Printf.sprintf "slow-action(%s, %dms)" action ms
   | Flaky_action (action, p) ->
     Printf.sprintf "flaky-action(%s, p=%.2f)" action p
+  | Attach_missing_volume_ok -> "attach-missing-volume-ok"
+  | Attach_in_use_ok -> "attach-in-use-ok"
+  | Attach_dead_server_ok -> "attach-dead-server-ok"
+  | Detach_noop -> "detach-noop"
+  | Ignore_image_backing -> "ignore-image-backing"
+  | Allow_delete_backing_image -> "allow-delete-backing-image"
+  | Zombie_token -> "zombie-token"
+  | Server_delete_leak -> "server-delete-leak"
 
 let equal a b = a = b
 
@@ -69,3 +85,12 @@ let flaky_p set action =
   List.find_map
     (function Flaky_action (a, p) when a = action -> Some p | _ -> None)
     set
+
+let attach_missing_volume_ok set = List.mem Attach_missing_volume_ok set
+let attach_in_use_ok set = List.mem Attach_in_use_ok set
+let attach_dead_server_ok set = List.mem Attach_dead_server_ok set
+let detach_noop set = List.mem Detach_noop set
+let ignores_image_backing set = List.mem Ignore_image_backing set
+let allows_delete_backing_image set = List.mem Allow_delete_backing_image set
+let zombie_token set = List.mem Zombie_token set
+let server_delete_leak set = List.mem Server_delete_leak set

@@ -28,6 +28,27 @@ type t =
   | Flaky_action of string * float
       (** the action fails with 503 with the given probability before
           executing (drawn from the cloud's own seeded PRNG) *)
+  | Attach_missing_volume_ok
+      (** compute accepts an attachment whose volume_id resolves to no
+          volume in the project (dangling reference) *)
+  | Attach_in_use_ok
+      (** compute attaches a volume that is already in use elsewhere *)
+  | Attach_dead_server_ok
+      (** compute accepts an attachment on a server id that does not
+          exist (ghost server) *)
+  | Detach_noop
+      (** detach answers success but leaves the volume attached *)
+  | Ignore_image_backing
+      (** block storage accepts [imageRef]s that name a missing or
+          non-active image when creating an image-backed volume *)
+  | Allow_delete_backing_image
+      (** the image service deletes images that still back volumes *)
+  | Zombie_token
+      (** services keep honouring revoked tokens (a stale token cache);
+          identity introspection still honestly reports them revoked *)
+  | Server_delete_leak
+      (** deleting a server leaks its attachments: attached volumes are
+          left in-use instead of being released *)
 
 val to_string : t -> string
 val equal : t -> t -> bool
@@ -54,3 +75,12 @@ val slow_ms : set -> string -> int option
 val flaky_p : set -> string -> float option
 (** Probability of a transient 503 on the action, when a [Flaky_action]
     fault is active on it. *)
+
+val attach_missing_volume_ok : set -> bool
+val attach_in_use_ok : set -> bool
+val attach_dead_server_ok : set -> bool
+val detach_noop : set -> bool
+val ignores_image_backing : set -> bool
+val allows_delete_backing_image : set -> bool
+val zombie_token : set -> bool
+val server_delete_leak : set -> bool

@@ -34,7 +34,14 @@ let authorize ctx ~action ~project_id req =
          (Cm_http.Response.error Cm_http.Status.unauthorized
             "authentication required")
      | Some token ->
-       (match Identity.validate ctx.identity ~token with
+       (* A [Zombie_token] service trusts its stale token cache and never
+          notices revocation — identity's honest validation is bypassed. *)
+       let lookup =
+         if Faults.zombie_token !(ctx.faults) then
+           Identity.validate_even_revoked
+         else Identity.validate
+       in
+       (match lookup ctx.identity ~token with
         | None ->
           Error
             (Cm_http.Response.error Cm_http.Status.unauthorized "invalid token")

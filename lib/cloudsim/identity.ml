@@ -14,6 +14,7 @@ type t = {
   users : (string, user_record) Hashtbl.t;
   assignments : (string, Role_assignment.t) Hashtbl.t;
   tokens : (string, token_info) Hashtbl.t;
+  revoked : (string, unit) Hashtbl.t;
   next_token : int Atomic.t;
   write_lock : Mutex.t;
 }
@@ -22,6 +23,7 @@ let create () =
   { users = Hashtbl.create 16;
     assignments = Hashtbl.create 4;
     tokens = Hashtbl.create 16;
+    revoked = Hashtbl.create 4;
     next_token = Atomic.make 1;
     write_lock = Mutex.create ()
   }
@@ -53,10 +55,19 @@ let issue_token t ~user ~password ~project_id =
       Ok value
     end
 
-let validate t ~token = Hashtbl.find_opt t.tokens token
+(* Revocation marks instead of removing: the record survives so that a
+   buggy service with a stale token cache ([Faults.Zombie_token]) can
+   still resolve it via [validate_even_revoked], while honest validation
+   and introspection treat the token as gone. *)
+let validate t ~token =
+  if Hashtbl.mem t.revoked token then None
+  else Hashtbl.find_opt t.tokens token
+
+let validate_even_revoked t ~token = Hashtbl.find_opt t.tokens token
 
 let revoke t ~token =
-  Mutex.protect t.write_lock (fun () -> Hashtbl.remove t.tokens token)
+  Mutex.protect t.write_lock (fun () ->
+      if Hashtbl.mem t.tokens token then Hashtbl.replace t.revoked token ())
 
 let roles_of_token t info =
   Role_assignment.roles_of info.subject (assignment_for t ~project_id:info.project_id)
@@ -116,7 +127,21 @@ let introspect_handler t : Cm_http.Router.handler =
      | None ->
        Cm_http.Response.error Cm_http.Status.not_found "token not found")
 
+let revoke_handler t : Cm_http.Router.handler =
+ fun req _bindings ->
+  match Cm_http.Headers.get "X-Subject-Token" req.Cm_http.Request.headers with
+  | None ->
+    Cm_http.Response.error Cm_http.Status.bad_request "missing X-Subject-Token"
+  | Some token_value ->
+    (match validate t ~token:token_value with
+     | Some _ ->
+       revoke t ~token:token_value;
+       Cm_http.Response.no_content
+     | None ->
+       Cm_http.Response.error Cm_http.Status.not_found "token not found")
+
 let routes t =
   [ ("/identity/v3/auth/tokens", Cm_http.Meth.POST, auth_handler t);
-    ("/identity/v3/auth/tokens", Cm_http.Meth.GET, introspect_handler t)
+    ("/identity/v3/auth/tokens", Cm_http.Meth.GET, introspect_handler t);
+    ("/identity/v3/auth/tokens", Cm_http.Meth.DELETE, revoke_handler t)
   ]

@@ -30,7 +30,16 @@ val issue_token :
   (string, string) result
 
 val validate : t -> token:string -> token_info option
+(** [None] for unknown {e and} revoked tokens. *)
+
+val validate_even_revoked : t -> token:string -> token_info option
+(** Resolves revoked tokens too — the stale-token-cache view a service
+    with the [Faults.Zombie_token] fault has.  Honest services never
+    call this. *)
+
 val revoke : t -> token:string -> unit
+(** Marks the token revoked.  [validate] and introspection answer as if
+    it never existed; [validate_even_revoked] still resolves it. *)
 
 val roles_of_token : t -> token_info -> string list
 (** Roles the token's subject holds in the token's project. *)

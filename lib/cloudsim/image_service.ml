@@ -158,12 +158,23 @@ let delete_image t : Cm_http.Router.handler =
       in
       with_image project bindings (fun image ->
           let faults = Guarded.faults t.ctx in
+          let backs_volume =
+            List.exists
+              (fun (v : Store.volume) ->
+                v.source_image = image.Store.image_id)
+              (Store.volumes project)
+          in
           if
             image.Store.image_status = "active"
             && not (Faults.allows_delete_in_use faults)
           then
             Response.error Status.bad_request
               "image is active and cannot be deleted (deactivate first)"
+          else if
+            backs_volume && not (Faults.allows_delete_backing_image faults)
+          then
+            Response.error Status.conflict
+              "image still backs volumes and cannot be deleted"
           else begin
             ignore (Store.remove_image project image.Store.image_id);
             Response.make

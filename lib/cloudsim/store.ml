@@ -12,6 +12,7 @@ type volume = {
   mutable status : string;
   mutable size_gb : int;
   mutable attached_to : string option;
+  mutable source_image : string;
   snapshots : (string, snapshot) Hashtbl.t;
 }
 
@@ -88,13 +89,14 @@ let projects t =
       Hashtbl.fold (fun _ p acc -> p :: acc) t.project_table [])
   |> List.sort (fun a b -> String.compare a.project_id b.project_id)
 
-let add_volume t project ~name ~size_gb =
+let add_volume t project ?(source_image = "") ~name ~size_gb () =
   let volume =
     { volume_id = fresh_id t ~prefix:"vol";
       volume_name = name;
       status = "available";
       size_gb;
       attached_to = None;
+      source_image;
       snapshots = Hashtbl.create 4
     }
   in
@@ -198,6 +200,11 @@ let volume_json v =
       ("name", Json.string v.volume_name);
       ("status", Json.string v.status);
       ("size", Json.int v.size_gb);
+      (* Always emitted (default "") so contracts selecting on these
+         never see a missing member. *)
+      ("source_image", Json.string v.source_image);
+      ( "attached_server",
+        Json.string (Option.value ~default:"" v.attached_to) );
       ( "attachments",
         Json.list
           (match v.attached_to with

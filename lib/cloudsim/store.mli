@@ -31,6 +31,8 @@ type volume = {
   mutable status : string;  (** "available", "in-use", "error", … *)
   mutable size_gb : int;
   mutable attached_to : string option;  (** server id when in-use *)
+  mutable source_image : string;
+      (** backing image id for image-backed volumes, [""] otherwise *)
   snapshots : (string, snapshot) Hashtbl.t;
 }
 
@@ -73,7 +75,11 @@ val add_project :
 val find_project : t -> string -> project option
 val projects : t -> project list
 
-val add_volume : t -> project -> name:string -> size_gb:int -> volume
+(** [add_volume] creates a volume; [source_image] defaults to [""]
+    (not image-backed). *)
+val add_volume :
+  t -> project -> ?source_image:string -> name:string -> size_gb:int ->
+  unit -> volume
 val find_volume : project -> string -> volume option
 val volumes : project -> volume list
 (** Sorted by id for deterministic listings. *)

@@ -20,6 +20,8 @@ module Outcome = Cm_monitor.Outcome
 module Report = Cm_monitor.Report
 module Codegen = Cm_codegen
 module Mutation = Cm_mutation
+module Workload = Cm_workload.Workload
+module Workload_exec = Cm_workload.Exec
 module Testgen = Cm_testgen
 module Lint = Cm_lint.Lint
 module Analysis = Cm_analysis

@@ -51,6 +51,14 @@ module Codegen = Cm_codegen
 module Mutation = Cm_mutation
 module Testgen = Cm_testgen
 
+module Workload = Cm_workload.Workload
+(** The seeded traffic-mix DSL: named mixes compiling deterministically
+    to symbolic request traces. *)
+
+module Workload_exec = Cm_workload.Exec
+(** Trace execution: dynamic (through a monitor, resolving created
+    ids) and static (batch request compilation for the benches). *)
+
 module Lint = Cm_lint.Lint
 (** The unified finding/rule/waiver vocabulary shared by validation and
     design-time analysis. *)

@@ -112,47 +112,41 @@ let service_token_for world =
 
 (* ---- workload: a pure function of the spec -------------------------- *)
 
-(* Round-robin over tenants (so every shard gets work) with a
-   PRNG-chosen operation mix: reads dominate, with enough mutations to
-   keep cache invalidation honest.  Request paths only reference
-   pre-created ids, so the stream is identical however it is served. *)
+(* Determinism contract: the request stream is a pure function of
+   [(spec.projects, spec.requests_per_project, spec.seed)] — same spec,
+   same stream, bit for bit, however it is later served.
+
+   Each tenant compiles the workload DSL's read-heavy mix (the same d10
+   distribution the mutation campaigns and the CLI expose) with its own
+   derived seed, statically resolved against that tenant's
+   pre-provisioned stable and victim volumes; the per-tenant request
+   lists are then interleaved round-robin so every shard gets work. *)
 let workload spec world =
-  let prng = Prng.of_seed spec.seed in
+  let per_tenant =
+    Array.mapi
+      (fun i tn ->
+        let trace =
+          Cm_workload.Workload.read_heavy_trace
+            ~steps:spec.requests_per_project
+            ~victims:(List.length tn.tn_victims) ~seed:(spec.seed + i)
+        in
+        let st =
+          { Cm_workload.Exec.st_project = tn.tn_project;
+            st_token =
+              (function
+              | Cm_workload.Workload.Admin -> tn.tn_admin
+              | Cm_workload.Workload.Member | Cm_workload.Workload.User ->
+                tn.tn_member);
+            st_stable_volumes = tn.tn_volumes;
+            st_victim_volumes = tn.tn_victims
+          }
+        in
+        Array.of_list (Cm_workload.Exec.requests st trace))
+      world.tenants
+  in
   let total = spec.projects * spec.requests_per_project in
   List.init total (fun step ->
-      let tn = world.tenants.(step mod spec.projects) in
-      let base = Printf.sprintf "/v3/%s/volumes" tn.tn_project in
-      let stable n = List.nth tn.tn_volumes (n mod stable_volumes) in
-      match Prng.int prng 10 with
-      | 0 | 1 | 2 ->
-        Request.make Meth.GET base |> Request.with_auth_token tn.tn_member
-      | 3 | 4 | 5 ->
-        Request.make Meth.GET (base ^ "/" ^ stable (Prng.int prng 64))
-        |> Request.with_auth_token tn.tn_member
-      | 6 | 7 ->
-        Request.make
-          ~body:
-            (Json.obj
-               [ ( "volume",
-                   Json.obj
-                     [ ("name", Json.string (Printf.sprintf "ren-%d" step)) ]
-                 )
-               ])
-          Meth.PUT
-          (base ^ "/" ^ stable (Prng.int prng 64))
-        |> Request.with_auth_token tn.tn_member
-      | 8 ->
-        Request.make ~body:(volume_body (Printf.sprintf "new-%d" step))
-          Meth.POST base
-        |> Request.with_auth_token tn.tn_member
-      | _ ->
-        (match tn.tn_victims with
-         | id :: rest ->
-           tn.tn_victims <- rest;
-           Request.make Meth.DELETE (base ^ "/" ^ id)
-           |> Request.with_auth_token tn.tn_admin
-         | [] ->
-           Request.make Meth.GET base |> Request.with_auth_token tn.tn_member))
+      per_tenant.(step mod spec.projects).(step / spec.projects))
 
 (* ---- monitor pools --------------------------------------------------- *)
 

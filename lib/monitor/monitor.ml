@@ -387,7 +387,7 @@ let current_phases t =
 
 (* ---- observation ---- *)
 
-let observe_env t classified prepared =
+let observe_env ?request_body t classified prepared =
   let project_id =
     Option.value ~default:"" classified.request_project
   in
@@ -407,7 +407,7 @@ let observe_env t classified prepared =
   in
   fun ~fresh ~user_token ->
     Observer.env ~fresh ?item:classified.item ~bindings:classified.bindings
-      ?user_token observer
+      ?user_token ?request_body observer
 
 (* ---- verdict helpers ---- *)
 
@@ -506,16 +506,36 @@ type forwarded =
    cache entries its write-set overlaps: the mutated path itself,
    anything beneath it, and every ancestor/listing whose document can
    reflect it.  Unmodelled mutations (e.g. POST .../action) pass through
-   here too, so the cache never survives a write it cannot classify. *)
+   here too, so the cache never survives a write it cannot classify.
+
+   Path overlap alone is too narrow across services: an attach under
+   /v3/{p}/servers/{s}/attach writes *volume* state, whose cached
+   listing lives under /v3/{p}/volumes.  A mutation's write-set is
+   therefore widened to the whole tenant scope — every entry under the
+   path's first two segments (base + context id) is dropped.  Token
+   introspections (a different first segment) survive. *)
+let tenant_scope_of_path path =
+  match String.split_on_char '/' path |> List.filter (fun s -> s <> "") with
+  | base :: context :: _ :: _ -> Some ("/" ^ base ^ "/" ^ context)
+  | _ -> None
+
 let invalidate_after_mutation t (req : Request.t) =
   if not (Meth.is_safe req.Request.meth) then begin
+    (* the scope is a segment prefix of the path, so every entry the
+       path itself overlaps is also overlapped by the scope — one
+       invalidation covers both *)
+    let path =
+      match tenant_scope_of_path req.Request.path with
+      | Some scope -> scope
+      | None -> req.Request.path
+    in
     Option.iter
-      (fun cache -> Obs_cache.invalidate_overlapping cache req.Request.path)
+      (fun cache -> Obs_cache.invalidate_overlapping cache path)
       t.cache;
     (* the same write-set feeds the touched-path generations the
        incremental engine uses (stats always; root-skipping only when
        [trust_path_delta]) *)
-    Option.iter (fun delta -> Delta.note delta req.Request.path) t.delta
+    Option.iter (fun delta -> Delta.note delta path) t.delta
   end
 
 let forward t req =
@@ -697,7 +717,9 @@ let unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
 
 let monitored t classified prepared req =
   let user_token = Request.auth_token req in
-  let make_env = observe_env t classified prepared in
+  let make_env =
+    observe_env ?request_body:req.Request.body t classified prepared
+  in
   (* Trusted-delta mode: roots no mutation's template overlapped since
      this contract's frame last synced are skipped without diffing.
      [seen] is captured once — the forward in between bumps the

@@ -375,17 +375,31 @@ let subject_binding backend ~token =
   | None -> None
   | Some body -> parse_subject_body body
 
-(* Token introspections are cached under the subject token: a token's
-   roles cannot change mid-exchange, and identity mutations do not flow
-   through the monitored API (so no invalidation is needed). *)
-let subject_binding_cached ?(fresh = false) t ~token =
-  match
-    successful_body (get ~fresh ~subject_token:(Some token) t introspection_path)
-  with
-  | None -> None
-  | Some body -> parse_subject_body body
+(* A token identity definitely does not know (revoked or never issued)
+   binds an empty subject: groups/roles are [], so auth guards evaluate
+   to a definite False rather than Unknown.  Transport-level failures
+   stay [None] (Unknown) — we could not observe, so we must not judge. *)
+let empty_subject =
+  Json.obj
+    [ ("name", Json.string "");
+      ("groups", Json.List []);
+      ("roles", Json.List []);
+      ("role", Json.string "");
+      ("id", Json.obj [ ("groups", Json.string "") ])
+    ]
 
-let env ?fresh ?item ?bindings ?user_token t =
+(* Token introspections are cached under the subject token.  Revocations
+   flow through the monitored API as DELETEs on the introspection path,
+   whose mutation invalidation clears the cached introspection. *)
+let subject_binding_cached ?(fresh = false) t ~token =
+  let resp = get ~fresh ~subject_token:(Some token) t introspection_path in
+  if Response.is_success resp then
+    Option.bind resp.Response.body parse_subject_body
+  else if resp.Response.status = Cm_http.Status.not_found then
+    Some empty_subject
+  else None
+
+let env ?fresh ?item ?bindings ?user_token ?request_body t =
   let observed = observe ?fresh ?item ?bindings t in
   let user_binding =
     match user_token with
@@ -396,4 +410,11 @@ let env ?fresh ?item ?bindings ?user_token t =
        | Some user -> [ ("user", user) ]
        | None -> [])
   in
-  Cm_ocl.Eval.env_of_bindings (observed @ user_binding)
+  (* The request body is evidence the monitor already holds — no
+     observation needed; contracts navigate it as [request.<field>]. *)
+  let request_binding =
+    match request_body with
+    | Some body when wants_root t "request" -> [ ("request", body) ]
+    | Some _ | None -> []
+  in
+  Cm_ocl.Eval.env_of_bindings (observed @ user_binding @ request_binding)

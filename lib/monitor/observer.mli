@@ -117,7 +117,15 @@ val env :
   ?item:string * string ->
   ?bindings:(string * string) list ->
   ?user_token:string ->
+  ?request_body:Cm_json.Json.t ->
   t ->
   Cm_ocl.Eval.env
 (** Full pre-/post-state environment: {!observe} plus the ["user"]
-    binding when [user_token] is given and valid. *)
+    binding when [user_token] is given, and the ["request"] binding
+    (the monitored request's JSON body, read by cross-service guards as
+    [request.<field>]) when [request_body] is given and some contract's
+    footprint mentions it.  A token identity {e definitely} rejects
+    (404: revoked or never issued) binds an empty subject — groups and
+    roles [[]] — so authorization guards fail definitely instead of
+    going Unknown; only transport-level introspection failures leave
+    ["user"] unbound. *)

@@ -6,16 +6,18 @@ type result = {
   first_violation : string option;
 }
 
-let run_one mutant =
-  let faults =
-    match mutant with
-    | Some m -> m.Mutant.faults
-    | None -> Cm_cloudsim.Faults.none
-  in
-  match Scenario.setup ~faults () with
+let faults_of = function
+  | Some m -> m.Mutant.faults
+  | None -> Cm_cloudsim.Faults.none
+
+(* Generic single run: [setup] builds the context for the mutant's
+   faults, [workload] drives it; both campaign flavours (standard and
+   cross) instantiate this. *)
+let run_one_with ~setup ~workload mutant =
+  match setup ~faults:(faults_of mutant) () with
   | Error msgs -> Error msgs
   | Ok ctx ->
-    Scenario.standard ctx;
+    workload ctx;
     let outcomes = Cm_monitor.Monitor.outcomes ctx.Scenario.monitor in
     let violations = Cm_monitor.Report.violations outcomes in
     Ok
@@ -32,6 +34,16 @@ let run_one mutant =
            | [] -> None)
       }
 
+let run_one mutant =
+  run_one_with
+    ~setup:(fun ~faults () -> Scenario.setup ~faults ())
+    ~workload:Scenario.standard mutant
+
+let run_cross_one ?eval mutant =
+  run_one_with
+    ~setup:(fun ~faults () -> Scenario.setup_cross ?eval ~faults ())
+    ~workload:Scenario.cross mutant
+
 let sequence results =
   let rec loop acc = function
     | [] -> Ok (List.rev acc)
@@ -46,6 +58,11 @@ let sequence results =
 let run ?(domains = 1) mutants =
   sequence
     (Cm_core.Domain_pool.map_list ~domains run_one
+       (None :: List.map (fun m -> Some m) mutants))
+
+let run_cross ?(domains = 1) ?eval mutants =
+  sequence
+    (Cm_core.Domain_pool.map_list ~domains (run_cross_one ?eval)
        (None :: List.map (fun m -> Some m) mutants))
 
 let kill_matrix results =
@@ -139,25 +156,21 @@ let compare_outcomes ref_outcomes chaos_outcomes =
   in
   walk 0 ref_outcomes chaos_outcomes 0 [] 0
 
-let run_chaos_one ?(seed = 42) ~index profile mutant =
-  let faults =
-    match mutant with
-    | Some m -> m.Mutant.faults
-    | None -> Cm_cloudsim.Faults.none
-  in
-  match Scenario.setup ~faults () with
+let run_chaos_one_with ~setup ~workload ?(seed = 42) ~index profile mutant =
+  let faults = faults_of mutant in
+  match setup ~faults ?chaos:None ?chaos_seed:None ?resilience:None () with
   | Error msgs -> Error msgs
   | Ok ref_ctx ->
-    Scenario.standard ref_ctx;
+    workload ref_ctx;
     let ref_outcomes = Cm_monitor.Monitor.outcomes ref_ctx.Scenario.monitor in
     (match
-       Scenario.setup ~faults ~chaos:profile
-         ~chaos_seed:(seed + (1013 * index))
-         ~resilience:chaos_policy ()
+       setup ~faults ?chaos:(Some profile)
+         ?chaos_seed:(Some (seed + (1013 * index)))
+         ?resilience:(Some chaos_policy) ()
      with
      | Error msgs -> Error msgs
      | Ok ctx ->
-       Scenario.standard ctx;
+       workload ctx;
        let outcomes = Cm_monitor.Monitor.outcomes ctx.Scenario.monitor in
        let comparable, flips, indefinite =
          compare_outcomes ref_outcomes outcomes
@@ -176,10 +189,30 @@ let run_chaos_one ?(seed = 42) ~index profile mutant =
               | None -> [])
          })
 
+let run_chaos_one ?seed ~index profile mutant =
+  run_chaos_one_with
+    ~setup:(fun ~faults ?chaos ?chaos_seed ?resilience () ->
+      Scenario.setup ~faults ?chaos ?chaos_seed ?resilience ())
+    ~workload:Scenario.standard ?seed ~index profile mutant
+
+let run_chaos_cross_one ?seed ~index profile mutant =
+  run_chaos_one_with
+    ~setup:(fun ~faults ?chaos ?chaos_seed ?resilience () ->
+      Scenario.setup_cross ~faults ?chaos ?chaos_seed ?resilience ())
+    ~workload:Scenario.cross ?seed ~index profile mutant
+
 let run_chaos ?seed ?(domains = 1) profile mutants =
   sequence
     (Cm_core.Domain_pool.map_list ~domains
        (fun (index, m) -> run_chaos_one ?seed ~index profile m)
+       (List.mapi
+          (fun i m -> (i, m))
+          (None :: List.map (fun m -> Some m) mutants)))
+
+let run_chaos_cross ?seed ?(domains = 1) profile mutants =
+  sequence
+    (Cm_core.Domain_pool.map_list ~domains
+       (fun (index, m) -> run_chaos_cross_one ?seed ~index profile m)
        (List.mapi
           (fun i m -> (i, m))
           (None :: List.map (fun m -> Some m) mutants)))

@@ -17,11 +17,29 @@ type result = {
 val run_one : Mutant.t option -> (result, string list) Stdlib.result
 (** Fresh cloud + monitor, standard workload, collect. *)
 
+val run_cross_one :
+  ?eval:Cm_contracts.Runtime.eval_mode ->
+  Mutant.t option ->
+  (result, string list) Stdlib.result
+(** Fresh cloud + cross-service monitor ({!Scenario.setup_cross}),
+    cross workload, collect.  [eval] selects full or incremental
+    contract evaluation so the kill matrix can be checked under both. *)
+
 val run : ?domains:int -> Mutant.t list -> (result list, string list) Stdlib.result
 (** Baseline first (it must be violation-free), then each mutant.
     Every entry runs in a fresh cloud + monitor, so with [domains > 1]
     (default 1) entries fan out over OCaml domains; results keep the
     job order and are identical at any domain count. *)
+
+val run_cross :
+  ?domains:int ->
+  ?eval:Cm_contracts.Runtime.eval_mode ->
+  Mutant.t list ->
+  (result list, string list) Stdlib.result
+(** The cross-service campaign: baseline + each mutant under the cross
+    workload and models.  Run it over {!Mutant.all_extended} for the
+    full kill matrix (M1..M10 still killed by the shared standard
+    prefix, X1..X8 by the cross-service phases). *)
 
 val to_json : result list -> Cm_json.Json.t
 (** Machine-readable kill matrix for CI gates. *)
@@ -72,6 +90,16 @@ val run_chaos :
     derives a distinct chaos seed per run — from the job {e index}, not
     the schedule — so campaigns are reproducible end to end at any
     [domains] count (default 1). *)
+
+val run_chaos_cross :
+  ?seed:int ->
+  ?domains:int ->
+  Cm_cloudsim.Chaos.profile ->
+  Mutant.t list ->
+  (chaos_run list, string list) Stdlib.result
+(** {!run_chaos} over the cross-service models and workload — verdict
+    integrity for the cross-service contracts under unreliable
+    transport. *)
 
 val chaos_ok : chaos_run list -> bool
 (** No flips anywhere, the baseline clean, every mutant killed. *)

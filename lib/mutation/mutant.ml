@@ -75,8 +75,69 @@ let extended_mutants =
     }
   ]
 
+(* Mutants targeting the cross-service invariants (reqs 3.x): the
+   attachment integrity contracts, image-backed volume creation,
+   backing-image protection, token revocation visibility and
+   server-delete release.  Only the [cross] scenario exercises the
+   faulty surfaces, so these are run through the cross campaign. *)
+let cross_mutants =
+  [ { name = "X1-attach-missing-volume-ok";
+      description =
+        "attaching a volume that does not exist is acknowledged instead \
+         of answering 404";
+      faults = Faults.of_list [ Faults.Attach_missing_volume_ok ];
+      from_paper = false
+    };
+    { name = "X2-attach-busy-volume-ok";
+      description =
+        "attaching an already in-use volume succeeds instead of \
+         answering 409";
+      faults = Faults.of_list [ Faults.Attach_in_use_ok ];
+      from_paper = false
+    };
+    { name = "X3-attach-ghost-server-ok";
+      description =
+        "attachments to servers that do not exist are accepted";
+      faults = Faults.of_list [ Faults.Attach_dead_server_ok ];
+      from_paper = false
+    };
+    { name = "X4-detach-noop";
+      description =
+        "detach acknowledges success but leaves the volume attached";
+      faults = Faults.of_list [ Faults.Detach_noop ];
+      from_paper = false
+    };
+    { name = "X5-image-backing-unchecked";
+      description =
+        "volume creation accepts an imageRef that names no active image";
+      faults = Faults.of_list [ Faults.Ignore_image_backing ];
+      from_paper = false
+    };
+    { name = "X6-image-delete-backing-allowed";
+      description =
+        "an image still backing volumes can be deleted";
+      faults = Faults.of_list [ Faults.Allow_delete_backing_image ];
+      from_paper = false
+    };
+    { name = "X7-zombie-token";
+      description =
+        "revoked tokens keep authenticating: revocation is not visible \
+         to the authorization path";
+      faults = Faults.of_list [ Faults.Zombie_token ];
+      from_paper = false
+    };
+    { name = "X8-server-delete-leaks-attachments";
+      description =
+        "deleting a server leaves its volumes in-use and attached to \
+         the dead server";
+      faults = Faults.of_list [ Faults.Server_delete_leak ];
+      from_paper = false
+    }
+  ]
+
 let all = paper_mutants @ extended_mutants
-let find name = List.find_opt (fun m -> m.name = name) all
+let all_extended = all @ cross_mutants
+let find name = List.find_opt (fun m -> m.name = name) all_extended
 
 let pp ppf m =
   Fmt.pf ppf "%s%s: %s" m.name

@@ -24,8 +24,21 @@ val paper_mutants : t list
 val extended_mutants : t list
 (** Behavioural mutants beyond the paper's three. *)
 
-val all : t list
-(** [paper_mutants @ extended_mutants]. *)
+val cross_mutants : t list
+(** Mutants X1..X8 targeting the cross-service invariants: attachment
+    integrity (missing/busy volume, ghost server, no-op detach),
+    image-backed volume creation and backing-image protection, token
+    revocation visibility, and server-delete attachment release.  Run
+    through the cross campaign ({!Campaign.run_cross}); the standard
+    workload never reaches the faulty surfaces. *)
 
+val all : t list
+(** [paper_mutants @ extended_mutants] — the single-service catalog the
+    standard campaign runs. *)
+
+val all_extended : t list
+(** [all @ cross_mutants] — the full catalog for the cross campaign. *)
+
+(** Looks up across {!all_extended}. *)
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

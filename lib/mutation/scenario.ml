@@ -1,7 +1,10 @@
 module Cloud = Cm_cloudsim.Cloud
+module Store = Cm_cloudsim.Store
 module Monitor = Cm_monitor.Monitor
 module Request = Cm_http.Request
 module Json = Cm_json.Json
+module Workload = Cm_workload.Workload
+module Exec = Cm_workload.Exec
 
 type ctx = {
   cloud : Cloud.t;
@@ -16,11 +19,12 @@ let project = "myProject"
 let service_subject =
   Cm_rbac.Subject.make "cmonitor-svc" [ "proj_administrator" ]
 
-let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
-    ?(engine = Cm_contracts.Runtime.Compiled) ?eval
-    ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
-    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false)
-    ?footprint_pruning ?cache () =
+(* Shared construction; [setup] instantiates it over the single-service
+   Cinder models, [setup_cross] over the cross-service models and the
+   extended security table. *)
+let setup_gen ~resources ~behavior ~table ~mode ~strategy ~engine ~eval
+    ~faults ~chaos:chaos_profile ~chaos_seed ~resilience ~degradation
+    ~stability_check ~footprint_pruning ~cache () =
   let clock = Cm_core.Clock.create () in
   let cloud = Cloud.create ~clock () in
   Cloud.seed cloud Cloud.my_project;
@@ -46,7 +50,7 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
       (fun profile ->
         Cm_cloudsim.Chaos.create ?seed:chaos_seed profile clock
           (Cloud.handle cloud))
-      chaos
+      chaos_profile
   in
   let backend =
     match chaos with
@@ -54,19 +58,38 @@ let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     | None -> Cloud.handle cloud
   in
   let security =
-    { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+    { Cm_contracts.Generate.table;
       assignment = Cm_rbac.Security_table.cinder_assignment
     }
   in
   let config =
     Monitor.default_config ~mode ~strategy ~engine ?eval ~stability_check
-      ?resilience
-      ~degradation ~clock ?footprint_pruning ?cache ~service_token ~security
-      Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+      ?resilience ~degradation ~clock ?footprint_pruning ?cache ~service_token
+      ~security resources behavior
   in
   match Monitor.create config backend with
   | Ok monitor -> Ok { cloud; monitor; tokens; clock; chaos }
   | Error msgs -> Error msgs
+
+let setup ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
+    ?(engine = Cm_contracts.Runtime.Compiled) ?eval
+    ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
+    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false)
+    ?footprint_pruning ?cache () =
+  setup_gen ~resources:Cm_uml.Cinder_model.resources
+    ~behavior:Cm_uml.Cinder_model.behavior ~table:Cm_rbac.Security_table.cinder
+    ~mode ~strategy ~engine ~eval ~faults ~chaos ~chaos_seed ~resilience
+    ~degradation ~stability_check ~footprint_pruning ~cache ()
+
+let setup_cross ?(mode = Monitor.Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
+    ?(engine = Cm_contracts.Runtime.Compiled) ?eval
+    ?(faults = Cm_cloudsim.Faults.none) ?chaos ?chaos_seed ?resilience
+    ?(degradation = Monitor.Fail_open_logged) ?(stability_check = false)
+    ?footprint_pruning ?cache () =
+  setup_gen ~resources:Cm_uml.Cross_model.resources
+    ~behavior:Cm_uml.Cross_model.behavior ~table:Cm_rbac.Security_table.cross
+    ~mode ~strategy ~engine ~eval ~faults ~chaos ~chaos_seed ~resilience
+    ~degradation ~stability_check ~footprint_pruning ~cache ()
 
 let token_of ctx user =
   match List.assoc_opt user ctx.tokens with
@@ -90,74 +113,44 @@ let created_volume_id (outcome : Cm_monitor.Outcome.t) =
      | None -> None)
   | None -> None
 
-let volume_body name size =
-  Json.obj
-    [ ("volume", Json.obj [ ("name", Json.string name); ("size", Json.int size) ])
-    ]
+let user_of_role = function
+  | Workload.Admin -> ("alice", "alice-pw")
+  | Workload.Member -> ("bob", "bob-pw")
+  | Workload.User -> ("carol", "carol-pw")
 
-let volumes_path = "/v3/" ^ project ^ "/volumes"
-let volume_path id = volumes_path ^ "/" ^ id
+(* Out-of-band tenant churn: a throwaway project gets a volume added
+   and removed behind the monitor's back.  The monitor's caches are
+   resynchronised by [Exec] calling [flush] right after. *)
+let churn_project ctx k =
+  let store = Cloud.store ctx.cloud in
+  let pid = Printf.sprintf "churn-%d" k in
+  let proj =
+    match Store.find_project store pid with
+    | Some p -> p
+    | None ->
+      Store.add_project store ~id:pid ~name:pid ~quota_volumes:2
+        ~quota_gigabytes:10 ()
+  in
+  let volume = Store.add_volume store proj ~name:"churn-vol" ~size_gb:1 () in
+  ignore (Store.remove_volume proj volume.Store.volume_id)
 
-let standard ctx =
-  let post_volume user name =
-    request ctx ~user Cm_http.Meth.POST volumes_path
-      ~body:(volume_body name 10) ()
-  in
-  (* 1. admin creates the first volume *)
-  let v1 =
-    Option.value ~default:"missing-v1"
-      (created_volume_id (post_volume "alice" "data1"))
-  in
-  (* 2. member lists; 3. user reads the volume *)
-  ignore (request ctx ~user:"bob" Cm_http.Meth.GET volumes_path ());
-  ignore (request ctx ~user:"carol" Cm_http.Meth.GET (volume_path v1) ());
-  (* 4. plain user may not create *)
-  ignore (post_volume "carol" "forbidden");
-  (* 5. member may not delete (kills M1 when wrongly allowed) *)
-  ignore (request ctx ~user:"bob" Cm_http.Meth.DELETE (volume_path v1) ());
-  (* 6. plain user may not update (kills M2 when the check is missing) *)
-  ignore
-    (request ctx ~user:"carol" Cm_http.Meth.PUT (volume_path v1)
-       ~body:
-         (Json.obj [ ("volume", Json.obj [ ("name", Json.string "hacked") ]) ])
-       ());
-  (* 7. user may read (kills M3 when wrongly denied) *)
-  ignore (request ctx ~user:"carol" Cm_http.Meth.GET (volume_path v1) ());
-  (* 8. member renames the volume *)
-  ignore
-    (request ctx ~user:"bob" Cm_http.Meth.PUT (volume_path v1)
-       ~body:
-         (Json.obj [ ("volume", Json.obj [ ("name", Json.string "data1b") ]) ])
-       ());
-  (* 9. fill the quota (3 volumes) *)
-  ignore (post_volume "alice" "data2");
-  let v3 =
-    Option.value ~default:"missing-v3"
-      (created_volume_id (post_volume "alice" "data3"))
-  in
-  (* 10. one more exceeds the quota (kills M4 when ignored) *)
-  ignore (post_volume "alice" "over-quota");
-  (* 11. delete one volume again (kills M6 wrong status / M8 zombie) *)
-  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v3) ());
-  (* 12. attach v1 (volume action — not a modelled URI, forwarded) *)
-  ignore
-    (request ctx ~user:"alice" Cm_http.Meth.POST
-       (volume_path v1 ^ "/action")
-       ~body:
-         (Json.obj
-            [ ( "os-attach",
-                Json.obj [ ("instance_uuid", Json.string "srv-test") ] )
-            ])
-       ());
-  (* 13. deleting an attached volume must fail (kills M5 when allowed) *)
-  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v1) ());
-  (* 14. detach and delete for real *)
-  ignore
-    (request ctx ~user:"alice" Cm_http.Meth.POST
-       (volume_path v1 ^ "/action")
-       ~body:(Json.obj [ ("os-detach", Json.obj []) ])
-       ());
-  ignore (request ctx ~user:"alice" Cm_http.Meth.DELETE (volume_path v1) ());
-  (* 15. final listing by every role *)
-  ignore (request ctx ~user:"alice" Cm_http.Meth.GET volumes_path ());
-  ignore (request ctx ~user:"carol" Cm_http.Meth.GET volumes_path ())
+let exec_env ctx =
+  { Exec.project;
+    stable_volumes = [];
+    victim_volumes = [];
+    handle = (fun req -> Monitor.handle_response ctx.monitor req);
+    token = (fun role -> token_of ctx (fst (user_of_role role)));
+    relogin =
+      Some
+        (fun role ->
+          let user, password = user_of_role role in
+          match Cloud.login ctx.cloud ~user ~password ~project_id:project with
+          | Ok token -> Some token
+          | Error _ -> None);
+    churn = Some (churn_project ctx);
+    flush = (fun () -> Monitor.flush_cache ctx.monitor)
+  }
+
+let run_trace ctx trace = Exec.run (exec_env ctx) trace
+let standard ctx = ignore (run_trace ctx Workload.standard_trace)
+let cross ctx = ignore (run_trace ctx Workload.cross_trace)

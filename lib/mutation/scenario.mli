@@ -1,12 +1,15 @@
-(** The validation workload.
+(** The validation workloads.
 
-    A fixed, deterministic sequence of requests by the three users of
-    the paper's setup (admin alice, member bob, plain-user carol)
-    covering every security requirement of Table I and every behavioural
-    edge of the Cinder state machine: creation to quota, denied
-    escalations, updates, attachment, and deletion.  Run against a
-    correct cloud it produces no violations; run against a mutant it
-    produces the violation that kills it. *)
+    Deterministic request sequences by the three users of the paper's
+    setup (admin alice, member bob, plain-user carol), defined
+    symbolically in {!Cm_workload.Workload} and executed here through
+    {!Cm_workload.Exec} against a fresh simulated cloud.  The standard
+    workload covers every security requirement of Table I and every
+    behavioural edge of the Cinder state machine; the cross workload
+    extends it over the compute and image services (attachment
+    integrity, image-backed volumes, token revocation).  Run against a
+    correct cloud they produce no violations; run against a mutant they
+    produce the violation that kills it. *)
 
 type ctx = {
   cloud : Cm_cloudsim.Cloud.t;
@@ -44,6 +47,26 @@ val setup :
     forward through the retry/timeout/breaker layer; all three share
     one virtual clock.  Logins during setup bypass the chaos layer. *)
 
+val setup_cross :
+  ?mode:Cm_monitor.Monitor.mode ->
+  ?strategy:Cm_contracts.Runtime.strategy ->
+  ?engine:Cm_contracts.Runtime.engine ->
+  ?eval:Cm_contracts.Runtime.eval_mode ->
+  ?faults:Cm_cloudsim.Faults.set ->
+  ?chaos:Cm_cloudsim.Chaos.profile ->
+  ?chaos_seed:int ->
+  ?resilience:Cm_monitor.Resilience.policy ->
+  ?degradation:Cm_monitor.Monitor.degradation ->
+  ?stability_check:bool ->
+  ?footprint_pruning:bool ->
+  ?cache:Cm_monitor.Obs_cache.scope ->
+  unit ->
+  (ctx, string list) result
+(** Like {!setup} but monitoring over the cross-service models
+    ({!Cm_uml.Cross_model}) and the extended security table
+    ({!Cm_rbac.Security_table.cross}) — volumes, servers, attachments
+    and images in one specification. *)
+
 val request :
   ctx ->
   user:string ->
@@ -57,6 +80,23 @@ val request :
 val created_volume_id : Cm_monitor.Outcome.t -> string option
 (** Extract the new volume's id from a creation outcome. *)
 
-val standard : ctx -> unit
-(** Run the standard 16-step workload; outcomes accumulate in the
+val exec_env : ctx -> Cm_workload.Exec.env
+(** The execution environment binding the workload DSL's roles to the
+    paper's users (admin alice, member bob, user carol), resolving
+    requests through the monitor, re-authenticating on
+    [Relogin] steps and churning throwaway projects out-of-band on
+    [Churn_project] steps (with a cache flush after). *)
+
+val run_trace : ctx -> Cm_workload.Workload.trace -> int
+(** Execute a workload trace through the monitor; returns the number
+    of monitored requests issued.  Outcomes accumulate in the
     monitor's log. *)
+
+val standard : ctx -> unit
+(** Run the standard 16-step workload ({!Cm_workload.Workload.standard_trace});
+    outcomes accumulate in the monitor's log. *)
+
+val cross : ctx -> unit
+(** Run the cross-service workload ({!Cm_workload.Workload.cross_trace});
+    requires a {!setup_cross} context — under {!setup}'s single-service
+    models the compute/image steps are merely unclassified. *)

@@ -753,5 +753,140 @@ let incremental =
     replay = incremental_replay
   }
 
-let all = [ engine; rbac; codegen; monitor; incremental; chaos ]
+(* ---- workload DSL ---- *)
+
+(* Two halves.  Determinism: compiling the same (mix, seed) twice must
+   yield bit-identical traces — the DSL draws only from its own
+   splitmix stream, never from hidden global state.  Agreement:
+   executing the compiled trace against the cross-service monitor must
+   produce the same strict outcome sequence under full and incremental
+   evaluation, and the baseline (no mutant) must stay violation-free:
+   every denial a mix provokes is one the cloud also refuses. *)
+
+module Workload = Cm_workload.Workload
+
+let workload_steps size = 8 + (4 * min size 10)
+
+let workload_trace ~mix_name ~wl_seed ~steps =
+  match mix_name with
+  | "standard" -> Some Workload.standard_trace
+  | "cross" -> Some Workload.cross_trace
+  | "read-heavy" ->
+    Some (Workload.read_heavy_trace ~steps ~victims:4 ~seed:wl_seed)
+  | "churn-heavy" -> Some (Workload.churn_heavy_trace ~steps ~seed:wl_seed)
+  | "adversarial" -> Some (Workload.adversarial_trace ~steps ~seed:wl_seed)
+  | _ -> None
+
+let workload_case_inputs ~seed ~index ~size =
+  let mixes = Workload.mixes in
+  let mix = List.nth mixes (index mod List.length mixes) in
+  (mix.Workload.mix_name, seed + (7919 * index), workload_steps size)
+
+let workload_check ~mix_name ~wl_seed ~steps =
+  match workload_trace ~mix_name ~wl_seed ~steps with
+  | None -> Some ("unknown workload mix " ^ mix_name)
+  | Some trace ->
+    let first = Workload.render trace in
+    let again =
+      Workload.render
+        (Option.get (workload_trace ~mix_name ~wl_seed ~steps))
+    in
+    if first <> again then
+      Some
+        (Fmt.str "mix %s at seed %d does not recompile identically" mix_name
+           wl_seed)
+    else (
+      match
+        ( Scenario.setup_cross ~eval:Runtime.Full_eval (),
+          Scenario.setup_cross ~eval:Runtime.Incremental () )
+      with
+      | Error msgs, _ | _, Error msgs ->
+        Some ("workload setup failed: " ^ String.concat "; " msgs)
+      | Ok ctx_full, Ok ctx_inc ->
+        let _ = Scenario.run_trace ctx_full trace in
+        let _ = Scenario.run_trace ctx_inc trace in
+        let keys ctx =
+          List.map strict_outcome_key
+            (Cm_monitor.Monitor.outcomes ctx.Scenario.monitor)
+        in
+        let keys_full = keys ctx_full and keys_inc = keys ctx_inc in
+        if keys_full <> keys_inc then (
+          let rec first_diff n a b =
+            match a, b with
+            | x :: a', y :: b' ->
+              if x = y then first_diff (n + 1) a' b'
+              else
+                Fmt.str "exchange %d: full [%s] vs incremental [%s]" n x y
+            | [], y :: _ ->
+              Fmt.str "exchange %d only under incremental: [%s]" n y
+            | x :: _, [] -> Fmt.str "exchange %d only under full: [%s]" n x
+            | [], [] -> "lengths differ"
+          in
+          Some
+            (Fmt.str "mix %s seed %d: eval modes diverge at %s" mix_name
+               wl_seed
+               (first_diff 0 keys_full keys_inc)))
+        else (
+          match
+            Cm_monitor.Report.violations
+              (Cm_monitor.Monitor.outcomes ctx_full.Scenario.monitor)
+          with
+          | [] -> None
+          | v :: _ ->
+            Some
+              (Fmt.str "mix %s seed %d: baseline violation on %s %s" mix_name
+                 wl_seed
+                 (Cm_http.Meth.to_string
+                    v.Outcome.request.Cm_http.Request.meth)
+                 v.Outcome.request.Cm_http.Request.path)))
+
+let workload_run ~shrink ~seed ~index ~size =
+  let mix_name, wl_seed, steps0 = workload_case_inputs ~seed ~index ~size in
+  let fails steps = workload_check ~mix_name ~wl_seed ~steps in
+  match fails steps0 with
+  | None -> Pass
+  | Some detail0 ->
+    (* Shrinking halves the step budget while the failure persists;
+       scripted mixes ignore the budget, so this terminates quickly. *)
+    let rec minimize steps count =
+      let next = steps / 2 in
+      if next >= 1 && fails next <> None then minimize next (count + 1)
+      else (steps, count)
+    in
+    let steps, shrink_steps =
+      if shrink then minimize steps0 0 else (steps0, 0)
+    in
+    let detail = Option.value ~default:detail0 (fails steps) in
+    Fail
+      { oracle = "workload"; index; detail; shrink_steps;
+        repr = Fmt.str "%s seed=%d steps=%d" mix_name wl_seed steps;
+        entry =
+          Corpus.make ~oracle:"workload" ~seed ~index ~size
+            [ ("mix", mix_name); ("wl_seed", string_of_int wl_seed);
+              ("steps", string_of_int steps)
+            ]
+      }
+
+let workload_replay (entry : Corpus.entry) =
+  let d_name, d_seed, d_steps =
+    workload_case_inputs ~seed:entry.seed ~index:entry.index ~size:entry.size
+  in
+  let lookup key default parse =
+    match List.assoc_opt key entry.payload with
+    | Some v -> (try parse v with _ -> default)
+    | None -> default
+  in
+  let mix_name = lookup "mix" d_name Fun.id in
+  let wl_seed = lookup "wl_seed" d_seed int_of_string in
+  let steps = lookup "steps" d_steps int_of_string in
+  match workload_check ~mix_name ~wl_seed ~steps with
+  | None -> Ok ()
+  | Some detail -> Error detail
+
+let workload =
+  { name = "workload"; weight = 1; run_case = workload_run;
+    replay = workload_replay
+  }
+
+let all = [ engine; rbac; codegen; monitor; incremental; chaos; workload ]
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -58,5 +58,12 @@ val chaos : t
     verdicts must not flip between the two runs, and a mutant the
     fault-free run kills must still be killed under chaos. *)
 
+val workload : t
+(** Workload-DSL integrity: compiling the case's (mix, seed) twice must
+    yield bit-identical traces, and executing the trace against the
+    cross-service monitor must produce identical strict outcome
+    sequences under full and incremental evaluation with a
+    violation-free baseline. *)
+
 val all : t list
 val find : string -> t option

@@ -60,6 +60,22 @@ let glance =
     entry ~resource:"Images" ~req:"2.1" GET [ "admin"; "member"; "user" ]
   ]
 
+(* The cross-service table: block-storage and image entries as above,
+   plus the compute surface.  Role grants mirror the cloud's default
+   policy: reads for everyone, mutations for admin/member, deletions for
+   admin only; attach/detach follow volume:attach/volume:detach
+   (admin|member). *)
+let cross =
+  let open Cm_http.Meth in
+  cinder @ glance
+  @ [ entry ~resource:"server" ~req:"3.5" GET [ "admin"; "member"; "user" ];
+      entry ~resource:"server" ~req:"3.5" POST [ "admin"; "member" ];
+      entry ~resource:"server" ~req:"3.6" DELETE [ "admin" ];
+      entry ~resource:"Servers" ~req:"3.5" GET [ "admin"; "member"; "user" ];
+      entry ~resource:"attachment" ~req:"3.1" POST [ "admin"; "member" ];
+      entry ~resource:"detachment" ~req:"3.2" POST [ "admin"; "member" ]
+    ]
+
 let cinder_assignment =
   Role_assignment.of_list
     [ ("proj_administrator", "admin");

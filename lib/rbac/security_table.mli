@@ -43,6 +43,14 @@ val glance : t
     member; DELETE (2.4) for admin only — on [image]; plus the listing
     entry for [Images] under 2.1. *)
 
+val cross : t
+(** The cross-service table: {!cinder} and {!glance} plus the compute
+    surface in the 3.x range — server GET (3.5) for all roles, POST
+    (3.5) for admin/member, DELETE (3.6) for admin; the [Servers]
+    listing under 3.5; and POST on [attachment] (3.1) / [detachment]
+    (3.2) for admin/member, mirroring the cloud's volume:attach and
+    volume:detach policy. *)
+
 val cinder_assignment : Role_assignment.t
 (** The usergroup/role mapping of Table I: proj_administrator -> admin,
     service_architect -> member, business_analyst -> user. *)

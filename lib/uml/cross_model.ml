@@ -1,0 +1,304 @@
+(* The cross-service model: one machine spanning block storage, compute
+   and the image service, so contracts can state invariants no single
+   service can check — an attachment must reference a live server and an
+   available volume, an image-backed volume must name an active image,
+   and a backing image must outlive its volumes.
+
+   The resource tree extends the Cinder model with the compute and image
+   surfaces of the same project:
+
+     project -- volumes  --> Volumes  --> volume
+             -- servers  --> Servers  --> server -- attach --> Attachments --> attachment
+             |                                  -- detach --> Detachments --> detachment
+             -- images   --> Images   --> image
+             -- quota_sets
+
+   POST on the [Attachments] collection URI
+   ([/v3/{project_id}/servers/{server_id}/attach]) is the attach
+   request; its trigger resolves to the contained item, [attachment].
+   Guards navigate the request body ([request.volume_id],
+   [request.volume.imageRef]) — the monitor binds [request] to the
+   intercepted body, so cross-service references are checked against
+   the observed state of the *other* service. *)
+
+let ocl = Cm_ocl.Ocl_parser.parse_exn
+
+let resources : Resource_model.t =
+  let open Resource_model in
+  { model_name = "CrossServiceResourceModel";
+    base_path = "/v3";
+    root = "Projects";
+    resources =
+      [ collection "Projects";
+        normal "project" [ ("id", A_string); ("name", A_string) ];
+        collection "Volumes";
+        normal "volume"
+          [ ("id", A_string);
+            ("name", A_string);
+            ("status", A_string);
+            ("size", A_int);
+            ("source_image", A_string);
+            ("attached_server", A_string)
+          ];
+        collection "Servers";
+        normal "server"
+          [ ("id", A_string); ("name", A_string); ("status", A_string) ];
+        collection "Attachments";
+        normal "attachment"
+          [ ("id", A_string); ("server_id", A_string) ];
+        collection "Detachments";
+        normal "detachment"
+          [ ("id", A_string); ("server_id", A_string) ];
+        collection "Images";
+        normal "image"
+          [ ("id", A_string);
+            ("name", A_string);
+            ("status", A_string);
+            ("visibility", A_string);
+            ("size", A_int)
+          ];
+        normal "quota_sets"
+          [ ("id", A_string);
+            ("volumes", A_int);
+            ("gigabytes", A_int);
+            ("images", A_int)
+          ]
+      ];
+    associations =
+      [ assoc ~role:"projects" "Projects" "project";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"volumes" "project"
+          "Volumes";
+        assoc ~role:"volume" "Volumes" "volume";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"servers" "project"
+          "Servers";
+        assoc ~role:"server" "Servers" "server";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"attach" "server"
+          "Attachments";
+        assoc ~role:"attachment" "Attachments" "attachment";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"detach" "server"
+          "Detachments";
+        assoc ~role:"detachment" "Detachments" "detachment";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"images" "project"
+          "Images";
+        assoc ~role:"image" "Images" "image";
+        assoc ~multiplicity:Multiplicity.exactly_one ~role:"quota_sets"
+          "project" "quota_sets"
+      ]
+  }
+
+let signature = Resource_model.signature resources
+
+(* Same project states as the Cinder machine: the cross-service triggers
+   never change the volume count, so each appears as self-loops. *)
+let s_no_volume = "project_with_no_volume"
+let s_not_full = "project_with_volume_and_not_full_quota"
+let s_full = "project_with_volume_and_full_quota"
+
+let inv_no_volume = ocl "project.id->size() = 1 and project.volumes->size() = 0"
+
+let inv_not_full =
+  ocl
+    "project.id->size() = 1 and project.volumes->size() >= 1 and \
+     project.volumes->size() < quota_sets.volumes"
+
+let inv_full =
+  ocl
+    "project.id->size() = 1 and project.volumes->size() >= 1 and \
+     project.volumes->size() = quota_sets.volumes"
+
+(* POST(volume) must also respect image backing: absent imageRef is an
+   ordinary create; a present one must name an active image of this
+   project (req 3.3). *)
+let image_backing_guard =
+  "(request.volume.imageRef->size() = 0 or \
+   project.images->select(i | i.id = request.volume.imageRef and \
+   i.status = 'active')->size() = 1)"
+
+(* POST(attachment): the addressed server must be alive and the
+   referenced volume available in this project (req 3.1). *)
+let attach_guard =
+  ocl
+    ("server.id->size() = 1 and \
+      project.volumes->select(v | v.id = request.volume_id and \
+      v.status = 'available')->size() = 1")
+
+let attach_effect =
+  ocl
+    ("project.volumes->select(v | v.id = request.volume_id and \
+      v.status = 'in-use' and v.attached_server = server.id)->size() = 1")
+
+(* POST(detachment): the referenced volume must currently be attached to
+   the addressed server (req 3.2). *)
+let detach_guard =
+  ocl
+    ("server.id->size() = 1 and \
+      project.volumes->select(v | v.id = request.volume_id and \
+      v.status = 'in-use' and v.attached_server = server.id)->size() = 1")
+
+let detach_effect =
+  ocl
+    ("project.volumes->select(v | v.id = request.volume_id and \
+      v.status = 'available')->size() = 1")
+
+(* DELETE(image): only non-active images that back no volume may go
+   (req 3.4). *)
+let image_delete_guard =
+  ocl
+    ("image.id->size() = 1 and image.status <> 'active' and \
+      project.volumes->select(v | v.source_image = image.id)->size() = 0")
+
+(* DELETE(server): deletion must release every attachment — afterwards
+   no volume may still name the deleted server (req 3.6). *)
+let server_delete_effect =
+  ocl
+    ("project.servers->size() = pre(project.servers->size()) - 1 and \
+      project.volumes->select(v | v.attached_server = \
+      pre(server.id))->size() = 0")
+
+let behavior : Behavior_model.t =
+  let open Behavior_model in
+  let post = Cm_http.Meth.POST
+  and delete = Cm_http.Meth.DELETE
+  and get = Cm_http.Meth.GET
+  and put = Cm_http.Meth.PUT in
+  (* a self-loop on every state, for triggers orthogonal to the
+     volume-count machine *)
+  let everywhere ?guard ~effect ~requirements meth resource =
+    List.map
+      (fun s ->
+        transition ~source:s ~target:s ?guard ~effect ~requirements meth
+          resource)
+      [ s_no_volume; s_not_full; s_full ]
+  in
+  (* volumes exist in these states only *)
+  let with_volumes ?guard ~effect ~requirements meth resource =
+    List.map
+      (fun s ->
+        transition ~source:s ~target:s ?guard ~effect ~requirements meth
+          resource)
+      [ s_not_full; s_full ]
+  in
+  { machine_name = "CrossServiceProtocol";
+    context = "project";
+    initial = s_no_volume;
+    states =
+      [ state s_no_volume inv_no_volume;
+        state s_not_full inv_not_full;
+        state s_full inv_full
+      ];
+    transitions =
+      (* ---- block storage: the Cinder machine, with the image-backing
+         conjunct on creation ---- *)
+      [ transition ~source:s_no_volume ~target:s_not_full
+          ~guard:(ocl ("quota_sets.volumes > 1 and " ^ image_backing_guard))
+          ~effect:(ocl "project.volumes->size() = 1")
+          ~requirements:[ "1.3"; "3.3" ] post "volume";
+        transition ~source:s_no_volume ~target:s_full
+          ~guard:(ocl ("quota_sets.volumes = 1 and " ^ image_backing_guard))
+          ~effect:(ocl "project.volumes->size() = 1")
+          ~requirements:[ "1.3"; "3.3" ] post "volume";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:
+            (ocl
+               ("project.volumes->size() + 1 < quota_sets.volumes and "
+               ^ image_backing_guard))
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) + 1")
+          ~requirements:[ "1.3"; "3.3" ] post "volume";
+        transition ~source:s_not_full ~target:s_full
+          ~guard:
+            (ocl
+               ("project.volumes->size() + 1 = quota_sets.volumes and "
+               ^ image_backing_guard))
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) + 1")
+          ~requirements:[ "1.3"; "3.3" ] post "volume";
+        transition ~source:s_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) - 1")
+          ~requirements:[ "1.4" ] delete "volume";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:
+            (ocl
+               "volume.id->size() = 1 and project.volumes->size() > 1 and \
+                volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size()) - 1")
+          ~requirements:[ "1.4" ] delete "volume";
+        transition ~source:s_not_full ~target:s_no_volume
+          ~guard:
+            (ocl
+               "volume.id->size() = 1 and project.volumes->size() = 1 and \
+                volume.status <> 'in-use'")
+          ~effect:(ocl "project.volumes->size() = 0")
+          ~requirements:[ "1.4" ] delete "volume";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "volume";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "volume.id->size() = 1")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "volume";
+        transition ~source:s_no_volume ~target:s_no_volume
+          ~effect:(ocl "project.volumes->size() = 0")
+          ~requirements:[ "1.1" ] get "Volumes";
+        transition ~source:s_not_full ~target:s_not_full
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "Volumes";
+        transition ~source:s_full ~target:s_full
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.1" ] get "Volumes";
+        transition ~source:s_not_full ~target:s_not_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.2" ] put "volume";
+        transition ~source:s_full ~target:s_full
+          ~guard:(ocl "volume.id->size() = 1 and volume.status <> 'in-use'")
+          ~effect:
+            (ocl "project.volumes->size() = pre(project.volumes->size())")
+          ~requirements:[ "1.2" ] put "volume"
+      ]
+      (* ---- compute: attachments need volumes to exist ---- *)
+      @ with_volumes ~guard:attach_guard ~effect:attach_effect
+          ~requirements:[ "3.1" ] post "attachment"
+      @ with_volumes ~guard:detach_guard ~effect:detach_effect
+          ~requirements:[ "3.2" ] post "detachment"
+      (* ---- compute: server lifecycle ---- *)
+      @ everywhere
+          ~effect:(ocl "project.servers->size() = pre(project.servers->size())")
+          ~requirements:[ "3.5" ] get "Servers"
+      @ everywhere
+          ~effect:
+            (ocl "project.servers->size() = pre(project.servers->size()) + 1")
+          ~requirements:[ "3.5" ] post "server"
+      @ everywhere ~guard:(ocl "server.id->size() = 1")
+          ~effect:(ocl "project.servers->size() = pre(project.servers->size())")
+          ~requirements:[ "3.5" ] get "server"
+      @ everywhere ~guard:(ocl "server.id->size() = 1")
+          ~effect:server_delete_effect ~requirements:[ "3.6" ] delete "server"
+      (* ---- image service ---- *)
+      @ everywhere
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "Images"
+      @ everywhere ~guard:(ocl "project.images->size() < quota_sets.images")
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) + 1")
+          ~requirements:[ "2.3" ] post "image"
+      @ everywhere ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.1" ] get "image"
+      @ everywhere ~guard:(ocl "image.id->size() = 1")
+          ~effect:(ocl "project.images->size() = pre(project.images->size())")
+          ~requirements:[ "2.2" ] put "image"
+      @ everywhere ~guard:image_delete_guard
+          ~effect:
+            (ocl "project.images->size() = pre(project.images->size()) - 1")
+          ~requirements:[ "2.4"; "3.4" ] delete "image"
+  }

@@ -1,0 +1,36 @@
+(** The cross-service model: block storage, compute and the image
+    service of one project in a single machine, so generated contracts
+    can state invariants no per-service contract can check
+    (ROADMAP "scenario diversity"):
+
+    - {b attachment integrity} (req 3.1/3.2): POST on
+      [/v3/{project_id}/servers/{server_id}/attach] must address a live
+      server and an [available] volume of the same project, and leave
+      that volume [in-use] and attached to that server; detach is the
+      converse.
+    - {b image-backed creation} (req 3.3): a volume created with an
+      [imageRef] must name an [active] image of the project; a missing
+      [imageRef] is an ordinary create.
+    - {b backing-image protection} (req 3.4): an image still named by
+      some volume's [source_image] cannot be deleted.
+    - {b server-delete release} (req 3.6): deleting a server must
+      release all its attachments.
+
+    Guards reference the intercepted request body through the [request]
+    binding ([request.volume_id], [request.volume.imageRef]) — see
+    {!Cm_uml.Resource_model.signature}.
+
+    The project states are the Cinder machine's three quota states; all
+    cross-service triggers are self-loops on them. *)
+
+val resources : Resource_model.t
+val behavior : Behavior_model.t
+
+val signature : Cm_ocl.Ty.signature
+(** [Resource_model.signature resources]. *)
+
+(** State names (shared with {!Cinder_model}). *)
+
+val s_no_volume : string
+val s_not_full : string
+val s_full : string

@@ -121,8 +121,11 @@ let signature model =
       model.resources
   in
   (* [user] is the authorization subject appearing in guards such as
-     [user.id.groups = 'admin'] (Listing 1). *)
-  resource_bindings @ [ ("user", user_type) ]
+     [user.id.groups = 'admin'] (Listing 1).  [request] is the JSON body
+     of the intercepted request — cross-service guards navigate into it
+     (e.g. [request.volume_id]) and its shape is request-specific, so it
+     types as [Any]. *)
+  resource_bindings @ [ ("user", user_type); ("request", Cm_ocl.Ty.Any) ]
 
 let attr_type_to_string = function
   | A_string -> "String"

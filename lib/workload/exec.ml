@@ -1,0 +1,223 @@
+module Json = Cm_json.Json
+module Request = Cm_http.Request
+module Response = Cm_http.Response
+module Headers = Cm_http.Headers
+
+type env = {
+  project : string;
+  stable_volumes : string list;
+  victim_volumes : string list;
+  handle : Cm_http.Request.t -> Cm_http.Response.t;
+  token : Workload.role -> string;
+  relogin : (Workload.role -> string option) option;
+  churn : (int -> unit) option;
+  flush : unit -> unit;
+}
+
+(* Reference resolution shared by both modes.  [lookup] maps a creation
+   index to the id parsed from the create response (dynamic mode) or
+   to [None] (static mode); unresolved references fall back to
+   deterministic placeholder ids that the cloud will 404 — which is
+   verdict-consistent, since the contracts' existence guards are False
+   for them too. *)
+
+let nth_mod pool k fallback =
+  match pool with
+  | [] -> fallback
+  | _ -> List.nth pool (k mod List.length pool)
+
+let resolve_vref ~stable ~victims ~fresh = function
+  | Workload.Stable k -> nth_mod stable k (Printf.sprintf "absent-stable-%d" k)
+  | Workload.Fresh k -> (
+    match fresh k with
+    | Some id -> id
+    | None -> Printf.sprintf "missing-vol-%d" k)
+  | Workload.Victim k ->
+    if k < List.length victims then List.nth victims k
+    else Printf.sprintf "missing-victim-%d" k
+  | Workload.Absent k -> Printf.sprintf "absent-vol-%d" k
+
+let resolve_sref ~live = function
+  | Workload.Live k -> (
+    match live k with
+    | Some id -> id
+    | None -> Printf.sprintf "missing-srv-%d" k)
+  | Workload.Ghost k -> Printf.sprintf "ghost-srv-%d" k
+
+let resolve_iref ~img = function
+  | Workload.Img k -> (
+    match img k with
+    | Some id -> id
+    | None -> Printf.sprintf "missing-img-%d" k)
+  | Workload.No_such_image k -> Printf.sprintf "absent-img-%d" k
+
+(* Pure request construction for every in-band operation.  Returns
+   [None] for out-of-band steps (relogin, churn) which have no HTTP
+   shape of their own. *)
+let request_of_op ~project ~token ~resolve_v ~resolve_s ~resolve_i
+    ~token_of_role (step : Workload.step) : Request.t option =
+  let open Cm_http.Meth in
+  let v = Printf.sprintf "/v3/%s/volumes" project in
+  let s = Printf.sprintf "/v3/%s/servers" project in
+  let i = Printf.sprintf "/v3/%s/images" project in
+  let make ?body meth path =
+    Some (Request.make ?body meth path |> Request.with_auth_token token)
+  in
+  match step.Workload.op with
+  | Workload.Create_volume { name; size; source; _ } ->
+    let fields =
+      [ ("name", Json.string name); ("size", Json.int size) ]
+      @
+      match source with
+      | Workload.No_image -> []
+      | Workload.From_image iref ->
+        [ ("imageRef", Json.string (resolve_i iref)) ]
+    in
+    make POST v ~body:(Json.obj [ ("volume", Json.obj fields) ])
+  | Workload.List_volumes -> make GET v
+  | Workload.Show_volume vref -> make GET (v ^ "/" ^ resolve_v vref)
+  | Workload.Rename_volume (vref, name) ->
+    make PUT
+      (v ^ "/" ^ resolve_v vref)
+      ~body:(Json.obj [ ("volume", Json.obj [ ("name", Json.string name) ]) ])
+  | Workload.Delete_volume vref -> make DELETE (v ^ "/" ^ resolve_v vref)
+  | Workload.Volume_action_attach (vref, instance) ->
+    make POST
+      (v ^ "/" ^ resolve_v vref ^ "/action")
+      ~body:
+        (Json.obj
+           [ ( "os-attach",
+               Json.obj [ ("instance_uuid", Json.string instance) ] )
+           ])
+  | Workload.Volume_action_detach vref ->
+    make POST
+      (v ^ "/" ^ resolve_v vref ^ "/action")
+      ~body:(Json.obj [ ("os-detach", Json.obj []) ])
+  | Workload.Create_server { name; _ } ->
+    make POST s
+      ~body:(Json.obj [ ("server", Json.obj [ ("name", Json.string name) ]) ])
+  | Workload.List_servers -> make GET s
+  | Workload.Show_server sref -> make GET (s ^ "/" ^ resolve_s sref)
+  | Workload.Delete_server sref -> make DELETE (s ^ "/" ^ resolve_s sref)
+  | Workload.Attach (sref, vref) ->
+    make POST
+      (s ^ "/" ^ resolve_s sref ^ "/attach")
+      ~body:(Json.obj [ ("volume_id", Json.string (resolve_v vref)) ])
+  | Workload.Detach (sref, vref) ->
+    make POST
+      (s ^ "/" ^ resolve_s sref ^ "/detach")
+      ~body:(Json.obj [ ("volume_id", Json.string (resolve_v vref)) ])
+  | Workload.Create_image { name; size_mb; _ } ->
+    make POST i
+      ~body:
+        (Json.obj
+           [ ( "image",
+               Json.obj
+                 [ ("name", Json.string name); ("size", Json.int size_mb) ] )
+           ])
+  | Workload.List_images -> make GET i
+  | Workload.Show_image iref -> make GET (i ^ "/" ^ resolve_i iref)
+  | Workload.Set_image_status (iref, status) ->
+    make PUT
+      (i ^ "/" ^ resolve_i iref)
+      ~body:
+        (Json.obj [ ("image", Json.obj [ ("status", Json.string status) ]) ])
+  | Workload.Delete_image iref -> make DELETE (i ^ "/" ^ resolve_i iref)
+  | Workload.Revoke_token target ->
+    Some
+      (Request.make DELETE "/identity/v3/auth/tokens"
+      |> Request.with_auth_token token
+      |> fun req ->
+      { req with
+        Request.headers =
+          Headers.replace "X-Subject-Token" (token_of_role target)
+            req.Request.headers
+      })
+  | Workload.Relogin _ | Workload.Churn_project _ -> None
+
+let id_of response wrapper =
+  match response.Response.body with
+  | None -> None
+  | Some body -> (
+    match Cm_json.Pointer.get [ Key wrapper; Key "id" ] body with
+    | Some (Json.String id) -> Some id
+    | Some _ | None -> None)
+
+let run env trace =
+  let tokens = Hashtbl.create 4 in
+  let current_token role =
+    match Hashtbl.find_opt tokens role with
+    | Some tok -> tok
+    | None -> env.token role
+  in
+  let fresh_ids = Hashtbl.create 16 in
+  let live_ids = Hashtbl.create 8 in
+  let img_ids = Hashtbl.create 8 in
+  let resolve_v =
+    resolve_vref ~stable:env.stable_volumes ~victims:env.victim_volumes
+      ~fresh:(Hashtbl.find_opt fresh_ids)
+  in
+  let resolve_s = resolve_sref ~live:(Hashtbl.find_opt live_ids) in
+  let resolve_i = resolve_iref ~img:(Hashtbl.find_opt img_ids) in
+  let issued = ref 0 in
+  List.iter
+    (fun (step : Workload.step) ->
+      match step.Workload.op with
+      | Workload.Relogin role ->
+        Option.iter
+          (fun relogin ->
+            match relogin role with
+            | Some tok -> Hashtbl.replace tokens role tok
+            | None -> ())
+          env.relogin
+      | Workload.Churn_project k ->
+        Option.iter
+          (fun churn ->
+            churn k;
+            env.flush ())
+          env.churn
+      | op -> (
+        match
+          request_of_op ~project:env.project
+            ~token:(current_token step.Workload.actor)
+            ~resolve_v ~resolve_s ~resolve_i ~token_of_role:current_token step
+        with
+        | None -> ()
+        | Some req ->
+          incr issued;
+          let response = env.handle req in
+          (* record ids of successful creations so later references
+             resolve to the real resource *)
+          if Response.is_success response then begin
+            match op with
+            | Workload.Create_volume { idx; _ } ->
+              Option.iter (Hashtbl.replace fresh_ids idx) (id_of response "volume")
+            | Workload.Create_server { idx; _ } ->
+              Option.iter (Hashtbl.replace live_ids idx) (id_of response "server")
+            | Workload.Create_image { idx; _ } ->
+              Option.iter (Hashtbl.replace img_ids idx) (id_of response "image")
+            | _ -> ()
+          end))
+    trace;
+  !issued
+
+type static = {
+  st_project : string;
+  st_token : Workload.role -> string;
+  st_stable_volumes : string list;
+  st_victim_volumes : string list;
+}
+
+let requests st trace =
+  let resolve_v =
+    resolve_vref ~stable:st.st_stable_volumes ~victims:st.st_victim_volumes
+      ~fresh:(fun _ -> None)
+  in
+  let resolve_s = resolve_sref ~live:(fun _ -> None) in
+  let resolve_i = resolve_iref ~img:(fun _ -> None) in
+  List.filter_map
+    (fun (step : Workload.step) ->
+      request_of_op ~project:st.st_project
+        ~token:(st.st_token step.Workload.actor)
+        ~resolve_v ~resolve_s ~resolve_i ~token_of_role:st.st_token step)
+    trace

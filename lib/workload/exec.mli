@@ -1,0 +1,49 @@
+(** Workload execution: turn symbolic {!Workload.trace}s into HTTP
+    requests against a monitored cloud.
+
+    Two modes.  {!run} drives a live handler step by step, resolving
+    [Fresh]/[Live]/[Img] references from create responses and keeping
+    per-role tokens current across {!Workload.Relogin} steps — the mode
+    the mutation campaigns and scenario suites use.  {!requests}
+    compiles a trace into a request list ahead of time for batch
+    serving (the bench and the sharded server), resolving dynamic
+    references to deterministic placeholders; it only supports traces
+    that never read back their own creations, which all seeded mixes
+    satisfy by construction. *)
+
+type env = {
+  project : string;  (** project id in request paths *)
+  stable_volumes : string list;  (** ids behind [Stable k] (mod length) *)
+  victim_volumes : string list;  (** ids behind [Victim k] *)
+  handle : Cm_http.Request.t -> Cm_http.Response.t;
+      (** the monitored entry point *)
+  token : Workload.role -> string;  (** initial token per role *)
+  relogin : (Workload.role -> string option) option;
+      (** out-of-band re-authentication; [None] turns
+          {!Workload.Relogin} steps into no-ops *)
+  churn : (int -> unit) option;
+      (** out-of-band tenant churn; [None] skips
+          {!Workload.Churn_project} steps *)
+  flush : unit -> unit;
+      (** called after out-of-band cloud mutations so the monitor's
+          caches resynchronise (typically [Monitor.flush_cache]) *)
+}
+
+val run : env -> Workload.trace -> int
+(** Execute each step in order; returns the number of monitored
+    requests actually issued (out-of-band steps don't count). *)
+
+(** Static compilation for batch serving. *)
+type static = {
+  st_project : string;
+  st_token : Workload.role -> string;
+  st_stable_volumes : string list;
+  st_victim_volumes : string list;
+}
+
+val requests : static -> Workload.trace -> Cm_http.Request.t list
+(** Compile the trace to requests without executing anything.
+    [Fresh]/[Live]/[Img] references resolve to deterministic
+    placeholder ids ("missing-vol-k" etc. — requests that 404, with
+    verdicts consistent under the generated contracts);
+    [Relogin]/[Churn_project] steps are dropped. *)

@@ -373,7 +373,7 @@ let interference_tests =
                ignore
                  (Store.add_volume (Cloud.store cloud) project
                     ~name:(Printf.sprintf "racer-%d" !counter)
-                    ~size_gb:1)
+                    ~size_gb:1 ())
              | _ -> ());
             Cloud.handle cloud req
         in
