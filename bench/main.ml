@@ -715,6 +715,96 @@ let section_resilience () =
     Printf.printf "\nwrote BENCH_resilience.json (%d rows)\n" (List.length rows)
   end
 
+let section_journal () =
+  banner "A11: durable event journal (append cost, 100k-event recovery scan)";
+  let module Json = Cm_json.Json in
+  let module Device = Cm_journal.Device in
+  let module Journal = Cm_journal.Journal in
+  let module Event = Cm_journal.Event in
+  let module Jmonitor = Cm_journal.Jmonitor in
+  let events = if !quick then 10_000 else 100_000 in
+  let clock = Cm_core.Clock.create () in
+  let device = Device.create ~clock ~seed:17 () in
+  let journal = Journal.create device in
+  (* a realistic mix: every exchange journals a Request and a Verdict *)
+  let request i =
+    Event.Request
+      { seq = i;
+        rid = Printf.sprintf "stp-%d" i;
+        req =
+          Cm_http.Request.make
+            ~headers:
+              (Cm_http.Headers.of_list
+                 [ ("X-Auth-Token", "tok-4-alice");
+                   ("X-Request-Id", Printf.sprintf "stp-%d" i)
+                 ])
+            Cm_http.Meth.GET
+            (Printf.sprintf "/v3/myProject/volumes/vol-%d" (i mod 97))
+      }
+  in
+  let verdict i =
+    Event.Verdict
+      { Event.v_seq = i; v_rid = Printf.sprintf "stp-%d" i; v_meth = "GET";
+        v_path = Printf.sprintf "/v3/myProject/volumes/vol-%d" (i mod 97);
+        v_status = 200; v_conformance = "conform"; v_detail = "";
+        v_covered = [ "1.1" ];
+        v_body =
+          Some
+            (Json.obj
+               [ ("volume", Json.obj [ ("id", Json.string "vol-1") ]) ])
+      }
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to events / 2 do
+    Journal.append journal (request i);
+    Journal.append journal (verdict i);
+    if i mod 8 = 0 then Journal.sync journal
+  done;
+  Journal.sync journal;
+  let append_s = Unix.gettimeofday () -. t0 in
+  let append_ns = append_s *. 1e9 /. float_of_int events in
+  Printf.printf "append: %d events in %.1f ms (%.0f ns/event, %d syncs)\n"
+    events (append_s *. 1000.) append_ns (Device.syncs device);
+  let t0 = Unix.gettimeofday () in
+  let scanned, _clean = Journal.scan device in
+  let scan_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "recovery scan: %d events, %d bytes in %.1f ms\n"
+    (List.length scanned) (Device.size device) (scan_s *. 1000.);
+  (* end-to-end recovery of a real recorded run: scan + rebuild +
+     finish the in-flight exchange *)
+  let module Scenario = Cm_mutation.Scenario in
+  let recover_ms =
+    match Scenario.setup_journaled () with
+    | Error msgs -> failwith (String.concat "; " msgs)
+    | Ok ctx ->
+      let _ = Scenario.jrun_trace ctx Cm_workload.Workload.standard_trace in
+      Jmonitor.sync ctx.Scenario.jmon;
+      Device.crash ctx.Scenario.jdevice;
+      let t0 = Unix.gettimeofday () in
+      (match Scenario.jrecover ctx with
+       | Error msgs -> failwith (String.concat "; " msgs)
+       | Ok _ -> ());
+      (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  Printf.printf "end-to-end recovery (standard trace, torn tail): %.2f ms\n"
+    recover_ms;
+  if !json_output then begin
+    let doc =
+      Json.obj
+        [ ("events", Json.int events);
+          ("append_ns_per_event", Json.float append_ns);
+          ("scan_ms", Json.float (scan_s *. 1000.));
+          ("journal_bytes", Json.int (Device.size device));
+          ("recover_standard_ms", Json.float recover_ms)
+        ]
+    in
+    let oc = open_out "BENCH_journal.json" in
+    output_string oc (Cm_json.Printer.to_string_pretty doc);
+    output_string oc "\n";
+    close_out oc;
+    print_endline "\nwrote BENCH_journal.json"
+  end
+
 let section_throughput () =
   banner
     "B5: sharded multicore serving (domain scaling, footprint pruning, \
@@ -946,6 +1036,7 @@ let sections =
     ("ablation", section_ablation);
     ("fastpath", section_fastpath);
     ("resilience", section_resilience);
+    ("journal", section_journal);
     ("throughput", section_throughput);
     ("testgen", section_testgen);
     ("localize", section_localize);

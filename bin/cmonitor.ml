@@ -351,7 +351,7 @@ let shrink_arg =
 let oracle_arg =
   let doc =
     "Which oracle to drive: all, engine, rbac, codegen, monitor, \
-     incremental, chaos or workload."
+     incremental, chaos, workload or journal."
   in
   Arg.(value & opt string "all" & info [ "oracle" ] ~docv:"NAME" ~doc)
 
@@ -378,9 +378,17 @@ let fuzz_cmd =
 
 (* ---- chaos: the mutation campaign under unreliable transport ---- *)
 
-let chaos cases seed profile_name json_path =
+let chaos list_flag cases seed profile_name json_path =
   let module Chaos = Cm_cloudsim.Chaos in
   let module Campaign = Cloudmon.Mutation.Campaign in
+  if list_flag then begin
+    List.iter
+      (fun (p : Chaos.profile) ->
+        Printf.printf "%-16s %s\n" p.Chaos.name p.Chaos.description)
+      Chaos.profiles;
+    0
+  end
+  else
   let profiles =
     if profile_name = "all" then Chaos.profiles
     else
@@ -438,6 +446,10 @@ let chaos cases seed profile_name json_path =
       if matrix_ok && not (R.failed report) then 0 else 1
   end
 
+let chaos_list_arg =
+  let doc = "List the named chaos profiles with their descriptions." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
 let chaos_cases_arg =
   let doc = "Number of randomized chaos cases after the profile matrix." in
   Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
@@ -457,13 +469,200 @@ let chaos_cmd =
          "mutation campaign under unreliable transport: every mutant must \
           stay killed and no definite verdict may flip")
     Term.(
-      const chaos $ chaos_cases_arg $ seed_arg $ chaos_profile_arg
-      $ chaos_json_arg)
+      const chaos $ chaos_list_arg $ chaos_cases_arg $ seed_arg
+      $ chaos_profile_arg $ chaos_json_arg)
+
+(* ---- replay: journal -> verdict stream, bit-identical to live ---- *)
+
+let replay mix_name seed =
+  let module W = Cloudmon.Workload in
+  let module Scenario = Cloudmon.Mutation.Scenario in
+  let module Jmonitor = Cm_journal.Jmonitor in
+  let module Runtime = Cloudmon.Contracts.Runtime in
+  let mixes =
+    if mix_name = "all" then W.mixes
+    else match W.find mix_name with Some m -> [ m ] | None -> []
+  in
+  if mixes = [] then begin
+    Printf.eprintf "unknown mix %S (try cmonitor workload --list)\n" mix_name;
+    2
+  end
+  else begin
+    let failures = ref 0 in
+    List.iter
+      (fun (m : W.mix) ->
+        let trace = m.W.compile ~seed in
+        (* Record once live (default engine), then replay the journal on
+           a fresh cloud under both evaluation modes: all three verdict
+           streams must be bit-identical. *)
+        match Scenario.setup_journaled ~cross:true () with
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          incr failures
+        | Ok jctx ->
+          ignore (Scenario.jrun_trace jctx trace);
+          Jmonitor.sync jctx.Scenario.jmon;
+          let events = Scenario.journal_events jctx in
+          let live = Jmonitor.journaled_verdict_lines events in
+          List.iter
+            (fun (eval_name, eval) ->
+              match Scenario.replay_journal ~cross:true ~eval events with
+              | Error msgs ->
+                List.iter prerr_endline msgs;
+                incr failures
+              | Ok replayed ->
+                let ok = replayed = live in
+                Printf.printf "%-12s %-12s %4d verdicts  %s\n" m.W.mix_name
+                  eval_name (List.length live)
+                  (if ok then "bit-identical" else "DIVERGED");
+                if not ok then begin
+                  incr failures;
+                  List.iteri
+                    (fun i (a, b) ->
+                      if not (String.equal a b) then
+                        Printf.printf "  step %d:\n    live:   %s\n    replay: %s\n"
+                          i a b)
+                    (List.combine live
+                       (List.filteri
+                          (fun i _ -> i < List.length live)
+                          replayed))
+                end)
+            [ ("full", Runtime.Full_eval);
+              ("incremental", Runtime.Incremental)
+            ])
+      mixes;
+    if !failures = 0 then 0 else 1
+  end
+
+let replay_mix_arg =
+  let doc = "Workload mix to record and replay: all (default) or a name." in
+  Arg.(value & opt string "all" & info [ "mix" ] ~docv:"NAME" ~doc)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "record a workload through the journaled monitor, replay the \
+          journal against a fresh cloud under both evaluation modes, and \
+          check the verdict streams are bit-identical")
+    Term.(const replay $ replay_mix_arg $ seed_arg)
+
+(* ---- recover: crash-point injection and exactly-once recovery ---- *)
+
+let recover list_sites site nth matrix domains seed json_path =
+  let module Campaign = Cloudmon.Mutation.Campaign in
+  let module Mutant = Cloudmon.Mutation.Mutant in
+  let module Scenario = Cloudmon.Mutation.Scenario in
+  let module Jmonitor = Cm_journal.Jmonitor in
+  let module Chaos = Cm_cloudsim.Chaos in
+  if list_sites then begin
+    List.iter print_endline Campaign.crash_sites;
+    0
+  end
+  else if matrix then begin
+    (* the full kill matrix: every chaos profile (plus fault-free) x
+       every injection site x (baseline + all extended mutants) *)
+    let profiles = None :: List.map (fun p -> Some p) Chaos.profiles in
+    match
+      Campaign.run_crash_matrix ~seed ~domains ~nth profiles
+        Mutant.all_extended
+    with
+    | Error msgs ->
+      List.iter prerr_endline msgs;
+      1
+    | Ok runs ->
+      print_string (Campaign.crash_matrix runs);
+      (match json_path with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         output_string oc
+           (Cm_json.Printer.to_string_pretty (Campaign.crash_to_json runs));
+         output_string oc "\n";
+         close_out oc;
+         Printf.printf "wrote %s\n" path);
+      let fired = List.length (List.filter (fun r -> r.Campaign.xr_fired) runs) in
+      Printf.printf
+        "\n%d cells (%d crashes fired): %s\n" (List.length runs) fired
+        (if Campaign.crash_ok runs then
+           "exactly-once verdicts, all mutants killed"
+         else "CRASH-RECOVERY FAILURE");
+      if Campaign.crash_ok runs then 0 else 1
+  end
+  else if not (List.mem site Campaign.crash_sites) then begin
+    Printf.eprintf "unknown site %S (try --list-sites)\n" site;
+    2
+  end
+  else begin
+    (* single demonstration cell on the cross workload, no mutant *)
+    match Campaign.run_crash_one ~seed ~index:0 ~site ~nth None None with
+    | Error msgs ->
+      List.iter prerr_endline msgs;
+      1
+    | Ok r ->
+      Printf.printf
+        "site %s (occurrence %d): crash %s\n" site nth
+        (if r.Campaign.xr_fired then "fired" else "NOT REACHED");
+      Printf.printf
+        "recovery: %d verdicts, %d resumed in-flight, %d re-handled, %dB \
+         torn tail discarded\n"
+        r.Campaign.xr_verdicts r.Campaign.xr_resumed r.Campaign.xr_rehandled
+        r.Campaign.xr_discarded_bytes;
+      let clean =
+        r.Campaign.xr_duplicates = [] && r.Campaign.xr_lost = []
+        && r.Campaign.xr_mismatches = [] && not r.Campaign.xr_killed
+      in
+      Printf.printf "audit: %s\n"
+        (if clean then
+           "exactly-once, verdicts identical to the crash-free run"
+         else "FAILURE (duplicate/lost/flipped verdicts)");
+      if clean then 0 else 1
+  end
+
+let rec_list_sites_arg =
+  let doc = "List the crash injection sites." in
+  Arg.(value & flag & info [ "list-sites" ] ~doc)
+
+let rec_site_arg =
+  let doc = "Crash site to arm (see --list-sites)." in
+  Arg.(
+    value
+    & opt string "monitor.after-forward"
+    & info [ "site" ] ~docv:"SITE" ~doc)
+
+let rec_crash_at_arg =
+  let doc = "Crash at the Nth occurrence of the site." in
+  Arg.(value & opt int 3 & info [ "crash-at" ] ~docv:"N" ~doc)
+
+let rec_matrix_arg =
+  let doc =
+    "Run the full crash kill matrix: every chaos profile x injection site \
+     x (baseline + extended mutant catalog)."
+  in
+  Arg.(value & flag & info [ "matrix" ] ~doc)
+
+let rec_domains_arg =
+  let doc = "With --matrix: fan matrix cells over N domains." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let rec_json_arg =
+  let doc = "With --matrix: write the machine-readable matrix to this file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "crash the journaled monitor at a deterministic injection point, \
+          tear the journal tail, recover, and audit exactly-once verdicts")
+    Term.(
+      const recover $ rec_list_sites_arg $ rec_site_arg $ rec_crash_at_arg
+      $ rec_matrix_arg $ rec_domains_arg $ seed_arg $ rec_json_arg)
 
 (* ---- serve-bench: sharded multicore throughput ---- *)
 
 let serve_bench projects requests seed domains rate json_path baseline_path
-    max_regression =
+    max_regression resilience_baseline =
   let module SB = Cloudmon.Serve_bench in
   let spec =
     { SB.projects; requests_per_project = requests; seed }
@@ -492,9 +691,7 @@ let serve_bench projects requests seed domains rate json_path baseline_path
       1
     end
     else begin
-      match baseline_path with
-      | None -> 0
-      | Some path ->
+      let read_json path =
         let text =
           let ic = open_in path in
           let n = in_channel_length ic in
@@ -502,24 +699,63 @@ let serve_bench projects requests seed domains rate json_path baseline_path
           close_in ic;
           s
         in
-        (match Cm_json.Parser.parse text with
-         | Error e ->
-           Printf.eprintf "serve-bench: cannot parse %s: %s\n" path
-             (Format.asprintf "%a" Cm_json.Parser.pp_error e);
-           2
-         | Ok baseline ->
-           (match
-              SB.check_against_baseline report ~baseline
-                ~max_regression_pct:max_regression
-            with
-            | Ok () ->
-              Printf.printf
-                "baseline check passed (within %.0f%% of %s)\n"
-                max_regression path;
-              0
-            | Error msg ->
-              prerr_endline ("serve-bench: " ^ msg);
-              1))
+        match Cm_json.Parser.parse text with
+        | Error e ->
+          Printf.eprintf "serve-bench: cannot parse %s: %s\n" path
+            (Format.asprintf "%a" Cm_json.Parser.pp_error e);
+          None
+        | Ok json -> Some json
+      in
+      let fastpath_code =
+        match baseline_path with
+        | None -> 0
+        | Some path ->
+          (match read_json path with
+           | None -> 2
+           | Some baseline ->
+             (match
+                SB.check_against_baseline report ~baseline
+                  ~max_regression_pct:max_regression
+              with
+              | Ok () ->
+                Printf.printf
+                  "baseline check passed (within %.0f%% of %s)\n"
+                  max_regression path;
+                0
+              | Error msg ->
+                prerr_endline ("serve-bench: " ^ msg);
+                1))
+      in
+      let resilience_code =
+        match resilience_baseline with
+        | None -> 0
+        | Some path ->
+          (match read_json path with
+           | None -> 2
+           | Some baseline ->
+             (match SB.run_resilience_overhead ~spec () with
+              | Error msgs ->
+                List.iter prerr_endline msgs;
+                1
+              | Ok (off_ns, on_ns, overhead) ->
+                Printf.printf
+                  "resilience overhead: %.0f -> %.0f ns/request (%.2f%%)\n"
+                  off_ns on_ns overhead;
+                (match
+                   SB.check_resilience_baseline ~overhead_percent:overhead
+                     ~baseline ~max_overhead_pct:10.
+                 with
+                 | Ok base ->
+                   Printf.printf
+                     "resilience gate passed (%.2f%% <= 10%% ceiling; \
+                      committed baseline %.2f%%)\n"
+                     overhead base;
+                   0
+                 | Error msg ->
+                   prerr_endline ("serve-bench: " ^ msg);
+                   1)))
+      in
+      max fastpath_code resilience_code
     end
 
 let sb_projects_arg =
@@ -558,6 +794,17 @@ let sb_baseline_arg =
 let sb_max_regression_arg =
   let doc = "Allowed handle-cost regression over the baseline, percent." in
   Arg.(value & opt float 15. & info [ "max-regression" ] ~docv:"PCT" ~doc)
+
+let sb_resilience_baseline_arg =
+  let doc =
+    "Measure the resilience layer's serve overhead and fail if it exceeds \
+     the 10% ceiling; the BENCH_resilience.json file anchors the drift \
+     report."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resilience-baseline" ] ~docv:"FILE" ~doc)
 
 (* ---- workload: the traffic-mix DSL ---- *)
 
@@ -739,7 +986,7 @@ let serve_bench_cmd =
     Term.(
       const serve_bench $ sb_projects_arg $ sb_requests_arg $ seed_arg
       $ sb_domains_arg $ sb_rate_arg $ sb_json_arg $ sb_baseline_arg
-      $ sb_max_regression_arg)
+      $ sb_max_regression_arg $ sb_resilience_baseline_arg)
 
 let main =
   Cmd.group
@@ -747,7 +994,7 @@ let main =
        ~doc:"model-generated cloud monitor over a simulated OpenStack")
     [ validate_cmd; analyze_cmd; lifecycle_cmd; contracts_cmd; table1_cmd;
       testgen_cmd; explore_cmd; audit_cmd; fuzz_cmd; chaos_cmd; workload_cmd;
-      serve_bench_cmd
+      serve_bench_cmd; replay_cmd; recover_cmd
     ]
 
 let () = exit (Cmd.eval' main)

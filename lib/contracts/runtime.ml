@@ -465,6 +465,16 @@ let snapshot_bytes = function
   | Lean_values taken -> Snapshot.size_bytes taken
   | Full_state obs -> Snapshot.full_size_bytes obs.env
 
+(* Lean snapshots are plain (slot, value) lists, which makes them
+   serializable — the crash-recovery journal persists them as the
+   durable pre-image of a forwarded request.  Full-state snapshots hold
+   a live evaluation frame and cannot round-trip through bytes. *)
+let snapshot_values = function
+  | Lean_values taken -> Some taken
+  | Full_state _ -> None
+
+let snapshot_of_values taken = Lean_values taken
+
 let post_hint = "postcondition undefined"
 
 (* Allocation-free lookup of a captured slot value (assoc lists here

@@ -90,6 +90,17 @@ val take_snapshot_observed : prepared -> observed -> snapshot
 
 val snapshot_bytes : snapshot -> int
 
+val snapshot_values : snapshot -> (string * Cm_ocl.Value.t) list option
+(** The serializable face of a {!Lean} snapshot: its (slot, value)
+    list, exactly as {!snapshot_of_values} will rebuild it.  [None] for
+    {!Full} snapshots, which hold a live frame and cannot be persisted
+    — the crash-recovery journal only runs under [Lean]. *)
+
+val snapshot_of_values : (string * Cm_ocl.Value.t) list -> snapshot
+(** Rebuild a [Lean] snapshot from journaled slot values.
+    [check_post_observed] over the result is verdict-identical to the
+    original snapshot. *)
+
 val check_post :
   prepared -> snapshot -> Cm_ocl.Eval.env -> Cm_ocl.Eval.verdict
 

@@ -151,8 +151,8 @@ let workload spec world =
 (* ---- monitor pools --------------------------------------------------- *)
 
 let pool_config ?(footprint_pruning = true) ?(cache = Obs_cache.Cross_request)
-    ?eval world =
-  Monitor.default_config ~footprint_pruning ~cache ?eval
+    ?eval ?resilience world =
+  Monitor.default_config ~footprint_pruning ~cache ?eval ?resilience
     ~service_token:world.service_token
     ~service_token_for:(service_token_for world)
     ~security:
@@ -161,8 +161,10 @@ let pool_config ?(footprint_pruning = true) ?(cache = Obs_cache.Cross_request)
       }
     Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
 
-let make_pool ?footprint_pruning ?cache ?eval ~shards world backend =
-  Shard.create ~shards (pool_config ?footprint_pruning ?cache ?eval world)
+let make_pool ?footprint_pruning ?cache ?eval ?resilience ~shards world backend
+    =
+  Shard.create ~shards
+    (pool_config ?footprint_pruning ?cache ?eval ?resilience world)
     backend
 
 (* ---- measurements ---------------------------------------------------- *)
@@ -302,6 +304,33 @@ let run_handle_ns spec =
     ignore (Shard.handle_all ~domains:1 pool reqs);
     let elapsed = now_ns () -. t0 in
     Ok (elapsed /. float_of_int n)
+
+(* Resilience overhead, measured the same way the resilience benchmark
+   section does but on the serve workload: the identical request stream
+   served once raw and once through the retry/timeout/breaker layer.
+   Latency-free backend, so the difference is pure bookkeeping cost. *)
+let run_resilience_overhead ?(spec = default_spec) () =
+  let handle_ns ?resilience () =
+    let world = setup spec in
+    let reqs = workload spec world in
+    match
+      make_pool ?resilience ~shards:spec.projects world
+        (Cloud.handle world.cloud)
+    with
+    | Error msgs -> Error msgs
+    | Ok pool ->
+      let n = List.length reqs in
+      let t0 = now_ns () in
+      ignore (Shard.handle_all ~domains:1 pool reqs);
+      let elapsed = now_ns () -. t0 in
+      Ok (elapsed /. float_of_int n)
+  in
+  match handle_ns () with
+  | Error msgs -> Error msgs
+  | Ok off_ns ->
+    (match handle_ns ~resilience:Cm_monitor.Resilience.default () with
+     | Error msgs -> Error msgs
+     | Ok on_ns -> Ok (off_ns, on_ns, (on_ns -. off_ns) /. off_ns *. 100.))
 
 (* Open-loop latency: requests arrive on a fixed schedule regardless of
    how fast the server drains them, so queueing delay shows up in the
@@ -668,6 +697,25 @@ let gate ~what ~unit ~measured ~base ~max_regression_pct ~slack =
           + %.2f slack)"
          what measured unit limit unit base unit max_regression_pct slack)
   else Ok ()
+
+(* The resilience gate is an absolute ceiling, not a relative one: the
+   committed BENCH_resilience.json anchors what the overhead *was*, and
+   the gate fails when the live measurement crosses [max_overhead_pct]
+   — resilience must stay a thin layer regardless of history. *)
+let check_resilience_baseline ~overhead_percent ~baseline ~max_overhead_pct =
+  match Cm_json.Pointer.get [ Key "overhead_percent" ] baseline with
+  | None -> Error "baseline has no overhead_percent field"
+  | Some v ->
+    (match number v with
+     | None -> Error "baseline overhead_percent is not a number"
+     | Some base ->
+       if overhead_percent > max_overhead_pct then
+         Error
+           (Printf.sprintf
+              "resilience overhead %.2f%% exceeds the %.0f%% ceiling \
+               (committed baseline: %.2f%%)"
+              overhead_percent max_overhead_pct base)
+       else Ok base)
 
 let check_against_baseline report ~baseline ~max_regression_pct =
   let ( let* ) = Result.bind in

@@ -103,6 +103,13 @@ val run_eval_comparison : spec -> (eval_comparison, string list) result
 (** Replay the workload under [Full_eval] and [Incremental] and compare
     evaluation counts; also runs the memoized-hit microbench. *)
 
+val run_resilience_overhead :
+  ?spec:spec -> unit -> (float * float * float, string list) result
+(** [(off_ns, on_ns, overhead_percent)]: the per-request handle cost of
+    the serve workload raw and through the default resilience layer,
+    and the relative overhead.  The backend is latency-free, so the
+    difference is the layer's pure bookkeeping cost. *)
+
 val measure_hit : ?checks:int -> unit -> float * float
 (** [(ns, minor_words)] per memoized-hit precondition check of the
     paper's DELETE(volume) contract against an unchanged observed
@@ -120,6 +127,17 @@ val render : report -> string
 
 val to_json : report -> Cm_json.Json.t
 (** The BENCH_throughput.json document. *)
+
+val check_resilience_baseline :
+  overhead_percent:float ->
+  baseline:Cm_json.Json.t ->
+  max_overhead_pct:float ->
+  (float, string) result
+(** Gate a measured resilience overhead against the ceiling (the CI
+    gate uses 10%).  The baseline is a BENCH_resilience.json document;
+    its recorded [overhead_percent] is returned for drift reporting,
+    and a baseline without the field is an error (the gate must never
+    pass vacuously). *)
 
 val check_against_baseline :
   report ->

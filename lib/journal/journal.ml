@@ -1,0 +1,32 @@
+type t = { device : Device.t; mutable appended : int }
+
+let create device = { device; appended = 0 }
+let device t = t.device
+
+let append t ev =
+  Device.append t.device (Record.frame (Event.encode ev));
+  t.appended <- t.appended + 1
+
+let sync t = Device.sync t.device
+let appended t = t.appended
+
+let scan device =
+  let payloads, clean = Record.scan (Device.contents device) in
+  (* Decode the frame-clean prefix; a payload that frames correctly but
+     is not an event ends the trustworthy prefix (recompute the byte
+     offset of the first rejected record from the payload lengths). *)
+  let rec loop payloads pos acc =
+    match payloads with
+    | [] -> (List.rev acc, clean)
+    | payload :: rest -> (
+        match Event.decode payload with
+        | Some ev ->
+            loop rest (pos + Record.header_length + String.length payload)
+              (ev :: acc)
+        | None -> (List.rev acc, pos))
+  in
+  loop payloads 0 []
+
+let truncate_torn device clean =
+  Device.truncate device clean;
+  Device.sync device

@@ -1,0 +1,31 @@
+(** Length-prefixed, checksummed record framing for the event journal.
+
+    Each record is [magic "J1" (2B) | payload length (4B LE) |
+    CRC-32 of payload (4B LE) | payload].  {!scan} walks a byte string
+    and returns every record that is completely and correctly present;
+    it stops at the first frame that is torn (runs past the end of the
+    data), has a bad magic, or fails its checksum — everything from
+    that offset on is the crash's torn tail and must be discarded.
+
+    CRC-32 (IEEE 802.3 polynomial) detects all single-byte corruptions
+    and all burst errors up to 32 bits, which covers the torn-write
+    model: a partially persisted record is either short (torn) or has
+    trailing garbage where payload bytes should be (checksum). *)
+
+val magic : string
+(** ["J1"]. *)
+
+val header_length : int
+(** Bytes of framing per record (magic + length + checksum = 10). *)
+
+val crc32 : string -> int
+(** IEEE CRC-32 of the bytes, as a non-negative int below 2^32. *)
+
+val frame : string -> string
+(** Wrap a payload in a frame. *)
+
+val scan : string -> string list * int
+(** [scan data] is [(payloads, clean)] where [payloads] are the
+    well-formed records' payloads in order and [clean] is the byte
+    offset at which the first damaged frame (if any) begins —
+    [String.length data] when the whole string is clean. *)

@@ -19,6 +19,21 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type mode = Enforce | Oracle
 type degradation = Fail_closed | Fail_open_logged
 
+(* Everything the pre-phase concluded about a request, in serializable
+   form: the crash-recovery journal persists this *before* the request
+   is forwarded, so a monitor restarted mid-exchange can finish the
+   verdict without re-running the pre-phase against a post-state world
+   (re-observing after the effect would flip guards — e.g. a DELETE's
+   item guard is false once the item is gone). *)
+type pre_image = {
+  pi_pre_verdict : Cm_ocl.Eval.verdict;
+  pi_auth : Cm_ocl.Value.tribool option;  (* None: no authorization guard *)
+  pi_functional : Cm_ocl.Value.tribool;
+  pi_covered : string list;
+  pi_snapshot : (string * Cm_ocl.Value.t) list option;
+      (* Lean snapshot slots; None under the Full strategy *)
+}
+
 type config = {
   mode : mode;
   strategy : Runtime.strategy;
@@ -37,6 +52,15 @@ type config = {
   footprint_pruning : bool;
   cache : Obs_cache.scope;
   timings : bool;
+  journal_pre : (pre_image -> unit) option;
+      (* called with the pre-phase conclusion of a contracted request,
+         after evaluation and before forwarding — the journal's
+         write-ahead hook *)
+  journal_barrier : (unit -> unit) option;
+      (* called immediately before any backend forward (monitored,
+         uncontracted, and fail-open alike) — where the journal makes
+         everything appended so far durable *)
+  crash : Cm_core.Crash.t option;  (* crash-point injection sites *)
 }
 
 let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
@@ -44,11 +68,12 @@ let default_config ?(mode = Oracle) ?(strategy = Cm_contracts.Runtime.Lean)
     ?(eval = Cm_contracts.Runtime.Incremental) ?(trust_path_delta = false)
     ?(stability_check = false) ?resilience ?(degradation = Fail_open_logged)
     ?clock ?(footprint_pruning = true) ?(cache = Obs_cache.Per_request)
-    ?(timings = false) ~service_token ?service_token_for ?security resources
-    behavior =
+    ?(timings = false) ?journal_pre ?journal_barrier ?crash ~service_token
+    ?service_token_for ?security resources behavior =
   { mode; strategy; engine; eval; trust_path_delta; service_token;
     service_token_for; resources; behavior; security; stability_check;
-    resilience; degradation; clock; footprint_pruning; cache; timings
+    resilience; degradation; clock; footprint_pruning; cache; timings;
+    journal_pre; journal_barrier; crash
   }
 
 type t = {
@@ -539,6 +564,11 @@ let invalidate_after_mutation t (req : Request.t) =
   end
 
 let forward t req =
+  (* WAL barrier: before the backend can see the request, the journal
+     (when one is attached) must have synced the request record and any
+     pre-image appended for it — recovery depends on "forwarded implies
+     durably journaled". *)
+  Option.iter (fun barrier -> barrier ()) t.config.journal_barrier;
   let result =
     timed t `Forward (fun () ->
         match t.resilient with
@@ -560,7 +590,10 @@ let forward t req =
              Unknown_outcome failure))
   in
   (match result with
-  | Delivered _ | Unknown_outcome _ -> invalidate_after_mutation t req
+  | Delivered _ | Unknown_outcome _ ->
+    Cm_core.Crash.at t.config.crash "monitor.after-forward";
+    invalidate_after_mutation t req;
+    Cm_core.Crash.at t.config.crash "monitor.after-invalidate"
   | Not_delivered _ -> ());
   result
 
@@ -583,6 +616,7 @@ let degrade t req failure =
     outcome_base req response None (Outcome.Degraded detail) detail
   | Fail_open_logged ->
     let detail = "fail-open: forwarded unmonitored (" ^ why ^ ")" in
+    Option.iter (fun barrier -> barrier ()) t.config.journal_barrier;
     (match timed t `Forward (fun () -> t.backend req) with
      | response ->
        t.forward_seen <- true;
@@ -677,6 +711,12 @@ let tri_tag hint = function
   | Cm_ocl.Value.False -> `False
   | Cm_ocl.Value.Unknown -> `Unknown hint
 
+let auth_tag = function
+  | None -> `True
+  | Some tri -> tri_tag "authorization guard undefined" tri
+
+let functional_tag tri = tri_tag "functional precondition undefined" tri
+
 (* Timeout after forwarding, mid-contract: the request may or may not
    have executed.  Re-probe the observed state and record how it
    reconciles with the pre-snapshot, but keep the verdict three-valued —
@@ -715,96 +755,42 @@ let unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
     snapshot_bytes = Runtime.snapshot_bytes snapshot
   }
 
-let monitored t classified prepared req =
-  let user_token = Request.auth_token req in
-  let make_env =
-    observe_env ?request_body:req.Request.body t classified prepared
-  in
-  (* Trusted-delta mode: roots no mutation's template overlapped since
-     this contract's frame last synced are skipped without diffing.
-     [seen] is captured once — the forward in between bumps the
-     generation, so the post-observation still re-syncs everything the
-     mutation touched. *)
-  let changed =
-    match t.delta with
-    | Some d when t.config.trust_path_delta ->
-      let seen =
-        Option.value ~default:(-1)
-          (Hashtbl.find_opt t.delta_seen classified.trigger)
-      in
-      Some (fun root -> Delta.changed_since d ~seen root)
-    | _ -> None
-  in
-  let observe_now () =
-    let obs =
-      Runtime.observe ?changed prepared (make_env ~fresh:false ~user_token)
-    in
-    Option.iter
-      (fun d ->
-        Hashtbl.replace t.delta_seen classified.trigger (Delta.generation d))
-      t.delta;
-    obs
-  in
-  let pre_obs = timed t `Observe_pre observe_now in
+(* Everything downstream of the pre-phase: journal the pre-image,
+   forward, observe the post-state, classify the exchange.  Shared by
+   the live path ([monitored]) and crash recovery ([resume]), which
+   re-enters here with the *journaled* pre-image instead of re-running
+   the pre-phase — after the effect is applied, re-observed guards
+   would lie about the pre-state (a DELETE's item guard is false once
+   the item is gone). *)
+let conclude t prepared req ~user_token ~make_env ~observe_now ~pre_verdict
+    ~auth ~functional ~covered ~snapshot =
+  Option.iter
+    (fun sink ->
+      sink
+        { pi_pre_verdict = pre_verdict;
+          pi_auth = auth;
+          pi_functional = functional;
+          pi_covered = covered;
+          pi_snapshot = Runtime.snapshot_values snapshot
+        })
+    t.config.journal_pre;
   let contract = Runtime.contract prepared in
-  let pre_verdict =
-    timed t `Eval_pre (fun () -> Runtime.check_pre_observed prepared pre_obs)
-  in
-  let covered =
-    timed t `Eval_pre (fun () ->
-        Runtime.covered_requirements_observed prepared pre_obs)
-  in
-  let auth_tri =
-    match
-      timed t `Eval_pre (fun () -> Runtime.auth_guard_tri prepared pre_obs)
-    with
-    | None -> `True
-    | Some tri -> tri_tag "authorization guard undefined" tri
-  in
-  let functional_tri =
-    tri_tag "functional precondition undefined"
-      (timed t `Eval_pre (fun () -> Runtime.functional_pre_tri prepared pre_obs))
-  in
+  let auth_tri = auth_tag auth in
+  let functional_tri = functional_tag functional in
   match t.config.mode with
   | Enforce ->
-    (match tri_of_verdict pre_verdict with
-     | `False ->
-       let detail =
-         match auth_tri with
-         | `False -> "precondition violated: authorization"
-         | `True | `Unknown _ -> "precondition violated: behavioural guard"
-       in
-       let response = blocked_response Outcome.Conform_denied detail in
-       { (outcome_base req response None Outcome.Conform_denied detail) with
+    (match forward t req with
+     | Not_delivered failure ->
+       { (degrade t req failure) with
          pre_verdict = Some pre_verdict;
          covered_requirements = covered;
          contract_requirements = contract.Contract.requirements
        }
-     | `Unknown hint ->
-       let detail = "precondition undefined: " ^ hint in
-       let response = blocked_response (Outcome.Undefined hint) detail in
-       { (outcome_base req response None (Outcome.Undefined hint) detail) with
-         pre_verdict = Some pre_verdict;
-         covered_requirements = covered;
-         contract_requirements = contract.Contract.requirements
-       }
-     | `True ->
-       let snapshot =
-         timed t `Eval_pre (fun () ->
-             Runtime.take_snapshot_observed prepared pre_obs)
-       in
-       (match forward t req with
-        | Not_delivered failure ->
-          { (degrade t req failure) with
-            pre_verdict = Some pre_verdict;
-            covered_requirements = covered;
-            contract_requirements = contract.Contract.requirements
-          }
-        | Unknown_outcome failure ->
-          unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
-            ~pre_verdict ~covered
-            ~requirements:contract.Contract.requirements req failure
-        | Delivered cloud_response ->
+     | Unknown_outcome failure ->
+       unknown_after_forward t ~prepared ~make_env ~user_token ~snapshot
+         ~pre_verdict ~covered
+         ~requirements:contract.Contract.requirements req failure
+     | Delivered cloud_response ->
        let post_obs = timed t `Observe_post observe_now in
        let post_verdict =
          stable_post_verdict t ~make_env ~user_token
@@ -859,12 +845,8 @@ let monitored t classified prepared req =
             covered_requirements = covered;
             contract_requirements = contract.Contract.requirements;
             snapshot_bytes
-          })))
+          }))
   | Oracle ->
-    let snapshot =
-      timed t `Eval_pre (fun () ->
-          Runtime.take_snapshot_observed prepared pre_obs)
-    in
     (match forward t req with
      | Not_delivered failure ->
        { (degrade t req failure) with
@@ -877,71 +859,153 @@ let monitored t classified prepared req =
          ~pre_verdict ~covered
          ~requirements:contract.Contract.requirements req failure
      | Delivered cloud_response ->
-    let post_obs = timed t `Observe_post observe_now in
-    let snapshot_bytes = Runtime.snapshot_bytes snapshot in
-    let success = Response.is_success cloud_response in
-    let conformance, post_verdict, detail =
-      match auth_tri, functional_tri with
-      | `Unknown hint, _ | _, `Unknown hint ->
-        (Outcome.Undefined hint, None, "precondition undefined")
-      | `False, _ ->
-        if success then
-          ( Outcome.Security_unauthorized_allowed,
-            None,
-            "specification forbids this subject, yet the cloud performed the \
-             request" )
-        else (Outcome.Conform_denied, None, "")
-      | `True, `False ->
-        if success then
-          ( Outcome.Functional_wrongly_accepted,
-            None,
-            "behavioural precondition false, yet the cloud performed the \
-             request" )
-        else (Outcome.Conform_denied, None, "")
-      | `True, `True ->
-        if is_auth_failure cloud_response then
-          ( Outcome.Security_authorized_denied,
-            None,
-            "specification permits this subject, yet the cloud denied" )
-        else if not success then
-          ( Outcome.Functional_wrongly_rejected,
-            None,
-            Printf.sprintf "expected success, got %d"
-              cloud_response.Response.status )
-        else if
-          not
-            (List.mem cloud_response.Response.status
-               (expected_success_codes req.Request.meth))
-        then
-          ( Outcome.Functional_bad_status,
-            None,
-            Printf.sprintf "success status %d not in the expected set"
-              cloud_response.Response.status )
-        else begin
-          let post_verdict =
-            stable_post_verdict t ~make_env ~user_token
-              (Runtime.observed_env post_obs)
-              (timed t `Eval_post (fun () ->
-                   Runtime.check_post_observed prepared snapshot post_obs))
-          in
-          match tri_of_verdict post_verdict with
-          | `True -> (Outcome.Conform, Some post_verdict, "")
-          | `False ->
-            ( Outcome.Post_violated,
-              Some post_verdict,
-              "postcondition violated" )
-          | `Unknown hint ->
-            (Outcome.Undefined hint, Some post_verdict, "postcondition undefined")
-        end
+       let post_obs = timed t `Observe_post observe_now in
+       let snapshot_bytes = Runtime.snapshot_bytes snapshot in
+       let success = Response.is_success cloud_response in
+       let conformance, post_verdict, detail =
+         match auth_tri, functional_tri with
+         | `Unknown hint, _ | _, `Unknown hint ->
+           (Outcome.Undefined hint, None, "precondition undefined")
+         | `False, _ ->
+           if success then
+             ( Outcome.Security_unauthorized_allowed,
+               None,
+               "specification forbids this subject, yet the cloud performed \
+                the request" )
+           else (Outcome.Conform_denied, None, "")
+         | `True, `False ->
+           if success then
+             ( Outcome.Functional_wrongly_accepted,
+               None,
+               "behavioural precondition false, yet the cloud performed the \
+                request" )
+           else (Outcome.Conform_denied, None, "")
+         | `True, `True ->
+           if is_auth_failure cloud_response then
+             ( Outcome.Security_authorized_denied,
+               None,
+               "specification permits this subject, yet the cloud denied" )
+           else if not success then
+             ( Outcome.Functional_wrongly_rejected,
+               None,
+               Printf.sprintf "expected success, got %d"
+                 cloud_response.Response.status )
+           else if
+             not
+               (List.mem cloud_response.Response.status
+                  (expected_success_codes req.Request.meth))
+           then
+             ( Outcome.Functional_bad_status,
+               None,
+               Printf.sprintf "success status %d not in the expected set"
+                 cloud_response.Response.status )
+           else begin
+             let post_verdict =
+               stable_post_verdict t ~make_env ~user_token
+                 (Runtime.observed_env post_obs)
+                 (timed t `Eval_post (fun () ->
+                      Runtime.check_post_observed prepared snapshot post_obs))
+             in
+             match tri_of_verdict post_verdict with
+             | `True -> (Outcome.Conform, Some post_verdict, "")
+             | `False ->
+               ( Outcome.Post_violated,
+                 Some post_verdict,
+                 "postcondition violated" )
+             | `Unknown hint ->
+               ( Outcome.Undefined hint,
+                 Some post_verdict,
+                 "postcondition undefined" )
+           end
+       in
+       { (outcome_base req cloud_response (Some cloud_response) conformance
+            detail)
+         with
+         pre_verdict = Some pre_verdict;
+         post_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements;
+         snapshot_bytes
+       })
+
+let monitored t classified prepared req =
+  let user_token = Request.auth_token req in
+  let make_env =
+    observe_env ?request_body:req.Request.body t classified prepared
+  in
+  (* Trusted-delta mode: roots no mutation's template overlapped since
+     this contract's frame last synced are skipped without diffing.
+     [seen] is captured once — the forward in between bumps the
+     generation, so the post-observation still re-syncs everything the
+     mutation touched. *)
+  let changed =
+    match t.delta with
+    | Some d when t.config.trust_path_delta ->
+      let seen =
+        Option.value ~default:(-1)
+          (Hashtbl.find_opt t.delta_seen classified.trigger)
+      in
+      Some (fun root -> Delta.changed_since d ~seen root)
+    | _ -> None
+  in
+  let observe_now () =
+    let obs =
+      Runtime.observe ?changed prepared (make_env ~fresh:false ~user_token)
     in
-    { (outcome_base req cloud_response (Some cloud_response) conformance detail)
-      with
-      pre_verdict = Some pre_verdict;
-      post_verdict;
-      covered_requirements = covered;
-      contract_requirements = contract.Contract.requirements;
-      snapshot_bytes
-    })
+    Option.iter
+      (fun d ->
+        Hashtbl.replace t.delta_seen classified.trigger (Delta.generation d))
+      t.delta;
+    obs
+  in
+  let pre_obs = timed t `Observe_pre observe_now in
+  let contract = Runtime.contract prepared in
+  let pre_verdict =
+    timed t `Eval_pre (fun () -> Runtime.check_pre_observed prepared pre_obs)
+  in
+  let covered =
+    timed t `Eval_pre (fun () ->
+        Runtime.covered_requirements_observed prepared pre_obs)
+  in
+  let auth =
+    timed t `Eval_pre (fun () -> Runtime.auth_guard_tri prepared pre_obs)
+  in
+  let functional =
+    timed t `Eval_pre (fun () -> Runtime.functional_pre_tri prepared pre_obs)
+  in
+  let conclude_now () =
+    let snapshot =
+      timed t `Eval_pre (fun () ->
+          Runtime.take_snapshot_observed prepared pre_obs)
+    in
+    conclude t prepared req ~user_token ~make_env ~observe_now ~pre_verdict
+      ~auth ~functional ~covered ~snapshot
+  in
+  match t.config.mode with
+  | Enforce ->
+    (match tri_of_verdict pre_verdict with
+     | `False ->
+       let detail =
+         match auth_tag auth with
+         | `False -> "precondition violated: authorization"
+         | `True | `Unknown _ -> "precondition violated: behavioural guard"
+       in
+       let response = blocked_response Outcome.Conform_denied detail in
+       { (outcome_base req response None Outcome.Conform_denied detail) with
+         pre_verdict = Some pre_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements
+       }
+     | `Unknown hint ->
+       let detail = "precondition undefined: " ^ hint in
+       let response = blocked_response (Outcome.Undefined hint) detail in
+       { (outcome_base req response None (Outcome.Undefined hint) detail) with
+         pre_verdict = Some pre_verdict;
+         covered_requirements = covered;
+         contract_requirements = contract.Contract.requirements
+       }
+     | `True -> conclude_now ())
+  | Oracle -> conclude_now ()
 
 let handle_inner t req =
   match classify t req with
@@ -951,19 +1015,58 @@ let handle_inner t req =
      | None -> no_contract t classified req
      | Some prepared -> monitored t classified prepared req)
 
+(* Recovery re-entry: finish a request whose pre-phase already ran (and
+   was journaled) before a crash.  Re-forwarding is idempotent by the
+   request's X-Request-Id — the backend's dedup replays the original
+   response if the first attempt got through — and the journaled
+   pre-image stands in for the pre-phase, whose guards can no longer be
+   observed truthfully once the effect may have been applied. *)
+let resume_inner t req (image : pre_image) =
+  match classify t req with
+  | None -> not_monitored t req
+  | Some classified ->
+    (match prepared_for t classified.trigger with
+     | None -> no_contract t classified req
+     | Some prepared ->
+       let user_token = Request.auth_token req in
+       let make_env =
+         observe_env ?request_body:req.Request.body t classified prepared
+       in
+       let observe_now () =
+         Runtime.observe prepared (make_env ~fresh:false ~user_token)
+       in
+       let snapshot =
+         match image.pi_snapshot with
+         | Some values -> Runtime.snapshot_of_values values
+         | None ->
+           (* Full-strategy snapshots are not journalable; snapshot the
+              current state instead (journaled monitors run Lean, so
+              this arm is a fallback, not a correctness path). *)
+           timed t `Eval_pre (fun () ->
+               Runtime.take_snapshot_observed prepared
+                 (timed t `Observe_pre observe_now))
+       in
+       conclude t prepared req ~user_token ~make_env ~observe_now
+         ~pre_verdict:image.pi_pre_verdict ~auth:image.pi_auth
+         ~functional:image.pi_functional ~covered:image.pi_covered ~snapshot)
+
 (* Per-request exception containment.  A transport failure that escapes
    (no resilience layer configured) degrades the exchange; any other
    exception is a bug in the monitor itself and is reported as
    [Monitor_error] — a monitor bug must never surface as a cloud
    violation, and must never take the proxy down with it.  Resource
-   exhaustion is not containable and is re-raised. *)
-let handle t req =
+   exhaustion is not containable and is re-raised, and so is injected
+   [Crash.Crashed]: a kill site must actually kill the monitor, or
+   crash campaigns would measure the containment instead of recovery. *)
+let contained t req run =
   t.forward_seen <- false;
   reset_phases t;
   Option.iter Obs_cache.begin_request t.cache;
-  match handle_inner t req with
+  match run () with
   | outcome -> record t outcome
-  | exception ((Stack_overflow | Out_of_memory) as exn) -> raise exn
+  | exception
+      ((Stack_overflow | Out_of_memory | Cm_core.Crash.Crashed _) as exn) ->
+    raise exn
   | exception exn ->
     let suffix =
       if t.forward_seen then " (the request may have reached the cloud)"
@@ -991,4 +1094,6 @@ let handle t req =
            None (Outcome.Monitor_error detail) detail)
     end
 
+let handle t req = contained t req (fun () -> handle_inner t req)
+let resume t req image = contained t req (fun () -> resume_inner t req image)
 let handle_response t req = (handle t req).Outcome.response

@@ -35,6 +35,23 @@ type degradation =
       (** forward the request raw and unmonitored, logging the exchange
           as [Degraded] — availability over certainty (the default) *)
 
+type pre_image = {
+  pi_pre_verdict : Cm_ocl.Eval.verdict;
+  pi_auth : Cm_ocl.Value.tribool option;
+      (** authorization guard truth; [None] when the contract has no
+          authorization guard *)
+  pi_functional : Cm_ocl.Value.tribool;
+  pi_covered : string list;
+  pi_snapshot : (string * Cm_ocl.Value.t) list option;
+      (** [Lean] snapshot slot values; [None] under the [Full] strategy
+          (whose snapshots hold a live frame and cannot be persisted) *)
+}
+(** The pre-phase conclusion of a contracted request, in serializable
+    form.  A crash-recovery journal persists this {e before} the
+    request is forwarded (write-ahead); {!resume} finishes the exchange
+    from it after a restart, because once the effect may have been
+    applied the pre-state can no longer be observed truthfully. *)
+
 type config = {
   mode : mode;
   strategy : Cm_contracts.Runtime.strategy;
@@ -104,6 +121,22 @@ type config = {
       (** Record per-phase timing into each outcome's
           [Outcome.phases] (wall clock, or the virtual [clock] when one
           is configured).  Off by default. *)
+  journal_pre : (pre_image -> unit) option;
+      (** Write-ahead hook: called with the pre-phase conclusion of a
+          contracted request after evaluation and before forwarding.
+          [Cm_journal.Jmonitor] appends the image to its event log
+          here. *)
+  journal_barrier : (unit -> unit) option;
+      (** Called immediately before {e any} backend forward —
+          monitored, uncontracted, and fail-open alike.  The journal
+          syncs here, establishing the recovery invariant "forwarded
+          implies durably journaled". *)
+  crash : Cm_core.Crash.t option;
+      (** Crash-point injection: when set, the monitor announces the
+          sites [monitor.after-forward] and [monitor.after-invalidate]
+          to it (the journal layer adds its own).  An armed instance
+          kills the current request with [Cm_core.Crash.Crashed], which
+          deliberately escapes exception containment. *)
 }
 
 val default_config :
@@ -119,6 +152,9 @@ val default_config :
   ?footprint_pruning:bool ->
   ?cache:Obs_cache.scope ->
   ?timings:bool ->
+  ?journal_pre:(pre_image -> unit) ->
+  ?journal_barrier:(unit -> unit) ->
+  ?crash:Cm_core.Crash.t ->
   service_token:string ->
   ?service_token_for:(string -> string option) ->
   ?security:Cm_contracts.Generate.security ->
@@ -144,6 +180,15 @@ val handle : t -> Cm_http.Request.t -> Outcome.t
     escape the resilience layer become [Degraded] outcomes, and any
     internal exception is contained per-request as [Monitor_error] —
     a monitor bug is never reported as a cloud violation. *)
+
+val resume : t -> Cm_http.Request.t -> pre_image -> Outcome.t
+(** Crash recovery: finish an exchange whose pre-phase already ran (and
+    was journaled as [pre_image]) before the process died.  The request
+    is re-forwarded — idempotent when it carries the original
+    [X-Request-Id], which the backend dedups — the post-state is
+    observed fresh, and the verdict is classified exactly as {!handle}
+    would have, using the journaled pre-image in place of a re-run
+    pre-phase.  The outcome is logged like any other exchange. *)
 
 val resilience : t -> Resilience.t option
 (** The live resilience layer (breaker states, per-route metrics), when

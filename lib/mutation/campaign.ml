@@ -296,6 +296,265 @@ let chaos_to_json runs =
       ("ok", Json.bool (chaos_ok runs))
     ]
 
+(* ---- crash campaigns: exactly-once verdicts across kill+recover ---- *)
+
+let crash_sites =
+  [ "journal.before-request";
+    "journal.after-request";
+    "journal.before-pre";
+    "journal.after-pre";
+    "journal.before-sync";
+    "journal.after-sync";
+    "monitor.after-forward";
+    "monitor.after-invalidate";
+    "journal.before-verdict";
+    "journal.after-verdict"
+  ]
+
+type crash_run = {
+  xr_mutant : Mutant.t option;
+  xr_profile : string;
+  xr_site : string;
+  xr_fired : bool;
+  xr_killed : bool;
+  xr_verdicts : int;
+  xr_duplicates : string list;
+  xr_lost : string list;
+  xr_mismatches : (string * string * string) list;
+  xr_resumed : int;
+  xr_rehandled : int;
+  xr_discarded_bytes : int;
+}
+
+let journal_violations verdicts =
+  List.filter
+    (fun v ->
+      match
+        Cm_monitor.Outcome.conformance_of_string
+          v.Cm_journal.Event.v_conformance
+      with
+      | Some c -> Cm_monitor.Outcome.is_violation c
+      | None -> false)
+    verdicts
+
+let rid_conformances verdicts =
+  List.map
+    (fun v ->
+      (v.Cm_journal.Event.v_rid, v.Cm_journal.Event.v_conformance))
+    verdicts
+
+(* One cell of the matrix: run the workload with a crash armed at the
+   [nth] occurrence of [site], kill the device (torn tail), recover,
+   re-run the trace (concluded steps are served from the journal), and
+   audit the final journal: exactly one verdict per step, mutant still
+   killed, and — without chaos, where the transport stream is unshifted
+   by the recovery's extra re-forward — verdicts identical to the
+   crash-free reference. *)
+let run_crash_one_with ~setup ~trace ?(seed = 42) ~index ~site ~nth profile
+    mutant =
+  let faults = faults_of mutant in
+  let transport chaos_on =
+    match profile with
+    | None -> ((None : Cm_cloudsim.Chaos.profile option), None, None)
+    | Some p ->
+      if chaos_on then
+        (Some p, Some (seed + (1013 * index)), Some chaos_policy)
+      else (None, None, None)
+  in
+  let chaos, chaos_seed, resilience = transport true in
+  let run_reference () =
+    match setup ~faults ?chaos ?chaos_seed ?resilience ?crash:None () with
+    | Error msgs -> Error msgs
+    | Ok ref_ctx ->
+      ignore (Scenario.jrun_trace ref_ctx trace);
+      Cm_journal.Jmonitor.sync ref_ctx.Scenario.jmon;
+      Ok (Cm_journal.Jmonitor.verdicts ref_ctx.Scenario.jmon)
+  in
+  match run_reference () with
+  | Error msgs -> Error msgs
+  | Ok reference -> (
+    let crash_ctl = Cm_core.Crash.create () in
+    match
+      setup ~faults ?chaos ?chaos_seed ?resilience ?crash:(Some crash_ctl) ()
+    with
+    | Error msgs -> Error msgs
+    | Ok ctx -> (
+      Cm_core.Crash.arm crash_ctl ~site ~nth;
+      let fired = ref false in
+      let resumed = ref 0 and rehandled = ref 0 and discarded = ref 0 in
+      let recovery_error = ref None in
+      (try ignore (Scenario.jrun_trace ctx trace)
+       with Cm_core.Crash.Crashed _ ->
+         fired := true;
+         Cm_journal.Device.crash ctx.Scenario.jdevice;
+         (match Scenario.jrecover ctx with
+          | Ok r ->
+            resumed := r.Cm_journal.Jmonitor.resumed;
+            rehandled := r.Cm_journal.Jmonitor.rehandled;
+            discarded := r.Cm_journal.Jmonitor.discarded_bytes;
+            ignore (Scenario.jrun_trace ctx trace)
+          | Error msgs -> recovery_error := Some msgs));
+      match !recovery_error with
+      | Some msgs -> Error msgs
+      | None ->
+        Cm_journal.Jmonitor.sync ctx.Scenario.jmon;
+        let verdicts = Cm_journal.Jmonitor.verdicts ctx.Scenario.jmon in
+        let counts = Hashtbl.create 64 in
+        List.iter
+          (fun v ->
+            let rid = v.Cm_journal.Event.v_rid in
+            Hashtbl.replace counts rid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts rid)))
+          verdicts;
+        let duplicates =
+          Hashtbl.fold (fun rid n acc -> if n > 1 then rid :: acc else acc)
+            counts []
+          |> List.sort String.compare
+        in
+        let lost =
+          List.filter_map
+            (fun v ->
+              let rid = v.Cm_journal.Event.v_rid in
+              if Hashtbl.mem counts rid then None else Some rid)
+            reference
+          |> List.sort_uniq String.compare
+        in
+        let mismatches =
+          (* Only meaningful without chaos: a recovery re-forward shifts
+             the chaos stream, so post-crash chaos verdicts legitimately
+             differ from the reference's. *)
+          if Option.is_some profile then []
+          else
+            let ref_confs = rid_conformances reference in
+            List.filter_map
+              (fun v ->
+                let rid = v.Cm_journal.Event.v_rid in
+                match List.assoc_opt rid ref_confs with
+                | Some c
+                  when not (String.equal c v.Cm_journal.Event.v_conformance)
+                  -> Some (rid, c, v.Cm_journal.Event.v_conformance)
+                | Some _ | None -> None)
+              verdicts
+        in
+        Ok
+          { xr_mutant = mutant;
+            xr_profile =
+              (match profile with
+               | None -> "fault-free"
+               | Some p -> p.Cm_cloudsim.Chaos.name);
+            xr_site = site;
+            xr_fired = !fired;
+            xr_killed = journal_violations verdicts <> [];
+            xr_verdicts = List.length verdicts;
+            xr_duplicates = duplicates;
+            xr_lost = lost;
+            xr_mismatches = mismatches;
+            xr_resumed = !resumed;
+            xr_rehandled = !rehandled;
+            xr_discarded_bytes = !discarded
+          }))
+
+let run_crash_one ?(cross = true) ?seed ~index ~site ~nth profile mutant =
+  run_crash_one_with
+    ~setup:(fun ~faults ?chaos ?chaos_seed ?resilience ?crash () ->
+      Scenario.setup_journaled ~cross ~faults ?chaos ?chaos_seed ?resilience
+        ?crash ())
+    ~trace:
+      (if cross then Cm_workload.Workload.cross_trace
+       else Cm_workload.Workload.standard_trace)
+    ?seed ~index ~site ~nth profile mutant
+
+let run_crash_matrix ?cross ?seed ?(domains = 1) ?(nth = 3) ?(sites = crash_sites)
+    profiles mutants =
+  let jobs =
+    List.concat_map
+      (fun profile ->
+        List.concat_map
+          (fun site ->
+            List.map
+              (fun m -> (profile, site, m))
+              (None :: List.map (fun m -> Some m) mutants))
+          sites)
+      profiles
+  in
+  sequence
+    (Cm_core.Domain_pool.map_list ~domains
+       (fun (index, (profile, site, m)) ->
+         run_crash_one ?cross ?seed ~index ~site ~nth profile m)
+       (List.mapi (fun i j -> (i, j)) jobs))
+
+let crash_ok runs =
+  List.for_all
+    (fun r ->
+      r.xr_duplicates = [] && r.xr_lost = [] && r.xr_mismatches = []
+      &&
+      match r.xr_mutant with
+      | None -> not r.xr_killed
+      | Some _ -> r.xr_killed)
+    runs
+
+let crash_matrix runs =
+  let buf = Buffer.create 2048 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "%-14s %-26s %-30s %-6s %-8s %-4s %-4s %-4s %s" "profile" "site"
+    "mutant" "fired" "killed" "dup" "lost" "mism" "recovery";
+  line "%s" (String.make 118 '-');
+  List.iter
+    (fun r ->
+      let name =
+        match r.xr_mutant with
+        | None -> "(baseline: no fault)"
+        | Some m -> m.Mutant.name
+      in
+      let killed_cell =
+        match r.xr_mutant with
+        | None -> if r.xr_killed then "DIRTY" else "clean"
+        | Some _ -> if r.xr_killed then "yes" else "NO"
+      in
+      line "%-14s %-26s %-30s %-6b %-8s %-4d %-4d %-4d res=%d reh=%d torn=%dB"
+        r.xr_profile r.xr_site name r.xr_fired killed_cell
+        (List.length r.xr_duplicates)
+        (List.length r.xr_lost)
+        (List.length r.xr_mismatches)
+        r.xr_resumed r.xr_rehandled r.xr_discarded_bytes;
+      List.iter
+        (fun (rid, was, now) ->
+          line "    MISMATCH %s: %s -> %s" rid was now)
+        r.xr_mismatches)
+    runs;
+  Buffer.contents buf
+
+let crash_to_json runs =
+  let module Json = Cm_json.Json in
+  Json.obj
+    [ ( "runs",
+        Json.list
+          (List.map
+             (fun r ->
+               Json.obj
+                 [ ("profile", Json.string r.xr_profile);
+                   ("site", Json.string r.xr_site);
+                   ( "mutant",
+                     match r.xr_mutant with
+                     | None -> Json.null
+                     | Some m -> Json.string m.Mutant.name );
+                   ("fired", Json.bool r.xr_fired);
+                   ("killed", Json.bool r.xr_killed);
+                   ("verdicts", Json.int r.xr_verdicts);
+                   ( "duplicates",
+                     Json.list (List.map Json.string r.xr_duplicates) );
+                   ("lost", Json.list (List.map Json.string r.xr_lost));
+                   ("mismatches", Json.int (List.length r.xr_mismatches));
+                   ("resumed", Json.int r.xr_resumed);
+                   ("rehandled", Json.int r.xr_rehandled);
+                   ("discarded_bytes", Json.int r.xr_discarded_bytes)
+                 ])
+             runs) );
+      ("ok", Json.bool (crash_ok runs))
+    ]
+
 let to_json results =
   let module Json = Cm_json.Json in
   Json.obj

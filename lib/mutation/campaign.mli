@@ -108,3 +108,77 @@ val chaos_matrix : chaos_run list -> string
 (** Printable matrix, flips spelled out per run. *)
 
 val chaos_to_json : chaos_run list -> Cm_json.Json.t
+
+(** {1 Crash campaigns}
+
+    Detection power must also survive the monitor {e dying} mid-kill:
+    each cell of the crash matrix arms one deterministic crash point,
+    runs the workload until the crash fires, tears the journal tail
+    ({!Cm_journal.Device.crash}), recovers, and re-runs the trace (steps
+    that already concluded are served from the journal — see
+    {!Scenario.jexec_env}).  The final journal is then audited for
+    exactly-once verdicts and preserved kills. *)
+
+val crash_sites : string list
+(** The ten injection sites threaded through the journaled pipeline:
+    eight [journal.*] sites around the append/sync points and two
+    [monitor.*] sites after the forward and after cache
+    invalidation. *)
+
+type crash_run = {
+  xr_mutant : Mutant.t option;
+  xr_profile : string;  (** chaos profile name, or ["fault-free"] *)
+  xr_site : string;
+  xr_fired : bool;
+      (** whether the armed crash actually fired (a site the workload
+          does not reach [nth] times yields a vacuous pass) *)
+  xr_killed : bool;
+  xr_verdicts : int;
+  xr_duplicates : string list;
+      (** idempotency keys with more than one journaled verdict — must
+          be empty (exactly-once) *)
+  xr_lost : string list;
+      (** keys the crash-free reference concluded but the crashed run
+          never did — must be empty *)
+  xr_mismatches : (string * string * string) list;
+      (** (key, reference verdict, post-recovery verdict) — compared
+          only without chaos, where the transport stream is
+          deterministic across the recovery *)
+  xr_resumed : int;  (** in-flight exchanges finished via [resume] *)
+  xr_rehandled : int;
+  xr_discarded_bytes : int;  (** torn tail recovery dropped *)
+}
+
+val run_crash_one :
+  ?cross:bool ->
+  ?seed:int ->
+  index:int ->
+  site:string ->
+  nth:int ->
+  Cm_cloudsim.Chaos.profile option ->
+  Mutant.t option ->
+  (crash_run, string list) Stdlib.result
+(** One cell: reference run, crashed+recovered run, audit.  [cross]
+    (default true) uses the cross-service models and workload — the
+    extended mutants X1..X8 need them. *)
+
+val run_crash_matrix :
+  ?cross:bool ->
+  ?seed:int ->
+  ?domains:int ->
+  ?nth:int ->
+  ?sites:string list ->
+  Cm_cloudsim.Chaos.profile option list ->
+  Mutant.t list ->
+  (crash_run list, string list) Stdlib.result
+(** The full matrix: every profile x site x (baseline + mutants), each
+    cell independent (fresh cloud + journal) and fanned out over
+    [domains].  [nth] (default 3) picks which occurrence of the site
+    crashes. *)
+
+val crash_ok : crash_run list -> bool
+(** Zero duplicates, zero losses, zero mismatches, baseline clean,
+    every mutant killed — across every cell. *)
+
+val crash_matrix : crash_run list -> string
+val crash_to_json : crash_run list -> Cm_json.Json.t

@@ -100,3 +100,70 @@ val cross : ctx -> unit
 (** Run the cross-service workload ({!Cm_workload.Workload.cross_trace});
     requires a {!setup_cross} context — under {!setup}'s single-service
     models the compute/image steps are merely unclassified. *)
+
+(** {2 Journaled contexts}
+
+    The same scenario with the monitor wrapped in
+    {!Cm_journal.Jmonitor}: every exchange goes through the durable
+    write-ahead journal, crash points can be armed, and the context can
+    be crashed and recovered mid-trace.  The cloud, clock and chaos
+    transport survive a recovery (only the monitor process "dies"). *)
+
+type jctx = {
+  jcloud : Cm_cloudsim.Cloud.t;
+  mutable jmon : Cm_journal.Jmonitor.t;
+      (** replaced in place by {!jrecover} *)
+  jtokens : (string * string) list;
+  jclock : Cm_core.Clock.t;
+  jdevice : Cm_journal.Device.t;
+  jmake : Cm_journal.Jmonitor.make;
+  jbatch : int;
+  jcrash : Cm_core.Crash.t option;
+}
+
+val setup_journaled :
+  ?cross:bool ->
+  ?mode:Cm_monitor.Monitor.mode ->
+  ?eval:Cm_contracts.Runtime.eval_mode ->
+  ?faults:Cm_cloudsim.Faults.set ->
+  ?chaos:Cm_cloudsim.Chaos.profile ->
+  ?chaos_seed:int ->
+  ?resilience:Cm_monitor.Resilience.policy ->
+  ?batch:int ->
+  ?journal_seed:int ->
+  ?crash:Cm_core.Crash.t ->
+  unit ->
+  (jctx, string list) result
+(** {!setup} (or {!setup_cross} with [~cross:true]) plus a journal
+    device on the shared clock and a journaled monitor over it.
+    [journal_seed] seeds the device's torn-tail draw; [crash] arms
+    deterministic crash-point injection. *)
+
+val jrecover : jctx -> (Cm_journal.Jmonitor.recovery, string list) result
+(** Restart the monitor after {!Cm_journal.Device.crash}: scans the
+    journal, finishes the in-flight exchange, and installs the new
+    instance into [jctx.jmon]. *)
+
+val jexec_env : jctx -> Cm_workload.Exec.env
+(** Like {!exec_env} over the journaled monitor, with two twists: each
+    monitored request is tagged with the deterministic idempotency key
+    [stp-<n>], and a request whose key already has a journaled verdict
+    returns the {e recorded} response without re-issuing — which is
+    what makes "re-run the trace after recovery" exactly-once. *)
+
+val jrun_trace : jctx -> Cm_workload.Workload.trace -> int
+
+val journal_events : jctx -> Cm_journal.Event.t list
+(** The clean events currently on the context's device. *)
+
+val replay_journal :
+  ?cross:bool ->
+  ?mode:Cm_monitor.Monitor.mode ->
+  ?eval:Cm_contracts.Runtime.eval_mode ->
+  Cm_journal.Event.t list ->
+  (string list, string list) result
+(** Re-execute a recorded journal against a {e fresh} same-seed cloud:
+    requests verbatim (tokens and ids are deterministic), marks
+    re-performed out-of-band.  Returns the replayed verdict lines,
+    which must be bit-identical to
+    [Cm_journal.Jmonitor.journaled_verdict_lines] of the recording. *)

@@ -888,5 +888,102 @@ let workload =
     replay = workload_replay
   }
 
-let all = [ engine; rbac; codegen; monitor; incremental; chaos; workload ]
+(* ---- durable journal ---- *)
+
+(* Record a workload mix through the journaled monitor, then replay the
+   scanned journal against a fresh same-seed cloud under both
+   evaluation modes.  The property is bit-identity: the replayed
+   verdict lines must equal the journaled ones — any hidden
+   nondeterminism in tokens, sequence numbers or evaluation order shows
+   up as the first diverging line. *)
+
+let journal_line_diff recorded replayed =
+  let rec go n a b =
+    match a, b with
+    | x :: a', y :: b' ->
+      if x = y then go (n + 1) a' b'
+      else Fmt.str "line %d: recorded [%s] vs replayed [%s]" n x y
+    | [], y :: _ -> Fmt.str "line %d only in replay: [%s]" n y
+    | x :: _, [] -> Fmt.str "line %d only in recording: [%s]" n x
+    | [], [] -> "identical"
+  in
+  go 0 recorded replayed
+
+let journal_check ~mix_name ~wl_seed ~steps =
+  match workload_trace ~mix_name ~wl_seed ~steps with
+  | None -> Some ("unknown workload mix " ^ mix_name)
+  | Some trace ->
+    (match Scenario.setup_journaled ~cross:true () with
+     | Error msgs ->
+       Some ("journal setup failed: " ^ String.concat "; " msgs)
+     | Ok jctx ->
+       let _ = Scenario.jrun_trace jctx trace in
+       Cm_journal.Jmonitor.sync jctx.Scenario.jmon;
+       let events = Scenario.journal_events jctx in
+       let recorded = Cm_journal.Jmonitor.journaled_verdict_lines events in
+       let check_eval eval label =
+         match Scenario.replay_journal ~cross:true ~eval events with
+         | Error msgs ->
+           Some
+             (Fmt.str "mix %s seed %d: %s replay failed: %s" mix_name
+                wl_seed label (String.concat "; " msgs))
+         | Ok lines ->
+           if lines = recorded then None
+           else
+             Some
+               (Fmt.str "mix %s seed %d: %s replay diverges at %s" mix_name
+                  wl_seed label (journal_line_diff recorded lines))
+       in
+       (match check_eval Runtime.Full_eval "full" with
+        | Some detail -> Some detail
+        | None -> check_eval Runtime.Incremental "incremental"))
+
+let journal_run ~shrink ~seed ~index ~size =
+  let mix_name, wl_seed, steps0 = workload_case_inputs ~seed ~index ~size in
+  let fails steps = journal_check ~mix_name ~wl_seed ~steps in
+  match fails steps0 with
+  | None -> Pass
+  | Some detail0 ->
+    let rec minimize steps count =
+      let next = steps / 2 in
+      if next >= 1 && fails next <> None then minimize next (count + 1)
+      else (steps, count)
+    in
+    let steps, shrink_steps =
+      if shrink then minimize steps0 0 else (steps0, 0)
+    in
+    let detail = Option.value ~default:detail0 (fails steps) in
+    Fail
+      { oracle = "journal"; index; detail; shrink_steps;
+        repr = Fmt.str "%s seed=%d steps=%d" mix_name wl_seed steps;
+        entry =
+          Corpus.make ~oracle:"journal" ~seed ~index ~size
+            [ ("mix", mix_name); ("wl_seed", string_of_int wl_seed);
+              ("steps", string_of_int steps)
+            ]
+      }
+
+let journal_replay (entry : Corpus.entry) =
+  let d_name, d_seed, d_steps =
+    workload_case_inputs ~seed:entry.seed ~index:entry.index ~size:entry.size
+  in
+  let lookup key default parse =
+    match List.assoc_opt key entry.payload with
+    | Some v -> (try parse v with _ -> default)
+    | None -> default
+  in
+  let mix_name = lookup "mix" d_name Fun.id in
+  let wl_seed = lookup "wl_seed" d_seed int_of_string in
+  let steps = lookup "steps" d_steps int_of_string in
+  match journal_check ~mix_name ~wl_seed ~steps with
+  | None -> Ok ()
+  | Some detail -> Error detail
+
+let journal =
+  { name = "journal"; weight = 1; run_case = journal_run;
+    replay = journal_replay
+  }
+
+let all =
+  [ engine; rbac; codegen; monitor; incremental; chaos; workload; journal ]
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -65,5 +65,12 @@ val workload : t
     sequences under full and incremental evaluation with a
     violation-free baseline. *)
 
+val journal : t
+(** Durable-journal integrity: the case's workload mix is recorded live
+    through the journaled monitor, then the scanned journal is replayed
+    against a fresh same-seed cloud under both [Full_eval] and
+    [Incremental]; the replayed verdict lines must be bit-identical to
+    the journaled ones. *)
+
 val all : t list
 val find : string -> t option
