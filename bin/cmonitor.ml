@@ -661,23 +661,58 @@ let recover_cmd =
 
 (* ---- serve-bench: sharded multicore throughput ---- *)
 
-let serve_bench projects requests seed domains rate json_path baseline_path
-    max_regression resilience_baseline =
+(* "--domains 1,2,4" (explicit list) and the repeatable
+   "--domains 1 --domains 2" spelling both work; entries merge. *)
+let parse_domains_list specs =
+  List.concat_map
+    (fun s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun part ->
+             match int_of_string_opt (String.trim part) with
+             | Some d -> Some (max 1 d)
+             | None ->
+               Printf.eprintf
+                 "serve-bench: ignoring non-numeric domain count %S\n" part;
+               None))
+    specs
+  |> List.sort_uniq compare
+
+let serve_bench projects requests seed domains rate gates min_speedup json_path
+    baseline_path max_regression resilience_baseline =
   let module SB = Cloudmon.Serve_bench in
   let spec =
     { SB.projects; requests_per_project = requests; seed }
   in
   let domains_list =
-    match domains with
-    | [] -> [ 1; 2; 4 ]
-    | ds -> List.sort_uniq compare (List.map (fun d -> max 1 d) ds)
+    match parse_domains_list domains with [] -> [ 1; 2; 4 ] | ds -> ds
   in
-  match SB.run ~spec ~domains_list ?rate () with
+  match SB.run ~spec ~domains_list ?rate ~min_speedup () with
   | Error msgs ->
     List.iter prerr_endline msgs;
     1
   | Ok report ->
     print_string (SB.render report);
+    (* Gates run before the JSON is written so relabeled rows
+       (gate_failed) land in the emitted document. *)
+    let contention_code =
+      match SB.check_contention report with
+      | Ok () ->
+        print_endline
+          "contention gate passed: 0 lock acquisitions per monitored GET";
+        0
+      | Error msg ->
+        prerr_endline ("serve-bench: " ^ msg);
+        if gates then 1 else 0
+    in
+    let speedup_code =
+      match SB.check_speedup report with
+      | Ok msg ->
+        print_endline msg;
+        0
+      | Error msg ->
+        prerr_endline ("serve-bench: " ^ msg);
+        if gates then 1 else 0
+    in
     (match json_path with
      | None -> ()
      | Some path ->
@@ -755,7 +790,8 @@ let serve_bench projects requests seed domains rate json_path baseline_path
                    prerr_endline ("serve-bench: " ^ msg);
                    1)))
       in
-      max fastpath_code resilience_code
+      max (max fastpath_code resilience_code)
+        (max contention_code speedup_code)
     end
 
 let sb_projects_arg =
@@ -768,9 +804,27 @@ let sb_requests_arg =
 
 let sb_domains_arg =
   let doc =
-    "Domain count to measure (repeatable; default 1, 2 and 4)."
+    "Domain counts to measure, as an explicit comma-separated list \
+     (e.g. --domains 1,2,4); also repeatable.  Default 1, 2 and 4."
   in
-  Arg.(value & opt_all int [] & info [ "domains" ] ~docv:"N" ~doc)
+  Arg.(value & opt_all string [] & info [ "domains" ] ~docv:"LIST" ~doc)
+
+let sb_gates_arg =
+  let doc =
+    "Make the contention and speedup gates fatal: fail if the monitored \
+     GET path acquires any instrumented lock, and — only when the host \
+     has >= 2 hardware domains — fail if the best valid multi-domain \
+     speedup is below the --min-speedup floor.  Both gate results are \
+     always measured and recorded in the JSON report; this flag turns \
+     them into exit codes."
+  in
+  Arg.(value & flag & info [ "gates" ] ~doc)
+
+let sb_min_speedup_arg =
+  let doc =
+    "Speedup floor for the conditional scaling gate (2+ domains vs 1)."
+  in
+  Arg.(value & opt float 1.6 & info [ "min-speedup" ] ~docv:"X" ~doc)
 
 let sb_rate_arg =
   let doc =
@@ -985,8 +1039,9 @@ let serve_bench_cmd =
           observation traffic")
     Term.(
       const serve_bench $ sb_projects_arg $ sb_requests_arg $ seed_arg
-      $ sb_domains_arg $ sb_rate_arg $ sb_json_arg $ sb_baseline_arg
-      $ sb_max_regression_arg $ sb_resilience_baseline_arg)
+      $ sb_domains_arg $ sb_rate_arg $ sb_gates_arg $ sb_min_speedup_arg
+      $ sb_json_arg $ sb_baseline_arg $ sb_max_regression_arg
+      $ sb_resilience_baseline_arg)
 
 let main =
   Cmd.group

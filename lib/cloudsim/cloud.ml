@@ -9,9 +9,12 @@ type t = {
      requests, so a client retrying after an uncertain transport failure
      (timeout, connection reset) never executes the mutation twice.
      Mutex-protected: it is the one table every shard's mutations
-     share. *)
+     deliberately share — exactly-once semantics need a cross-shard
+     linearization point.  The lock is instrumented so the contention
+     gate can prove it never shows up on the monitored GET path (GETs
+     bypass it entirely). *)
   dedup : (string, Cm_http.Response.t) Hashtbl.t;
-  dedup_lock : Mutex.t;
+  dedup_lock : Cm_core.Lockstat.t;
 }
 
 let default_policy =
@@ -60,7 +63,7 @@ let create ?(policy = default_policy) ?clock ?seed () =
   in
   { store; identity; ctx; router;
     dedup = Hashtbl.create 64;
-    dedup_lock = Mutex.create ()
+    dedup_lock = Cm_core.Lockstat.create "cloud.dedup"
   }
 
 let request_id_header = "X-Request-Id"
@@ -77,7 +80,7 @@ let handle t req =
        the same request id could both execute the mutation.  Holding the
        lock across dispatch serializes cross-shard mutations that carry
        request ids; within a shard mutations are sequential anyway. *)
-    Mutex.protect t.dedup_lock (fun () ->
+    Cm_core.Lockstat.protect t.dedup_lock (fun () ->
         match Hashtbl.find_opt t.dedup id with
         | Some cached -> cached
         | None ->

@@ -5,43 +5,53 @@ module Role_assignment = Cm_rbac.Role_assignment
 type user_record = { subject : Subject.t; password : string }
 type token_info = { subject : Subject.t; project_id : string }
 
-(* Identity writes (user/assignment setup, token issue/revoke) are
-   mutex-serialized so multi-tenant fixtures can be seeded from anywhere;
-   validation — the hot per-request read — stays lock-free under the
-   discipline that writes quiesce before parallel serving begins (the
-   serve path never logs in; only the setup phase does). *)
+module Smap = Map.Make (String)
+
+(* Identity writes (user/assignment setup, token issue/revoke) serialize
+   on one instrumented mutex and RCU-publish immutable snapshots; every
+   read — including token validation, the hot per-request path the
+   backend runs on each authorized call — is an [Atomic.get] of a
+   published map plus a persistent lookup.  No quiescence discipline
+   required anymore: a validation racing a revocation sees either the
+   pre- or post-revocation snapshot, never a torn table. *)
 type t = {
-  users : (string, user_record) Hashtbl.t;
-  assignments : (string, Role_assignment.t) Hashtbl.t;
-  tokens : (string, token_info) Hashtbl.t;
-  revoked : (string, unit) Hashtbl.t;
+  users : user_record Smap.t Atomic.t;
+  assignments : Role_assignment.t Smap.t Atomic.t;
+  tokens : token_info Smap.t Atomic.t;
+  revoked : unit Smap.t Atomic.t;
   next_token : int Atomic.t;
-  write_lock : Mutex.t;
+  write_lock : Cm_core.Lockstat.t;
 }
 
 let create () =
-  { users = Hashtbl.create 16;
-    assignments = Hashtbl.create 4;
-    tokens = Hashtbl.create 16;
-    revoked = Hashtbl.create 4;
+  { users = Atomic.make Smap.empty;
+    assignments = Atomic.make Smap.empty;
+    tokens = Atomic.make Smap.empty;
+    revoked = Atomic.make Smap.empty;
     next_token = Atomic.make 1;
-    write_lock = Mutex.create ()
+    write_lock = Cm_core.Lockstat.create "identity.write"
   }
 
+(* All writers hold [write_lock], so read-modify-publish is atomic with
+   respect to other writers; readers just see one snapshot or the
+   next. *)
+let publish cell f = Atomic.set cell (f (Atomic.get cell))
+
 let add_user t ?(password = "secret") subject =
-  Mutex.protect t.write_lock (fun () ->
-      Hashtbl.replace t.users subject.Subject.user_name { subject; password })
+  Cm_core.Lockstat.protect t.write_lock (fun () ->
+      publish t.users
+        (Smap.add subject.Subject.user_name { subject; password }))
 
 let set_assignment t ~project_id assignment =
-  Mutex.protect t.write_lock (fun () ->
-      Hashtbl.replace t.assignments project_id assignment)
+  Cm_core.Lockstat.protect t.write_lock (fun () ->
+      publish t.assignments (Smap.add project_id assignment))
 
 let assignment_for t ~project_id =
   Option.value ~default:Role_assignment.empty
-    (Hashtbl.find_opt t.assignments project_id)
+    (Smap.find_opt project_id (Atomic.get t.assignments))
 
 let issue_token t ~user ~password ~project_id =
-  match Hashtbl.find_opt t.users user with
+  match Smap.find_opt user (Atomic.get t.users) with
   | None -> Error "no such user"
   | Some record ->
     if record.password <> password then Error "invalid credentials"
@@ -49,9 +59,9 @@ let issue_token t ~user ~password ~project_id =
       let value =
         Printf.sprintf "tok-%d-%s" (Atomic.fetch_and_add t.next_token 1) user
       in
-      Mutex.protect t.write_lock (fun () ->
-          Hashtbl.replace t.tokens value
-            { subject = record.subject; project_id });
+      Cm_core.Lockstat.protect t.write_lock (fun () ->
+          publish t.tokens
+            (Smap.add value { subject = record.subject; project_id }));
       Ok value
     end
 
@@ -60,14 +70,16 @@ let issue_token t ~user ~password ~project_id =
    still resolve it via [validate_even_revoked], while honest validation
    and introspection treat the token as gone. *)
 let validate t ~token =
-  if Hashtbl.mem t.revoked token then None
-  else Hashtbl.find_opt t.tokens token
+  if Smap.mem token (Atomic.get t.revoked) then None
+  else Smap.find_opt token (Atomic.get t.tokens)
 
-let validate_even_revoked t ~token = Hashtbl.find_opt t.tokens token
+let validate_even_revoked t ~token =
+  Smap.find_opt token (Atomic.get t.tokens)
 
 let revoke t ~token =
-  Mutex.protect t.write_lock (fun () ->
-      if Hashtbl.mem t.tokens token then Hashtbl.replace t.revoked token ())
+  Cm_core.Lockstat.protect t.write_lock (fun () ->
+      if Smap.mem token (Atomic.get t.tokens) then
+        publish t.revoked (Smap.add token ()))
 
 let roles_of_token t info =
   Role_assignment.roles_of info.subject (assignment_for t ~project_id:info.project_id)

@@ -41,23 +41,61 @@ type project = {
   images : (string, image) Hashtbl.t;
 }
 
+module Smap = Map.Make (String)
+
 (* Domain-safety boundary: the store is shared by all shards, so the
-   cross-project surface — the id counter and the project table — is
-   Atomic/Mutex-protected.  Everything *inside* a project (its volume,
-   server and image tables, the mutable resource fields) is owned by
-   exactly one shard at a time: requests are partitioned by project and
-   each shard serves its projects sequentially, so per-project state
-   needs no locks.  Cross-shard readers of per-project state (benches,
-   assertions) must run while serving is quiesced. *)
+   cross-project surface — the id counter and the project table — must
+   be safe to touch from any domain.  The table is RCU-style: each
+   partition publishes an immutable [Smap] snapshot through an [Atomic];
+   the per-request read path ([find_project]) is one [Atomic.get] plus a
+   persistent-map lookup — no lock, no CAS, no write of any kind.
+   Writers (project creation/removal — setup and churn traffic, not the
+   serving hot path) serialize on the partition's instrumented mutex,
+   rebuild the map, and publish the successor with a plain atomic store;
+   the mutex makes writers mutually exclusive, so the store is a
+   linearization point, and a reader sees either the old map or the new
+   one, never a partially-applied mutation.
+
+   Everything *inside* a project (its volume, server and image tables,
+   the mutable resource fields) is owned by exactly one shard at a time:
+   requests are partitioned by project and each shard serves its
+   projects sequentially, so per-project state needs no locks.
+   Cross-shard readers of per-project state (benches, assertions) must
+   run while serving is quiesced. *)
+
+type partition = {
+  snapshot : project Smap.t Atomic.t;
+  write_lock : Cm_core.Lockstat.t;
+}
+
+(* Enough partitions that concurrent churn writers rarely share one;
+   readers never care (they touch only the snapshot). *)
+let partitions = 16
+
 type t = {
-  project_table : (string, project) Hashtbl.t;
-  table_lock : Mutex.t;
+  parts : partition array;
   next_id : int Atomic.t;
 }
 
+(* FNV-1a over the project id — any stable hash works, the partition
+   only has to be a pure function of the id. *)
+let partition_hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let partition_of t id = t.parts.(partition_hash id mod partitions)
+
 let create () =
-  { project_table = Hashtbl.create 16;
-    table_lock = Mutex.create ();
+  { parts =
+      Array.init partitions (fun i ->
+          { snapshot = Atomic.make Smap.empty;
+            write_lock =
+              Cm_core.Lockstat.create
+                (Printf.sprintf "store.partition-%02d" i)
+          });
     next_id = Atomic.make 1
   }
 
@@ -77,16 +115,30 @@ let add_project t ~id ~name ~quota_volumes ~quota_gigabytes
       images = Hashtbl.create 16
     }
   in
-  Mutex.protect t.table_lock (fun () ->
-      Hashtbl.replace t.project_table id project);
+  let part = partition_of t id in
+  Cm_core.Lockstat.protect part.write_lock (fun () ->
+      Atomic.set part.snapshot
+        (Smap.add id project (Atomic.get part.snapshot)));
   project
 
 let find_project t id =
-  Mutex.protect t.table_lock (fun () -> Hashtbl.find_opt t.project_table id)
+  Smap.find_opt id (Atomic.get (partition_of t id).snapshot)
+
+let remove_project t id =
+  let part = partition_of t id in
+  Cm_core.Lockstat.protect part.write_lock (fun () ->
+      let before = Atomic.get part.snapshot in
+      if Smap.mem id before then begin
+        Atomic.set part.snapshot (Smap.remove id before);
+        true
+      end
+      else false)
 
 let projects t =
-  Mutex.protect t.table_lock (fun () ->
-      Hashtbl.fold (fun _ p acc -> p :: acc) t.project_table [])
+  Array.fold_left
+    (fun acc part ->
+      Smap.fold (fun _ p acc -> p :: acc) (Atomic.get part.snapshot) acc)
+    [] t.parts
   |> List.sort (fun a b -> String.compare a.project_id b.project_id)
 
 let add_volume t project ?(source_image = "") ~name ~size_gb () =

@@ -8,7 +8,10 @@
 
     {b Domain safety.}  The cross-project surface is safe to call from
     any domain: {!fresh_id} is an [Atomic] counter and the project
-    table is mutex-protected.  Per-project state (the tables and
+    table is an RCU-style published snapshot — readers resolve a
+    project with one [Atomic.get] of an immutable map (no lock),
+    writers serialize on a per-partition instrumented mutex and
+    publish a new snapshot.  Per-project state (the tables and
     mutable fields inside a {!project}) follows a shard-ownership
     discipline instead of locks: requests are partitioned by project
     and each project is served by exactly one domain at a time, so
@@ -73,7 +76,16 @@ val add_project :
   ?quota_images:int -> unit -> project
 
 val find_project : t -> string -> project option
+(** Lock-free: a single [Atomic.get] of the partition's published
+    snapshot — the per-request hot path acquires zero locks. *)
+
+val remove_project : t -> string -> bool
+(** Unpublish a project (tenant teardown).  Requests already holding
+    the {!project} keep a consistent view: snapshots are immutable, so
+    removal only stops {e new} lookups from seeing it. *)
+
 val projects : t -> project list
+(** All projects, sorted by id for deterministic listings. *)
 
 (** [add_volume] creates a volume; [source_image] defaults to [""]
     (not image-backed). *)

@@ -1,37 +1,238 @@
 let available () = max 1 (Domain.recommended_domain_count ())
 
-let run ~domains n f =
+(* Every domain this module ever starts goes through [spawn], so "the
+   steady state spawns nothing" is a testable claim: snapshot
+   [spawn_count], run more batches, snapshot again. *)
+let spawns = Atomic.make 0
+let spawn_count () = Atomic.get spawns
+
+let spawn f =
+  Atomic.incr spawns;
+  Domain.spawn f
+
+(* A worker failure no longer erases its peers': every stripe's
+   exception is collected, one failure re-raises as itself (existing
+   handlers keep working), several raise the aggregate. *)
+exception
+  Task_failures of {
+    first : exn;  (* lowest failed task index *)
+    failed : int;
+    total : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failures { first; failed; total } ->
+      Some
+        (Printf.sprintf "Domain_pool.Task_failures (%d of %d tasks: %s)"
+           failed total (Printexc.to_string first))
+    | _ -> None)
+
+let collect_results results =
+  let errors = ref [] in
+  let values =
+    Array.map
+      (function
+        | Some (Ok v) -> Some v
+        | Some (Error exn) ->
+          errors := exn :: !errors;
+          None
+        | None -> failwith "Domain_pool: task not executed")
+      results
+  in
+  match List.rev !errors with
+  | [] -> Array.map Option.get values
+  | [ exn ] -> raise exn
+  | first :: _ as all ->
+    raise
+      (Task_failures
+         { first; failed = List.length all; total = Array.length results })
+
+(* ---- persistent worker pool ------------------------------------------ *)
+
+(* Domains are spawned once and parked on a condition variable; a batch
+   hands each worker one closure covering its whole stripe (batched
+   admission: one lock/signal round per worker per batch, not per task)
+   and blocks until all stripes report done.  Reused across batches, so
+   steady-state serving pays a condition signal where it used to pay
+   [Domain.spawn]. *)
+
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;  (* signals both job arrival and completion *)
+  mutable w_job : (unit -> unit) option;
+  mutable w_busy : bool;  (* a submitted job has not completed yet *)
+  mutable w_stop : bool;
+  mutable w_domain : unit Domain.t option;  (* None only during creation *)
+}
+
+type t = {
+  mutable workers : worker array;  (* grown on demand, never shrunk *)
+  admission : Mutex.t;
+      (* one batch at a time; a contended caller falls back to inline
+         serving rather than queueing behind an unrelated batch *)
+}
+
+let worker_loop w () =
+  let rec next () =
+    Mutex.lock w.w_mutex;
+    let rec wait () =
+      match w.w_job with
+      | None when not w.w_stop ->
+        Condition.wait w.w_cond w.w_mutex;
+        wait ()
+      | job -> job
+    in
+    let job = wait () in
+    Mutex.unlock w.w_mutex;
+    match job with
+    | None -> ()  (* stop *)
+    | Some job ->
+      (* Stripe closures trap their own exceptions; a raise here would
+         be a pool bug, and taking the domain down makes it visible. *)
+      job ();
+      Mutex.lock w.w_mutex;
+      w.w_job <- None;
+      w.w_busy <- false;
+      Condition.signal w.w_cond;
+      Mutex.unlock w.w_mutex;
+      next ()
+  in
+  next ()
+
+let make_worker () =
+  let w =
+    { w_mutex = Mutex.create ();
+      w_cond = Condition.create ();
+      w_job = None;
+      w_busy = false;
+      w_stop = false;
+      w_domain = None
+    }
+  in
+  w.w_domain <- Some (spawn (worker_loop w));
+  w
+
+let create ~size =
+  if size < 0 then invalid_arg "Domain_pool.create: negative size";
+  { workers = Array.init size (fun _ -> make_worker ());
+    admission = Mutex.create ()
+  }
+
+let size pool = Array.length pool.workers
+
+(* Grow to at least [size] workers.  Caller holds [admission]. *)
+let ensure_capacity pool size =
+  let have = Array.length pool.workers in
+  if have < size then
+    pool.workers <-
+      Array.append pool.workers
+        (Array.init (size - have) (fun _ -> make_worker ()))
+
+let submit w job =
+  Mutex.lock w.w_mutex;
+  w.w_job <- Some job;
+  w.w_busy <- true;
+  Condition.signal w.w_cond;
+  Mutex.unlock w.w_mutex
+
+let await w =
+  Mutex.lock w.w_mutex;
+  while w.w_busy do
+    Condition.wait w.w_cond w.w_mutex
+  done;
+  Mutex.unlock w.w_mutex
+
+let shutdown pool =
+  Mutex.protect pool.admission (fun () ->
+      Array.iter
+        (fun w ->
+          Mutex.lock w.w_mutex;
+          w.w_stop <- true;
+          Condition.signal w.w_cond;
+          Mutex.unlock w.w_mutex)
+        pool.workers;
+      Array.iter (fun w -> Option.iter Domain.join w.w_domain) pool.workers;
+      pool.workers <- [||])
+
+(* Striped execution shared by the pooled and inline paths: domain [d]
+   of [domains] owns indices d, d+domains, ...; each slot is written by
+   exactly one domain and read only after every stripe completed. *)
+let stripe ~domains n f results d () =
+  let i = ref d in
+  while !i < n do
+    let r = try Ok (f !i) with exn -> Error exn in
+    results.(!i) <- Some r;
+    i := !i + domains
+  done
+
+(* Inline fallback: the pre-pool behavior, one spawn per helper stripe.
+   Used when no pool is available or its admission lock is taken by a
+   concurrent batch (nested parallelism). *)
+let run_spawning ~domains n f =
+  let results = Array.make n None in
+  let spawned =
+    List.init (domains - 1) (fun k -> spawn (stripe ~domains n f results (k + 1)))
+  in
+  stripe ~domains n f results 0 ();
+  List.iter Domain.join spawned;
+  collect_results results
+
+let run_pooled pool ~domains n f =
+  ensure_capacity pool (domains - 1);
+  let results = Array.make n None in
+  let used = Array.sub pool.workers 0 (domains - 1) in
+  Array.iteri
+    (fun k w -> submit w (stripe ~domains n f results (k + 1)))
+    used;
+  stripe ~domains n f results 0 ();
+  Array.iter await used;
+  collect_results results
+
+let run ?pool ~domains n f =
   if n < 0 then invalid_arg "Domain_pool.run: negative task count";
   let domains = max 1 (min domains (max 1 n)) in
   if domains = 1 || n <= 1 then Array.init n f
-  else begin
-    let results = Array.make n None in
-    (* Striped assignment: worker d owns indices d, d+domains, ... so
-       the task->worker map is a pure function of (n, domains).  Each
-       slot is written by exactly one domain and read only after join. *)
-    let worker d () =
-      let i = ref d in
-      while !i < n do
-        let r = try Ok (f !i) with exn -> Error exn in
-        results.(!i) <- Some r;
-        i := !i + domains
-      done
-    in
-    let spawned =
-      List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
-    in
-    worker 0 ();
-    List.iter Domain.join spawned;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error exn) -> raise exn
-        | None -> failwith "Domain_pool.run: task not executed")
-      results
-  end
+  else
+    match pool with
+    | None -> run_spawning ~domains n f
+    | Some pool ->
+      if Mutex.try_lock pool.admission then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock pool.admission)
+          (fun () -> run_pooled pool ~domains n f)
+      else run_spawning ~domains n f
 
-let map_array ~domains f arr = run ~domains (Array.length arr) (fun i -> f arr.(i))
+(* The process-wide shared pool: lazily created, grown to the largest
+   domain count ever requested, torn down at exit so spawned domains
+   never outlive the program. *)
+let shared : t option ref = ref None
+let shared_lock = Mutex.create ()
 
-let map_list ~domains f xs =
+let shared_pool () =
+  Mutex.protect shared_lock (fun () ->
+      match !shared with
+      | Some pool -> pool
+      | None ->
+        let pool = create ~size:0 in
+        at_exit (fun () -> shutdown pool);
+        shared := Some pool;
+        pool)
+
+let run_shared ~domains n f = run ~pool:(shared_pool ()) ~domains n f
+
+(* Join the shared pool's parked workers (the pool regrows on the next
+   multi-domain batch).  Parked domains are not free to the rest of the
+   process — every minor collection is a stop-the-world rendezvous
+   across live domains — so measurement phases that must run truly
+   single-domain drain the pool first. *)
+let shutdown_shared () =
+  Mutex.protect shared_lock (fun () ->
+      match !shared with None -> () | Some pool -> shutdown pool)
+
+let map_array ?pool ~domains f arr =
+  run ?pool ~domains (Array.length arr) (fun i -> f arr.(i))
+
+let map_list ?pool ~domains f xs =
   let arr = Array.of_list xs in
-  Array.to_list (map_array ~domains f arr)
+  Array.to_list (map_array ?pool ~domains f arr)

@@ -4,18 +4,72 @@
     each worker runs its tasks in ascending index order.  The
     assignment — and therefore any per-worker side-effect order —
     depends only on [(n, domains)], never on the scheduler, which is
-    what lets sharded monitor runs stay seed-deterministic. *)
+    what lets sharded monitor runs stay seed-deterministic.
+
+    Two execution modes share that contract: the historical
+    spawn-per-batch path, and a persistent {!type-t} worker pool whose
+    domains are spawned once and parked between batches, so
+    steady-state serving never pays [Domain.spawn]. *)
 
 val available : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val run : domains:int -> int -> (int -> 'a) -> 'a array
+val spawn_count : unit -> int
+(** Total domains this module has ever spawned (pool workers and
+    fallback stripes alike).  Monotone; tests difference it around a
+    steady-state phase to prove the pool is actually reused. *)
+
+exception
+  Task_failures of {
+    first : exn;  (** the lowest-indexed failed task's exception *)
+    failed : int;
+    total : int;
+  }
+(** Raised when {e several} tasks of one batch fail.  A single failure
+    re-raises the original exception unchanged, so existing handlers
+    keep working; with more than one, no failure is silently dropped. *)
+
+type t
+(** A persistent worker pool.  Workers are spawned on first use, grown
+    on demand, and parked on condition variables between batches. *)
+
+val create : size:int -> t
+(** [create ~size] starts a pool with [size] parked workers (0 is fine;
+    the pool grows when a batch needs more). *)
+
+val size : t -> int
+(** Current worker count. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  The pool is empty afterwards (a later
+    batch would grow it again). *)
+
+val run : ?pool:t -> domains:int -> int -> (int -> 'a) -> 'a array
 (** [run ~domains n f] computes [|f 0; ...; f (n-1)|].  [domains] is
     clamped to [1 <= domains <= n]; with [domains = 1] everything runs
     on the calling domain.  Tasks must be independent: [f] is called
-    concurrently from different domains.  An exception in any task is
-    re-raised after all workers have been joined. *)
+    concurrently from different domains.
 
-val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+    With [?pool], the [domains - 1] helper stripes run on parked pool
+    workers (one handoff per worker per batch); the calling domain
+    serves stripe 0 itself.  Batches on one pool are serialized by an
+    admission lock — a caller finding it contended (nested parallelism)
+    falls back to spawn-per-batch rather than queueing.  Without
+    [?pool], helpers are spawned per batch as before.
 
-val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    Exceptions: one failed task re-raises its exception after all
+    stripes finished; several raise {!Task_failures}. *)
+
+val run_shared : domains:int -> int -> (int -> 'a) -> 'a array
+(** {!run} on the process-wide shared pool (lazily created, grown to
+    the largest domain count ever requested, joined at exit). *)
+
+val shutdown_shared : unit -> unit
+(** Join the shared pool's parked workers; the pool regrows on the next
+    multi-domain batch.  Parked domains are not free — every minor
+    collection rendezvouses across live domains — so single-domain
+    measurement phases drain the pool first. *)
+
+val map_array : ?pool:t -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?pool:t -> domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -169,15 +169,29 @@ let make_pool ?footprint_pruning ?cache ?eval ?resilience ~shards world backend
 
 (* ---- measurements ---------------------------------------------------- *)
 
+type invalid_reason =
+  | Host_single_core
+      (* more domains requested than the host has: the point measures
+         oversubscription contention, not parallel speedup *)
+  | Gate_failed
+      (* the speedup gate was active and this point missed the floor *)
+
+let invalid_reason_to_string = function
+  | Host_single_core -> "host_single_core"
+  | Gate_failed -> "gate_failed"
+
 type scaling_point = {
   sp_domains : int;
   sp_requests : int;
   sp_elapsed_ns : float;
   sp_req_per_s : float;
   sp_hit_rate : float;
-  sp_invalid : bool;
-      (* more domains requested than the host has: the point measures
-         oversubscription contention, not parallel speedup *)
+  mutable sp_invalid : invalid_reason option;
+      (* [None] = the row counts toward speedup; gating may relabel a
+         row after measurement *)
+  sp_lock_per_req : float;
+      (* instrumented-lock acquisitions per request during this serving
+         phase (process-global Lockstat delta / requests) *)
   sp_verdicts : string list;  (* conformance per request, arrival order *)
 }
 
@@ -222,6 +236,14 @@ type report = {
   rp_handle_ns : float;  (* single-domain ns per monitored request *)
   rp_latency : latency;  (* open-loop latency distribution *)
   rp_eval : eval_comparison;  (* incremental vs full re-evaluation *)
+  rp_get_locks_per_req : float;
+      (* instrumented-lock acquisitions per request on a monitored
+         GET-only stream — the contention gate's subject; the RCU store
+         and lock-free identity reads make the target exactly 0 *)
+  rp_min_speedup : float;  (* the conditional speedup gate's floor *)
+  rp_lock_stats : Cm_core.Lockstat.stats list;
+      (* per-lock totals (collapsed by name) at the end of the run —
+         where acquisitions went, not just how many *)
 }
 
 let now_ns () = Unix.gettimeofday () *. 1e9
@@ -233,9 +255,11 @@ let run_scaling spec domains =
   | Error msgs -> Error msgs
   | Ok pool ->
     let n = List.length reqs in
+    let locks0 = Cm_core.Lockstat.total_acquisitions () in
     let t0 = now_ns () in
     let outcomes = Shard.handle_all ~domains pool reqs in
     let elapsed = now_ns () -. t0 in
+    let locks = Cm_core.Lockstat.total_acquisitions () - locks0 in
     let stats = Shard.cache_stats pool in
     Ok
       { sp_domains = domains;
@@ -243,7 +267,11 @@ let run_scaling spec domains =
         sp_elapsed_ns = elapsed;
         sp_req_per_s = float_of_int n /. (elapsed /. 1e9);
         sp_hit_rate = Obs_cache.hit_rate stats;
-        sp_invalid = domains > Cm_core.Domain_pool.available ();
+        sp_invalid =
+          (if domains > Cm_core.Domain_pool.available () then
+             Some Host_single_core
+           else None);
+        sp_lock_per_req = float_of_int locks /. float_of_int (max 1 n);
         sp_verdicts =
           Array.to_list
             (Array.map
@@ -273,6 +301,31 @@ let run_gets spec ~footprint_pruning ~cache =
     Ok
       ( float_of_int observation_gets /. float_of_int (List.length reqs),
         Shard.cache_stats pool )
+
+(* The contention gate's subject: instrumented-lock acquisitions per
+   request on the monitored {e read} path.  Serve the workload's GETs
+   (listings and item reads) through a fresh pool and difference the
+   process-global Lockstat counter around the serving phase — setup
+   (logins, seeding, contract generation) locks freely, the window
+   starts after it.  A warm-up pass first, so one-time lazy
+   initialization is not billed to the reads.  With the RCU store and
+   lock-free identity validation the delta must be exactly zero; any
+   nonzero value means a lock crept back onto the hot path. *)
+let run_get_locks spec =
+  let world = setup spec in
+  let reqs =
+    List.filter
+      (fun r -> r.Request.meth = Meth.GET)
+      (workload spec world)
+  in
+  match make_pool ~shards:spec.projects world (Cloud.handle world.cloud) with
+  | Error msgs -> Error msgs
+  | Ok pool ->
+    ignore (Shard.handle_all ~domains:1 pool reqs);
+    let locks0 = Cm_core.Lockstat.total_acquisitions () in
+    ignore (Shard.handle_all ~domains:1 pool reqs);
+    let locks = Cm_core.Lockstat.total_acquisitions () - locks0 in
+    Ok (float_of_int locks /. float_of_int (max 1 (List.length reqs)))
 
 (* Arrival-order verdicts plus per-shard verdict sequences at a given
    domain count — the raw material of the determinism tests. *)
@@ -468,7 +521,7 @@ let speedup_of scaling =
     |> Option.map (fun p -> p.sp_req_per_s)
   in
   let multi =
-    List.filter (fun p -> p.sp_domains > 1 && not p.sp_invalid) scaling
+    List.filter (fun p -> p.sp_domains > 1 && p.sp_invalid = None) scaling
   in
   match base, multi with
   | Some base_rate, _ :: _ when base_rate > 0. ->
@@ -478,7 +531,8 @@ let speedup_of scaling =
     best /. base_rate
   | _ -> 1.0
 
-let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) ?rate () =
+let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) ?rate
+    ?(min_speedup = 1.6) () =
   let ( let* ) = Result.bind in
   let rec scale acc = function
     | [] -> Ok (List.rev acc)
@@ -487,6 +541,10 @@ let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) ?rate () =
       scale (point :: acc) rest
   in
   let* scaling = scale [] domains_list in
+  (* Everything after the scaling phase measures single-domain cost;
+     parked pool workers would tax it (minor GCs rendezvous across all
+     live domains), so drain the shared pool before measuring. *)
+  Cm_core.Domain_pool.shutdown_shared ();
   let* gets_baseline, _ =
     run_gets spec ~footprint_pruning:false ~cache:Obs_cache.Disabled
   in
@@ -507,6 +565,7 @@ let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) ?rate () =
   in
   let* latency = run_open_loop spec ~rate_per_s in
   let* eval_cmp = run_eval_comparison spec in
+  let* get_locks = run_get_locks spec in
   let verdicts_consistent =
     match scaling with
     | [] -> true
@@ -527,8 +586,63 @@ let run ?(spec = default_spec) ?(domains_list = [ 1; 2; 4 ]) ?rate () =
       rp_cache = cache_stats;
       rp_handle_ns = handle_ns;
       rp_latency = latency;
-      rp_eval = eval_cmp
+      rp_eval = eval_cmp;
+      rp_get_locks_per_req = get_locks;
+      rp_min_speedup = min_speedup;
+      rp_lock_stats = Cm_core.Lockstat.by_name ()
     }
+
+(* ---- gates ----------------------------------------------------------- *)
+
+(* Contention gate: the monitored read path must be lock-free.  Always
+   meaningful — lock acquisitions are counted, not timed, so a
+   single-core host measures them just as well as a many-core one. *)
+let contention_gate_passed report = report.rp_get_locks_per_req <= 0.
+
+let check_contention report =
+  if contention_gate_passed report then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "contention gate failed: %.4f instrumented-lock acquisitions per \
+          request on the monitored GET path (must be 0 — a lock is back on \
+          the hot read path)"
+         report.rp_get_locks_per_req)
+
+(* Conditional speedup gate: only a host that can actually run 2
+   domains in parallel can fail it; a single-core host skips it (and
+   says so) instead of passing vacuously. *)
+let speedup_gate_active report =
+  report.rp_available_domains >= 2
+  && List.exists
+       (fun p -> p.sp_domains > 1 && p.sp_invalid = None)
+       report.rp_scaling
+
+let check_speedup report =
+  if not (speedup_gate_active report) then
+    Ok
+      (Printf.sprintf
+         "speedup gate skipped: host has %d hardware domain(s), no valid \
+          multi-domain point to gate (host_single_core)"
+         report.rp_available_domains)
+  else if report.rp_speedup >= report.rp_min_speedup then
+    Ok
+      (Printf.sprintf "speedup gate passed: %.2fx >= %.2fx required"
+         report.rp_speedup report.rp_min_speedup)
+  else begin
+    (* Relabel the rows that missed the floor so the emitted JSON
+       carries the reason, not just a boolean. *)
+    List.iter
+      (fun p ->
+        if p.sp_domains > 1 && p.sp_invalid = None then
+          p.sp_invalid <- Some Gate_failed)
+      report.rp_scaling;
+    Error
+      (Printf.sprintf
+         "speedup gate failed: best valid multi-domain speedup %.2fx is \
+          below the %.2fx floor (host has %d domains)"
+         report.rp_speedup report.rp_min_speedup report.rp_available_domains)
+  end
 
 (* ---- reporting ------------------------------------------------------- *)
 
@@ -544,20 +658,22 @@ let render report =
     report.rp_shards report.rp_available_domains
     (if report.rp_available_domains = 1 then "" else "s");
   line "";
-  line "%-8s %-10s %-12s %-10s %-10s %s" "domains" "requests" "req/s"
-    "hit rate" "valid" "verdicts";
-  line "%s" (String.make 68 '-');
+  line "%-8s %-10s %-12s %-10s %-10s %-18s %s" "domains" "requests" "req/s"
+    "hit rate" "locks/req" "valid" "verdicts";
+  line "%s" (String.make 78 '-');
   List.iter
     (fun p ->
-      line "%-8d %-10d %-12.0f %-10.2f %-10s %s" p.sp_domains p.sp_requests
-        p.sp_req_per_s p.sp_hit_rate
-        (if p.sp_invalid then "INVALID" else "yes")
+      line "%-8d %-10d %-12.0f %-10.2f %-10.3f %-18s %s" p.sp_domains
+        p.sp_requests p.sp_req_per_s p.sp_hit_rate p.sp_lock_per_req
+        (match p.sp_invalid with
+         | None -> "yes"
+         | Some r -> "INVALID:" ^ invalid_reason_to_string r)
         (if report.rp_verdicts_consistent then "consistent" else "DIVERGED"))
     report.rp_scaling;
   line "";
   let valid_multi =
     List.exists
-      (fun p -> p.sp_domains > 1 && not p.sp_invalid)
+      (fun p -> p.sp_domains > 1 && p.sp_invalid = None)
       report.rp_scaling
   in
   if valid_multi then
@@ -578,6 +694,20 @@ let render report =
     (100. *. Obs_cache.hit_rate report.rp_cache);
   line "single-domain handle:           %.1f us/request"
     (report.rp_handle_ns /. 1e3);
+  line "";
+  line "lock acquisitions per monitored GET: %.4f (gate target 0: %s)"
+    report.rp_get_locks_per_req
+    (if contention_gate_passed report then "pass" else "FAIL");
+  if report.rp_lock_stats <> [] then begin
+    line "instrumented locks (whole process, setup included):";
+    List.iter
+      (fun (s : Cm_core.Lockstat.stats) ->
+        line "  %-22s %8d acq  %6d contended  wait %6.1f us  hold %8.1f us"
+          s.st_name s.st_acquisitions s.st_contended
+          (float_of_int s.st_wait_ns /. 1e3)
+          (float_of_int s.st_hold_ns /. 1e3))
+      report.rp_lock_stats
+  end;
   line "";
   let lt = report.rp_latency in
   line "open-loop latency (offered %.0f req/s, achieved %.0f req/s):"
@@ -614,10 +744,46 @@ let to_json report =
                    ("elapsed_ns", Json.float p.sp_elapsed_ns);
                    ("req_per_s", Json.float p.sp_req_per_s);
                    ("cache_hit_rate", Json.float p.sp_hit_rate);
-                   ("invalid", Json.bool p.sp_invalid)
+                   ("lock_acquisitions_per_request",
+                    Json.float p.sp_lock_per_req);
+                   ("invalid", Json.bool (p.sp_invalid <> None));
+                   ( "invalid_reason",
+                     match p.sp_invalid with
+                     | None -> Json.null
+                     | Some r -> Json.string (invalid_reason_to_string r) )
                  ])
              report.rp_scaling) );
       ("speedup", Json.float report.rp_speedup);
+      ( "global_lock_acquisitions_per_request",
+        Json.float report.rp_get_locks_per_req );
+      ( "contention_gate",
+        Json.obj
+          [ ("target", Json.float 0.);
+            ("passed", Json.bool (contention_gate_passed report))
+          ] );
+      ( "speedup_gate",
+        Json.obj
+          [ ("min_speedup", Json.float report.rp_min_speedup);
+            ("active", Json.bool (speedup_gate_active report));
+            ( "passed",
+              (* vacuous pass is reported as pass, but [active] says it
+                 never ran; host_single_core rows carry the reason *)
+              Json.bool
+                ((not (speedup_gate_active report))
+                || report.rp_speedup >= report.rp_min_speedup) )
+          ] );
+      ( "locks",
+        Json.list
+          (List.map
+             (fun (s : Cm_core.Lockstat.stats) ->
+               Json.obj
+                 [ ("name", Json.string s.st_name);
+                   ("acquisitions", Json.int s.st_acquisitions);
+                   ("contended", Json.int s.st_contended);
+                   ("wait_ns", Json.int s.st_wait_ns);
+                   ("hold_ns", Json.int s.st_hold_ns)
+                 ])
+             report.rp_lock_stats) );
       ("verdicts_consistent", Json.bool report.rp_verdicts_consistent);
       ( "gets_per_request",
         Json.obj

@@ -20,16 +20,29 @@ type spec = {
 val default_spec : spec
 (** 8 projects x 50 requests, seed 42. *)
 
+type invalid_reason =
+  | Host_single_core
+      (** more domains than the host has: the point measures
+          oversubscription contention, not parallel speedup *)
+  | Gate_failed
+      (** the speedup gate was active and this point missed the floor *)
+
+val invalid_reason_to_string : invalid_reason -> string
+(** ["host_single_core"] / ["gate_failed"] — the machine-readable
+    labels BENCH_throughput.json carries. *)
+
 type scaling_point = {
   sp_domains : int;
   sp_requests : int;
   sp_elapsed_ns : float;
   sp_req_per_s : float;
   sp_hit_rate : float;
-  sp_invalid : bool;
-      (** more domains than the host has: measures oversubscription
-          contention, not parallel speedup, and is excluded from
-          [rp_speedup] *)
+  mutable sp_invalid : invalid_reason option;
+      (** [None] = the row counts toward [rp_speedup];
+          {!check_speedup} may relabel rows after measurement *)
+  sp_lock_per_req : float;
+      (** instrumented-lock acquisitions per request during this
+          serving phase ({!Cm_core.Lockstat} global delta / requests) *)
   sp_verdicts : string list;  (** conformance per request, arrival order *)
 }
 
@@ -81,18 +94,43 @@ type report = {
   rp_handle_ns : float;  (** single-domain ns per monitored request *)
   rp_latency : latency;
   rp_eval : eval_comparison;
+  rp_get_locks_per_req : float;
+      (** instrumented-lock acquisitions per request on a monitored
+          GET-only stream — [global_lock_acquisitions_per_request] in
+          the JSON, the contention gate's subject (target: exactly 0).
+          Counted, not timed, so a single-core host measures it just as
+          well as a many-core one. *)
+  rp_min_speedup : float;  (** the conditional speedup gate's floor *)
+  rp_lock_stats : Cm_core.Lockstat.stats list;
+      (** per-lock process totals (collapsed by name, setup included) —
+          where acquisitions went, not just how many *)
 }
 
 val run :
   ?spec:spec ->
   ?domains_list:int list ->
   ?rate:float ->
+  ?min_speedup:float ->
   unit ->
   (report, string list) result
 (** Fresh cloud + shard pool per measurement (default domain counts
     1, 2 and 4).  [rate] pins the open-loop arrival rate in req/s;
     omitted (or non-positive) it self-calibrates to ~70% of the
-    measured closed-loop capacity. *)
+    measured closed-loop capacity.  [min_speedup] (default 1.6) is
+    recorded as the speedup gate's floor. *)
+
+val check_contention : report -> (unit, string) result
+(** The contention gate: fails unless [rp_get_locks_per_req] is exactly
+    0 — the monitored read path must be lock-free.  Active on every
+    host, single-core included. *)
+
+val check_speedup : report -> (string, string) result
+(** The conditional speedup gate: when the host has >= 2 hardware
+    domains and a valid multi-domain point exists, [rp_speedup] must
+    reach [rp_min_speedup].  [Ok] carries the pass/skip explanation
+    (a single-core host skips, explicitly, instead of passing
+    vacuously).  On failure the multi-domain rows are relabeled
+    [Gate_failed] so a subsequent {!to_json} records the reason. *)
 
 val run_open_loop : spec -> rate_per_s:float -> (latency, string list) result
 (** One open-loop pass at a fixed arrival rate (serving is sequential

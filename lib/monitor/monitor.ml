@@ -101,6 +101,10 @@ type t = {
   delta_seen : (Behavior_model.trigger, int) Hashtbl.t;
       (* per contract: the delta generation its frame last synced at *)
   stopwatch : Cm_core.Stopwatch.source option;
+  mutable lock_base : int;
+      (* instrumented-lock acquisition total at the top of [handle];
+         [record] differences against it to attribute lock traffic to
+         the exchange *)
   (* per-request phase accumulators, reset at the top of [handle] *)
   mutable ph_observe_pre : float;
   mutable ph_eval_pre : float;
@@ -283,6 +287,7 @@ let create config backend =
                delta;
                delta_seen = Hashtbl.create 16;
                stopwatch;
+               lock_base = 0;
                ph_observe_pre = 0.;
                ph_eval_pre = 0.;
                ph_forward = 0.;
@@ -335,8 +340,8 @@ let trigger_for t (entry : Cm_uml.Paths.entry) meth =
    matches paths with its own segment count, so the winning entry (most
    specific match, derivation order breaking ties) is the first match in
    the presorted bucket. *)
-let entry_for_segments t segments =
-  match Hashtbl.find_opt t.dispatch (List.length segments) with
+let entry_in_dispatch dispatch segments =
+  match Hashtbl.find_opt dispatch (List.length segments) with
   | None -> None
   | Some bucket ->
     List.find_map
@@ -345,6 +350,26 @@ let entry_for_segments t segments =
         | Some bindings -> Some (entry, bindings)
         | None -> None)
       bucket
+
+let entry_for_segments t segments = entry_in_dispatch t.dispatch segments
+
+(* Request → tenant project, derived from the configuration alone: the
+   shard router partitions by project *before* any monitor instance is
+   involved, so the extraction must not route through (or depend on)
+   shard 0's monitor.  One dispatch table of its own, built once. *)
+let project_extractor config =
+  match Cm_uml.Paths.derive config.resources with
+  | Error msg -> Error [ msg ]
+  | Ok entries ->
+    let dispatch = dispatch_table entries in
+    Ok
+      (fun (req : Request.t) ->
+        match
+          entry_in_dispatch dispatch
+            (Cm_http.Uri_template.split_path req.Request.path)
+        with
+        | None -> None
+        | Some (_, bindings) -> List.assoc_opt "project_id" bindings)
 
 let entry_for_path t path =
   Option.map fst (entry_for_segments t (Cm_http.Uri_template.split_path path))
@@ -462,7 +487,13 @@ let blocked_response conformance detail =
     Status.forbidden
 
 let record t outcome =
-  let outcome = { outcome with Outcome.phases = current_phases t } in
+  let outcome =
+    { outcome with
+      Outcome.phases = current_phases t;
+      lock_acquisitions =
+        Cm_core.Lockstat.total_acquisitions () - t.lock_base
+    }
+  in
   (if Outcome.is_violation outcome.Outcome.conformance then
      Log.warn (fun m -> m "%a" Outcome.pp outcome)
    else Log.debug (fun m -> m "%a" Outcome.pp outcome));
@@ -516,7 +547,8 @@ let outcome_base req response cloud_response conformance detail =
     contract_requirements = [];
     snapshot_bytes = 0;
     detail;
-    phases = None
+    phases = None;
+    lock_acquisitions = 0
   }
 
 (* One forwarded request, three possible worlds: the backend answered;
@@ -655,7 +687,8 @@ let not_monitored t req =
       contract_requirements = [];
       snapshot_bytes = 0;
       detail = "no model entry for this URI";
-      phases = None
+      phases = None;
+      lock_acquisitions = 0
     }
 
 let no_contract t classified req =
@@ -681,7 +714,8 @@ let no_contract t classified req =
       contract_requirements = [];
       snapshot_bytes = 0;
       detail = "no contract for trigger";
-      phases = None
+      phases = None;
+      lock_acquisitions = 0
     }
   | Oracle ->
     (match forward t req with
@@ -703,7 +737,8 @@ let no_contract t classified req =
          contract_requirements = [];
          snapshot_bytes = 0;
          detail = "method has no contract in the model";
-         phases = None
+         phases = None;
+         lock_acquisitions = 0
        })
 
 let tri_tag hint = function
@@ -1061,6 +1096,7 @@ let resume_inner t req (image : pre_image) =
 let contained t req run =
   t.forward_seen <- false;
   reset_phases t;
+  t.lock_base <- Cm_core.Lockstat.total_acquisitions ();
   Option.iter Obs_cache.begin_request t.cache;
   match run () with
   | outcome -> record t outcome

@@ -215,6 +215,13 @@ val project_of : t -> Cm_http.Request.t -> string option
     ([None] for unclassified requests) — the shard layer's partition
     key. *)
 
+val project_extractor :
+  config -> (Cm_http.Request.t -> string option, string list) result
+(** A standalone classifier derived from the config's resource model —
+    semantically {!project_of}, but without needing (or touching) any
+    monitor instance.  The shard layer uses it so request admission
+    never serializes on a replica. *)
+
 val handle_response : t -> Cm_http.Request.t -> Cm_http.Response.t
 (** [ (handle t req).response ] — lets a monitor instance itself be used
     as a backend (monitors compose). *)

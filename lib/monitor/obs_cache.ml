@@ -5,24 +5,26 @@ type scope = Disabled | Per_request | Cross_request
 (* Two-level table keyed by subject token then path: lookups hash the
    strings the caller already holds instead of allocating a composite
    key record per probe — the observer probes this on every GET of
-   every observation, so the allocation audit flattened it. *)
+   every observation, so the allocation audit flattened it.
+
+   Shard-local by construction: every cache instance belongs to exactly
+   one [Monitor.t], which one shard owns, so the counters are plain
+   mutable ints — an [Atomic] here would put a lock-prefixed RMW (and a
+   potential cross-core cache-line bounce) on every probe of every
+   observation for no consistency gain.  Aggregation across shards
+   happens on demand ([Shard.cache_stats]) after serving quiesces. *)
 type t = {
   scope : scope;
   tables : (string option, (string, Response.t) Hashtbl.t) Hashtbl.t;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  invalidated : int Atomic.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidated : int;
 }
 
 type stats = { hits : int; misses : int; invalidated : int }
 
 let create scope =
-  { scope;
-    tables = Hashtbl.create 4;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    invalidated = Atomic.make 0
-  }
+  { scope; tables = Hashtbl.create 4; hits = 0; misses = 0; invalidated = 0 }
 
 let scope t = t.scope
 let enabled t = t.scope <> Disabled
@@ -32,15 +34,15 @@ let find t ~token path =
   else
     match Hashtbl.find_opt t.tables token with
     | None ->
-      Atomic.incr t.misses;
+      t.misses <- t.misses + 1;
       None
     | Some inner ->
       (match Hashtbl.find_opt inner path with
        | Some _ as hit ->
-         Atomic.incr t.hits;
+         t.hits <- t.hits + 1;
          hit
        | None ->
-         Atomic.incr t.misses;
+         t.misses <- t.misses + 1;
          None)
 
 (* Definite state answers only: a 2xx is the resource, a 404 is its
@@ -89,7 +91,7 @@ let invalidate_overlapping t mutated_path =
         List.iter
           (fun path ->
             Hashtbl.remove inner path;
-            Atomic.incr t.invalidated)
+            t.invalidated <- t.invalidated + 1)
           stale)
       t.tables
   end
@@ -99,9 +101,9 @@ let clear t = Hashtbl.reset t.tables
 let begin_request t = match t.scope with Per_request -> clear t | _ -> ()
 
 let stats (cache : t) =
-  { hits = Atomic.get cache.hits;
-    misses = Atomic.get cache.misses;
-    invalidated = Atomic.get cache.invalidated
+  { hits = cache.hits;
+    misses = cache.misses;
+    invalidated = cache.invalidated
   }
 
 let hit_rate { hits; misses; _ } =

@@ -16,8 +16,10 @@
     [Cross_request] keeps entries across exchanges and is sound under
     the single-writer-per-tenant discipline the shard layer enforces.
 
-    Counters are [Atomic] so shards can be polled from other domains
-    while serving. *)
+    Counters are plain (shard-local) ints: a cache belongs to exactly
+    one monitor replica, which one domain serves at a time, so shared
+    [Atomic]s would only buy cache-line bouncing.  Read {!stats}
+    between batches, from the dispatching domain. *)
 
 type scope = Disabled | Per_request | Cross_request
 

@@ -102,6 +102,11 @@ type t = {
   snapshot_bytes : int;
   detail : string;
   phases : phases option;
+  lock_acquisitions : int;
+      (* instrumented-lock acquisitions attributed to this exchange
+         (process-global delta across the handle; exact on a
+         single-domain run, an over-approximation under parallel
+         serving — which only makes the zero-lock gate stricter) *)
 }
 
 let pp ppf outcome =

@@ -90,6 +90,13 @@ type t = {
       (** per-phase timing when the monitor's config enables it; not
           part of the exchange's semantics (excluded from trace
           serialization and verdict comparisons) *)
+  lock_acquisitions : int;
+      (** instrumented-lock acquisitions ({!Cm_core.Lockstat})
+          attributed to this exchange: a process-global counter delta
+          across the handle.  Exact on a single-domain run, an
+          over-approximation under parallel serving — which only makes
+          the "monitored reads take zero locks" gate stricter.  Like
+          [phases], not part of the exchange's semantics. *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,9 @@ type summary = {
   by_conformance : (string * int) list;
   timed : int;
   phase_means : Outcome.phases option;
+  lock_acquisitions : int;
+      (* instrumented-lock acquisitions attributed to these exchanges;
+         0 across the board once the monitored path is lock-free *)
 }
 
 let mean_phases outcomes =
@@ -44,6 +47,10 @@ let summarize outcomes =
   { total = List.length outcomes;
     timed;
     phase_means;
+    lock_acquisitions =
+      List.fold_left
+        (fun acc (o : Outcome.t) -> acc + o.Outcome.lock_acquisitions)
+        0 outcomes;
     conform =
       count (fun (o : Outcome.t) -> o.conformance = Outcome.Conform);
     denied =
@@ -73,6 +80,7 @@ let render summary ~coverage =
   line "violations          : %d" summary.violations;
   line "undefined           : %d" summary.undefined;
   line "not monitored       : %d" summary.not_monitored;
+  line "lock acquisitions   : %d" summary.lock_acquisitions;
   if summary.by_conformance <> [] then begin
     line "";
     line "by verdict:";
@@ -110,6 +118,7 @@ let to_json summary ~coverage =
       ("violations", Json.int summary.violations);
       ("undefined", Json.int summary.undefined);
       ("not_monitored", Json.int summary.not_monitored);
+      ("lock_acquisitions", Json.int summary.lock_acquisitions);
       ( "by_conformance",
         Json.obj
           (List.map (fun (k, v) -> (k, Json.int v)) summary.by_conformance) );

@@ -14,6 +14,10 @@ type summary = {
   phase_means : Outcome.phases option;
       (** mean per-phase cost over the timed outcomes (monitors run
           with [timings = true]); [None] when nothing was timed *)
+  lock_acquisitions : int;
+      (** instrumented-lock acquisitions attributed to these exchanges
+          (sum of [Outcome.lock_acquisitions]); 0 across the board once
+          the monitored path is lock-free *)
 }
 
 val summarize : Outcome.t list -> summary

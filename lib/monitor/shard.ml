@@ -1,15 +1,31 @@
-type t = { monitors : Monitor.t array }
+type t = {
+  monitors : Monitor.t array;
+  project_of : Cm_http.Request.t -> string option;
+      (* config-derived, independent of any monitor instance *)
+  shard_memo : (string, int) Hashtbl.t;
+      (* project id -> shard index.  Admission-side only: partitioning
+         and [shard_of] run on the caller's domain before any fan-out,
+         so the memo needs no lock. *)
+}
 
 let create ?(shards = 1) config backend =
   if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
-  let rec build acc i =
-    if i = shards then Ok { monitors = Array.of_list (List.rev acc) }
-    else
-      match Monitor.create config backend with
-      | Ok m -> build (m :: acc) (i + 1)
-      | Error _ as e -> e
-  in
-  build [] 0
+  match Monitor.project_extractor config with
+  | Error _ as e -> e
+  | Ok project_of ->
+    let rec build acc i =
+      if i = shards then
+        Ok
+          { monitors = Array.of_list (List.rev acc);
+            project_of;
+            shard_memo = Hashtbl.create 64
+          }
+      else
+        match Monitor.create config backend with
+        | Ok m -> build (m :: acc) (i + 1)
+        | Error _ as e -> e
+    in
+    build [] 0
 
 let shards t = Array.length t.monitors
 let monitor t i = t.monitors.(i)
@@ -24,10 +40,21 @@ let fnv1a s =
     s;
   !h
 
+(* Callers that already classified the request (or carry the tenant in
+   hand) skip re-extraction; the hash itself is memoized because the
+   same few project ids arrive millions of times. *)
+let shard_of_project t project =
+  match Hashtbl.find_opt t.shard_memo project with
+  | Some s -> s
+  | None ->
+    let s = fnv1a project mod Array.length t.monitors in
+    Hashtbl.add t.shard_memo project s;
+    s
+
 let shard_of t req =
-  match Monitor.project_of t.monitors.(0) req with
+  match t.project_of req with
   | None -> 0
-  | Some project -> fnv1a project mod Array.length t.monitors
+  | Some project -> shard_of_project t project
 
 let handle_all ?(domains = 1) t reqs =
   let reqs = Array.of_list reqs in
@@ -46,8 +73,11 @@ let handle_all ?(domains = 1) t reqs =
       queues.(s)
   in
   (* Each slot of [results] is written by exactly one shard and read
-     only after every domain is joined, so the array needs no lock. *)
-  ignore (Cm_core.Domain_pool.run ~domains shard_count serve);
+     only after every domain is joined, so the array needs no lock.
+     Batches run on the process-wide persistent pool: domains are
+     spawned the first time a count is requested and parked between
+     batches, so steady-state serving never pays [Domain.spawn]. *)
+  ignore (Cm_core.Domain_pool.run_shared ~domains shard_count serve);
   Array.map
     (function Some o -> o | None -> assert false (* every index queued *))
     results

@@ -35,14 +35,24 @@ val monitor : t -> int -> Monitor.t
 val shard_of : t -> Cm_http.Request.t -> int
 (** The shard that will serve this request: FNV-1a hash of the
     classified project id modulo {!shards}; [0] when classification
-    binds no project. *)
+    binds no project.  Classification uses a config-derived extractor —
+    no monitor replica (in particular not shard 0's) is involved — and
+    the hash is memoized per project id.  Admission-side only: call it
+    from the dispatching domain, before fan-out. *)
+
+val shard_of_project : t -> string -> int
+(** The shard owning a project id (same memoized hash {!shard_of}
+    uses), for callers that already classified the request. *)
 
 val handle_all :
   ?domains:int -> t -> Cm_http.Request.t list -> Outcome.t array
 (** Serve a batch: partition by {!shard_of} preserving arrival order,
     run the shards on [domains] OCaml domains (default 1, clamped to
     [shards]), and return outcomes in the original request order.
-    The result is identical for every [domains] value. *)
+    The result is identical for every [domains] value.  Batches run on
+    the process-wide persistent {!Cm_core.Domain_pool} — domains are
+    spawned on first use and parked between batches, so steady-state
+    serving never pays [Domain.spawn]. *)
 
 val outcomes_by_shard : t -> Outcome.t list array
 (** Each shard's outcome log, in that shard's processing order. *)

@@ -137,7 +137,8 @@ let outcome_of_json json =
       contract_requirements;
       snapshot_bytes;
       detail;
-      phases = None
+      phases = None;
+      lock_acquisitions = 0
     }
 
 let to_jsonl outcomes =

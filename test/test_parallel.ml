@@ -167,6 +167,365 @@ let test_shard_determinism () =
       rest
   | [] -> ()
 
+(* ---- workload mixes over the partitioned store at 1/2/4 domains ---- *)
+
+(* A miniature serve-bench world: one cloud, [projects] tenants over the
+   RCU-partitioned store, each tenant replaying the same symbolic mix
+   (statically compiled, so the stream is a pure function of the mix and
+   the tenant).  Per-tenant request lists interleave round-robin; every
+   domain count must produce bit-identical verdicts. *)
+let mix_world ~projects trace_for =
+  let module Cloud = Cm_cloudsim.Cloud in
+  let module Store = Cm_cloudsim.Store in
+  let module Identity = Cm_cloudsim.Identity in
+  let module Request = Cm_http.Request in
+  let module Json = Cm_json.Json in
+  let cloud = Cloud.create () in
+  let identity = Cloud.identity cloud in
+  let login user project_id =
+    match Cloud.login cloud ~user ~password:"pw" ~project_id with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("mix_world login failed: " ^ e)
+  in
+  let tenants =
+    Array.init projects (fun i ->
+        let pid = Printf.sprintf "mix-proj-%02d" i in
+        ignore
+          (Store.add_project (Cloud.store cloud) ~id:pid ~name:pid
+             ~quota_volumes:64 ~quota_gigabytes:100_000 ~quota_images:8 ());
+        Identity.set_assignment identity ~project_id:pid
+          Cm_rbac.Security_table.cinder_assignment;
+        let add name groups =
+          Identity.add_user identity ~password:"pw"
+            (Cm_rbac.Subject.make name groups)
+        in
+        add (Printf.sprintf "mx-admin-%d" i) [ "proj_administrator" ];
+        add (Printf.sprintf "mx-member-%d" i) [ "service_architect" ];
+        let admin = login (Printf.sprintf "mx-admin-%d" i) pid in
+        let member = login (Printf.sprintf "mx-member-%d" i) pid in
+        let create name =
+          let body =
+            Json.obj
+              [ ( "volume",
+                  Json.obj
+                    [ ("name", Json.string name); ("size", Json.int 1) ] )
+              ]
+          in
+          let resp =
+            Cloud.handle cloud
+              (Request.make ~body Meth.POST
+                 (Printf.sprintf "/v3/%s/volumes" pid)
+              |> Request.with_auth_token member)
+          in
+          match
+            Option.bind resp.Response.body (fun b ->
+                Cm_json.Pointer.get [ Key "volume"; Key "id" ] b)
+          with
+          | Some (Json.String id) -> id
+          | Some _ | None -> Alcotest.fail "mix_world volume seeding failed"
+        in
+        let stable = List.init 4 (fun v -> create (Printf.sprintf "s-%d" v)) in
+        let victims = List.init 6 (fun v -> create (Printf.sprintf "v-%d" v)) in
+        let st =
+          { Cm_workload.Exec.st_project = pid;
+            st_token =
+              (function
+              | Cm_workload.Workload.Admin -> admin
+              | Cm_workload.Workload.Member | Cm_workload.Workload.User ->
+                member);
+            st_stable_volumes = stable;
+            st_victim_volumes = victims
+          }
+        in
+        (pid, admin, Array.of_list (Cm_workload.Exec.requests st (trace_for i))))
+  in
+  let per_tenant = Array.map (fun (_, _, reqs) -> reqs) tenants in
+  let steps = Array.fold_left (fun m a -> min m (Array.length a)) max_int per_tenant in
+  let reqs =
+    List.init (steps * projects) (fun step ->
+        per_tenant.(step mod projects).(step / projects))
+  in
+  let service_token_for =
+    let table =
+      Array.to_list tenants |> List.map (fun (pid, admin, _) -> (pid, admin))
+    in
+    fun project -> List.assoc_opt project table
+  in
+  let config =
+    Monitor.default_config ~cache:Obs_cache.Cross_request
+      ~service_token:(match tenants.(0) with _, admin, _ -> admin)
+      ~service_token_for
+      ~security:
+        { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+          assignment = Cm_rbac.Security_table.cinder_assignment
+        }
+      Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+  in
+  (config, Cloud.handle cloud, reqs)
+
+let mix_verdicts ~projects trace_for domains =
+  let config, backend, reqs = mix_world ~projects trace_for in
+  match Cm_monitor.Shard.create ~shards:projects config backend with
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  | Ok pool ->
+    let outcomes = Cm_monitor.Shard.handle_all ~domains pool reqs in
+    let names arr =
+      List.map
+        (fun (o : Outcome.t) ->
+          Outcome.conformance_to_string o.Outcome.conformance)
+        arr
+    in
+    ( names (Array.to_list outcomes),
+      Array.map names (Cm_monitor.Shard.outcomes_by_shard pool) )
+
+let check_mix_deterministic name trace_for =
+  let runs =
+    List.map (fun d -> mix_verdicts ~projects:4 trace_for d) domain_counts
+  in
+  match runs with
+  | (ref_arrival, ref_shards) :: rest ->
+    Alcotest.(check bool)
+      (name ^ ": workload is non-trivial")
+      true
+      (List.length ref_arrival > 0);
+    List.iteri
+      (fun i (arrival, shards) ->
+        let d = List.nth domain_counts (i + 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: arrival verdicts identical at %d domains" name d)
+          true (arrival = ref_arrival);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: per-shard sequences identical at %d domains"
+             name d)
+          true (shards = ref_shards))
+      rest
+  | [] -> ()
+
+(* Token revocation is {e deliberately} cross-shard state: the
+   introspection path binds no project, so revokes serialize on shard 0
+   while the affected tenant's requests run on its own shard — their
+   relative order is scheduler-dependent by design (the same coupling a
+   real parallel proxy has).  The shard determinism contract covers
+   tenant-partitioned state only, so the batch-served mixes here are
+   restricted to their shard-closed steps; revocation visibility has its
+   own sequential scenario coverage. *)
+let shard_closed trace =
+  List.filter
+    (fun (s : Cm_workload.Workload.step) ->
+      match s.Cm_workload.Workload.op with
+      | Cm_workload.Workload.Revoke_token _ -> false
+      | _ -> true)
+    trace
+
+let test_mix_standard () =
+  check_mix_deterministic "standard"
+    (fun _ -> shard_closed Cm_workload.Workload.standard_trace)
+
+let test_mix_cross () =
+  check_mix_deterministic "cross"
+    (fun _ -> shard_closed Cm_workload.Workload.cross_trace)
+
+let test_mix_churn_heavy () =
+  check_mix_deterministic "churn-heavy" (fun i ->
+      shard_closed
+        (Cm_workload.Workload.churn_heavy_trace ~steps:40 ~seed:(11 + i)))
+
+(* ---- RCU snapshots: no torn publishes ---- *)
+
+(* A reader domain hammers [find_project] while a writer adds and
+   removes projects.  Snapshot publication is a single [Atomic.set] of
+   an immutable map, so every lookup must observe either nothing or a
+   fully-formed project — never a half-initialized one. *)
+let test_store_torn_publish () =
+  let module Store = Cm_cloudsim.Store in
+  let store = Store.create () in
+  let keys = Array.init 8 (fun i -> Printf.sprintf "torn-%d" i) in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let reads = ref 0 in
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun key ->
+              incr reads;
+              match Store.find_project store key with
+              | None -> ()
+              | Some p ->
+                if
+                  p.Store.project_id <> key
+                  || p.Store.quota_volumes <> 17
+                  || p.Store.quota_gigabytes <> 1000
+                then Atomic.incr torn)
+            keys
+        done;
+        !reads)
+  in
+  for round = 1 to 400 do
+    Array.iter
+      (fun key ->
+        if round land 1 = 1 then
+          ignore
+            (Store.add_project store ~id:key ~name:key ~quota_volumes:17
+               ~quota_gigabytes:1000 ())
+        else ignore (Store.remove_project store key))
+      keys
+  done;
+  Atomic.set stop true;
+  let reads = Domain.join reader in
+  Alcotest.(check bool) "reader made progress" true (reads > 0);
+  Alcotest.(check int) "no torn project observed" 0 (Atomic.get torn)
+
+(* Same shape for identity: tokens are issued and revoked by a writer
+   while a reader validates the latest published token.  [validate]
+   must answer [None] or a complete token_info for the right project —
+   a revoked token must never resolve. *)
+let test_identity_torn_publish () =
+  let module Identity = Cm_cloudsim.Identity in
+  let identity = Identity.create () in
+  Identity.add_user identity ~password:"pw"
+    (Cm_rbac.Subject.make "torn-user" [ "proj_administrator" ]);
+  Identity.set_assignment identity ~project_id:"torn-proj"
+    Cm_rbac.Security_table.cinder_assignment;
+  let current = Atomic.make "" in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let reads = ref 0 in
+        while not (Atomic.get stop) do
+          let token = Atomic.get current in
+          if token <> "" then begin
+            incr reads;
+            match Identity.validate identity ~token with
+            | None -> ()
+            | Some info ->
+              if
+                info.Identity.project_id <> "torn-proj"
+                || info.Identity.subject.Cm_rbac.Subject.user_name
+                   <> "torn-user"
+              then Atomic.incr torn
+          end
+        done;
+        !reads)
+  in
+  for _ = 1 to 2000 do
+    match
+      Identity.issue_token identity ~user:"torn-user" ~password:"pw"
+        ~project_id:"torn-proj"
+    with
+    | Error e -> Alcotest.fail ("issue_token failed: " ^ e)
+    | Ok token ->
+      Atomic.set current token;
+      Identity.revoke identity ~token
+  done;
+  Atomic.set stop true;
+  ignore (Domain.join reader);
+  Alcotest.(check int) "no torn token_info observed" 0 (Atomic.get torn);
+  (* after the dust settles, the last token is revoked and must not
+     resolve through the normal read path *)
+  Alcotest.(check bool) "revoked token stays dead" true
+    (Identity.validate identity ~token:(Atomic.get current) = None)
+
+(* ---- persistent pool: no spawns in the steady state ---- *)
+
+let test_pool_no_steady_state_spawns () =
+  let module DP = Cm_core.Domain_pool in
+  let pool = DP.create ~size:0 in
+  let batch () =
+    let r = DP.run ~pool ~domains:3 12 (fun i -> i * i) in
+    Alcotest.(check int) "batch result intact" (11 * 11) r.(11)
+  in
+  batch ();
+  (* first batch may grow the pool *)
+  Alcotest.(check int) "pool grew to domains-1 workers" 2 (DP.size pool);
+  let spawned_before = DP.spawn_count () in
+  for _ = 1 to 25 do
+    batch ()
+  done;
+  Alcotest.(check int) "steady-state batches spawn no domains"
+    spawned_before (DP.spawn_count ());
+  DP.shutdown pool;
+  Alcotest.(check int) "shutdown empties the pool" 0 (DP.size pool)
+
+(* The shard layer serves batches on the shared pool: repeated
+   [handle_all] calls at the same domain count must not spawn. *)
+let test_shard_serving_reuses_pool () =
+  let config, backend, reqs =
+    mix_world ~projects:2 (fun _ -> Cm_workload.Workload.standard_trace)
+  in
+  match Cm_monitor.Shard.create ~shards:2 config backend with
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  | Ok pool ->
+    ignore (Cm_monitor.Shard.handle_all ~domains:2 pool reqs);
+    let spawned_before = Cm_core.Domain_pool.spawn_count () in
+    for _ = 1 to 5 do
+      ignore (Cm_monitor.Shard.handle_all ~domains:2 pool reqs)
+    done;
+    Alcotest.(check int) "steady-state serving spawns no domains"
+      spawned_before
+      (Cm_core.Domain_pool.spawn_count ())
+
+(* ---- worker failures are collected, not dropped ---- *)
+
+exception Boom of int
+
+let test_single_failure_reraised () =
+  let module DP = Cm_core.Domain_pool in
+  let run () =
+    ignore
+      (DP.run ~domains:2 8 (fun i -> if i = 5 then raise (Boom i) else i))
+  in
+  (match run () with
+   | () -> Alcotest.fail "expected Boom"
+   | exception Boom 5 -> ()
+   | exception e ->
+     Alcotest.fail ("expected Boom 5, got " ^ Printexc.to_string e))
+
+let test_multiple_failures_aggregated () =
+  let module DP = Cm_core.Domain_pool in
+  let attempt domains =
+    match
+      DP.run ~domains 8 (fun i -> if i >= 5 then raise (Boom i) else i)
+    with
+    | _ -> Alcotest.fail "expected Task_failures"
+    | exception DP.Task_failures { first; failed; total } ->
+      Alcotest.(check int) "every failed task counted" 3 failed;
+      Alcotest.(check int) "total is the batch size" 8 total;
+      (match first with
+       | Boom 5 -> ()
+       | e ->
+         Alcotest.fail
+           ("first should be the lowest failed index: " ^ Printexc.to_string e))
+  in
+  (* both the spawning path and the pooled path must aggregate *)
+  attempt 2;
+  let pool = DP.create ~size:0 in
+  (match
+     DP.run ~pool ~domains:3 8 (fun i -> if i >= 5 then raise (Boom i) else i)
+   with
+   | _ -> Alcotest.fail "expected Task_failures (pooled)"
+   | exception DP.Task_failures { failed; total; _ } ->
+     Alcotest.(check int) "pooled path counts failures too" 3 failed;
+     Alcotest.(check int) "pooled total" 8 total);
+  (* a failing batch must not poison the pool for the next batch *)
+  let r = DP.run ~pool ~domains:3 6 (fun i -> i + 1) in
+  Alcotest.(check int) "pool still serves after failures" 6 r.(5);
+  DP.shutdown pool
+
+(* ---- the monitored read path takes zero locks ---- *)
+
+let test_get_path_lock_free () =
+  let spec = { SB.projects = 2; requests_per_project = 30; seed = 21 } in
+  match SB.run ~spec ~domains_list:[ 1 ] () with
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  | Ok report ->
+    (match SB.check_contention report with
+     | Ok () -> ()
+     | Error msg -> Alcotest.fail msg);
+    Alcotest.(check bool) "gate metric is exactly zero" true
+      (report.SB.rp_get_locks_per_req = 0.)
+
 (* ---- the cache cannot change what the monitor concludes ---- *)
 
 (* Same standard workload, cache off vs per-request vs cross-request:
@@ -315,6 +674,34 @@ let () =
       ( "sharding",
         [ Alcotest.test_case "arrival + per-shard sequences" `Slow
             test_shard_determinism
+        ] );
+      ( "mixes",
+        [ Alcotest.test_case "standard mix at 1/2/4 domains" `Slow
+            test_mix_standard;
+          Alcotest.test_case "cross mix at 1/2/4 domains" `Slow
+            test_mix_cross;
+          Alcotest.test_case "churn-heavy mix at 1/2/4 domains" `Slow
+            test_mix_churn_heavy
+        ] );
+      ( "rcu",
+        [ Alcotest.test_case "store snapshots never tear" `Slow
+            test_store_torn_publish;
+          Alcotest.test_case "identity snapshots never tear" `Slow
+            test_identity_torn_publish
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "no steady-state spawns" `Quick
+            test_pool_no_steady_state_spawns;
+          Alcotest.test_case "shard serving reuses the pool" `Slow
+            test_shard_serving_reuses_pool;
+          Alcotest.test_case "single failure re-raised" `Quick
+            test_single_failure_reraised;
+          Alcotest.test_case "multiple failures aggregated" `Quick
+            test_multiple_failures_aggregated
+        ] );
+      ( "contention",
+        [ Alcotest.test_case "monitored GET path takes zero locks" `Slow
+            test_get_path_lock_free
         ] );
       ( "cache-verdicts",
         [ Alcotest.test_case "scope equivalence" `Quick
