@@ -137,11 +137,19 @@ let snapshot_input =
       security = Some Cloudmon.snapshot_security
     } )
 
+let cross_input =
+  ( "cross",
+    { Cloudmon.Analysis.Rules.resources = Cloudmon.Uml.Cross_model.resources;
+      behavior = Cloudmon.Uml.Cross_model.behavior;
+      security = Some Cloudmon.cross_security
+    } )
+
 let analysis_inputs = function
   | "cinder" -> Ok [ cinder_input ]
   | "glance" -> Ok [ glance_input ]
   | "snapshot" -> Ok [ snapshot_input ]
-  | "all" -> Ok [ cinder_input; glance_input; snapshot_input ]
+  | "cross" -> Ok [ cross_input ]
+  | "all" -> Ok [ cinder_input; glance_input; snapshot_input; cross_input ]
   | other -> Error (Printf.sprintf "unknown model %S" other)
 
 let analyze_selftest () =
@@ -158,46 +166,120 @@ let analyze_selftest () =
     (List.length results);
   if failed = [] then 0 else 1
 
-let analyze model format crosscheck_cases seed selftest =
+let severity_of_string = function
+  | "error" -> Ok Cloudmon.Lint.Error
+  | "warning" -> Ok Cloudmon.Lint.Warning
+  | "info" -> Ok Cloudmon.Lint.Info
+  | other -> Error (Printf.sprintf "unknown severity %S" other)
+
+(* The machine-facing dumps: one stable-JSON object keyed by model
+   label, so `--model cinder --subscriptions > golden.json` commits a
+   byte-stable artefact (see test/golden/). *)
+let analyze_dump inputs ~subscriptions ~monitorability =
+  let section name per_input =
+    if not name then Ok []
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (label, input) :: rest -> (
+          match per_input input with
+          | Error msg -> Error (Printf.sprintf "%s: %s" label msg)
+          | Ok json -> go ((label, json) :: acc) rest)
+      in
+      go [] inputs
+  in
+  let subs =
+    section subscriptions (fun input ->
+        Result.map Cloudmon.Analysis.Interference.to_json
+          (Cloudmon.Analysis.Interference.subscriptions input))
+  and monos =
+    section monitorability (fun input ->
+        Result.map
+          (Cloudmon.Analysis.Monitorability.to_json
+             ~visibility:Cloudmon.Analysis.Monitorability.default_visibility)
+          (Cloudmon.Analysis.Monitorability.reports input))
+  in
+  match (subs, monos) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok subs, Ok monos ->
+    let fields =
+      (if subs = [] then []
+       else [ ("subscriptions", Cloudmon.Json.Obj subs) ])
+      @
+      if monos = [] then []
+      else [ ("monitorability", Cloudmon.Json.Obj monos) ]
+    in
+    Fmt.pr "%a@." Cloudmon.Json.pp (Cloudmon.Json.Obj fields);
+    0
+
+let analyze model format crosscheck_cases seed selftest subscriptions
+    monitorability fail_on =
   if selftest then analyze_selftest ()
   else
-    match analysis_inputs model with
-    | Error msg ->
+    match (analysis_inputs model, severity_of_string fail_on) with
+    | Error msg, _ | _, Error msg ->
       prerr_endline msg;
       2
-    | Ok inputs ->
-      let failures =
-        List.filter_map
-          (fun (label, input) ->
-            let findings = Cloudmon.Analysis.Rules.analyze input in
-            (match format with
-             | "json" ->
-               Fmt.pr "%a@." Cloudmon.Json.pp (Cloudmon.Lint.to_json findings)
-             | _ ->
-               Printf.printf "== %s ==\n" label;
-               print_string
-                 (Cloudmon.Lint.render
-                    ~catalogue:Cloudmon.Analysis.Rules.full_catalogue findings));
-            let static_bad = Cloudmon.Lint.errors findings <> [] in
-            let dynamic_bad =
-              crosscheck_cases > 0
-              &&
-              match
-                Cloudmon.Analysis.Crosscheck.run ~cases:crosscheck_cases ~seed
-                  input
-              with
-              | Error msg ->
-                Printf.printf "cross-check failed to run: %s\n" msg;
-                true
-              | Ok r ->
-                Fmt.pr "cross-check %a@." Cloudmon.Analysis.Crosscheck.pp_result r;
-                List.iter (Printf.printf "  violation: %s\n") r.violations;
-                not (Cloudmon.Analysis.Crosscheck.ok r)
-            in
-            if static_bad || dynamic_bad then Some label else None)
-          inputs
-      in
-      if failures = [] then 0 else 1
+    | Ok inputs, Ok threshold ->
+      if subscriptions || monitorability then
+        analyze_dump inputs ~subscriptions ~monitorability
+      else
+        let failures =
+          List.filter_map
+            (fun (label, input) ->
+              let findings = Cloudmon.Analysis.Rules.analyze input in
+              (match format with
+               | "json" ->
+                 Fmt.pr "%a@." Cloudmon.Json.pp (Cloudmon.Lint.to_json findings)
+               | _ ->
+                 Printf.printf "== %s ==\n" label;
+                 print_string
+                   (Cloudmon.Lint.render
+                      ~catalogue:Cloudmon.Analysis.Rules.full_catalogue findings));
+              let static_bad =
+                Cloudmon.Lint.at_least threshold findings <> []
+              in
+              let dynamic_bad =
+                crosscheck_cases > 0
+                &&
+                let verdict_bad =
+                  match
+                    Cloudmon.Analysis.Crosscheck.run ~cases:crosscheck_cases
+                      ~seed input
+                  with
+                  | Error msg ->
+                    Printf.printf "cross-check failed to run: %s\n" msg;
+                    true
+                  | Ok r ->
+                    Fmt.pr "cross-check %a@."
+                      Cloudmon.Analysis.Crosscheck.pp_result r;
+                    List.iter (Printf.printf "  violation: %s\n") r.violations;
+                    not (Cloudmon.Analysis.Crosscheck.ok r)
+                and subscription_bad =
+                  match
+                    Cloudmon.Analysis.Crosscheck.run_subscriptions
+                      ~cases:crosscheck_cases ~seed input
+                  with
+                  | Error msg ->
+                    Printf.printf "subscription cross-check failed to run: %s\n"
+                      msg;
+                    true
+                  | Ok r ->
+                    Fmt.pr "subscription cross-check %a@."
+                      Cloudmon.Analysis.Crosscheck.pp_subscription_result r;
+                    List.iter
+                      (Printf.printf "  violation: %s\n")
+                      r.sub_violations;
+                    not (Cloudmon.Analysis.Crosscheck.sub_ok r)
+                in
+                verdict_bad || subscription_bad
+              in
+              if static_bad || dynamic_bad then Some label else None)
+            inputs
+        in
+        if failures = [] then 0 else 1
 
 let paper_flag =
   let doc = "Only the three mutants of the paper." in
@@ -239,7 +321,7 @@ let validate_cmd =
     Term.(const validate $ paper_flag)
 
 let analyze_model_arg =
-  let doc = "Model set to analyze: cinder, glance, snapshot, or all." in
+  let doc = "Model set to analyze: cinder, glance, snapshot, cross, or all." in
   Arg.(value & opt string "all" & info [ "model" ] ~docv:"MODEL" ~doc)
 
 let analyze_format_arg =
@@ -249,9 +331,34 @@ let analyze_format_arg =
 let analyze_crosscheck_arg =
   let doc =
     "Also fuzz N random observations per model and fail if any static \
-     verdict (dead/vacuous) is contradicted dynamically (0 = skip)."
+     verdict (dead/vacuous) is contradicted dynamically, or if an event \
+     outside a contract's subscription map ever changes its verdict \
+     (0 = skip)."
   in
   Arg.(value & opt int 0 & info [ "cross-check" ] ~docv:"N" ~doc)
+
+let analyze_subscriptions_flag =
+  let doc =
+    "Dump the per-contract event-subscription maps (with shard-closure \
+     verdicts) as stable JSON keyed by model label, instead of the lint \
+     report."
+  in
+  Arg.(value & flag & info [ "subscriptions" ] ~doc)
+
+let analyze_monitorability_flag =
+  let doc =
+    "Dump the per-contract monitorability classification (fully / \
+     partially / non-monitorable under the shipped observer) as stable \
+     JSON keyed by model label, instead of the lint report."
+  in
+  Arg.(value & flag & info [ "monitorability" ] ~doc)
+
+let analyze_fail_on_arg =
+  let doc =
+    "Exit non-zero when any finding at or above this severity remains: \
+     error (default), warning, or info."
+  in
+  Arg.(value & opt string "error" & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
 
 let analyze_selftest_flag =
   let doc =
@@ -269,7 +376,9 @@ let analyze_cmd =
           findings)")
     Term.(
       const analyze $ analyze_model_arg $ analyze_format_arg
-      $ analyze_crosscheck_arg $ seed_arg $ analyze_selftest_flag)
+      $ analyze_crosscheck_arg $ seed_arg $ analyze_selftest_flag
+      $ analyze_subscriptions_flag $ analyze_monitorability_flag
+      $ analyze_fail_on_arg)
 
 let verbose_flag =
   let doc = "Stream every monitored exchange to stderr (Logs reporter)." in

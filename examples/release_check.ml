@@ -102,4 +102,62 @@ let () =
   in
   Printf.printf "release gate: guard-overlap nondeterminism %s\n"
     (if overlap then "detected before deployment" else "NOT detected");
-  if not overlap then exit 1
+  if not overlap then exit 1;
+
+  (* The same severity gate `cmonitor analyze --fail-on warning` applies
+     in CI: a release ships only when nothing at or above the threshold
+     remains.  Release 2 must trip it. *)
+  let blocking = C.Lint.at_least C.Lint.Warning findings in
+  Printf.printf "release gate (fail-on warning): %d blocking finding(s)\n"
+    (List.length blocking);
+  if blocking = [] then exit 1;
+
+  (* Shard-closure proof for the release: every contract's subscription
+     map, and which of them stay shard-closed.  The new PATCH capability
+     rides the same tenant-keyed /volumes URIs, so sharding stays sound
+     — only the identity broadcast (token revocation) crosses shards,
+     exactly as in release 1. *)
+  print_endline "";
+  print_endline "== subscription maps of release 2 ==";
+  match
+    C.Analysis.Interference.subscriptions
+      { C.Analysis.Rules.resources = C.Uml.Cinder_model.resources;
+        behavior = release2_behavior;
+        security =
+          Some
+            { C.Contracts.Generate.table = release2_table;
+              assignment
+            }
+      }
+  with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok subs ->
+    List.iter
+      (fun (s : C.Analysis.Interference.subscription) ->
+        Printf.printf "%s: %d event(s), %s\n"
+          (Fmt.str "%a" BM.pp_trigger s.sub_trigger)
+          (List.length s.sub_events)
+          (if s.sub_shard_closed then "shard-closed"
+           else
+             "cross-shard via "
+             ^ String.concat ", "
+                 (List.map
+                    (fun (e : C.Analysis.Effects.event) ->
+                      Fmt.str "%a" BM.pp_trigger e.ev_trigger)
+                    (C.Analysis.Interference.cross_shard_events s))))
+      subs;
+    let cross_shard_beyond_identity =
+      List.exists
+        (fun (s : C.Analysis.Interference.subscription) ->
+          List.exists
+            (fun (e : C.Analysis.Effects.event) -> not e.ev_identity)
+            (C.Analysis.Interference.cross_shard_events s))
+        subs
+    in
+    Printf.printf "release gate: tenant sharding %s\n"
+      (if cross_shard_beyond_identity then
+         "UNSOUND — a model event couples shards"
+       else "sound (identity broadcast only)");
+    if cross_shard_beyond_identity then exit 1

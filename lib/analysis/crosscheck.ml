@@ -4,7 +4,17 @@ module Ty = Cm_ocl.Ty
 module BM = Cm_uml.Behavior_model
 module RM = Cm_uml.Resource_model
 module J = Cm_json.Json
-module Rng = Cm_proptest.Rng
+(* Deterministic per-case RNG over {!Cm_core.Prng} (splitmix64).  The
+   analysis layer deliberately does not depend on [cm_proptest] — the
+   proptest harness sits above the monitor, which now consumes this
+   library — so the few combinators the generators need live here. *)
+module Rng = struct
+  let case ~seed case = Cm_core.Prng.of_seed ((seed * 1_000_003) + case)
+  let int t bound = if bound <= 0 then 0 else Cm_core.Prng.int t bound
+  let int_in = Cm_core.Prng.int_in
+  let bool t = Cm_core.Prng.int t 2 = 1
+  let choose t xs = List.nth xs (int t (List.length xs))
+end
 
 type result = {
   cases : int;
@@ -56,13 +66,15 @@ let gen_user rng assignment =
   | Some a -> Cm_rbac.Role_assignment.enrich subject a
   | None -> Cm_rbac.Subject.to_json subject
 
+let gen_bindings rng signature assignment =
+  List.map
+    (fun (name, ty) ->
+      if String.equal name "user" then (name, gen_user rng assignment)
+      else (name, gen_json rng ty))
+    signature
+
 let gen_env rng signature assignment =
-  Eval.env_of_bindings
-    (List.map
-       (fun (name, ty) ->
-         if String.equal name "user" then (name, gen_user rng assignment)
-         else (name, gen_json rng ty))
-       signature)
+  Eval.env_of_bindings (gen_bindings rng signature assignment)
 
 (* ---- static branch classification ---- *)
 
@@ -173,3 +185,139 @@ let run ?(cases = 10_000) ?(seed = 42) (input : Rules.input) =
         Array.fold_left (fun acc w -> if w then acc + 1 else acc) 0 witnessed;
       violations = List.rev !violations
     }
+
+(* ---- subscription-soundness oracle ----
+
+   The interference analysis claims: events outside a contract's
+   subscription map commute with it.  The oracle attacks the claim
+   dynamically — per case it draws an environment, picks an event, and
+   regenerates exactly the state that event's write effect covers
+   (field-precise, so a write of [project.volumes] leaves [project.id]
+   alone).  Every contract NOT subscribed to the event must then return
+   bit-identical pre and post verdicts on the original and the
+   perturbed environments. *)
+
+type subscription_result = {
+  sub_cases : int;
+  sub_contracts : int;
+  sub_checks : int;  (** (case, event, unsubscribed contract) verdict pairs *)
+  sub_violations : string list;
+}
+
+let sub_ok r = r.sub_violations = []
+
+let pp_subscription_result ppf r =
+  Fmt.pf ppf
+    "%d cases over %d contracts: %d unsubscribed-event verdict pairs \
+     compared, %d violations"
+    r.sub_cases r.sub_contracts r.sub_checks
+    (List.length r.sub_violations)
+
+let field_types signature root =
+  match List.assoc_opt root signature with
+  | Some (Ty.Object fs) -> fs
+  | _ -> []
+
+(* Regenerate exactly the written state inside a binding list.  Fields
+   dropped by the generator stay dropped, so the perturbation never
+   changes which paths are Undef outside the write set. *)
+let perturb_bindings rng signature assignment (writes : Cm_ocl.Footprint.t)
+    bindings =
+  let fresh_root name =
+    if String.equal name "user" then gen_user rng assignment
+    else
+      gen_json rng (Option.value ~default:Ty.Any (List.assoc_opt name signature))
+  in
+  List.map
+    (fun (name, v) ->
+      match List.assoc_opt name writes with
+      | None -> (name, v)
+      | Some Cm_ocl.Footprint.All -> (name, fresh_root name)
+      | Some (Cm_ocl.Footprint.Fields fs) ->
+        (match v with
+         | J.Obj kvs ->
+           let ftys = field_types signature name in
+           ( name,
+             J.Obj
+               (List.map
+                  (fun (k, fv) ->
+                    if List.mem k fs then
+                      ( k,
+                        gen_json rng
+                          (Option.value ~default:Ty.Any
+                             (List.assoc_opt k ftys)) )
+                    else (k, fv))
+                  kvs) )
+         | _ -> (name, fresh_root name)))
+    bindings
+
+let run_subscriptions ?(cases = 10_000) ?(seed = 42) (input : Rules.input) =
+  match
+    ( Cm_contracts.Generate.all ?security:input.security input.behavior,
+      Effects.events input,
+      Interference.subscriptions input )
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+  | Ok contracts, Ok events, Ok subs ->
+    let signature = RM.signature input.resources in
+    let signature =
+      if List.mem_assoc "user" signature then signature
+      else ("user", Ty.Any) :: signature
+    in
+    let assignment =
+      Option.map (fun s -> s.Cm_contracts.Generate.assignment) input.security
+    in
+    let subscribed (c : Cm_contracts.Contract.t) (ev : Effects.event) =
+      match Interference.subscription_for subs c.trigger with
+      | None -> true  (* unknown contract: assume interest, never flag *)
+      | Some s ->
+        List.exists
+          (fun (e : Effects.event) ->
+            BM.trigger_equal e.ev_trigger ev.ev_trigger)
+          s.sub_events
+    in
+    let checks = ref 0 in
+    let violations = ref [] in
+    let record v =
+      if List.length !violations < 10 then violations := v :: !violations
+    in
+    for case = 0 to cases - 1 do
+      let rng = Rng.case ~seed case in
+      let pre_b = gen_bindings rng signature assignment in
+      let post_b = gen_bindings rng signature assignment in
+      let ev = Rng.choose rng events in
+      let pre_b' = perturb_bindings rng signature assignment ev.ev_writes pre_b in
+      let post_b' =
+        perturb_bindings rng signature assignment ev.ev_writes post_b
+      in
+      let env_pre = Eval.env_of_bindings pre_b in
+      let env_pre' = Eval.env_of_bindings pre_b' in
+      let env_post = Eval.with_pre ~pre:env_pre (Eval.env_of_bindings post_b) in
+      let env_post' =
+        Eval.with_pre ~pre:env_pre' (Eval.env_of_bindings post_b')
+      in
+      List.iter
+        (fun (c : Cm_contracts.Contract.t) ->
+          if not (subscribed c ev) then begin
+            incr checks;
+            if Eval.check env_pre c.pre <> Eval.check env_pre' c.pre then
+              record
+                (Fmt.str
+                   "case %d: precondition of %a changed verdict on %a — an \
+                    event outside its subscription map"
+                   case BM.pp_trigger c.trigger BM.pp_trigger ev.ev_trigger);
+            if Eval.check env_post c.post <> Eval.check env_post' c.post then
+              record
+                (Fmt.str
+                   "case %d: postcondition of %a changed verdict on %a — an \
+                    event outside its subscription map"
+                   case BM.pp_trigger c.trigger BM.pp_trigger ev.ev_trigger)
+          end)
+        contracts
+    done;
+    Ok
+      { sub_cases = cases;
+        sub_contracts = List.length contracts;
+        sub_checks = !checks;
+        sub_violations = List.rev !violations
+      }

@@ -34,3 +34,30 @@ val run :
     replays [cases] (default 10_000) signature-driven random
     observations through {!Cm_ocl.Eval} against every branch.
     [Error] when the resource model's signature cannot be derived. *)
+
+(** {2 Subscription soundness}
+
+    The same adversarial treatment for {!Interference}: its subscription
+    maps claim every event {e outside} a contract's map commutes with
+    the contract.  Per case the oracle draws an environment, picks an
+    event, regenerates exactly the state the event's write effect covers
+    (field-precise), and demands bit-identical pre/post verdicts from
+    every contract not subscribed to that event. *)
+
+type subscription_result = {
+  sub_cases : int;
+  sub_contracts : int;
+  sub_checks : int;
+      (** (case, event, unsubscribed contract) verdict pairs compared *)
+  sub_violations : string list;
+}
+
+val sub_ok : subscription_result -> bool
+
+val pp_subscription_result : Format.formatter -> subscription_result -> unit
+
+val run_subscriptions :
+  ?cases:int -> ?seed:int -> Rules.input ->
+  (subscription_result, string) Stdlib.result
+(** Default 10_000 cases, seed 42 — the CI configuration.  [Error] when
+    contracts or events cannot be derived from the input. *)

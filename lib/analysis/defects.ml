@@ -10,6 +10,9 @@ type entry = {
   name : string;
   description : string;
   input : Rules.input;
+  visibility : Monitorability.visibility option;
+      (** observer visibility the defect manifests under; [None] means
+          the shipped default *)
   expected : string list;
 }
 
@@ -49,6 +52,7 @@ let corpus =
           (with_invariant s_full
              (ocl
                 "project.volumes->size() >= 1 and project.volumes->size() = 0"));
+      visibility = None;
       expected = [ "AN001" ]
     };
     { name = "dead_guard_vs_invariant";
@@ -67,6 +71,7 @@ let corpus =
                            pre(project.volumes->size()) + 1")
                      ~requirements:[ "1.3" ] Cm_http.Meth.POST "volume"
                  ]));
+      visibility = None;
       expected = [ "AN002" ]
     };
     { name = "contradictory_guard";
@@ -88,6 +93,7 @@ let corpus =
                            pre(project.volumes->size())")
                      ~requirements:[ "1.2" ] Cm_http.Meth.PUT "volume"
                  ]));
+      visibility = None;
       expected = [ "AN002" ]
     };
     { name = "vacuous_post_tautology";
@@ -108,6 +114,7 @@ let corpus =
                      ~requirements:[ "1.2" ] Cm_http.Meth.PUT "volume"
                  ]
            });
+      visibility = None;
       expected = [ "AN003" ]
     };
     { name = "guard_overlap";
@@ -125,6 +132,7 @@ let corpus =
                          && String.equal tr.source s_no_volume ->
                     { tr with BM.guard = Some (ocl "quota_sets.volumes >= 1") }
                   | _ -> tr)));
+      visibility = None;
       expected = [ "AN004" ]
     };
     { name = "rbac_missing_row";
@@ -143,6 +151,7 @@ let corpus =
                            pre(project.volumes->size())")
                      ~requirements:[ "1.2" ] Cm_http.Meth.PATCH "volume"
                  ]));
+      visibility = None;
       expected = [ "AN005" ]
     };
     { name = "rbac_unknown_role";
@@ -159,6 +168,7 @@ let corpus =
                  else e)
                ST.cinder)
           base;
+      visibility = None;
       expected = [ "AN006" ]
     };
     { name = "rbac_dangling_row";
@@ -173,6 +183,7 @@ let corpus =
                   [ "admin" ]
               ])
           base;
+      visibility = None;
       expected = [ "AN007" ]
     };
     { name = "rbac_unreachable";
@@ -190,6 +201,7 @@ let corpus =
                  else e)
                ST.cinder)
           base;
+      visibility = None;
       expected = [ "AN006"; "AN008" ]
     };
     { name = "footprint_blind_spot";
@@ -213,7 +225,156 @@ let corpus =
                   ]);
            security = security ()
          });
+      visibility = None;
       expected = [ "AN009" ]
+    };
+    { name = "pre_under_iterator";
+      description =
+        "the update effect asserts v.size = pre(v.size) under a forAll \
+         binder: the binder ranges over post-state, so no pre-call \
+         snapshot of v exists and the contract cannot be monitored";
+      input =
+        input
+          (with_transitions
+             (List.map (fun (tr : BM.transition) ->
+                  if
+                    tr.trigger.BM.meth = Cm_http.Meth.PUT
+                    && String.equal tr.trigger.BM.resource "volume"
+                  then
+                    { tr with
+                      BM.effect =
+                        Some
+                          (ocl
+                             "project.volumes->forAll(v | v.size = \
+                              pre(v.size))")
+                    }
+                  else tr)));
+      visibility = None;
+      expected = [ "AN010" ]
+    };
+    { name = "pre_in_guard";
+      description =
+        "the read guard wraps its existence check in pre(): guards are \
+         evaluated on the pre-state itself, the operator is meaningless \
+         and the generated precondition would silently drop it";
+      input =
+        input
+          (with_transitions
+             (List.map (fun (tr : BM.transition) ->
+                  if
+                    tr.trigger.BM.meth = Cm_http.Meth.GET
+                    && String.equal tr.trigger.BM.resource "volume"
+                  then
+                    { tr with BM.guard = Some (ocl "pre(volume.id->size()) = 1") }
+                  else tr)));
+      visibility = None;
+      expected = [ "AN011" ]
+    };
+    { name = "stale_read_under_caching";
+      description =
+        "the cross-service model's attach mutates project.volumes from \
+         under /servers: with plain path-prefix cache invalidation the \
+         cached volume listing goes stale, so every contract reading it \
+         carries an undischarged fresh-read obligation";
+      input =
+        { Rules.resources = Cm_uml.Cross_model.resources;
+          behavior = Cm_uml.Cross_model.behavior;
+          security = security ~table:ST.cross ()
+        };
+      visibility =
+        Some
+          { Monitorability.default_visibility with
+            Monitorability.cache = Monitorability.Path_prefix
+          };
+      expected = [ "AN012" ]
+    };
+    { name = "mutating_safe_method";
+      description =
+        "the collection listing claims count = pre(count) + 1: a GET with \
+         a non-empty write effect breaks safe-method semantics (and \
+         every cache the monitor maintains)";
+      input =
+        input
+          (with_transitions
+             (List.map (fun (tr : BM.transition) ->
+                  if
+                    tr.trigger.BM.meth = Cm_http.Meth.GET
+                    && String.equal tr.trigger.BM.resource "Volumes"
+                    && String.equal tr.source s_not_full
+                  then
+                    { tr with
+                      BM.effect =
+                        Some
+                          (ocl
+                             "project.volumes->size() = \
+                              pre(project.volumes->size()) + 1")
+                    }
+                  else tr)));
+      visibility = None;
+      expected = [ "AN013" ]
+    };
+    { name = "auth_in_functional_guard";
+      description =
+        "the read guard re-checks user.groups by hand: identity belongs \
+         to the generated authorization guard, functional expressions \
+         reading it duplicate (and can contradict) the security table";
+      input =
+        input
+          (with_transitions
+             (List.map (fun (tr : BM.transition) ->
+                  if
+                    tr.trigger.BM.meth = Cm_http.Meth.GET
+                    && String.equal tr.trigger.BM.resource "volume"
+                  then
+                    { tr with
+                      BM.guard =
+                        Some
+                          (ocl
+                             "volume.id->size() = 1 and user.groups->size() \
+                              >= 1")
+                    }
+                  else tr)));
+      visibility = None;
+      expected = [ "AN014" ]
+    };
+    { name = "cross_tenant_interference";
+      description =
+        "flavors live at /v3/{flavor_id}, outside any tenant scope: the \
+         PUT(flavor) contract subscribes to a non-tenant-keyed event, so \
+         its verdicts couple shards";
+      input =
+        (let resources =
+           { base_resources with
+             RM.resources =
+               base_resources.RM.resources
+               @ [ RM.normal "flavor" [ ("id", RM.A_string) ] ];
+             RM.associations =
+               base_resources.RM.associations
+               @ [ RM.assoc ~role:"flavors" "Projects" "flavor" ]
+           }
+         in
+         { Rules.resources;
+           behavior =
+             with_transitions (fun ts ->
+                 ts
+                 @ [ BM.transition ~source:s_not_full ~target:s_not_full
+                       ~effect:
+                         (ocl
+                            "project.volumes->size() = \
+                             pre(project.volumes->size())")
+                       ~requirements:[ "9.1" ] Cm_http.Meth.PUT "flavor"
+                   ]);
+           security =
+             security
+               ~table:
+                 (ST.cinder
+                 @ [ ST.entry ~resource:"flavor" ~req:"9.1" Cm_http.Meth.PUT
+                       [ "admin" ]
+                   ])
+               ()
+         });
+      visibility = None;
+      expected = [ "AN015" ]
     }
   ]
 
@@ -226,7 +387,7 @@ let an_codes findings =
   |> List.sort_uniq String.compare
 
 let check entry =
-  let got = an_codes (Rules.analyze entry.input) in
+  let got = an_codes (Rules.analyze ?visibility:entry.visibility entry.input) in
   if got = List.sort_uniq String.compare entry.expected then Ok ()
   else
     Error

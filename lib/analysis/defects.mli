@@ -1,21 +1,26 @@
 (** The seeded defective-model corpus.
 
-    Ten deliberate modelling mistakes, each a minimal mutation of the
-    Cinder models, each annotated with exactly the [AN00x] rule codes
-    the analyzer is expected to raise.  The corpus is both the unit-test
-    bed for the rules and the `cmonitor analyze --selftest` payload: a
-    rule that stops firing (or starts over-firing) on its seeded defect
-    is a regression. *)
+    Sixteen deliberate modelling mistakes — one per analysis rule, a few
+    raising rule pairs — each a minimal mutation of the Cinder models
+    (the AN012 entry uses the cross-service model, whose sibling-URI
+    writes are the stale-cache shape), each annotated with exactly the
+    [AN0xx] rule codes the analyzer is expected to raise.  The corpus is
+    both the unit-test bed for the rules and the
+    `cmonitor analyze --selftest` payload: a rule that stops firing (or
+    starts over-firing) on its seeded defect is a regression. *)
 
 type entry = {
   name : string;
   description : string;
   input : Rules.input;
+  visibility : Monitorability.visibility option;
+      (** observer visibility the defect manifests under; [None] means
+          the shipped default (AN012 needs [Path_prefix] caching) *)
   expected : string list;  (** sorted AN rule codes *)
 }
 
 val corpus : entry list
-(** The ten entries, in a stable order. *)
+(** The sixteen entries, in a stable order. *)
 
 val an_codes : Cm_lint.Lint.finding list -> string list
 (** The distinct [AN00x] codes among the findings, sorted — VAL

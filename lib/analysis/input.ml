@@ -1,0 +1,10 @@
+(* The unit of analysis: one modelled service — its resource tree, its
+   protocol state machine, and (optionally) its security table.  Hoisted
+   out of {!Rules} so the effect/monitorability/interference layers can
+   share it without a module cycle. *)
+
+type t = {
+  resources : Cm_uml.Resource_model.t;
+  behavior : Cm_uml.Behavior_model.t;
+  security : Cm_contracts.Generate.security option;
+}

@@ -1,0 +1,322 @@
+module Lint = Cm_lint.Lint
+module Ast = Cm_ocl.Ast
+module Footprint = Cm_ocl.Footprint
+module BM = Cm_uml.Behavior_model
+module RM = Cm_uml.Resource_model
+module Paths = Cm_uml.Paths
+module Ut = Cm_http.Uri_template
+module J = Cm_json.Json
+
+(* ---- observer visibility ---- *)
+
+type cache =
+  | No_cache
+  | Path_prefix
+  | Write_effects
+
+type visibility = {
+  pre_state : bool;
+  cache : cache;
+}
+
+let default_visibility = { pre_state = true; cache = Write_effects }
+
+let cache_to_string = function
+  | No_cache -> "no-cache"
+  | Path_prefix -> "path-prefix"
+  | Write_effects -> "write-effects"
+
+(* ---- labels ---- *)
+
+type label =
+  | Fully
+  | Partially
+  | Non_monitorable
+
+let label_to_string = function
+  | Fully -> "fully"
+  | Partially -> "partially"
+  | Non_monitorable -> "non-monitorable"
+
+type report = {
+  rep_trigger : BM.trigger;
+  rep_label : label;
+  rep_reasons : string list;
+}
+
+(* ---- AN010: pre() capturing an iterator binder ---- *)
+
+(* [pre(e)] asks the monitor to snapshot [e] before forwarding the call.
+   When [e] mentions an iterator binder, there is no single value to
+   snapshot: the binder ranges over a collection whose membership is
+   itself post-state.  Returns the captured binder names, sorted. *)
+let captured_pre_binders expr =
+  let rec go bound acc e =
+    match e with
+    | Ast.At_pre inner ->
+      let caught =
+        List.filter (fun v -> List.mem v bound) (Ast.free_vars inner)
+      in
+      go bound (caught @ acc) inner
+    | Ast.Iter (src, _, binder, body) ->
+      go bound (go (binder :: bound) acc body) src
+    | Ast.Nav (e, _) | Ast.Coll (e, _) | Ast.Unop (_, e) -> go bound acc e
+    | Ast.Member (a, _, b) | Ast.Count (a, b) | Ast.Binop (_, a, b) ->
+      go bound (go bound acc b) a
+    | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.String_lit _ | Ast.Null_lit
+    | Ast.Var _ ->
+      acc
+  in
+  List.sort_uniq String.compare (go [] [] expr)
+
+(* ---- AN011: pre() in a pre-state context ---- *)
+
+(* Guards and state invariants are evaluated against the state the call
+   arrives in; [pre(...)] inside them is at best the identity and at
+   worst a sign the modeller meant a two-state constraint where only one
+   state exists.  The generated precondition would silently drop the
+   operator's meaning, so it is flagged at the model. *)
+let pre_in_pre_context (input : Input.t) =
+  let findings = ref [] in
+  List.iter
+    (fun (s : BM.state) ->
+      if Ast.has_pre s.invariant then
+        findings :=
+          Lint.finding ~rule:"AN011" ~severity:Lint.Error ~where:s.state_name
+            "state invariant uses pre(): invariants describe one state, \
+             there is no earlier state to refer to"
+          :: !findings)
+    input.behavior.BM.states;
+  List.iteri
+    (fun i (tr : BM.transition) ->
+      match tr.guard with
+      | Some g when Ast.has_pre g ->
+        findings :=
+          Lint.finding ~rule:"AN011" ~severity:Lint.Error
+            ~where:
+              (Fmt.str "transition #%d %s->%s on %a" i tr.source tr.target
+                 BM.pp_trigger tr.trigger)
+            "guard uses pre(): guards are evaluated on the pre-state \
+             itself, the operator is meaningless here and the generated \
+             precondition would drop it"
+          :: !findings
+      | _ -> ())
+    input.behavior.BM.transitions;
+  List.rev !findings
+
+(* ---- AN012: fresh-read obligations under degraded cache visibility ---- *)
+
+(* Segment-wise template overlap with parameters as wildcards: one
+   template's segments are a (bidirectional) prefix of the other's.
+   This is the static image of {!Obs_cache.invalidate_overlapping}. *)
+let templates_overlap a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> true
+    | x :: xs', y :: ys' ->
+      (match (x, y) with
+       | Ut.Literal la, Ut.Literal lb -> String.equal la lb && go xs' ys'
+       | _ -> go xs' ys')
+  in
+  go (Ut.segments a) (Ut.segments b)
+
+let entries_for entries resource =
+  let wanted = String.lowercase_ascii resource in
+  List.filter
+    (fun (e : Paths.entry) ->
+      String.equal (String.lowercase_ascii e.resource) wanted)
+    entries
+
+(* Where does the observer's cached copy of [root.field] live?  An
+   attribute lives in the root's own document; an association role binds
+   from the target resource's document (reading [project.volumes] means
+   reading the Volumes collection at /v3/{p}/volumes). *)
+let state_templates (input : Input.t) entries root fields =
+  let own = List.map (fun (e : Paths.entry) -> e.template) (entries_for entries root) in
+  let via_role f =
+    RM.outgoing root input.resources
+    |> List.find_opt (fun (a : RM.association) -> String.equal a.role f)
+    |> function
+    | Some a ->
+      (match entries_for entries a.RM.target with
+       | [] -> own
+       | es -> List.map (fun (e : Paths.entry) -> e.template) es)
+    | None -> own
+  in
+  match fields with
+  | Footprint.All ->
+    own
+    @ List.concat_map
+        (fun (a : RM.association) ->
+          List.map
+            (fun (e : Paths.entry) -> e.template)
+            (entries_for entries a.RM.target))
+        (RM.outgoing root input.resources)
+  | Footprint.Fields fs -> List.concat_map via_role fs
+
+(* A write event discharges the fresh-read obligation for a cached read
+   path iff its own URI overlaps that path — then prefix invalidation
+   drops the stale document.  A write whose URI is a sibling (the
+   cross-service attach writing project.volumes from under /servers)
+   leaves the cache stale. *)
+let stale_reads (input : Input.t) entries (events : Effects.event list)
+    (c : Cm_contracts.Contract.t) =
+  let reads = Footprint.of_exprs [ c.pre; c.post ] in
+  let stale = ref [] in
+  List.iter
+    (fun (root, fields) ->
+      let lroot = String.lowercase_ascii root in
+      match entries_for entries lroot with
+      | [] -> ()  (* request body / identity: never path-cached *)
+      | _ ->
+        let read_paths = state_templates input entries lroot fields in
+        List.iter
+          (fun (ev : Effects.event) ->
+            if
+              (not ev.ev_identity)
+              && (not (BM.trigger_equal ev.ev_trigger c.trigger))
+              && Effects.footprints_interfere [ (root, fields) ] ev.ev_writes
+            then
+              let write_paths =
+                List.map
+                  (fun (e : Paths.entry) -> e.template)
+                  (entries_for entries ev.ev_trigger.BM.resource)
+              in
+              let covered p =
+                List.exists (fun w -> templates_overlap p w) write_paths
+              in
+              match List.find_opt (fun p -> not (covered p)) read_paths with
+              | Some missed ->
+                stale :=
+                  Fmt.str
+                    "%s cached at %a is mutated by %a at a non-overlapping \
+                     URI"
+                    root Ut.pp missed BM.pp_trigger ev.ev_trigger
+                  :: !stale
+              | None -> ())
+          events)
+    reads;
+  List.sort_uniq String.compare !stale
+
+(* ---- per-contract classification ---- *)
+
+let observable_roots entries =
+  (* [user] is bound from the validated token, [request] from the
+     request body — both observable without a derived path. *)
+  "user" :: "request"
+  :: List.map
+       (fun (e : Paths.entry) -> String.lowercase_ascii e.resource)
+       entries
+
+let classify visibility (input : Input.t) entries events
+    (c : Cm_contracts.Contract.t) =
+  let non = ref [] and partial = ref [] in
+  (match captured_pre_binders c.post with
+   | [] -> ()
+   | binders ->
+     non :=
+       Fmt.str "pre() captures iterator binder%s %s: no pre-call snapshot \
+                exists"
+         (if List.length binders > 1 then "s" else "")
+         (String.concat ", " binders)
+       :: !non);
+  if (not visibility.pre_state) && Ast.has_pre c.post then
+    non :=
+      "postcondition depends on pre(), but the observer cannot snapshot \
+       the pre-state"
+      :: !non;
+  (match visibility.cache with
+   | Path_prefix ->
+     partial := stale_reads input entries events c @ !partial
+   | No_cache | Write_effects -> ());
+  let roots = observable_roots entries in
+  List.iter
+    (fun (root, _) ->
+      if not (List.mem (String.lowercase_ascii root) roots) then
+        partial :=
+          Fmt.str "reads %S outside the observable API surface" root
+          :: !partial)
+    (Footprint.of_exprs [ c.pre; c.post ]);
+  let label =
+    if !non <> [] then Non_monitorable
+    else if !partial <> [] then Partially
+    else Fully
+  in
+  { rep_trigger = c.trigger;
+    rep_label = label;
+    rep_reasons = List.sort_uniq String.compare (!non @ !partial)
+  }
+
+let generate (input : Input.t) =
+  Cm_contracts.Generate.all ?security:input.security input.behavior
+
+let reports ?(visibility = default_visibility) (input : Input.t) =
+  match (generate input, Paths.derive input.resources, Effects.events input)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+  | Ok contracts, Ok entries, Ok events ->
+    Ok (List.map (classify visibility input entries events) contracts)
+
+(* ---- findings ---- *)
+
+let findings ?(visibility = default_visibility) (input : Input.t) =
+  let an011 = pre_in_pre_context input in
+  let contract_findings =
+    match
+      (generate input, Paths.derive input.resources, Effects.events input)
+    with
+    | Error _, _, _ | _, Error _, _ | _, _, Error _ ->
+      []  (* generation/derivation problems are reported elsewhere *)
+    | Ok contracts, Ok entries, Ok events ->
+      List.concat_map
+        (fun (c : Cm_contracts.Contract.t) ->
+          let where = Fmt.str "contract %a" BM.pp_trigger c.trigger in
+          let an010 =
+            match captured_pre_binders c.post with
+            | [] -> []
+            | binders ->
+              [ Lint.finding ~rule:"AN010" ~severity:Lint.Error ~where
+                  (Printf.sprintf
+                     "pre() captures iterator binder%s %s: the binder \
+                      ranges over post-state, no pre-call snapshot exists \
+                      and the contract cannot be monitored"
+                     (if List.length binders > 1 then "s" else "")
+                     (String.concat ", " binders))
+              ]
+          in
+          let an012 =
+            match visibility.cache with
+            | No_cache | Write_effects -> []
+            | Path_prefix ->
+              List.map
+                (fun reason ->
+                  Lint.finding ~rule:"AN012" ~severity:Lint.Warning ~where
+                    (Printf.sprintf
+                       "fresh-read obligation undischarged under \
+                        path-prefix cache invalidation: %s"
+                       reason))
+                (stale_reads input entries events c)
+          in
+          an010 @ an012)
+        contracts
+  in
+  an011 @ contract_findings
+
+(* ---- stable JSON ---- *)
+
+let report_to_json r =
+  J.Obj
+    [ ("trigger", J.String (Fmt.str "%a" BM.pp_trigger r.rep_trigger));
+      ("label", J.String (label_to_string r.rep_label));
+      ("reasons", J.List (List.map (fun s -> J.String s) r.rep_reasons))
+    ]
+
+let to_json ?(visibility = default_visibility) reports =
+  J.Obj
+    [ ( "visibility",
+        J.Obj
+          [ ("pre_state", J.Bool visibility.pre_state);
+            ("cache", J.String (cache_to_string visibility.cache))
+          ] );
+      ("contracts", J.List (List.map report_to_json reports))
+    ]

@@ -1,0 +1,87 @@
+(** Monitorability classification (AN010–AN012).
+
+    A generated contract is only as checkable as the observer's view of
+    the system.  This module labels every contract against an explicit
+    {e visibility} — can the observer snapshot the pre-state, and how
+    does its response cache learn about staleness — instead of assuming
+    the idealised observer of the paper.
+
+    - {b AN010} (error): [pre(e)] where [e] captures an iterator binder.
+      The binder ranges over a post-state collection, so there is no
+      pre-call value to snapshot; the contract is non-monitorable no
+      matter the observer.
+    - {b AN011} (error): [pre()] inside a guard or a state invariant —
+      pre-state contexts with no earlier state to refer to.
+    - {b AN012} (warning): a contract reads state that some other
+      trigger mutates from a non-overlapping URI; under plain
+      path-prefix cache invalidation the cached copy goes stale, so the
+      fresh-read obligation is undischarged.  Effect-driven invalidation
+      ({!Write_effects}, the shipped monitor) discharges it. *)
+
+(** How the observer's cross-request cache learns about staleness. *)
+type cache =
+  | No_cache  (** every read is fresh *)
+  | Path_prefix
+      (** mutations invalidate cached documents whose URI prefix-overlaps
+          the mutated URI — and nothing else *)
+  | Write_effects
+      (** mutations invalidate every document the trigger's statically
+          computed write effect can reach *)
+
+type visibility = {
+  pre_state : bool;  (** can the observer snapshot state before the call? *)
+  cache : cache;
+}
+
+val default_visibility : visibility
+(** The shipped monitor: [{ pre_state = true; cache = Write_effects }]. *)
+
+val cache_to_string : cache -> string
+
+type label =
+  | Fully
+  | Partially  (** some verdicts may be computed over stale or unbound state *)
+  | Non_monitorable  (** no observer can evaluate the contract *)
+
+val label_to_string : label -> string
+
+type report = {
+  rep_trigger : Cm_uml.Behavior_model.trigger;
+  rep_label : label;
+  rep_reasons : string list;  (** sorted, deduplicated; empty for {!Fully} *)
+}
+
+val captured_pre_binders : Cm_ocl.Ast.expr -> string list
+(** Iterator binders mentioned under some [pre(...)] inside their own
+    iterator's body — the AN010 witness.  Sorted, deduplicated. *)
+
+val templates_overlap : Cm_http.Uri_template.t -> Cm_http.Uri_template.t -> bool
+(** Segment-wise bidirectional prefix overlap with parameters as
+    wildcards — the static image of the cache's
+    [invalidate_overlapping]. *)
+
+val state_templates :
+  Input.t -> Cm_uml.Paths.entry list -> string -> Cm_ocl.Footprint.fields ->
+  Cm_http.Uri_template.t list
+(** Where the observer's copy of [root.{fields}] lives: the root's own
+    derived URIs for attributes, the association target's URIs for role
+    fields (reading [project.volumes] means reading the Volumes
+    collection document).  The monitor expands these templates into its
+    effect-driven cache-invalidation scopes. *)
+
+val reports :
+  ?visibility:visibility -> Input.t -> (report list, string) result
+(** One report per generated contract, in trigger order.  [Error] when
+    contracts cannot be generated or the URI table cannot be derived. *)
+
+val findings : ?visibility:visibility -> Input.t -> Cm_lint.Lint.finding list
+(** AN010/AN011/AN012 findings.  Inputs whose contracts cannot be
+    generated yield only the model-level AN011 findings — the
+    generation problems are reported elsewhere. *)
+
+val report_to_json : report -> Cm_json.Json.t
+
+val to_json :
+  ?visibility:visibility -> report list -> Cm_json.Json.t
+(** Stable dump: the visibility the reports were computed under plus one
+    entry per contract. *)

@@ -4,7 +4,7 @@ module BM = Cm_uml.Behavior_model
 module RM = Cm_uml.Resource_model
 module Footprint = Cm_ocl.Footprint
 
-type input = {
+type input = Input.t = {
   resources : RM.t;
   behavior : BM.t;
   security : Cm_contracts.Generate.security option;
@@ -52,7 +52,39 @@ let catalogue =
       ~severity:Lint.Error
       "A generated contract reads state the observer never binds (or a \
        member no resource-model path produces): the monitor would \
-       evaluate over permanently undefined values."
+       evaluate over permanently undefined values.";
+    Lint.rule ~code:"AN010" ~title:"unsnapshotable pre()"
+      ~severity:Lint.Error
+      "pre() captures an iterator binder: the binder ranges over a \
+       post-state collection, so no pre-call snapshot exists and the \
+       contract cannot be monitored by any observer.";
+    Lint.rule ~code:"AN011" ~title:"pre() in a pre-state context"
+      ~severity:Lint.Error
+      "A guard or state invariant uses pre(): these expressions are \
+       evaluated against the state the call arrives in, there is no \
+       earlier state to refer to and generation would silently drop the \
+       operator's meaning.";
+    Lint.rule ~code:"AN012" ~title:"undischarged fresh-read obligation"
+      ~severity:Lint.Warning
+      "Under path-prefix cache invalidation a contract reads state that \
+       another trigger mutates from a non-overlapping URI: the cached \
+       copy goes stale and verdicts may be computed over old values. \
+       Effect-driven invalidation discharges the obligation.";
+    Lint.rule ~code:"AN013" ~title:"mutating safe method"
+      ~severity:Lint.Error
+      "A safe (read-only) HTTP method has a non-frame write effect: \
+       caching and commutation arguments built on method safety are \
+       unsound for this model.";
+    Lint.rule ~code:"AN014" ~title:"identity read in functional expression"
+      ~severity:Lint.Warning
+      "An invariant, guard or effect (not the generated authorization \
+       guard) reads the identity subject: the contract subscribes to \
+       the cross-shard token stream beyond its auth guard.";
+    Lint.rule ~code:"AN015" ~title:"cross-tenant interference"
+      ~severity:Lint.Error
+      "A contract subscribes to a model event whose URI carries no \
+       tenant key: another tenant's traffic can change its verdict, so \
+       per-tenant sharding would be unsound."
   ]
 
 let full_catalogue = Cm_uml.Validate.catalogue @ catalogue
@@ -300,8 +332,10 @@ let footprint_blind_spots (input : input) =
       match Cm_uml.Paths.derive input.resources with
       | Error _ -> None  (* VAL003 covers underivable models *)
       | Ok entries ->
+        (* [user] is bound from the validated token, [request] from the
+           request body (observer.ml) — both observable without a path. *)
         Some
-          ("user"
+          ("user" :: "request"
           :: List.map
                (fun (e : Cm_uml.Paths.entry) ->
                  String.lowercase_ascii e.resource)
@@ -361,7 +395,8 @@ let footprint_blind_spots (input : input) =
 
 (* ---- the registry ---- *)
 
-let analyze ?(include_validate = true) ?(waivers = []) (input : input) =
+let analyze ?(include_validate = true) ?(waivers = []) ?visibility
+    (input : input) =
   let validate =
     if include_validate then
       Cm_uml.Validate.all input.resources [ input.behavior ]
@@ -373,5 +408,8 @@ let analyze ?(include_validate = true) ?(waivers = []) (input : input) =
   let an004 = guard_overlaps input ~bad_states in
   let rbac = rbac_audit input ~bad_states ~dead in
   let an009 = footprint_blind_spots input in
+  let monitorability = Monitorability.findings ?visibility input in
+  let interference = Interference.findings input in
   Lint.apply_waivers waivers
-    (validate @ an001 @ an002 @ an003 @ an004 @ rbac @ an009)
+    (validate @ an001 @ an002 @ an003 @ an004 @ rbac @ an009 @ monitorability
+   @ interference)

@@ -26,18 +26,30 @@
     - [AN009] footprint blind spot: a generated contract reads state the
       observer never binds (Error) or a member no resource-model path
       produces (Warning)
+    - [AN010] unsnapshotable pre(): an iterator binder captured under
+      pre() — non-monitorable by any observer (Error, {!Monitorability})
+    - [AN011] pre() in a guard or state invariant (Error,
+      {!Monitorability})
+    - [AN012] undischarged fresh-read obligation under path-prefix cache
+      invalidation (Warning, {!Monitorability}; only with a
+      [Path_prefix] visibility)
+    - [AN013] mutating safe method (Error, {!Interference})
+    - [AN014] identity read in a functional expression (Warning,
+      {!Interference})
+    - [AN015] cross-tenant interference: subscription to a
+      non-tenant-keyed model event (Error, {!Interference})
 
     Rules that depend on the solver treat {!Solver.Unknown}
     conservatively: no finding. *)
 
-type input = {
+type input = Input.t = {
   resources : Cm_uml.Resource_model.t;
   behavior : Cm_uml.Behavior_model.t;
   security : Cm_contracts.Generate.security option;
 }
 
 val catalogue : Cm_lint.Lint.rule list
-(** Metadata for AN001..AN009 (see {!Cm_uml.Validate.catalogue} for the
+(** Metadata for AN001..AN015 (see {!Cm_uml.Validate.catalogue} for the
     VAL side). *)
 
 val full_catalogue : Cm_lint.Lint.rule list
@@ -47,8 +59,12 @@ val full_catalogue : Cm_lint.Lint.rule list
 val analyze :
   ?include_validate:bool ->
   ?waivers:Cm_lint.Lint.waiver list ->
+  ?visibility:Monitorability.visibility ->
   input ->
   Cm_lint.Lint.finding list
 (** Run every rule.  [include_validate] (default [true]) prepends the
     {!Cm_uml.Validate} well-formedness findings so one report covers
-    both layers; waivers demote accepted findings to Info. *)
+    both layers; waivers demote accepted findings to Info.
+    [visibility] (default {!Monitorability.default_visibility}, the
+    shipped observer) parameterises the AN010–AN012 monitorability
+    pass. *)

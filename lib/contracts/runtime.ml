@@ -70,6 +70,17 @@ type inc = {
   mutable slots_changed : int;
 }
 
+(* Statically computed event interest, produced by the analysis layer
+   (which sits above this library) and threaded in through {!prepare}.
+   The runtime only stores and serves it; the monitor uses it to skip
+   contracts that cannot react to a request, and the sharded driver to
+   prove tenant-closure. *)
+type subscription = {
+  sub_events : (Cm_http.Meth.t * string * bool) list;
+  sub_identity : bool;
+  sub_shard_closed : bool;
+}
+
 type prepared = {
   contract : Contract.t;
   strategy : strategy;
@@ -78,6 +89,7 @@ type prepared = {
   compiled : Snapshot.compiled;
   staged : staged;
   footprint : Cm_ocl.Footprint.t;
+  subscription : subscription option;
   counters : counters;
   inc : inc option;
 }
@@ -168,8 +180,8 @@ let stage_contract ~memoize (contract : Contract.t) (compiled : Snapshot.compile
     slots_impure = List.exists (fun (_, _, t) -> tracked_impure t) slots_t
   }
 
-let prepare ?(strategy = Lean) ?(engine = Compiled) ?(eval = Full_eval) contract
-    =
+let prepare ?(strategy = Lean) ?(engine = Compiled) ?(eval = Full_eval)
+    ?subscription contract =
   let compiled = Snapshot.compile contract.Contract.post in
   let memoize = eval = Incremental && engine = Compiled in
   let staged = stage_contract ~memoize contract compiled in
@@ -198,6 +210,7 @@ let prepare ?(strategy = Lean) ?(engine = Compiled) ?(eval = Full_eval) contract
     compiled;
     staged;
     footprint = contract_footprint contract;
+    subscription;
     counters = { evals = 0; replays = 0 };
     inc
   }
@@ -207,6 +220,18 @@ let strategy p = p.strategy
 let engine p = p.engine
 let eval_mode p = p.eval_mode
 let footprint p = p.footprint
+let subscription p = p.subscription
+
+(* Does the subscription admit a request on (meth, resource)?  [None]
+   (no analysis ran) admits everything — the pre-analysis behaviour. *)
+let subscribed_to p ~meth ~resource =
+  match p.subscription with
+  | None -> true
+  | Some s ->
+    let r = String.lowercase_ascii resource in
+    List.exists
+      (fun (m, res, _) -> Cm_http.Meth.equal m meth && String.equal res r)
+      s.sub_events
 
 (* Snapshot slots ([__pre0], [__pre1], …) are written by the snapshot
    machinery, never synced from the observer's environment — a refresh

@@ -32,14 +32,36 @@ type eval_mode =
           verdict-equivalent to [Full_eval] by construction (diffing is
           value-based, not delta-trust-based). *)
 
+type subscription = {
+  sub_events : (Cm_http.Meth.t * string * bool) list;
+      (** the (method, resource, tenant-keyed) events whose write effects
+          can change this contract's verdict — lowercased resource names,
+          sorted (resource, method) *)
+  sub_identity : bool;
+      (** subscribed to the identity (token-revocation) pseudo-event *)
+  sub_shard_closed : bool;
+      (** every subscribed event is tenant-keyed: the contract's verdicts
+          are a function of one tenant's event stream *)
+}
+(** Statically computed event interest.  Produced by the analysis layer
+    and threaded in through {!prepare}; the runtime stores and serves
+    it. *)
+
 type prepared
 (** A contract with its snapshot plan compiled and its expressions
     staged (do this once, not per request). *)
 
 val prepare :
-  ?strategy:strategy -> ?engine:engine -> ?eval:eval_mode -> Contract.t ->
-  prepared
-(** Defaults: [Lean], [Compiled], [Full_eval]. *)
+  ?strategy:strategy -> ?engine:engine -> ?eval:eval_mode ->
+  ?subscription:subscription -> Contract.t -> prepared
+(** Defaults: [Lean], [Compiled], [Full_eval], no subscription. *)
+
+val subscription : prepared -> subscription option
+
+val subscribed_to :
+  prepared -> meth:Cm_http.Meth.t -> resource:string -> bool
+(** Can a request on [(meth, resource)] change this contract's verdict?
+    Conservatively [true] when no subscription was supplied. *)
 
 val contract : prepared -> Contract.t
 val strategy : prepared -> strategy

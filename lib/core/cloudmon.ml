@@ -42,6 +42,11 @@ let snapshot_security =
     assignment = Cm_rbac.Security_table.cinder_assignment
   }
 
+let cross_security =
+  { Cm_contracts.Generate.table = Cm_rbac.Security_table.cross;
+    assignment = Cm_rbac.Security_table.cinder_assignment
+  }
+
 let monitor_of_models ?mode ?strategy ~service_token ?security resources
     behavior backend =
   let config =

@@ -65,8 +65,9 @@ module Lint = Cm_lint.Lint
 
 module Analysis = Cm_analysis
 (** Design-time contract verification: the satisfiability solver, the
-    AN001..AN009 rule registry, the seeded defect corpus and the dynamic
-    cross-check (the [analyze] subcommand). *)
+    AN001..AN015 rule registry (vacuity/RBAC/footprint plus the
+    monitorability and interference passes), the seeded defect corpus
+    and the dynamic cross-checks (the [analyze] subcommand). *)
 
 module Serve_bench = Serve_bench
 (** Sharded-serving throughput harness (the [serve-bench]
@@ -83,6 +84,11 @@ val glance_security : Cm_contracts.Generate.security
 
 val snapshot_security : Cm_contracts.Generate.security
 (** The snapshot table (3.x requirements) with the same assignment. *)
+
+val cross_security : Cm_contracts.Generate.security
+(** The cross-service table (cinder + glance + compute attach rows)
+    with the same assignment — pairs with
+    {!Cm_uml.Cross_model}. *)
 
 val monitor_of_models :
   ?mode:Cm_monitor.Monitor.mode ->

@@ -51,7 +51,31 @@ let sort findings =
         if c <> 0 then c else String.compare a.where b.where)
     findings
 
+(* Machine-diffable form: drop exact duplicates, then order by rule
+   code, location, severity, message — a total order over every field
+   that does {e not} depend on the order the analyses emitted findings
+   in.  [sort] (severity-major) stays the human-facing presentation
+   order; [canonical] is what dumps and golden files use, so two runs
+   over the same input produce byte-identical output. *)
+let compare_canonical a b =
+  let cmp =
+    [ (fun () -> String.compare a.rule b.rule);
+      (fun () -> String.compare a.where b.where);
+      (fun () -> compare (severity_rank a.severity) (severity_rank b.severity));
+      (fun () -> String.compare a.message b.message);
+      (fun () -> Option.compare String.compare a.witness b.witness)
+    ]
+  in
+  List.fold_left (fun acc f -> if acc <> 0 then acc else f ()) 0 cmp
+
+let canonical findings = List.sort_uniq compare_canonical findings
+
 let errors findings = List.filter (fun f -> f.severity = Error) findings
+
+let at_least threshold findings =
+  List.filter
+    (fun f -> severity_rank f.severity <= severity_rank threshold)
+    findings
 
 let count sev findings =
   List.length (List.filter (fun f -> f.severity = sev) findings)
@@ -99,7 +123,7 @@ let finding_to_json f =
       | Some w -> [ ("witness", Json.String w) ])
 
 let to_json findings =
-  let findings = sort findings in
+  let findings = canonical findings in
   Json.Obj
     [ ("findings", Json.List (List.map finding_to_json findings));
       ("errors", Json.Int (count Error findings));

@@ -49,9 +49,21 @@ val find_rule : rule list -> string -> rule option
 (** {2 Aggregation and reporting} *)
 
 val sort : finding list -> finding list
-(** Stable order: severity, then rule code, then location. *)
+(** Stable order: severity, then rule code, then location — the
+    human-facing presentation order ({!render}). *)
+
+val canonical : finding list -> finding list
+(** Machine-diffable order: exact duplicates dropped, then a total
+    order over every field (rule, location, severity, message,
+    witness) — independent of emission order, so dumps and golden
+    files are byte-stable across runs.  {!to_json} uses it. *)
 
 val errors : finding list -> finding list
+
+val at_least : severity -> finding list -> finding list
+(** The findings at or above a severity threshold ([at_least Warning]
+    keeps errors and warnings) — what `--fail-on` gates on. *)
+
 val count : severity -> finding list -> int
 
 val summary : finding list -> string

@@ -93,6 +93,13 @@ type t = {
      - [by_trigger] replaces the linear scan over prepared contracts. *)
   dispatch : (int, Cm_uml.Paths.entry list) Hashtbl.t;
   by_trigger : (Behavior_model.trigger, Runtime.prepared) Hashtbl.t;
+  analysis_events : Cm_analysis.Effects.event list;
+      (* the static write-effect table; [] when underivable *)
+  write_templates :
+    (Behavior_model.trigger * Cm_http.Uri_template.t list) list;
+      (* per trigger: URI templates locating every piece of state its
+         write effect covers — expanded against the request's bindings
+         they become the cache-invalidation scopes *)
   observer_base : Observer.t;
       (* path entries derived once; per request this is re-targeted with
          [with_project] (a cheap record copy) instead of re-deriving *)
@@ -214,12 +221,53 @@ let create config backend =
          in
          if type_errors <> [] then Error type_errors
          else begin
+           (* The static analysis layer: per-trigger write effects feed
+              the effect-driven cache invalidation, per-contract
+              subscription maps let evaluation skip provably inert
+              requests and give the sharded driver its closure proof.
+              An underivable table (can't happen past the Paths.derive
+              above, but kept total) degrades to the conservative
+              pre-analysis behaviour. *)
+           let analysis_input =
+             { Cm_analysis.Input.resources = config.resources;
+               behavior = config.behavior;
+               security = config.security
+             }
+           in
+           let analysis_events =
+             match Cm_analysis.Effects.events analysis_input with
+             | Ok events -> events
+             | Error _ -> []
+           in
+           let subscription_for c =
+             match analysis_events with
+             | [] -> None
+             | events ->
+               Some
+                 (Cm_analysis.Interference.to_runtime
+                    (Cm_analysis.Interference.subscription_of events c))
+           in
+           let write_templates =
+             List.filter_map
+               (fun (ev : Cm_analysis.Effects.event) ->
+                 if ev.ev_identity then None
+                 else
+                   Some
+                     ( ev.ev_trigger,
+                       List.concat_map
+                         (fun (root, fields) ->
+                           Cm_analysis.Monitorability.state_templates
+                             analysis_input entries root fields)
+                         ev.ev_writes ))
+               analysis_events
+           in
            let prepared =
              List.map
                (fun c ->
                  ( c.Contract.trigger,
                    Runtime.prepare ~strategy:config.strategy
-                     ~engine:config.engine ~eval:config.eval c ))
+                     ~engine:config.engine ~eval:config.eval
+                     ?subscription:(subscription_for c) c ))
                contract_list
            in
            let by_trigger = Hashtbl.create (2 * List.length prepared + 1) in
@@ -282,6 +330,8 @@ let create config backend =
                prepared;
                dispatch = dispatch_table entries;
                by_trigger;
+               analysis_events;
+               write_templates;
                observer_base;
                cache;
                delta;
@@ -314,7 +364,7 @@ let contained_item resources collection_name =
   | child :: _ -> Some child.Resource_model.target
   | [] -> None
 
-let trigger_for t (entry : Cm_uml.Paths.entry) meth =
+let trigger_for_resources resources (entry : Cm_uml.Paths.entry) meth =
   let resource =
     if entry.is_item then
       match meth with
@@ -329,12 +379,15 @@ let trigger_for t (entry : Cm_uml.Paths.entry) meth =
       match meth with
       | Meth.POST ->
         Option.value
-          (contained_item t.config.resources entry.resource)
+          (contained_item resources entry.resource)
           ~default:entry.resource
       | Meth.GET | Meth.PUT | Meth.DELETE | Meth.HEAD | Meth.PATCH
       | Meth.OPTIONS -> entry.resource
   in
   { Behavior_model.meth; resource }
+
+let trigger_for t entry meth =
+  trigger_for_resources t.config.resources entry meth
 
 (* The dispatch table buckets by segment count — a template only ever
    matches paths with its own segment count, so the winning entry (most
@@ -371,6 +424,43 @@ let project_extractor config =
         | None -> None
         | Some (_, bindings) -> List.assoc_opt "project_id" bindings)
 
+(* Request → tenant-keyedness, derived from the configuration alone
+   (like {!project_extractor}): [true] iff the request classifies to a
+   modelled trigger whose event the analysis proved tenant-keyed.
+   Unclassified requests — token introspections, unmodelled paths — are
+   conservatively cross-shard.  This is what replaces hand-written
+   "drop the revocations" filters in shard-determinism harnesses. *)
+let tenant_keyed_classifier config =
+  match Cm_uml.Paths.derive config.resources with
+  | Error msg -> Error [ msg ]
+  | Ok entries ->
+    let input =
+      { Cm_analysis.Input.resources = config.resources;
+        behavior = config.behavior;
+        security = config.security
+      }
+    in
+    (match Cm_analysis.Effects.events input with
+     | Error msg -> Error [ msg ]
+     | Ok events ->
+       let dispatch = dispatch_table entries in
+       Ok
+         (fun (req : Request.t) ->
+           match
+             entry_in_dispatch dispatch
+               (Cm_http.Uri_template.split_path req.Request.path)
+           with
+           | None -> false
+           | Some (entry, _) ->
+             let trigger =
+               trigger_for_resources config.resources entry req.Request.meth
+             in
+             List.exists
+               (fun (ev : Cm_analysis.Effects.event) ->
+                 Behavior_model.trigger_equal ev.ev_trigger trigger
+                 && ev.ev_tenant_keyed)
+               events))
+
 let entry_for_path t path =
   Option.map fst (entry_for_segments t (Cm_http.Uri_template.split_path path))
 
@@ -398,6 +488,14 @@ let prepared_for t trigger = Hashtbl.find_opt t.by_trigger trigger
 
 let contract_for_trigger t trigger =
   Option.map Runtime.contract (prepared_for t trigger)
+
+let subscriptions t =
+  List.filter_map
+    (fun (trigger, p) ->
+      Option.map (fun s -> (trigger, s)) (Runtime.subscription p))
+    t.prepared
+
+let analysis_events t = t.analysis_events
 
 let project_of t req = Option.bind (classify t req) (fun c -> c.request_project)
 
@@ -567,32 +665,79 @@ type forwarded =
 
    Path overlap alone is too narrow across services: an attach under
    /v3/{p}/servers/{s}/attach writes *volume* state, whose cached
-   listing lives under /v3/{p}/volumes.  A mutation's write-set is
-   therefore widened to the whole tenant scope — every entry under the
-   path's first two segments (base + context id) is dropped.  Token
-   introspections (a different first segment) survive. *)
+   listing lives under /v3/{p}/volumes.  For modelled triggers the
+   static write-effect table supplies the precise scopes — the derived
+   URI of every piece of state the effect covers, expanded against the
+   request's own path bindings — so sibling caches the trigger provably
+   cannot touch survive.  Mutations the model does not classify fall
+   back to dropping the whole tenant scope (the path's first two
+   segments).  Token introspections (a different first segment)
+   survive either way. *)
 let tenant_scope_of_path path =
   match String.split_on_char '/' path |> List.filter (fun s -> s <> "") with
   | base :: context :: _ :: _ -> Some ("/" ^ base ^ "/" ^ context)
   | _ -> None
 
+(* Expand a scope template against the request's path bindings,
+   truncating at the first unbound parameter: /v3/{p}/volumes/{vid}
+   with only [p] bound becomes /v3/<p>/volumes — a prefix covering
+   every concrete instance the write could have touched. *)
+let expand_scope bindings template =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Cm_http.Uri_template.Literal s :: rest -> go (s :: acc) rest
+    | Cm_http.Uri_template.Param p :: rest ->
+      (match List.assoc_opt p bindings with
+       | Some v -> go (v :: acc) rest
+       | None -> List.rev acc)
+  in
+  match go [] (Cm_http.Uri_template.segments template) with
+  | [] -> None
+  | segs -> Some ("/" ^ String.concat "/" segs)
+
+let write_scopes t (req : Request.t) =
+  match
+    entry_for_segments t (Cm_http.Uri_template.split_path req.Request.path)
+  with
+  | None -> None
+  | Some (entry, bindings) ->
+    (match
+       List.assoc_opt (trigger_for t entry req.Request.meth) t.write_templates
+     with
+     | None -> None
+     | Some templates ->
+       Some
+         (List.sort_uniq String.compare
+            (List.filter_map (expand_scope bindings) templates)))
+
 let invalidate_after_mutation t (req : Request.t) =
   if not (Meth.is_safe req.Request.meth) then begin
-    (* the scope is a segment prefix of the path, so every entry the
-       path itself overlaps is also overlapped by the scope — one
-       invalidation covers both *)
-    let path =
-      match tenant_scope_of_path req.Request.path with
-      | Some scope -> scope
-      | None -> req.Request.path
+    let paths =
+      match write_scopes t req with
+      | Some (_ :: _ as scopes) ->
+        (* the mutated path itself is always dropped too: an effect can
+           under-specify the addressed document even when the analysis
+           classified the trigger *)
+        List.sort_uniq String.compare (req.Request.path :: scopes)
+      | Some [] | None ->
+        (* unclassified mutation: the scope is a segment prefix of the
+           path, so every entry the path itself overlaps is also
+           overlapped by the scope — one invalidation covers both *)
+        [ (match tenant_scope_of_path req.Request.path with
+          | Some scope -> scope
+          | None -> req.Request.path)
+        ]
     in
-    Option.iter
-      (fun cache -> Obs_cache.invalidate_overlapping cache path)
-      t.cache;
-    (* the same write-set feeds the touched-path generations the
-       incremental engine uses (stats always; root-skipping only when
-       [trust_path_delta]) *)
-    Option.iter (fun delta -> Delta.note delta path) t.delta
+    List.iter
+      (fun path ->
+        Option.iter
+          (fun cache -> Obs_cache.invalidate_overlapping cache path)
+          t.cache;
+        (* the same write-set feeds the touched-path generations the
+           incremental engine uses (stats always; root-skipping only
+           when [trust_path_delta]) *)
+        Option.iter (fun delta -> Delta.note delta path) t.delta)
+      paths
   end
 
 let forward t req =

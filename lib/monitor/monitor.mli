@@ -222,11 +222,34 @@ val project_extractor :
     monitor instance.  The shard layer uses it so request admission
     never serializes on a replica. *)
 
+val tenant_keyed_classifier :
+  config -> (Cm_http.Request.t -> bool, string list) result
+(** A standalone classifier derived from the config — like
+    {!project_extractor} — answering "is this request's event
+    tenant-keyed?" per the static write-effect analysis
+    ({!Cm_analysis.Effects.events}).  [true] means every shard sees the
+    event the same way no matter the partition; unclassified requests
+    are conservatively [false] (cross-shard).  Tests use it to project a
+    workload onto its shard-closed part without hand-listing the
+    cross-shard operations. *)
+
 val handle_response : t -> Cm_http.Request.t -> Cm_http.Response.t
 (** [ (handle t req).response ] — lets a monitor instance itself be used
     as a backend (monitors compose). *)
 
 val contracts : t -> Cm_contracts.Contract.t list
+
+val subscriptions :
+  t -> (Cm_uml.Behavior_model.trigger * Cm_contracts.Runtime.subscription) list
+(** The per-contract event-subscription maps the monitor derived at
+    {!create} from the static interference analysis and threaded into
+    {!Cm_contracts.Runtime.prepare} — one entry per prepared contract
+    that received a map (empty when the analysis could not run). *)
+
+val analysis_events : t -> Cm_analysis.Effects.event list
+(** The write-effect events computed at {!create} — the basis for both
+    {!subscriptions} and the effect-driven cache-invalidation scopes.
+    Empty when the analysis could not run. *)
 
 val uri_table : t -> Cm_uml.Paths.entry list
 (** The derived URI entries the monitor classifies against. *)

@@ -2,6 +2,11 @@ type t = {
   monitors : Monitor.t array;
   project_of : Cm_http.Request.t -> string option;
       (* config-derived, independent of any monitor instance *)
+  tenant_keyed : Cm_http.Request.t -> bool;
+      (* config-derived like [project_of]: does the static write-effect
+         analysis prove the request's event tenant-keyed?  [false] marks
+         traffic whose verdicts may couple shards (identity writes,
+         unmodelled paths). *)
   shard_memo : (string, int) Hashtbl.t;
       (* project id -> shard index.  Admission-side only: partitioning
          and [shard_of] run on the caller's domain before any fan-out,
@@ -10,14 +15,17 @@ type t = {
 
 let create ?(shards = 1) config backend =
   if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
-  match Monitor.project_extractor config with
-  | Error _ as e -> e
-  | Ok project_of ->
+  match
+    (Monitor.project_extractor config, Monitor.tenant_keyed_classifier config)
+  with
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+  | Ok project_of, Ok tenant_keyed ->
     let rec build acc i =
       if i = shards then
         Ok
           { monitors = Array.of_list (List.rev acc);
             project_of;
+            tenant_keyed;
             shard_memo = Hashtbl.create 64
           }
       else
@@ -55,6 +63,13 @@ let shard_of t req =
   match t.project_of req with
   | None -> 0
   | Some project -> shard_of_project t project
+
+let tenant_keyed t req = t.tenant_keyed req
+
+let subscriptions t =
+  match t.monitors with
+  | [||] -> []
+  | monitors -> Monitor.subscriptions monitors.(0)
 
 let handle_all ?(domains = 1) t reqs =
   let reqs = Array.of_list reqs in

@@ -44,6 +44,21 @@ val shard_of_project : t -> string -> int
 (** The shard owning a project id (same memoized hash {!shard_of}
     uses), for callers that already classified the request. *)
 
+val tenant_keyed : t -> Cm_http.Request.t -> bool
+(** Does the static write-effect analysis prove the request's event
+    tenant-keyed ({!Monitor.tenant_keyed_classifier})?  [true] means the
+    per-shard determinism contract covers it outright; [false] marks
+    traffic — identity writes, unmodelled paths — whose verdicts may
+    couple shards through shared state.  Config-derived at {!create},
+    admission-side, no replica involved. *)
+
+val subscriptions :
+  t -> (Cm_uml.Behavior_model.trigger * Cm_contracts.Runtime.subscription) list
+(** The per-contract event-subscription maps the replicas run with
+    ({!Monitor.subscriptions}); identical across shards, so reported
+    once.  A pool is fully shard-closed when every map has
+    [sub_shard_closed = true]. *)
+
 val handle_all :
   ?domains:int -> t -> Cm_http.Request.t list -> Outcome.t array
 (** Serve a batch: partition by {!shard_of} preserving arrival order,

@@ -129,12 +129,12 @@ let corpus_tests =
     Defects.corpus
 
 let corpus_meta_tests =
-  [ Alcotest.test_case "corpus has ten distinct entries" `Quick (fun () ->
-        Alcotest.(check int) "size" 10 (List.length Defects.corpus);
+  [ Alcotest.test_case "corpus has sixteen distinct entries" `Quick (fun () ->
+        Alcotest.(check int) "size" 16 (List.length Defects.corpus);
         let names =
           List.map (fun (e : Defects.entry) -> e.name) Defects.corpus
         in
-        Alcotest.(check int) "distinct names" 10
+        Alcotest.(check int) "distinct names" 16
           (List.length (List.sort_uniq String.compare names)));
     Alcotest.test_case "every AN rule is exercised by some entry" `Quick
       (fun () ->
@@ -168,7 +168,11 @@ let shipped =
     ( "snapshot",
       { Rules.resources = Cm_uml.Snapshot_model.resources;
         behavior = Cm_uml.Snapshot_model.behavior;
-        security = sec Cm_uml.Snapshot_model.security_table } )
+        security = sec Cm_uml.Snapshot_model.security_table } );
+    ( "cross",
+      { Rules.resources = Cm_uml.Cross_model.resources;
+        behavior = Cm_uml.Cross_model.behavior;
+        security = sec Cm_rbac.Security_table.cross } )
   ]
 
 let clean_tests =
@@ -262,7 +266,30 @@ let lint_tests =
         List.iter
           (fun needle ->
             Alcotest.(check bool) needle true (Lint.contains text needle))
-          [ "XX001"; "place"; "msg"; "error" ])
+          [ "XX001"; "place"; "msg"; "error" ]);
+    Alcotest.test_case "canonical is emission-order independent and dedups"
+      `Quick (fun () ->
+        let f rule where sev =
+          Lint.finding ~rule ~severity:sev ~where "m"
+        in
+        let a = f "XX001" "a" Lint.Error
+        and b = f "XX002" "b" Lint.Warning
+        and c = f "XX001" "c" Lint.Info in
+        let one = Lint.canonical [ b; a; c; a ]
+        and two = Lint.canonical [ a; c; a; b ] in
+        Alcotest.(check bool) "same list both ways" true (one = two);
+        Alcotest.(check int) "duplicates dropped" 3 (List.length one);
+        Alcotest.(check (list string)) "rule-major order"
+          [ "XX001"; "XX001"; "XX002" ]
+          (List.map (fun (x : Lint.finding) -> x.rule) one));
+    Alcotest.test_case "at_least keeps findings at or above the threshold"
+      `Quick (fun () ->
+        let f sev = Lint.finding ~rule:"XX001" ~severity:sev ~where:"w" "m" in
+        let all = [ f Lint.Info; f Lint.Error; f Lint.Warning ] in
+        Alcotest.(check int) "error" 1 (List.length (Lint.at_least Lint.Error all));
+        Alcotest.(check int) "warning" 2
+          (List.length (Lint.at_least Lint.Warning all));
+        Alcotest.(check int) "info" 3 (List.length (Lint.at_least Lint.Info all)))
   ]
 
 (* ---- validate rides on the lint framework ---- *)

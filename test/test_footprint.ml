@@ -55,6 +55,76 @@ let test_iterator_shadowing () =
     "project:{volumes}; v:{size}"
     "project.volumes->forAll(v | v.size > 0) and v.size = 1"
 
+(* pre() and iterators compose in both orders; the footprint must be
+   identical either way, because the observer snapshots whole documents,
+   not expression values. *)
+let test_pre_under_nested_iterators () =
+  check_fp "pre() around a nested quantification"
+    "project:{volumes}"
+    "pre(project.volumes->forAll(v | v.size > 0)) = \
+     project.volumes->forAll(v | v.size > 0)";
+  check_fp "pre() buried inside the inner body"
+    "project:{volumes}; quota_sets:{volumes}"
+    "project.volumes->forAll(v | quota_sets.volumes->exists(q | pre(q) = \
+     v.size))";
+  (* the binder of the outer iterator shadows inside pre() too: [v] is
+     not a free root even when the pre() call wraps its whole body *)
+  check_fp "binder stays bound under pre()"
+    "project:{volumes}"
+    "project.volumes->forAll(v | pre(v.size) = v.size)"
+
+let test_shadowing_across_chains () =
+  (* collect feeds select: the binder name is reused at both levels,
+     and neither occurrence escapes as a free root *)
+  check_fp "reused binder across collect/select"
+    "project:{volumes}"
+    "project.volumes->collect(v | v.size)->select(v | v > 1)->size() = 1";
+  (* an inner iterator over a different source: both sources read,
+     neither binder free *)
+  check_fp "nested iterators over distinct sources"
+    "project:{volumes}; quota_sets:{volumes}"
+    "project.volumes->select(v | quota_sets.volumes->exists(q | q = \
+     v.size))->size() = 0";
+  (* same binder name inside and outside: only the free occurrence
+     contributes, with its own navigated field *)
+  check_fp "free occurrence survives a chained shadow"
+    "project:{volumes}; v:{status}"
+    "project.volumes->collect(v | v.size)->size() = 1 and v.status = \
+     'in-use'"
+
+(* is_total and needs_field must agree: a total root needs every field,
+   and a root needing every named field we can probe is not thereby
+   total (Fields is finite, All is not). *)
+let test_is_total_needs_field_agreement () =
+  let total = fp_of "volume = null" in
+  let partial = fp_of "volume.id->size() = 1 and volume.status = 'in-use'" in
+  Alcotest.(check bool) "total root is_total" true
+    (Footprint.is_total total "volume");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "total root needs %s" f)
+        true
+        (Footprint.needs_field total ~root:"volume" f))
+    [ "id"; "status"; "size"; "anything" ];
+  Alcotest.(check bool) "field root is not total" false
+    (Footprint.is_total partial "volume");
+  Alcotest.(check bool) "field root needs listed field" true
+    (Footprint.needs_field partial ~root:"volume" "id");
+  Alcotest.(check bool) "field root rejects unlisted field" false
+    (Footprint.needs_field partial ~root:"volume" "size");
+  (* union with a total occurrence flips both views at once *)
+  let widened = Footprint.union partial total in
+  Alcotest.(check bool) "union is total" true
+    (Footprint.is_total widened "volume");
+  Alcotest.(check bool) "union needs unlisted field" true
+    (Footprint.needs_field widened ~root:"volume" "size");
+  (* absent root: not total, needs nothing — both sides agree *)
+  Alcotest.(check bool) "absent root not total" false
+    (Footprint.is_total partial "server");
+  Alcotest.(check bool) "absent root needs nothing" false
+    (Footprint.needs_field partial ~root:"server" "id")
+
 let test_queries () =
   let fp = fp_of "project.volumes->size() <= quota_sets.volumes" in
   Alcotest.(check bool) "mentions project" true (Footprint.mentions fp "project");
@@ -113,10 +183,16 @@ let () =
             test_bare_root_is_all;
           Alcotest.test_case "pre-state operator" `Quick test_pre_state;
           Alcotest.test_case "iterator binder shadowing" `Quick
-            test_iterator_shadowing
+            test_iterator_shadowing;
+          Alcotest.test_case "pre() under nested iterators" `Quick
+            test_pre_under_nested_iterators;
+          Alcotest.test_case "shadowing across collect/select chains" `Quick
+            test_shadowing_across_chains
         ] );
       ( "queries",
         [ Alcotest.test_case "mentions/needs_field/is_total" `Quick test_queries;
+          Alcotest.test_case "is_total vs needs_field agreement" `Quick
+            test_is_total_needs_field_agreement;
           Alcotest.test_case "union" `Quick test_union
         ] );
       ( "contracts",

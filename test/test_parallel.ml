@@ -169,11 +169,29 @@ let test_shard_determinism () =
 
 (* ---- workload mixes over the partitioned store at 1/2/4 domains ---- *)
 
+(* The batch-served mixes are restricted to their shard-closed
+   projection — but which requests are shard-closed is the static
+   analysis' call, not the test's.  A request stays iff the write-effect
+   analysis proved its event tenant-keyed
+   ({!Monitor.tenant_keyed_classifier}), or it is a safe method (reads
+   have no write effect — the AN013 invariant — so they cannot couple
+   shards).  Everything else — token revocations writing shared identity
+   state, unmodelled cross-service mutations — is conservatively
+   cross-shard and serializes outside the batch determinism contract;
+   revocation visibility has its own sequential scenario coverage. *)
+let shard_safe_predicate config =
+  match Monitor.tenant_keyed_classifier config with
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  | Ok tenant_keyed ->
+    fun (req : Cm_http.Request.t) ->
+      tenant_keyed req || Meth.is_safe req.Cm_http.Request.meth
+
 (* A miniature serve-bench world: one cloud, [projects] tenants over the
    RCU-partitioned store, each tenant replaying the same symbolic mix
    (statically compiled, so the stream is a pure function of the mix and
-   the tenant).  Per-tenant request lists interleave round-robin; every
-   domain count must produce bit-identical verdicts. *)
+   the tenant).  Per-tenant request lists are projected onto their
+   shard-safe part and interleave round-robin; every domain count must
+   produce bit-identical verdicts. *)
 let mix_world ~projects trace_for =
   let module Cloud = Cm_cloudsim.Cloud in
   let module Store = Cm_cloudsim.Store in
@@ -239,12 +257,6 @@ let mix_world ~projects trace_for =
         in
         (pid, admin, Array.of_list (Cm_workload.Exec.requests st (trace_for i))))
   in
-  let per_tenant = Array.map (fun (_, _, reqs) -> reqs) tenants in
-  let steps = Array.fold_left (fun m a -> min m (Array.length a)) max_int per_tenant in
-  let reqs =
-    List.init (steps * projects) (fun step ->
-        per_tenant.(step mod projects).(step / projects))
-  in
   let service_token_for =
     let table =
       Array.to_list tenants |> List.map (fun (pid, admin, _) -> (pid, admin))
@@ -260,6 +272,18 @@ let mix_world ~projects trace_for =
           assignment = Cm_rbac.Security_table.cinder_assignment
         }
       Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+  in
+  let shard_safe = shard_safe_predicate config in
+  let per_tenant =
+    Array.map
+      (fun (_, _, reqs) ->
+        Array.of_list (List.filter shard_safe (Array.to_list reqs)))
+      tenants
+  in
+  let steps = Array.fold_left (fun m a -> min m (Array.length a)) max_int per_tenant in
+  let reqs =
+    List.init (steps * projects) (fun step ->
+        per_tenant.(step mod projects).(step / projects))
   in
   (config, Cloud.handle cloud, reqs)
 
@@ -301,34 +325,109 @@ let check_mix_deterministic name trace_for =
       rest
   | [] -> ()
 
-(* Token revocation is {e deliberately} cross-shard state: the
-   introspection path binds no project, so revokes serialize on shard 0
-   while the affected tenant's requests run on its own shard — their
-   relative order is scheduler-dependent by design (the same coupling a
-   real parallel proxy has).  The shard determinism contract covers
-   tenant-partitioned state only, so the batch-served mixes here are
-   restricted to their shard-closed steps; revocation visibility has its
-   own sequential scenario coverage. *)
-let shard_closed trace =
-  List.filter
-    (fun (s : Cm_workload.Workload.step) ->
-      match s.Cm_workload.Workload.op with
-      | Cm_workload.Workload.Revoke_token _ -> false
-      | _ -> true)
-    trace
-
 let test_mix_standard () =
   check_mix_deterministic "standard"
-    (fun _ -> shard_closed Cm_workload.Workload.standard_trace)
+    (fun _ -> Cm_workload.Workload.standard_trace)
 
 let test_mix_cross () =
   check_mix_deterministic "cross"
-    (fun _ -> shard_closed Cm_workload.Workload.cross_trace)
+    (fun _ -> Cm_workload.Workload.cross_trace)
 
 let test_mix_churn_heavy () =
   check_mix_deterministic "churn-heavy" (fun i ->
-      shard_closed
-        (Cm_workload.Workload.churn_heavy_trace ~steps:40 ~seed:(11 + i)))
+      Cm_workload.Workload.churn_heavy_trace ~steps:40 ~seed:(11 + i))
+
+(* The projection itself: per symbolic op, is its request kept?  Token
+   revocation — a DELETE writing shared identity state from a path that
+   binds no project — must be flagged cross-shard {e by the analysis}
+   (the old hand-written "drop the revocations" filter), every modelled
+   volume operation must be proven tenant-keyed, and unmodelled
+   cross-service mutations are conservatively cross-shard while their
+   reads stay. *)
+let test_shard_safe_projection () =
+  let config =
+    Monitor.default_config ~service_token:"svc"
+      ~security:
+        { Cm_contracts.Generate.table = Cm_rbac.Security_table.cinder;
+          assignment = Cm_rbac.Security_table.cinder_assignment
+        }
+      Cm_uml.Cinder_model.resources Cm_uml.Cinder_model.behavior
+  in
+  let tenant_keyed =
+    match Monitor.tenant_keyed_classifier config with
+    | Ok f -> f
+    | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+  in
+  let shard_safe = shard_safe_predicate config in
+  let st =
+    { Cm_workload.Exec.st_project = "proj-a";
+      st_token = (fun _ -> "tok");
+      st_stable_volumes = [ "sv-0" ];
+      st_victim_volumes = [ "vv-0" ]
+    }
+  in
+  let expected (op : Cm_workload.Workload.op) =
+    match op with
+    (* modelled volume operations: the analysis proves them tenant-keyed *)
+    | Cm_workload.Workload.Create_volume _ | Cm_workload.Workload.List_volumes
+    | Cm_workload.Workload.Show_volume _ | Cm_workload.Workload.Rename_volume _
+    | Cm_workload.Workload.Delete_volume _ ->
+      Some true
+    (* unmodelled reads: safe methods have no write effect *)
+    | Cm_workload.Workload.List_servers | Cm_workload.Workload.Show_server _
+    | Cm_workload.Workload.List_images | Cm_workload.Workload.Show_image _ ->
+      Some true
+    (* unmodelled mutations and the identity write: cross-shard *)
+    | Cm_workload.Workload.Volume_action_attach _
+    | Cm_workload.Workload.Volume_action_detach _
+    | Cm_workload.Workload.Create_server _ | Cm_workload.Workload.Delete_server _
+    | Cm_workload.Workload.Attach _ | Cm_workload.Workload.Detach _
+    | Cm_workload.Workload.Create_image _
+    | Cm_workload.Workload.Set_image_status _
+    | Cm_workload.Workload.Delete_image _ | Cm_workload.Workload.Revoke_token _
+      ->
+      Some false
+    (* out-of-band: no request to classify *)
+    | Cm_workload.Workload.Relogin _ | Cm_workload.Workload.Churn_project _ ->
+      None
+  in
+  let check_trace name trace =
+    List.iter
+      (fun (s : Cm_workload.Workload.step) ->
+        match
+          (Cm_workload.Exec.requests st [ s ], expected s.Cm_workload.Workload.op)
+        with
+        | [], None -> ()
+        | [ req ], Some want ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s shard-safe?" name
+               (String.trim (Cm_workload.Workload.render [ s ])))
+            want (shard_safe req);
+          (* revocations specifically: the *classifier* itself must call
+             them cross-shard, not the safe-method escape hatch *)
+          (match s.Cm_workload.Workload.op with
+           | Cm_workload.Workload.Revoke_token _ ->
+             Alcotest.(check bool)
+               (name ^ ": revocation flagged cross-shard by the analysis")
+               false (tenant_keyed req)
+           | _ -> ())
+        | reqs, _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s: unexpected request/expectation shape (%d)"
+               name (List.length reqs)))
+      trace
+  in
+  check_trace "standard" Cm_workload.Workload.standard_trace;
+  check_trace "cross" Cm_workload.Workload.cross_trace;
+  check_trace "churn-heavy"
+    (Cm_workload.Workload.churn_heavy_trace ~steps:40 ~seed:11);
+  (* and the projection is non-trivial in both directions: something is
+     kept, something is dropped *)
+  let reqs = Cm_workload.Exec.requests st Cm_workload.Workload.standard_trace in
+  let kept = List.filter shard_safe reqs in
+  Alcotest.(check bool) "projection keeps work" true (kept <> []);
+  Alcotest.(check bool) "projection drops the cross-shard steps" true
+    (List.length kept < List.length reqs)
 
 (* ---- RCU snapshots: no torn publishes ---- *)
 
@@ -681,7 +780,9 @@ let () =
           Alcotest.test_case "cross mix at 1/2/4 domains" `Slow
             test_mix_cross;
           Alcotest.test_case "churn-heavy mix at 1/2/4 domains" `Slow
-            test_mix_churn_heavy
+            test_mix_churn_heavy;
+          Alcotest.test_case "shard-safe projection is analysis-derived" `Quick
+            test_shard_safe_projection
         ] );
       ( "rcu",
         [ Alcotest.test_case "store snapshots never tear" `Slow
